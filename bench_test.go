@@ -1,0 +1,208 @@
+package repro_test
+
+// One benchmark per table and figure in the paper's evaluation. Each
+// bench regenerates its table/figure through the same code path as
+// cmd/experiments and reports the headline quantity as a custom metric,
+// so `go test -bench=.` reproduces the entire evaluation.
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/ir"
+	"repro/internal/polybench"
+	"repro/internal/splendid"
+)
+
+var benchCfg = experiments.Config{Threads: 28, Reps: 1}
+
+func runExperiment(b *testing.B, name string) {
+	e := experiments.ByName(name)
+	if e == nil {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Features(b *testing.B)   { runExperiment(b, "table1") }
+func BenchmarkTable2Techniques(b *testing.B) { runExperiment(b, "table2") }
+
+func BenchmarkTable3Collaboration(b *testing.B) {
+	var rows []experiments.Table3Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var compiler, eliminated int
+	for _, r := range rows {
+		compiler += r.Compiler
+		eliminated += r.Eliminated
+	}
+	b.ReportMetric(float64(compiler), "compiler-loops")
+	b.ReportMetric(float64(eliminated), "eliminated-manual-loops")
+}
+
+func BenchmarkTable4LoC(b *testing.B) {
+	var rows []experiments.Table4Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var splendidLoC, refLoC int
+	for _, r := range rows {
+		splendidLoC += r.Splendid
+		refLoC += r.Ref
+	}
+	b.ReportMetric(float64(splendidLoC)/float64(refLoC), "splendid-vs-ref-loc")
+}
+
+func BenchmarkFig6Portability(b *testing.B) {
+	var rows []experiments.Fig6Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Fig6(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var polly, gcc []float64
+	for _, r := range rows {
+		polly = append(polly, r.Polly)
+		gcc = append(gcc, r.Gcc)
+	}
+	b.ReportMetric(geomean(polly), "polly-geomean-speedup")
+	b.ReportMetric(geomean(gcc), "splendid-gcc-geomean-speedup")
+}
+
+func BenchmarkFig7BLEU(b *testing.B) {
+	var rows []experiments.Fig7Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var full, rellic, ghidra float64
+	for _, r := range rows {
+		full += r.Full
+		rellic += r.Rellic
+		ghidra += r.Ghidra
+	}
+	n := float64(len(rows))
+	b.ReportMetric(full/n, "splendid-bleu")
+	b.ReportMetric(full/rellic, "vs-rellic-x")
+	b.ReportMetric(full/ghidra, "vs-ghidra-x")
+}
+
+func BenchmarkFig8VarNames(b *testing.B) {
+	var rows []experiments.Fig8Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var tot, named int
+	for _, r := range rows {
+		tot += r.Declared
+		named += r.Named
+	}
+	b.ReportMetric(100*float64(named)/float64(tot), "pct-names-reconstructed")
+}
+
+func BenchmarkFig9Collaboration(b *testing.B) {
+	var rows []experiments.Fig9Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Fig9(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var man, comp, collab []float64
+	for _, r := range rows {
+		man = append(man, r.ManualOnly)
+		comp = append(comp, r.CompilerOnly)
+		collab = append(collab, r.Collaborative)
+	}
+	b.ReportMetric(geomean(man), "manual-geomean")
+	b.ReportMetric(geomean(comp), "compiler-geomean")
+	b.ReportMetric(geomean(collab), "collab-geomean")
+}
+
+func BenchmarkFig11BLEUMechanics(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkAblation quantifies each design choice's BLEU contribution
+// (the de-transformation trade-offs DESIGN.md calls out).
+func BenchmarkAblation(b *testing.B) {
+	var rows []experiments.AblationRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows[1:] {
+		b.ReportMetric(rows[0].BLEU-r.BLEU, "bleu-drop"+metricName(r.Name))
+	}
+}
+
+func metricName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '-' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// BenchmarkDecompileSuite measures raw decompilation throughput: all 16
+// benchmarks through the full SPLENDID pipeline.
+func BenchmarkDecompileSuite(b *testing.B) {
+	var mods []*ir.Module
+	for _, bench := range polybench.All() {
+		m, _, err := bench.CompileParallelIR()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mods = append(mods, m)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, bench := range polybench.All() {
+			if _, err := splendid.Decompile(mods[j], splendid.Full()); err != nil {
+				b.Fatalf("%s: %v", bench.Name, err)
+			}
+		}
+	}
+}
+
+func geomean(xs []float64) float64 {
+	prod := 1.0
+	for _, x := range xs {
+		prod *= x
+	}
+	if prod <= 0 || len(xs) == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(len(xs)))
+}

@@ -1,0 +1,40 @@
+// Command bleu scores a candidate C file against a reference C file with
+// the BLEU-4 metric of the paper's Appendix A.
+//
+// Usage:
+//
+//	bleu candidate.c reference.c
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bleu"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: bleu candidate.c reference.c")
+		os.Exit(2)
+	}
+	cand, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := os.ReadFile(os.Args[2])
+	if err != nil {
+		fatal(err)
+	}
+	score := bleu.Score(string(cand), string(ref))
+	p := bleu.NGramPrecisions(string(cand), string(ref))
+	fmt.Printf("BLEU-4: %.2f\n", score)
+	for n, v := range p {
+		fmt.Printf("%d-gram precision: %.4f\n", n+1, v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bleu:", err)
+	os.Exit(1)
+}

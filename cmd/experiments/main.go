@@ -1,0 +1,54 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                  # run everything
+//	experiments -run fig7        # one experiment
+//	experiments -list            # show available experiments
+//	experiments -threads 8 -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment to run (default: all)")
+	list := flag.Bool("list", false, "list experiments")
+	threads := flag.Int("threads", 0, "OpenMP team size (default GOMAXPROCS)")
+	reps := flag.Int("reps", 0, "timing repetitions (default 3)")
+	flag.Parse()
+
+	cfg := experiments.Config{Threads: *threads, Reps: *reps}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	if *run != "" {
+		e := experiments.ByName(*run)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n", e.Title)
+		if err := e.Run(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range experiments.All() {
+		fmt.Printf("\n=== %s ===\n", e.Title)
+		if err := e.Run(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command irrun executes a function from a textual IR module on the
+// interpreter, with a goroutine-backed OpenMP runtime.
+//
+// Usage:
+//
+//	irrun [-threads N] [-entry main] [-args "1 2.5"] input.ll
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func main() {
+	threads := flag.Int("threads", 1, "OpenMP team size for parallel regions")
+	entry := flag.String("entry", "main", "function to execute")
+	argStr := flag.String("args", "", "space-separated scalar arguments (int or float)")
+	steps := flag.Bool("steps", false, "print executed instruction counts")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: irrun [-threads N] [-entry F] [-args \"...\"] input.ll")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := ir.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	var args []interp.Value
+	for _, tok := range strings.Fields(*argStr) {
+		if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+			args = append(args, interp.IntV(n))
+			continue
+		}
+		f, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad argument %q", tok))
+		}
+		args = append(args, interp.FloatV(f))
+	}
+	mach := interp.NewMachine(m, interp.Options{NumThreads: *threads})
+	ret, err := mach.Run(*entry, args...)
+	if err != nil {
+		fatal(err)
+	}
+	if out := mach.Output(); out != "" {
+		fmt.Print(out)
+	}
+	fmt.Printf("%s returned %s\n", *entry, ret)
+	if *steps {
+		fmt.Printf("work: %d instructions, span: %d\n", mach.Steps(), mach.SimSteps())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "irrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command splendid decompiles parallel IR (the textual format produced
+// by ccomp or Module.Print) into portable OpenMP C source.
+//
+// Usage:
+//
+//	splendid [-variant full|portable|v1|cbackend|rellic|ghidra] [-o out.c] input.ll
+//	splendid -stats input.ll
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cast"
+	"repro/internal/cbackend"
+	"repro/internal/decomp/ghidra"
+	"repro/internal/decomp/rellic"
+	"repro/internal/ir"
+	"repro/internal/splendid"
+)
+
+func main() {
+	variant := flag.String("variant", "full", "full|portable|v1|cbackend|rellic|ghidra")
+	out := flag.String("o", "", "output file (default stdout)")
+	stats := flag.Bool("stats", false, "print decompilation statistics to stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: splendid [-variant V] [-o out.c] input.ll")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := ir.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	var text string
+	switch *variant {
+	case "cbackend":
+		text = cast.Print(cbackend.Decompile(m))
+	case "rellic":
+		text = cast.Print(rellic.Decompile(m))
+	case "ghidra":
+		text = cast.Print(ghidra.Decompile(m))
+	case "full", "portable", "v1":
+		cfg := splendid.Full()
+		if *variant == "portable" {
+			cfg = splendid.Portable()
+		} else if *variant == "v1" {
+			cfg = splendid.V1()
+		}
+		res, err := splendid.Decompile(m, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		text = res.C
+		if *stats {
+			fmt.Fprintf(os.Stderr, "%+v\n", res.Stats)
+		}
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "splendid:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "SPLENDID:
+// Supporting Parallel LLVM-IR Enhanced Natural Decompilation for
+// Interactive Development" (Tan et al., ASPLOS 2023).
+//
+// The library lives under internal/: an SSA IR with parser and printer
+// (internal/ir), a C frontend with OpenMP lowering (internal/cfront), an
+// optimizer (internal/passes), a Polly-style auto-parallelizer
+// (internal/parallel), a goroutine-backed IR interpreter
+// (internal/interp), the SPLENDID decompiler (internal/splendid),
+// Rellic/Ghidra-style baselines (internal/decomp/...), a BLEU-4 scorer
+// (internal/bleu), the 16 PolyBench benchmarks (internal/polybench), and
+// the evaluation harness (internal/experiments).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,408 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+// diamond builds: entry -> (a|b) -> join -> exit
+func diamond(t *testing.T) *ir.Function {
+	t.Helper()
+	m := ir.MustParse(`
+define i64 @diamond(i64 %x) {
+entry:
+  %c = icmp slt i64 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  %va = add i64 %x, 1
+  br label %join
+b:
+  %vb = add i64 %x, 2
+  br label %join
+join:
+  %p = phi i64 [ %va, %a ], [ %vb, %b ]
+  ret i64 %p
+}
+`)
+	return m.FuncByName("diamond")
+}
+
+// whileLoop builds a canonical (non-rotated) counted loop.
+func whileLoop(t *testing.T) *ir.Function {
+	t.Helper()
+	m := ir.MustParse(`
+define void @w(i64 %n, double* %A) {
+entry:
+  br label %for.cond
+for.cond:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %for.body ]
+  %cmp = icmp slt i64 %i, %n
+  br i1 %cmp, label %for.body, label %for.end
+for.body:
+  %g = getelementptr double, double* %A, i64 %i
+  store double 1.0, double* %g
+  %i.next = add i64 %i, 1
+  br label %for.cond
+for.end:
+  ret void
+}
+`)
+	return m.FuncByName("w")
+}
+
+// rotatedLoop builds the do-while shape loop rotation produces, with a
+// guard block, testing the *stepped* value at the latch.
+func rotatedLoop(t *testing.T) *ir.Function {
+	t.Helper()
+	m := ir.MustParse(`
+define void @r(i64 %n, double* %A) {
+entry:
+  %guard = icmp sgt i64 %n, 0
+  br i1 %guard, label %loop.body, label %exit
+loop.body:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop.body ]
+  %g = getelementptr double, double* %A, i64 %i
+  store double 1.0, double* %g
+  %i.next = add i64 %i, 1
+  %cmp = icmp slt i64 %i.next, %n
+  br i1 %cmp, label %loop.body, label %exit
+exit:
+  ret void
+}
+`)
+	return m.FuncByName("r")
+}
+
+// nestedLoops builds a 2-deep nest.
+func nestedLoops(t *testing.T) *ir.Function {
+	t.Helper()
+	m := ir.MustParse(`
+define void @nest(i64 %n) {
+entry:
+  br label %outer.cond
+outer.cond:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %outer.latch ]
+  %oc = icmp slt i64 %i, %n
+  br i1 %oc, label %inner.pre, label %done
+inner.pre:
+  br label %inner.cond
+inner.cond:
+  %j = phi i64 [ 0, %inner.pre ], [ %j.next, %inner.body ]
+  %ic = icmp slt i64 %j, %n
+  br i1 %ic, label %inner.body, label %outer.latch
+inner.body:
+  %j.next = add i64 %j, 1
+  br label %inner.cond
+outer.latch:
+  %i.next = add i64 %i, 1
+  br label %outer.cond
+done:
+  ret void
+}
+`)
+	return m.FuncByName("nest")
+}
+
+func TestDomTreeDiamond(t *testing.T) {
+	f := diamond(t)
+	d := NewDomTree(f)
+	entry := f.BlockByName("entry")
+	a := f.BlockByName("a")
+	b := f.BlockByName("b")
+	join := f.BlockByName("join")
+
+	if d.IDom(entry) != nil {
+		t.Error("entry has an idom")
+	}
+	if d.IDom(a) != entry || d.IDom(b) != entry {
+		t.Error("a/b idom should be entry")
+	}
+	if d.IDom(join) != entry {
+		t.Errorf("join idom = %v, want entry", d.IDom(join))
+	}
+	if !d.Dominates(entry, join) || d.Dominates(a, join) {
+		t.Error("dominance wrong at join")
+	}
+	if !d.Dominates(a, a) {
+		t.Error("dominance not reflexive")
+	}
+}
+
+func TestDominanceFrontiers(t *testing.T) {
+	f := diamond(t)
+	d := NewDomTree(f)
+	df := d.Frontiers()
+	a := f.BlockByName("a")
+	b := f.BlockByName("b")
+	join := f.BlockByName("join")
+	for _, blk := range []*ir.Block{a, b} {
+		if len(df[blk]) != 1 || df[blk][0] != join {
+			t.Errorf("DF(%s) = %v, want {join}", blk.Nam, df[blk])
+		}
+	}
+	if len(df[join]) != 0 {
+		t.Errorf("DF(join) = %v, want empty", df[join])
+	}
+	// In a loop, the header is in the DF of latch-dominated blocks.
+	lf := whileLoop(t)
+	ld := NewDomTree(lf)
+	ldf := ld.Frontiers()
+	hdr := lf.BlockByName("for.cond")
+	body := lf.BlockByName("for.body")
+	found := false
+	for _, x := range ldf[body] {
+		if x == hdr {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loop header not in DF of body")
+	}
+}
+
+func TestDomTreeUnreachableBlock(t *testing.T) {
+	m := ir.MustParse(`
+define void @u() {
+entry:
+  ret void
+dead:
+  br label %dead
+}
+`)
+	f := m.FuncByName("u")
+	d := NewDomTree(f)
+	if d.Reachable(f.BlockByName("dead")) {
+		t.Error("dead block marked reachable")
+	}
+	if d.Dominates(f.BlockByName("entry"), f.BlockByName("dead")) {
+		t.Error("entry dominates unreachable block")
+	}
+}
+
+func TestFindLoopsSimple(t *testing.T) {
+	f := whileLoop(t)
+	li := FindLoops(f, NewDomTree(f))
+	if len(li.All) != 1 {
+		t.Fatalf("found %d loops, want 1", len(li.All))
+	}
+	l := li.All[0]
+	if l.Header.Nam != "for.cond" {
+		t.Errorf("header = %s", l.Header.Nam)
+	}
+	if !l.Contains(f.BlockByName("for.body")) || l.Contains(f.BlockByName("entry")) {
+		t.Error("loop membership wrong")
+	}
+	if l.Preheader() == nil || l.Preheader().Nam != "entry" {
+		t.Errorf("preheader = %v", l.Preheader())
+	}
+	if l.Latch() == nil || l.Latch().Nam != "for.body" {
+		t.Errorf("latch = %v", l.Latch())
+	}
+	exits := l.ExitBlocks()
+	if len(exits) != 1 || exits[0].Nam != "for.end" {
+		t.Errorf("exits = %v", exits)
+	}
+	if li.LoopOf(f.BlockByName("for.body")) != l {
+		t.Error("LoopOf body wrong")
+	}
+	if li.LoopOf(f.BlockByName("entry")) != nil {
+		t.Error("entry in a loop")
+	}
+}
+
+func TestFindLoopsNested(t *testing.T) {
+	f := nestedLoops(t)
+	li := FindLoops(f, NewDomTree(f))
+	if len(li.All) != 2 {
+		t.Fatalf("found %d loops, want 2", len(li.All))
+	}
+	if len(li.Top) != 1 {
+		t.Fatalf("top loops = %d, want 1", len(li.Top))
+	}
+	outer := li.Top[0]
+	if outer.Header.Nam != "outer.cond" || len(outer.Children) != 1 {
+		t.Fatalf("outer nest wrong: header=%s children=%d", outer.Header.Nam, len(outer.Children))
+	}
+	inner := outer.Children[0]
+	if inner.Header.Nam != "inner.cond" || inner.Depth != 2 || outer.Depth != 1 {
+		t.Errorf("inner=%s depth=%d outerDepth=%d", inner.Header.Nam, inner.Depth, outer.Depth)
+	}
+	// Innermost block maps to inner loop.
+	if li.LoopOf(f.BlockByName("inner.body")) != inner {
+		t.Error("LoopOf(inner.body) != inner")
+	}
+	if li.LoopOf(f.BlockByName("outer.latch")) != outer {
+		t.Error("LoopOf(outer.latch) != outer")
+	}
+	innermost := li.Innermost()
+	if len(innermost) != 1 || innermost[0] != inner {
+		t.Error("Innermost wrong")
+	}
+}
+
+func TestAnalyzeCountedWhileLoop(t *testing.T) {
+	f := whileLoop(t)
+	li := FindLoops(f, NewDomTree(f))
+	cl := AnalyzeCountedLoop(li.All[0])
+	if cl == nil {
+		t.Fatal("counted loop not recognized")
+	}
+	if cl.Rotated {
+		t.Error("while loop marked rotated")
+	}
+	if cl.CmpOnNext {
+		t.Error("while loop compares stepped value")
+	}
+	if cl.IV.Nam != "i" || cl.Step != 1 {
+		t.Errorf("iv=%s step=%d", cl.IV.Nam, cl.Step)
+	}
+	if c, ok := cl.Init.(*ir.ConstInt); !ok || c.V != 0 {
+		t.Errorf("init = %v", cl.Init)
+	}
+	if cl.ContinuePred != ir.CmpSLT {
+		t.Errorf("continue pred = %v", cl.ContinuePred)
+	}
+	if p, ok := cl.Bound.(*ir.Param); !ok || p.Nam != "n" {
+		t.Errorf("bound = %v", cl.Bound)
+	}
+}
+
+func TestAnalyzeCountedRotatedLoop(t *testing.T) {
+	f := rotatedLoop(t)
+	li := FindLoops(f, NewDomTree(f))
+	cl := AnalyzeCountedLoop(li.All[0])
+	if cl == nil {
+		t.Fatal("rotated counted loop not recognized")
+	}
+	if !cl.Rotated {
+		t.Error("rotated loop not marked rotated")
+	}
+	if !cl.CmpOnNext {
+		t.Error("rotated loop should compare the stepped value")
+	}
+	if cl.Step != 1 || cl.ContinuePred != ir.CmpSLT {
+		t.Errorf("step=%d pred=%v", cl.Step, cl.ContinuePred)
+	}
+}
+
+func TestAnalyzeCountedRejectsNonCounted(t *testing.T) {
+	// Loop whose bound is loop-variant (loaded each iteration).
+	m := ir.MustParse(`
+define void @nc(i64* %p) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %bound = load i64, i64* %p
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %bound
+  br i1 %c, label %loop, label %exit
+exit:
+  ret void
+}
+`)
+	f := m.FuncByName("nc")
+	li := FindLoops(f, NewDomTree(f))
+	if cl := AnalyzeCountedLoop(li.All[0]); cl != nil {
+		t.Errorf("variant-bound loop recognized as counted: %+v", cl)
+	}
+}
+
+func TestTripCount(t *testing.T) {
+	cases := []struct {
+		init, bound, step int64
+		pred              ir.CmpPred
+		want              int64
+	}{
+		{0, 10, 1, ir.CmpSLT, 10},
+		{0, 10, 2, ir.CmpSLT, 5},
+		{0, 9, 2, ir.CmpSLT, 5},
+		{1, 10, 1, ir.CmpSLE, 10},
+		{10, 0, -1, ir.CmpSGT, 10},
+		{10, 0, -1, ir.CmpSGE, 11},
+		{5, 5, 1, ir.CmpSLT, 0},
+		{5, 0, 1, ir.CmpSLT, 0},
+	}
+	for _, c := range cases {
+		cl := &CountedLoop{
+			Init:         ir.I64Const(c.init),
+			Bound:        ir.I64Const(c.bound),
+			Step:         c.step,
+			ContinuePred: c.pred,
+		}
+		got, ok := cl.TripCount()
+		if !ok || got != c.want {
+			t.Errorf("TripCount(init=%d bound=%d step=%d %v) = %d,%v want %d",
+				c.init, c.bound, c.step, c.pred, got, ok, c.want)
+		}
+	}
+	// Non-constant bound: not computable.
+	cl := &CountedLoop{Init: ir.I64Const(0), Bound: ir.Undef(ir.I64), Step: 1, ContinuePred: ir.CmpSLT}
+	if _, ok := cl.TripCount(); ok {
+		t.Error("trip count computed for non-constant bound")
+	}
+}
+
+func TestIsLoopInvariant(t *testing.T) {
+	f := whileLoop(t)
+	li := FindLoops(f, NewDomTree(f))
+	l := li.All[0]
+	if !IsLoopInvariant(f.Params[0], l) {
+		t.Error("param not invariant")
+	}
+	if !IsLoopInvariant(ir.I64Const(3), l) {
+		t.Error("constant not invariant")
+	}
+	body := f.BlockByName("for.body")
+	gep := body.Instrs[0]
+	if IsLoopInvariant(gep, l) {
+		t.Error("in-loop gep marked invariant")
+	}
+}
+
+// Property: TripCount agrees with brute-force iteration for random
+// (init, bound, step, pred) combinations.
+func TestQuickTripCountMatchesBruteForce(t *testing.T) {
+	brute := func(init, bound, step int64, pred ir.CmpPred) int64 {
+		cont := func(v int64) bool {
+			switch pred {
+			case ir.CmpSLT:
+				return v < bound
+			case ir.CmpSLE:
+				return v <= bound
+			case ir.CmpSGT:
+				return v > bound
+			case ir.CmpSGE:
+				return v >= bound
+			}
+			return false
+		}
+		n := int64(0)
+		for v := init; cont(v) && n < 10000; v += step {
+			n++
+		}
+		return n
+	}
+	preds := []ir.CmpPred{ir.CmpSLT, ir.CmpSLE, ir.CmpSGT, ir.CmpSGE}
+	check := func(i8, b8 int8, s8 uint8, p8 uint8) bool {
+		init, bound := int64(i8), int64(b8)
+		step := int64(s8%5) + 1
+		pred := preds[p8%4]
+		if pred == ir.CmpSGT || pred == ir.CmpSGE {
+			step = -step
+		}
+		cl := &CountedLoop{
+			Init:         ir.I64Const(init),
+			Bound:        ir.I64Const(bound),
+			Step:         step,
+			ContinuePred: pred,
+		}
+		got, ok := cl.TripCount()
+		return ok && got == brute(init, bound, step, pred)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

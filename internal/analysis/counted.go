@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"repro/internal/ir"
+)
+
+// CountedLoop describes a loop with a recognized integer induction
+// variable and a loop-invariant bound — the shape OpenMP's canonical loop
+// form requires and the shape loop rotation produces and consumes.
+type CountedLoop struct {
+	Loop *Loop
+
+	// IV is the induction-variable phi in the header.
+	IV *ir.Instr
+	// Init is the incoming value from outside the loop.
+	Init ir.Value
+	// StepInstr computes IV+Step inside the loop; Step is its constant.
+	StepInstr *ir.Instr
+	Step      int64
+
+	// Cmp is the exit comparison; CondBr the exiting branch using it.
+	Cmp    *ir.Instr
+	CondBr *ir.Instr
+	// Bound is the loop-invariant comparison operand.
+	Bound ir.Value
+	// ContinuePred is normalized so the loop continues while
+	// `<iv-expr> ContinuePred Bound` holds.
+	ContinuePred ir.CmpPred
+	// CmpOnNext reports that the comparison tests the stepped value
+	// (IV+Step) rather than IV itself — the signature of a rotated loop.
+	CmpOnNext bool
+	// Rotated reports the exit test sits in the latch (do-while shape)
+	// rather than the header (while/for shape).
+	Rotated bool
+}
+
+// IsLoopInvariant reports whether v is computed outside l (constants,
+// arguments, globals, and instructions in blocks not in l).
+func IsLoopInvariant(v ir.Value, l *Loop) bool {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return true
+	}
+	return in.Parent == nil || !l.Contains(in.Parent)
+}
+
+// stepOf matches in against `add iv, c` or `add c, iv` (also sub iv, c)
+// and returns the signed constant step.
+func stepOf(in *ir.Instr, iv *ir.Instr) (int64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		if in.Args[0] == ir.Value(iv) {
+			if c, ok := in.Args[1].(*ir.ConstInt); ok {
+				return c.V, true
+			}
+		}
+		if in.Args[1] == ir.Value(iv) {
+			if c, ok := in.Args[0].(*ir.ConstInt); ok {
+				return c.V, true
+			}
+		}
+	case ir.OpSub:
+		if in.Args[0] == ir.Value(iv) {
+			if c, ok := in.Args[1].(*ir.ConstInt); ok {
+				return -c.V, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// AnalyzeCountedLoop recognizes the counted-loop structure of l, handling
+// both the canonical (exit test in header) and rotated (exit test in
+// latch) forms. It returns nil when the loop is not counted: multiple
+// latches, no single exiting block, no induction phi, or a variant bound.
+func AnalyzeCountedLoop(l *Loop) *CountedLoop {
+	latch := l.Latch()
+	if latch == nil {
+		return nil
+	}
+	// The loop must have exactly one exiting block: either the header
+	// (canonical) or the latch (rotated).
+	exiting := l.ExitingBlocks()
+	if len(exiting) != 1 {
+		return nil
+	}
+	exitBlk := exiting[0]
+	if exitBlk != l.Header && exitBlk != latch {
+		return nil
+	}
+	term := exitBlk.Terminator()
+	if term == nil || term.Op != ir.OpCondBr {
+		return nil
+	}
+	cmp, ok := term.Args[0].(*ir.Instr)
+	if !ok || cmp.Op != ir.OpICmp {
+		return nil
+	}
+
+	// Try every header phi as the IV candidate.
+	for _, phi := range l.Header.Phis() {
+		if len(phi.Args) != 2 {
+			continue
+		}
+		var init ir.Value
+		var stepVal ir.Value
+		for i, in := range phi.Blocks {
+			if l.Contains(in) {
+				stepVal = phi.Args[i]
+			} else {
+				init = phi.Args[i]
+			}
+		}
+		stepInstr, ok := stepVal.(*ir.Instr)
+		if !ok || init == nil {
+			continue
+		}
+		step, ok := stepOf(stepInstr, phi)
+		if !ok || step == 0 {
+			continue
+		}
+
+		// The comparison must involve the phi or its step, possibly
+		// through a sign-extension.
+		var matches func(v ir.Value) (onNext bool, ok bool)
+		matches = func(v ir.Value) (onNext bool, ok bool) {
+			if v == ir.Value(phi) {
+				return false, true
+			}
+			if v == ir.Value(stepInstr) {
+				return true, true
+			}
+			if c, isC := v.(*ir.Instr); isC && c.Op == ir.OpSExt {
+				return matches(c.Args[0])
+			}
+			return false, false
+		}
+
+		var bound ir.Value
+		var pred ir.CmpPred
+		var onNext bool
+		if n, ok2 := matches(cmp.Args[0]); ok2 && IsLoopInvariant(cmp.Args[1], l) {
+			bound, pred, onNext = cmp.Args[1], cmp.Pred, n
+		} else if n, ok2 := matches(cmp.Args[1]); ok2 && IsLoopInvariant(cmp.Args[0], l) {
+			bound, pred, onNext = cmp.Args[0], cmp.Pred.Swapped(), n
+		} else {
+			continue
+		}
+
+		// Normalize: ContinuePred such that loop continues while
+		// ivexpr ContinuePred bound. If the true edge exits the loop,
+		// invert.
+		contPred := pred
+		if !l.Contains(term.Blocks[0]) {
+			contPred = pred.Inverse()
+		}
+		// Sanity: the false edge of a continue-on-true branch must exit,
+		// i.e. exactly one successor stays in the loop.
+		inLoop := 0
+		for _, s := range term.Blocks {
+			if l.Contains(s) {
+				inLoop++
+			}
+		}
+		if inLoop != 1 {
+			continue
+		}
+
+		return &CountedLoop{
+			Loop:         l,
+			IV:           phi,
+			Init:         init,
+			StepInstr:    stepInstr,
+			Step:         step,
+			Cmp:          cmp,
+			CondBr:       term,
+			Bound:        bound,
+			ContinuePred: contPred,
+			CmpOnNext:    onNext,
+			Rotated:      exitBlk == latch && latch != l.Header || exitBlk == latch && len(l.Blocks) == 1,
+		}
+	}
+	return nil
+}
+
+// TripCount returns the constant trip count when Init, Bound, and Step are
+// all constants, using the normalized continue predicate, along with true;
+// otherwise it returns 0, false. The computation assumes the canonical
+// (test-before-body) reading of the predicate.
+func (cl *CountedLoop) TripCount() (int64, bool) {
+	init, ok1 := cl.Init.(*ir.ConstInt)
+	bound, ok2 := cl.Bound.(*ir.ConstInt)
+	if !ok1 || !ok2 || cl.Step == 0 {
+		return 0, false
+	}
+	lo, hi, step := init.V, bound.V, cl.Step
+	switch cl.ContinuePred {
+	case ir.CmpSLT:
+		if lo >= hi {
+			return 0, true
+		}
+		return (hi - lo + step - 1) / step, true
+	case ir.CmpSLE:
+		if lo > hi {
+			return 0, true
+		}
+		return (hi-lo)/step + 1, true
+	case ir.CmpSGT:
+		if lo <= hi {
+			return 0, true
+		}
+		return (lo - hi + (-step) - 1) / -step, true
+	case ir.CmpSGE:
+		if lo < hi {
+			return 0, true
+		}
+		return (lo-hi)/(-step) + 1, true
+	}
+	return 0, false
+}

@@ -1,0 +1,182 @@
+// Package analysis provides the compiler analyses the optimization and
+// parallelization pipeline depends on: dominator trees and dominance
+// frontiers (for SSA construction), natural-loop detection with
+// induction-variable recognition (for loop rotation and its
+// de-transformation), affine memory-access extraction, and the
+// loop-carried dependence test the DOALL parallelizer uses.
+package analysis
+
+import (
+	"repro/internal/ir"
+)
+
+// DomTree is the dominator tree of a function, computed with the
+// Cooper–Harvey–Kennedy iterative algorithm over a reverse-postorder
+// numbering.
+type DomTree struct {
+	Func *ir.Function
+	// RPO lists reachable blocks in reverse postorder; RPO[0] is entry.
+	RPO []*ir.Block
+	// Num maps each reachable block to its RPO index.
+	Num map[*ir.Block]int
+	// idom maps each block to its immediate dominator (entry maps to itself).
+	idom map[*ir.Block]*ir.Block
+	// children is the dominator-tree child list.
+	children map[*ir.Block][]*ir.Block
+}
+
+// NewDomTree computes the dominator tree of f.
+func NewDomTree(f *ir.Function) *DomTree {
+	d := &DomTree{
+		Func:     f,
+		Num:      map[*ir.Block]int{},
+		idom:     map[*ir.Block]*ir.Block{},
+		children: map[*ir.Block][]*ir.Block{},
+	}
+	d.computeRPO()
+	d.computeIdoms()
+	for b, p := range d.idom {
+		if b != p {
+			d.children[p] = append(d.children[p], b)
+		}
+	}
+	return d
+}
+
+func (d *DomTree) computeRPO() {
+	seen := map[*ir.Block]bool{}
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	entry := d.Func.Entry()
+	if entry == nil {
+		return
+	}
+	dfs(entry)
+	for i := len(post) - 1; i >= 0; i-- {
+		d.Num[post[i]] = len(d.RPO)
+		d.RPO = append(d.RPO, post[i])
+	}
+}
+
+func (d *DomTree) computeIdoms() {
+	if len(d.RPO) == 0 {
+		return
+	}
+	entry := d.RPO[0]
+	d.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range d.RPO[1:] {
+			var newIdom *ir.Block
+			for _, p := range b.Preds() {
+				if _, ok := d.idom[p]; !ok {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom == nil {
+				continue
+			}
+			if d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (d *DomTree) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for d.Num[a] > d.Num[b] {
+			a = d.idom[a]
+		}
+		for d.Num[b] > d.Num[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b, or nil for the entry block
+// and unreachable blocks.
+func (d *DomTree) IDom(b *ir.Block) *ir.Block {
+	p := d.idom[b]
+	if p == b {
+		return nil
+	}
+	return p
+}
+
+// Children returns the dominator-tree children of b.
+func (d *DomTree) Children(b *ir.Block) []*ir.Block { return d.children[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *ir.Block) bool {
+	if _, ok := d.idom[b]; !ok {
+		return false // unreachable
+	}
+	for {
+		if a == b {
+			return true
+		}
+		p := d.idom[b]
+		if p == b {
+			return false // reached entry
+		}
+		b = p
+	}
+}
+
+// Reachable reports whether b is reachable from the entry block.
+func (d *DomTree) Reachable(b *ir.Block) bool {
+	_, ok := d.Num[b]
+	return ok
+}
+
+// Frontiers computes the dominance frontier of every reachable block,
+// using the standard two-pointer walk from each join point.
+func (d *DomTree) Frontiers() map[*ir.Block][]*ir.Block {
+	df := map[*ir.Block][]*ir.Block{}
+	inDF := map[*ir.Block]map[*ir.Block]bool{}
+	for _, b := range d.RPO {
+		preds := b.Preds()
+		if len(preds) < 2 {
+			continue
+		}
+		for _, p := range preds {
+			if !d.Reachable(p) {
+				continue
+			}
+			runner := p
+			for runner != d.idom[b] {
+				if inDF[runner] == nil {
+					inDF[runner] = map[*ir.Block]bool{}
+				}
+				if !inDF[runner][b] {
+					inDF[runner][b] = true
+					df[runner] = append(df[runner], b)
+				}
+				next := d.idom[runner]
+				if next == runner {
+					break
+				}
+				runner = next
+			}
+		}
+	}
+	return df
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Loop is a natural loop: a header plus the set of blocks that can reach a
+// back edge to the header without leaving through it.
+type Loop struct {
+	Header   *ir.Block
+	Blocks   map[*ir.Block]bool
+	Latches  []*ir.Block
+	Parent   *Loop
+	Children []*Loop
+	Depth    int
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// BlockList returns the loop blocks in function order.
+func (l *Loop) BlockList() []*ir.Block {
+	var out []*ir.Block
+	for _, b := range l.Header.Parent.Blocks {
+		if l.Blocks[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Preheader returns the unique predecessor of the header outside the loop,
+// or nil when the header has several outside predecessors.
+func (l *Loop) Preheader() *ir.Block {
+	var ph *ir.Block
+	for _, p := range l.Header.Preds() {
+		if l.Blocks[p] {
+			continue
+		}
+		if ph != nil {
+			return nil
+		}
+		ph = p
+	}
+	return ph
+}
+
+// Latch returns the unique latch block, or nil if there are several.
+func (l *Loop) Latch() *ir.Block {
+	if len(l.Latches) == 1 {
+		return l.Latches[0]
+	}
+	return nil
+}
+
+// ExitingBlocks returns loop blocks with a successor outside the loop.
+func (l *Loop) ExitingBlocks() []*ir.Block {
+	var out []*ir.Block
+	for _, b := range l.BlockList() {
+		for _, s := range b.Succs() {
+			if !l.Blocks[s] {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ExitBlocks returns the distinct blocks outside the loop that are
+// successors of loop blocks, in discovery order.
+func (l *Loop) ExitBlocks() []*ir.Block {
+	seen := map[*ir.Block]bool{}
+	var out []*ir.Block
+	for _, b := range l.BlockList() {
+		for _, s := range b.Succs() {
+			if !l.Blocks[s] && !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// LoopInfo holds all natural loops of a function with their nesting.
+type LoopInfo struct {
+	Func *ir.Function
+	// Top lists the outermost loops in header order.
+	Top []*Loop
+	// All lists every loop, outermost first within a nest.
+	All []*Loop
+	// byBlock maps each block to its innermost containing loop.
+	byBlock map[*ir.Block]*Loop
+}
+
+// FindLoops detects all natural loops of f using its dominator tree.
+func FindLoops(f *ir.Function, dom *DomTree) *LoopInfo {
+	li := &LoopInfo{Func: f, byBlock: map[*ir.Block]*Loop{}}
+	byHeader := map[*ir.Block]*Loop{}
+
+	// Collect back edges (tail -> header where header dominates tail) and
+	// flood each loop body backwards from the tail.
+	for _, b := range dom.RPO {
+		for _, s := range b.Succs() {
+			if !dom.Dominates(s, b) {
+				continue
+			}
+			header := s
+			l := byHeader[header]
+			if l == nil {
+				l = &Loop{Header: header, Blocks: map[*ir.Block]bool{header: true}}
+				byHeader[header] = l
+			}
+			l.Latches = append(l.Latches, b)
+			// Backward flood from the latch.
+			work := []*ir.Block{b}
+			for len(work) > 0 {
+				x := work[len(work)-1]
+				work = work[:len(work)-1]
+				if l.Blocks[x] {
+					continue
+				}
+				l.Blocks[x] = true
+				for _, p := range x.Preds() {
+					if dom.Reachable(p) {
+						work = append(work, p)
+					}
+				}
+			}
+		}
+	}
+
+	// Establish nesting: sort loops by size ascending; a loop's parent is
+	// the smallest strictly larger loop containing its header.
+	var loops []*Loop
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if len(loops[i].Blocks) != len(loops[j].Blocks) {
+			return len(loops[i].Blocks) < len(loops[j].Blocks)
+		}
+		return dom.Num[loops[i].Header] < dom.Num[loops[j].Header]
+	})
+	for i, l := range loops {
+		for _, cand := range loops[i+1:] {
+			if cand != l && cand.Blocks[l.Header] && len(cand.Blocks) > len(l.Blocks) {
+				l.Parent = cand
+				cand.Children = append(cand.Children, l)
+				break
+			}
+		}
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+		if l.Parent == nil {
+			li.Top = append(li.Top, l)
+		}
+	}
+	sort.Slice(li.Top, func(i, j int) bool { return dom.Num[li.Top[i].Header] < dom.Num[li.Top[j].Header] })
+
+	// All: preorder over the nest.
+	var walk func(l *Loop)
+	walk = func(l *Loop) {
+		li.All = append(li.All, l)
+		sort.Slice(l.Children, func(i, j int) bool {
+			return dom.Num[l.Children[i].Header] < dom.Num[l.Children[j].Header]
+		})
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	for _, l := range li.Top {
+		walk(l)
+	}
+
+	// Innermost loop per block: smaller loops processed first win.
+	for _, l := range loops {
+		for b := range l.Blocks {
+			if li.byBlock[b] == nil {
+				li.byBlock[b] = l
+			}
+		}
+	}
+	return li
+}
+
+// LoopOf returns the innermost loop containing b, or nil.
+func (li *LoopInfo) LoopOf(b *ir.Block) *Loop { return li.byBlock[b] }
+
+// Innermost returns the loops that have no children, in preorder.
+func (li *LoopInfo) Innermost() []*Loop {
+	var out []*Loop
+	for _, l := range li.All {
+		if len(l.Children) == 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}

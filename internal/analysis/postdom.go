@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"repro/internal/ir"
+)
+
+// PostDomTree is the postdominator tree of a function, computed with the
+// same iterative algorithm as DomTree over the reversed CFG. A virtual
+// exit block joins all return blocks; blocks whose only postdominator is
+// the virtual exit report nil from IPostDom.
+type PostDomTree struct {
+	Func    *ir.Function
+	virtual *ir.Block
+	rpo     []*ir.Block // reverse postorder of the reversed CFG
+	num     map[*ir.Block]int
+	ipdom   map[*ir.Block]*ir.Block
+}
+
+// NewPostDomTree computes postdominators for f.
+func NewPostDomTree(f *ir.Function) *PostDomTree {
+	p := &PostDomTree{
+		Func:    f,
+		virtual: &ir.Block{Nam: "<virtual-exit>"},
+		num:     map[*ir.Block]int{},
+		ipdom:   map[*ir.Block]*ir.Block{},
+	}
+	preds := map[*ir.Block][]*ir.Block{}
+	var exits []*ir.Block
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+		if t := b.Terminator(); t != nil && t.Op == ir.OpRet {
+			exits = append(exits, b)
+		}
+	}
+	seen := map[*ir.Block]bool{}
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, q := range preds[b] {
+			if !seen[q] {
+				dfs(q)
+			}
+		}
+		post = append(post, b)
+	}
+	for _, e := range exits {
+		if !seen[e] {
+			dfs(e)
+		}
+	}
+	// Number: virtual exit first, then exit-first reverse postorder.
+	p.num[p.virtual] = 0
+	p.ipdom[p.virtual] = p.virtual
+	for i := len(post) - 1; i >= 0; i-- {
+		p.num[post[i]] = len(p.rpo) + 1
+		p.rpo = append(p.rpo, post[i])
+	}
+	for _, e := range exits {
+		p.ipdom[e] = p.virtual
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range p.rpo {
+			if t := b.Terminator(); t != nil && t.Op == ir.OpRet {
+				continue
+			}
+			var newIpdom *ir.Block
+			for _, s := range b.Succs() {
+				if _, ok := p.ipdom[s]; !ok {
+					continue
+				}
+				if newIpdom == nil {
+					newIpdom = s
+				} else {
+					newIpdom = p.intersect(s, newIpdom)
+				}
+			}
+			if newIpdom == nil {
+				continue
+			}
+			if p.ipdom[b] != newIpdom {
+				p.ipdom[b] = newIpdom
+				changed = true
+			}
+		}
+	}
+	return p
+}
+
+func (p *PostDomTree) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for p.num[a] > p.num[b] {
+			a = p.ipdom[a]
+		}
+		for p.num[b] > p.num[a] {
+			b = p.ipdom[b]
+		}
+	}
+	return a
+}
+
+// IPostDom returns the immediate postdominator of b, or nil when it is
+// the virtual exit (b is a return block, or its branches only rejoin at
+// function end) or b cannot reach an exit.
+func (p *PostDomTree) IPostDom(b *ir.Block) *ir.Block {
+	d, ok := p.ipdom[b]
+	if !ok || d == p.virtual {
+		return nil
+	}
+	return d
+}
+
+// PostDominates reports whether a postdominates b (reflexively).
+func (p *PostDomTree) PostDominates(a, b *ir.Block) bool {
+	if _, ok := p.ipdom[b]; !ok {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == p.virtual {
+			return false
+		}
+		b = p.ipdom[b]
+	}
+}

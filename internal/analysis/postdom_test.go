@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestPostDomDiamond(t *testing.T) {
+	f := diamond(t)
+	p := NewPostDomTree(f)
+	entry := f.BlockByName("entry")
+	a := f.BlockByName("a")
+	b := f.BlockByName("b")
+	join := f.BlockByName("join")
+
+	if got := p.IPostDom(entry); got != join {
+		t.Errorf("ipdom(entry) = %v, want join", got)
+	}
+	if got := p.IPostDom(a); got != join {
+		t.Errorf("ipdom(a) = %v, want join", got)
+	}
+	if got := p.IPostDom(b); got != join {
+		t.Errorf("ipdom(b) = %v, want join", got)
+	}
+	if got := p.IPostDom(join); got != nil {
+		t.Errorf("ipdom(join) = %v, want nil (virtual exit)", got)
+	}
+	if !p.PostDominates(join, entry) {
+		t.Error("join should postdominate entry")
+	}
+	if p.PostDominates(a, entry) {
+		t.Error("a should not postdominate entry")
+	}
+	if !p.PostDominates(a, a) {
+		t.Error("postdominance not reflexive")
+	}
+}
+
+func TestPostDomMultipleReturns(t *testing.T) {
+	m := ir.MustParse(`
+define i64 @mr(i64 %x) {
+entry:
+  %c = icmp slt i64 %x, 0
+  br i1 %c, label %neg, label %pos
+neg:
+  ret i64 -1
+pos:
+  ret i64 1
+}
+`)
+	f := m.FuncByName("mr")
+	p := NewPostDomTree(f)
+	// The branches never rejoin: entry's ipdom is the virtual exit.
+	if got := p.IPostDom(f.BlockByName("entry")); got != nil {
+		t.Errorf("ipdom(entry) = %v, want nil", got)
+	}
+	if p.PostDominates(f.BlockByName("neg"), f.BlockByName("entry")) {
+		t.Error("neg postdominates entry despite the pos path")
+	}
+}
+
+func TestPostDomLoop(t *testing.T) {
+	f := whileLoop(t)
+	p := NewPostDomTree(f)
+	hdr := f.BlockByName("for.cond")
+	body := f.BlockByName("for.body")
+	end := f.BlockByName("for.end")
+	if got := p.IPostDom(body); got != hdr {
+		t.Errorf("ipdom(body) = %v, want header", got)
+	}
+	if got := p.IPostDom(hdr); got != end {
+		t.Errorf("ipdom(header) = %v, want for.end", got)
+	}
+	if !p.PostDominates(end, f.BlockByName("entry")) {
+		t.Error("exit should postdominate entry")
+	}
+}
+
+func TestPostDomInfiniteLoopIsolated(t *testing.T) {
+	// A block that cannot reach any exit has no postdominator info.
+	m := ir.MustParse(`
+define void @inf(i1 %c) {
+entry:
+  br i1 %c, label %spin, label %out
+spin:
+  br label %spin
+out:
+  ret void
+}
+`)
+	f := m.FuncByName("inf")
+	p := NewPostDomTree(f)
+	if got := p.IPostDom(f.BlockByName("spin")); got != nil {
+		t.Errorf("ipdom(spin) = %v, want nil", got)
+	}
+	if p.PostDominates(f.BlockByName("out"), f.BlockByName("spin")) {
+		t.Error("out postdominates an exit-unreachable block")
+	}
+}

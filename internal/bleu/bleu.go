@@ -1,0 +1,230 @@
+// Package bleu implements the BLEU-4 naturalness metric for formal
+// languages exactly as the paper's Appendix A defines it: clipped n-gram
+// precision over C token sequences for n = 1..4, combined by geometric
+// mean, with a brevity penalty when the candidate is shorter than the
+// reference. Scores are reported on the 0–100 scale used in Figure 7.
+package bleu
+
+import (
+	"math"
+	"strings"
+)
+
+// Tokenize splits C source into the token stream the n-gram statistics
+// run over: identifiers, numbers, multi-character operators, and
+// punctuation. Whitespace separates tokens; comments and preprocessor
+// line markers are kept as tokens (a pragma is part of the program text
+// being compared).
+func Tokenize(src string) []string {
+	var toks []string
+	i := 0
+	n := len(src)
+	isIdent := func(c byte) bool {
+		return c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+	}
+	multi := []string{
+		"<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+		"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "->",
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				i++
+			}
+			i += 2
+		case c == '#':
+			// Preprocessor directives tokenize word-by-word, so matching
+			// pragmas contributes to the score.
+			i++
+			toks = append(toks, "#")
+		case isIdent(c) && (c < '0' || c > '9'):
+			start := i
+			for i < n && isIdent(src[i]) {
+				i++
+			}
+			toks = append(toks, src[start:i])
+		case '0' <= c && c <= '9' || c == '.' && i+1 < n && '0' <= src[i+1] && src[i+1] <= '9':
+			start := i
+			for i < n && (isIdent(src[i]) || src[i] == '.' ||
+				(src[i] == '+' || src[i] == '-') && i > start && (src[i-1] == 'e' || src[i-1] == 'E')) {
+				i++
+			}
+			toks = append(toks, src[start:i])
+		case c == '"':
+			start := i
+			i++
+			for i < n && src[i] != '"' {
+				i++
+			}
+			i++
+			toks = append(toks, src[start:min(i, n)])
+		default:
+			matched := false
+			for _, m := range multi {
+				if strings.HasPrefix(src[i:], m) {
+					toks = append(toks, m)
+					i += len(m)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				toks = append(toks, string(c))
+				i++
+			}
+		}
+	}
+	return toks
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ngramCounts returns the multiset of n-grams of toks.
+func ngramCounts(toks []string, n int) map[string]int {
+	counts := map[string]int{}
+	for i := 0; i+n <= len(toks); i++ {
+		counts[strings.Join(toks[i:i+n], "\x00")]++
+	}
+	return counts
+}
+
+// precision computes the clipped n-gram precision of candidate against
+// reference: Σ min(C(s,cand), C(s,ref)) / Σ C(s,cand)  (paper Eq. 2).
+func precision(cand, ref []string, n int) (matched, total int) {
+	cc := ngramCounts(cand, n)
+	rc := ngramCounts(ref, n)
+	for g, c := range cc {
+		total += c
+		if r := rc[g]; r > 0 {
+			if r < c {
+				matched += r
+			} else {
+				matched += c
+			}
+		}
+	}
+	return matched, total
+}
+
+// Score computes the BLEU-4 score (0–100) of candidate C source against
+// reference C source.
+func Score(candidate, reference string) float64 {
+	return ScoreTokens(Tokenize(candidate), Tokenize(reference))
+}
+
+// ScoreTokens computes BLEU-4 over pre-tokenized streams.
+func ScoreTokens(cand, ref []string) float64 {
+	if len(cand) == 0 || len(ref) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for n := 1; n <= 4; n++ {
+		matched, total := precision(cand, ref, n)
+		if total == 0 {
+			return 0 // candidate shorter than n tokens
+		}
+		if matched == 0 {
+			return 0 // geometric mean collapses
+		}
+		logSum += math.Log(float64(matched) / float64(total))
+	}
+	geo := math.Exp(logSum / 4)
+
+	// Brevity penalty: candidates shorter than the reference are
+	// penalized exp(1 - ref/cand); longer candidates are not.
+	bp := 1.0
+	if len(cand) < len(ref) {
+		bp = math.Exp(1 - float64(len(ref))/float64(len(cand)))
+	}
+	return 100 * bp * geo
+}
+
+// ScoreMulti computes BLEU-4 against several references: per the
+// original BLEU definition (and the paper's Appendix A note), each
+// candidate n-gram may match whichever reference has the most
+// occurrences, and the brevity penalty uses the closest reference
+// length.
+func ScoreMulti(candidate string, references ...string) float64 {
+	if len(references) == 0 {
+		return 0
+	}
+	cand := Tokenize(candidate)
+	if len(cand) == 0 {
+		return 0
+	}
+	refs := make([][]string, len(references))
+	for i, r := range references {
+		refs[i] = Tokenize(r)
+	}
+	logSum := 0.0
+	for n := 1; n <= 4; n++ {
+		cc := ngramCounts(cand, n)
+		matched, total := 0, 0
+		for g, c := range cc {
+			total += c
+			best := 0
+			for _, rt := range refs {
+				if r := ngramCounts(rt, n)[g]; r > best {
+					best = r
+				}
+			}
+			if best < c {
+				matched += best
+			} else {
+				matched += c
+			}
+		}
+		if total == 0 || matched == 0 {
+			return 0
+		}
+		logSum += math.Log(float64(matched) / float64(total))
+	}
+	geo := math.Exp(logSum / 4)
+	// Closest reference length for the brevity penalty.
+	closest := len(refs[0])
+	for _, rt := range refs[1:] {
+		if absInt(len(rt)-len(cand)) < absInt(closest-len(cand)) {
+			closest = len(rt)
+		}
+	}
+	bp := 1.0
+	if len(cand) < closest {
+		bp = math.Exp(1 - float64(closest)/float64(len(cand)))
+	}
+	return 100 * bp * geo
+}
+
+func absInt(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+// NGramPrecisions reports the per-n clipped precisions (0–1), useful for
+// the Appendix A walkthrough (Figure 10).
+func NGramPrecisions(candidate, reference string) [4]float64 {
+	cand, ref := Tokenize(candidate), Tokenize(reference)
+	var out [4]float64
+	for n := 1; n <= 4; n++ {
+		matched, total := precision(cand, ref, n)
+		if total > 0 {
+			out[n-1] = float64(matched) / float64(total)
+		}
+	}
+	return out
+}

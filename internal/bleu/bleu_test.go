@@ -1,0 +1,212 @@
+package bleu
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize(`for (i = 0; i < N-1; i++) B[i] += A[i] / 3.0; // c`)
+	want := []string{"for", "(", "i", "=", "0", ";", "i", "<", "N", "-", "1",
+		";", "i", "++", ")", "B", "[", "i", "]", "+=", "A", "[", "i", "]",
+		"/", "3.0", ";"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestTokenizePragmaAndComments(t *testing.T) {
+	toks := Tokenize("#pragma omp parallel for /* x */ {}")
+	joined := strings.Join(toks, " ")
+	if !strings.Contains(joined, "# pragma omp parallel for") {
+		t.Errorf("pragma tokens wrong: %v", toks)
+	}
+	if strings.Contains(joined, "x") {
+		t.Errorf("comment not stripped: %v", toks)
+	}
+}
+
+func TestIdenticalScoresHundred(t *testing.T) {
+	src := `
+void f(double* A, long n) {
+  for (long i = 0; i < n; i++) {
+    A[i] = A[i] * 2.0;
+  }
+}
+`
+	if got := Score(src, src); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Score(x,x) = %v, want 100", got)
+	}
+}
+
+func TestDisjointScoresZero(t *testing.T) {
+	if got := Score("alpha beta gamma delta", "w x y z"); got != 0 {
+		t.Errorf("disjoint score = %v, want 0", got)
+	}
+}
+
+func TestBrevityPenaltyAppliesOnlyToShortCandidates(t *testing.T) {
+	ref := "a b c d e f g h i j k l"
+	short := "a b c d e f" // perfect prefix, half length
+	sShort := Score(short, ref)
+	sFull := Score(ref, ref)
+	if sShort >= sFull {
+		t.Errorf("short candidate %v not penalized vs %v", sShort, sFull)
+	}
+	// Longer candidate: no brevity penalty, but precision drops.
+	long := ref + " m n o p"
+	sLong := Score(long, ref)
+	if sLong >= sFull {
+		t.Errorf("longer candidate scored %v >= %v", sLong, sFull)
+	}
+	// Explicit BP check: exp(1 - 12/6) ~ 0.3679 times precision 1.
+	wantShort := 100 * math.Exp(1-2.0)
+	if math.Abs(sShort-wantShort) > 1e-6 {
+		t.Errorf("short = %v, want %v", sShort, wantShort)
+	}
+}
+
+// TestPaperFigure11Ordering reproduces the appendix's hand-crafted
+// example: variable obfuscation, control-flow distortion, and runtime
+// exposure each degrade BLEU, and the unnatural do-while form scores
+// higher than the obfuscated-names form on this reference (the paper's
+// (b) > (a)).
+func TestPaperFigure11Ordering(t *testing.T) {
+	reference := `
+for (i = 1; i < n-1; i++)
+  B[i] = (A[i-1] + A[i] + A[i+1]) / 3;
+`
+	obfuscatedNames := `
+for (var0 = 1; var0 < N - 1; var0++)
+  var1[var0] = (var2[var0-1] + var2[var0] + var2[var0+1]) / 3;
+`
+	unnaturalFlow := `
+if (n - 1 > 0) {
+  i = 1;
+  do {
+    i += 1;
+    B[i] = (A[i-1] + A[i] + A[i+1]) / 3;
+  } while (i < n - 1);
+}
+`
+	runtimeExposed := `
+__kmpc_fork_call(param1, param2, param3, kmp_int32 4, forked_function, param5, A, B, &lb, &ub);
+void forked_function(Type1 arg1, Type2 arg2, double *A, double *B, int *lb, int *ub) {
+  __kmpc_for_static_init_8(arg1, arg2, 33, lb, ub, 1, 1);
+  for (i = *lb; i < *ub; i++)
+    B[i] = (A[i-1] + A[i] + A[i+1]) / 3;
+  __kmpc_for_static_fini(arg1, arg2);
+}
+`
+	ident := Score(reference, reference)
+	a := Score(obfuscatedNames, reference)
+	b := Score(unnaturalFlow, reference)
+	c := Score(runtimeExposed, reference)
+	if !(ident > b && b > a) {
+		t.Errorf("ordering violated: ident=%v b=%v a=%v", ident, b, a)
+	}
+	if a == 0 || b == 0 || c == 0 {
+		t.Errorf("degraded variants should retain some overlap: a=%v b=%v c=%v", a, b, c)
+	}
+	if c >= ident {
+		t.Errorf("runtime-exposed scored %v >= identical %v", c, ident)
+	}
+}
+
+func TestNGramPrecisions(t *testing.T) {
+	// Figure 10: candidate "* ( A + i ) = fn ( j )" vs "A [ i ] = fn ( j )".
+	cand := "*(A + i) = fn(j)"
+	ref := "A[i] = fn(j)"
+	p := NGramPrecisions(cand, ref)
+	if p[0] == 0 {
+		t.Error("1-gram precision zero")
+	}
+	// Exactly one matching 4-gram: "= fn ( j" and "fn ( j )" -> check >0.
+	if p[3] == 0 {
+		t.Error("4-gram precision zero; 'fn ( j )' should match")
+	}
+	for n := 0; n < 3; n++ {
+		if p[n] < p[n+1] {
+			t.Errorf("precision should not increase with n: %v", p)
+		}
+	}
+}
+
+func TestQuickScoreBounds(t *testing.T) {
+	words := []string{"a", "b", "c", "x", "+", "(", ")", "1"}
+	gen := func(seed uint64, n int) string {
+		var sb strings.Builder
+		for i := 0; i < n%24+1; i++ {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			sb.WriteString(words[seed>>33%uint64(len(words))])
+			sb.WriteByte(' ')
+		}
+		return sb.String()
+	}
+	fn := func(s1, s2 uint64, n1, n2 int) bool {
+		a, b := gen(s1, abs(n1)), gen(s2, abs(n2))
+		sc := ScoreTokens(Tokenize(a), Tokenize(b))
+		return sc >= 0 && sc <= 100+1e-9
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(n int) int {
+	if n < 0 {
+		if n == -n { // MinInt
+			return 0
+		}
+		return -n
+	}
+	return n
+}
+
+func TestQuickIdentityIsMaximal(t *testing.T) {
+	fn := func(seed uint64) bool {
+		words := []string{"for", "i", "=", "0", ";", "<", "n", "++", "A", "[", "]"}
+		var sb strings.Builder
+		s := seed
+		for i := 0; i < 12; i++ {
+			s = s*2862933555777941757 + 3037000493
+			sb.WriteString(words[s>>33%uint64(len(words))])
+			sb.WriteByte(' ')
+		}
+		text := sb.String()
+		self := Score(text, text)
+		mutated := Score(text+" extra tokens here", text)
+		return self >= mutated-1e-9
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreMulti(t *testing.T) {
+	cand := "for (i = 0; i < n; i++) A[i] = 0;"
+	ref1 := "for (j = 0; j < n; j++) A[j] = 0;"
+	ref2 := "for (i = 0; i < n; i++) A[i] = 0;"
+	single := Score(cand, ref1)
+	multi := ScoreMulti(cand, ref1, ref2)
+	if multi < single {
+		t.Errorf("multi-reference score %v below single-reference %v", multi, single)
+	}
+	if multi != 100 {
+		t.Errorf("exact match among references scored %v, want 100", multi)
+	}
+	if got := ScoreMulti(cand); got != 0 {
+		t.Errorf("no references scored %v, want 0", got)
+	}
+	// Multi with only one reference equals Score.
+	if a, b := ScoreMulti(cand, ref1), Score(cand, ref1); math.Abs(a-b) > 1e-9 {
+		t.Errorf("ScoreMulti single-ref %v != Score %v", a, b)
+	}
+}

@@ -1,0 +1,337 @@
+// Package cast defines the C abstract syntax tree shared across the
+// toolchain: the frontend parses C source into this AST and lowers it to
+// IR; the decompilers (the naive C backend, the Rellic/Ghidra-style
+// baselines, and SPLENDID) construct this AST from IR; the printer
+// renders it as compilable C. Sharing one AST guarantees that decompiled
+// output is exactly the language the frontend can recompile — the
+// portability property the paper measures.
+package cast
+
+import "fmt"
+
+// Type is a C type.
+type Type interface {
+	CString() string
+	typeNode()
+}
+
+// PrimKind enumerates primitive C types.
+type PrimKind int
+
+// Primitive kinds.
+const (
+	Void PrimKind = iota
+	Bool
+	Char
+	Int
+	Long
+	ULong
+	Float
+	Double
+)
+
+// Prim is a primitive type.
+type Prim struct{ Kind PrimKind }
+
+func (p *Prim) typeNode() {}
+
+// CString returns the C spelling of the type.
+func (p *Prim) CString() string {
+	switch p.Kind {
+	case Void:
+		return "void"
+	case Bool:
+		return "int"
+	case Char:
+		return "char"
+	case Int:
+		return "int"
+	case Long:
+		return "long"
+	case ULong:
+		return "uint64_t"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	}
+	return "int"
+}
+
+// Shared primitive instances.
+var (
+	VoidT   = &Prim{Void}
+	IntT    = &Prim{Int}
+	LongT   = &Prim{Long}
+	ULongT  = &Prim{ULong}
+	FloatT  = &Prim{Float}
+	DoubleT = &Prim{Double}
+	CharT   = &Prim{Char}
+)
+
+// PtrT is a pointer type.
+type PtrT struct{ To Type }
+
+func (p *PtrT) typeNode() {}
+
+// CString returns the C spelling of the pointer type.
+func (p *PtrT) CString() string { return p.To.CString() + "*" }
+
+// ArrT is an array type with a constant length.
+type ArrT struct {
+	N    int
+	Elem Type
+}
+
+func (a *ArrT) typeNode() {}
+
+// CString returns the element-type spelling; declarators carry the
+// bracket suffix (see DeclString).
+func (a *ArrT) CString() string { return fmt.Sprintf("%s[%d]", a.Elem.CString(), a.N) }
+
+// DeclString renders "T name" with array suffixes in declarator position,
+// e.g. ("double[10][20]", "A") → "double A[10][20]".
+func DeclString(t Type, name string) string {
+	suffix := ""
+	for {
+		a, ok := t.(*ArrT)
+		if !ok {
+			break
+		}
+		suffix += fmt.Sprintf("[%d]", a.N)
+		t = a.Elem
+	}
+	return t.CString() + " " + name + suffix
+}
+
+// --- Expressions ---
+
+// Expr is a C expression node.
+type Expr interface{ exprNode() }
+
+// Ident is a variable reference.
+type Ident struct{ Name string }
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// FloatLit is a floating literal.
+type FloatLit struct{ V float64 }
+
+// StrLit is a string literal (only used in diagnostics/printf-ish calls).
+type StrLit struct{ S string }
+
+// Bin is a binary operation; Op is the C spelling ("+", "<=", "&&", ...).
+type Bin struct {
+	Op   string
+	L, R Expr
+}
+
+// Un is a unary operation; Op is "-", "!", "*", or "&".
+type Un struct {
+	Op string
+	X  Expr
+}
+
+// Index is array subscripting.
+type Index struct {
+	Base Expr
+	Idx  Expr
+}
+
+// Call is a function call by name.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// CastE is an explicit conversion.
+type CastE struct {
+	T Type
+	X Expr
+}
+
+// Ternary is c ? a : b.
+type Ternary struct {
+	C, T, F Expr
+}
+
+// Assign is an assignment expression; Op is "=", "+=", etc.
+type Assign struct {
+	Op  string
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is ++/-- applied to an lvalue.
+type IncDec struct {
+	X    Expr
+	Op   string // "++" or "--"
+	Post bool
+}
+
+// Paren forces explicit grouping in printed output.
+type Paren struct{ X Expr }
+
+func (*Ident) exprNode()    {}
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*StrLit) exprNode()   {}
+func (*Bin) exprNode()      {}
+func (*Un) exprNode()       {}
+func (*Index) exprNode()    {}
+func (*Call) exprNode()     {}
+func (*CastE) exprNode()    {}
+func (*Ternary) exprNode()  {}
+func (*Assign) exprNode()   {}
+func (*IncDec) exprNode()   {}
+func (*Paren) exprNode()    {}
+
+// --- Statements ---
+
+// Stmt is a C statement node.
+type Stmt interface{ stmtNode() }
+
+// Decl declares (and optionally initializes) a local variable.
+type Decl struct {
+	T    Type
+	Name string
+	Init Expr
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// If is an if/else statement.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *If, or nil
+}
+
+// For is a canonical counted for statement.
+type For struct {
+	Init Stmt // *Decl or *ExprStmt or nil
+	Cond Expr
+	Post Stmt // *ExprStmt or nil
+	Body *Block
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body *Block
+}
+
+// DoWhile is a do-while loop.
+type DoWhile struct {
+	Body *Block
+	Cond Expr
+}
+
+// Return returns from a function; X may be nil.
+type Return struct{ X Expr }
+
+// Block is a brace-enclosed statement list.
+type Block struct{ Stmts []Stmt }
+
+// Goto transfers to a label (used by the naive C backend output).
+type Goto struct{ Label string }
+
+// Label marks a goto target.
+type Label struct{ Name string }
+
+// Break exits the innermost loop.
+type Break struct{}
+
+// Continue jumps to the next iteration.
+type Continue struct{}
+
+// OmpParallel is "#pragma omp parallel { ... }".
+type OmpParallel struct {
+	Private []string
+	Body    *Block
+}
+
+// Reduction is one "reduction(op: var)" clause item.
+type Reduction struct {
+	Op  string // "+" or "*"
+	Var string
+}
+
+// OmpFor is "#pragma omp for schedule(static[,chunk]) [nowait]" applied
+// to the following for loop.
+type OmpFor struct {
+	Schedule   string // "static" (the subset Polly needs)
+	Chunk      int    // 0 = unspecified
+	NoWait     bool
+	Private    []string
+	Reductions []Reduction
+	Loop       *For
+}
+
+// OmpParallelFor is the combined "#pragma omp parallel for" form.
+type OmpParallelFor struct {
+	Schedule   string
+	Chunk      int
+	Private    []string
+	Reductions []Reduction
+	Loop       *For
+}
+
+// OmpBarrier is "#pragma omp barrier".
+type OmpBarrier struct{}
+
+func (*Decl) stmtNode()           {}
+func (*ExprStmt) stmtNode()       {}
+func (*If) stmtNode()             {}
+func (*For) stmtNode()            {}
+func (*While) stmtNode()          {}
+func (*DoWhile) stmtNode()        {}
+func (*Return) stmtNode()         {}
+func (*Block) stmtNode()          {}
+func (*Goto) stmtNode()           {}
+func (*Label) stmtNode()          {}
+func (*Break) stmtNode()          {}
+func (*Continue) stmtNode()       {}
+func (*OmpParallel) stmtNode()    {}
+func (*OmpFor) stmtNode()         {}
+func (*OmpParallelFor) stmtNode() {}
+func (*OmpBarrier) stmtNode()     {}
+
+// --- Top level ---
+
+// Param is a function parameter.
+type Param struct {
+	T        Type
+	Name     string
+	Restrict bool
+}
+
+// FuncDecl is a function definition or declaration (nil Body).
+type FuncDecl struct {
+	Ret    Type
+	Name   string
+	Params []Param
+	Body   *Block
+}
+
+// VarDecl is a file-scope variable.
+type VarDecl struct {
+	T    Type
+	Name string
+	Init Expr
+}
+
+// DefineDecl is a "#define NAME value" constant.
+type DefineDecl struct {
+	Name  string
+	Value int64
+}
+
+// File is a translation unit.
+type File struct {
+	Defines []DefineDecl
+	Vars    []*VarDecl
+	Funcs   []*FuncDecl
+}

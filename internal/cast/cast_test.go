@@ -1,0 +1,205 @@
+package cast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExprPrecedence(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Bin{Op: "+", L: &Ident{Name: "a"}, R: &Bin{Op: "*", L: &Ident{Name: "b"}, R: &Ident{Name: "c"}}},
+			"a + b * c"},
+		{&Bin{Op: "*", L: &Bin{Op: "+", L: &Ident{Name: "a"}, R: &Ident{Name: "b"}}, R: &Ident{Name: "c"}},
+			"(a + b) * c"},
+		{&Bin{Op: "-", L: &Ident{Name: "a"}, R: &Bin{Op: "-", L: &Ident{Name: "b"}, R: &Ident{Name: "c"}}},
+			"a - (b - c)"},
+		{&Un{Op: "-", X: &Bin{Op: "+", L: &Ident{Name: "a"}, R: &Ident{Name: "b"}}},
+			"-(a + b)"},
+		{&Index{Base: &Ident{Name: "A"}, Idx: &Bin{Op: "+", L: &Ident{Name: "i"}, R: &IntLit{V: 1}}},
+			"A[i + 1]"},
+		{&Un{Op: "*", X: &Bin{Op: "+", L: &Ident{Name: "p"}, R: &Ident{Name: "i"}}},
+			"*(p + i)"},
+		{&Ternary{C: &Bin{Op: "<", L: &Ident{Name: "a"}, R: &Ident{Name: "b"}},
+			T: &Ident{Name: "a"}, F: &Ident{Name: "b"}},
+			"a < b ? a : b"},
+		{&CastE{T: DoubleT, X: &Ident{Name: "n"}}, "(double)n"},
+		{&Assign{Op: "+=", LHS: &Ident{Name: "s"}, RHS: &IntLit{V: 2}}, "s += 2"},
+		{&IncDec{X: &Ident{Name: "i"}, Op: "++", Post: true}, "i++"},
+		{&FloatLit{V: 3}, "3.0"},
+		{&FloatLit{V: 0.5}, "0.5"},
+		{&Bin{Op: "&&", L: &Bin{Op: "<", L: &Ident{Name: "a"}, R: &IntLit{V: 0}},
+			R: &Bin{Op: ">", L: &Ident{Name: "b"}, R: &IntLit{V: 0}}},
+			"a < 0 && b > 0"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDeclString(t *testing.T) {
+	cases := []struct {
+		t    Type
+		name string
+		want string
+	}{
+		{LongT, "n", "long n"},
+		{&PtrT{To: DoubleT}, "p", "double* p"},
+		{&ArrT{N: 10, Elem: DoubleT}, "A", "double A[10]"},
+		{&ArrT{N: 10, Elem: &ArrT{N: 20, Elem: DoubleT}}, "M", "double M[10][20]"},
+	}
+	for _, c := range cases {
+		if got := DeclString(c.t, c.name); got != c.want {
+			t.Errorf("DeclString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func demoFile() *File {
+	loop := &For{
+		Init: &Decl{T: LongT, Name: "i", Init: &IntLit{V: 0}},
+		Cond: &Bin{Op: "<", L: &Ident{Name: "i"}, R: &Ident{Name: "n"}},
+		Post: &ExprStmt{X: &IncDec{X: &Ident{Name: "i"}, Op: "++", Post: true}},
+		Body: &Block{Stmts: []Stmt{
+			&ExprStmt{X: &Assign{Op: "=",
+				LHS: &Index{Base: &Ident{Name: "A"}, Idx: &Ident{Name: "i"}},
+				RHS: &IntLit{V: 0}}},
+		}},
+	}
+	return &File{
+		Vars: []*VarDecl{{T: &ArrT{N: 100, Elem: DoubleT}, Name: "A"}},
+		Funcs: []*FuncDecl{{
+			Ret: VoidT, Name: "zero",
+			Params: []Param{{T: LongT, Name: "n"}},
+			Body: &Block{Stmts: []Stmt{
+				&OmpParallel{Body: &Block{Stmts: []Stmt{
+					&OmpFor{Schedule: "static", NoWait: true, Loop: loop},
+				}}},
+				&Return{},
+			}},
+		}},
+	}
+}
+
+func TestPrintOpenMPStructure(t *testing.T) {
+	got := Print(demoFile())
+	for _, want := range []string{
+		"double A[100];",
+		"void zero(long n) {",
+		"#pragma omp parallel\n",
+		"#pragma omp for schedule(static) nowait",
+		"for (long i = 0; i < n; i++) {",
+		"A[i] = 0;",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("printed output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPrintControlFlowForms(t *testing.T) {
+	f := &File{Funcs: []*FuncDecl{{
+		Ret: LongT, Name: "f", Params: []Param{{T: LongT, Name: "x"}},
+		Body: &Block{Stmts: []Stmt{
+			&If{
+				Cond: &Bin{Op: "<", L: &Ident{Name: "x"}, R: &IntLit{V: 0}},
+				Then: &Block{Stmts: []Stmt{&Return{X: &IntLit{V: -1}}}},
+				Else: &If{
+					Cond: &Bin{Op: ">", L: &Ident{Name: "x"}, R: &IntLit{V: 0}},
+					Then: &Block{Stmts: []Stmt{&Return{X: &IntLit{V: 1}}}},
+				},
+			},
+			&While{Cond: &Bin{Op: "<", L: &Ident{Name: "x"}, R: &IntLit{V: 5}},
+				Body: &Block{Stmts: []Stmt{&ExprStmt{X: &IncDec{X: &Ident{Name: "x"}, Op: "++", Post: true}}}}},
+			&DoWhile{Body: &Block{Stmts: []Stmt{&ExprStmt{X: &IncDec{X: &Ident{Name: "x"}, Op: "--", Post: true}}}},
+				Cond: &Bin{Op: ">", L: &Ident{Name: "x"}, R: &IntLit{V: 0}}},
+			&Label{Name: "out"},
+			&Goto{Label: "out"},
+			&Return{X: &IntLit{V: 0}},
+		}},
+	}}}
+	got := Print(f)
+	for _, want := range []string{
+		"} else if (x > 0) {",
+		"while (x < 5) {",
+		"do {",
+		"} while (x > 0);",
+		"out:;",
+		"goto out;",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestExcerptFunc(t *testing.T) {
+	f := demoFile()
+	got := ExcerptFunc(f, "zero")
+	if !strings.Contains(got, "void zero(long n)") {
+		t.Errorf("excerpt wrong:\n%s", got)
+	}
+	if ExcerptFunc(f, "missing") != "" {
+		t.Error("excerpt of missing function non-empty")
+	}
+}
+
+func TestPrintStability(t *testing.T) {
+	a := Print(demoFile())
+	b := Print(demoFile())
+	if a != b {
+		t.Error("Print not deterministic")
+	}
+}
+
+func TestPrintRemainingStatements(t *testing.T) {
+	f := &File{
+		Defines: []DefineDecl{{Name: "N", Value: 8}},
+		Funcs: []*FuncDecl{{
+			Ret: VoidT, Name: "g",
+			Body: &Block{Stmts: []Stmt{
+				&Break{},
+				&Continue{},
+				&OmpBarrier{},
+				&Block{Stmts: []Stmt{&ExprStmt{X: &StrLit{S: "hi"}}}},
+				&OmpParallelFor{Schedule: "static", Chunk: 4,
+					Reductions: []Reduction{{Op: "+", Var: "s"}},
+					Loop: &For{
+						Init: &Decl{T: LongT, Name: "i", Init: &IntLit{V: 0}},
+						Cond: &Bin{Op: "<", L: &Ident{Name: "i"}, R: &IntLit{V: 8}},
+						Post: &ExprStmt{X: &IncDec{X: &Ident{Name: "i"}, Op: "++", Post: true}},
+						Body: &Block{},
+					}},
+			}},
+		}},
+	}
+	got := Print(f)
+	for _, want := range []string{
+		"#define N 8",
+		"break;", "continue;", "#pragma omp barrier",
+		"\"hi\";",
+		"#pragma omp parallel for schedule(static, 4) reduction(+: s)",
+		"void g() {",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestParenAndPrivateClause(t *testing.T) {
+	e := &Paren{X: &Bin{Op: "+", L: &Ident{Name: "a"}, R: &Ident{Name: "b"}}}
+	if got := ExprString(e); got != "(a + b)" {
+		t.Errorf("paren = %q", got)
+	}
+	p := &OmpParallel{Private: []string{"x", "y"}, Body: &Block{}}
+	f := &File{Funcs: []*FuncDecl{{Ret: VoidT, Name: "h",
+		Body: &Block{Stmts: []Stmt{p}}}}}
+	if got := Print(f); !strings.Contains(got, "#pragma omp parallel private(x, y)") {
+		t.Errorf("private clause missing:\n%s", got)
+	}
+}

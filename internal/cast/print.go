@@ -1,0 +1,348 @@
+package cast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the file as compilable C source.
+func Print(f *File) string {
+	p := &printer{}
+	for _, d := range f.Defines {
+		p.writef("#define %s %d\n", d.Name, d.Value)
+	}
+	if len(f.Defines) > 0 {
+		p.writef("\n")
+	}
+	for _, v := range f.Vars {
+		p.writef("%s", DeclString(v.T, v.Name))
+		if v.Init != nil {
+			p.writef(" = %s", ExprString(v.Init))
+		}
+		p.writef(";\n")
+	}
+	if len(f.Vars) > 0 {
+		p.writef("\n")
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			p.writef("\n")
+		}
+		p.printFunc(fn)
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) writef(format string, args ...any) {
+	fmt.Fprintf(&p.b, format, args...)
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("  ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) printFunc(fn *FuncDecl) {
+	var params []string
+	for _, pr := range fn.Params {
+		n := pr.Name
+		if pr.Restrict {
+			if pt, ok := pr.T.(*PtrT); ok {
+				params = append(params, pt.To.CString()+"* restrict "+n)
+				continue
+			}
+		}
+		params = append(params, DeclString(pr.T, n))
+	}
+	sig := fmt.Sprintf("%s %s(%s)", fn.Ret.CString(), fn.Name, strings.Join(params, ", "))
+	if fn.Body == nil {
+		p.writef("%s;\n", sig)
+		return
+	}
+	p.writef("%s {\n", sig)
+	p.indent++
+	for _, s := range fn.Body.Stmts {
+		p.printStmt(s)
+	}
+	p.indent--
+	p.writef("}\n")
+}
+
+func (p *printer) printBlockBody(b *Block) {
+	p.indent++
+	for _, s := range b.Stmts {
+		p.printStmt(s)
+	}
+	p.indent--
+}
+
+func (p *printer) printStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Decl:
+		if st.Init != nil {
+			p.line("%s = %s;", DeclString(st.T, st.Name), ExprString(st.Init))
+		} else {
+			p.line("%s;", DeclString(st.T, st.Name))
+		}
+	case *ExprStmt:
+		p.line("%s;", ExprString(st.X))
+	case *If:
+		p.line("if (%s) {", ExprString(st.Cond))
+		p.printBlockBody(st.Then)
+		switch e := st.Else.(type) {
+		case nil:
+			p.line("}")
+		case *Block:
+			p.line("} else {")
+			p.printBlockBody(e)
+			p.line("}")
+		case *If:
+			p.b.WriteString(strings.Repeat("  ", p.indent))
+			p.b.WriteString("} else ")
+			// Print the chained if inline without leading indent.
+			saved := p.indent
+			p.printElseIf(e)
+			p.indent = saved
+		default:
+			p.line("} else {")
+			p.indent++
+			p.printStmt(e)
+			p.indent--
+			p.line("}")
+		}
+	case *For:
+		p.line("for (%s %s; %s) {", forClause(st.Init), exprOrEmpty(st.Cond), forPost(st.Post))
+		p.printBlockBody(st.Body)
+		p.line("}")
+	case *While:
+		p.line("while (%s) {", ExprString(st.Cond))
+		p.printBlockBody(st.Body)
+		p.line("}")
+	case *DoWhile:
+		p.line("do {")
+		p.printBlockBody(st.Body)
+		p.line("} while (%s);", ExprString(st.Cond))
+	case *Return:
+		if st.X != nil {
+			p.line("return %s;", ExprString(st.X))
+		} else {
+			p.line("return;")
+		}
+	case *Block:
+		p.line("{")
+		p.printBlockBody(st)
+		p.line("}")
+	case *Goto:
+		p.line("goto %s;", st.Label)
+	case *Label:
+		p.writef("%s:;\n", st.Name)
+	case *Break:
+		p.line("break;")
+	case *Continue:
+		p.line("continue;")
+	case *OmpParallel:
+		p.line("#pragma omp parallel%s", privateClause(st.Private))
+		p.line("{")
+		p.printBlockBody(st.Body)
+		p.line("}")
+	case *OmpFor:
+		p.line("#pragma omp for %s%s%s%s", scheduleClause(st.Schedule, st.Chunk), nowaitClause(st.NoWait), privateClause(st.Private), reductionClause(st.Reductions))
+		p.printStmt(st.Loop)
+	case *OmpParallelFor:
+		p.line("#pragma omp parallel for %s%s%s", scheduleClause(st.Schedule, st.Chunk), privateClause(st.Private), reductionClause(st.Reductions))
+		p.printStmt(st.Loop)
+	case *OmpBarrier:
+		p.line("#pragma omp barrier")
+	default:
+		p.line("/* unknown stmt %T */", s)
+	}
+}
+
+func (p *printer) printElseIf(st *If) {
+	p.writef("if (%s) {\n", ExprString(st.Cond))
+	p.printBlockBody(st.Then)
+	switch e := st.Else.(type) {
+	case nil:
+		p.line("}")
+	case *Block:
+		p.line("} else {")
+		p.printBlockBody(e)
+		p.line("}")
+	case *If:
+		p.b.WriteString(strings.Repeat("  ", p.indent))
+		p.b.WriteString("} else ")
+		p.printElseIf(e)
+	}
+}
+
+func scheduleClause(s string, chunk int) string {
+	if s == "" {
+		return ""
+	}
+	if chunk > 0 {
+		return fmt.Sprintf("schedule(%s, %d)", s, chunk)
+	}
+	return fmt.Sprintf("schedule(%s)", s)
+}
+
+func nowaitClause(nw bool) string {
+	if nw {
+		return " nowait"
+	}
+	return ""
+}
+
+func reductionClause(rs []Reduction) string {
+	if len(rs) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, r := range rs {
+		parts = append(parts, fmt.Sprintf("reduction(%s: %s)", r.Op, r.Var))
+	}
+	return " " + strings.Join(parts, " ")
+}
+
+func privateClause(names []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	return " private(" + strings.Join(names, ", ") + ")"
+}
+
+func forClause(s Stmt) string {
+	switch st := s.(type) {
+	case nil:
+		return ";"
+	case *Decl:
+		if st.Init != nil {
+			return fmt.Sprintf("%s = %s;", DeclString(st.T, st.Name), ExprString(st.Init))
+		}
+		return DeclString(st.T, st.Name) + ";"
+	case *ExprStmt:
+		return ExprString(st.X) + ";"
+	}
+	return ";"
+}
+
+func forPost(s Stmt) string {
+	if es, ok := s.(*ExprStmt); ok {
+		return ExprString(es.X)
+	}
+	return ""
+}
+
+func exprOrEmpty(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	return ExprString(e)
+}
+
+// Operator precedence for minimal parenthesization (C levels).
+var precOf = map[string]int{
+	"*": 10, "/": 10, "%": 10,
+	"+": 9, "-": 9,
+	"<<": 8, ">>": 8,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"==": 6, "!=": 6,
+	"&": 5, "^": 4, "|": 3,
+	"&&": 2, "||": 1,
+}
+
+// ExprString renders an expression with minimal parentheses.
+func ExprString(e Expr) string {
+	return exprPrec(e, 0)
+}
+
+func exprPrec(e Expr, parent int) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return strconv.FormatInt(x.V, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(x.V, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *StrLit:
+		return strconv.Quote(x.S)
+	case *Bin:
+		prec := precOf[x.Op]
+		s := exprPrec(x.L, prec) + " " + x.Op + " " + exprPrec(x.R, prec+1)
+		if prec < parent {
+			return "(" + s + ")"
+		}
+		return s
+	case *Un:
+		s := x.Op + exprPrec(x.X, 11)
+		if parent > 11 {
+			return "(" + s + ")"
+		}
+		return s
+	case *Index:
+		return exprPrec(x.Base, 12) + "[" + ExprString(x.Idx) + "]"
+	case *Call:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, ExprString(a))
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *CastE:
+		return "(" + x.T.CString() + ")" + exprPrec(x.X, 11)
+	case *Ternary:
+		s := exprPrec(x.C, 3) + " ? " + ExprString(x.T) + " : " + ExprString(x.F)
+		if parent > 0 {
+			return "(" + s + ")"
+		}
+		return s
+	case *Assign:
+		return exprPrec(x.LHS, 12) + " " + x.Op + " " + ExprString(x.RHS)
+	case *IncDec:
+		if x.Post {
+			return exprPrec(x.X, 12) + x.Op
+		}
+		return x.Op + exprPrec(x.X, 12)
+	case *Paren:
+		return "(" + ExprString(x.X) + ")"
+	}
+	return "/*?*/"
+}
+
+// ExcerptFunc renders only the named function from the file (empty
+// string when absent). Used by examples and diagnostics to show one
+// region of a decompilation.
+func ExcerptFunc(f *File, name string) string {
+	for _, fn := range f.Funcs {
+		if fn.Name == name || sanitizedEq(fn.Name, name) {
+			p := &printer{}
+			p.printFunc(fn)
+			return p.b.String()
+		}
+	}
+	return ""
+}
+
+func sanitizedEq(a, b string) bool {
+	norm := func(s string) string {
+		out := make([]byte, len(s))
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '.' || c == '-' {
+				c = '_'
+			}
+			out[i] = c
+		}
+		return string(out)
+	}
+	return norm(a) == norm(b)
+}

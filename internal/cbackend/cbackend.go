@@ -1,0 +1,33 @@
+// Package cbackend reimplements the LLVM C Backend the paper describes
+// as SPLENDID's substrate (§5.1): a close-to-one-to-one translation from
+// IR instructions to C statements where branches become goto statements,
+// every block is labeled, and SSA values turn into machine-flavored
+// local variables. Its output is deliberately unstructured — it is both
+// a decompilation baseline and the floor SPLENDID improves upon.
+package cbackend
+
+import (
+	"repro/internal/cast"
+	"repro/internal/decomp"
+	"repro/internal/ir"
+)
+
+// Decompile translates the whole module in the naive goto style.
+func Decompile(m *ir.Module) *cast.File {
+	opts := decomp.Options{
+		Structured: false,
+		Fold:       false,
+		Name:       decomp.IRNamer("llvm_cbe_"),
+	}
+	return decomp.TranslateModule(m, opts, nil)
+}
+
+// DecompileFunction translates a single function.
+func DecompileFunction(f *ir.Function) *cast.FuncDecl {
+	opts := decomp.Options{
+		Structured: false,
+		Fold:       false,
+		Name:       decomp.IRNamer("llvm_cbe_"),
+	}
+	return decomp.TranslateFunction(f, opts)
+}

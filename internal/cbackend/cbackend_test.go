@@ -1,0 +1,64 @@
+package cbackend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/ir"
+)
+
+const loopIR = `
+@A = global [10 x i64] zeroinitializer
+define void @fill(i64 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %g = getelementptr [10 x i64], [10 x i64]* @A, i64 0, i64 %i
+  store i64 %i, i64* %g
+  %i.next = add i64 %i, 1
+  br label %head
+done:
+  ret void
+}
+`
+
+func TestGotoStyle(t *testing.T) {
+	m := ir.MustParse(loopIR)
+	c := cast.Print(Decompile(m))
+	// One-to-one translation: every block labeled, branches are gotos,
+	// no loop constructs.
+	for _, want := range []string{"entry:;", "head:;", "body:;", "done:;",
+		"goto head;", "goto body;", "goto done;", "llvm_cbe_i ="} {
+		if !strings.Contains(c, want) {
+			t.Errorf("missing %q:\n%s", want, c)
+		}
+	}
+	for _, reject := range []string{"for (", "while (", "do {"} {
+		if strings.Contains(c, reject) {
+			t.Errorf("structured construct %q in naive backend output:\n%s", reject, c)
+		}
+	}
+}
+
+func TestOneStatementPerInstruction(t *testing.T) {
+	m := ir.MustParse(loopIR)
+	c := cast.Print(Decompile(m))
+	// No expression folding: the gep and the comparison are separate
+	// assignments.
+	if !strings.Contains(c, "llvm_cbe_g = ") || !strings.Contains(c, "llvm_cbe_c = ") {
+		t.Errorf("instructions folded in naive backend:\n%s", c)
+	}
+}
+
+func TestDecompileFunctionMatchesModule(t *testing.T) {
+	m := ir.MustParse(loopIR)
+	fd := DecompileFunction(m.FuncByName("fill"))
+	if fd.Name != "fill" || len(fd.Params) != 1 {
+		t.Errorf("signature wrong: %s/%d", fd.Name, len(fd.Params))
+	}
+}

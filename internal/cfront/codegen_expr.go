@@ -1,0 +1,478 @@
+package cfront
+
+import (
+	"math"
+
+	"repro/internal/cast"
+	"repro/internal/ir"
+)
+
+// externSigs lists the auto-declared external functions and their
+// signatures in the cell-unit runtime model.
+var externSigs = map[string]*ir.FuncType{
+	"exp":       {Ret: ir.F64, Params: []ir.Type{ir.F64}},
+	"log":       {Ret: ir.F64, Params: []ir.Type{ir.F64}},
+	"sqrt":      {Ret: ir.F64, Params: []ir.Type{ir.F64}},
+	"fabs":      {Ret: ir.F64, Params: []ir.Type{ir.F64}},
+	"sin":       {Ret: ir.F64, Params: []ir.Type{ir.F64}},
+	"cos":       {Ret: ir.F64, Params: []ir.Type{ir.F64}},
+	"floor":     {Ret: ir.F64, Params: []ir.Type{ir.F64}},
+	"ceil":      {Ret: ir.F64, Params: []ir.Type{ir.F64}},
+	"pow":       {Ret: ir.F64, Params: []ir.Type{ir.F64, ir.F64}},
+	"malloc":    {Ret: ir.Ptr(ir.I8), Params: []ir.Type{ir.I64}},
+	"free":      {Ret: ir.Void, Params: []ir.Type{ir.Ptr(ir.I8)}},
+	"print_i64": {Ret: ir.Void, Params: []ir.Type{ir.I64}},
+	"print_f64": {Ret: ir.Void, Params: []ir.Type{ir.F64}},
+}
+
+func (c *compiler) runtime(name string) *ir.Function {
+	if f, ok := c.decls[name]; ok {
+		return f
+	}
+	var f *ir.Function
+	if sig, ok := externSigs[name]; ok {
+		f = c.mod.DeclareFunc(name, sig)
+	}
+	if f == nil {
+		// OpenMP runtime entries.
+		rts := ompDecls(c.mod)
+		f = rts[name]
+	}
+	c.decls[name] = f
+	return f
+}
+
+// asCond converts (v, ct) to an i1 truth value.
+func (c *compiler) asCond(v ir.Value, ct cast.Type) ir.Value {
+	if isBoolCT(ct) {
+		return v
+	}
+	if isFloatCT(ct) {
+		return c.bd.FCmp(ir.CmpNE, v, ir.F64Const(0), "tobool")
+	}
+	if isPtrCT(ct) {
+		return c.bd.ICmp(ir.CmpNE, v, ir.Null(v.Type().(*ir.PtrType)), "tobool")
+	}
+	return c.bd.ICmp(ir.CmpNE, v, ir.I64Const(0), "tobool")
+}
+
+// convert coerces (v, from C type) to the C type `to`.
+func (c *compiler) convert(v ir.Value, from, to cast.Type) ir.Value {
+	switch {
+	case isFloatCT(to) && isBoolCT(from):
+		z := c.bd.Cast(ir.OpZExt, v, ir.I64, "conv")
+		return c.bd.Cast(ir.OpSIToFP, z, ir.F64, "conv")
+	case isFloatCT(to) && !isFloatCT(from) && !isPtrCT(from):
+		return c.bd.Cast(ir.OpSIToFP, v, ir.F64, "conv")
+	case !isFloatCT(to) && !isPtrCT(to) && isFloatCT(from):
+		return c.bd.Cast(ir.OpFPToSI, v, ir.I64, "conv")
+	case !isFloatCT(to) && !isPtrCT(to) && isBoolCT(from):
+		return c.bd.Cast(ir.OpZExt, v, ir.I64, "conv")
+	case isPtrCT(to) && isPtrCT(from):
+		wt := irType(to)
+		if !v.Type().Equal(wt) {
+			return c.bd.Cast(ir.OpBitcast, v, wt, "cast")
+		}
+		return v
+	}
+	return v
+}
+
+// decayValue converts the address of an array object into a pointer to
+// its first element (C array-to-pointer decay).
+func (c *compiler) decayValue(addr ir.Value, at *cast.ArrT) (ir.Value, cast.Type) {
+	p := c.bd.GEP(addr, []ir.Value{ir.I64Const(0), ir.I64Const(0)}, "decay")
+	return p, &cast.PtrT{To: at.Elem}
+}
+
+// genAddr computes the address of an lvalue. It returns the pointer value
+// and the C type of the pointed-at storage.
+func (c *compiler) genAddr(e cast.Expr) (ir.Value, cast.Type, error) {
+	switch x := e.(type) {
+	case *cast.Ident:
+		if vi := c.lookup(x.Name); vi != nil {
+			return vi.addr, vi.ctype, nil
+		}
+		if g := c.mod.GlobalByName(x.Name); g != nil {
+			return g, c.globalCType(x.Name), nil
+		}
+		return nil, nil, c.errf("undefined variable %q", x.Name)
+
+	case *cast.Un:
+		if x.Op != "*" {
+			return nil, nil, c.errf("cannot take address of unary %q", x.Op)
+		}
+		pv, pct, err := c.genExpr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt, ok := pct.(*cast.PtrT)
+		if !ok {
+			return nil, nil, c.errf("dereference of non-pointer")
+		}
+		return pv, pt.To, nil
+
+	case *cast.Index:
+		baddr, bct, err := c.genAddr(x.Base)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx, ict, err := c.genExpr(x.Idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx = c.convert(idx, ict, cast.LongT)
+		switch bt := bct.(type) {
+		case *cast.ArrT:
+			p := c.bd.GEP(baddr, []ir.Value{ir.I64Const(0), idx}, "arrayidx")
+			return p, bt.Elem, nil
+		case *cast.PtrT:
+			pv := c.bd.Load(baddr, "ptrload")
+			p := c.bd.GEP(pv, []ir.Value{idx}, "arrayidx")
+			return p, bt.To, nil
+		}
+		return nil, nil, c.errf("indexing non-array/pointer")
+
+	case *cast.Paren:
+		return c.genAddr(x.X)
+	}
+	return nil, nil, c.errf("expression is not an lvalue (%T)", e)
+}
+
+func (c *compiler) globalCType(name string) cast.Type {
+	for _, v := range c.file.Vars {
+		if v.Name == name {
+			return v.T
+		}
+	}
+	return cast.LongT
+}
+
+// genExpr generates code for an expression, returning the IR value and
+// its C type.
+func (c *compiler) genExpr(e cast.Expr) (ir.Value, cast.Type, error) {
+	switch x := e.(type) {
+	case *cast.IntLit:
+		return ir.I64Const(x.V), cast.LongT, nil
+	case *cast.FloatLit:
+		return ir.F64Const(x.V), cast.DoubleT, nil
+	case *cast.StrLit:
+		return ir.I64Const(0), cast.LongT, c.errf("string literals unsupported in expressions")
+
+	case *cast.Ident:
+		if x.Name == "M_PI" {
+			return ir.F64Const(math.Pi), cast.DoubleT, nil
+		}
+		addr, ct, err := c.genAddr(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		if at, ok := ct.(*cast.ArrT); ok {
+			v, dct := c.decayValue(addr, at)
+			return v, dct, nil
+		}
+		return c.bd.Load(addr, x.Name), ct, nil
+
+	case *cast.Paren:
+		return c.genExpr(x.X)
+
+	case *cast.Index:
+		addr, ct, err := c.genAddr(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		if at, ok := ct.(*cast.ArrT); ok {
+			v, dct := c.decayValue(addr, at)
+			return v, dct, nil
+		}
+		return c.bd.Load(addr, "load"), ct, nil
+
+	case *cast.Un:
+		return c.genUnary(x)
+
+	case *cast.Bin:
+		return c.genBinary(x)
+
+	case *cast.Ternary:
+		cond, cct, err := c.genExpr(x.C)
+		if err != nil {
+			return nil, nil, err
+		}
+		cv := c.asCond(cond, cct)
+		tv, tct, err := c.genExpr(x.T)
+		if err != nil {
+			return nil, nil, err
+		}
+		fv, fct, err := c.genExpr(x.F)
+		if err != nil {
+			return nil, nil, err
+		}
+		rt := tct
+		if isFloatCT(tct) || isFloatCT(fct) {
+			rt = cast.DoubleT
+			tv = c.convert(tv, tct, rt)
+			fv = c.convert(fv, fct, rt)
+		}
+		return c.bd.Select(cv, tv, fv, "cond"), rt, nil
+
+	case *cast.CastE:
+		v, ct, err := c.genExpr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.convert(v, ct, x.T), x.T, nil
+
+	case *cast.Assign:
+		return c.genAssign(x)
+
+	case *cast.IncDec:
+		addr, ct, err := c.genAddr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		old := c.bd.Load(addr, "inc.old")
+		var nv ir.Value
+		one := ir.I64Const(1)
+		if isFloatCT(ct) {
+			fone := ir.F64Const(1)
+			if x.Op == "++" {
+				nv = c.bd.Bin(ir.OpFAdd, old, fone, "inc")
+			} else {
+				nv = c.bd.Bin(ir.OpFSub, old, fone, "dec")
+			}
+		} else {
+			if x.Op == "++" {
+				nv = c.bd.Bin(ir.OpAdd, old, one, "inc")
+			} else {
+				nv = c.bd.Bin(ir.OpSub, old, one, "dec")
+			}
+		}
+		c.bd.Store(nv, addr)
+		if x.Post {
+			return old, ct, nil
+		}
+		return nv, ct, nil
+
+	case *cast.Call:
+		return c.genCall(x)
+	}
+	return nil, nil, c.errf("unsupported expression %T", e)
+}
+
+func (c *compiler) genUnary(x *cast.Un) (ir.Value, cast.Type, error) {
+	switch x.Op {
+	case "-":
+		v, ct, err := c.genExpr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if isFloatCT(ct) {
+			return c.bd.FNeg(v, "neg"), ct, nil
+		}
+		return c.bd.Bin(ir.OpSub, ir.I64Const(0), c.convert(v, ct, cast.LongT), "neg"), cast.LongT, nil
+	case "!":
+		v, ct, err := c.genExpr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		cv := c.asCond(v, ct)
+		return c.bd.Bin(ir.OpXor, cv, ir.BoolConst(true), "lnot"), &cast.Prim{Kind: cast.Bool}, nil
+	case "*":
+		addr, ct, err := c.genAddr(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.bd.Load(addr, "deref"), ct, nil
+	case "&":
+		addr, ct, err := c.genAddr(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return addr, &cast.PtrT{To: ct}, nil
+	}
+	return nil, nil, c.errf("unsupported unary %q", x.Op)
+}
+
+var intBinOps = map[string]ir.Op{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpSDiv, "%": ir.OpSRem,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor, "<<": ir.OpShl, ">>": ir.OpAShr,
+}
+
+var floatBinOps = map[string]ir.Op{
+	"+": ir.OpFAdd, "-": ir.OpFSub, "*": ir.OpFMul, "/": ir.OpFDiv,
+}
+
+var cmpPreds = map[string]ir.CmpPred{
+	"==": ir.CmpEQ, "!=": ir.CmpNE, "<": ir.CmpSLT, "<=": ir.CmpSLE,
+	">": ir.CmpSGT, ">=": ir.CmpSGE,
+}
+
+func (c *compiler) genBinary(x *cast.Bin) (ir.Value, cast.Type, error) {
+	// Logical && / || evaluate both sides (documented deviation: no
+	// short-circuit; the pipeline's inputs are side-effect-free
+	// conditions, and decompiled output uses bitwise forms anyway).
+	if x.Op == "&&" || x.Op == "||" {
+		lv, lct, err := c.genExpr(x.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		rv, rct, err := c.genExpr(x.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		lb, rb := c.asCond(lv, lct), c.asCond(rv, rct)
+		op := ir.OpAnd
+		if x.Op == "||" {
+			op = ir.OpOr
+		}
+		return c.bd.Bin(op, lb, rb, "logic"), &cast.Prim{Kind: cast.Bool}, nil
+	}
+
+	lv, lct, err := c.genExpr(x.L)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, rct, err := c.genExpr(x.R)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if pred, isCmp := cmpPreds[x.Op]; isCmp {
+		boolT := &cast.Prim{Kind: cast.Bool}
+		switch {
+		case isPtrCT(lct) || isPtrCT(rct):
+			return c.bd.ICmp(pred, lv, rv, "cmp"), boolT, nil
+		case isFloatCT(lct) || isFloatCT(rct):
+			return c.bd.FCmp(pred, c.convert(lv, lct, cast.DoubleT), c.convert(rv, rct, cast.DoubleT), "cmp"), boolT, nil
+		default:
+			return c.bd.ICmp(pred, c.convert(lv, lct, cast.LongT), c.convert(rv, rct, cast.LongT), "cmp"), boolT, nil
+		}
+	}
+
+	// Pointer arithmetic: p + n, p - n.
+	if isPtrCT(lct) && (x.Op == "+" || x.Op == "-") {
+		n := c.convert(rv, rct, cast.LongT)
+		if x.Op == "-" {
+			n = c.bd.Bin(ir.OpSub, ir.I64Const(0), n, "ptrdiff")
+		}
+		return c.bd.GEP(lv, []ir.Value{n}, "ptradd"), lct, nil
+	}
+
+	if isFloatCT(lct) || isFloatCT(rct) {
+		op, ok := floatBinOps[x.Op]
+		if !ok {
+			return nil, nil, c.errf("operator %q not valid on floating operands", x.Op)
+		}
+		return c.bd.Bin(op, c.convert(lv, lct, cast.DoubleT), c.convert(rv, rct, cast.DoubleT), binName(x.Op)), cast.DoubleT, nil
+	}
+	op, ok := intBinOps[x.Op]
+	if !ok {
+		return nil, nil, c.errf("unsupported operator %q", x.Op)
+	}
+	return c.bd.Bin(op, c.convert(lv, lct, cast.LongT), c.convert(rv, rct, cast.LongT), binName(x.Op)), cast.LongT, nil
+}
+
+func binName(op string) string {
+	switch op {
+	case "+":
+		return "add"
+	case "-":
+		return "sub"
+	case "*":
+		return "mul"
+	case "/":
+		return "div"
+	case "%":
+		return "rem"
+	}
+	return "bin"
+}
+
+func (c *compiler) genAssign(x *cast.Assign) (ir.Value, cast.Type, error) {
+	addr, ct, err := c.genAddr(x.LHS)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, rct, err := c.genExpr(x.RHS)
+	if err != nil {
+		return nil, nil, err
+	}
+	var nv ir.Value
+	if x.Op == "=" {
+		nv = c.convert(rv, rct, ct)
+	} else {
+		op := x.Op[:len(x.Op)-1] // "+=" -> "+"
+		old := c.bd.Load(addr, "cur")
+		if isFloatCT(ct) {
+			fop, ok := floatBinOps[op]
+			if !ok {
+				return nil, nil, c.errf("operator %q= not valid on floats", op)
+			}
+			nv = c.bd.Bin(fop, old, c.convert(rv, rct, cast.DoubleT), binName(op))
+		} else {
+			iop, ok := intBinOps[op]
+			if !ok {
+				return nil, nil, c.errf("unsupported operator %q=", op)
+			}
+			nv = c.bd.Bin(iop, old, c.convert(rv, rct, cast.LongT), binName(op))
+		}
+	}
+	c.bd.Store(nv, addr)
+	return nv, ct, nil
+}
+
+func (c *compiler) genCall(x *cast.Call) (ir.Value, cast.Type, error) {
+	f := c.mod.FuncByName(x.Name)
+	if f == nil {
+		f = c.runtime(x.Name)
+	}
+	if f == nil {
+		return nil, nil, c.errf("call to undefined function %q", x.Name)
+	}
+	if !f.Sig.Variadic && len(x.Args) != len(f.Sig.Params) {
+		return nil, nil, c.errf("call to %q with %d args, want %d", x.Name, len(x.Args), len(f.Sig.Params))
+	}
+	var args []ir.Value
+	for i, a := range x.Args {
+		v, ct, err := c.genExpr(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i < len(f.Sig.Params) {
+			want := f.Sig.Params[i]
+			switch {
+			case ir.IsFloatType(want) && !isFloatCT(ct):
+				v = c.convert(v, ct, cast.DoubleT)
+			case ir.IsIntegerType(want) && isFloatCT(ct):
+				v = c.convert(v, ct, cast.LongT)
+			case ir.IsIntegerType(want) && isBoolCT(ct):
+				v = c.convert(v, ct, cast.LongT)
+			case ir.IsPtrType(want) && isPtrCT(ct) && !v.Type().Equal(want):
+				v = c.bd.Cast(ir.OpBitcast, v, want, "cast")
+			}
+		}
+		args = append(args, v)
+	}
+	call := c.bd.Call(f, args, callName(x.Name, f))
+	return call, returnCType(f), nil
+}
+
+func callName(name string, f *ir.Function) string {
+	if ir.IsVoid(f.Sig.Ret) {
+		return ""
+	}
+	return "call." + name
+}
+
+func returnCType(f *ir.Function) cast.Type {
+	switch {
+	case ir.IsVoid(f.Sig.Ret):
+		return cast.VoidT
+	case ir.IsFloatType(f.Sig.Ret):
+		return cast.DoubleT
+	case ir.IsPtrType(f.Sig.Ret):
+		return &cast.PtrT{To: cast.CharT}
+	default:
+		return cast.LongT
+	}
+}

@@ -1,0 +1,256 @@
+package cfront
+
+import (
+	"repro/internal/cast"
+)
+
+// Binary operator precedence (C levels; assignment and ternary handled
+// separately).
+var binPrec = map[string]int{
+	"*": 10, "/": 10, "%": 10,
+	"+": 9, "-": 9,
+	"<<": 8, ">>": 8,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"==": 6, "!=": 6,
+	"&": 5, "^": 4, "|": 3,
+	"&&": 2, "||": 1,
+}
+
+// expr parses a full expression including assignments (lowest precedence).
+func (p *cparser) expr() (cast.Expr, error) {
+	return p.assignExpr()
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+func (p *cparser) assignExpr() (cast.Expr, error) {
+	lhs, err := p.ternaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok().kind == tkPunct && assignOps[p.tok().text] {
+		op := p.next().text
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &cast.Assign{Op: op, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *cparser) ternaryExpr() (cast.Expr, error) {
+	cond, err := p.binExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("?") {
+		return cond, nil
+	}
+	t, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	f, err := p.ternaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &cast.Ternary{C: cond, T: t, F: f}, nil
+}
+
+func (p *cparser) binExpr(minPrec int) (cast.Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		if t.kind != tkPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next().text
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &cast.Bin{Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *cparser) unaryExpr() (cast.Expr, error) {
+	t := p.tok()
+	switch {
+	case p.isPunct("-"):
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &cast.Un{Op: "-", X: x}, nil
+	case p.isPunct("!"):
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &cast.Un{Op: "!", X: x}, nil
+	case p.isPunct("*"):
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &cast.Un{Op: "*", X: x}, nil
+	case p.isPunct("&"):
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &cast.Un{Op: "&", X: x}, nil
+	case p.isPunct("++") || p.isPunct("--"):
+		op := p.next().text
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &cast.IncDec{X: x, Op: op, Post: false}, nil
+	case p.isPunct("(") && p.peekIsType():
+		p.pos++
+		ct, err := p.typeWithStars()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &cast.CastE{T: ct, X: x}, nil
+	case p.isIdent("sizeof"):
+		// Cell-unit memory model: sizeof(T) is one cell.
+		p.pos++
+		if p.accept("(") {
+			if p.peekIsTypeHere() {
+				if _, err := p.typeWithStars(); err != nil {
+					return nil, err
+				}
+			} else if _, err := p.expr(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		return &cast.IntLit{V: 1}, nil
+	}
+	_ = t
+	return p.postfixExpr()
+}
+
+// peekIsType checks whether the token after "(" begins a type (cast).
+func (p *cparser) peekIsType() bool {
+	t := p.peek(1)
+	if t.kind != tkIdent {
+		return false
+	}
+	switch t.text {
+	case "int", "long", "double", "float", "void", "char", "uint64_t", "unsigned":
+		return true
+	}
+	return false
+}
+
+func (p *cparser) peekIsTypeHere() bool {
+	t := p.tok()
+	if t.kind != tkIdent {
+		return false
+	}
+	switch t.text {
+	case "int", "long", "double", "float", "void", "char", "uint64_t", "unsigned":
+		return true
+	}
+	return false
+}
+
+func (p *cparser) postfixExpr() (cast.Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("["):
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &cast.Index{Base: e, Idx: idx}
+		case p.isPunct("++") || p.isPunct("--"):
+			op := p.next().text
+			e = &cast.IncDec{X: e, Op: op, Post: true}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *cparser) primaryExpr() (cast.Expr, error) {
+	t := p.tok()
+	switch {
+	case t.kind == tkInt:
+		p.pos++
+		return &cast.IntLit{V: t.i}, nil
+	case t.kind == tkFloat:
+		p.pos++
+		return &cast.FloatLit{V: t.f}, nil
+	case t.kind == tkStr:
+		p.pos++
+		return &cast.StrLit{S: t.text}, nil
+	case p.isPunct("("):
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.kind == tkIdent && !keywords[t.text]:
+		p.pos++
+		name := t.text
+		if p.isPunct("(") {
+			p.pos++
+			call := &cast.Call{Name: name}
+			for !p.accept(")") {
+				if len(call.Args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			return call, nil
+		}
+		return &cast.Ident{Name: name}, nil
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}

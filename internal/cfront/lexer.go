@@ -1,0 +1,217 @@
+// Package cfront is the C frontend: a lexer, a recursive-descent parser
+// producing the shared cast AST, and a code generator lowering that AST
+// to IR with full debug metadata (every local variable gets an alloca and
+// a dbg.value declaration, as Clang emits at -O0).
+//
+// The frontend also lowers the OpenMP subset the paper's pipeline uses
+// (#pragma omp parallel / for schedule(static) [nowait] / barrier /
+// private) to __kmpc_* runtime calls, which is what makes
+// SPLENDID-decompiled source recompilable and re-runnable — the
+// portability experiment of paper §5.2.
+package cfront
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tkKind int
+
+const (
+	tkEOF tkKind = iota
+	tkIdent
+	tkInt
+	tkFloat
+	tkStr
+	tkPunct
+	tkPragma // full "#pragma ..." payload in text
+)
+
+type tk struct {
+	kind tkKind
+	text string
+	i    int64
+	f    float64
+	line int
+}
+
+type lexer struct {
+	src     string
+	pos     int
+	line    int
+	toks    []tk
+	defines map[string]int64
+}
+
+var keywords = map[string]bool{
+	"int": true, "long": true, "double": true, "float": true, "void": true,
+	"char": true, "uint64_t": true, "unsigned": true,
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"return": true, "break": true, "continue": true, "goto": true,
+	"restrict": true, "sizeof": true, "static": true, "const": true,
+}
+
+// lex tokenizes src, expanding #define constants and capturing #pragma
+// lines verbatim. #include lines are ignored.
+func lex(src string) (*lexer, error) {
+	l := &lexer{src: src, line: 1, defines: map[string]int64{}}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		case c == '#':
+			if err := l.directive(); err != nil {
+				return nil, err
+			}
+		case isAlpha(c):
+			start := l.pos
+			for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+				l.pos++
+			}
+			name := l.src[start:l.pos]
+			if v, ok := l.defines[name]; ok {
+				l.toks = append(l.toks, tk{kind: tkInt, i: v, text: name, line: l.line})
+			} else {
+				l.toks = append(l.toks, tk{kind: tkIdent, text: name, line: l.line})
+			}
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				l.pos++
+			}
+			l.toks = append(l.toks, tk{kind: tkStr, text: l.src[start:l.pos], line: l.line})
+			l.pos++
+		default:
+			l.punct()
+		}
+	}
+	l.toks = append(l.toks, tk{kind: tkEOF, line: l.line})
+	return l, nil
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z'
+}
+
+func isAlnum(c byte) bool { return isAlpha(c) || '0' <= c && c <= '9' }
+
+func (l *lexer) restOfLine() string {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) directive() error {
+	l.pos++ // '#'
+	start := l.pos
+	for l.pos < len(l.src) && isAlpha(l.src[l.pos]) {
+		l.pos++
+	}
+	switch word := l.src[start:l.pos]; word {
+	case "define":
+		rest := strings.Fields(l.restOfLine())
+		if len(rest) != 2 {
+			return fmt.Errorf("line %d: #define expects NAME VALUE", l.line)
+		}
+		v, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: #define %s: non-integer value %q", l.line, rest[0], rest[1])
+		}
+		l.defines[rest[0]] = v
+	case "include":
+		l.restOfLine()
+	case "pragma":
+		text := strings.TrimSpace(l.restOfLine())
+		l.toks = append(l.toks, tk{kind: tkPragma, text: text, line: l.line})
+	default:
+		return fmt.Errorf("line %d: unsupported directive #%s", l.line, word)
+	}
+	return nil
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+		} else if c == '.' {
+			isFloat = true
+			l.pos++
+		} else if c == 'e' || c == 'E' {
+			isFloat = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		} else {
+			break
+		}
+	}
+	text := l.src[start:l.pos]
+	// Swallow suffixes (L, UL, f).
+	for l.pos < len(l.src) && strings.ContainsRune("uUlLfF", rune(l.src[l.pos])) {
+		if l.src[l.pos] == 'f' || l.src[l.pos] == 'F' {
+			isFloat = true
+		}
+		l.pos++
+	}
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad float %q", l.line, text)
+		}
+		l.toks = append(l.toks, tk{kind: tkFloat, f: f, text: text, line: l.line})
+		return nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return fmt.Errorf("line %d: bad integer %q", l.line, text)
+	}
+	l.toks = append(l.toks, tk{kind: tkInt, i: v, text: text, line: l.line})
+	return nil
+}
+
+var multiPunct = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "->",
+}
+
+func (l *lexer) punct() {
+	for _, mp := range multiPunct {
+		if strings.HasPrefix(l.src[l.pos:], mp) {
+			l.toks = append(l.toks, tk{kind: tkPunct, text: mp, line: l.line})
+			l.pos += len(mp)
+			return
+		}
+	}
+	l.toks = append(l.toks, tk{kind: tkPunct, text: string(l.src[l.pos]), line: l.line})
+	l.pos++
+}

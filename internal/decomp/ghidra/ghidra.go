@@ -1,0 +1,45 @@
+// Package ghidra reimplements the output style of the Ghidra decompiler,
+// the paper's binary-level baseline. Ghidra consumes stripped binaries:
+// all debug metadata and symbol names are gone, so the decompiled source
+// uses synthetic names (param_1, uVar2, local_18, DAT_00100040), and its
+// house style wraps operands in explicit casts. Control flow is
+// structured (do-while for rotated loops), but parallel runtime calls
+// survive untranslated.
+package ghidra
+
+import (
+	"repro/internal/cast"
+	"repro/internal/decomp"
+	"repro/internal/ir"
+)
+
+// Decompile strips the module (a fresh deep copy — the input is not
+// modified) and translates it in Ghidra style.
+func Decompile(m *ir.Module) *cast.File {
+	stripped := Strip(m)
+	opts := decomp.Options{
+		Structured: true,
+		ForLoops:   false,
+		Fold:       false,
+		CastHappy:  true,
+		Name:       decomp.GhidraNamer(),
+	}
+	return decomp.TranslateModule(stripped, opts, nil)
+}
+
+// Strip returns a copy of the module with debug intrinsics removed —
+// the binary-level information loss Ghidra operates under.
+func Strip(m *ir.Module) *ir.Module {
+	text := m.Print()
+	sm := ir.MustParse(text)
+	for _, f := range sm.Funcs {
+		for _, b := range f.Blocks {
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				if b.Instrs[i].Op == ir.OpDbgValue {
+					b.Remove(i)
+				}
+			}
+		}
+	}
+	return sm
+}

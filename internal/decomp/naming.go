@@ -1,0 +1,119 @@
+package decomp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// IRNamer names values after their IR names (the C backend substrate
+// style, prefixed to look register-derived).
+func IRNamer(prefix string) Namer {
+	memo := map[ir.Value]string{}
+	return func(v ir.Value) string {
+		if n, ok := memo[v]; ok {
+			return n
+		}
+		var n string
+		switch x := v.(type) {
+		case *ir.Global:
+			n = sanitize(x.Nam) // globals keep their symbol names
+		case *ir.Instr:
+			n = prefix + sanitize(x.Nam)
+		case *ir.Param:
+			n = prefix + sanitize(x.Nam)
+		default:
+			n = prefix + "tmp"
+		}
+		memo[v] = n
+		return n
+	}
+}
+
+// SeqNamer numbers values in discovery order with a fixed stem:
+// val1, val2, ... (the Rellic house style).
+func SeqNamer(stem string) Namer {
+	memo := map[ir.Value]string{}
+	n := 0
+	return func(v ir.Value) string {
+		if g, ok := v.(*ir.Global); ok {
+			return sanitize(g.Nam)
+		}
+		if name, ok := memo[v]; ok {
+			return name
+		}
+		n++
+		name := fmt.Sprintf("%s%d", stem, n)
+		memo[v] = name
+		return name
+	}
+}
+
+// GhidraNamer mimics Ghidra's decompiler naming: parameters become
+// param_N, values become uVarN or dVarN by type, and stack slots become
+// local_<hex>. Global data keeps its symbol-table name — debug
+// information is stripped from the evaluated binaries, but data symbols
+// survive in the ELF symtab, and Ghidra displays them.
+func GhidraNamer() Namer {
+	memo := map[ir.Value]string{}
+	vars, locals, params := 0, 0, 0
+	return func(v ir.Value) string {
+		if g, ok := v.(*ir.Global); ok {
+			return sanitize(g.Nam)
+		}
+		if name, ok := memo[v]; ok {
+			return name
+		}
+		var name string
+		switch x := v.(type) {
+		case *ir.Param:
+			params++
+			name = fmt.Sprintf("param_%d", params)
+		case *ir.Instr:
+			if x.Op == ir.OpAlloca {
+				locals++
+				name = fmt.Sprintf("local_%x", 0x10+locals*8)
+			} else if ir.IsFloatType(x.Type()) {
+				vars++
+				name = fmt.Sprintf("dVar%d", vars)
+			} else {
+				vars++
+				name = fmt.Sprintf("uVar%d", vars)
+			}
+		default:
+			vars++
+			name = fmt.Sprintf("uVar%d", vars)
+		}
+		memo[v] = name
+		return name
+	}
+}
+
+// SourceNamer resolves names through a SPLENDID variable map (IR value ->
+// source variable), falling back to the raw IR name. Values mapped to the
+// same source variable share one C variable.
+func SourceNamer(varMap map[ir.Value]string) Namer {
+	memo := map[ir.Value]string{}
+	return func(v ir.Value) string {
+		if n, ok := memo[v]; ok {
+			return n
+		}
+		var n string
+		if src, ok := varMap[v]; ok && src != "" {
+			n = sanitize(src)
+		} else {
+			switch x := v.(type) {
+			case *ir.Global:
+				n = sanitize(x.Nam)
+			case *ir.Instr:
+				n = sanitize(x.Nam)
+			case *ir.Param:
+				n = sanitize(x.Nam)
+			default:
+				n = "tmp"
+			}
+		}
+		memo[v] = n
+		return n
+	}
+}

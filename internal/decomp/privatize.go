@@ -1,0 +1,161 @@
+package decomp
+
+import (
+	"repro/internal/cast"
+)
+
+// privatizeRegionLocals moves the declaration of every variable that is
+// referenced only inside one parallel region from function scope into
+// that region. This realizes the paper's §4.1.3 observation — "if the
+// earliest definition of a variable is inside the parallel region,
+// declaring it inside the parallel region by default makes the variable
+// private" — and it is a correctness requirement for recompilation:
+// a worker-local temporary left at function scope would be shared and
+// raced on.
+func privatizeRegionLocals(fd *cast.FuncDecl) {
+	// Count name occurrences across the whole body, and find the
+	// top-level declarations we are allowed to move.
+	total := map[string]int{}
+	countNames(fd.Body, total)
+
+	var decls []*cast.Decl
+	declIdx := map[string]int{}
+	for i, st := range fd.Body.Stmts {
+		if d, ok := st.(*cast.Decl); ok && d.Init == nil {
+			decls = append(decls, d)
+			declIdx[d.Name] = i
+		}
+	}
+	if len(decls) == 0 {
+		return
+	}
+
+	moved := map[string]bool{}
+	var visitRegions func(stmts []cast.Stmt)
+	visitRegions = func(stmts []cast.Stmt) {
+		for _, st := range stmts {
+			switch x := st.(type) {
+			case *cast.OmpParallel:
+				inRegion := map[string]int{}
+				countNames(x.Body, inRegion)
+				for _, d := range decls {
+					if moved[d.Name] {
+						continue
+					}
+					// All mentions (minus the top-level declaration
+					// itself) live inside this region: privatize.
+					if inRegion[d.Name] > 0 && inRegion[d.Name] == total[d.Name] {
+						moved[d.Name] = true
+						x.Body.Stmts = append([]cast.Stmt{&cast.Decl{T: d.T, Name: d.Name}}, x.Body.Stmts...)
+					}
+				}
+				// Regions do not nest further, but walk anyway.
+				visitRegions(x.Body.Stmts)
+			case *cast.If:
+				visitRegions(x.Then.Stmts)
+				if eb, ok := x.Else.(*cast.Block); ok {
+					visitRegions(eb.Stmts)
+				} else if ei, ok := x.Else.(*cast.If); ok {
+					visitRegions([]cast.Stmt{ei})
+				}
+			case *cast.For:
+				visitRegions(x.Body.Stmts)
+			case *cast.While:
+				visitRegions(x.Body.Stmts)
+			case *cast.DoWhile:
+				visitRegions(x.Body.Stmts)
+			case *cast.Block:
+				visitRegions(x.Stmts)
+			case *cast.OmpFor:
+				visitRegions(x.Loop.Body.Stmts)
+			case *cast.OmpParallelFor:
+				visitRegions(x.Loop.Body.Stmts)
+			}
+		}
+	}
+	visitRegions(fd.Body.Stmts)
+
+	if len(moved) == 0 {
+		return
+	}
+	var kept []cast.Stmt
+	for _, st := range fd.Body.Stmts {
+		if d, ok := st.(*cast.Decl); ok && moved[d.Name] && d.Init == nil {
+			continue
+		}
+		kept = append(kept, st)
+	}
+	fd.Body.Stmts = kept
+}
+
+// countNames tallies identifier occurrences (in expressions and
+// declarations) under a statement tree.
+func countNames(n any, out map[string]int) {
+	switch x := n.(type) {
+	case nil:
+	case *cast.Block:
+		for _, s := range x.Stmts {
+			countNames(s, out)
+		}
+	case *cast.Decl:
+		countNames(x.Init, out)
+	case *cast.ExprStmt:
+		countNames(x.X, out)
+	case *cast.If:
+		countNames(x.Cond, out)
+		countNames(x.Then, out)
+		if x.Else != nil {
+			countNames(x.Else, out)
+		}
+	case *cast.For:
+		if x.Init != nil {
+			countNames(x.Init, out)
+		}
+		countNames(x.Cond, out)
+		if x.Post != nil {
+			countNames(x.Post, out)
+		}
+		countNames(x.Body, out)
+	case *cast.While:
+		countNames(x.Cond, out)
+		countNames(x.Body, out)
+	case *cast.DoWhile:
+		countNames(x.Cond, out)
+		countNames(x.Body, out)
+	case *cast.Return:
+		countNames(x.X, out)
+	case *cast.OmpParallel:
+		countNames(x.Body, out)
+	case *cast.OmpFor:
+		countNames(x.Loop, out)
+	case *cast.OmpParallelFor:
+		countNames(x.Loop, out)
+	case *cast.Ident:
+		out[x.Name]++
+	case *cast.Bin:
+		countNames(x.L, out)
+		countNames(x.R, out)
+	case *cast.Un:
+		countNames(x.X, out)
+	case *cast.Index:
+		countNames(x.Base, out)
+		countNames(x.Idx, out)
+	case *cast.Call:
+		for _, a := range x.Args {
+			countNames(a, out)
+		}
+	case *cast.CastE:
+		countNames(x.X, out)
+	case *cast.Ternary:
+		countNames(x.C, out)
+		countNames(x.T, out)
+		countNames(x.F, out)
+	case *cast.Assign:
+		countNames(x.LHS, out)
+		countNames(x.RHS, out)
+	case *cast.IncDec:
+		countNames(x.X, out)
+	case *cast.Paren:
+		countNames(x.X, out)
+	}
+}

@@ -1,0 +1,42 @@
+// Package rellic reimplements the output style of Rellic, the
+// state-of-the-art LLVM-to-C decompiler the paper uses as its primary
+// baseline (Table 1, Figures 1 and 7). Rellic structures control flow —
+// rotated loops come out as do-while statements behind explicit guard
+// checks — but performs no parallel-runtime elimination: __kmpc_* calls
+// and parallelization setup instructions appear verbatim in the output,
+// making it unportable, and variables carry register-derived val<N>
+// names.
+package rellic
+
+import (
+	"repro/internal/cast"
+	"repro/internal/decomp"
+	"repro/internal/ir"
+)
+
+// Decompile translates the module in Rellic style. Outlined microtasks
+// are emitted as ordinary functions, exactly as Rellic shows them.
+func Decompile(m *ir.Module) *cast.File {
+	opts := decomp.Options{
+		Structured: true,
+		ForLoops:   false, // rotated loops stay do-while
+		Fold:       false,
+		CastHappy:  true, // "(long)val8 <= (long)val10" per Figure 1
+		PtrArith:   true, // addresses flow through pointer temporaries
+		Name:       decomp.SeqNamer("val"),
+	}
+	return decomp.TranslateModule(m, opts, nil)
+}
+
+// DecompileFunction translates one function in Rellic style.
+func DecompileFunction(f *ir.Function) *cast.FuncDecl {
+	opts := decomp.Options{
+		Structured: true,
+		ForLoops:   false,
+		Fold:       false,
+		CastHappy:  true,
+		PtrArith:   true,
+		Name:       decomp.SeqNamer("val"),
+	}
+	return decomp.TranslateFunction(f, opts)
+}

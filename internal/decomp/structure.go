@@ -1,0 +1,593 @@
+package decomp
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/cast"
+	"repro/internal/ir"
+)
+
+// TranslateFunction decompiles one IR function into a C function.
+func TranslateFunction(f *ir.Function, opts Options) *cast.FuncDecl {
+	tr := newTranslator(f, opts)
+	s := &structurizer{
+		tr:        tr,
+		f:         f,
+		opts:      opts,
+		emitted:   map[*ir.Block]bool{},
+		gotoTgt:   map[*ir.Block]bool{},
+		forIVMemo: map[*ir.Block]*ir.Instr{},
+		noTopDecl: map[string]bool{},
+	}
+	if opts.Structured {
+		s.dom = analysis.NewDomTree(f)
+		s.pdom = analysis.NewPostDomTree(f)
+		s.li = analysis.FindLoops(f, s.dom)
+	}
+
+	var body []cast.Stmt
+	if opts.Structured {
+		body = s.emitSeq(f.Entry(), nil)
+	} else {
+		body = s.emitRaw()
+	}
+	body = stripUnusedLabels(body, s.gotoTgt)
+
+	fd := &cast.FuncDecl{
+		Ret:  CType(f.Sig.Ret),
+		Name: sanitize(f.Nam),
+	}
+	for _, p := range f.Params {
+		fd.Params = append(fd.Params, cast.Param{T: CType(p.Typ), Name: tr.name(p)})
+	}
+	// Local declarations first, then the statements.
+	var decls []cast.Stmt
+	for _, name := range tr.declOrder {
+		if s.noTopDecl[name] {
+			continue
+		}
+		decls = append(decls, &cast.Decl{T: tr.declType[name], Name: name})
+	}
+	// A trailing bare return at the end of a void function is implicit
+	// in C; dropping it reads more naturally.
+	if ir.IsVoid(f.Sig.Ret) && len(body) > 0 {
+		if r, ok := body[len(body)-1].(*cast.Return); ok && r.X == nil {
+			body = body[:len(body)-1]
+		}
+	}
+	fd.Body = &cast.Block{Stmts: append(decls, body...)}
+	privatizeRegionLocals(fd)
+	if opts.Info != nil {
+		for _, p := range f.Params {
+			opts.Info.DeclaredVars = append(opts.Info.DeclaredVars, tr.name(p))
+		}
+		opts.Info.DeclaredVars = append(opts.Info.DeclaredVars, tr.declOrder...)
+	}
+	return fd
+}
+
+// TranslateModule decompiles globals and every defined function,
+// filtered by keep (nil keeps all).
+func TranslateModule(m *ir.Module, opts Options, keep func(*ir.Function) bool) *cast.File {
+	file := &cast.File{}
+	name := func(g *ir.Global) string {
+		if opts.Name != nil {
+			return opts.Name(g)
+		}
+		return sanitize(g.Nam)
+	}
+	for _, g := range m.Globals {
+		vd := &cast.VarDecl{T: CType(g.Elem), Name: name(g)}
+		if g.Init != nil {
+			switch c := g.Init.(type) {
+			case *ir.ConstInt:
+				vd.Init = &cast.IntLit{V: c.V}
+			case *ir.ConstFloat:
+				vd.Init = &cast.FloatLit{V: c.V}
+			}
+		}
+		file.Vars = append(file.Vars, vd)
+	}
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if keep != nil && !keep(f) {
+			continue
+		}
+		file.Funcs = append(file.Funcs, TranslateFunction(f, opts))
+	}
+	return file
+}
+
+type structurizer struct {
+	tr   *translator
+	f    *ir.Function
+	opts Options
+
+	dom  *analysis.DomTree
+	pdom *analysis.PostDomTree
+	li   *analysis.LoopInfo
+
+	emitted   map[*ir.Block]bool
+	gotoTgt   map[*ir.Block]bool
+	loopStack []*analysis.Loop
+	// pendingLoopBr is the latch branch of the do-while currently being
+	// emitted; reaching it ends body emission.
+	pendingLoopBr *ir.Instr
+	// forIVMemo caches the for-loop decision per header.
+	forIVMemo map[*ir.Block]*ir.Instr
+	noTopDecl map[string]bool
+}
+
+// --- unstructured (naive C backend) emission ---
+
+func (s *structurizer) emitRaw() []cast.Stmt {
+	var out []cast.Stmt
+	for _, b := range s.f.Blocks {
+		out = append(out, &cast.Label{Name: fmtLabel(b)})
+		s.gotoTgt[b] = true // the naive backend labels every block
+		out = append(out, s.tr.stmtsForBlock(b)...)
+		term := b.Terminator()
+		if term == nil {
+			continue
+		}
+		switch term.Op {
+		case ir.OpRet:
+			out = append(out, s.retStmt(term, b))
+		case ir.OpBr:
+			out = append(out, s.phiCopies(b, term.Blocks[0])...)
+			out = append(out, &cast.Goto{Label: fmtLabel(term.Blocks[0])})
+		case ir.OpCondBr:
+			cond := s.tr.expr(term.Args[0], b, len(b.Instrs)-1)
+			thenB := append(s.phiCopies(b, term.Blocks[0]), &cast.Goto{Label: fmtLabel(term.Blocks[0])})
+			elseB := append(s.phiCopies(b, term.Blocks[1]), &cast.Goto{Label: fmtLabel(term.Blocks[1])})
+			out = append(out, &cast.If{
+				Cond: cond,
+				Then: &cast.Block{Stmts: thenB},
+				Else: &cast.Block{Stmts: elseB},
+			})
+		}
+	}
+	return out
+}
+
+func (s *structurizer) retStmt(term *ir.Instr, b *ir.Block) cast.Stmt {
+	if len(term.Args) == 1 {
+		return &cast.Return{X: s.tr.expr(term.Args[0], b, len(b.Instrs)-1)}
+	}
+	return &cast.Return{}
+}
+
+// phiCopies emits assignments realizing the phi moves on edge from->to.
+func (s *structurizer) phiCopies(from, to *ir.Block) []cast.Stmt {
+	var out []cast.Stmt
+	managed := s.forLoopIV(to)
+	for _, phi := range to.Phis() {
+		if phi == managed {
+			continue
+		}
+		v := phi.PhiIncoming(from)
+		if v == nil {
+			continue
+		}
+		if v == ir.Value(phi) {
+			continue // self-move
+		}
+		name := s.tr.name(phi)
+		// SSA de-transformation: when the incoming value's emitted
+		// assignment already writes the phi's variable (collapsed
+		// names), the copy is a no-op.
+		if iv, ok := v.(*ir.Instr); ok && s.tr.name(iv) == name && s.tr.emittedStmt[iv] {
+			s.tr.declare(name, CType(phi.Type()))
+			continue
+		}
+		s.tr.declare(name, CType(phi.Type()))
+		out = append(out, assignTo(name, s.tr.expr(v, from, len(from.Instrs)-1)))
+	}
+	return out
+}
+
+// --- structured emission ---
+
+func (s *structurizer) emitSeq(b, stop *ir.Block) []cast.Stmt {
+	var out []cast.Stmt
+	for b != nil && b != stop {
+		if s.emitted[b] {
+			s.gotoTgt[b] = true
+			out = append(out, &cast.Goto{Label: fmtLabel(b)})
+			return out
+		}
+		if L := s.li.LoopOf(b); L != nil && L.Header == b && !s.inStack(L) {
+			b = s.emitLoop(L, &out)
+			continue
+		}
+		s.emitted[b] = true
+		out = append(out, &cast.Label{Name: fmtLabel(b)})
+		out = append(out, s.tr.stmtsForBlock(b)...)
+		term := b.Terminator()
+		if term == nil {
+			return out
+		}
+		switch term.Op {
+		case ir.OpRet:
+			out = append(out, s.retStmt(term, b))
+			return out
+		case ir.OpBr:
+			t := term.Blocks[0]
+			out = append(out, s.phiCopies(b, t)...)
+			if s.isBackEdge(b, t) {
+				return out
+			}
+			b = t
+		case ir.OpCondBr:
+			if term == s.pendingLoopBr {
+				// The do-while latch test: body ends here; the loop
+				// construct renders the condition.
+				out = append(out, s.phiCopies(b, s.loopHeaderOf(term))...)
+				return out
+			}
+			t, f := term.Blocks[0], term.Blocks[1]
+			join := s.pdom.IPostDom(b)
+			cond := s.tr.expr(term.Args[0], b, len(b.Instrs)-1)
+
+			branch := func(target *ir.Block) []cast.Stmt {
+				stmts := s.phiCopies(b, target)
+				if target != join && !s.isBackEdge(b, target) {
+					stmts = append(stmts, s.emitSeq(target, join)...)
+				}
+				return stmts
+			}
+			thenStmts := branch(t)
+			elseStmts := branch(f)
+			switch {
+			case len(thenStmts) == 0 && len(elseStmts) == 0:
+				// Both edges rejoin immediately: nothing to emit.
+			case len(thenStmts) == 0:
+				out = append(out, &cast.If{
+					Cond: &cast.Un{Op: "!", X: &cast.Paren{X: cond}},
+					Then: &cast.Block{Stmts: elseStmts},
+				})
+			case len(elseStmts) == 0:
+				out = append(out, &cast.If{Cond: cond, Then: &cast.Block{Stmts: thenStmts}})
+			default:
+				out = append(out, &cast.If{
+					Cond: cond,
+					Then: &cast.Block{Stmts: thenStmts},
+					Else: &cast.Block{Stmts: elseStmts},
+				})
+			}
+			b = join
+		}
+	}
+	return out
+}
+
+func (s *structurizer) inStack(L *analysis.Loop) bool {
+	for _, x := range s.loopStack {
+		if x == L {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *structurizer) isBackEdge(from, to *ir.Block) bool {
+	for _, L := range s.loopStack {
+		if L.Header == to && L.Contains(from) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *structurizer) loopHeaderOf(latchBr *ir.Instr) *ir.Block {
+	for _, t := range latchBr.Blocks {
+		for _, L := range s.loopStack {
+			if L.Header == t {
+				return t
+			}
+		}
+	}
+	return latchBr.Blocks[0]
+}
+
+// forLoopIV decides (and caches) whether the loop headed by header will
+// be emitted as a C for statement, returning its induction phi.
+func (s *structurizer) forLoopIV(header *ir.Block) *ir.Instr {
+	if !s.opts.ForLoops || s.li == nil {
+		return nil
+	}
+	if iv, ok := s.forIVMemo[header]; ok {
+		return iv
+	}
+	s.forIVMemo[header] = nil
+	L := s.li.LoopOf(header)
+	if L == nil || L.Header != header {
+		return nil
+	}
+	cl := analysis.AnalyzeCountedLoop(L)
+	if cl == nil || cl.Rotated || cl.CondBr.Parent != header {
+		return nil
+	}
+	// Header computations must disappear into the condition.
+	for _, in := range header.Instrs[len(header.Phis()):] {
+		if in == cl.Cmp || in == cl.CondBr || in.Op == ir.OpDbgValue {
+			continue
+		}
+		if !pureInstr(in) || s.tr.useCount[in] != 1 {
+			return nil
+		}
+	}
+	// The step must live in the latch (emitted as the for post).
+	if cl.StepInstr.Parent == nil || !L.Contains(cl.StepInstr.Parent) {
+		return nil
+	}
+	s.forIVMemo[header] = cl.IV
+	return cl.IV
+}
+
+// emitLoop renders loop L and returns the continuation block.
+func (s *structurizer) emitLoop(L *analysis.Loop, out *[]cast.Stmt) *ir.Block {
+	header := L.Header
+	cl := analysis.AnalyzeCountedLoop(L)
+	exits := L.ExitBlocks()
+	var exit *ir.Block
+	if len(exits) == 1 {
+		exit = exits[0]
+	}
+
+	// C for loop (SPLENDID after de-rotation).
+	if iv := s.forLoopIV(header); iv != nil && cl != nil && exit != nil {
+		return s.emitForLoop(L, cl, exit, out)
+	}
+
+	// do-while: the unique exiting branch sits in the latch.
+	if exit != nil {
+		exiting := L.ExitingBlocks()
+		latch := L.Latch()
+		if len(exiting) == 1 && latch != nil && exiting[0] == latch &&
+			latch.Terminator().Op == ir.OpCondBr {
+			return s.emitDoWhile(L, exit, out)
+		}
+		// while: the unique exiting branch is the header's.
+		if len(exiting) == 1 && exiting[0] == header &&
+			header.Terminator().Op == ir.OpCondBr && s.whileEmittable(header) {
+			return s.emitWhile(L, exit, out)
+		}
+	}
+
+	// Fallback: unstructured emission of the loop blocks.
+	s.loopStack = append(s.loopStack, L)
+	for _, b := range L.BlockList() {
+		if s.emitted[b] {
+			continue
+		}
+		s.emitted[b] = true
+		s.gotoTgt[b] = true
+		*out = append(*out, &cast.Label{Name: fmtLabel(b)})
+		*out = append(*out, s.tr.stmtsForBlock(b)...)
+		term := b.Terminator()
+		switch term.Op {
+		case ir.OpRet:
+			*out = append(*out, s.retStmt(term, b))
+		case ir.OpBr:
+			*out = append(*out, s.phiCopies(b, term.Blocks[0])...)
+			*out = append(*out, &cast.Goto{Label: fmtLabel(term.Blocks[0])})
+			s.gotoTgt[term.Blocks[0]] = true
+		case ir.OpCondBr:
+			cond := s.tr.expr(term.Args[0], b, len(b.Instrs)-1)
+			tB := append(s.phiCopies(b, term.Blocks[0]), &cast.Goto{Label: fmtLabel(term.Blocks[0])})
+			fB := append(s.phiCopies(b, term.Blocks[1]), &cast.Goto{Label: fmtLabel(term.Blocks[1])})
+			s.gotoTgt[term.Blocks[0]] = true
+			s.gotoTgt[term.Blocks[1]] = true
+			*out = append(*out, &cast.If{Cond: cond, Then: &cast.Block{Stmts: tB}, Else: &cast.Block{Stmts: fB}})
+		}
+	}
+	s.loopStack = s.loopStack[:len(s.loopStack)-1]
+	return exit
+}
+
+func (s *structurizer) whileEmittable(header *ir.Block) bool {
+	for _, in := range header.Instrs[len(header.Phis()):] {
+		if in.IsTerminator() || in.Op == ir.OpDbgValue {
+			continue
+		}
+		if !pureInstr(in) || s.tr.useCount[in] != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *structurizer) emitForLoop(L *analysis.Loop, cl *analysis.CountedLoop, exit *ir.Block, out *[]cast.Stmt) *ir.Block {
+	header := L.Header
+	s.loopStack = append(s.loopStack, L)
+	s.emitted[header] = true
+
+	ivName := s.tr.name(cl.IV)
+	s.tr.declare(ivName, CType(cl.IV.Type()))
+	s.noTopDecl[ivName] = true
+
+	pre := L.Preheader()
+	initExpr := s.tr.exprNoFold(cl.Init, pre, 0)
+	// Mark the condition chain folded so the body does not re-emit it.
+	condExpr := s.condExprFor(cl, header)
+
+	// Post: i++ / i += c / i = i + c.
+	var post cast.Stmt
+	stepUses := s.tr.useCount[cl.StepInstr]
+	if stepUses == 1 { // only the phi
+		s.tr.folded[cl.StepInstr] = true
+		switch {
+		case cl.Step == 1:
+			post = &cast.ExprStmt{X: &cast.IncDec{X: &cast.Ident{Name: ivName}, Op: "++", Post: true}}
+		case cl.Step == -1:
+			post = &cast.ExprStmt{X: &cast.IncDec{X: &cast.Ident{Name: ivName}, Op: "--", Post: true}}
+		case cl.Step > 0:
+			post = &cast.ExprStmt{X: &cast.Assign{Op: "=", LHS: &cast.Ident{Name: ivName},
+				RHS: &cast.Bin{Op: "+", L: &cast.Ident{Name: ivName}, R: &cast.IntLit{V: cl.Step}}}}
+		default:
+			post = &cast.ExprStmt{X: &cast.Assign{Op: "=", LHS: &cast.Ident{Name: ivName},
+				RHS: &cast.Bin{Op: "-", L: &cast.Ident{Name: ivName}, R: &cast.IntLit{V: -cl.Step}}}}
+		}
+	} else {
+		post = &cast.ExprStmt{X: &cast.Assign{Op: "=", LHS: &cast.Ident{Name: ivName},
+			RHS: &cast.Ident{Name: s.tr.name(cl.StepInstr)}}}
+	}
+
+	var bodyEntry *ir.Block
+	for _, succ := range header.Succs() {
+		if L.Contains(succ) {
+			bodyEntry = succ
+		}
+	}
+	body := s.emitSeq(bodyEntry, header)
+	s.loopStack = s.loopStack[:len(s.loopStack)-1]
+	exitCopies := s.phiCopies(header, exit)
+
+	forStmt := &cast.For{
+		Init: &cast.Decl{T: CType(cl.IV.Type()), Name: ivName, Init: initExpr},
+		Cond: condExpr,
+		Post: post,
+		Body: &cast.Block{Stmts: body},
+	}
+	if pi := s.opts.PragmaFor[header]; pi != nil {
+		// Reduction clauses: pair the recorded operators with the loop's
+		// accumulator phis (every non-IV phi of a reduction loop is one).
+		var reds []cast.Reduction
+		if len(pi.ReductionOps) > 0 {
+			ri := 0
+			for _, phi := range header.Phis() {
+				if phi == cl.IV || ri >= len(pi.ReductionOps) {
+					continue
+				}
+				reds = append(reds, cast.Reduction{Op: pi.ReductionOps[ri], Var: s.tr.name(phi)})
+				ri++
+			}
+		}
+		if pi.Combined {
+			*out = append(*out, &cast.OmpParallelFor{
+				Schedule: pi.Schedule, Chunk: pi.Chunk, Private: pi.Private,
+				Reductions: reds, Loop: forStmt,
+			})
+		} else {
+			*out = append(*out, &cast.OmpParallel{Body: &cast.Block{Stmts: []cast.Stmt{
+				&cast.OmpFor{Schedule: pi.Schedule, Chunk: pi.Chunk, NoWait: pi.NoWait,
+					Private: pi.Private, Reductions: reds, Loop: forStmt},
+			}}})
+		}
+	} else {
+		*out = append(*out, forStmt)
+	}
+	*out = append(*out, exitCopies...)
+	return exit
+}
+
+// condExprFor renders the loop-continue condition, folding the compare
+// chain in the header.
+func (s *structurizer) condExprFor(cl *analysis.CountedLoop, header *ir.Block) cast.Expr {
+	s.tr.folded[cl.Cmp] = true
+	ivExpr := cast.Expr(&cast.Ident{Name: s.tr.name(cl.IV)})
+	boundExpr := s.tr.exprForceFold(cl.Bound, header, len(header.Instrs)-1)
+	return &cast.Bin{Op: predToC[cl.ContinuePred], L: ivExpr, R: boundExpr}
+}
+
+func (s *structurizer) emitDoWhile(L *analysis.Loop, exit *ir.Block, out *[]cast.Stmt) *ir.Block {
+	latch := L.Latch()
+	term := latch.Terminator()
+	savedPending := s.pendingLoopBr
+	s.pendingLoopBr = term
+	s.loopStack = append(s.loopStack, L)
+
+	body := s.emitSeq(L.Header, nil)
+
+	s.loopStack = s.loopStack[:len(s.loopStack)-1]
+	s.pendingLoopBr = savedPending
+
+	cond := s.tr.expr(term.Args[0], latch, len(latch.Instrs)-1)
+	if !L.Contains(term.Blocks[0]) {
+		cond = &cast.Un{Op: "!", X: &cast.Paren{X: cond}}
+	}
+	*out = append(*out, &cast.DoWhile{Body: &cast.Block{Stmts: body}, Cond: cond})
+	*out = append(*out, s.phiCopies(latch, exit)...)
+	return exit
+}
+
+func (s *structurizer) emitWhile(L *analysis.Loop, exit *ir.Block, out *[]cast.Stmt) *ir.Block {
+	header := L.Header
+	term := header.Terminator()
+	s.emitted[header] = true
+	s.loopStack = append(s.loopStack, L)
+
+	cond := s.tr.exprForceFold(term.Args[0], header, len(header.Instrs)-1)
+	if !L.Contains(term.Blocks[0]) {
+		cond = &cast.Un{Op: "!", X: &cast.Paren{X: cond}}
+	}
+	var bodyEntry *ir.Block
+	for _, succ := range header.Succs() {
+		if L.Contains(succ) {
+			bodyEntry = succ
+		}
+	}
+	body := s.emitSeq(bodyEntry, header)
+	s.loopStack = s.loopStack[:len(s.loopStack)-1]
+
+	// While-loop phis appear as variables assigned before the loop (on
+	// the entry edge, emitted by the caller) and at the latch (inside
+	// body via phiCopies on the back edge).
+	*out = append(*out, &cast.While{Cond: cond, Body: &cast.Block{Stmts: body}})
+	*out = append(*out, s.phiCopies(header, exit)...)
+	return exit
+}
+
+// stripUnusedLabels removes Label statements that no goto targets.
+func stripUnusedLabels(stmts []cast.Stmt, used map[*ir.Block]bool) []cast.Stmt {
+	names := map[string]bool{}
+	for b := range used {
+		if used[b] {
+			names[fmtLabel(b)] = true
+		}
+	}
+	var walk func([]cast.Stmt) []cast.Stmt
+	walk = func(in []cast.Stmt) []cast.Stmt {
+		var out []cast.Stmt
+		for _, st := range in {
+			switch x := st.(type) {
+			case *cast.Label:
+				if names[x.Name] {
+					out = append(out, x)
+				}
+			case *cast.If:
+				x.Then = &cast.Block{Stmts: walk(x.Then.Stmts)}
+				if eb, ok := x.Else.(*cast.Block); ok {
+					x.Else = &cast.Block{Stmts: walk(eb.Stmts)}
+				}
+				out = append(out, x)
+			case *cast.For:
+				x.Body = &cast.Block{Stmts: walk(x.Body.Stmts)}
+				out = append(out, x)
+			case *cast.While:
+				x.Body = &cast.Block{Stmts: walk(x.Body.Stmts)}
+				out = append(out, x)
+			case *cast.DoWhile:
+				x.Body = &cast.Block{Stmts: walk(x.Body.Stmts)}
+				out = append(out, x)
+			case *cast.Block:
+				out = append(out, &cast.Block{Stmts: walk(x.Stmts)})
+			case *cast.OmpParallel:
+				x.Body = &cast.Block{Stmts: walk(x.Body.Stmts)}
+				out = append(out, x)
+			case *cast.OmpFor:
+				x.Loop.Body = &cast.Block{Stmts: walk(x.Loop.Body.Stmts)}
+				out = append(out, x)
+			case *cast.OmpParallelFor:
+				x.Loop.Body = &cast.Block{Stmts: walk(x.Loop.Body.Stmts)}
+				out = append(out, x)
+			default:
+				out = append(out, st)
+			}
+		}
+		return out
+	}
+	return walk(stmts)
+}

@@ -1,0 +1,625 @@
+// Package decomp is the shared decompilation engine: it translates IR
+// values into C expressions and structures CFGs into C statements. All
+// decompilers in the reproduction are built on it — the naive goto-based
+// C backend (the substrate the paper says SPLENDID builds upon), the
+// Rellic- and Ghidra-style baselines, and SPLENDID itself — differing in
+// the knobs they set: expression folding, loop-construct selection,
+// variable naming, and redundant-cast insertion.
+package decomp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cast"
+	"repro/internal/ir"
+)
+
+// Namer chooses the C variable name for an IR value.
+type Namer func(v ir.Value) string
+
+// Options configures translation and structuring.
+type Options struct {
+	// Fold collapses single-use pure instructions into their consumer,
+	// producing natural compound expressions instead of one assignment
+	// per instruction.
+	Fold bool
+	// ForLoops emits canonical counted loops (already de-rotated in IR)
+	// as C for statements. Without it counted loops become do-while or
+	// while constructs.
+	ForLoops bool
+	// Structured enables if/else and loop reconstruction; off yields the
+	// goto-per-branch style of the naive C backend.
+	Structured bool
+	// CastHappy wraps operands in redundant casts (Ghidra house style).
+	CastHappy bool
+	// PtrArith renders addresses as pointer arithmetic (*(A + i)) instead
+	// of array subscripts (A[i]) — the Rellic house style shown in the
+	// paper's Figure 1.
+	PtrArith bool
+	// Name picks variable names; nil uses raw IR names.
+	Name Namer
+	// PragmaFor wraps the for loop whose IR header is the key in the
+	// OpenMP constructs SPLENDID's Pragma Generator selected.
+	PragmaFor map[*ir.Block]*PragmaInfo
+	// Info, when non-nil, receives emission statistics.
+	Info *EmitInfo
+}
+
+// PragmaInfo describes the OpenMP annotation for one restored loop.
+type PragmaInfo struct {
+	// Seq identifies the parallel region this pragma came from; the
+	// decompiler uses it to re-associate pragmas with marker-named loop
+	// headers across CFG rewrites.
+	Seq      int
+	Schedule string
+	Chunk    int
+	NoWait   bool
+	Private  []string
+	// ReductionOps lists the combine operators of the loop's reductions,
+	// in microtask order; the emitter pairs them with the loop's
+	// accumulator phis to produce reduction(op: var) clauses.
+	ReductionOps []string
+	// Combined emits "#pragma omp parallel for"; otherwise a parallel
+	// region block wraps an omp for.
+	Combined bool
+}
+
+// EmitInfo reports what one function's emission declared.
+type EmitInfo struct {
+	// DeclaredVars lists every C variable name introduced (locals,
+	// for-loop induction variables, and parameters).
+	DeclaredVars []string
+}
+
+// CType maps an IR type to the C type used in decompiled output.
+func CType(t ir.Type) cast.Type {
+	switch tt := t.(type) {
+	case *ir.BasicType:
+		switch tt.Kind {
+		case ir.KindVoid:
+			return cast.VoidT
+		case ir.KindF32, ir.KindF64:
+			return cast.DoubleT
+		case ir.KindI1:
+			return cast.IntT
+		case ir.KindI8:
+			return cast.CharT
+		default:
+			return cast.LongT
+		}
+	case *ir.PtrType:
+		return &cast.PtrT{To: CType(tt.Elem)}
+	case *ir.ArrayType:
+		return &cast.ArrT{N: tt.Len, Elem: CType(tt.Elem)}
+	}
+	return cast.LongT
+}
+
+// translator converts one function.
+type translator struct {
+	f    *ir.Function
+	opts Options
+
+	// useCount counts non-debug uses of each instruction.
+	useCount map[*ir.Instr]int
+	// folded marks instructions absorbed into consumer expressions.
+	folded map[*ir.Instr]bool
+	// pos is each instruction's index within its block.
+	pos map[*ir.Instr]int
+	// barriers lists, per block, positions of memory-clobbering instrs.
+	barriers map[*ir.Block][]int
+
+	// decls accumulates local variable declarations (name -> C type),
+	// in first-seen order.
+	declOrder []string
+	declType  map[string]cast.Type
+	// emittedStmt marks instructions whose value was materialized as an
+	// assignment statement (used to elide redundant phi copies).
+	emittedStmt map[*ir.Instr]bool
+}
+
+func newTranslator(f *ir.Function, opts Options) *translator {
+	tr := &translator{
+		f:           f,
+		opts:        opts,
+		useCount:    map[*ir.Instr]int{},
+		folded:      map[*ir.Instr]bool{},
+		pos:         map[*ir.Instr]int{},
+		barriers:    map[*ir.Block][]int{},
+		declType:    map[string]cast.Type{},
+		emittedStmt: map[*ir.Instr]bool{},
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			tr.pos[in] = i
+			// Memory-clobbering points: stores and impure calls. Pure
+			// math calls read nothing through memory, so loads may fold
+			// across them.
+			if in.Op == ir.OpStore || (in.Op == ir.OpCall && !isPureCall(in)) {
+				tr.barriers[b] = append(tr.barriers[b], i)
+			}
+			if in.Op == ir.OpDbgValue {
+				continue
+			}
+			for _, a := range in.Args {
+				if ia, ok := a.(*ir.Instr); ok {
+					tr.useCount[ia]++
+				}
+			}
+		}
+	}
+	return tr
+}
+
+func (tr *translator) name(v ir.Value) string {
+	if tr.opts.Name != nil {
+		return tr.opts.Name(v)
+	}
+	switch x := v.(type) {
+	case *ir.Instr:
+		return sanitize(x.Nam)
+	case *ir.Param:
+		return sanitize(x.Nam)
+	case *ir.Global:
+		return sanitize(x.Nam)
+	}
+	return "v"
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '.' || c == '-':
+			b.WriteByte('_')
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// declare records that name needs a declaration of type t.
+func (tr *translator) declare(name string, t cast.Type) {
+	if _, ok := tr.declType[name]; ok {
+		return
+	}
+	tr.declType[name] = t
+	tr.declOrder = append(tr.declOrder, name)
+}
+
+// pure reports whether in can be re-evaluated freely.
+func pureInstr(in *ir.Instr) bool {
+	if in.Op.IsBinary() || in.Op.IsCast() {
+		return true
+	}
+	switch in.Op {
+	case ir.OpGEP, ir.OpICmp, ir.OpFCmp, ir.OpSelect, ir.OpFNeg:
+		return true
+	}
+	return false
+}
+
+// pureCallNames are side-effect-free math externals whose single-use
+// calls fold into consumer expressions (exp(C[i]) prints inline, as in
+// the paper's Figure 2 output).
+var pureCallNames = map[string]bool{
+	"exp": true, "log": true, "sqrt": true, "fabs": true, "pow": true,
+	"sin": true, "cos": true, "floor": true, "ceil": true,
+}
+
+func isPureCall(in *ir.Instr) bool {
+	if in.Op != ir.OpCall {
+		return false
+	}
+	f, ok := in.Callee.(*ir.Function)
+	return ok && pureCallNames[f.Nam]
+}
+
+// canFold decides whether def may be absorbed into its (single) use at
+// position usePos in the same block. Loads may not move across stores or
+// calls; pure instructions move freely within the block.
+func (tr *translator) canFold(def *ir.Instr, useBlock *ir.Block, usePos int) bool {
+	if !tr.opts.Fold || tr.useCount[def] != 1 || def.Parent != useBlock {
+		return false
+	}
+	switch {
+	case pureInstr(def):
+		return true
+	case def.Op == ir.OpLoad || isPureCall(def):
+		// Loads and calls may not move across stores or other calls.
+		for _, bi := range tr.barriers[useBlock] {
+			if bi > tr.pos[def] && bi < usePos {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// expr renders v as a C expression usable at (block, pos).
+func (tr *translator) expr(v ir.Value, blk *ir.Block, pos int) cast.Expr {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return &cast.IntLit{V: x.V}
+	case *ir.ConstFloat:
+		return &cast.FloatLit{V: x.V}
+	case *ir.ConstNull:
+		return &cast.IntLit{V: 0}
+	case *ir.ConstUndef:
+		return &cast.IntLit{V: 0}
+	case *ir.Global:
+		return &cast.Ident{Name: tr.name(x)}
+	case *ir.Param:
+		return tr.maybeCast(&cast.Ident{Name: tr.name(x)}, x.Type())
+	case *ir.Function:
+		return &cast.Ident{Name: sanitize(x.Nam)}
+	case *ir.Instr:
+		if x.Op == ir.OpAlloca {
+			// The alloca's SSA value is the address of the local.
+			tr.declare(tr.name(x), CType(x.AllocaElem))
+			return &cast.Un{Op: "&", X: &cast.Ident{Name: tr.name(x)}}
+		}
+		if tr.canFold(x, blk, pos) {
+			tr.folded[x] = true
+			return tr.instrExpr(x, blk, pos)
+		}
+		return tr.maybeCast(&cast.Ident{Name: tr.name(x)}, x.Type())
+	}
+	return &cast.IntLit{V: 0}
+}
+
+// exprNoFold renders v without absorbing its defining instruction, for
+// positions (like for-loop init clauses) where the definition has
+// already been emitted as a statement.
+func (tr *translator) exprNoFold(v ir.Value, blk *ir.Block, pos int) cast.Expr {
+	saved := tr.opts.Fold
+	tr.opts.Fold = false
+	e := tr.expr(v, blk, pos)
+	tr.opts.Fold = saved
+	return e
+}
+
+// exprForceFold renders v with folding enabled regardless of options —
+// used for loop conditions, whose defining chain is never emitted as
+// statements (the loop construct owns it).
+func (tr *translator) exprForceFold(v ir.Value, blk *ir.Block, pos int) cast.Expr {
+	saved := tr.opts.Fold
+	tr.opts.Fold = true
+	e := tr.expr(v, blk, pos)
+	tr.opts.Fold = saved
+	return e
+}
+
+// maybeCast wraps e in a redundant cast in CastHappy mode.
+func (tr *translator) maybeCast(e cast.Expr, t ir.Type) cast.Expr {
+	if !tr.opts.CastHappy {
+		return e
+	}
+	switch {
+	case ir.IsIntegerType(t):
+		return &cast.CastE{T: cast.LongT, X: e}
+	case ir.IsFloatType(t):
+		return &cast.CastE{T: cast.DoubleT, X: e}
+	}
+	return e
+}
+
+var opToC = map[ir.Op]string{
+	ir.OpAdd: "+", ir.OpSub: "-", ir.OpMul: "*", ir.OpSDiv: "/", ir.OpSRem: "%",
+	ir.OpAnd: "&", ir.OpOr: "|", ir.OpXor: "^", ir.OpShl: "<<", ir.OpAShr: ">>",
+	ir.OpFAdd: "+", ir.OpFSub: "-", ir.OpFMul: "*", ir.OpFDiv: "/",
+}
+
+var predToC = map[ir.CmpPred]string{
+	ir.CmpEQ: "==", ir.CmpNE: "!=", ir.CmpSLT: "<", ir.CmpSLE: "<=",
+	ir.CmpSGT: ">", ir.CmpSGE: ">=",
+}
+
+// instrExpr renders the computation of in as an expression.
+func (tr *translator) instrExpr(in *ir.Instr, blk *ir.Block, pos int) cast.Expr {
+	switch {
+	case in.Op.IsBinary():
+		return &cast.Bin{
+			Op: opToC[in.Op],
+			L:  tr.expr(in.Args[0], blk, pos),
+			R:  tr.expr(in.Args[1], blk, pos),
+		}
+	case in.Op == ir.OpICmp || in.Op == ir.OpFCmp:
+		return &cast.Bin{
+			Op: predToC[in.Pred],
+			L:  tr.expr(in.Args[0], blk, pos),
+			R:  tr.expr(in.Args[1], blk, pos),
+		}
+	case in.Op == ir.OpFNeg:
+		return &cast.Un{Op: "-", X: tr.expr(in.Args[0], blk, pos)}
+	case in.Op == ir.OpSelect:
+		return &cast.Ternary{
+			C: tr.expr(in.Args[0], blk, pos),
+			T: tr.expr(in.Args[1], blk, pos),
+			F: tr.expr(in.Args[2], blk, pos),
+		}
+	case in.Op.IsCast():
+		inner := tr.expr(in.Args[0], blk, pos)
+		if tr.opts.Fold && !tr.opts.CastHappy && sameCScalar(in.Type(), in.Args[0].Type()) {
+			// i64<->i64-ish casts disappear in the folded style.
+			return inner
+		}
+		return &cast.CastE{T: CType(in.Type()), X: inner}
+	case in.Op == ir.OpLoad:
+		return tr.pointeeExpr(in.Args[0], blk, pos)
+	case in.Op == ir.OpGEP:
+		return &cast.Un{Op: "&", X: tr.gepExpr(in, blk, pos)}
+	case in.Op == ir.OpCall:
+		return tr.callExpr(in, blk, pos)
+	case in.Op == ir.OpPhi:
+		// A phi read outside its managed construct reads its variable.
+		return &cast.Ident{Name: tr.name(in)}
+	}
+	return &cast.Ident{Name: tr.name(in)}
+}
+
+func sameCScalar(a, b ir.Type) bool {
+	return ir.IsIntegerType(a) && ir.IsIntegerType(b) ||
+		ir.IsFloatType(a) && ir.IsFloatType(b)
+}
+
+// pointeeExpr renders *ptr naturally: subscripted array accesses where
+// the pointer is a gep, plain dereference otherwise.
+func (tr *translator) pointeeExpr(ptr ir.Value, blk *ir.Block, pos int) cast.Expr {
+	if g, ok := ptr.(*ir.Instr); ok && g.Op == ir.OpGEP && (tr.folded[g] || tr.canFold(g, blk, pos)) {
+		tr.folded[g] = true
+		return tr.gepExpr(g, blk, pos)
+	}
+	switch p := ptr.(type) {
+	case *ir.Global:
+		// *(&g) == g for scalar globals.
+		if _, isArr := p.Elem.(*ir.ArrayType); !isArr {
+			return &cast.Ident{Name: tr.name(p)}
+		}
+	case *ir.Instr:
+		if p.Op == ir.OpAlloca {
+			if _, isArr := p.AllocaElem.(*ir.ArrayType); !isArr {
+				return &cast.Ident{Name: tr.name(p)}
+			}
+		}
+	}
+	return &cast.Un{Op: "*", X: tr.expr(ptr, blk, pos)}
+}
+
+// gepExpr renders a gep as a C lvalue: A[i][j] for array bases,
+// p[i] for flat pointers; in PtrArith mode, *(base + linearized-offset).
+func (tr *translator) gepExpr(g *ir.Instr, blk *ir.Block, pos int) cast.Expr {
+	base := g.Args[0]
+	idxs := g.Args[1:]
+	if tr.opts.PtrArith {
+		// Linearize: *( (T*)base + i0*stride0 + i1*stride1 + ... ).
+		bt := ir.ElemOf(base.Type())
+		e := cast.Expr(&cast.CastE{T: &cast.PtrT{To: cast.DoubleT}, X: tr.baseExpr(base, blk, pos)})
+		t := base.Type()
+		for _, idx := range idxs {
+			stride := 1
+			if et := ir.ElemOf(t); et != nil {
+				stride = ir.SizeOfElems(et)
+				if a, ok := et.(*ir.ArrayType); ok {
+					t = ir.Ptr(a.Elem)
+					stride = ir.SizeOfElems(et)
+					_ = a
+				}
+			}
+			var term cast.Expr = tr.expr(idx, blk, pos)
+			if stride != 1 {
+				term = &cast.Bin{Op: "*", L: term, R: &cast.IntLit{V: int64(stride)}}
+			}
+			e = &cast.Bin{Op: "+", L: e, R: term}
+		}
+		_ = bt
+		return &cast.Un{Op: "*", X: &cast.Paren{X: e}}
+	}
+	var e cast.Expr
+	// Array base object (global or alloca of array type, or pointer to
+	// array): first index 0 selects the object, remaining subscript.
+	baseIsArray := false
+	if et := ir.ElemOf(base.Type()); et != nil {
+		_, baseIsArray = et.(*ir.ArrayType)
+	}
+	if c, ok := idxs[0].(*ir.ConstInt); ok && c.V == 0 && baseIsArray && len(idxs) > 1 {
+		// Chained geps merge into one subscript chain: B[k][j] rather
+		// than (&B[k])[j].
+		if bg, ok := base.(*ir.Instr); ok && bg.Op == ir.OpGEP && (tr.folded[bg] || tr.canFold(bg, blk, pos)) {
+			tr.folded[bg] = true
+			e = tr.gepExpr(bg, blk, pos)
+		} else {
+			e = tr.baseExpr(base, blk, pos)
+		}
+		for _, idx := range idxs[1:] {
+			e = &cast.Index{Base: e, Idx: tr.expr(idx, blk, pos)}
+		}
+		return e
+	}
+	// Flat pointer arithmetic: p[i] (or p[i][j] through array pointee).
+	e = &cast.Index{Base: tr.baseExpr(base, blk, pos), Idx: tr.expr(idxs[0], blk, pos)}
+	for _, idx := range idxs[1:] {
+		e = &cast.Index{Base: e, Idx: tr.expr(idx, blk, pos)}
+	}
+	return e
+}
+
+// baseExpr renders the base pointer of an access without folding casts.
+func (tr *translator) baseExpr(base ir.Value, blk *ir.Block, pos int) cast.Expr {
+	switch b := base.(type) {
+	case *ir.Global:
+		return &cast.Ident{Name: tr.name(b)}
+	case *ir.Param:
+		return &cast.Ident{Name: tr.name(b)}
+	case *ir.Instr:
+		if b.Op == ir.OpBitcast {
+			// A materialized cast (e.g. data = (double*)malloc(...)) keeps
+			// its variable name in accesses; only un-materialized casts
+			// are walked through.
+			if tr.emittedStmt[b] || tr.useCount[b] > 1 {
+				return &cast.Ident{Name: tr.name(b)}
+			}
+			return tr.baseExpr(b.Args[0], blk, pos)
+		}
+		if b.Op == ir.OpGEP && (tr.folded[b] || tr.canFold(b, blk, pos)) {
+			tr.folded[b] = true
+			return &cast.Un{Op: "&", X: tr.gepExpr(b, blk, pos)}
+		}
+		return &cast.Ident{Name: tr.name(b)}
+	}
+	return tr.expr(base, blk, pos)
+}
+
+func (tr *translator) callExpr(in *ir.Instr, blk *ir.Block, pos int) cast.Expr {
+	name := "indirect"
+	if f, ok := in.Callee.(*ir.Function); ok {
+		name = f.Nam
+	}
+	call := &cast.Call{Name: sanitize(name)}
+	// A microtask passed to a fork call appears by name, unsanitized
+	// enough to show it is a function pointer.
+	for _, a := range in.Args {
+		if f, ok := a.(*ir.Function); ok {
+			call.Args = append(call.Args, &cast.Un{Op: "&", X: &cast.Ident{Name: sanitize(f.Nam)}})
+			continue
+		}
+		call.Args = append(call.Args, tr.expr(a, blk, pos))
+	}
+	return call
+}
+
+// stmtsForBlock renders the non-terminator, non-phi instructions of blk.
+func (tr *translator) stmtsForBlock(blk *ir.Block) []cast.Stmt {
+	var out []cast.Stmt
+	for i, in := range blk.Instrs {
+		if in.Op == ir.OpPhi || in.Op == ir.OpDbgValue || in.IsTerminator() {
+			continue
+		}
+		if tr.folded[in] {
+			continue
+		}
+		switch in.Op {
+		case ir.OpStore:
+			lhs := tr.pointeeExpr(in.Args[1], blk, i)
+			rhs := tr.expr(in.Args[0], blk, i)
+			out = append(out, &cast.ExprStmt{X: &cast.Assign{Op: "=", LHS: lhs, RHS: rhs}})
+		case ir.OpAlloca:
+			// Becomes a local declaration; address-of uses render as &name.
+			tr.declare(tr.name(in), CType(in.AllocaElem))
+		case ir.OpCall:
+			if in.HasResult() && tr.useCount[in] > 0 {
+				if tr.opts.Fold && tr.useCount[in] == 1 && isPureCall(in) &&
+					tr.willFoldLater(in, blk, i) {
+					continue
+				}
+				name := tr.name(in)
+				tr.declare(name, CType(in.Type()))
+				tr.emittedStmt[in] = true
+				out = append(out, &cast.ExprStmt{X: &cast.Assign{
+					Op: "=", LHS: &cast.Ident{Name: name}, RHS: tr.callExpr(in, blk, i),
+				}})
+			} else {
+				out = append(out, &cast.ExprStmt{X: tr.callExpr(in, blk, i)})
+			}
+		default:
+			if !in.HasResult() {
+				continue
+			}
+			if tr.opts.Fold && tr.useCount[in] == 1 {
+				// Deferred: consumer decides; skip emission only if it
+				// will in fact fold (same block, barrier-safe).
+				if tr.willFoldLater(in, blk, i) {
+					continue
+				}
+			}
+			if tr.useCount[in] == 0 && pureInstr(in) {
+				continue // dead computation: drop
+			}
+			name := tr.name(in)
+			tr.declare(name, CType(in.Type()))
+			tr.emittedStmt[in] = true
+			out = append(out, &cast.ExprStmt{X: &cast.Assign{
+				Op: "=", LHS: &cast.Ident{Name: name}, RHS: tr.instrExpr(in, blk, i),
+			}})
+		}
+	}
+	return out
+}
+
+// willFoldLater predicts whether in's single use will fold it. Folding
+// is transitive — a pure user that itself folds materializes at ITS
+// consumer — so the barrier check must run against the position where
+// the expression tree is finally emitted.
+func (tr *translator) willFoldLater(in *ir.Instr, blk *ir.Block, pos int) bool {
+	user := tr.singleUser(in)
+	if user == nil {
+		return false
+	}
+	// A value consumed only by a successor phi on this block's edge is
+	// materialized by the phi copy at the end of this block.
+	if user.Op == ir.OpPhi && user.PhiIncoming(blk) == ir.Value(in) {
+		return tr.canFold(in, blk, len(blk.Instrs)-1)
+	}
+	if user.Parent != blk {
+		return false
+	}
+	final := tr.materializationPos(user, blk)
+	if final < 0 {
+		return false
+	}
+	return tr.canFold(in, blk, final)
+}
+
+// materializationPos follows the single-use fold chain from user to the
+// statement position where the containing expression is emitted, or -1
+// when the chain leaves the block.
+func (tr *translator) materializationPos(user *ir.Instr, blk *ir.Block) int {
+	for i := 0; i < 64; i++ {
+		if user.Parent != blk {
+			return -1
+		}
+		// A user that will itself fold defers to its own consumer.
+		if (pureInstr(user) || isPureCall(user)) && tr.useCount[user] == 1 && tr.opts.Fold {
+			next := tr.singleUser(user)
+			if next != nil && next.Parent == blk {
+				user = next
+				continue
+			}
+		}
+		return tr.pos[user]
+	}
+	return -1
+}
+
+func (tr *translator) singleUser(in *ir.Instr) *ir.Instr {
+	var user *ir.Instr
+	for _, b := range tr.f.Blocks {
+		for _, u := range b.Instrs {
+			if u.Op == ir.OpDbgValue {
+				continue
+			}
+			for _, a := range u.Args {
+				if a == ir.Value(in) {
+					if user != nil {
+						return nil
+					}
+					user = u
+				}
+			}
+		}
+	}
+	return user
+}
+
+// assignTo emits "name = expr;".
+func assignTo(name string, rhs cast.Expr) cast.Stmt {
+	return &cast.ExprStmt{X: &cast.Assign{Op: "=", LHS: &cast.Ident{Name: name}, RHS: rhs}}
+}
+
+func fmtLabel(b *ir.Block) string { return sanitize(b.Nam) }
+
+var _ = fmt.Sprintf

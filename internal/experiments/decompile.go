@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cast"
+	"repro/internal/cfront"
+	"repro/internal/decomp/ghidra"
+	"repro/internal/decomp/rellic"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/polybench"
+	"repro/internal/splendid"
+)
+
+// decompiled holds every decompiler's output for one benchmark, plus the
+// reference text and the SPLENDID statistics — the shared input of
+// Table 4 and Figures 7/8.
+type decompiled struct {
+	bench *polybench.Benchmark
+
+	GhidraC   string
+	RellicC   string
+	V1C       string
+	PortableC string
+	FullC     string
+	RefC      string
+
+	// Sequential-IR decompilations, used to isolate the LoC cost of the
+	// parallel representation (Table 4's "Parallel Representation").
+	GhidraSeqC string
+	RellicSeqC string
+	FullSeqC   string
+
+	FullStats splendid.Stats
+}
+
+func decompileAll(b *polybench.Benchmark) (*decompiled, error) {
+	parIR, _, err := b.CompileParallelIR()
+	if err != nil {
+		return nil, err
+	}
+	seqIR, err := cfront.CompileSource(b.Seq, b.Name+".seq")
+	if err != nil {
+		return nil, err
+	}
+	passes.Optimize(seqIR)
+
+	d := &decompiled{bench: b, RefC: b.Ref}
+	d.GhidraC = cast.Print(ghidra.Decompile(parIR))
+	d.RellicC = cast.Print(rellic.Decompile(parIR))
+	d.GhidraSeqC = cast.Print(ghidra.Decompile(seqIR))
+	d.RellicSeqC = cast.Print(rellic.Decompile(seqIR))
+
+	for _, v := range []struct {
+		cfg splendid.Config
+		dst *string
+	}{
+		{splendid.V1(), &d.V1C},
+		{splendid.Portable(), &d.PortableC},
+		{splendid.Full(), &d.FullC},
+	} {
+		res, err := splendid.Decompile(parIR, v.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		*v.dst = res.C
+		if v.dst == &d.FullC {
+			d.FullStats = res.Stats
+		}
+	}
+	fullSeq, err := splendid.Decompile(seqIR, splendid.Full())
+	if err != nil {
+		return nil, err
+	}
+	d.FullSeqC = fullSeq.C
+	return d, nil
+}
+
+var decompileCache = map[string]*decompiled{}
+
+func decompiledFor(b *polybench.Benchmark) (*decompiled, error) {
+	if d, ok := decompileCache[b.Name]; ok {
+		return d, nil
+	}
+	d, err := decompileAll(b)
+	if err != nil {
+		return nil, err
+	}
+	decompileCache[b.Name] = d
+	return d, nil
+}
+
+// Table4 computes the LoC rows from the decompilations.
+func Table4() ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, b := range polybench.All() {
+		d, err := decompiledFor(b)
+		if err != nil {
+			return nil, err
+		}
+		seqLoC := loc(b.Seq)
+		row := Table4Row{
+			Name:        b.Name,
+			Ghidra:      loc(d.GhidraC),
+			Rellic:      loc(d.RellicC),
+			Splendid:    loc(d.FullC),
+			Ref:         loc(d.RefC),
+			GhidraPar:   max0(loc(d.GhidraC) - loc(d.GhidraSeqC)),
+			RellicPar:   max0(loc(d.RellicC) - loc(d.RellicSeqC)),
+			SplendidPar: max0(loc(d.FullC) - loc(d.FullSeqC)),
+			RefPar:      max0(loc(d.RefC) - seqLoC),
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func max0(n int) int {
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// recompile turns decompiled C back into an optimized module (the
+// "recompiled with another host compiler" step of Figure 6).
+func recompile(src, name string) (*ir.Module, error) {
+	m, err := cfront.CompileSource(src, name)
+	if err != nil {
+		return nil, fmt.Errorf("recompile %s: %w", name, err)
+	}
+	passes.Optimize(m)
+	return m, nil
+}

@@ -1,0 +1,390 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// exec is one execution context: the sequential interpreter state of one
+// OpenMP worker (or of the initial thread).
+type exec struct {
+	m          *Machine
+	gtid       int
+	team       *team
+	localSteps int64 // instructions executed by this worker (work)
+	spanSteps  int64 // critical-path length (work-span simulated clock)
+	fuelLeft   int64
+	depth      int // call depth, bounded to turn runaway recursion into a trap
+}
+
+// maxCallDepth bounds interpreted recursion (the host stack also grows
+// per activation; trapping beats a Go runtime stack overflow).
+const maxCallDepth = 10000
+
+// protect converts traps raised via panic into errors.
+func (ex *exec) protect(fn func()) (err error) {
+	ex.fuelLeft = ex.m.Opts.Fuel
+	defer func() {
+		if r := recover(); r != nil {
+			if t, ok := r.(*Trap); ok {
+				err = t
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func (ex *exec) trap(format string, args ...any) {
+	panic(&Trap{Msg: fmt.Sprintf(format, args...)})
+}
+
+// frame holds the SSA values of one activation.
+type frame struct {
+	fn    *ir.Function
+	info  *funcInfo
+	slots []Value
+}
+
+func (fr *frame) set(v ir.Value, val Value) {
+	fr.slots[fr.info.slots[v]] = val
+}
+
+// eval resolves an operand in the current frame.
+func (ex *exec) eval(fr *frame, v ir.Value) Value {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return IntV(x.V)
+	case *ir.ConstFloat:
+		return FloatV(x.V)
+	case *ir.ConstNull:
+		return PtrV(Pointer{})
+	case *ir.ConstUndef:
+		return Value{K: KUndef}
+	case *ir.Global:
+		return PtrV(Pointer{Obj: ex.m.globals[x]})
+	case *ir.Function:
+		return FuncV(x)
+	case *ir.Param, *ir.Instr:
+		return fr.slots[fr.info.slots[v]]
+	}
+	ex.trap("unknown operand %v", v)
+	return Value{}
+}
+
+// callFunction interprets f with the given argument values.
+func (ex *exec) callFunction(f *ir.Function, args []Value) Value {
+	if f.IsDecl() {
+		return ex.callExternal(f, args)
+	}
+	if len(args) != len(f.Params) {
+		ex.trap("call to @%s with %d args, want %d", f.Nam, len(args), len(f.Params))
+	}
+	ex.depth++
+	if ex.depth > maxCallDepth {
+		ex.trap("call depth exceeded (%d): runaway recursion in @%s", maxCallDepth, f.Nam)
+	}
+	defer func() { ex.depth-- }()
+	fi := ex.m.info(f)
+	fr := &frame{fn: f, info: fi, slots: make([]Value, fi.numSlots)}
+	for i, p := range f.Params {
+		fr.set(p, args[i])
+	}
+
+	block := f.Entry()
+	var prev *ir.Block
+	for {
+		// Phase 1: evaluate all phis against prev before writing any.
+		nPhi := 0
+		for _, in := range block.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			nPhi++
+		}
+		if nPhi > 0 {
+			tmp := make([]Value, nPhi)
+			for i := 0; i < nPhi; i++ {
+				phi := block.Instrs[i]
+				inc := phi.PhiIncoming(prev)
+				if inc == nil {
+					ex.trap("phi %%%s has no incoming from %%%s", phi.Nam, prev.Nam)
+				}
+				tmp[i] = ex.eval(fr, inc)
+			}
+			for i := 0; i < nPhi; i++ {
+				fr.set(block.Instrs[i], tmp[i])
+			}
+		}
+
+		// Phase 2: straight-line execution.
+		for _, in := range block.Instrs[nPhi:] {
+			ex.step()
+			switch in.Op {
+			case ir.OpBr:
+				prev, block = block, in.Blocks[0]
+			case ir.OpCondBr:
+				c := ex.eval(fr, in.Args[0])
+				if c.I != 0 {
+					prev, block = block, in.Blocks[0]
+				} else {
+					prev, block = block, in.Blocks[1]
+				}
+			case ir.OpRet:
+				if len(in.Args) == 1 {
+					return ex.eval(fr, in.Args[0])
+				}
+				return Value{K: KUndef}
+			default:
+				ex.execInstr(fr, in)
+				continue
+			}
+			break // took a branch
+		}
+	}
+}
+
+func (ex *exec) step() {
+	ex.localSteps++
+	ex.spanSteps++
+	if ex.m.Opts.Fuel > 0 {
+		ex.fuelLeft--
+		if ex.fuelLeft <= 0 {
+			ex.trap("fuel exhausted")
+		}
+	}
+}
+
+func (ex *exec) execInstr(fr *frame, in *ir.Instr) {
+	switch in.Op {
+	case ir.OpAlloca:
+		n := ir.SizeOfElems(in.AllocaElem)
+		obj := NewMemObject(in.Nam, n)
+		z := zeroOf(scalarBase(in.AllocaElem))
+		for i := range obj.Cells {
+			obj.Cells[i] = z
+		}
+		fr.set(in, PtrV(Pointer{Obj: obj}))
+
+	case ir.OpLoad:
+		p := ex.eval(fr, in.Args[0])
+		fr.set(in, ex.load(p, in))
+
+	case ir.OpStore:
+		v := ex.eval(fr, in.Args[0])
+		p := ex.eval(fr, in.Args[1])
+		ex.store(p, v, in)
+
+	case ir.OpGEP:
+		base := ex.eval(fr, in.Args[0])
+		if base.K != KPtr || base.P.Nil() {
+			ex.trap("gep on non-pointer/null in %%%s", in.Nam)
+		}
+		off := base.P.Off
+		t := ir.ElemOf(in.Args[0].Type())
+		idx0 := ex.eval(fr, in.Args[1])
+		off += int(idx0.I) * ir.SizeOfElems(t)
+		for _, iv := range in.Args[2:] {
+			arr, ok := t.(*ir.ArrayType)
+			if !ok {
+				ex.trap("gep descends into non-array")
+			}
+			t = arr.Elem
+			idx := ex.eval(fr, iv)
+			off += int(idx.I) * ir.SizeOfElems(t)
+		}
+		fr.set(in, PtrV(Pointer{Obj: base.P.Obj, Off: off}))
+
+	case ir.OpICmp:
+		a, b := ex.eval(fr, in.Args[0]), ex.eval(fr, in.Args[1])
+		var ai, bi int64
+		if a.K == KPtr || b.K == KPtr {
+			// Pointer comparison: same-object offsets, or object identity
+			// via a synthetic linear address for cross-object compares
+			// (the parallelizer's alias checks compare related pointers).
+			ai, bi = ptrOrdinal(a), ptrOrdinal(b)
+		} else {
+			ai, bi = a.I, b.I
+		}
+		fr.set(in, Bool(cmpInt(in.Pred, ai, bi)))
+
+	case ir.OpFCmp:
+		a, b := ex.eval(fr, in.Args[0]), ex.eval(fr, in.Args[1])
+		fr.set(in, Bool(cmpFloat(in.Pred, a.F, b.F)))
+
+	case ir.OpSelect:
+		c := ex.eval(fr, in.Args[0])
+		if c.I != 0 {
+			fr.set(in, ex.eval(fr, in.Args[1]))
+		} else {
+			fr.set(in, ex.eval(fr, in.Args[2]))
+		}
+
+	case ir.OpCall:
+		callee := in.Callee
+		var fn *ir.Function
+		switch c := callee.(type) {
+		case *ir.Function:
+			fn = c
+		default:
+			cv := ex.eval(fr, callee)
+			if cv.K != KFunc {
+				ex.trap("indirect call through non-function")
+			}
+			fn = cv.Fn
+		}
+		args := make([]Value, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = ex.eval(fr, a)
+		}
+		ret := ex.callFunction(fn, args)
+		if in.HasResult() {
+			fr.set(in, ret)
+		}
+
+	case ir.OpDbgValue:
+		// No runtime effect.
+
+	case ir.OpFNeg:
+		a := ex.eval(fr, in.Args[0])
+		fr.set(in, FloatV(-a.F))
+
+	case ir.OpSExt, ir.OpZExt, ir.OpTrunc, ir.OpBitcast, ir.OpPtrToInt, ir.OpIntToPtr:
+		fr.set(in, ex.eval(fr, in.Args[0]))
+
+	case ir.OpSIToFP:
+		a := ex.eval(fr, in.Args[0])
+		fr.set(in, FloatV(float64(a.I)))
+
+	case ir.OpFPToSI:
+		a := ex.eval(fr, in.Args[0])
+		fr.set(in, IntV(int64(a.F)))
+
+	case ir.OpFPExt, ir.OpFPTrunc:
+		fr.set(in, ex.eval(fr, in.Args[0]))
+
+	default:
+		if in.Op.IsBinary() {
+			a, b := ex.eval(fr, in.Args[0]), ex.eval(fr, in.Args[1])
+			fr.set(in, ex.binop(in, a, b))
+			return
+		}
+		ex.trap("unimplemented op %s", in.Op)
+	}
+}
+
+func (ex *exec) load(p Value, in *ir.Instr) Value {
+	if p.K != KPtr || p.P.Nil() {
+		ex.trap("load through null/non-pointer at %%%s", in.Nam)
+	}
+	if p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
+		ex.trap("load out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
+	}
+	return p.P.Obj.Cells[p.P.Off]
+}
+
+func (ex *exec) store(p, v Value, in *ir.Instr) {
+	if p.K != KPtr || p.P.Nil() {
+		ex.trap("store through null/non-pointer")
+	}
+	if p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
+		ex.trap("store out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
+	}
+	p.P.Obj.Cells[p.P.Off] = v
+}
+
+func (ex *exec) binop(in *ir.Instr, a, b Value) Value {
+	switch in.Op {
+	case ir.OpAdd:
+		if a.K == KPtr { // pointer displacement via add (rare; gep preferred)
+			return PtrV(Pointer{Obj: a.P.Obj, Off: a.P.Off + int(b.I)})
+		}
+		return IntV(a.I + b.I)
+	case ir.OpSub:
+		return IntV(a.I - b.I)
+	case ir.OpMul:
+		return IntV(a.I * b.I)
+	case ir.OpSDiv:
+		if b.I == 0 {
+			ex.trap("integer division by zero")
+		}
+		return IntV(a.I / b.I)
+	case ir.OpSRem:
+		if b.I == 0 {
+			ex.trap("integer remainder by zero")
+		}
+		return IntV(a.I % b.I)
+	case ir.OpAnd:
+		return IntV(a.I & b.I)
+	case ir.OpOr:
+		return IntV(a.I | b.I)
+	case ir.OpXor:
+		return IntV(a.I ^ b.I)
+	case ir.OpShl:
+		return IntV(a.I << uint(b.I))
+	case ir.OpAShr:
+		return IntV(a.I >> uint(b.I))
+	case ir.OpFAdd:
+		return FloatV(a.F + b.F)
+	case ir.OpFSub:
+		return FloatV(a.F - b.F)
+	case ir.OpFMul:
+		return FloatV(a.F * b.F)
+	case ir.OpFDiv:
+		return FloatV(a.F / b.F)
+	}
+	ex.trap("bad binop %s", in.Op)
+	return Value{}
+}
+
+// ptrOrdinal maps a pointer (or integer) value onto a synthetic linear
+// address so that cross-object pointer comparisons — the parallelizer's
+// runtime alias checks — behave like flat-memory comparisons.
+func ptrOrdinal(v Value) int64 {
+	if v.K != KPtr {
+		return v.I
+	}
+	if v.P.Nil() {
+		return 0
+	}
+	return v.P.Obj.Base + int64(v.P.Off)
+}
+
+func cmpInt(p ir.CmpPred, a, b int64) bool {
+	switch p {
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	case ir.CmpSLT:
+		return a < b
+	case ir.CmpSLE:
+		return a <= b
+	case ir.CmpSGT:
+		return a > b
+	case ir.CmpSGE:
+		return a >= b
+	}
+	return false
+}
+
+func cmpFloat(p ir.CmpPred, a, b float64) bool {
+	switch p {
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	case ir.CmpSLT:
+		return a < b
+	case ir.CmpSLE:
+		return a <= b
+	case ir.CmpSGT:
+		return a > b
+	case ir.CmpSGE:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,615 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/omp"
+)
+
+func run(t *testing.T, src, fn string, opts Options, args ...Value) (Value, *Machine) {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	omp.DeclareRuntime(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	mach := NewMachine(m, opts)
+	ret, err := mach.Run(fn, args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return ret, mach
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	src := `
+define i64 @sumto(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %s = phi i64 [ 0, %entry ], [ %s.next, %loop ]
+  %s.next = add i64 %s, %i
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  br i1 %c, label %loop, label %done
+done:
+  %r = phi i64 [ %s.next, %loop ]
+  ret i64 %r
+}
+`
+	ret, _ := run(t, src, "sumto", Options{}, IntV(100))
+	if ret.I != 4950 {
+		t.Errorf("sumto(100) = %d, want 4950", ret.I)
+	}
+}
+
+func TestMemoryGlobalsAndGEP(t *testing.T) {
+	src := `
+@A = global [10 x [10 x double]] zeroinitializer
+define double @diag() {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %g = getelementptr [10 x [10 x double]], [10 x [10 x double]]* @A, i64 0, i64 %i, i64 %i
+  %fi = sitofp i64 %i to double
+  store double %fi, double* %g
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, 10
+  br i1 %c, label %loop, label %done
+done:
+  %g5 = getelementptr [10 x [10 x double]], [10 x [10 x double]]* @A, i64 0, i64 5, i64 5
+  %v = load double, double* %g5
+  ret double %v
+}
+`
+	ret, mach := run(t, src, "diag", Options{})
+	if ret.F != 5 {
+		t.Errorf("diag A[5][5] = %g, want 5", ret.F)
+	}
+	mem := mach.GlobalMem("A")
+	if mem.Cells[7*10+7].F != 7 {
+		t.Errorf("A[7][7] = %v, want 7", mem.Cells[7*10+7])
+	}
+	if mem.Cells[3*10+4].F != 0 {
+		t.Errorf("A[3][4] = %v, want 0", mem.Cells[3*10+4])
+	}
+}
+
+func TestAllocaAndFunctionCalls(t *testing.T) {
+	src := `
+define i64 @sq(i64 %x) {
+entry:
+  %r = mul i64 %x, %x
+  ret i64 %r
+}
+define i64 @main() {
+entry:
+  %p = alloca i64
+  store i64 7, i64* %p
+  %v = load i64, i64* %p
+  %s = call i64 @sq(i64 %v)
+  ret i64 %s
+}
+`
+	ret, _ := run(t, src, "main", Options{})
+	if ret.I != 49 {
+		t.Errorf("main = %d, want 49", ret.I)
+	}
+}
+
+func TestMathExternals(t *testing.T) {
+	src := `
+declare double @exp(double)
+declare double @sqrt(double)
+declare double @pow(double, double)
+define double @m(double %x) {
+entry:
+  %e = call double @exp(double %x)
+  %s = call double @sqrt(double %e)
+  %p = call double @pow(double %s, double 2.0)
+  ret double %p
+}
+`
+	ret, _ := run(t, src, "m", Options{}, FloatV(1))
+	if math.Abs(ret.F-math.E) > 1e-12 {
+		t.Errorf("m(1) = %v, want e", ret.F)
+	}
+}
+
+func TestMallocAndPointerArgs(t *testing.T) {
+	src := `
+declare i8* @malloc(i64)
+define i64 @heap() {
+entry:
+  %raw = call i8* @malloc(i64 16)
+  %p = bitcast i8* %raw to i64*
+  %g3 = getelementptr i64, i64* %p, i64 3
+  store i64 33, i64* %g3
+  %v = load i64, i64* %g3
+  ret i64 %v
+}
+`
+	ret, _ := run(t, src, "heap", Options{})
+	if ret.I != 33 {
+		t.Errorf("heap = %d, want 33", ret.I)
+	}
+}
+
+func TestTrapOutOfBounds(t *testing.T) {
+	src := `
+@A = global [4 x i64] zeroinitializer
+define void @oob() {
+entry:
+  %g = getelementptr [4 x i64], [4 x i64]* @A, i64 0, i64 9
+  store i64 1, i64* %g
+  ret void
+}
+`
+	m := ir.MustParse(src)
+	mach := NewMachine(m, Options{})
+	_, err := mach.Run("oob")
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("err = %v, want out of bounds trap", err)
+	}
+}
+
+func TestTrapDivByZero(t *testing.T) {
+	src := `
+define i64 @dz(i64 %x) {
+entry:
+  %r = sdiv i64 1, %x
+  ret i64 %r
+}
+`
+	m := ir.MustParse(src)
+	mach := NewMachine(m, Options{})
+	_, err := mach.Run("dz", IntV(0))
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v, want div-by-zero trap", err)
+	}
+}
+
+func TestTrapFuelExhaustion(t *testing.T) {
+	src := `
+define void @spin() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+`
+	m := ir.MustParse(src)
+	mach := NewMachine(m, Options{Fuel: 1000})
+	_, err := mach.Run("spin")
+	if err == nil || !strings.Contains(err.Error(), "fuel") {
+		t.Errorf("err = %v, want fuel trap", err)
+	}
+}
+
+// parallelSum is hand-written parallel IR in the exact shape the
+// parallelizer emits: fork call to an outlined microtask that narrows the
+// iteration space with __kmpc_for_static_init_8 and fills A[i] = i.
+const parallelSum = `
+@A = global [1000 x double] zeroinitializer
+
+declare void @__kmpc_fork_call(i32, ...)
+declare void @__kmpc_for_static_init_8(i32, i32, i64*, i64*, i64*, i64*, i64, i64)
+declare void @__kmpc_for_static_fini(i32)
+
+define void @body.omp(i32* %gtid.ptr, i32* %btid.ptr, i64 %n) outlined {
+entry:
+  %gtid = load i32, i32* %gtid.ptr
+  %lb.addr = alloca i64
+  %ub.addr = alloca i64
+  %st.addr = alloca i64
+  %last.addr = alloca i64
+  store i64 0, i64* %lb.addr
+  %ubinit = sub i64 %n, 1
+  store i64 %ubinit, i64* %ub.addr
+  call void @__kmpc_for_static_init_8(i32 %gtid, i32 34, i64* %last.addr, i64* %lb.addr, i64* %ub.addr, i64* %st.addr, i64 1, i64 1)
+  %lb = load i64, i64* %lb.addr
+  %ub = load i64, i64* %ub.addr
+  %precheck = icmp sle i64 %lb, %ub
+  br i1 %precheck, label %loop, label %fini
+loop:
+  %i = phi i64 [ %lb, %entry ], [ %i.next, %loop ]
+  %g = getelementptr [1000 x double], [1000 x double]* @A, i64 0, i64 %i
+  %fi = sitofp i64 %i to double
+  store double %fi, double* %g
+  %i.next = add i64 %i, 1
+  %c = icmp sle i64 %i.next, %ub
+  br i1 %c, label %loop, label %fini
+fini:
+  call void @__kmpc_for_static_fini(i32 %gtid)
+  ret void
+}
+
+define void @main(i64 %n) {
+entry:
+  call void @__kmpc_fork_call(i32 1, void (i32*, i32*, i64) @body.omp, i64 %n)
+  ret void
+}
+`
+
+func TestParallelForkExecutesAllIterations(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 7} {
+		_, mach := run(t, parallelSum, "main", Options{NumThreads: threads}, IntV(1000))
+		mem := mach.GlobalMem("A")
+		for i := 0; i < 1000; i++ {
+			if mem.Cells[i].F != float64(i) {
+				t.Fatalf("threads=%d: A[%d] = %v, want %d", threads, i, mem.Cells[i], i)
+			}
+		}
+	}
+}
+
+func TestParallelZeroTrip(t *testing.T) {
+	_, mach := run(t, parallelSum, "main", Options{NumThreads: 4}, IntV(0))
+	mem := mach.GlobalMem("A")
+	for i := 0; i < 1000; i++ {
+		if mem.Cells[i].F != 0 {
+			t.Fatalf("A[%d] = %v, want untouched 0", i, mem.Cells[i])
+		}
+	}
+}
+
+// Property: static scheduling partitions [0,n) exactly (no overlap, no
+// gap) for any n and thread count.
+func TestQuickStaticSchedulePartition(t *testing.T) {
+	check := func(n8 uint8, th8 uint8) bool {
+		n := int64(n8)
+		threads := int(th8%8) + 1
+		covered := make([]int, n)
+		for tid := 0; tid < threads; tid++ {
+			if n == 0 {
+				break
+			}
+			trip := n
+			chunk := (trip + int64(threads) - 1) / int64(threads)
+			lo := int64(tid) * chunk
+			hi := (int64(tid+1))*chunk - 1
+			if hi >= n-1 {
+				hi = n - 1
+			}
+			if lo > n-1 {
+				continue
+			}
+			for i := lo; i <= hi; i++ {
+				covered[i]++
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarrierSynchronizesTeam(t *testing.T) {
+	// Phase 1: each thread writes its slot. Barrier. Phase 2: each thread
+	// reads its neighbor's slot. Without the barrier this races/misreads.
+	src := `
+@S = global [8 x i64] zeroinitializer
+@R = global [8 x i64] zeroinitializer
+
+declare void @__kmpc_fork_call(i32, ...)
+declare void @__kmpc_barrier(i32)
+
+define void @task(i32* %gtid.ptr, i32* %btid.ptr) outlined {
+entry:
+  %gtid = load i32, i32* %gtid.ptr
+  %tid64 = sext i32 %gtid to i64
+  %mine = getelementptr [8 x i64], [8 x i64]* @S, i64 0, i64 %tid64
+  %val = add i64 %tid64, 100
+  store i64 %val, i64* %mine
+  call void @__kmpc_barrier(i32 %gtid)
+  %next = add i64 %tid64, 1
+  %wrapped = srem i64 %next, 8
+  %theirs = getelementptr [8 x i64], [8 x i64]* @S, i64 0, i64 %wrapped
+  %seen = load i64, i64* %theirs
+  %out = getelementptr [8 x i64], [8 x i64]* @R, i64 0, i64 %tid64
+  store i64 %seen, i64* %out
+  ret void
+}
+define void @main() {
+entry:
+  call void @__kmpc_fork_call(i32 0, void (i32*, i32*) @task)
+  ret void
+}
+`
+	_, mach := run(t, src, "main", Options{NumThreads: 8})
+	r := mach.GlobalMem("R")
+	for tid := 0; tid < 8; tid++ {
+		want := int64((tid+1)%8) + 100
+		if r.Cells[tid].I != want {
+			t.Errorf("R[%d] = %d, want %d", tid, r.Cells[tid].I, want)
+		}
+	}
+}
+
+func TestGlobalThreadNum(t *testing.T) {
+	src := `
+@Seen = global [4 x i64] zeroinitializer
+declare void @__kmpc_fork_call(i32, ...)
+declare i32 @__kmpc_global_thread_num()
+define void @task(i32* %g, i32* %b) outlined {
+entry:
+  %id = call i32 @__kmpc_global_thread_num()
+  %id64 = sext i32 %id to i64
+  %slot = getelementptr [4 x i64], [4 x i64]* @Seen, i64 0, i64 %id64
+  store i64 1, i64* %slot
+  ret void
+}
+define void @main() {
+entry:
+  call void @__kmpc_fork_call(i32 0, void (i32*, i32*) @task)
+  ret void
+}
+`
+	_, mach := run(t, src, "main", Options{NumThreads: 4})
+	seen := mach.GlobalMem("Seen")
+	for i := 0; i < 4; i++ {
+		if seen.Cells[i].I != 1 {
+			t.Errorf("thread %d did not run", i)
+		}
+	}
+}
+
+func TestPointerComparisonAliasCheck(t *testing.T) {
+	// Distinct globals: disjoint synthetic address ranges, so the alias
+	// check (A+4 <= B || B+4 <= A) holds; a pointer compared with itself
+	// offset must behave arithmetically.
+	src := `
+@A = global [4 x double] zeroinitializer
+@B = global [4 x double] zeroinitializer
+define i1 @disjoint() {
+entry:
+  %a0 = getelementptr [4 x double], [4 x double]* @A, i64 0, i64 0
+  %a4 = getelementptr [4 x double], [4 x double]* @A, i64 0, i64 4
+  %b0 = getelementptr [4 x double], [4 x double]* @B, i64 0, i64 0
+  %b4 = getelementptr [4 x double], [4 x double]* @B, i64 0, i64 4
+  %c1 = icmp sle double* %a4, %b0
+  %c2 = icmp sle double* %b4, %a0
+  %ok = or i1 %c1, %c2
+  ret i1 %ok
+}
+define i1 @sameobj() {
+entry:
+  %a0 = getelementptr [4 x double], [4 x double]* @A, i64 0, i64 0
+  %a2 = getelementptr [4 x double], [4 x double]* @A, i64 0, i64 2
+  %c = icmp slt double* %a0, %a2
+  ret i1 %c
+}
+`
+	ret, _ := run(t, src, "disjoint", Options{})
+	if ret.I != 1 {
+		t.Error("distinct globals not seen as disjoint")
+	}
+	ret2, _ := run(t, src, "sameobj", Options{})
+	if ret2.I != 1 {
+		t.Error("same-object pointer ordering wrong")
+	}
+}
+
+func TestOutputPrinting(t *testing.T) {
+	src := `
+declare void @print_i64(i64)
+declare void @print_f64(double)
+define void @p() {
+entry:
+  call void @print_i64(i64 42)
+  call void @print_f64(double 1.5)
+  ret void
+}
+`
+	_, mach := run(t, src, "p", Options{})
+	want := "42\n1.500000\n"
+	if got := mach.Output(); got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	src := `
+define void @n() {
+entry:
+  %a = add i64 1, 2
+  %b = add i64 %a, 3
+  ret void
+}
+`
+	m := ir.MustParse(src)
+	mach := NewMachine(m, Options{})
+	if _, err := mach.Run("n"); err != nil {
+		t.Fatal(err)
+	}
+	if mach.Steps() != 3 {
+		t.Errorf("steps = %d, want 3", mach.Steps())
+	}
+}
+
+// Property: the balanced (libgomp-style) partition also covers [0,n)
+// exactly once for any n and team size.
+func TestQuickBalancedSchedulePartition(t *testing.T) {
+	check := func(n8 uint8, th8 uint8) bool {
+		n := int64(n8)
+		threads := int64(th8%8) + 1
+		if n == 0 {
+			return true
+		}
+		covered := make([]int, n)
+		q, r := n/threads, n%threads
+		for tid := int64(0); tid < threads; tid++ {
+			var lo, size int64
+			if tid < r {
+				size = q + 1
+				lo = tid * size
+			} else {
+				size = q
+				lo = r*(q+1) + (tid-r)*q
+			}
+			for i := lo; i < lo+size; i++ {
+				covered[i]++
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBalancedChunksExecution runs a parallel loop under both partition
+// styles and requires identical results.
+func TestBalancedChunksExecution(t *testing.T) {
+	for _, balanced := range []bool{false, true} {
+		_, mach := run(t, parallelSum, "main",
+			Options{NumThreads: 5, BalancedChunks: balanced}, IntV(1000))
+		mem := mach.GlobalMem("A")
+		for i := 0; i < 1000; i++ {
+			if mem.Cells[i].F != float64(i) {
+				t.Fatalf("balanced=%v: A[%d] = %v", balanced, i, mem.Cells[i])
+			}
+		}
+	}
+}
+
+// TestWorkSpanClock validates the simulated clock: the span of a
+// parallel run must be well below the work, and sequential span == work.
+func TestWorkSpanClock(t *testing.T) {
+	m, err := ir.Parse(parallelSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewMachine(m, Options{NumThreads: 1})
+	if _, err := seq.Run("main", IntV(1000)); err != nil {
+		t.Fatal(err)
+	}
+	m2 := ir.MustParse(parallelSum)
+	par := NewMachine(m2, Options{NumThreads: 8})
+	if _, err := par.Run("main", IntV(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if par.Steps() < seq.Steps()*9/10 {
+		t.Errorf("parallel work %d far below sequential %d", par.Steps(), seq.Steps())
+	}
+	if par.SimSteps() >= seq.SimSteps() {
+		t.Errorf("parallel span %d not below sequential %d", par.SimSteps(), seq.SimSteps())
+	}
+	// Speedup bounded by the team size (plus fork-cost slack).
+	speedup := float64(seq.SimSteps()) / float64(par.SimSteps())
+	if speedup > 8.5 {
+		t.Errorf("speedup %.1f exceeds team size", speedup)
+	}
+}
+
+func TestMoreMathExternals(t *testing.T) {
+	src := `
+declare double @log(double)
+declare double @fabs(double)
+declare double @sin(double)
+declare double @cos(double)
+declare double @floor(double)
+declare double @ceil(double)
+define double @m(double %x) {
+entry:
+  %l = call double @log(double %x)
+  %a = call double @fabs(double %l)
+  %s = call double @sin(double %a)
+  %c = call double @cos(double %s)
+  %f = call double @floor(double %c)
+  %e = call double @ceil(double %f)
+  ret double %e
+}
+`
+	ret, _ := run(t, src, "m", Options{}, FloatV(0.5))
+	// log(0.5)<0 -> abs -> sin -> cos in (0,1) -> floor 0 -> ceil 0.
+	if ret.F != 0 {
+		t.Errorf("m(0.5) = %v, want 0", ret.F)
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if IntV(3).String() != "3" {
+		t.Error("int string")
+	}
+	if FloatV(1.5).String() != "1.5" {
+		t.Error("float string")
+	}
+	if PtrV(Pointer{}).String() != "null" {
+		t.Error("null string")
+	}
+	obj := NewMemObject("x", 4)
+	if got := PtrV(Pointer{Obj: obj, Off: 2}).String(); got != "&x+2" {
+		t.Errorf("ptr string = %q", got)
+	}
+	if (Value{K: KUndef}).String() != "undef" {
+		t.Error("undef string")
+	}
+}
+
+func TestTrapMessages(t *testing.T) {
+	tr := &Trap{Msg: "boom", Fn: "f"}
+	if tr.Error() != "trap in @f: boom" {
+		t.Errorf("trap error = %q", tr.Error())
+	}
+	tr2 := &Trap{Msg: "boom"}
+	if tr2.Error() != "trap: boom" {
+		t.Errorf("trap error = %q", tr2.Error())
+	}
+}
+
+func TestNullDeref(t *testing.T) {
+	src := `
+define i64 @nd(i64* %p) {
+entry:
+  %v = load i64, i64* %p
+  ret i64 %v
+}
+`
+	m := ir.MustParse(src)
+	mach := NewMachine(m, Options{})
+	_, err := mach.Run("nd", PtrV(Pointer{}))
+	if err == nil || !strings.Contains(err.Error(), "null") {
+		t.Errorf("err = %v, want null trap", err)
+	}
+}
+
+func TestSremAndShifts(t *testing.T) {
+	src := `
+define i64 @bits(i64 %x) {
+entry:
+  %r = srem i64 %x, 7
+  %s = shl i64 %r, 2
+  %a = ashr i64 %s, 1
+  %x1 = xor i64 %a, 5
+  %o = or i64 %x1, 8
+  %n = and i64 %o, 127
+  ret i64 %n
+}
+`
+	ret, _ := run(t, src, "bits", Options{}, IntV(23))
+	// 23%7=2; <<2=8; >>1=4; ^5=1; |8=9; &127=9
+	if ret.I != 9 {
+		t.Errorf("bits(23) = %d, want 9", ret.I)
+	}
+}

@@ -1,0 +1,218 @@
+package interp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// Options configures a Machine.
+type Options struct {
+	// NumThreads is the OpenMP team size used by fork calls. Zero means 1
+	// (sequential execution of parallel regions).
+	NumThreads int
+	// Fuel bounds the instructions executed per worker; 0 means no bound.
+	Fuel int64
+	// BalancedChunks selects the libgomp-style static partition (the
+	// first trip%threads workers take one extra iteration) instead of
+	// the libomp-style ceiling partition. Both cover the iteration space
+	// exactly; they model recompiling OpenMP code with GCC vs Clang.
+	BalancedChunks bool
+	// ForkCost is the simulated instruction cost of one fork/join pair
+	// on the work-span clock; 0 uses the default (2000).
+	ForkCost int64
+}
+
+// Machine executes one module. It owns global memory and the output
+// stream; a Machine may run many calls sequentially but a single Run call
+// may fan out into a goroutine team when the program forks.
+type Machine struct {
+	Mod  *ir.Module
+	Opts Options
+
+	globals map[*ir.Global]*MemObject
+
+	outMu sync.Mutex
+	out   bytes.Buffer
+
+	// steps counts instructions executed (total work); span counts the
+	// simulated critical path (work-span model: parallel phases advance
+	// the clock by their slowest worker plus a fork cost).
+	stepMu sync.Mutex
+	steps  int64
+	span   int64
+
+	funcsMu sync.Mutex
+	funcs   map[*ir.Function]*funcInfo
+
+	// atomicMu serializes the __kmpc_atomic_* reduction combiners.
+	atomicMu sync.Mutex
+}
+
+// funcInfo caches per-function slot numbering for frame storage.
+type funcInfo struct {
+	slots    map[ir.Value]int
+	numSlots int
+}
+
+// NewMachine prepares a machine for m: global memory is allocated and
+// zero-initialized (or scalar-initialized when the global has an
+// initializer).
+func NewMachine(m *ir.Module, opts Options) *Machine {
+	if opts.NumThreads <= 0 {
+		opts.NumThreads = 1
+	}
+	mach := &Machine{
+		Mod:     m,
+		Opts:    opts,
+		globals: map[*ir.Global]*MemObject{},
+		funcs:   map[*ir.Function]*funcInfo{},
+	}
+	for _, g := range m.Globals {
+		obj := NewMemObject(g.Nam, ir.SizeOfElems(g.Elem))
+		if g.Init != nil {
+			obj.Cells[0] = constValue(g.Init)
+		} else {
+			zero := zeroOf(scalarBase(g.Elem))
+			for i := range obj.Cells {
+				obj.Cells[i] = zero
+			}
+		}
+		mach.globals[g] = obj
+	}
+	return mach
+}
+
+func scalarBase(t ir.Type) ir.Type {
+	for {
+		a, ok := t.(*ir.ArrayType)
+		if !ok {
+			return t
+		}
+		t = a.Elem
+	}
+}
+
+func zeroOf(t ir.Type) Value {
+	if ir.IsFloatType(t) {
+		return FloatV(0)
+	}
+	if ir.IsPtrType(t) {
+		return PtrV(Pointer{})
+	}
+	return IntV(0)
+}
+
+func constValue(v ir.Value) Value {
+	switch c := v.(type) {
+	case *ir.ConstInt:
+		return IntV(c.V)
+	case *ir.ConstFloat:
+		return FloatV(c.V)
+	case *ir.ConstNull:
+		return PtrV(Pointer{})
+	case *ir.ConstUndef:
+		return Value{K: KUndef}
+	}
+	return Value{K: KUndef}
+}
+
+// Output returns everything the program printed so far.
+func (m *Machine) Output() string {
+	m.outMu.Lock()
+	defer m.outMu.Unlock()
+	return m.out.String()
+}
+
+// Steps returns the approximate number of instructions executed.
+func (m *Machine) Steps() int64 {
+	m.stepMu.Lock()
+	defer m.stepMu.Unlock()
+	return m.steps
+}
+
+func (m *Machine) addSteps(n int64) {
+	m.stepMu.Lock()
+	m.steps += n
+	m.stepMu.Unlock()
+}
+
+// SimSteps returns the simulated critical-path length over all Run calls:
+// the deterministic stand-in for parallel wall-clock time.
+func (m *Machine) SimSteps() int64 {
+	m.stepMu.Lock()
+	defer m.stepMu.Unlock()
+	return m.span
+}
+
+func (m *Machine) addSpan(n int64) {
+	m.stepMu.Lock()
+	m.span += n
+	m.stepMu.Unlock()
+}
+
+func (m *Machine) forkCost() int64 {
+	if m.Opts.ForkCost > 0 {
+		return m.Opts.ForkCost
+	}
+	return 2000
+}
+
+func (m *Machine) printf(format string, args ...any) {
+	m.outMu.Lock()
+	fmt.Fprintf(&m.out, format, args...)
+	m.outMu.Unlock()
+}
+
+// GlobalMem exposes a global's memory object (tests and harnesses use it
+// to seed inputs and read results).
+func (m *Machine) GlobalMem(name string) *MemObject {
+	g := m.Mod.GlobalByName(name)
+	if g == nil {
+		return nil
+	}
+	return m.globals[g]
+}
+
+func (m *Machine) info(f *ir.Function) *funcInfo {
+	m.funcsMu.Lock()
+	defer m.funcsMu.Unlock()
+	if fi, ok := m.funcs[f]; ok {
+		return fi
+	}
+	fi := &funcInfo{slots: map[ir.Value]int{}}
+	for _, p := range f.Params {
+		fi.slots[p] = fi.numSlots
+		fi.numSlots++
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasResult() {
+				fi.slots[in] = fi.numSlots
+				fi.numSlots++
+			}
+		}
+	}
+	m.funcs[f] = fi
+	return fi
+}
+
+// Run executes the named function with the given arguments and returns
+// its result (undef for void). Traps inside the program surface as *Trap
+// errors.
+func (m *Machine) Run(name string, args ...Value) (Value, error) {
+	f := m.Mod.FuncByName(name)
+	if f == nil {
+		return Value{}, fmt.Errorf("interp: no function @%s", name)
+	}
+	ex := &exec{m: m, gtid: 0}
+	var ret Value
+	err := ex.protect(func() {
+		ret = ex.callFunction(f, args)
+	})
+	m.addSteps(ex.localSteps)
+	m.addSpan(ex.spanSteps)
+	return ret, err
+}

@@ -1,0 +1,377 @@
+package interp
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/omp"
+)
+
+// team is one OpenMP parallel-region team: a set of workers with a
+// cyclic barrier.
+type team struct {
+	size int
+
+	barMu   sync.Mutex
+	barCond *sync.Cond
+	waiting int
+	phase   int
+
+	// Dynamic-dispatch state: one shared chunk cursor per construct.
+	// Workers all call dispatch_init, then pull chunks with
+	// dispatch_next until it returns 0; when every worker has drained,
+	// the state resets for the next construct.
+	dispMu     sync.Mutex
+	dispInits  int
+	dispDone   int
+	dispCursor int64
+	dispUB     int64
+	dispIncr   int64
+	dispChunk  int64
+}
+
+func newTeam(size int) *team {
+	t := &team{size: size}
+	t.barCond = sync.NewCond(&t.barMu)
+	return t
+}
+
+// barrier blocks until all team members arrive.
+func (t *team) barrier() {
+	t.barMu.Lock()
+	phase := t.phase
+	t.waiting++
+	if t.waiting == t.size {
+		t.waiting = 0
+		t.phase++
+		t.barCond.Broadcast()
+	} else {
+		for t.phase == phase {
+			t.barCond.Wait()
+		}
+	}
+	t.barMu.Unlock()
+}
+
+// callExternal dispatches calls to declared (bodyless) functions: the
+// OpenMP runtime and a small libm/libc surface.
+func (ex *exec) callExternal(f *ir.Function, args []Value) Value {
+	switch f.Nam {
+	case omp.ForkCall:
+		ex.forkCall(args)
+		return Value{K: KUndef}
+	case omp.ForStaticInit:
+		ex.staticInit(args)
+		return Value{K: KUndef}
+	case omp.ForStaticFini:
+		return Value{K: KUndef}
+	case omp.Barrier:
+		if ex.team != nil {
+			ex.team.barrier()
+		}
+		return Value{K: KUndef}
+	case omp.GlobalThread:
+		return IntV(int64(ex.gtid))
+	case omp.PushNumThreads:
+		// Recorded but the modeled fork always uses the machine team size.
+		return Value{K: KUndef}
+	case omp.DispatchInit:
+		ex.dispatchInit(args)
+		return Value{K: KUndef}
+	case omp.DispatchNext:
+		return ex.dispatchNext(args)
+	case omp.AtomicAddF64:
+		ex.m.atomicMu.Lock()
+		cur := ex.deref(args[0])
+		ex.storeTo(args[0], FloatV(cur.F+args[1].F))
+		ex.m.atomicMu.Unlock()
+		return Value{K: KUndef}
+	case omp.AtomicMulF64:
+		ex.m.atomicMu.Lock()
+		cur := ex.deref(args[0])
+		ex.storeTo(args[0], FloatV(cur.F*args[1].F))
+		ex.m.atomicMu.Unlock()
+		return Value{K: KUndef}
+	case omp.AtomicAddI64:
+		ex.m.atomicMu.Lock()
+		cur := ex.deref(args[0])
+		ex.storeTo(args[0], IntV(cur.I+args[1].I))
+		ex.m.atomicMu.Unlock()
+		return Value{K: KUndef}
+	case omp.AtomicMulI64:
+		ex.m.atomicMu.Lock()
+		cur := ex.deref(args[0])
+		ex.storeTo(args[0], IntV(cur.I*args[1].I))
+		ex.m.atomicMu.Unlock()
+		return Value{K: KUndef}
+
+	case "exp":
+		return FloatV(math.Exp(args[0].F))
+	case "log":
+		return FloatV(math.Log(args[0].F))
+	case "sqrt":
+		return FloatV(math.Sqrt(args[0].F))
+	case "fabs":
+		return FloatV(math.Abs(args[0].F))
+	case "pow":
+		return FloatV(math.Pow(args[0].F, args[1].F))
+	case "sin":
+		return FloatV(math.Sin(args[0].F))
+	case "cos":
+		return FloatV(math.Cos(args[0].F))
+	case "floor":
+		return FloatV(math.Floor(args[0].F))
+	case "ceil":
+		return FloatV(math.Ceil(args[0].F))
+
+	case "malloc":
+		// Cell-unit allocation: the frontend lowers malloc(n*sizeof(T))
+		// to malloc(n) cells.
+		n := int(args[0].I)
+		if n < 0 {
+			ex.trap("malloc with negative size %d", n)
+		}
+		return PtrV(Pointer{Obj: NewMemObject("heap", n)})
+	case "free":
+		return Value{K: KUndef}
+
+	case "print_i64":
+		ex.m.printf("%d\n", args[0].I)
+		return Value{K: KUndef}
+	case "print_f64":
+		ex.m.printf("%.6f\n", args[0].F)
+		return Value{K: KUndef}
+
+	case "timer_start", "timer_stop":
+		return Value{K: KUndef}
+	}
+	ex.trap("call to unknown external @%s", f.Nam)
+	return Value{}
+}
+
+// forkCall implements __kmpc_fork_call(argc, microtask, shared...):
+// NumThreads workers execute the microtask concurrently, each on its own
+// goroutine, receiving pointers to its global and team-local thread ids
+// followed by the shared arguments.
+func (ex *exec) forkCall(args []Value) {
+	if len(args) < 2 {
+		ex.trap("fork call needs (argc, microtask, ...)")
+	}
+	mt := args[1]
+	if mt.K != KFunc {
+		ex.trap("fork call with non-function microtask")
+	}
+	shared := args[2:]
+	n := ex.m.Opts.NumThreads
+	tm := newTeam(n)
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	steps := make([]int64, n)
+	spans := make([]int64, n)
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := &exec{m: ex.m, gtid: tid, team: tm}
+			errs[tid] = w.protect(func() {
+				gtidObj := NewMemObject("gtid", 1)
+				gtidObj.Cells[0] = IntV(int64(tid))
+				btidObj := NewMemObject("btid", 1)
+				btidObj.Cells[0] = IntV(int64(tid))
+				wargs := make([]Value, 0, 2+len(shared))
+				wargs = append(wargs, PtrV(Pointer{Obj: gtidObj}), PtrV(Pointer{Obj: btidObj}))
+				wargs = append(wargs, shared...)
+				w.callFunction(mt.Fn, wargs)
+			})
+			steps[tid] = w.localSteps
+			spans[tid] = w.spanSteps
+		}(tid)
+	}
+	wg.Wait()
+	var maxSpan int64
+	for tid := 0; tid < n; tid++ {
+		ex.m.addSteps(steps[tid])
+		if spans[tid] > maxSpan {
+			maxSpan = spans[tid]
+		}
+	}
+	// Work-span simulated clock: the fork costs a fixed setup and then
+	// advances by the slowest worker's path. This is what makes parallel
+	// speedup measurable deterministically, independent of host cores.
+	ex.spanSteps += maxSpan + ex.m.forkCost()
+	for _, err := range errs {
+		if err != nil {
+			panic(err.(*Trap))
+		}
+	}
+}
+
+// staticInit implements __kmpc_for_static_init_8(gtid, sched, plast,
+// plower, pupper, pstride, incr, chunk): it narrows [*plower, *pupper]
+// (inclusive bounds) to this worker's contiguous static chunk, libomp
+// style. With no iterations for this worker, lower is set above upper.
+func (ex *exec) staticInit(args []Value) {
+	if len(args) != 8 {
+		ex.trap("static_init_8 expects 8 args, got %d", len(args))
+	}
+	plast, plower, pupper := args[2], args[3], args[4]
+	pstride := args[5]
+	incr := args[6].I
+	if incr == 0 {
+		ex.trap("static_init_8 with zero increment")
+	}
+	lb := ex.deref(plower).I
+	ub := ex.deref(pupper).I
+
+	n := 1
+	if ex.team != nil {
+		n = ex.team.size
+	}
+	tid := ex.gtid
+
+	trip := (ub-lb)/incr + 1
+	if trip <= 0 {
+		// Zero-trip loop: make this worker's range empty.
+		ex.storeTo(plower, IntV(lb))
+		ex.storeTo(pupper, IntV(lb-incr))
+		ex.storeTo(plast, IntV(0))
+		return
+	}
+	var myLo, myHi int64
+	if ex.m.Opts.BalancedChunks {
+		// libgomp-style: floor(trip/n) per worker, remainder spread over
+		// the first trip%n workers.
+		q, r := trip/int64(n), trip%int64(n)
+		lo := int64(0)
+		size := q
+		if int64(tid) < r {
+			size = q + 1
+			lo = int64(tid) * size
+		} else {
+			lo = r*(q+1) + (int64(tid)-r)*q
+		}
+		myLo = lb + lo*incr
+		myHi = lb + (lo+size-1)*incr
+		if size == 0 {
+			myLo, myHi = lb, lb-incr
+		}
+	} else {
+		// libomp-style: ceiling chunks.
+		chunk := (trip + int64(n) - 1) / int64(n)
+		myLo = lb + int64(tid)*chunk*incr
+		myHi = lb + (int64(tid+1)*chunk-1)*incr
+	}
+	last := int64(0)
+	if incr > 0 {
+		if myHi >= ub {
+			myHi = ub
+			last = 1
+		}
+		if myLo > ub {
+			myLo, myHi = lb, lb-incr // empty
+			last = 0
+		}
+	} else {
+		if myHi <= ub {
+			myHi = ub
+			last = 1
+		}
+		if myLo < ub {
+			myLo, myHi = lb, lb-incr
+			last = 0
+		}
+	}
+	ex.storeTo(plower, IntV(myLo))
+	ex.storeTo(pupper, IntV(myHi))
+	ex.storeTo(pstride, IntV((myHi-myLo)/incr+1))
+	ex.storeTo(plast, IntV(last))
+}
+
+// dispatchInit implements __kmpc_dispatch_init_8(gtid, sched, lb, ub,
+// incr, chunk): the first arriving worker publishes the iteration space.
+func (ex *exec) dispatchInit(args []Value) {
+	if len(args) != 6 {
+		ex.trap("dispatch_init_8 expects 6 args, got %d", len(args))
+	}
+	t := ex.team
+	if t == nil {
+		t = newTeam(1)
+		ex.team = t
+	}
+	t.dispMu.Lock()
+	if t.dispInits == 0 {
+		t.dispCursor = args[2].I
+		t.dispUB = args[3].I
+		t.dispIncr = args[4].I
+		t.dispChunk = args[5].I
+		if t.dispIncr == 0 {
+			t.dispMu.Unlock()
+			ex.trap("dispatch_init_8 with zero increment")
+		}
+		if t.dispChunk <= 0 {
+			t.dispChunk = 1
+		}
+	}
+	t.dispInits++
+	t.dispMu.Unlock()
+}
+
+// dispatchNext implements __kmpc_dispatch_next_8: it hands the caller the
+// next chunk of the shared iteration space, or returns 0 when drained.
+func (ex *exec) dispatchNext(args []Value) Value {
+	if len(args) != 5 {
+		ex.trap("dispatch_next_8 expects 5 args, got %d", len(args))
+	}
+	t := ex.team
+	if t == nil {
+		ex.trap("dispatch_next_8 outside a team")
+	}
+	t.dispMu.Lock()
+	defer t.dispMu.Unlock()
+	incr := t.dispIncr
+	exhausted := incr > 0 && t.dispCursor > t.dispUB ||
+		incr < 0 && t.dispCursor < t.dispUB
+	if exhausted {
+		t.dispDone++
+		// Reset only when the whole team has drained. A worker can finish
+		// before its teammates have even called dispatch_init; resetting
+		// on inits==done would hand the late arrivals a fresh cursor and
+		// re-run the whole space. The construct's closing barrier orders
+		// the reset before any worker reaches the next construct.
+		if t.dispDone >= t.size {
+			t.dispInits = 0
+			t.dispDone = 0
+		}
+		return IntV(0)
+	}
+	lo := t.dispCursor
+	hi := lo + (t.dispChunk-1)*incr
+	if incr > 0 && hi > t.dispUB {
+		hi = t.dispUB
+	}
+	if incr < 0 && hi < t.dispUB {
+		hi = t.dispUB
+	}
+	t.dispCursor = hi + incr
+	ex.storeTo(args[1], IntV(0))
+	ex.storeTo(args[2], IntV(lo))
+	ex.storeTo(args[3], IntV(hi))
+	ex.storeTo(args[4], IntV(incr))
+	return IntV(1)
+}
+
+func (ex *exec) deref(p Value) Value {
+	if p.K != KPtr || p.P.Nil() || p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
+		ex.trap("bad pointer in runtime call")
+	}
+	return p.P.Obj.Cells[p.P.Off]
+}
+
+func (ex *exec) storeTo(p Value, v Value) {
+	if p.K != KPtr || p.P.Nil() || p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
+		ex.trap("bad pointer in runtime call")
+	}
+	p.P.Obj.Cells[p.P.Off] = v
+}

@@ -1,0 +1,120 @@
+package ir
+
+// Block is a basic block: a named, straight-line instruction sequence
+// ending in exactly one terminator.
+type Block struct {
+	Nam    string
+	Parent *Function
+	Instrs []*Instr
+}
+
+// Name returns the block label (without the % sigil).
+func (b *Block) Name() string { return b.Nam }
+
+// Terminator returns the block's final instruction if it is a terminator,
+// or nil for an (invalid, under-construction) block.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !t.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	if t := b.Terminator(); t != nil {
+		return t.Succs()
+	}
+	return nil
+}
+
+// Preds returns the predecessor blocks in function block order.
+func (b *Block) Preds() []*Block {
+	var preds []*Block
+	for _, p := range b.Parent.Blocks {
+		for _, s := range p.Succs() {
+			if s == b {
+				preds = append(preds, p)
+				break
+			}
+		}
+	}
+	return preds
+}
+
+// Phis returns the leading phi instructions of the block.
+func (b *Block) Phis() []*Instr {
+	var phis []*Instr
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		phis = append(phis, in)
+	}
+	return phis
+}
+
+// FirstNonPhi returns the index of the first non-phi instruction.
+func (b *Block) FirstNonPhi() int {
+	for i, in := range b.Instrs {
+		if in.Op != OpPhi {
+			return i
+		}
+	}
+	return len(b.Instrs)
+}
+
+// Append adds an instruction to the end of the block and sets its parent.
+func (b *Block) Append(in *Instr) *Instr {
+	in.Parent = b
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// InsertAt inserts an instruction at index i.
+func (b *Block) InsertAt(i int, in *Instr) {
+	in.Parent = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[i+1:], b.Instrs[i:])
+	b.Instrs[i] = in
+}
+
+// Remove deletes the instruction at index i.
+func (b *Block) Remove(i int) {
+	b.Instrs[i].Parent = nil
+	b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+}
+
+// RemoveInstr deletes in from the block if present and reports whether it
+// was found.
+func (b *Block) RemoveInstr(in *Instr) bool {
+	for i, x := range b.Instrs {
+		if x == in {
+			b.Remove(i)
+			return true
+		}
+	}
+	return false
+}
+
+// IndexOf returns the position of in within the block, or -1.
+func (b *Block) IndexOf(in *Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReplacePhiPred rewrites all phis so that edges recorded from old are
+// recorded from new instead. Used when splitting/redirecting edges.
+func (b *Block) ReplacePhiPred(old, new *Block) {
+	for _, phi := range b.Phis() {
+		phi.ReplaceBlock(old, new)
+	}
+}

@@ -1,0 +1,142 @@
+package ir
+
+import "fmt"
+
+// Builder constructs instructions at the end of a current block. It is the
+// API the frontend and all transformation passes use to create IR.
+type Builder struct {
+	Func *Function
+	// Cur is the insertion block; new instructions are appended to it.
+	Cur *Block
+	// Line is attached to created instructions as SrcLine.
+	Line int
+}
+
+// NewBuilder returns a builder positioned at no block.
+func NewBuilder(f *Function) *Builder { return &Builder{Func: f} }
+
+// SetBlock moves the insertion point to the end of b.
+func (bd *Builder) SetBlock(b *Block) { bd.Cur = b }
+
+// emit appends in to the current block, naming its result if needed.
+func (bd *Builder) emit(in *Instr, nameHint string) *Instr {
+	if in.HasResult() && in.Nam == "" {
+		in.Nam = bd.Func.FreshName(nameHint)
+	}
+	if in.SrcLine == 0 {
+		in.SrcLine = bd.Line
+	}
+	bd.Cur.Append(in)
+	return in
+}
+
+// Alloca allocates one element of elem on the stack frame.
+func (bd *Builder) Alloca(elem Type, name string) *Instr {
+	return bd.emit(&Instr{Op: OpAlloca, Typ: Ptr(elem), AllocaElem: elem}, name)
+}
+
+// Load reads through ptr.
+func (bd *Builder) Load(ptr Value, name string) *Instr {
+	et := ElemOf(ptr.Type())
+	if et == nil {
+		panic(fmt.Sprintf("ir: load from non-pointer %s", ValueString(ptr)))
+	}
+	return bd.emit(&Instr{Op: OpLoad, Typ: et, Args: []Value{ptr}}, name)
+}
+
+// Store writes v through ptr.
+func (bd *Builder) Store(v, ptr Value) *Instr {
+	return bd.emit(&Instr{Op: OpStore, Typ: Void, Args: []Value{v, ptr}}, "")
+}
+
+// GEP computes an element pointer from base and indices.
+func (bd *Builder) GEP(base Value, idx []Value, name string) *Instr {
+	rt, err := GEPResultType(base.Type(), len(idx))
+	if err != nil {
+		panic("ir: " + err.Error())
+	}
+	args := append([]Value{base}, idx...)
+	return bd.emit(&Instr{Op: OpGEP, Typ: rt, Args: args}, name)
+}
+
+// Bin emits a binary arithmetic/logic instruction.
+func (bd *Builder) Bin(op Op, a, b Value, name string) *Instr {
+	if !op.IsBinary() {
+		panic("ir: Bin with non-binary op " + op.String())
+	}
+	return bd.emit(&Instr{Op: op, Typ: a.Type(), Args: []Value{a, b}}, name)
+}
+
+// FNeg emits floating-point negation.
+func (bd *Builder) FNeg(a Value, name string) *Instr {
+	return bd.emit(&Instr{Op: OpFNeg, Typ: a.Type(), Args: []Value{a}}, name)
+}
+
+// ICmp emits an integer comparison.
+func (bd *Builder) ICmp(p CmpPred, a, b Value, name string) *Instr {
+	return bd.emit(&Instr{Op: OpICmp, Typ: I1, Pred: p, Args: []Value{a, b}}, name)
+}
+
+// FCmp emits a floating-point comparison.
+func (bd *Builder) FCmp(p CmpPred, a, b Value, name string) *Instr {
+	return bd.emit(&Instr{Op: OpFCmp, Typ: I1, Pred: p, Args: []Value{a, b}}, name)
+}
+
+// Cast emits a conversion of v to typ.
+func (bd *Builder) Cast(op Op, v Value, typ Type, name string) *Instr {
+	if !op.IsCast() {
+		panic("ir: Cast with non-cast op " + op.String())
+	}
+	return bd.emit(&Instr{Op: op, Typ: typ, Args: []Value{v}}, name)
+}
+
+// Phi emits an (initially empty) phi of type typ at the start of the
+// current block.
+func (bd *Builder) Phi(typ Type, name string) *Instr {
+	in := &Instr{Op: OpPhi, Typ: typ}
+	if in.Nam == "" {
+		in.Nam = bd.Func.FreshName(name)
+	}
+	in.SrcLine = bd.Line
+	bd.Cur.InsertAt(bd.Cur.FirstNonPhi(), in)
+	return in
+}
+
+// Select emits a conditional move.
+func (bd *Builder) Select(cond, a, b Value, name string) *Instr {
+	return bd.emit(&Instr{Op: OpSelect, Typ: a.Type(), Args: []Value{cond, a, b}}, name)
+}
+
+// Call emits a call to callee. The result type is taken from the callee's
+// signature when available.
+func (bd *Builder) Call(callee Value, args []Value, name string) *Instr {
+	var rt Type = Void
+	if ft, ok := callee.Type().(*FuncType); ok {
+		rt = ft.Ret
+	}
+	return bd.emit(&Instr{Op: OpCall, Typ: rt, Callee: callee, Args: args}, name)
+}
+
+// Br emits an unconditional branch to target.
+func (bd *Builder) Br(target *Block) *Instr {
+	return bd.emit(&Instr{Op: OpBr, Typ: Void, Blocks: []*Block{target}}, "")
+}
+
+// CondBr emits a conditional branch.
+func (bd *Builder) CondBr(cond Value, t, f *Block) *Instr {
+	return bd.emit(&Instr{Op: OpCondBr, Typ: Void, Args: []Value{cond}, Blocks: []*Block{t, f}}, "")
+}
+
+// Ret emits a return; v may be nil for void.
+func (bd *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Typ: Void}
+	if v != nil {
+		in.Args = []Value{v}
+	}
+	return bd.emit(in, "")
+}
+
+// DbgValue emits a debug intrinsic relating v to source variable varName.
+func (bd *Builder) DbgValue(v Value, varName string) *Instr {
+	return bd.emit(&Instr{Op: OpDbgValue, Typ: Void, Args: []Value{v}, VarName: varName}, "")
+}

@@ -1,0 +1,80 @@
+package ir
+
+// CloneFunctionInto deep-copies src's body into dst, which must share
+// src's signature arity. argMap maps each src parameter to the value that
+// replaces it in dst (typically dst's own parameters, or call arguments
+// when inlining). It returns a map from src values to their clones so
+// callers can relocate auxiliary references.
+//
+// Block labels and SSA names are freshened through dst.FreshName, so the
+// clone never collides with existing names in dst. The returned block map
+// relates each source block to its clone.
+func CloneFunctionInto(dst, src *Function, argMap map[*Param]Value) (map[Value]Value, map[*Block]*Block) {
+	vmap := make(map[Value]Value, len(argMap))
+	for p, v := range argMap {
+		vmap[p] = v
+	}
+	bmap := make(map[*Block]*Block, len(src.Blocks))
+	for _, b := range src.Blocks {
+		nb := dst.NewBlock(b.Nam)
+		bmap[b] = nb
+	}
+	lookup := func(v Value) Value {
+		if nv, ok := vmap[v]; ok {
+			return nv
+		}
+		return v // constants, globals, functions
+	}
+	// First create clones of all result-producing instructions so phi
+	// operands can forward-reference them.
+	for _, b := range src.Blocks {
+		for _, in := range b.Instrs {
+			ci := &Instr{
+				Op: in.Op, Typ: in.Typ, Pred: in.Pred,
+				AllocaElem: in.AllocaElem, VarName: in.VarName, SrcLine: in.SrcLine,
+			}
+			if in.HasResult() {
+				ci.Nam = dst.FreshName(in.Nam)
+				vmap[in] = ci
+			}
+			bmap[b].Append(ci)
+		}
+	}
+	// Then fill operands and block references.
+	for _, b := range src.Blocks {
+		for i, in := range b.Instrs {
+			ci := bmap[b].Instrs[i]
+			for _, a := range in.Args {
+				ci.Args = append(ci.Args, lookup(a))
+			}
+			if in.Callee != nil {
+				ci.Callee = lookup(in.Callee)
+			}
+			for _, tb := range in.Blocks {
+				ci.Blocks = append(ci.Blocks, bmap[tb])
+			}
+		}
+	}
+	return vmap, bmap
+}
+
+// CloneFunction returns an independent copy of f named name, registered in
+// the same module when f has one.
+func CloneFunction(f *Function, name string) *Function {
+	nf := NewFunction(name, f.Sig)
+	for i, p := range f.Params {
+		nf.Params[i].Nam = p.Nam
+		nf.Params[i].SourceName = p.SourceName
+	}
+	nf.RecomputeNameSeq()
+	argMap := make(map[*Param]Value, len(f.Params))
+	for i, p := range f.Params {
+		argMap[p] = nf.Params[i]
+	}
+	CloneFunctionInto(nf, f, argMap)
+	nf.Outlined = f.Outlined
+	if f.Parent != nil {
+		f.Parent.AddFunc(nf)
+	}
+	return nf
+}

@@ -1,0 +1,384 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates instruction opcodes.
+type Op int
+
+// Instruction opcodes. The set mirrors the LLVM instructions the SPLENDID
+// pipeline operates on.
+const (
+	OpInvalid Op = iota
+
+	// Memory.
+	OpAlloca // %p = alloca T [, n]
+	OpLoad   // %v = load T, T* %p
+	OpStore  // store T %v, T* %p
+	OpGEP    // %q = getelementptr T, T* %p, idx...
+
+	// Integer arithmetic.
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpAShr
+
+	// Floating-point arithmetic.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+
+	// Comparisons.
+	OpICmp
+	OpFCmp
+
+	// Conversions.
+	OpSExt
+	OpZExt
+	OpTrunc
+	OpSIToFP
+	OpFPToSI
+	OpFPExt
+	OpFPTrunc
+	OpBitcast
+	OpPtrToInt
+	OpIntToPtr
+
+	// Other.
+	OpPhi
+	OpSelect
+	OpCall
+
+	// Terminators.
+	OpBr     // br label %t
+	OpCondBr // br i1 %c, label %t, label %f
+	OpRet    // ret void | ret T %v
+
+	// Debug intrinsic: relates an SSA value to a source variable name.
+	// Printed as: call void @llvm.dbg.value(metadata T %v, metadata !"name")
+	OpDbgValue
+)
+
+var opNames = map[Op]string{
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpGEP: "getelementptr",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpSRem: "srem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpAShr: "ashr",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv", OpFNeg: "fneg",
+	OpICmp: "icmp", OpFCmp: "fcmp",
+	OpSExt: "sext", OpZExt: "zext", OpTrunc: "trunc", OpSIToFP: "sitofp",
+	OpFPToSI: "fptosi", OpFPExt: "fpext", OpFPTrunc: "fptrunc",
+	OpBitcast: "bitcast", OpPtrToInt: "ptrtoint", OpIntToPtr: "inttoptr",
+	OpPhi: "phi", OpSelect: "select", OpCall: "call",
+	OpBr: "br", OpCondBr: "br", OpRet: "ret", OpDbgValue: "dbg.value",
+}
+
+// String returns the opcode mnemonic.
+func (op Op) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// IsTerminator reports whether op terminates a basic block.
+func (op Op) IsTerminator() bool { return op == OpBr || op == OpCondBr || op == OpRet }
+
+// IsBinary reports whether op is a two-operand arithmetic/logic operation.
+func (op Op) IsBinary() bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpAShr,
+		OpFAdd, OpFSub, OpFMul, OpFDiv:
+		return true
+	}
+	return false
+}
+
+// IsCast reports whether op is a value conversion.
+func (op Op) IsCast() bool {
+	switch op {
+	case OpSExt, OpZExt, OpTrunc, OpSIToFP, OpFPToSI, OpFPExt, OpFPTrunc,
+		OpBitcast, OpPtrToInt, OpIntToPtr:
+		return true
+	}
+	return false
+}
+
+// CmpPred is a comparison predicate for icmp/fcmp.
+type CmpPred int
+
+// Comparison predicates. Integer predicates are signed; fcmp uses the
+// ordered forms.
+const (
+	CmpEQ CmpPred = iota
+	CmpNE
+	CmpSLT
+	CmpSLE
+	CmpSGT
+	CmpSGE
+)
+
+var predNames = [...]string{"eq", "ne", "slt", "sle", "sgt", "sge"}
+var fpredNames = [...]string{"oeq", "one", "olt", "ole", "ogt", "oge"}
+
+// String returns the icmp spelling of the predicate.
+func (p CmpPred) String() string { return predNames[p] }
+
+// FloatString returns the fcmp spelling of the predicate.
+func (p CmpPred) FloatString() string { return fpredNames[p] }
+
+// Inverse returns the negated predicate (eq<->ne, slt<->sge, ...).
+func (p CmpPred) Inverse() CmpPred {
+	switch p {
+	case CmpEQ:
+		return CmpNE
+	case CmpNE:
+		return CmpEQ
+	case CmpSLT:
+		return CmpSGE
+	case CmpSLE:
+		return CmpSGT
+	case CmpSGT:
+		return CmpSLE
+	case CmpSGE:
+		return CmpSLT
+	}
+	return p
+}
+
+// Swapped returns the predicate with operands exchanged (slt -> sgt, ...).
+func (p CmpPred) Swapped() CmpPred {
+	switch p {
+	case CmpSLT:
+		return CmpSGT
+	case CmpSLE:
+		return CmpSGE
+	case CmpSGT:
+		return CmpSLT
+	case CmpSGE:
+		return CmpSLE
+	}
+	return p
+}
+
+// Instr is a single IR instruction. One struct represents all opcodes;
+// operand roles depend on Op:
+//
+//	OpAlloca:  AllocaElem holds the allocated type; Args optional count.
+//	OpLoad:    Args[0] = pointer.
+//	OpStore:   Args[0] = value, Args[1] = pointer.
+//	OpGEP:     Args[0] = base pointer, Args[1:] = indices.
+//	binary:    Args[0], Args[1].
+//	OpICmp/OpFCmp: Pred + Args[0], Args[1].
+//	casts/OpFNeg:  Args[0].
+//	OpPhi:     Args[i] incoming from Blocks[i].
+//	OpSelect:  Args[0] = cond, Args[1], Args[2].
+//	OpCall:    Callee + Args.
+//	OpBr:      Blocks[0] = target.
+//	OpCondBr:  Args[0] = cond, Blocks[0] = true, Blocks[1] = false.
+//	OpRet:     Args[0] optional return value.
+//	OpDbgValue: Args[0] = described value, VarName = source variable.
+type Instr struct {
+	Parent *Block
+	Op     Op
+	// Nam is the SSA result name (without the % sigil); empty for
+	// instructions that produce no value.
+	Nam string
+	// Typ is the result type (Void for no result).
+	Typ    Type
+	Args   []Value
+	Blocks []*Block
+	Pred   CmpPred
+	// Callee is the called value for OpCall (usually a *Function).
+	Callee Value
+	// AllocaElem is the element type allocated by OpAlloca.
+	AllocaElem Type
+	// VarName is the source variable name for OpDbgValue.
+	VarName string
+	// SrcLine is the 1-based source line this instruction was generated
+	// from, or 0 when unknown.
+	SrcLine int
+}
+
+// Type returns the instruction's result type.
+func (in *Instr) Type() Type {
+	if in.Typ == nil {
+		return Void
+	}
+	return in.Typ
+}
+
+// Ident returns "%name" for value-producing instructions.
+func (in *Instr) Ident() string { return "%" + in.Nam }
+
+// Name returns the bare SSA name.
+func (in *Instr) Name() string { return in.Nam }
+
+// HasResult reports whether the instruction produces an SSA value.
+func (in *Instr) HasResult() bool { return in.Typ != nil && !IsVoid(in.Typ) }
+
+// IsTerminator reports whether the instruction ends its block.
+func (in *Instr) IsTerminator() bool { return in.Op.IsTerminator() }
+
+// Succs returns the successor blocks of a terminator (nil otherwise).
+func (in *Instr) Succs() []*Block {
+	switch in.Op {
+	case OpBr, OpCondBr:
+		return in.Blocks
+	}
+	return nil
+}
+
+// PhiIncoming returns the value flowing into this phi from pred, or nil.
+func (in *Instr) PhiIncoming(pred *Block) Value {
+	for i, b := range in.Blocks {
+		if b == pred {
+			return in.Args[i]
+		}
+	}
+	return nil
+}
+
+// SetPhiIncoming sets (or adds) the incoming value from pred.
+func (in *Instr) SetPhiIncoming(pred *Block, v Value) {
+	for i, b := range in.Blocks {
+		if b == pred {
+			in.Args[i] = v
+			return
+		}
+	}
+	in.Blocks = append(in.Blocks, pred)
+	in.Args = append(in.Args, v)
+}
+
+// RemovePhiIncoming deletes the incoming edge from pred, if present.
+func (in *Instr) RemovePhiIncoming(pred *Block) {
+	for i, b := range in.Blocks {
+		if b == pred {
+			in.Blocks = append(in.Blocks[:i], in.Blocks[i+1:]...)
+			in.Args = append(in.Args[:i], in.Args[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReplaceUses substitutes new for every operand equal to old.
+func (in *Instr) ReplaceUses(old, new Value) {
+	for i, a := range in.Args {
+		if a == old {
+			in.Args[i] = new
+		}
+	}
+	if in.Callee == old {
+		in.Callee = new
+	}
+}
+
+// ReplaceBlock substitutes nb for every block reference equal to ob
+// (branch targets and phi incoming blocks).
+func (in *Instr) ReplaceBlock(ob, nb *Block) {
+	for i, b := range in.Blocks {
+		if b == ob {
+			in.Blocks[i] = nb
+		}
+	}
+}
+
+// String renders the instruction in the textual IR syntax.
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.HasResult() {
+		fmt.Fprintf(&b, "%%%s = ", in.Nam)
+	}
+	switch in.Op {
+	case OpAlloca:
+		fmt.Fprintf(&b, "alloca %s", in.AllocaElem)
+	case OpLoad:
+		fmt.Fprintf(&b, "load %s, %s %s", in.Typ, in.Args[0].Type(), in.Args[0].Ident())
+	case OpStore:
+		fmt.Fprintf(&b, "store %s %s, %s %s",
+			in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Type(), in.Args[1].Ident())
+	case OpGEP:
+		base := in.Args[0]
+		fmt.Fprintf(&b, "getelementptr %s, %s %s", ElemOf(base.Type()), base.Type(), base.Ident())
+		for _, idx := range in.Args[1:] {
+			fmt.Fprintf(&b, ", %s %s", idx.Type(), idx.Ident())
+		}
+	case OpICmp:
+		fmt.Fprintf(&b, "icmp %s %s %s, %s", in.Pred, in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident())
+	case OpFCmp:
+		fmt.Fprintf(&b, "fcmp %s %s %s, %s", in.Pred.FloatString(), in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident())
+	case OpPhi:
+		fmt.Fprintf(&b, "phi %s ", in.Typ)
+		for i := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "[ %s, %%%s ]", in.Args[i].Ident(), in.Blocks[i].Nam)
+		}
+	case OpSelect:
+		fmt.Fprintf(&b, "select i1 %s, %s %s, %s %s",
+			in.Args[0].Ident(), in.Args[1].Type(), in.Args[1].Ident(), in.Args[2].Type(), in.Args[2].Ident())
+	case OpCall:
+		fmt.Fprintf(&b, "call %s %s(", in.Type(), in.Callee.Ident())
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", a.Type(), a.Ident())
+		}
+		b.WriteString(")")
+	case OpBr:
+		fmt.Fprintf(&b, "br label %%%s", in.Blocks[0].Nam)
+	case OpCondBr:
+		fmt.Fprintf(&b, "br i1 %s, label %%%s, label %%%s", in.Args[0].Ident(), in.Blocks[0].Nam, in.Blocks[1].Nam)
+	case OpRet:
+		if len(in.Args) == 0 {
+			b.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&b, "ret %s %s", in.Args[0].Type(), in.Args[0].Ident())
+		}
+	case OpDbgValue:
+		fmt.Fprintf(&b, "call void @llvm.dbg.value(metadata %s %s, metadata !%q)",
+			in.Args[0].Type(), in.Args[0].Ident(), in.VarName)
+	case OpFNeg:
+		fmt.Fprintf(&b, "fneg %s %s", in.Args[0].Type(), in.Args[0].Ident())
+	default:
+		if in.Op.IsBinary() {
+			fmt.Fprintf(&b, "%s %s %s, %s", in.Op, in.Typ, in.Args[0].Ident(), in.Args[1].Ident())
+		} else if in.Op.IsCast() {
+			fmt.Fprintf(&b, "%s %s %s to %s", in.Op, in.Args[0].Type(), in.Args[0].Ident(), in.Typ)
+		} else {
+			fmt.Fprintf(&b, "<%s>", in.Op)
+		}
+	}
+	return b.String()
+}
+
+// GEPResultType computes the result type of a GEP on base with the given
+// number of trailing (element-selecting) indices. The first index steps the
+// base pointer itself; each subsequent index descends into an array.
+func GEPResultType(base Type, nIdx int) (Type, error) {
+	p, ok := base.(*PtrType)
+	if !ok {
+		return nil, fmt.Errorf("gep base is not a pointer: %s", base)
+	}
+	t := p.Elem
+	for i := 1; i < nIdx; i++ {
+		a, ok := t.(*ArrayType)
+		if !ok {
+			return nil, fmt.Errorf("gep index %d descends into non-array %s", i, t)
+		}
+		t = a.Elem
+	}
+	return Ptr(t), nil
+}

@@ -1,0 +1,63 @@
+package ir
+
+// Module is a translation unit: globals plus functions.
+type Module struct {
+	Name    string
+	Globals []*Global
+	Funcs   []*Function
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module { return &Module{Name: name} }
+
+// AddFunc appends f to the module and sets its parent.
+func (m *Module) AddFunc(f *Function) *Function {
+	f.Parent = m
+	m.Funcs = append(m.Funcs, f)
+	return f
+}
+
+// RemoveFunc deletes f from the module.
+func (m *Module) RemoveFunc(f *Function) {
+	for i, x := range m.Funcs {
+		if x == f {
+			m.Funcs = append(m.Funcs[:i], m.Funcs[i+1:]...)
+			return
+		}
+	}
+}
+
+// FuncByName returns the function named name, or nil.
+func (m *Module) FuncByName(name string) *Function {
+	for _, f := range m.Funcs {
+		if f.Nam == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// AddGlobal appends g to the module.
+func (m *Module) AddGlobal(g *Global) *Global {
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// GlobalByName returns the global named name, or nil.
+func (m *Module) GlobalByName(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Nam == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// DeclareFunc returns the declaration for name, creating it when absent.
+// Used for external/runtime functions such as the OpenMP entry points.
+func (m *Module) DeclareFunc(name string, sig *FuncType) *Function {
+	if f := m.FuncByName(name); f != nil {
+		return f
+	}
+	return m.AddFunc(NewFunction(name, sig))
+}

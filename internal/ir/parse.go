@@ -1,0 +1,965 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a module from the textual syntax produced by Module.Print.
+// It supports forward references to values, blocks, functions, and globals.
+func Parse(src string) (*Module, error) {
+	p := &parser{lex: newLexer(src), mod: NewModule("")}
+	if err := p.parseModule(); err != nil {
+		return nil, err
+	}
+	return p.mod, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and fixtures.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic("ir.MustParse: " + err.Error())
+	}
+	return m
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tLocal  // %name
+	tGlobal // @name
+	tNumber
+	tString // !"..."
+	tPunct  // single-char punctuation, and "..."
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	tok  token
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src, line: 1}
+	l.next()
+	return l
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || c == '-' && false ||
+		'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}
+
+func (l *lexer) next() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == ';': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		l.tok = token{kind: tEOF, line: l.line}
+		return
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '%' || c == '@':
+		l.pos++
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		kind := tLocal
+		if c == '@' {
+			kind = tGlobal
+		}
+		l.tok = token{kind: kind, text: l.src[start+1 : l.pos], line: l.line}
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '"' {
+			l.pos++
+			s := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				l.pos++
+			}
+			text := l.src[s:l.pos]
+			if l.pos < len(l.src) {
+				l.pos++
+			}
+			l.tok = token{kind: tString, text: text, line: l.line}
+		} else {
+			// Bare metadata reference like !30: treat as string token.
+			s := l.pos
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			l.tok = token{kind: tString, text: l.src[s:l.pos], line: l.line}
+		}
+	case c == '-' || c >= '0' && c <= '9':
+		l.pos++
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d >= '0' && d <= '9' || d == '.' || d == 'e' || d == 'E' || d == '+' && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E') || d == '-' && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E') {
+				l.pos++
+				continue
+			}
+			break
+		}
+		l.tok = token{kind: tNumber, text: l.src[start:l.pos], line: l.line}
+	case isIdentChar(c):
+		if strings.HasPrefix(l.src[l.pos:], "...") {
+			l.pos += 3
+			l.tok = token{kind: tPunct, text: "...", line: l.line}
+			return
+		}
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		l.tok = token{kind: tIdent, text: l.src[start:l.pos], line: l.line}
+	default:
+		if strings.HasPrefix(l.src[l.pos:], "...") {
+			l.pos += 3
+			l.tok = token{kind: tPunct, text: "...", line: l.line}
+			return
+		}
+		l.pos++
+		l.tok = token{kind: tPunct, text: string(c), line: l.line}
+	}
+}
+
+// --- parser ---
+
+type fixup struct {
+	instr *Instr
+	idx   int // -1 means callee
+	name  string
+	typ   Type
+	line  int
+}
+
+type parser struct {
+	lex *lexer
+	mod *Module
+
+	fn        *Function
+	blocks    map[string]*Block
+	vals      map[string]Value
+	fixups    []fixup
+	modFixups []fixup
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir parse: line %d: %s", p.lex.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) tok() token { return p.lex.tok }
+
+func (p *parser) advance() token {
+	t := p.lex.tok
+	p.lex.next()
+	return t
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.lex.tok.kind == kind && (text == "" || p.lex.tok.text == text) {
+		p.lex.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.lex.tok.kind != kind || text != "" && p.lex.tok.text != text {
+		return token{}, p.errf("expected %q, got %q", text, p.lex.tok.text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseModule() error {
+	for {
+		t := p.tok()
+		switch {
+		case t.kind == tEOF:
+			return p.resolveModFixups()
+		case t.kind == tGlobal:
+			if err := p.parseGlobal(); err != nil {
+				return err
+			}
+		case t.kind == tIdent && (t.text == "define" || t.text == "declare"):
+			p.advance()
+			if err := p.parseFunction(t.text == "declare"); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected token %q at module level", t.text)
+		}
+	}
+}
+
+// resolveModFixups patches deferred module-level references once the
+// whole module has been read.
+func (p *parser) resolveModFixups() error {
+	for _, fx := range p.modFixups {
+		n := strings.TrimPrefix(fx.name, "@")
+		var v Value
+		if g := p.mod.GlobalByName(n); g != nil {
+			v = g
+		} else if fn := p.mod.FuncByName(n); fn != nil {
+			v = fn
+		}
+		if v == nil {
+			return fmt.Errorf("ir parse: line %d: undefined symbol @%s", fx.line, n)
+		}
+		if fx.idx == -1 {
+			fx.instr.Callee = v
+		} else {
+			fx.instr.Args[fx.idx] = v
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseType() (Type, error) {
+	t := p.tok()
+	var base Type
+	switch {
+	case t.kind == tIdent:
+		switch t.text {
+		case "void":
+			base = Void
+		case "i1":
+			base = I1
+		case "i8":
+			base = I8
+		case "i32":
+			base = I32
+		case "i64":
+			base = I64
+		case "float":
+			base = F32
+		case "double":
+			base = F64
+		default:
+			return nil, p.errf("unknown type %q", t.text)
+		}
+		p.advance()
+	case t.kind == tPunct && t.text == "[":
+		p.advance()
+		n, err := p.expect(tNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tIdent, "x"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, "]"); err != nil {
+			return nil, err
+		}
+		ln, _ := strconv.Atoi(n.text)
+		base = Array(ln, elem)
+	default:
+		return nil, p.errf("expected type, got %q", t.text)
+	}
+	for p.accept(tPunct, "*") {
+		base = Ptr(base)
+	}
+	// Function type: "ret (params...)" with optional trailing stars.
+	// Only a "(" directly after a type begins a parameter list in this
+	// grammar (call syntax places the callee symbol before its "(").
+	if p.tok().kind == tPunct && p.tok().text == "(" {
+		p.advance()
+		ft := &FuncType{Ret: base}
+		for !p.accept(tPunct, ")") {
+			if len(ft.Params) > 0 || ft.Variadic {
+				if _, err := p.expect(tPunct, ","); err != nil {
+					return nil, err
+				}
+			}
+			if p.accept(tPunct, "...") {
+				ft.Variadic = true
+				continue
+			}
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			ft.Params = append(ft.Params, pt)
+		}
+		base = ft
+		for p.accept(tPunct, "*") {
+			base = Ptr(base)
+		}
+	}
+	return base, nil
+}
+
+func (p *parser) parseGlobal() error {
+	name := p.advance().text
+	if _, err := p.expect(tPunct, "="); err != nil {
+		return err
+	}
+	kw := p.advance()
+	if kw.kind != tIdent || kw.text != "global" && kw.text != "constant" {
+		return p.errf("expected global/constant, got %q", kw.text)
+	}
+	elem, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	g := &Global{Nam: name, Elem: elem, Constant: kw.text == "constant"}
+	if p.accept(tIdent, "zeroinitializer") {
+		// zero-initialized
+	} else {
+		v, err := p.parseConst(elem)
+		if err != nil {
+			return err
+		}
+		g.Init = v
+	}
+	p.mod.AddGlobal(g)
+	return nil
+}
+
+func (p *parser) parseConst(typ Type) (Value, error) {
+	t := p.tok()
+	switch {
+	case t.kind == tNumber:
+		p.advance()
+		if IsFloatType(typ) {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad float %q", t.text)
+			}
+			return &ConstFloat{Typ: typ.(*BasicType), V: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr == nil && IsIntegerType(typ) {
+				return nil, p.errf("float literal %q for integer type %s", t.text, typ)
+			}
+			_ = f
+			return nil, p.errf("bad number %q", t.text)
+		}
+		bt, ok := typ.(*BasicType)
+		if !ok || !bt.IsInteger() {
+			return nil, p.errf("integer literal %q for type %s", t.text, typ)
+		}
+		return &ConstInt{Typ: bt, V: n}, nil
+	case t.kind == tIdent && t.text == "null":
+		p.advance()
+		pt, ok := typ.(*PtrType)
+		if !ok {
+			return nil, p.errf("null for non-pointer type %s", typ)
+		}
+		return Null(pt), nil
+	case t.kind == tIdent && t.text == "undef":
+		p.advance()
+		return Undef(typ), nil
+	case t.kind == tIdent && (t.text == "true" || t.text == "false"):
+		p.advance()
+		return BoolConst(t.text == "true"), nil
+	}
+	return nil, p.errf("expected constant, got %q", t.text)
+}
+
+// parseOperand parses a value reference of declared type typ, deferring
+// resolution of %locals until the function is complete.
+func (p *parser) parseOperand(typ Type, in *Instr, argIdx int) (Value, error) {
+	t := p.tok()
+	switch t.kind {
+	case tLocal:
+		p.advance()
+		if v, ok := p.vals[t.text]; ok {
+			return v, nil
+		}
+		p.fixups = append(p.fixups, fixup{instr: in, idx: argIdx, name: t.text, typ: typ, line: t.line})
+		return Undef(typ), nil // placeholder patched later
+	case tGlobal:
+		p.advance()
+		if g := p.mod.GlobalByName(t.text); g != nil {
+			return g, nil
+		}
+		if f := p.mod.FuncByName(t.text); f != nil {
+			return f, nil
+		}
+		p.fixups = append(p.fixups, fixup{instr: in, idx: argIdx, name: "@" + t.text, typ: typ, line: t.line})
+		return Undef(typ), nil
+	default:
+		return p.parseConst(typ)
+	}
+}
+
+func (p *parser) block(name string) *Block {
+	if b, ok := p.blocks[name]; ok {
+		return b
+	}
+	b := &Block{Nam: name, Parent: p.fn}
+	p.blocks[name] = b
+	return b
+}
+
+func (p *parser) parseFunction(isDecl bool) error {
+	ret, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expect(tGlobal, "")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return err
+	}
+	sig := &FuncType{Ret: ret}
+	var paramNames []string
+	for !p.accept(tPunct, ")") {
+		if len(sig.Params) > 0 || sig.Variadic {
+			if _, err := p.expect(tPunct, ","); err != nil {
+				return err
+			}
+		}
+		if p.accept(tPunct, "...") {
+			sig.Variadic = true
+			continue
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		sig.Params = append(sig.Params, pt)
+		pn := ""
+		if p.tok().kind == tLocal {
+			pn = p.advance().text
+		}
+		paramNames = append(paramNames, pn)
+	}
+	// Reuse an existing forward declaration if present so call sites
+	// resolve to a single Function value.
+	f := p.mod.FuncByName(nameTok.text)
+	if f == nil {
+		f = p.mod.AddFunc(NewFunction(nameTok.text, sig, paramNames...))
+	} else if !isDecl && !f.IsDecl() {
+		return p.errf("redefinition of @%s", nameTok.text)
+	} else if !isDecl {
+		// Upgrade declaration to definition with the new parameter names.
+		nf := NewFunction(nameTok.text, sig, paramNames...)
+		f.Sig, f.Params = nf.Sig, nf.Params
+		for _, pp := range f.Params {
+			pp.Parent = f
+		}
+	}
+	if isDecl {
+		return nil
+	}
+	if p.accept(tIdent, "outlined") {
+		f.Outlined = true
+	}
+	if _, err := p.expect(tPunct, "{"); err != nil {
+		return err
+	}
+
+	p.fn = f
+	p.blocks = map[string]*Block{}
+	p.vals = map[string]Value{}
+	p.fixups = nil
+	for _, pp := range f.Params {
+		p.vals[pp.Nam] = pp
+	}
+
+	var cur *Block
+	for !p.accept(tPunct, "}") {
+		t := p.tok()
+		if t.kind == tEOF {
+			return p.errf("unexpected EOF in function body")
+		}
+		// Block label: ident ':'
+		if t.kind == tIdent && p.peekIsLabel() {
+			p.advance()
+			p.advance() // ':'
+			cur = p.block(t.text)
+			f.AddBlock(cur)
+			continue
+		}
+		if cur == nil {
+			return p.errf("instruction before first block label")
+		}
+		in, err := p.parseInstr()
+		if err != nil {
+			return err
+		}
+		cur.Append(in)
+		if in.HasResult() {
+			p.vals[in.Nam] = in
+		}
+	}
+	// Resolve local fixups now; module-level (@) references may point at
+	// globals or functions defined later, so defer unresolved ones.
+	for _, fx := range p.fixups {
+		var v Value
+		if strings.HasPrefix(fx.name, "@") {
+			n := fx.name[1:]
+			if g := p.mod.GlobalByName(n); g != nil {
+				v = g
+			} else if fn := p.mod.FuncByName(n); fn != nil {
+				v = fn
+			} else {
+				p.modFixups = append(p.modFixups, fx)
+				continue
+			}
+		} else {
+			v = p.vals[fx.name]
+		}
+		if v == nil {
+			return fmt.Errorf("ir parse: line %d: undefined value %%%s", fx.line, fx.name)
+		}
+		if fx.idx == -1 {
+			fx.instr.Callee = v
+		} else {
+			fx.instr.Args[fx.idx] = v
+		}
+	}
+	// Verify all referenced blocks were defined.
+	for name, b := range p.blocks {
+		if b.Parent == nil || f.BlockByName(name) == nil {
+			return fmt.Errorf("ir parse: undefined block label %%%s in @%s", name, f.Nam)
+		}
+	}
+	f.RecomputeNameSeq()
+	return nil
+}
+
+// peekIsLabel reports whether the token after the current ident is ':'.
+func (p *parser) peekIsLabel() bool {
+	save := *p.lex
+	p.lex.next()
+	isLabel := p.lex.tok.kind == tPunct && p.lex.tok.text == ":"
+	*p.lex = save
+	return isLabel
+}
+
+var strToPred = map[string]CmpPred{
+	"eq": CmpEQ, "ne": CmpNE, "slt": CmpSLT, "sle": CmpSLE, "sgt": CmpSGT, "sge": CmpSGE,
+	"oeq": CmpEQ, "one": CmpNE, "olt": CmpSLT, "ole": CmpSLE, "ogt": CmpSGT, "oge": CmpSGE,
+}
+
+var strToBinOp = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "sdiv": OpSDiv, "srem": OpSRem,
+	"and": OpAnd, "or": OpOr, "xor": OpXor, "shl": OpShl, "ashr": OpAShr,
+	"fadd": OpFAdd, "fsub": OpFSub, "fmul": OpFMul, "fdiv": OpFDiv,
+}
+
+var strToCastOp = map[string]Op{
+	"sext": OpSExt, "zext": OpZExt, "trunc": OpTrunc, "sitofp": OpSIToFP,
+	"fptosi": OpFPToSI, "fpext": OpFPExt, "fptrunc": OpFPTrunc,
+	"bitcast": OpBitcast, "ptrtoint": OpPtrToInt, "inttoptr": OpIntToPtr,
+}
+
+func (p *parser) parseInstr() (*Instr, error) {
+	resName := ""
+	if p.tok().kind == tLocal {
+		resName = p.advance().text
+		if _, err := p.expect(tPunct, "="); err != nil {
+			return nil, err
+		}
+	}
+	opTok, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	in := &Instr{Nam: resName, SrcLine: opTok.line}
+
+	switch op := opTok.text; {
+	case op == "alloca":
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Typ, in.AllocaElem = OpAlloca, Ptr(elem), elem
+
+	case op == "load":
+		rt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ","); err != nil {
+			return nil, err
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Typ = OpLoad, rt
+		in.Args = make([]Value, 1)
+		v, err := p.parseOperand(pt, in, 0)
+		if err != nil {
+			return nil, err
+		}
+		in.Args[0] = v
+
+	case op == "store":
+		vt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Typ = OpStore, Void
+		in.Args = make([]Value, 2)
+		v, err := p.parseOperand(vt, in, 0)
+		if err != nil {
+			return nil, err
+		}
+		in.Args[0] = v
+		if _, err := p.expect(tPunct, ","); err != nil {
+			return nil, err
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		ptr, err := p.parseOperand(pt, in, 1)
+		if err != nil {
+			return nil, err
+		}
+		in.Args[1] = ptr
+
+	case op == "getelementptr":
+		if _, err := p.parseType(); err != nil { // pointee type, redundant
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ","); err != nil {
+			return nil, err
+		}
+		bt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Op = OpGEP
+		in.Args = make([]Value, 1)
+		base, err := p.parseOperand(bt, in, 0)
+		if err != nil {
+			return nil, err
+		}
+		in.Args[0] = base
+		for p.accept(tPunct, ",") {
+			it, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, nil)
+			idx, err := p.parseOperand(it, in, len(in.Args)-1)
+			if err != nil {
+				return nil, err
+			}
+			in.Args[len(in.Args)-1] = idx
+		}
+		rt, err := GEPResultType(bt, len(in.Args)-1)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		in.Typ = rt
+
+	case op == "icmp" || op == "fcmp":
+		predTok, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		pred, ok := strToPred[predTok.text]
+		if !ok {
+			return nil, p.errf("bad predicate %q", predTok.text)
+		}
+		ot, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Typ, in.Pred = OpICmp, I1, pred
+		if op == "fcmp" {
+			in.Op = OpFCmp
+		}
+		in.Args = make([]Value, 2)
+		a, err := p.parseOperand(ot, in, 0)
+		if err != nil {
+			return nil, err
+		}
+		in.Args[0] = a
+		if _, err := p.expect(tPunct, ","); err != nil {
+			return nil, err
+		}
+		b, err := p.parseOperand(ot, in, 1)
+		if err != nil {
+			return nil, err
+		}
+		in.Args[1] = b
+
+	case op == "phi":
+		ot, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Typ = OpPhi, ot
+		for {
+			if _, err := p.expect(tPunct, "["); err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, nil)
+			v, err := p.parseOperand(ot, in, len(in.Args)-1)
+			if err != nil {
+				return nil, err
+			}
+			in.Args[len(in.Args)-1] = v
+			if _, err := p.expect(tPunct, ","); err != nil {
+				return nil, err
+			}
+			bl, err := p.expect(tLocal, "")
+			if err != nil {
+				return nil, err
+			}
+			in.Blocks = append(in.Blocks, p.block(bl.text))
+			if _, err := p.expect(tPunct, "]"); err != nil {
+				return nil, err
+			}
+			if !p.accept(tPunct, ",") {
+				break
+			}
+		}
+
+	case op == "select":
+		if _, err := p.expect(tIdent, "i1"); err != nil {
+			return nil, err
+		}
+		in.Op = OpSelect
+		in.Args = make([]Value, 3)
+		c, err := p.parseOperand(I1, in, 0)
+		if err != nil {
+			return nil, err
+		}
+		in.Args[0] = c
+		for i := 1; i <= 2; i++ {
+			if _, err := p.expect(tPunct, ","); err != nil {
+				return nil, err
+			}
+			vt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if i == 1 {
+				in.Typ = vt
+			}
+			v, err := p.parseOperand(vt, in, i)
+			if err != nil {
+				return nil, err
+			}
+			in.Args[i] = v
+		}
+
+	case op == "call":
+		rt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		// Special-case the debug intrinsic spelling.
+		if p.tok().kind == tGlobal && p.tok().text == "llvm.dbg.value" {
+			p.advance()
+			if _, err := p.expect(tPunct, "("); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tIdent, "metadata"); err != nil {
+				return nil, err
+			}
+			vt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			in.Op, in.Typ = OpDbgValue, Void
+			in.Args = make([]Value, 1)
+			v, err := p.parseOperand(vt, in, 0)
+			if err != nil {
+				return nil, err
+			}
+			in.Args[0] = v
+			if _, err := p.expect(tPunct, ","); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tIdent, "metadata"); err != nil {
+				return nil, err
+			}
+			st, err := p.expect(tString, "")
+			if err != nil {
+				return nil, err
+			}
+			in.VarName = st.text
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		calleeTok, err := p.expect(tGlobal, "")
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Typ = OpCall, rt
+		if f := p.mod.FuncByName(calleeTok.text); f != nil {
+			in.Callee = f
+		} else {
+			p.fixups = append(p.fixups, fixup{instr: in, idx: -1, name: "@" + calleeTok.text, line: calleeTok.line})
+		}
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		for !p.accept(tPunct, ")") {
+			if len(in.Args) > 0 {
+				if _, err := p.expect(tPunct, ","); err != nil {
+					return nil, err
+				}
+			}
+			at, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, nil)
+			v, err := p.parseOperand(at, in, len(in.Args)-1)
+			if err != nil {
+				return nil, err
+			}
+			in.Args[len(in.Args)-1] = v
+		}
+
+	case op == "br":
+		if p.accept(tIdent, "label") {
+			bl, err := p.expect(tLocal, "")
+			if err != nil {
+				return nil, err
+			}
+			in.Op, in.Typ = OpBr, Void
+			in.Blocks = []*Block{p.block(bl.text)}
+			break
+		}
+		if _, err := p.expect(tIdent, "i1"); err != nil {
+			return nil, err
+		}
+		in.Op, in.Typ = OpCondBr, Void
+		in.Args = make([]Value, 1)
+		c, err := p.parseOperand(I1, in, 0)
+		if err != nil {
+			return nil, err
+		}
+		in.Args[0] = c
+		for i := 0; i < 2; i++ {
+			if _, err := p.expect(tPunct, ","); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tIdent, "label"); err != nil {
+				return nil, err
+			}
+			bl, err := p.expect(tLocal, "")
+			if err != nil {
+				return nil, err
+			}
+			in.Blocks = append(in.Blocks, p.block(bl.text))
+		}
+
+	case op == "ret":
+		in.Op, in.Typ = OpRet, Void
+		if p.accept(tIdent, "void") {
+			break
+		}
+		vt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Args = make([]Value, 1)
+		v, err := p.parseOperand(vt, in, 0)
+		if err != nil {
+			return nil, err
+		}
+		in.Args[0] = v
+
+	case op == "fneg":
+		vt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Typ = OpFNeg, vt
+		in.Args = make([]Value, 1)
+		v, err := p.parseOperand(vt, in, 0)
+		if err != nil {
+			return nil, err
+		}
+		in.Args[0] = v
+
+	default:
+		if bop, ok := strToBinOp[op]; ok {
+			ot, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			in.Op, in.Typ = bop, ot
+			in.Args = make([]Value, 2)
+			a, err := p.parseOperand(ot, in, 0)
+			if err != nil {
+				return nil, err
+			}
+			in.Args[0] = a
+			if _, err := p.expect(tPunct, ","); err != nil {
+				return nil, err
+			}
+			b, err := p.parseOperand(ot, in, 1)
+			if err != nil {
+				return nil, err
+			}
+			in.Args[1] = b
+			break
+		}
+		if cop, ok := strToCastOp[op]; ok {
+			st, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			in.Op = cop
+			in.Args = make([]Value, 1)
+			v, err := p.parseOperand(st, in, 0)
+			if err != nil {
+				return nil, err
+			}
+			in.Args[0] = v
+			if _, err := p.expect(tIdent, "to"); err != nil {
+				return nil, err
+			}
+			dt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			in.Typ = dt
+			break
+		}
+		return nil, p.errf("unknown instruction %q", op)
+	}
+	return in, nil
+}

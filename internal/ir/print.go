@@ -1,0 +1,80 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in the textual IR syntax accepted by Parse.
+func (m *Module) Print() string {
+	var b strings.Builder
+	for _, g := range m.Globals {
+		b.WriteString(g.Decl())
+		b.WriteByte('\n')
+	}
+	if len(m.Globals) > 0 {
+		b.WriteByte('\n')
+	}
+	for i, f := range m.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.Print())
+	}
+	return b.String()
+}
+
+// Decl renders the global's declaration line.
+func (g *Global) Decl() string {
+	kw := "global"
+	if g.Constant {
+		kw = "constant"
+	}
+	init := "zeroinitializer"
+	if g.Init != nil {
+		init = g.Init.Ident()
+	}
+	return fmt.Sprintf("@%s = %s %s %s", g.Nam, kw, g.Elem, init)
+}
+
+// Print renders the function definition or declaration.
+func (f *Function) Print() string {
+	var b strings.Builder
+	kw := "define"
+	if f.IsDecl() {
+		kw = "declare"
+	}
+	fmt.Fprintf(&b, "%s %s @%s(", kw, f.Sig.Ret, f.Nam)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %%%s", p.Typ, p.Nam)
+	}
+	if f.Sig.Variadic {
+		if len(f.Params) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("...")
+	}
+	b.WriteString(")")
+	if f.IsDecl() {
+		b.WriteString("\n")
+		return b.String()
+	}
+	if f.Outlined {
+		b.WriteString(" outlined")
+	}
+	b.WriteString(" {\n")
+	for i, blk := range f.Blocks {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s:\n", blk.Nam)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

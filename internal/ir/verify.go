@@ -1,0 +1,105 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Verify checks module-wide structural invariants and returns the first
+// violation found, or nil. Passes call this after transforming IR; tests
+// rely on it to catch malformed rewrites early.
+func (m *Module) Verify() error {
+	for _, f := range m.Funcs {
+		if err := f.Verify(); err != nil {
+			return fmt.Errorf("@%s: %w", f.Nam, err)
+		}
+	}
+	return nil
+}
+
+// Verify checks the function's structural invariants:
+//   - every block ends in exactly one terminator, with no terminator earlier;
+//   - phi nodes appear only at block heads and have one entry per predecessor;
+//   - every operand defined by an instruction belongs to this function;
+//   - block labels and SSA names are unique;
+//   - branch targets are blocks of this function.
+func (f *Function) Verify() error {
+	if f.IsDecl() {
+		return nil
+	}
+	names := map[string]bool{}
+	inFunc := map[*Instr]bool{}
+	blockSet := map[*Block]bool{}
+	for _, b := range f.Blocks {
+		if names["%"+b.Nam] {
+			return fmt.Errorf("duplicate block label %%%s", b.Nam)
+		}
+		names["%"+b.Nam] = true
+		blockSet[b] = true
+		for _, in := range b.Instrs {
+			inFunc[in] = true
+		}
+	}
+	for _, p := range f.Params {
+		if names[p.Nam] {
+			return fmt.Errorf("duplicate name %%%s", p.Nam)
+		}
+		names[p.Nam] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %%%s is empty", b.Nam)
+		}
+		for i, in := range b.Instrs {
+			if in.Parent != b {
+				return fmt.Errorf("instruction %s in %%%s has wrong parent", in, b.Nam)
+			}
+			if in.HasResult() {
+				if in.Nam == "" {
+					return fmt.Errorf("unnamed result in %%%s: %s", b.Nam, in)
+				}
+				if names[in.Nam] {
+					return fmt.Errorf("duplicate SSA name %%%s", in.Nam)
+				}
+				names[in.Nam] = true
+			}
+			isLast := i == len(b.Instrs)-1
+			if in.IsTerminator() != isLast {
+				return fmt.Errorf("block %%%s: terminator position violated at %s", b.Nam, in)
+			}
+			if in.Op == OpPhi && i > 0 && b.Instrs[i-1].Op != OpPhi {
+				return fmt.Errorf("block %%%s: phi %s not at block head", b.Nam, in)
+			}
+			for _, t := range in.Succs() {
+				if !blockSet[t] {
+					return fmt.Errorf("block %%%s: branch to foreign block %%%s", b.Nam, t.Nam)
+				}
+			}
+			for ai, a := range in.Args {
+				if a == nil {
+					return fmt.Errorf("block %%%s: nil operand %d of %s", b.Nam, ai, in)
+				}
+				if ia, ok := a.(*Instr); ok && !inFunc[ia] {
+					return fmt.Errorf("block %%%s: operand %%%s of %s defined outside function", b.Nam, ia.Nam, in)
+				}
+				if pa, ok := a.(*Param); ok && pa.Parent != f {
+					return fmt.Errorf("block %%%s: foreign parameter %%%s in %s", b.Nam, pa.Nam, in)
+				}
+			}
+		}
+		// Phi incoming edges must exactly match predecessors.
+		preds := b.Preds()
+		for _, phi := range b.Phis() {
+			if len(phi.Args) != len(preds) {
+				return fmt.Errorf("block %%%s: phi %%%s has %d entries for %d preds",
+					b.Nam, phi.Nam, len(phi.Args), len(preds))
+			}
+			for _, pb := range preds {
+				if phi.PhiIncoming(pb) == nil {
+					return fmt.Errorf("block %%%s: phi %%%s missing entry for pred %%%s",
+						b.Nam, phi.Nam, pb.Nam)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package omp
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestDeclareRuntime(t *testing.T) {
+	m := ir.NewModule("t")
+	decls := DeclareRuntime(m)
+	for _, name := range []string{ForkCall, ForStaticInit, ForStaticFini, Barrier, GlobalThread, PushNumThreads} {
+		f := decls[name]
+		if f == nil {
+			t.Fatalf("missing declaration for %s", name)
+		}
+		if !f.IsDecl() {
+			t.Errorf("%s has a body", name)
+		}
+		if m.FuncByName(name) != f {
+			t.Errorf("%s not registered in module", name)
+		}
+	}
+	// Idempotent.
+	decls2 := DeclareRuntime(m)
+	if decls2[ForkCall] != decls[ForkCall] {
+		t.Error("DeclareRuntime duplicated declarations")
+	}
+	if !decls[ForkCall].Sig.Variadic {
+		t.Error("fork call must be variadic")
+	}
+	if len(decls[ForStaticInit].Sig.Params) != 8 {
+		t.Errorf("static init arity = %d, want 8", len(decls[ForStaticInit].Sig.Params))
+	}
+}
+
+func TestIsRuntimeCall(t *testing.T) {
+	if !IsRuntimeCall(ForkCall) || !IsRuntimeCall(Barrier) {
+		t.Error("runtime names not recognized")
+	}
+	if IsRuntimeCall("exp") || IsRuntimeCall("main") {
+		t.Error("non-runtime names recognized")
+	}
+}
+
+func TestForkHelpers(t *testing.T) {
+	m := ir.NewModule("t")
+	decls := DeclareRuntime(m)
+	mt := ir.NewFunction("task", MicrotaskSig([]ir.Type{ir.I64}), "gtid.ptr", "btid.ptr", "n")
+	m.AddFunc(mt)
+
+	fork := &ir.Instr{
+		Op: ir.OpCall, Typ: ir.Void, Callee: decls[ForkCall],
+		Args: []ir.Value{ir.I32Const(1), ir.Value(mt), ir.I64Const(7)},
+	}
+	if !IsForkCall(fork) {
+		t.Error("fork call not detected")
+	}
+	if Microtask(fork) != mt {
+		t.Error("microtask not extracted")
+	}
+	shared := SharedArgs(fork)
+	if len(shared) != 1 {
+		t.Fatalf("shared args = %d, want 1", len(shared))
+	}
+	if c, ok := shared[0].(*ir.ConstInt); !ok || c.V != 7 {
+		t.Errorf("shared arg = %v", shared[0])
+	}
+
+	notFork := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: decls[Barrier], Args: []ir.Value{ir.I32Const(0)}}
+	if IsForkCall(notFork) {
+		t.Error("barrier detected as fork")
+	}
+	if !IsBarrier(notFork) {
+		t.Error("barrier not detected")
+	}
+}
+
+func TestMicrotaskSig(t *testing.T) {
+	sig := MicrotaskSig([]ir.Type{ir.Ptr(ir.F64), ir.I64})
+	if len(sig.Params) != 4 {
+		t.Fatalf("params = %d, want 4", len(sig.Params))
+	}
+	if !sig.Params[0].Equal(ir.Ptr(ir.I32)) || !sig.Params[1].Equal(ir.Ptr(ir.I32)) {
+		t.Error("gtid/btid params wrong")
+	}
+	if !ir.IsVoid(sig.Ret) {
+		t.Error("microtask must return void")
+	}
+}
+
+func TestAtomicCombineHelpers(t *testing.T) {
+	cases := []struct {
+		op   string
+		t    ir.Type
+		want string
+	}{
+		{"+", ir.F64, AtomicAddF64},
+		{"*", ir.F64, AtomicMulF64},
+		{"+", ir.I64, AtomicAddI64},
+		{"*", ir.I64, AtomicMulI64},
+	}
+	m := ir.NewModule("t")
+	decls := DeclareRuntime(m)
+	for _, c := range cases {
+		if got := AtomicCombineFor(c.op, c.t); got != c.want {
+			t.Errorf("AtomicCombineFor(%q, %s) = %q, want %q", c.op, c.t, got, c.want)
+		}
+		call := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: decls[c.want],
+			Args: []ir.Value{ir.Undef(ir.Ptr(c.t)), ir.Undef(c.t)}}
+		op, ok := IsAtomicCombine(call)
+		if !ok || op != c.op {
+			t.Errorf("IsAtomicCombine(%s) = %q,%v", c.want, op, ok)
+		}
+	}
+	if _, ok := IsAtomicCombine(nil); ok {
+		t.Error("nil detected as combine")
+	}
+}
+
+func TestDispatchHelpers(t *testing.T) {
+	m := ir.NewModule("t")
+	decls := DeclareRuntime(m)
+	init := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: decls[DispatchInit]}
+	next := &ir.Instr{Op: ir.OpCall, Typ: ir.I32, Callee: decls[DispatchNext]}
+	if !IsDispatchInit(init) || IsDispatchInit(next) {
+		t.Error("IsDispatchInit wrong")
+	}
+	if !IsDispatchNext(next) || IsDispatchNext(init) {
+		t.Error("IsDispatchNext wrong")
+	}
+	if !IsRuntimeCall(DispatchInit) || !IsRuntimeCall(AtomicAddF64) {
+		t.Error("runtime-call classification wrong")
+	}
+}

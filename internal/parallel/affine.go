@@ -1,0 +1,288 @@
+// Package parallel implements the automatic parallelizer that plays
+// Polly's role in the reproduction: it detects DOALL loops with an affine
+// dependence test, versions loops behind runtime alias checks when static
+// analysis cannot prove disjointness (paper Figure 2), outlines parallel
+// loop bodies into microtask functions, and lowers them to the
+// __kmpc_fork_call / __kmpc_for_static_init_8 / __kmpc_for_static_fini
+// pattern of the LLVM OpenMP runtime — the exact IR shape SPLENDID
+// consumes.
+package parallel
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// Affine is coef*iv + k + sym, the normal form of a subscript expression
+// relative to a loop induction variable. Sym is a single loop-invariant
+// value (nil when absent).
+type Affine struct {
+	Coef int64
+	K    int64
+	Sym  ir.Value
+	OK   bool
+}
+
+// Equal reports whether two affine forms are structurally identical.
+func (a Affine) Equal(b Affine) bool {
+	return a.OK && b.OK && a.Coef == b.Coef && a.K == b.K && a.Sym == b.Sym
+}
+
+// dependsOnIV reports whether v transitively reaches the loop's
+// induction variable through operands of in-loop instructions — exact
+// graph reachability, so inner-loop induction variables that never read
+// the outer IV correctly test false.
+func dependsOnIV(v ir.Value, cl *analysis.CountedLoop) bool {
+	visited := map[ir.Value]bool{}
+	var dfs func(ir.Value) bool
+	dfs = func(x ir.Value) bool {
+		if x == ir.Value(cl.IV) {
+			return true
+		}
+		in, ok := x.(*ir.Instr)
+		if !ok || in.Parent == nil || !cl.Loop.Contains(in.Parent) {
+			return false
+		}
+		if visited[x] {
+			return false
+		}
+		visited[x] = true
+		for _, a := range in.Args {
+			if dfs(a) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(v)
+}
+
+// affineOf normalizes v as an affine function of iv within loop l. The
+// stepped value (iv+step) is treated as an iv occurrence with offset.
+// Values that do not depend on the IV at all — loop invariants and
+// inner-loop-varying values alike — are opaque symbols with coefficient
+// zero; they matter only for structural equality of subscripts.
+func affineOf(v ir.Value, cl *analysis.CountedLoop) Affine {
+	switch {
+	case v == ir.Value(cl.IV):
+		return Affine{Coef: 1, OK: true}
+	case v == ir.Value(cl.StepInstr):
+		return Affine{Coef: 1, K: cl.Step, OK: true}
+	}
+	if c, ok := v.(*ir.ConstInt); ok {
+		return Affine{K: c.V, OK: true}
+	}
+	if !dependsOnIV(v, cl) {
+		return Affine{Sym: v, OK: true}
+	}
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return Affine{}
+	}
+	switch in.Op {
+	case ir.OpSExt, ir.OpZExt, ir.OpTrunc:
+		return affineOf(in.Args[0], cl)
+	case ir.OpAdd:
+		a := affineOf(in.Args[0], cl)
+		b := affineOf(in.Args[1], cl)
+		return combine(a, b, 1)
+	case ir.OpSub:
+		a := affineOf(in.Args[0], cl)
+		b := affineOf(in.Args[1], cl)
+		return combine(a, b, -1)
+	case ir.OpMul:
+		a := affineOf(in.Args[0], cl)
+		b := affineOf(in.Args[1], cl)
+		if a.OK && b.OK {
+			if bc, isC := constOnly(b); isC {
+				return Affine{Coef: a.Coef * bc, K: a.K * bc, Sym: scaledSym(a.Sym, bc), OK: a.Sym == nil || bc == 1}
+			}
+			if ac, isC := constOnly(a); isC {
+				return Affine{Coef: b.Coef * ac, K: b.K * ac, Sym: scaledSym(b.Sym, ac), OK: b.Sym == nil || ac == 1}
+			}
+		}
+		return Affine{}
+	}
+	return Affine{}
+}
+
+func constOnly(a Affine) (int64, bool) {
+	if a.OK && a.Coef == 0 && a.Sym == nil {
+		return a.K, true
+	}
+	return 0, false
+}
+
+func scaledSym(s ir.Value, c int64) ir.Value {
+	if s == nil || c == 1 {
+		return s
+	}
+	return s // marked not-OK by the caller
+}
+
+func combine(a, b Affine, sign int64) Affine {
+	if !a.OK || !b.OK {
+		return Affine{}
+	}
+	out := Affine{Coef: a.Coef + sign*b.Coef, K: a.K + sign*b.K, OK: true}
+	switch {
+	case a.Sym == nil:
+		if sign > 0 {
+			out.Sym = b.Sym
+		} else if b.Sym != nil {
+			return Affine{} // -sym not representable
+		}
+	case b.Sym == nil:
+		out.Sym = a.Sym
+	case a.Sym == b.Sym && sign < 0:
+		out.Sym = nil // sym - sym cancels
+	default:
+		return Affine{} // two distinct symbols
+	}
+	return out
+}
+
+// baseObject walks a pointer to its base object: a global, a param, an
+// alloca, or a fresh allocation (malloc call).
+func baseObject(v ir.Value) ir.Value {
+	for {
+		switch x := v.(type) {
+		case *ir.Global, *ir.Param:
+			return x
+		case *ir.Instr:
+			switch x.Op {
+			case ir.OpGEP, ir.OpBitcast:
+				v = x.Args[0]
+			case ir.OpAlloca:
+				return x
+			case ir.OpCall:
+				if isMallocBase(x) {
+					return x // a fresh allocation is its own base object
+				}
+				return nil
+			case ir.OpLoad:
+				// A pointer loaded from memory (e.g. a promoted pointer
+				// variable did not get promoted): opaque.
+				return nil
+			default:
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isMallocBase(v ir.Value) bool {
+	in, ok := v.(*ir.Instr)
+	if !ok || in.Op != ir.OpCall {
+		return false
+	}
+	f, ok := in.Callee.(*ir.Function)
+	return ok && f.Nam == "malloc"
+}
+
+// provablyDistinct reports whether two base objects can never overlap:
+// distinct globals, distinct allocas, distinct fresh allocations, or any
+// mix of those object kinds. A fresh allocation (malloc in this
+// function) cannot alias a caller-provided pointer either: the caller
+// could not have seen it.
+func provablyDistinct(a, b ir.Value) bool {
+	if a == b {
+		return false
+	}
+	ga, gaOK := a.(*ir.Global)
+	gb, gbOK := b.(*ir.Global)
+	if gaOK && gbOK {
+		return ga != gb
+	}
+	ia, iaOK := a.(*ir.Instr)
+	ib, ibOK := b.(*ir.Instr)
+	aFresh := iaOK && (ia.Op == ir.OpAlloca || isMallocBase(a))
+	bFresh := ibOK && (ib.Op == ir.OpAlloca || isMallocBase(b))
+	if aFresh && bFresh {
+		return ia != ib
+	}
+	// A fresh object never aliases a global or a caller-provided pointer.
+	if aFresh || bFresh {
+		return true
+	}
+	return false
+}
+
+// access is one memory reference inside a candidate loop.
+type access struct {
+	instr   *ir.Instr // the load or store
+	isStore bool
+	base    ir.Value
+	// dims holds the affine form of each GEP subscript along the chain
+	// from the base (outermost first).
+	dims []Affine
+}
+
+// collectAccess decomposes the pointer operand of a load/store into a
+// base object and per-dimension affine subscripts. Returns nil when the
+// pointer expression is not analyzable.
+func collectAccess(in *ir.Instr, cl *analysis.CountedLoop) *access {
+	var ptr ir.Value
+	isStore := in.Op == ir.OpStore
+	if isStore {
+		ptr = in.Args[1]
+	} else {
+		ptr = in.Args[0]
+	}
+	var dims []Affine
+	for {
+		switch x := ptr.(type) {
+		case *ir.Global, *ir.Param:
+			return &access{instr: in, isStore: isStore, base: x, dims: dims}
+		case *ir.Instr:
+			switch x.Op {
+			case ir.OpGEP:
+				var these []Affine
+				for _, idx := range x.Args[1:] {
+					a := affineOf(idx, cl)
+					if !a.OK {
+						return nil
+					}
+					these = append(these, a)
+				}
+				dims = append(these, dims...)
+				ptr = x.Args[0]
+			case ir.OpBitcast:
+				ptr = x.Args[0]
+			case ir.OpAlloca:
+				return &access{instr: in, isStore: isStore, base: x, dims: dims}
+			case ir.OpCall:
+				if isMallocBase(x) {
+					return &access{instr: in, isStore: isStore, base: x, dims: dims}
+				}
+				return nil
+			default:
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// maxConstOffset returns the largest |K| over all iv-dependent subscripts
+// of the accesses, used to pad runtime alias-check extents.
+func maxConstOffset(accs []*access) int64 {
+	var m int64
+	for _, a := range accs {
+		for _, d := range a.dims {
+			if d.Coef != 0 {
+				k := d.K
+				if k < 0 {
+					k = -k
+				}
+				if k > m {
+					m = k
+				}
+			}
+		}
+	}
+	return m
+}

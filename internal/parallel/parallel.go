@@ -1,0 +1,381 @@
+package parallel
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/omp"
+	"repro/internal/passes"
+)
+
+// Options configures the parallelizer.
+type Options struct {
+	// MaxLoops bounds how many loops are parallelized per function
+	// (0 = unlimited).
+	MaxLoops int
+}
+
+// Result reports what the parallelizer did.
+type Result struct {
+	// Parallelized counts DOALL loops converted to fork calls, per function.
+	Parallelized map[string]int
+	// Versioned counts loops that required runtime alias checks.
+	Versioned int
+	// Rejected counts candidate counted loops that failed legality.
+	Rejected int
+}
+
+// pureCallees may be called inside parallelized loops.
+var pureCallees = map[string]bool{
+	"exp": true, "log": true, "sqrt": true, "fabs": true, "pow": true,
+	"sin": true, "cos": true, "floor": true, "ceil": true,
+}
+
+// Parallelize converts every provably (or runtime-checked) DOALL loop of
+// the module into an outlined microtask invoked through
+// __kmpc_fork_call, mirroring Polly's OpenMP code generation. Outer loops
+// are preferred; a parallelized loop's children are left sequential
+// inside the microtask.
+func Parallelize(m *ir.Module, opts Options) *Result {
+	res := &Result{Parallelized: map[string]int{}}
+	omp.DeclareRuntime(m)
+	var fns []*ir.Function
+	for _, f := range m.Funcs {
+		if !f.IsDecl() && !f.Outlined {
+			fns = append(fns, f)
+		}
+	}
+	for _, f := range fns {
+		count := 0
+		attempted := map[*ir.Block]bool{}
+		for {
+			if opts.MaxLoops > 0 && count >= opts.MaxLoops {
+				break
+			}
+			li := analysis.FindLoops(f, analysis.NewDomTree(f))
+			target := pickLoop(f, li, res, attempted)
+			if target == nil {
+				break
+			}
+			parallelizeLoop(m, f, target, res, attempted)
+			count++
+			res.Parallelized[f.Nam]++
+			passes.DCE(f)
+			passes.SimplifyCFG(f)
+		}
+	}
+	return res
+}
+
+// pickLoop returns the outermost not-yet-attempted loop that passes the
+// DOALL legality test, walking the nest top-down and descending into
+// children of rejected loops. attempted records rejected headers so the
+// scan makes progress across rounds.
+func pickLoop(f *ir.Function, li *analysis.LoopInfo, res *Result, attempted map[*ir.Block]bool) *plan {
+	var walk func(l *analysis.Loop) *plan
+	walk = func(l *analysis.Loop) *plan {
+		if !attempted[l.Header] {
+			attempted[l.Header] = true
+			if p := legalize(f, l); p != nil {
+				return p
+			}
+			res.Rejected++
+		}
+		for _, c := range l.Children {
+			if p := walk(c); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	for _, l := range li.Top {
+		if p := walk(l); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// reduction is a recognized scalar reduction: a header phi updated by a
+// single associative operation, with the result live past the loop.
+type reduction struct {
+	phi  *ir.Instr // the accumulator phi in the header
+	upd  *ir.Instr // acc = acc (op) x inside the loop
+	op   string    // "+" or "*"
+	init ir.Value  // incoming value from outside the loop
+}
+
+// plan is a loop that passed legality, with everything the transform needs.
+type plan struct {
+	cl       *analysis.CountedLoop
+	accesses []*access
+	// checks lists base-object pairs requiring a runtime disjointness test.
+	checks [][2]ir.Value
+	maxOff int64
+	// reductions lists accumulator phis lowered with private partials and
+	// atomic combining (paper §7 future work, implemented here).
+	reductions []*reduction
+}
+
+// legalize applies the DOALL test to loop l.
+func legalize(f *ir.Function, l *analysis.Loop) *plan {
+	cl := analysis.AnalyzeCountedLoop(l)
+	if cl == nil || cl.Loop.Preheader() == nil {
+		return nil
+	}
+	// Loop-carried scalars: the induction variable, plus recognized
+	// reductions (accumulator phis with a single associative update).
+	var reductions []*reduction
+	for _, phi := range l.Header.Phis() {
+		if phi == cl.IV {
+			continue
+		}
+		r := recognizeReduction(f, l, phi)
+		if r == nil {
+			return nil
+		}
+		reductions = append(reductions, r)
+	}
+	redValue := map[*ir.Instr]bool{}
+	for _, r := range reductions {
+		redValue[r.phi] = true
+		redValue[r.upd] = true
+	}
+	// No value computed in the loop may be live past it — except the
+	// reduction results, which the transform reroutes through memory.
+	exitSet := map[*ir.Block]bool{}
+	for b := range l.Blocks {
+		exitSet[b] = true
+	}
+	for _, b := range l.BlockList() {
+		for _, in := range b.Instrs {
+			if !in.HasResult() {
+				continue
+			}
+			for _, u := range f.Uses(in) {
+				if u.Op == ir.OpDbgValue {
+					continue
+				}
+				if u.Parent != nil && !exitSet[u.Parent] && !redValue[in] {
+					return nil
+				}
+			}
+		}
+	}
+
+	// Collect and classify memory accesses and calls.
+	var accs []*access
+	for _, b := range l.BlockList() {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoad, ir.OpStore:
+				a := collectAccess(in, cl)
+				if a == nil {
+					return nil
+				}
+				accs = append(accs, a)
+			case ir.OpCall:
+				callee, ok := in.Callee.(*ir.Function)
+				if !ok || !pureCallees[callee.Nam] {
+					return nil
+				}
+			}
+		}
+	}
+
+	// Dependence test per stored base object.
+	byBase := map[ir.Value][]*access{}
+	var storedBases []ir.Value
+	for _, a := range accs {
+		byBase[a.base] = append(byBase[a.base], a)
+		if a.isStore && !containsValue(storedBases, a.base) {
+			storedBases = append(storedBases, a.base)
+		}
+	}
+	var checks [][2]ir.Value
+	for _, sb := range storedBases {
+		// Same-base rule: every access to a stored base must carry the
+		// induction variable in exactly one common dimension with an
+		// identical affine subscript, all other dimensions iv-free.
+		if !sameBaseDisjoint(byBase[sb]) {
+			return nil
+		}
+		// Cross-base rule: other bases that may alias the stored base
+		// need a runtime disjointness check; the check is only possible
+		// for flat pointers (params).
+		for _, ob := range basesOf(byBase) {
+			if ob == sb {
+				continue
+			}
+			if provablyDistinct(sb, ob) {
+				continue
+			}
+			if !flatPointer(sb) || !flatPointer(ob) {
+				return nil
+			}
+			checks = append(checks, [2]ir.Value{sb, ob})
+		}
+	}
+	sort.Slice(checks, func(i, j int) bool {
+		return checks[i][0].Ident()+checks[i][1].Ident() < checks[j][0].Ident()+checks[j][1].Ident()
+	})
+	checks = dedupPairs(checks)
+	if len(checks) > 0 && len(reductions) > 0 {
+		// Versioning plus reduction rerouting in one transform is out of
+		// scope (as it is for Polly's OpenMP backend).
+		return nil
+	}
+	return &plan{cl: cl, accesses: accs, checks: checks,
+		maxOff: maxConstOffset(accs), reductions: reductions}
+}
+
+// recognizeReduction matches phi against the scalar-reduction idiom:
+// two incoming values (init from outside, update from the latch), where
+// the update is a single associative op with the phi as one operand, the
+// phi has no other use inside the loop, and the update feeds only the
+// phi (plus live-outs).
+func recognizeReduction(f *ir.Function, l *analysis.Loop, phi *ir.Instr) *reduction {
+	if len(phi.Args) != 2 {
+		return nil
+	}
+	var init ir.Value
+	var updV ir.Value
+	for i, b := range phi.Blocks {
+		if l.Contains(b) {
+			updV = phi.Args[i]
+		} else {
+			init = phi.Args[i]
+		}
+	}
+	upd, ok := updV.(*ir.Instr)
+	if !ok || init == nil {
+		return nil
+	}
+	var op string
+	switch upd.Op {
+	case ir.OpFAdd, ir.OpAdd:
+		op = "+"
+	case ir.OpFMul, ir.OpMul:
+		op = "*"
+	default:
+		return nil
+	}
+	if upd.Args[0] != ir.Value(phi) && upd.Args[1] != ir.Value(phi) {
+		return nil
+	}
+	// In-loop uses: phi only by upd; upd only by phi.
+	for _, u := range f.Uses(phi) {
+		if u.Op == ir.OpDbgValue || u == upd {
+			continue
+		}
+		if u.Parent != nil && l.Contains(u.Parent) {
+			return nil
+		}
+	}
+	for _, u := range f.Uses(upd) {
+		if u.Op == ir.OpDbgValue || u == phi {
+			continue
+		}
+		if u.Parent != nil && l.Contains(u.Parent) {
+			return nil
+		}
+	}
+	return &reduction{phi: phi, upd: upd, op: op, init: init}
+}
+
+// identityFor returns the identity constant of op on type t.
+func identityFor(op string, t ir.Type) ir.Value {
+	if ir.IsFloatType(t) {
+		if op == "*" {
+			return ir.F64Const(1)
+		}
+		return ir.F64Const(0)
+	}
+	if op == "*" {
+		return ir.I64Const(1)
+	}
+	return ir.I64Const(0)
+}
+
+func containsValue(s []ir.Value, v ir.Value) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func basesOf(m map[ir.Value][]*access) []ir.Value {
+	var out []ir.Value
+	for b := range m {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ident() < out[j].Ident() })
+	return out
+}
+
+func dedupPairs(ps [][2]ir.Value) [][2]ir.Value {
+	var out [][2]ir.Value
+	seen := map[[2]ir.Value]bool{}
+	for _, p := range ps {
+		q := p
+		if q[0].Ident() > q[1].Ident() {
+			q[0], q[1] = q[1], q[0]
+		}
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// flatPointer reports whether base is a raw pointer (param) whose accessed
+// extent can be bounded for a runtime check.
+func flatPointer(base ir.Value) bool {
+	p, ok := base.(*ir.Param)
+	if !ok {
+		return false
+	}
+	pt, ok := p.Typ.(*ir.PtrType)
+	return ok && !isArrayType(pt.Elem)
+}
+
+func isArrayType(t ir.Type) bool {
+	_, ok := t.(*ir.ArrayType)
+	return ok
+}
+
+// sameBaseDisjoint checks that all accesses to one base touch pairwise
+// distinct cells in distinct iterations.
+func sameBaseDisjoint(accs []*access) bool {
+	var ref *access
+	refDim := -1
+	for _, a := range accs {
+		ivDim := -1
+		for d, aff := range a.dims {
+			if aff.Coef != 0 {
+				if ivDim >= 0 {
+					return false // iv in two dimensions
+				}
+				ivDim = d
+			}
+		}
+		if ivDim < 0 {
+			return false // an access not indexed by the loop: repeats across iterations
+		}
+		if ref == nil {
+			ref, refDim = a, ivDim
+			continue
+		}
+		if ivDim != refDim || len(a.dims) != len(ref.dims) {
+			return false
+		}
+		if !a.dims[ivDim].Equal(ref.dims[refDim]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,415 @@
+package parallel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/omp"
+	"repro/internal/passes"
+)
+
+// parallelizeLoop rewrites one legal DOALL loop: optionally versions it
+// behind a runtime alias check, outlines the loop into a microtask that
+// narrows its bounds via __kmpc_for_static_init_8, and replaces the loop
+// in the caller with a __kmpc_fork_call.
+func parallelizeLoop(m *ir.Module, f *ir.Function, p *plan, res *Result, attempted map[*ir.Block]bool) {
+	cl := p.cl
+	if len(p.checks) > 0 {
+		versionLoop(f, p, attempted)
+		res.Versioned++
+	}
+	outlineAndFork(m, f, cl, p.reductions)
+}
+
+// upperInclusive emits instructions computing the inclusive upper bound
+// of the iteration set from the loop's continue predicate.
+func upperInclusive(bd *ir.Builder, bound ir.Value, pred ir.CmpPred) ir.Value {
+	switch pred {
+	case ir.CmpSLT:
+		return bd.Bin(ir.OpSub, bound, ir.I64Const(1), "ub.incl")
+	case ir.CmpSGT:
+		return bd.Bin(ir.OpAdd, bound, ir.I64Const(1), "lb.incl")
+	default:
+		return bound
+	}
+}
+
+// versionLoop guards the loop with runtime disjointness checks and clones
+// a sequential fallback taken when any pair may overlap (paper Fig. 2).
+func versionLoop(f *ir.Function, p *plan, attempted map[*ir.Block]bool) {
+	cl := p.cl
+	l := cl.Loop
+	pre := l.Preheader()
+	header := l.Header
+
+	// Build the check block between preheader and header.
+	check := f.NewBlock("alias.check")
+	bd := ir.NewBuilder(f)
+	bd.SetBlock(check)
+
+	ubIncl := upperInclusive(bd, cl.Bound, cl.ContinuePred)
+	ext := bd.Bin(ir.OpAdd, ubIncl, ir.I64Const(p.maxOff+1), "ext")
+	var cond ir.Value
+	for _, pair := range p.checks {
+		a, b := pair[0], pair[1]
+		aEnd := bd.GEP(a, []ir.Value{ext}, "a.end")
+		bEnd := bd.GEP(b, []ir.Value{ext}, "b.end")
+		c1 := bd.ICmp(ir.CmpSLE, aEnd, b, "noalias")
+		c2 := bd.ICmp(ir.CmpSLE, bEnd, a, "noalias")
+		or := bd.Bin(ir.OpOr, c1, c2, "disjoint")
+		if cond == nil {
+			cond = or
+		} else {
+			cond = bd.Bin(ir.OpAnd, cond, or, "checks")
+		}
+	}
+
+	// Clone the loop as the sequential fallback.
+	blocks := l.BlockList()
+	bmap := map[*ir.Block]*ir.Block{}
+	vmap := map[ir.Value]ir.Value{}
+	for _, b := range blocks {
+		bmap[b] = f.NewBlock(b.Nam + ".seq")
+	}
+	cloneRegion(f, blocks, bmap, vmap, nil)
+	// The fallback is by construction the loop we chose not to run in
+	// parallel; exclude it from future candidate scans.
+	for _, nb := range bmap {
+		attempted[nb] = true
+	}
+	// Fallback header phi takes its initial value from the check block.
+	for _, phi := range bmap[header].Phis() {
+		if v := phi.PhiIncoming(pre); v != nil {
+			phi.RemovePhiIncoming(pre)
+			phi.SetPhiIncoming(check, v)
+		}
+	}
+
+	bd.CondBr(cond, header, bmap[header])
+	// Preheader now feeds the check block.
+	pre.Terminator().ReplaceBlock(header, check)
+	for _, phi := range header.Phis() {
+		if v := phi.PhiIncoming(pre); v != nil {
+			phi.RemovePhiIncoming(pre)
+			phi.SetPhiIncoming(check, v)
+		}
+	}
+	// The loop exit gained a predecessor (the fallback's exiting block):
+	// replicate phi entries for it. Live-out values were rejected, so
+	// every such entry is loop-invariant or mapped by the clone.
+	exiting := cl.CondBr.Parent
+	for _, eb := range l.ExitBlocks() {
+		for _, phi := range eb.Phis() {
+			v := phi.PhiIncoming(exiting)
+			if v == nil {
+				continue
+			}
+			if nv, ok := vmap[v]; ok {
+				v = nv
+			}
+			phi.SetPhiIncoming(bmap[exiting], v)
+		}
+	}
+}
+
+// cloneRegion copies blocks into f using the given block map; vmap
+// accumulates value substitutions (pre-seeded entries are honored).
+// References to blocks outside the region are preserved.
+func cloneRegion(f *ir.Function, blocks []*ir.Block, bmap map[*ir.Block]*ir.Block, vmap map[ir.Value]ir.Value, imap map[*ir.Instr]*ir.Instr) {
+	for _, b := range blocks {
+		for _, in := range b.Instrs {
+			ci := &ir.Instr{
+				Op: in.Op, Typ: in.Typ, Pred: in.Pred,
+				AllocaElem: in.AllocaElem, VarName: in.VarName, SrcLine: in.SrcLine,
+			}
+			if in.HasResult() {
+				ci.Nam = f.FreshName(in.Nam)
+				vmap[in] = ci
+			}
+			if imap != nil {
+				imap[in] = ci
+			}
+			bmap[b].Append(ci)
+		}
+	}
+	for _, b := range blocks {
+		for i, in := range b.Instrs {
+			ci := bmap[b].Instrs[i]
+			for _, a := range in.Args {
+				if na, ok := vmap[a]; ok {
+					ci.Args = append(ci.Args, na)
+				} else {
+					ci.Args = append(ci.Args, a)
+				}
+			}
+			if in.Callee != nil {
+				ci.Callee = in.Callee
+			}
+			for _, tb := range in.Blocks {
+				if nb, ok := bmap[tb]; ok {
+					ci.Blocks = append(ci.Blocks, nb)
+				} else {
+					ci.Blocks = append(ci.Blocks, tb)
+				}
+			}
+		}
+	}
+}
+
+// outlineAndFork extracts the loop into a microtask and replaces it with
+// a fork call. Reductions are lowered the way libomp does: each worker
+// accumulates into a private partial seeded with the identity, then
+// combines into a caller-provided cell with an atomic runtime call.
+func outlineAndFork(m *ir.Module, f *ir.Function, cl *analysis.CountedLoop, reductions []*reduction) {
+	l := cl.Loop
+	pre := l.Preheader()
+	header := l.Header
+	blocks := l.BlockList()
+	inLoop := map[*ir.Block]bool{}
+	for _, b := range blocks {
+		inLoop[b] = true
+	}
+	// The exit block: the unique outside successor of the exiting branch.
+	var exit *ir.Block
+	for _, s := range cl.CondBr.Blocks {
+		if !inLoop[s] {
+			exit = s
+		}
+	}
+
+	// Live-ins: outside-defined non-constant values used by loop instrs.
+	liveInSet := map[ir.Value]bool{}
+	var liveIns []ir.Value
+	noteUse := func(v ir.Value) {
+		switch x := v.(type) {
+		case *ir.Param:
+			if !liveInSet[v] {
+				liveInSet[v] = true
+				liveIns = append(liveIns, v)
+			}
+		case *ir.Instr:
+			if x.Parent != nil && !inLoop[x.Parent] && !liveInSet[v] {
+				liveInSet[v] = true
+				liveIns = append(liveIns, v)
+			}
+		}
+	}
+	for _, b := range blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				noteUse(a)
+			}
+		}
+	}
+	noteUse(cl.Init)
+	noteUse(cl.Bound)
+	sort.Slice(liveIns, func(i, j int) bool { return liveIns[i].Ident() < liveIns[j].Ident() })
+
+	// Microtask signature: (i32* gtid, i32* btid, live-ins...,
+	// reduction cells...).
+	var sharedTypes []ir.Type
+	paramNames := []string{"gtid.ptr", "btid.ptr"}
+	for _, v := range liveIns {
+		sharedTypes = append(sharedTypes, v.Type())
+		paramNames = append(paramNames, liveInName(v))
+	}
+	for _, r := range reductions {
+		sharedTypes = append(sharedTypes, ir.Ptr(r.phi.Type()))
+		paramNames = append(paramNames, r.phi.Nam+".red")
+	}
+	seq := 0
+	name := fmt.Sprintf("%s.parallel_region", f.Nam)
+	for m.FuncByName(name) != nil {
+		seq++
+		name = fmt.Sprintf("%s.parallel_region.%d", f.Nam, seq)
+	}
+	mt := ir.NewFunction(name, omp.MicrotaskSig(sharedTypes), paramNames...)
+	mt.Outlined = true
+	m.AddFunc(mt)
+
+	vmap := map[ir.Value]ir.Value{}
+	for i, v := range liveIns {
+		vmap[v] = mt.Params[i+2]
+	}
+
+	// Microtask prologue: per-thread bounds via the static-for runtime.
+	bd := ir.NewBuilder(mt)
+	entry := mt.NewBlock("entry")
+	bd.SetBlock(entry)
+	gtid := bd.Load(mt.Params[0], "gtid")
+	lower := bd.Alloca(ir.I64, "lb.addr")
+	upper := bd.Alloca(ir.I64, "ub.addr")
+	stride := bd.Alloca(ir.I64, "stride.addr")
+	last := bd.Alloca(ir.I64, "lastiter.addr")
+
+	mapped := func(v ir.Value) ir.Value {
+		if nv, ok := vmap[v]; ok {
+			return nv
+		}
+		return v
+	}
+	initV := mapped(cl.Init)
+	boundV := mapped(cl.Bound)
+	ubIncl := upperInclusive(bd, boundV, cl.ContinuePred)
+	bd.Store(initV, lower)
+	bd.Store(ubIncl, upper)
+	bd.Call(m.FuncByName(omp.ForStaticInit), []ir.Value{
+		gtid, ir.I32Const(omp.SchedStatic),
+		last, lower, upper, stride,
+		ir.I64Const(cl.Step), ir.I64Const(1),
+	}, "")
+	myLB := bd.Load(lower, "lb")
+	myUB := bd.Load(upper, "ub")
+
+	fini := mt.NewBlock("runtime.finish")
+
+	// Guard check: skip the loop body when this worker's chunk is empty
+	// (also covers the zero-trip case, replacing the caller-side rotation
+	// guard — this is the guard SPLENDID later proves redundant).
+	contPred := ir.CmpSLE
+	if cl.Step < 0 {
+		contPred = ir.CmpSGE
+	}
+	guard := bd.ICmp(contPred, myLB, myUB, "guard")
+
+	// Clone the loop body into the microtask.
+	bmap := map[*ir.Block]*ir.Block{}
+	for _, b := range blocks {
+		bmap[b] = mt.NewBlock(b.Nam)
+	}
+	imap := map[*ir.Instr]*ir.Instr{}
+	cloneRegion(mt, blocks, bmap, vmap, imap)
+	bd.SetBlock(entry)
+	bd.CondBr(guard, bmap[header], fini)
+
+	// Rewire the cloned loop: the IV starts at this worker's lower bound
+	// and the exit test compares against this worker's upper bound.
+	clonedIV := vmap[cl.IV].(*ir.Instr)
+	clonedIV.RemovePhiIncoming(pre)
+	clonedIV.SetPhiIncoming(entry, myLB)
+
+	clonedCondBr := imap[cl.CondBr]
+	// Which operand of the original compare is the iv expression?
+	ivSide := 0
+	if isIVExpr(cl.Cmp.Args[1], cl) {
+		ivSide = 1
+	}
+	clonedIVExpr := mapped(cl.Cmp.Args[ivSide])
+	if nv, ok := vmap[cl.Cmp.Args[ivSide]]; ok {
+		clonedIVExpr = nv
+	}
+	exitingClone := clonedCondBr.Parent
+	newCmp := &ir.Instr{
+		Op: ir.OpICmp, Typ: ir.I1, Pred: contPred,
+		Nam:  mt.FreshName("cmp.thread"),
+		Args: []ir.Value{clonedIVExpr, myUB},
+	}
+	exitingClone.InsertAt(exitingClone.IndexOf(clonedCondBr), newCmp)
+	var contTarget *ir.Block
+	for _, s := range cl.CondBr.Blocks {
+		if inLoop[s] {
+			contTarget = bmap[s]
+		}
+	}
+	clonedCondBr.Args = []ir.Value{newCmp}
+	clonedCondBr.Blocks = []*ir.Block{contTarget, fini}
+
+	// Reductions: private partials seeded with the identity; the final
+	// partial (merged over the zero-trip and loop-exit paths) combines
+	// atomically into the shared cell.
+
+	for ri, r := range reductions {
+		clonedPhi := vmap[r.phi].(*ir.Instr)
+		clonedUpd := vmap[r.upd].(*ir.Instr)
+		ident := identityFor(r.op, r.phi.Type())
+		clonedPhi.RemovePhiIncoming(pre)
+		clonedPhi.SetPhiIncoming(entry, ident)
+
+		var exitVal ir.Value = clonedPhi
+		if cl.Rotated {
+			exitVal = clonedUpd
+		}
+		partial := &ir.Instr{Op: ir.OpPhi, Typ: r.phi.Typ, Nam: mt.FreshName(r.phi.Nam + ".partial")}
+		partial.SetPhiIncoming(entry, ident)
+		partial.SetPhiIncoming(exitingClone, exitVal)
+		fini.InsertAt(0, partial)
+
+		combine := m.FuncByName(omp.AtomicCombineFor(r.op, r.phi.Type()))
+		call := &ir.Instr{Op: ir.OpCall, Typ: ir.Void, Callee: combine,
+			Args: []ir.Value{mt.Params[2+len(liveIns)+ri], partial}}
+		fini.InsertAt(fini.FirstNonPhi(), call)
+	}
+
+	bd.SetBlock(fini)
+	bd.Call(m.FuncByName(omp.ForStaticFini), []ir.Value{gtid}, "")
+	bd.Ret(nil)
+	passes.ConstFold(mt)
+	passes.DCE(mt)
+
+	// Caller rewrite: replace the loop with the fork call; reduction
+	// cells are allocated and seeded before the fork and read after it.
+	parCall := f.NewBlock("par.call")
+	cbd := ir.NewBuilder(f)
+	cbd.SetBlock(parCall)
+	forkArgs := append([]ir.Value{ir.I32Const(int64(len(liveIns) + len(reductions))), ir.Value(mt)}, liveIns...)
+	var finals []ir.Value
+	for _, r := range reductions {
+		slot := cbd.Alloca(r.phi.Type(), r.phi.Nam+".red.addr")
+		cbd.Store(r.init, slot)
+		forkArgs = append(forkArgs, slot)
+		finals = append(finals, nil)
+		_ = slot
+	}
+	cbd.Call(m.FuncByName(omp.ForkCall), forkArgs, "")
+	for ri, r := range reductions {
+		slot := forkArgs[2+len(liveIns)+ri]
+		finals[ri] = cbd.Load(slot, r.phi.Nam+".final")
+	}
+	cbd.Br(exit)
+
+	pre.Terminator().ReplaceBlock(header, parCall)
+	exitingOrig := cl.CondBr.Parent
+	exit.ReplacePhiPred(exitingOrig, parCall)
+	// Reroute reduction live-outs through the loaded final values.
+	inLoopBlock := func(b *ir.Block) bool { return b != nil && inLoop[b] }
+	for ri, r := range reductions {
+		for _, u := range f.Uses(r.phi) {
+			if !inLoopBlock(u.Parent) {
+				u.ReplaceUses(r.phi, finals[ri])
+			}
+		}
+		for _, u := range f.Uses(r.upd) {
+			if !inLoopBlock(u.Parent) {
+				u.ReplaceUses(r.upd, finals[ri])
+			}
+		}
+	}
+	for _, b := range blocks {
+		f.RemoveBlock(b)
+	}
+}
+
+func isIVExpr(v ir.Value, cl *analysis.CountedLoop) bool {
+	for {
+		if v == ir.Value(cl.IV) || v == ir.Value(cl.StepInstr) {
+			return true
+		}
+		in, ok := v.(*ir.Instr)
+		if !ok || in.Op != ir.OpSExt {
+			return false
+		}
+		v = in.Args[0]
+	}
+}
+
+func liveInName(v ir.Value) string {
+	switch x := v.(type) {
+	case *ir.Param:
+		return "arg" + x.Nam
+	case *ir.Instr:
+		return "arg" + x.Nam
+	}
+	return "arg"
+}

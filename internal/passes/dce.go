@@ -1,0 +1,301 @@
+package passes
+
+import (
+	"repro/internal/ir"
+)
+
+// hasSideEffects reports whether in must be preserved regardless of uses.
+func hasSideEffects(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpStore, ir.OpCall, ir.OpBr, ir.OpCondBr, ir.OpRet:
+		return true
+	}
+	return false
+}
+
+// DCE deletes instructions whose results are unused and that have no side
+// effects, iterating to a fixed point. Debug intrinsics do not count as
+// uses; a dbg.value whose described value dies is deleted with it, the
+// same way LLVM drops debug info for optimized-out values.
+func DCE(f *ir.Function) bool {
+	changed := false
+	for {
+		// Count uses excluding dbg.value.
+		used := map[ir.Value]bool{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpDbgValue {
+					continue
+				}
+				for _, a := range in.Args {
+					used[a] = true
+				}
+			}
+		}
+		removedAny := false
+		for _, b := range f.Blocks {
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				if hasSideEffects(in) || in.Op == ir.OpDbgValue {
+					continue
+				}
+				if in.HasResult() && used[in] {
+					continue
+				}
+				// Delete the instruction and any dbg.value describing it.
+				b.Remove(i)
+				removeDbgUsers(f, in)
+				removedAny = true
+			}
+		}
+		if !removedAny {
+			break
+		}
+		changed = true
+	}
+	if removeDeadAllocaStores(f) {
+		changed = true
+		DCE(f) // stored values may now be dead
+	}
+	return changed
+}
+
+// removeDeadAllocaStores deletes allocas that are only ever stored to
+// (never loaded, never escaping), along with those stores.
+func removeDeadAllocaStores(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if in.Op != ir.OpAlloca {
+				continue
+			}
+			onlyStores := true
+			var stores []*ir.Instr
+			for _, u := range f.Uses(in) {
+				if u.Op == ir.OpStore && u.Args[1] == ir.Value(in) && u.Args[0] != ir.Value(in) {
+					stores = append(stores, u)
+					continue
+				}
+				if u.Op == ir.OpDbgValue {
+					stores = append(stores, u)
+					continue
+				}
+				onlyStores = false
+				break
+			}
+			if !onlyStores {
+				continue
+			}
+			for _, st := range stores {
+				st.Parent.RemoveInstr(st)
+			}
+			b.Remove(i)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func removeDbgUsers(f *ir.Function, v ir.Value) {
+	for _, b := range f.Blocks {
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if in.Op == ir.OpDbgValue && in.Args[0] == v {
+				b.Remove(i)
+			}
+		}
+	}
+}
+
+// ConstFold evaluates instructions with all-constant operands and replaces
+// their uses with the folded constant.
+func ConstFold(f *ir.Function) bool {
+	changed := false
+	for {
+		folded := false
+		for _, b := range f.Blocks {
+			for i := 0; i < len(b.Instrs); i++ {
+				in := b.Instrs[i]
+				c := foldInstr(in)
+				if c == nil {
+					continue
+				}
+				f.ReplaceAllUses(in, c)
+				b.Remove(i)
+				removeDbgUsers(f, in)
+				i--
+				folded = true
+			}
+		}
+		if !folded {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+func foldInstr(in *ir.Instr) ir.Value {
+	getInt := func(v ir.Value) (int64, bool) {
+		c, ok := v.(*ir.ConstInt)
+		if !ok {
+			return 0, false
+		}
+		return c.V, true
+	}
+	getFloat := func(v ir.Value) (float64, bool) {
+		c, ok := v.(*ir.ConstFloat)
+		if !ok {
+			return 0, false
+		}
+		return c.V, true
+	}
+	switch {
+	case in.Op.IsBinary() && ir.IsIntegerType(in.Typ):
+		a, ok1 := getInt(in.Args[0])
+		b, ok2 := getInt(in.Args[1])
+		if !ok1 || !ok2 {
+			return foldIdentity(in)
+		}
+		var r int64
+		switch in.Op {
+		case ir.OpAdd:
+			r = a + b
+		case ir.OpSub:
+			r = a - b
+		case ir.OpMul:
+			r = a * b
+		case ir.OpSDiv:
+			if b == 0 {
+				return nil
+			}
+			r = a / b
+		case ir.OpSRem:
+			if b == 0 {
+				return nil
+			}
+			r = a % b
+		case ir.OpAnd:
+			r = a & b
+		case ir.OpOr:
+			r = a | b
+		case ir.OpXor:
+			r = a ^ b
+		case ir.OpShl:
+			r = a << uint(b)
+		case ir.OpAShr:
+			r = a >> uint(b)
+		default:
+			return nil
+		}
+		return ir.IntConst(in.Typ.(*ir.BasicType), r)
+
+	case in.Op.IsBinary() && ir.IsFloatType(in.Typ):
+		a, ok1 := getFloat(in.Args[0])
+		b, ok2 := getFloat(in.Args[1])
+		if !ok1 || !ok2 {
+			return nil
+		}
+		var r float64
+		switch in.Op {
+		case ir.OpFAdd:
+			r = a + b
+		case ir.OpFSub:
+			r = a - b
+		case ir.OpFMul:
+			r = a * b
+		case ir.OpFDiv:
+			r = a / b
+		default:
+			return nil
+		}
+		return &ir.ConstFloat{Typ: in.Typ.(*ir.BasicType), V: r}
+
+	case in.Op == ir.OpICmp:
+		a, ok1 := getInt(in.Args[0])
+		b, ok2 := getInt(in.Args[1])
+		if !ok1 || !ok2 {
+			return nil
+		}
+		var r bool
+		switch in.Pred {
+		case ir.CmpEQ:
+			r = a == b
+		case ir.CmpNE:
+			r = a != b
+		case ir.CmpSLT:
+			r = a < b
+		case ir.CmpSLE:
+			r = a <= b
+		case ir.CmpSGT:
+			r = a > b
+		case ir.CmpSGE:
+			r = a >= b
+		}
+		return ir.BoolConst(r)
+
+	case in.Op == ir.OpSExt || in.Op == ir.OpZExt || in.Op == ir.OpTrunc:
+		a, ok := getInt(in.Args[0])
+		if !ok {
+			return nil
+		}
+		return ir.IntConst(in.Typ.(*ir.BasicType), a)
+
+	case in.Op == ir.OpSIToFP:
+		a, ok := getInt(in.Args[0])
+		if !ok {
+			return nil
+		}
+		return &ir.ConstFloat{Typ: in.Typ.(*ir.BasicType), V: float64(a)}
+
+	case in.Op == ir.OpSelect:
+		c, ok := getInt(in.Args[0])
+		if !ok {
+			return nil
+		}
+		if c != 0 {
+			return in.Args[1]
+		}
+		return in.Args[2]
+	}
+	return nil
+}
+
+// foldIdentity simplifies x+0, x-0, x*1, x*0 and friends.
+func foldIdentity(in *ir.Instr) ir.Value {
+	ci := func(v ir.Value) (int64, bool) {
+		c, ok := v.(*ir.ConstInt)
+		if !ok {
+			return 0, false
+		}
+		return c.V, true
+	}
+	a, b := in.Args[0], in.Args[1]
+	av, aConst := ci(a)
+	bv, bConst := ci(b)
+	switch in.Op {
+	case ir.OpAdd:
+		if bConst && bv == 0 {
+			return a
+		}
+		if aConst && av == 0 {
+			return b
+		}
+	case ir.OpSub:
+		if bConst && bv == 0 {
+			return a
+		}
+	case ir.OpMul:
+		if bConst && bv == 1 {
+			return a
+		}
+		if aConst && av == 1 {
+			return b
+		}
+		if bConst && bv == 0 || aConst && av == 0 {
+			return ir.IntConst(in.Typ.(*ir.BasicType), 0)
+		}
+	}
+	return nil
+}

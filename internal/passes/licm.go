@@ -1,0 +1,91 @@
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// LICM hoists loop-invariant pure computations to the loop preheader.
+// Only side-effect-free instructions move (arithmetic, comparisons,
+// casts, geps, selects); memory operations stay put.
+//
+// A decompilation-relevant consequence, noted in paper §5.3.2: hoisted
+// instructions are recreated at the preheader without the debug
+// intrinsics that described them inside the loop, so their values can no
+// longer be related to source variables. LICM therefore drops dbg.value
+// intrinsics attached to moved instructions, as LLVM does.
+func LICM(f *ir.Function) bool {
+	dom := analysis.NewDomTree(f)
+	li := analysis.FindLoops(f, dom)
+	changed := false
+	// Innermost-first gives invariants a chance to bubble outward across
+	// several applications of the pipeline.
+	for i := len(li.All) - 1; i >= 0; i-- {
+		if hoistLoop(f, li.All[i]) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func pureOp(in *ir.Instr) bool {
+	if in.Op.IsBinary() || in.Op.IsCast() {
+		return true
+	}
+	switch in.Op {
+	case ir.OpGEP, ir.OpICmp, ir.OpFCmp, ir.OpSelect, ir.OpFNeg:
+		return true
+	}
+	return false
+}
+
+func hoistLoop(f *ir.Function, l *analysis.Loop) bool {
+	pre := l.Preheader()
+	if pre == nil {
+		return false
+	}
+	term := pre.Terminator()
+	if term == nil {
+		return false
+	}
+	changed := false
+	for {
+		moved := false
+		for _, b := range l.BlockList() {
+			for i := 0; i < len(b.Instrs); i++ {
+				in := b.Instrs[i]
+				if !pureOp(in) || !in.HasResult() {
+					continue
+				}
+				invariant := true
+				for _, a := range in.Args {
+					if !analysis.IsLoopInvariant(a, l) {
+						invariant = false
+						break
+					}
+				}
+				if !invariant {
+					continue
+				}
+				// Division by a possibly-zero value must not be
+				// speculated ahead of the loop guard.
+				if in.Op == ir.OpSDiv || in.Op == ir.OpSRem {
+					if c, ok := in.Args[1].(*ir.ConstInt); !ok || c.V == 0 {
+						continue
+					}
+				}
+				b.Remove(i)
+				i--
+				pre.InsertAt(pre.IndexOf(pre.Terminator()), in)
+				// Debug info does not survive the move (see doc comment).
+				removeDbgUsers(f, in)
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+		changed = true
+	}
+	return changed
+}

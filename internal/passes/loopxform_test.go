@@ -1,0 +1,293 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+const unrollProgram = `
+@A = global [1000 x double] zeroinitializer
+@B = global [1000 x double] zeroinitializer
+@C = global [1000 x double] zeroinitializer
+
+define void @u() {
+entry:
+  br label %for.cond
+for.cond:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %for.body ]
+  %cmp = icmp slt i64 %i, 1000
+  br i1 %cmp, label %for.body, label %for.end
+for.body:
+  %gb = getelementptr [1000 x double], [1000 x double]* @B, i64 0, i64 %i
+  %vb = load double, double* %gb
+  %gc = getelementptr [1000 x double], [1000 x double]* @C, i64 0, i64 %i
+  %vc = load double, double* %gc
+  %sum = fadd double %vb, %vc
+  %ga = getelementptr [1000 x double], [1000 x double]* @A, i64 0, i64 %i
+  store double %sum, double* %ga
+  %i.next = add i64 %i, 1
+  br label %for.cond
+for.end:
+  ret void
+}
+`
+
+func TestUnrollByFour(t *testing.T) {
+	m := ir.MustParse(unrollProgram)
+	f := m.FuncByName("u")
+	li := analysis.FindLoops(f, analysis.NewDomTree(f))
+	if !UnrollLoop(f, li.All[0], 4) {
+		t.Fatalf("unroll refused:\n%s", f.Print())
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f.Print())
+	}
+	// Step is now 4.
+	li = analysis.FindLoops(f, analysis.NewDomTree(f))
+	cl := analysis.AnalyzeCountedLoop(li.All[0])
+	if cl == nil || cl.Step != 4 {
+		t.Fatalf("after unroll: cl=%+v", cl)
+	}
+	// Four stores in the body.
+	stores := 0
+	f.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			stores++
+		}
+	})
+	if stores != 4 {
+		t.Errorf("stores = %d, want 4\n%s", stores, f.Print())
+	}
+}
+
+func TestUnrollRefusesIndivisibleTrip(t *testing.T) {
+	m := ir.MustParse(unrollProgram)
+	f := m.FuncByName("u")
+	li := analysis.FindLoops(f, analysis.NewDomTree(f))
+	if UnrollLoop(f, li.All[0], 7) {
+		t.Error("unroll by 7 accepted for trip 1000")
+	}
+}
+
+const distProgram = `
+@A = global [100 x double] zeroinitializer
+@B = global [100 x double] zeroinitializer
+
+define void @d() {
+entry:
+  br label %for.cond
+for.cond:
+  %i = phi i64 [ 1, %entry ], [ %i.next, %for.body ]
+  %cmp = icmp slt i64 %i, 100
+  br i1 %cmp, label %for.body, label %for.end
+for.body:
+  %ga = getelementptr [100 x double], [100 x double]* @A, i64 0, i64 %i
+  %fi = sitofp i64 %i to double
+  store double %fi, double* %ga
+  %im1 = sub i64 %i, 1
+  %gam1 = getelementptr [100 x double], [100 x double]* @A, i64 0, i64 %im1
+  %va = load double, double* %gam1
+  %prod = fmul double %fi, %va
+  %gb = getelementptr [100 x double], [100 x double]* @B, i64 0, i64 %i
+  store double %prod, double* %gb
+  %i.next = add i64 %i, 1
+  br label %for.cond
+for.end:
+  ret void
+}
+`
+
+func TestDistributeSplitsByArray(t *testing.T) {
+	m := ir.MustParse(distProgram)
+	f := m.FuncByName("d")
+	li := analysis.FindLoops(f, analysis.NewDomTree(f))
+	if !DistributeLoop(f, li.All[0]) {
+		t.Fatalf("distribute refused:\n%s", f.Print())
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f.Print())
+	}
+	li = analysis.FindLoops(f, analysis.NewDomTree(f))
+	if len(li.All) != 2 {
+		t.Fatalf("loops after distribute = %d, want 2\n%s", len(li.All), f.Print())
+	}
+	// First loop stores only to A, second only to B.
+	storeBases := func(l *analysis.Loop) map[string]bool {
+		out := map[string]bool{}
+		for _, b := range l.BlockList() {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStore {
+					out[baseArray(in.Args[1]).(*ir.Global).Nam] = true
+				}
+			}
+		}
+		return out
+	}
+	b0 := storeBases(li.Top[0])
+	b1 := storeBases(li.Top[1])
+	if !b0["A"] || b0["B"] || !b1["B"] || b1["A"] {
+		t.Errorf("store partition wrong: first=%v second=%v\n%s", b0, b1, f.Print())
+	}
+}
+
+func TestDistributeRefusesReversedDependence(t *testing.T) {
+	// First group (A) reads B, which the second group writes: fission
+	// would run all A iterations before any B write, changing values read.
+	m := ir.MustParse(`
+@A = global [100 x double] zeroinitializer
+@B = global [100 x double] zeroinitializer
+define void @rd() {
+entry:
+  br label %for.cond
+for.cond:
+  %i = phi i64 [ 1, %entry ], [ %i.next, %for.body ]
+  %cmp = icmp slt i64 %i, 100
+  br i1 %cmp, label %for.body, label %for.end
+for.body:
+  %im1 = sub i64 %i, 1
+  %gbm1 = getelementptr [100 x double], [100 x double]* @B, i64 0, i64 %im1
+  %vb = load double, double* %gbm1
+  %ga = getelementptr [100 x double], [100 x double]* @A, i64 0, i64 %i
+  store double %vb, double* %ga
+  %fi = sitofp i64 %i to double
+  %gb = getelementptr [100 x double], [100 x double]* @B, i64 0, i64 %i
+  store double %fi, double* %gb
+  %i.next = add i64 %i, 1
+  br label %for.cond
+for.end:
+  ret void
+}
+`)
+	f := m.FuncByName("rd")
+	li := analysis.FindLoops(f, analysis.NewDomTree(f))
+	if DistributeLoop(f, li.All[0]) {
+		t.Error("illegal distribution accepted")
+	}
+}
+
+func TestInlineCallVoid(t *testing.T) {
+	m := ir.MustParse(`
+@G = global i64 0
+define void @callee(i64 %x) {
+entry:
+  store i64 %x, i64* @G
+  ret void
+}
+define void @caller() {
+entry:
+  call void @callee(i64 42)
+  ret void
+}
+`)
+	caller := m.FuncByName("caller")
+	var call *ir.Instr
+	caller.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpCall {
+			call = in
+		}
+	})
+	if !InlineCall(call) {
+		t.Fatal("inline refused")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, caller.Print())
+	}
+	// The store now appears directly in the caller with the constant arg.
+	found := false
+	caller.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			if c, ok := in.Args[0].(*ir.ConstInt); ok && c.V == 42 {
+				found = true
+			}
+		}
+		if in.Op == ir.OpCall {
+			t.Errorf("call survived inlining: %s", in)
+		}
+	})
+	if !found {
+		t.Errorf("inlined store not found:\n%s", caller.Print())
+	}
+}
+
+func TestInlineCallWithResultAndBranches(t *testing.T) {
+	m := ir.MustParse(`
+define i64 @abs(i64 %x) {
+entry:
+  %neg = icmp slt i64 %x, 0
+  br i1 %neg, label %a, label %b
+a:
+  %nx = sub i64 0, %x
+  ret i64 %nx
+b:
+  ret i64 %x
+}
+define i64 @caller(i64 %v) {
+entry:
+  %r = call i64 @abs(i64 %v)
+  %r2 = add i64 %r, 1
+  ret i64 %r2
+}
+`)
+	caller := m.FuncByName("caller")
+	var call *ir.Instr
+	caller.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpCall {
+			call = in
+		}
+	})
+	if !InlineCall(call) {
+		t.Fatal("inline refused")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, caller.Print())
+	}
+	// Multiple returns merge via a phi feeding the add.
+	var add *ir.Instr
+	caller.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpAdd && in.Nam == "r2" {
+			add = in
+		}
+	})
+	if add == nil {
+		t.Fatal("add lost")
+	}
+	phi, ok := add.Args[0].(*ir.Instr)
+	if !ok || phi.Op != ir.OpPhi || len(phi.Args) != 2 {
+		t.Errorf("result not merged by phi: %v\n%s", add.Args[0], caller.Print())
+	}
+}
+
+func TestInlineAllRespectsFilter(t *testing.T) {
+	m := ir.MustParse(`
+define void @yes() {
+entry:
+  ret void
+}
+define void @no() {
+entry:
+  ret void
+}
+define void @caller() {
+entry:
+  call void @yes()
+  call void @no()
+  ret void
+}
+`)
+	caller := m.FuncByName("caller")
+	InlineAll(caller, func(f *ir.Function) bool { return f.Nam == "yes" })
+	calls := 0
+	caller.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpCall {
+			calls++
+			if in.Callee.(*ir.Function).Nam != "no" {
+				t.Errorf("wrong call survived: %s", in)
+			}
+		}
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+}

@@ -1,0 +1,221 @@
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// Mem2Reg promotes allocas whose only uses are scalar loads and stores
+// into SSA values, inserting phi nodes at iterated dominance frontiers
+// (the standard SSA-construction algorithm).
+//
+// Debug fidelity, which the decompiler's variable renaming relies on, is
+// preserved the way LLVM preserves it: a dbg.value intrinsic naming the
+// alloca acts as a declaration; promotion rewrites it into dbg.value
+// intrinsics on every stored value and every inserted phi. After this
+// pass one source variable is typically described by several SSA values
+// with potentially overlapping lifetimes — exactly the conflict situation
+// of paper §4.3.2.
+func Mem2Reg(f *ir.Function) bool {
+	dom := analysis.NewDomTree(f)
+	df := dom.Frontiers()
+
+	type allocaInfo struct {
+		alloca   *ir.Instr
+		varName  string
+		declares []*ir.Instr
+		stores   []*ir.Instr
+		loads    []*ir.Instr
+	}
+
+	var promotable []*allocaInfo
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpAlloca {
+				continue
+			}
+			if _, isArr := in.AllocaElem.(*ir.ArrayType); isArr {
+				continue // aggregate: address arithmetic, not promotable
+			}
+			ai := &allocaInfo{alloca: in}
+			ok := true
+			for _, use := range f.Uses(in) {
+				switch {
+				case use.Op == ir.OpLoad && use.Args[0] == ir.Value(in):
+					ai.loads = append(ai.loads, use)
+				case use.Op == ir.OpStore && use.Args[1] == ir.Value(in) && use.Args[0] != ir.Value(in):
+					ai.stores = append(ai.stores, use)
+				case use.Op == ir.OpDbgValue:
+					ai.varName = use.VarName
+					ai.declares = append(ai.declares, use)
+				default:
+					ok = false // address escapes (gep, call, stored value)
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				promotable = append(promotable, ai)
+			}
+		}
+	}
+	if len(promotable) == 0 {
+		return false
+	}
+
+	// Phase 1: place phis at iterated dominance frontiers of def blocks.
+	phiOwner := map[*ir.Instr]*allocaInfo{}
+	for _, ai := range promotable {
+		defBlocks := map[*ir.Block]bool{}
+		for _, st := range ai.stores {
+			defBlocks[st.Parent] = true
+		}
+		placed := map[*ir.Block]bool{}
+		work := make([]*ir.Block, 0, len(defBlocks))
+		for b := range defBlocks {
+			work = append(work, b)
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fb := range df[b] {
+				if placed[fb] {
+					continue
+				}
+				placed[fb] = true
+				phi := &ir.Instr{
+					Op:  ir.OpPhi,
+					Typ: ai.alloca.AllocaElem,
+					Nam: f.FreshName(ai.alloca.Nam + ".phi"),
+				}
+				fb.InsertAt(0, phi)
+				phiOwner[phi] = ai
+				if !defBlocks[fb] {
+					defBlocks[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+
+	// Phase 2: rename along the dominator tree.
+	cur := map[*allocaInfo][]ir.Value{} // stacks
+	top := func(ai *allocaInfo) ir.Value {
+		s := cur[ai]
+		if len(s) == 0 {
+			return ir.Undef(ai.alloca.AllocaElem)
+		}
+		return s[len(s)-1]
+	}
+	var toDelete []*ir.Instr
+	isPromoted := map[*ir.Instr]*allocaInfo{}
+	for _, ai := range promotable {
+		isPromoted[ai.alloca] = ai
+	}
+
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		pushed := map[*allocaInfo]int{}
+		// New dbg.value intrinsics to insert, as (index, instr) pairs;
+		// inserted after the scan so indices stay valid.
+		type pendingDbg struct {
+			after *ir.Instr
+			val   ir.Value
+			name  string
+		}
+		var dbgs []pendingDbg
+
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpPhi:
+				if ai, ok := phiOwner[in]; ok {
+					cur[ai] = append(cur[ai], in)
+					pushed[ai]++
+					if ai.varName != "" {
+						dbgs = append(dbgs, pendingDbg{after: in, val: in, name: ai.varName})
+					}
+				}
+			case ir.OpLoad:
+				if ai, ok := isPromoted[ptrOf(in)]; ok {
+					f.ReplaceAllUses(in, top(ai))
+					toDelete = append(toDelete, in)
+				}
+			case ir.OpStore:
+				if ai, ok := isPromoted[storePtrOf(in)]; ok {
+					cur[ai] = append(cur[ai], in.Args[0])
+					pushed[ai]++
+					if ai.varName != "" {
+						dbgs = append(dbgs, pendingDbg{after: in, val: in.Args[0], name: ai.varName})
+					}
+					toDelete = append(toDelete, in)
+				}
+			}
+		}
+		// Insert pending dbg.values after their anchors. Phi anchors
+		// float to the end of the phi group to keep phis contiguous.
+		for _, pd := range dbgs {
+			idx := b.IndexOf(pd.after)
+			if idx < 0 {
+				continue
+			}
+			if pd.after.Op == ir.OpPhi {
+				idx = b.FirstNonPhi() - 1
+			}
+			b.InsertAt(idx+1, &ir.Instr{
+				Op: ir.OpDbgValue, Typ: ir.Void,
+				Args: []ir.Value{pd.val}, VarName: pd.name,
+				SrcLine: pd.after.SrcLine,
+			})
+		}
+		// Feed successors' phis.
+		for _, s := range b.Succs() {
+			for _, phi := range s.Phis() {
+				if ai, ok := phiOwner[phi]; ok {
+					phi.SetPhiIncoming(b, top(ai))
+				}
+			}
+		}
+		for _, c := range dom.Children(b) {
+			rename(c)
+		}
+		for ai, n := range pushed {
+			cur[ai] = cur[ai][:len(cur[ai])-n]
+		}
+	}
+	rename(f.Entry())
+
+	// Phase 3: delete rewritten loads/stores, the alloca declarations,
+	// and the allocas themselves.
+	for _, ai := range promotable {
+		toDelete = append(toDelete, ai.declares...)
+		toDelete = append(toDelete, ai.alloca)
+	}
+	for _, in := range toDelete {
+		if in.Parent != nil {
+			in.Parent.RemoveInstr(in)
+		}
+	}
+
+	// Prune phis in unreachable blocks' shadow: a placed phi in a block
+	// with no predecessors has no entries; drop it.
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			if _, mine := phiOwner[phi]; mine && len(phi.Args) == 0 {
+				f.ReplaceAllUses(phi, ir.Undef(phi.Type()))
+				b.RemoveInstr(phi)
+			}
+		}
+	}
+	return true
+}
+
+func ptrOf(in *ir.Instr) *ir.Instr {
+	p, _ := in.Args[0].(*ir.Instr)
+	return p
+}
+
+func storePtrOf(in *ir.Instr) *ir.Instr {
+	p, _ := in.Args[1].(*ir.Instr)
+	return p
+}

@@ -1,0 +1,63 @@
+// Package passes implements the mid-end optimization pipeline the paper's
+// input IR is shaped by: mem2reg (SSA construction), CFG simplification,
+// constant folding, dead-code elimination, loop-invariant code motion,
+// loop rotation, loop unrolling, loop distribution, and function inlining.
+//
+// The pipeline ordering mirrors LLVM -O2 for the passes that matter to
+// decompilation: mem2reg splits source variables into phi-connected
+// registers (§2.3 of the paper), LICM creates values with no debug
+// metadata (§5.3.2), and loop rotation converts for-loops into the
+// do-while shape that defeats naive decompilers (§2.2).
+package passes
+
+import (
+	"repro/internal/ir"
+)
+
+// FuncPass transforms one function and reports whether it changed it.
+type FuncPass func(f *ir.Function) bool
+
+// RunPipeline applies each pass to every defined function in m, in order.
+// It returns whether any pass changed anything.
+func RunPipeline(m *ir.Module, pipeline ...FuncPass) bool {
+	changed := false
+	for _, p := range pipeline {
+		for _, f := range m.Funcs {
+			if f.IsDecl() {
+				continue
+			}
+			if p(f) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// O2 returns the standard optimization pipeline applied to benchmark IR
+// before parallelization, ending with the loop rotation that parallelizing
+// compilers rely on for canonicalization.
+func O2() []FuncPass {
+	return []FuncPass{
+		Mem2Reg,
+		SimplifyCFG,
+		ConstFold,
+		DCE,
+		LICM,
+		ConstFold,
+		DCE,
+		LoopRotate,
+		SimplifyCFG,
+		DCE,
+	}
+}
+
+// Optimize runs the O2 pipeline on m until it reaches a fixed point or
+// maxIter iterations.
+func Optimize(m *ir.Module) {
+	for i := 0; i < 3; i++ {
+		if !RunPipeline(m, O2()...) {
+			break
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package passes
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// LoopRotate converts loops whose exit test sits in the header
+// (while/for shape) into the rotated do-while shape guarded by a zero-trip
+// check — the canonicalization parallelizing compilers apply before loop
+// transformations, and the transformation SPLENDID must undo to emit
+// natural for-loops (paper §2.2, §4.2).
+//
+// Shape requirements (matching what the frontend emits for for-loops):
+//   - unique preheader P, unique latch L, header H with the only exiting
+//     branch of the loop;
+//   - H contains only phis, pure computations feeding the exit compare,
+//     and the conditional branch;
+//   - the in-loop successor B of H has no predecessor other than H;
+//   - the loop exit E has no predecessor other than H.
+//
+// After rotation: P ends in the guard branch (a clone of the exit test on
+// initial values) to B or E; header phis move to B; L ends in a clone of
+// the exit test on next-iteration values, branching back to B or to E;
+// values that were live out through header phis reach E through fresh
+// phis merging the zero-trip and loop-exit paths.
+func LoopRotate(f *ir.Function) bool {
+	changed := false
+	for i := 0; i < 64; i++ { // bound: each iteration rotates one loop
+		dom := analysis.NewDomTree(f)
+		li := analysis.FindLoops(f, dom)
+		rotated := false
+		for _, l := range li.All {
+			if rotateOne(f, l) {
+				rotated = true
+				break // CFG changed; recompute analyses
+			}
+		}
+		if !rotated {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+func rotateOne(f *ir.Function, l *analysis.Loop) bool {
+	H := l.Header
+	P := l.Preheader()
+	L := l.Latch()
+	if P == nil || L == nil || L == H || len(l.Blocks) < 2 {
+		return false
+	}
+	exiting := l.ExitingBlocks()
+	if len(exiting) != 1 || exiting[0] != H {
+		return false
+	}
+	term := H.Terminator()
+	if term == nil || term.Op != ir.OpCondBr {
+		return false
+	}
+	var B, E *ir.Block
+	condOnTrue := false
+	if l.Contains(term.Blocks[0]) && !l.Contains(term.Blocks[1]) {
+		B, E = term.Blocks[0], term.Blocks[1]
+		condOnTrue = true
+	} else if l.Contains(term.Blocks[1]) && !l.Contains(term.Blocks[0]) {
+		B, E = term.Blocks[1], term.Blocks[0]
+	} else {
+		return false
+	}
+	if B == H || len(B.Preds()) != 1 {
+		return false
+	}
+	if len(E.Preds()) != 1 {
+		return false
+	}
+	if pt := P.Terminator(); pt == nil || pt.Op != ir.OpBr {
+		return false
+	}
+	if lt := L.Terminator(); lt == nil || lt.Op != ir.OpBr {
+		return false
+	}
+
+	// Non-phi header instructions must be consumed only inside the header.
+	phis := H.Phis()
+	nonPhi := H.Instrs[len(phis) : len(H.Instrs)-1]
+	inHeader := map[*ir.Instr]bool{term: true}
+	for _, in := range nonPhi {
+		inHeader[in] = true
+	}
+	for _, in := range nonPhi {
+		if in.Op == ir.OpDbgValue {
+			continue
+		}
+		for _, u := range f.Uses(in) {
+			if !inHeader[u] {
+				return false
+			}
+		}
+		if !pureOp(in) {
+			return false
+		}
+	}
+
+	// Clone the header computation chain with a substitution map.
+	cloneChain := func(into *ir.Block, sub map[ir.Value]ir.Value, suffix string) ir.Value {
+		lookup := func(v ir.Value) ir.Value {
+			if nv, ok := sub[v]; ok {
+				return nv
+			}
+			return v
+		}
+		var cond ir.Value = lookup(term.Args[0])
+		for _, in := range nonPhi {
+			if in.Op == ir.OpDbgValue {
+				continue
+			}
+			ci := &ir.Instr{
+				Op: in.Op, Typ: in.Typ, Pred: in.Pred,
+				AllocaElem: in.AllocaElem, SrcLine: in.SrcLine,
+				Nam: f.FreshName(in.Nam + suffix),
+			}
+			for _, a := range in.Args {
+				ci.Args = append(ci.Args, lookup(a))
+			}
+			if in.Callee != nil {
+				ci.Callee = lookup(in.Callee)
+			}
+			into.InsertAt(into.IndexOf(into.Terminator()), ci)
+			sub[in] = ci
+			if ir.Value(in) == term.Args[0] {
+				cond = ci
+			}
+		}
+		return cond
+	}
+
+	// Guard in the preheader: header chain evaluated on initial values.
+	guardSub := map[ir.Value]ir.Value{}
+	for _, p := range phis {
+		guardSub[p] = p.PhiIncoming(P)
+	}
+	guardCond := cloneChain(P, guardSub, ".guard")
+	pt := P.Terminator()
+	pt.Op = ir.OpCondBr
+	if condOnTrue {
+		pt.Args = []ir.Value{guardCond}
+		pt.Blocks = []*ir.Block{B, E}
+	} else {
+		pt.Args = []ir.Value{guardCond}
+		pt.Blocks = []*ir.Block{E, B}
+	}
+
+	// Latch test: header chain evaluated on next-iteration values.
+	latchSub := map[ir.Value]ir.Value{}
+	for _, p := range phis {
+		latchSub[p] = p.PhiIncoming(L)
+	}
+	latchCond := cloneChain(L, latchSub, ".next")
+	lt := L.Terminator()
+	lt.Op = ir.OpCondBr
+	if condOnTrue {
+		lt.Args = []ir.Value{latchCond}
+		lt.Blocks = []*ir.Block{B, E}
+	} else {
+		lt.Args = []ir.Value{latchCond}
+		lt.Blocks = []*ir.Block{E, B}
+	}
+
+	// Values live past the loop flowed through header phis; reroute them
+	// through fresh phis in E merging the guard (zero-trip) and latch
+	// paths.
+	loopBlocks := map[*ir.Block]bool{}
+	for b := range l.Blocks {
+		loopBlocks[b] = true
+	}
+	for _, p := range phis {
+		var outside []*ir.Instr
+		for _, u := range f.Uses(p) {
+			if u.Parent != nil && !loopBlocks[u.Parent] && u.Parent != H {
+				outside = append(outside, u)
+			}
+		}
+		if len(outside) == 0 {
+			continue
+		}
+		ephi := &ir.Instr{
+			Op: ir.OpPhi, Typ: p.Typ,
+			Nam:     f.FreshName(p.Nam + ".lcssa"),
+			SrcLine: p.SrcLine,
+		}
+		ephi.SetPhiIncoming(P, p.PhiIncoming(P))
+		ephi.SetPhiIncoming(L, p.PhiIncoming(L))
+		E.InsertAt(0, ephi)
+		for _, u := range outside {
+			u.ReplaceUses(p, ephi)
+		}
+	}
+	// Pre-existing phis in E recorded an edge from H; that edge is now two
+	// edges, from P and from L, carrying the suitably substituted value.
+	for _, ephi := range E.Phis() {
+		v := ephi.PhiIncoming(H)
+		if v == nil {
+			continue
+		}
+		ephi.RemovePhiIncoming(H)
+		gv, lv := v, v
+		if nv, ok := guardSub[v]; ok {
+			gv = nv
+		}
+		if nv, ok := latchSub[v]; ok {
+			lv = nv
+		}
+		ephi.SetPhiIncoming(P, gv)
+		ephi.SetPhiIncoming(L, lv)
+	}
+
+	// Move header phis to B; their incoming blocks (P and L) are exactly
+	// B's new predecessors.
+	for i := len(phis) - 1; i >= 0; i-- {
+		p := phis[i]
+		H.RemoveInstr(p)
+		B.InsertAt(0, p)
+	}
+	// Debug intrinsics describing the moved phis move with them; ones
+	// describing deleted header computations are dropped (debug loss on
+	// rotation, as in LLVM).
+	isPhi := map[ir.Value]bool{}
+	for _, p := range phis {
+		isPhi[p] = true
+	}
+	for _, in := range H.Instrs {
+		if in.Op == ir.OpDbgValue && isPhi[in.Args[0]] {
+			B.InsertAt(B.FirstNonPhi(), &ir.Instr{
+				Op: ir.OpDbgValue, Typ: ir.Void,
+				Args: []ir.Value{in.Args[0]}, VarName: in.VarName,
+				SrcLine: in.SrcLine,
+			})
+		}
+	}
+	// The old header disappears entirely.
+	f.RemoveBlock(H)
+	return true
+}

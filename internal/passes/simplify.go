@@ -1,0 +1,209 @@
+package passes
+
+import (
+	"repro/internal/ir"
+)
+
+// SimplifyCFG performs conservative CFG cleanups:
+//   - folds conditional branches on constant conditions;
+//   - removes blocks unreachable from the entry;
+//   - merges a block into its unique predecessor when that predecessor
+//     has it as unique successor;
+//   - removes empty forwarding blocks (a lone unconditional branch) when
+//     doing so cannot confuse phi nodes.
+func SimplifyCFG(f *ir.Function) bool {
+	changed := false
+	for {
+		c := foldConstBranches(f) || removeUnreachable(f)
+		c = mergeStraightLine(f) || c
+		c = removeForwarders(f) || c
+		c = collapseSingleIncoming(f) || c
+		if !c {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// collapseSingleIncoming replaces phis that merge exactly one incoming
+// value with that value (they arise when edges are removed).
+func collapseSingleIncoming(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			if len(phi.Args) == 1 && phi.Args[0] != ir.Value(phi) {
+				f.ReplaceAllUses(phi, phi.Args[0])
+				b.RemoveInstr(phi)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func foldConstBranches(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		c, ok := t.Args[0].(*ir.ConstInt)
+		if !ok {
+			continue
+		}
+		taken, dead := t.Blocks[0], t.Blocks[1]
+		if c.V == 0 {
+			taken, dead = dead, taken
+		}
+		if dead != taken {
+			for _, phi := range dead.Phis() {
+				phi.RemovePhiIncoming(b)
+			}
+		}
+		t.Op = ir.OpBr
+		t.Args = nil
+		t.Blocks = []*ir.Block{taken}
+		changed = true
+	}
+	return changed
+}
+
+func removeUnreachable(f *ir.Function) bool {
+	reach := map[*ir.Block]bool{}
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs() {
+			dfs(s)
+		}
+	}
+	dfs(f.Entry())
+	changed := false
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+			continue
+		}
+		changed = true
+		// Remove phi entries flowing from the dead block.
+		for _, s := range b.Succs() {
+			for _, phi := range s.Phis() {
+				phi.RemovePhiIncoming(b)
+			}
+		}
+	}
+	if changed {
+		f.Blocks = kept
+		// A phi left with a single incoming value collapses to that value.
+		collapseTrivialPhis(f)
+	}
+	return changed
+}
+
+func collapseTrivialPhis(f *ir.Function) {
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis() {
+			if len(phi.Args) == 1 {
+				f.ReplaceAllUses(phi, phi.Args[0])
+				b.RemoveInstr(phi)
+			}
+		}
+	}
+}
+
+// mergeStraightLine merges b into its unique predecessor p when p's only
+// successor is b. Phis in b are collapsed (single pred means single entry).
+func mergeStraightLine(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		if b == f.Entry() {
+			continue
+		}
+		preds := b.Preds()
+		if len(preds) != 1 {
+			continue
+		}
+		p := preds[0]
+		if len(p.Succs()) != 1 || p.Succs()[0] != b || p == b {
+			continue
+		}
+		for _, phi := range b.Phis() {
+			f.ReplaceAllUses(phi, phi.Args[0])
+		}
+		b.Instrs = b.Instrs[b.FirstNonPhi():]
+		// Drop p's terminator, splice b's instructions in.
+		p.Instrs = p.Instrs[:len(p.Instrs)-1]
+		for _, in := range b.Instrs {
+			in.Parent = p
+			p.Instrs = append(p.Instrs, in)
+		}
+		// Successors' phis must now record p instead of b.
+		for _, s := range p.Succs() {
+			s.ReplacePhiPred(b, p)
+		}
+		f.RemoveBlock(b)
+		changed = true
+		break // block list mutated; restart scan
+	}
+	return changed
+}
+
+// removeForwarders removes blocks containing only an unconditional branch,
+// redirecting predecessors straight to the target. Skipped when the target
+// has phis whose entries would become ambiguous (a predecessor already
+// reaching the target directly).
+func removeForwarders(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		if b == f.Entry() || len(b.Instrs) != 1 {
+			continue
+		}
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		target := t.Blocks[0]
+		if target == b {
+			continue
+		}
+		preds := b.Preds()
+		if len(preds) == 0 {
+			continue
+		}
+		// Ambiguity check: a pred that already branches to target would
+		// need two phi entries after redirection.
+		safe := true
+		for _, p := range preds {
+			for _, s := range p.Succs() {
+				if s == target {
+					safe = false
+				}
+			}
+		}
+		if !safe {
+			continue
+		}
+		// Also reject when target phis cannot be adjusted: they can; the
+		// value flowing from b is replicated for each pred.
+		for _, phi := range target.Phis() {
+			v := phi.PhiIncoming(b)
+			phi.RemovePhiIncoming(b)
+			for _, p := range preds {
+				phi.SetPhiIncoming(p, v)
+			}
+		}
+		for _, p := range preds {
+			p.Terminator().ReplaceBlock(b, target)
+		}
+		f.RemoveBlock(b)
+		changed = true
+		break // restart scan after mutation
+	}
+	return changed
+}

@@ -1,0 +1,737 @@
+package polybench
+
+// Linear-algebra benchmarks: gemm, 2mm, 3mm, syrk, syr2k, mvt, atax,
+// bicg, gemver, gesummv, doitgen.
+
+var gemm = register(&Benchmark{
+	Name: "gemm",
+	Seq: `
+#define N 48
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 1) % 7;
+      B[i][j] = (i + j * 2) % 5;
+      C[i][j] = (i - j) % 3;
+    }
+  }
+}
+void kernel_gemm() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      C[i][j] = C[i][j] * 0.5;
+      for (long k = 0; k < N; k++) {
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+`,
+	Ref: `
+#define N 48
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i * j + 1) % 7;
+        B[i][j] = (i + j * 2) % 5;
+        C[i][j] = (i - j) % 3;
+      }
+    }
+  }
+}
+void kernel_gemm() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        C[i][j] = C[i][j] * 0.5;
+        for (long k = 0; k < N; k++) {
+          C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+        }
+      }
+    }
+  }
+}
+`,
+	Manual: `
+#define N 48
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 1) % 7;
+      B[i][j] = (i + j * 2) % 5;
+      C[i][j] = (i - j) % 3;
+    }
+  }
+}
+void kernel_gemm() {
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      C[i][j] = C[i][j] * 0.5;
+      for (long k = 0; k < N; k++) {
+        C[i][j] = C[i][j] + 1.5 * A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+`,
+	RunFuncs:    []string{"init", "kernel_gemm"},
+	KernelFuncs: []string{"kernel_gemm"},
+	Outputs:     []string{"C"},
+	PaperT3:     [4]int{1, 3, 3, 1},
+})
+
+var twomm = register(&Benchmark{
+	Name: "2mm",
+	Seq: `
+#define N 40
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double tmp[N][N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j) % 9;
+      B[i][j] = (i + j) % 7;
+      C[i][j] = (i * 2 + j) % 5;
+      D[i][j] = (i - 2 * j) % 3;
+    }
+  }
+}
+void kernel_2mm() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      tmp[i][j] = 0.0;
+      for (long k = 0; k < N; k++) {
+        tmp[i][j] = tmp[i][j] + 1.2 * A[i][k] * B[k][j];
+      }
+    }
+  }
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      D[i][j] = D[i][j] * 0.8;
+      for (long k = 0; k < N; k++) {
+        D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+      }
+    }
+  }
+}
+`,
+	Ref: `
+#define N 40
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double tmp[N][N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i * j) % 9;
+        B[i][j] = (i + j) % 7;
+        C[i][j] = (i * 2 + j) % 5;
+        D[i][j] = (i - 2 * j) % 3;
+      }
+    }
+  }
+}
+void kernel_2mm() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        tmp[i][j] = 0.0;
+        for (long k = 0; k < N; k++) {
+          tmp[i][j] = tmp[i][j] + 1.2 * A[i][k] * B[k][j];
+        }
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        D[i][j] = D[i][j] * 0.8;
+        for (long k = 0; k < N; k++) {
+          D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+        }
+      }
+    }
+  }
+}
+`,
+	Manual: `
+#define N 40
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double tmp[N][N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j) % 9;
+      B[i][j] = (i + j) % 7;
+      C[i][j] = (i * 2 + j) % 5;
+      D[i][j] = (i - 2 * j) % 3;
+    }
+  }
+}
+void kernel_2mm() {
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      tmp[i][j] = 0.0;
+      for (long k = 0; k < N; k++) {
+        tmp[i][j] = tmp[i][j] + 1.2 * A[i][k] * B[k][j];
+      }
+    }
+  }
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      D[i][j] = D[i][j] * 0.8;
+      for (long k = 0; k < N; k++) {
+        D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+      }
+    }
+  }
+}
+`,
+	RunFuncs:    []string{"init", "kernel_2mm"},
+	KernelFuncs: []string{"kernel_2mm"},
+	Outputs:     []string{"D"},
+	PaperT3:     [4]int{2, 3, 3, 2},
+})
+
+var threemm = register(&Benchmark{
+	Name: "3mm",
+	Seq: `
+#define N 36
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double E[N][N];
+double F[N][N];
+double G[N][N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 3) % 11;
+      B[i][j] = (i + j) % 7;
+      C[i][j] = (2 * i + j) % 5;
+      D[i][j] = (i + 3 * j) % 9;
+    }
+  }
+}
+void kernel_3mm() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      E[i][j] = 0.0;
+      for (long k = 0; k < N; k++) {
+        E[i][j] = E[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      F[i][j] = 0.0;
+      for (long k = 0; k < N; k++) {
+        F[i][j] = F[i][j] + C[i][k] * D[k][j];
+      }
+    }
+  }
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      G[i][j] = 0.0;
+      for (long k = 0; k < N; k++) {
+        G[i][j] = G[i][j] + E[i][k] * F[k][j];
+      }
+    }
+  }
+}
+`,
+	Ref: `
+#define N 36
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double E[N][N];
+double F[N][N];
+double G[N][N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i * j + 3) % 11;
+        B[i][j] = (i + j) % 7;
+        C[i][j] = (2 * i + j) % 5;
+        D[i][j] = (i + 3 * j) % 9;
+      }
+    }
+  }
+}
+void kernel_3mm() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        E[i][j] = 0.0;
+        for (long k = 0; k < N; k++) {
+          E[i][j] = E[i][j] + A[i][k] * B[k][j];
+        }
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        F[i][j] = 0.0;
+        for (long k = 0; k < N; k++) {
+          F[i][j] = F[i][j] + C[i][k] * D[k][j];
+        }
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        G[i][j] = 0.0;
+        for (long k = 0; k < N; k++) {
+          G[i][j] = G[i][j] + E[i][k] * F[k][j];
+        }
+      }
+    }
+  }
+}
+`,
+	Manual: `
+#define N 36
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double E[N][N];
+double F[N][N];
+double G[N][N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 3) % 11;
+      B[i][j] = (i + j) % 7;
+      C[i][j] = (2 * i + j) % 5;
+      D[i][j] = (i + 3 * j) % 9;
+    }
+  }
+}
+void kernel_3mm() {
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      E[i][j] = 0.0;
+      for (long k = 0; k < N; k++) {
+        E[i][j] = E[i][j] + A[i][k] * B[k][j];
+      }
+    }
+  }
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      F[i][j] = 0.0;
+      for (long k = 0; k < N; k++) {
+        F[i][j] = F[i][j] + C[i][k] * D[k][j];
+      }
+    }
+  }
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      G[i][j] = 0.0;
+      for (long k = 0; k < N; k++) {
+        G[i][j] = G[i][j] + E[i][k] * F[k][j];
+      }
+    }
+  }
+}
+`,
+	RunFuncs:    []string{"init", "kernel_3mm"},
+	KernelFuncs: []string{"kernel_3mm"},
+	Outputs:     []string{"G"},
+	PaperT3:     [4]int{3, 4, 4, 3},
+})
+
+var syrk = register(&Benchmark{
+	Name: "syrk",
+	Seq: `
+#define N 48
+
+double A[N][N];
+double C[N][N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 2) % 13;
+      C[i][j] = (i + j) % 7;
+    }
+  }
+}
+void kernel_syrk() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      C[i][j] = C[i][j] * 0.3;
+      for (long k = 0; k < N; k++) {
+        C[i][j] = C[i][j] + 1.1 * A[i][k] * A[j][k];
+      }
+    }
+  }
+}
+`,
+	Ref: `
+#define N 48
+
+double A[N][N];
+double C[N][N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i * j + 2) % 13;
+        C[i][j] = (i + j) % 7;
+      }
+    }
+  }
+}
+void kernel_syrk() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        C[i][j] = C[i][j] * 0.3;
+        for (long k = 0; k < N; k++) {
+          C[i][j] = C[i][j] + 1.1 * A[i][k] * A[j][k];
+        }
+      }
+    }
+  }
+}
+`,
+	Manual: `
+#define N 48
+
+double A[N][N];
+double C[N][N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 2) % 13;
+      C[i][j] = (i + j) % 7;
+    }
+  }
+}
+void kernel_syrk() {
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      C[i][j] = C[i][j] * 0.3;
+      for (long k = 0; k < N; k++) {
+        C[i][j] = C[i][j] + 1.1 * A[i][k] * A[j][k];
+      }
+    }
+  }
+}
+`,
+	RunFuncs:    []string{"init", "kernel_syrk"},
+	KernelFuncs: []string{"kernel_syrk"},
+	Outputs:     []string{"C"},
+	PaperT3:     [4]int{1, 2, 2, 1},
+})
+
+var syr2k = register(&Benchmark{
+	Name: "syr2k",
+	Seq: `
+#define N 44
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 1) % 9;
+      B[i][j] = (i + 2 * j) % 7;
+      C[i][j] = (3 * i + j) % 5;
+    }
+  }
+}
+void kernel_syr2k() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      C[i][j] = C[i][j] * 0.4;
+      for (long k = 0; k < N; k++) {
+        C[i][j] = C[i][j] + A[i][k] * B[j][k] + B[i][k] * A[j][k];
+      }
+    }
+  }
+}
+`,
+	Ref: `
+#define N 44
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i * j + 1) % 9;
+        B[i][j] = (i + 2 * j) % 7;
+        C[i][j] = (3 * i + j) % 5;
+      }
+    }
+  }
+}
+void kernel_syr2k() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        C[i][j] = C[i][j] * 0.4;
+        for (long k = 0; k < N; k++) {
+          C[i][j] = C[i][j] + A[i][k] * B[j][k] + B[i][k] * A[j][k];
+        }
+      }
+    }
+  }
+}
+`,
+	Manual: `
+#define N 44
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 1) % 9;
+      B[i][j] = (i + 2 * j) % 7;
+      C[i][j] = (3 * i + j) % 5;
+    }
+  }
+}
+void kernel_syr2k() {
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      C[i][j] = C[i][j] * 0.4;
+      for (long k = 0; k < N; k++) {
+        C[i][j] = C[i][j] + A[i][k] * B[j][k] + B[i][k] * A[j][k];
+      }
+    }
+  }
+}
+`,
+	RunFuncs:    []string{"init", "kernel_syr2k"},
+	KernelFuncs: []string{"kernel_syr2k"},
+	Outputs:     []string{"C"},
+	PaperT3:     [4]int{1, 2, 2, 1},
+})
+
+var doitgen = register(&Benchmark{
+	Name: "doitgen",
+	Seq: `
+#define NR 20
+#define NQ 20
+#define NP 24
+
+double A[NR][NQ][NP];
+double C4[NP][NP];
+double sum[NR][NQ][NP];
+
+void init() {
+  for (long r = 0; r < NR; r++) {
+    for (long q = 0; q < NQ; q++) {
+      for (long p = 0; p < NP; p++) {
+        A[r][q][p] = (r * q + p) % 7;
+      }
+    }
+  }
+  for (long i = 0; i < NP; i++) {
+    for (long j = 0; j < NP; j++) {
+      C4[i][j] = (i * j) % 5;
+    }
+  }
+}
+void kernel_doitgen() {
+  for (long r = 0; r < NR; r++) {
+    for (long q = 0; q < NQ; q++) {
+      for (long p = 0; p < NP; p++) {
+        sum[r][q][p] = 0.0;
+        for (long s = 0; s < NP; s++) {
+          sum[r][q][p] = sum[r][q][p] + A[r][q][s] * C4[s][p];
+        }
+      }
+      for (long p = 0; p < NP; p++) {
+        A[r][q][p] = sum[r][q][p];
+      }
+    }
+  }
+}
+`,
+	Ref: `
+#define NR 20
+#define NQ 20
+#define NP 24
+
+double A[NR][NQ][NP];
+double C4[NP][NP];
+double sum[NR][NQ][NP];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long r = 0; r < NR; r++) {
+      for (long q = 0; q < NQ; q++) {
+        for (long p = 0; p < NP; p++) {
+          A[r][q][p] = (r * q + p) % 7;
+        }
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < NP; i++) {
+      for (long j = 0; j < NP; j++) {
+        C4[i][j] = (i * j) % 5;
+      }
+    }
+  }
+}
+void kernel_doitgen() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long r = 0; r < NR; r++) {
+      for (long q = 0; q < NQ; q++) {
+        for (long p = 0; p < NP; p++) {
+          sum[r][q][p] = 0.0;
+          for (long s = 0; s < NP; s++) {
+            sum[r][q][p] = sum[r][q][p] + A[r][q][s] * C4[s][p];
+          }
+        }
+        for (long p = 0; p < NP; p++) {
+          A[r][q][p] = sum[r][q][p];
+        }
+      }
+    }
+  }
+}
+`,
+	Manual: `
+#define NR 20
+#define NQ 20
+#define NP 24
+
+double A[NR][NQ][NP];
+double C4[NP][NP];
+double sum[NR][NQ][NP];
+
+void init() {
+  for (long r = 0; r < NR; r++) {
+    for (long q = 0; q < NQ; q++) {
+      for (long p = 0; p < NP; p++) {
+        A[r][q][p] = (r * q + p) % 7;
+      }
+    }
+  }
+  for (long i = 0; i < NP; i++) {
+    for (long j = 0; j < NP; j++) {
+      C4[i][j] = (i * j) % 5;
+    }
+  }
+}
+void kernel_doitgen() {
+  #pragma omp parallel for schedule(static)
+  for (long r = 0; r < NR; r++) {
+    for (long q = 0; q < NQ; q++) {
+      for (long p = 0; p < NP; p++) {
+        sum[r][q][p] = 0.0;
+        for (long s = 0; s < NP; s++) {
+          sum[r][q][p] = sum[r][q][p] + A[r][q][s] * C4[s][p];
+        }
+      }
+      for (long p = 0; p < NP; p++) {
+        A[r][q][p] = sum[r][q][p];
+      }
+    }
+  }
+}
+`,
+	RunFuncs:    []string{"init", "kernel_doitgen"},
+	KernelFuncs: []string{"kernel_doitgen"},
+	Outputs:     []string{"A"},
+	PaperT3:     [4]int{1, 2, 2, 1},
+})

@@ -1,0 +1,841 @@
+package polybench
+
+// Vector/matrix-vector benchmarks, including four of the paper's seven
+// collaborative-parallelization subjects (Figure 9): atax and bicg gain
+// loop distribution from the programmer; mvt and gemver gain parallel
+// region fusion (one fork instead of one per loop nest).
+
+var atax = register(&Benchmark{
+	Name: "atax",
+	Seq: `
+#define N 220
+
+double A[N][N];
+double x[N];
+double y[N];
+double tmp[N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    x[i] = 1.0 + i % 11;
+    y[i] = 0.0;
+    tmp[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i + j * 3) % 13;
+    }
+  }
+}
+void kernel_atax() {
+  for (long i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    }
+  }
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      y[j] = y[j] + A[i][j] * tmp[i];
+    }
+  }
+}
+`,
+	Ref: `
+#define N 220
+
+double A[N][N];
+double x[N];
+double y[N];
+double tmp[N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      x[i] = 1.0 + i % 11;
+      y[i] = 0.0;
+      tmp[i] = 0.0;
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i + j * 3) % 13;
+      }
+    }
+  }
+}
+void kernel_atax() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      tmp[i] = 0.0;
+      for (long j = 0; j < N; j++) {
+        tmp[i] = tmp[i] + A[i][j] * x[j];
+      }
+    }
+  }
+  for (long i = 0; i < N; i++) {
+    #pragma omp parallel
+    {
+      #pragma omp for schedule(static) nowait
+      for (long j = 0; j < N; j++) {
+        y[j] = y[j] + A[i][j] * tmp[i];
+      }
+    }
+  }
+}
+`,
+	Manual: `
+#define N 220
+
+double A[N][N];
+double x[N];
+double y[N];
+double tmp[N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    x[i] = 1.0 + i % 11;
+    y[i] = 0.0;
+    tmp[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i + j * 3) % 13;
+    }
+  }
+}
+void kernel_atax() {
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    }
+  }
+  #pragma omp parallel for schedule(static)
+  for (long j = 0; j < N; j++) {
+    for (long i = 0; i < N; i++) {
+      y[j] = y[j] + A[i][j] * tmp[i];
+    }
+  }
+}
+`,
+	// Collab: the SPLENDID output of the compiler parallelization plus
+	// the programmer's loop distribution (interchanged second nest) —
+	// both the init coverage the programmer skipped and the outer-loop
+	// parallelism the compiler missed.
+	Collab: `
+#define N 220
+
+double A[N][N];
+double x[N];
+double y[N];
+double tmp[N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      x[i] = 1.0 + i % 11;
+      y[i] = 0.0;
+      tmp[i] = 0.0;
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i + j * 3) % 13;
+      }
+    }
+  }
+}
+void kernel_atax() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      tmp[i] = 0.0;
+      for (long j = 0; j < N; j++) {
+        tmp[i] = tmp[i] + A[i][j] * x[j];
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long j = 0; j < N; j++) {
+      for (long i = 0; i < N; i++) {
+        y[j] = y[j] + A[i][j] * tmp[i];
+      }
+    }
+  }
+}
+`,
+	CollabLoC:   4,
+	RunFuncs:    []string{"init", "kernel_atax"},
+	KernelFuncs: []string{"kernel_atax"},
+	Outputs:     []string{"y", "tmp"},
+	PaperT3:     [4]int{2, 2, 3, 1},
+})
+
+var bicg = register(&Benchmark{
+	Name: "bicg",
+	Seq: `
+#define N 220
+
+double A[N][N];
+double s[N];
+double q[N];
+double p[N];
+double r[N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    p[i] = (i % 7) * 0.5;
+    r[i] = (i % 5) * 0.25;
+    s[i] = 0.0;
+    q[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * 2 + j) % 9;
+    }
+  }
+}
+void kernel_bicg() {
+  for (long i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+`,
+	Ref: `
+#define N 220
+
+double A[N][N];
+double s[N];
+double q[N];
+double p[N];
+double r[N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      p[i] = (i % 7) * 0.5;
+      r[i] = (i % 5) * 0.25;
+      s[i] = 0.0;
+      q[i] = 0.0;
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i * 2 + j) % 9;
+      }
+    }
+  }
+}
+void kernel_bicg() {
+  for (long i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+`,
+	Manual: `
+#define N 220
+
+double A[N][N];
+double s[N];
+double q[N];
+double p[N];
+double r[N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    p[i] = (i % 7) * 0.5;
+    r[i] = (i % 5) * 0.25;
+    s[i] = 0.0;
+    q[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * 2 + j) % 9;
+    }
+  }
+}
+void kernel_bicg() {
+  #pragma omp parallel for schedule(static)
+  for (long j = 0; j < N; j++) {
+    for (long i = 0; i < N; i++) {
+      s[j] = s[j] + r[i] * A[i][j];
+    }
+  }
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+`,
+	Collab: `
+#define N 220
+
+double A[N][N];
+double s[N];
+double q[N];
+double p[N];
+double r[N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      p[i] = (i % 7) * 0.5;
+      r[i] = (i % 5) * 0.25;
+      s[i] = 0.0;
+      q[i] = 0.0;
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i * 2 + j) % 9;
+      }
+    }
+  }
+}
+void kernel_bicg() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long j = 0; j < N; j++) {
+      for (long i = 0; i < N; i++) {
+        s[j] = s[j] + r[i] * A[i][j];
+      }
+    }
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      q[i] = 0.0;
+      for (long j = 0; j < N; j++) {
+        q[i] = q[i] + A[i][j] * p[j];
+      }
+    }
+  }
+}
+`,
+	CollabLoC:   5,
+	RunFuncs:    []string{"init", "kernel_bicg"},
+	KernelFuncs: []string{"kernel_bicg"},
+	Outputs:     []string{"s", "q"},
+	PaperT3:     [4]int{2, 1, 3, 0},
+})
+
+var mvt = register(&Benchmark{
+	Name: "mvt",
+	Seq: `
+#define N 220
+
+double A[N][N];
+double x1[N];
+double x2[N];
+double y1[N];
+double y2[N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    x1[i] = (i % 9) * 0.5;
+    x2[i] = (i % 7) * 0.25;
+    y1[i] = (i % 5) * 1.5;
+    y2[i] = (i % 3) * 2.0;
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i + j) % 11;
+    }
+  }
+}
+void kernel_mvt() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      x1[i] = x1[i] + A[i][j] * y1[j];
+    }
+  }
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      x2[i] = x2[i] + A[j][i] * y2[j];
+    }
+  }
+}
+`,
+	Ref: `
+#define N 220
+
+double A[N][N];
+double x1[N];
+double x2[N];
+double y1[N];
+double y2[N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      x1[i] = (i % 9) * 0.5;
+      x2[i] = (i % 7) * 0.25;
+      y1[i] = (i % 5) * 1.5;
+      y2[i] = (i % 3) * 2.0;
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i + j) % 11;
+      }
+    }
+  }
+}
+void kernel_mvt() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        x1[i] = x1[i] + A[i][j] * y1[j];
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        x2[i] = x2[i] + A[j][i] * y2[j];
+      }
+    }
+  }
+}
+`,
+	Manual: `
+#define N 220
+
+double A[N][N];
+double x1[N];
+double x2[N];
+double y1[N];
+double y2[N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    x1[i] = (i % 9) * 0.5;
+    x2[i] = (i % 7) * 0.25;
+    y1[i] = (i % 5) * 1.5;
+    y2[i] = (i % 3) * 2.0;
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i + j) % 11;
+    }
+  }
+}
+void kernel_mvt() {
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      x1[i] = x1[i] + A[i][j] * y1[j];
+    }
+  }
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      x2[i] = x2[i] + A[j][i] * y2[j];
+    }
+  }
+}
+`,
+	// Collab: the two independent sweeps share one parallel region
+	// (programmer adds fusion on top of the SPLENDID output: both loops
+	// are nowait because they touch disjoint data).
+	Collab: `
+#define N 220
+
+double A[N][N];
+double x1[N];
+double x2[N];
+double y1[N];
+double y2[N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      x1[i] = (i % 9) * 0.5;
+      x2[i] = (i % 7) * 0.25;
+      y1[i] = (i % 5) * 1.5;
+      y2[i] = (i % 3) * 2.0;
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i + j) % 11;
+      }
+    }
+  }
+}
+void kernel_mvt() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        x1[i] = x1[i] + A[i][j] * y1[j];
+      }
+    }
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        x2[i] = x2[i] + A[j][i] * y2[j];
+      }
+    }
+  }
+}
+`,
+	CollabLoC:   2,
+	RunFuncs:    []string{"init", "kernel_mvt"},
+	KernelFuncs: []string{"kernel_mvt"},
+	Outputs:     []string{"x1", "x2"},
+	PaperT3:     [4]int{2, 2, 2, 2},
+})
+
+var gemver = register(&Benchmark{
+	Name: "gemver",
+	Seq: `
+#define N 200
+
+double A[N][N];
+double u1[N];
+double v1[N];
+double u2[N];
+double v2[N];
+double w[N];
+double x[N];
+double y[N];
+double z[N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    u1[i] = i % 7;
+    u2[i] = (i + 1) % 5;
+    v1[i] = (i + 2) % 9;
+    v2[i] = (i + 3) % 3;
+    y[i] = (i % 11) * 0.5;
+    z[i] = (i % 13) * 0.25;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 1) % 7;
+    }
+  }
+}
+void kernel_gemver() {
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      x[i] = x[i] + 0.75 * A[j][i] * y[j];
+    }
+  }
+  for (long i = 0; i < N; i++) {
+    x[i] = x[i] + z[i];
+  }
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      w[i] = w[i] + 1.25 * A[i][j] * x[j];
+    }
+  }
+}
+`,
+	Ref: `
+#define N 200
+
+double A[N][N];
+double u1[N];
+double v1[N];
+double u2[N];
+double v2[N];
+double w[N];
+double x[N];
+double y[N];
+double z[N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      u1[i] = i % 7;
+      u2[i] = (i + 1) % 5;
+      v1[i] = (i + 2) % 9;
+      v2[i] = (i + 3) % 3;
+      y[i] = (i % 11) * 0.5;
+      z[i] = (i % 13) * 0.25;
+      x[i] = 0.0;
+      w[i] = 0.0;
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i * j + 1) % 7;
+      }
+    }
+  }
+}
+void kernel_gemver() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        x[i] = x[i] + 0.75 * A[j][i] * y[j];
+      }
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      x[i] = x[i] + z[i];
+    }
+  }
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        w[i] = w[i] + 1.25 * A[i][j] * x[j];
+      }
+    }
+  }
+}
+`,
+	Manual: `
+#define N 200
+
+double A[N][N];
+double u1[N];
+double v1[N];
+double u2[N];
+double v2[N];
+double w[N];
+double x[N];
+double y[N];
+double z[N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    u1[i] = i % 7;
+    u2[i] = (i + 1) % 5;
+    v1[i] = (i + 2) % 9;
+    v2[i] = (i + 3) % 3;
+    y[i] = (i % 11) * 0.5;
+    z[i] = (i % 13) * 0.25;
+    x[i] = 0.0;
+    w[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 1) % 7;
+    }
+  }
+}
+void kernel_gemver() {
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      x[i] = x[i] + 0.75 * A[j][i] * y[j];
+    }
+  }
+  for (long i = 0; i < N; i++) {
+    x[i] = x[i] + z[i];
+  }
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    for (long j = 0; j < N; j++) {
+      w[i] = w[i] + 1.25 * A[i][j] * x[j];
+    }
+  }
+}
+`,
+	// Collab: all four stages live in one parallel region; stage
+	// boundaries that carry data (A -> x -> w) keep their barriers, the
+	// final stage is nowait.
+	Collab: `
+#define N 200
+
+double A[N][N];
+double u1[N];
+double v1[N];
+double u2[N];
+double v2[N];
+double w[N];
+double x[N];
+double y[N];
+double z[N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      u1[i] = i % 7;
+      u2[i] = (i + 1) % 5;
+      v1[i] = (i + 2) % 9;
+      v2[i] = (i + 3) % 3;
+      y[i] = (i % 11) * 0.5;
+      z[i] = (i % 13) * 0.25;
+      x[i] = 0.0;
+      w[i] = 0.0;
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i * j + 1) % 7;
+      }
+    }
+  }
+}
+void kernel_gemver() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static)
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+      }
+    }
+    #pragma omp for schedule(static)
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        x[i] = x[i] + 0.75 * A[j][i] * y[j];
+      }
+    }
+    #pragma omp for schedule(static)
+    for (long i = 0; i < N; i++) {
+      x[i] = x[i] + z[i];
+    }
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      for (long j = 0; j < N; j++) {
+        w[i] = w[i] + 1.25 * A[i][j] * x[j];
+      }
+    }
+  }
+}
+`,
+	CollabLoC:   3,
+	RunFuncs:    []string{"init", "kernel_gemver"},
+	KernelFuncs: []string{"kernel_gemver"},
+	Outputs:     []string{"w", "x"},
+	PaperT3:     [4]int{3, 4, 4, 3},
+})
+
+var gesummv = register(&Benchmark{
+	Name: "gesummv",
+	Seq: `
+#define N 220
+
+double A[N][N];
+double B[N][N];
+double x[N];
+double y[N];
+double tmp[N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    x[i] = (i % 9) * 0.5;
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 2) % 7;
+      B[i][j] = (i + j * 2) % 5;
+    }
+  }
+}
+void kernel_gesummv() {
+  for (long i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = 1.2 * tmp[i] + 1.5 * y[i];
+  }
+}
+`,
+	Ref: `
+#define N 220
+
+double A[N][N];
+double B[N][N];
+double x[N];
+double y[N];
+double tmp[N];
+
+void init() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      x[i] = (i % 9) * 0.5;
+      for (long j = 0; j < N; j++) {
+        A[i][j] = (i * j + 2) % 7;
+        B[i][j] = (i + j * 2) % 5;
+      }
+    }
+  }
+}
+void kernel_gesummv() {
+  #pragma omp parallel
+  {
+    #pragma omp for schedule(static) nowait
+    for (long i = 0; i < N; i++) {
+      tmp[i] = 0.0;
+      y[i] = 0.0;
+      for (long j = 0; j < N; j++) {
+        tmp[i] = A[i][j] * x[j] + tmp[i];
+        y[i] = B[i][j] * x[j] + y[i];
+      }
+      y[i] = 1.2 * tmp[i] + 1.5 * y[i];
+    }
+  }
+}
+`,
+	Manual: `
+#define N 220
+
+double A[N][N];
+double B[N][N];
+double x[N];
+double y[N];
+double tmp[N];
+
+void init() {
+  for (long i = 0; i < N; i++) {
+    x[i] = (i % 9) * 0.5;
+    for (long j = 0; j < N; j++) {
+      A[i][j] = (i * j + 2) % 7;
+      B[i][j] = (i + j * 2) % 5;
+    }
+  }
+}
+void kernel_gesummv() {
+  #pragma omp parallel for schedule(static)
+  for (long i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (long j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = 1.2 * tmp[i] + 1.5 * y[i];
+  }
+}
+`,
+	RunFuncs:    []string{"init", "kernel_gesummv"},
+	KernelFuncs: []string{"kernel_gesummv"},
+	Outputs:     []string{"y"},
+	PaperT3:     [4]int{1, 2, 2, 1},
+})

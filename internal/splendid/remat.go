@@ -1,0 +1,74 @@
+package splendid
+
+import (
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// RematerializeAddresses undoes loop-invariant code motion on address
+// computations: a getelementptr with several uses is re-created
+// immediately before each use, so subscripted accesses print as
+// A[i][j] instead of flowing through hoisted row pointers. Address
+// recomputation is semantically free, and the resulting source matches
+// how programmers write array accesses — one of SPLENDID's deliberate
+// naturalness trade-offs (the paper leaves performance-relevant
+// transformations alone but reverses purely structural ones).
+func RematerializeAddresses(f *ir.Function) bool {
+	changed := false
+	for round := 0; round < 10000; round++ {
+		var target *ir.Instr
+		f.Instrs(func(in *ir.Instr) {
+			if target != nil || in.Op != ir.OpGEP {
+				return
+			}
+			uses := nonDbgUses(f, in)
+			if len(uses) > 1 {
+				target = in
+				return
+			}
+			// A hoisted address used in another block sinks back to its
+			// use so it can fold into a subscript expression.
+			if len(uses) == 1 && uses[0].Parent != in.Parent && uses[0].Op != ir.OpPhi {
+				target = in
+			}
+		})
+		if target == nil {
+			break
+		}
+		for _, user := range nonDbgUses(f, target) {
+			if user.Op == ir.OpPhi {
+				continue // edge placement; leave the original for these
+			}
+			clone := &ir.Instr{
+				Op: ir.OpGEP, Typ: target.Typ,
+				Nam:     f.FreshName(target.Nam),
+				Args:    append([]ir.Value{}, target.Args...),
+				SrcLine: target.SrcLine,
+			}
+			blk := user.Parent
+			blk.InsertAt(blk.IndexOf(user), clone)
+			user.ReplaceUses(target, clone)
+		}
+		passes.DCE(f)
+		changed = true
+	}
+	return changed
+}
+
+func nonDbgUses(f *ir.Function, v ir.Value) []*ir.Instr {
+	var out []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpDbgValue {
+				continue
+			}
+			for _, a := range in.Args {
+				if a == v {
+					out = append(out, in)
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+// Package splendid implements the paper's primary contribution: an
+// LLVM-IR→C/OpenMP decompiler producing portable, natural parallel
+// source. The pipeline follows Figure 4 of the paper:
+//
+//	Parallel Semantic Analyzer   — find __kmpc_fork_call regions
+//	Parallel Region Detransformer — restore sequential loop parameters,
+//	                                strip runtime setup, inline the
+//	                                outlined region (Loop Inliner)
+//	Loop-Rotate Detransformer    — rebuild canonical for loops and prove
+//	                                the rotation guard redundant
+//	Variable Proposer/Generator  — Algorithms 1 & 2: recover source
+//	                                variable names from debug metadata
+//	                                without lifetime conflicts
+//	Pragma Generator             — re-express parallelism as
+//	                                #pragma omp parallel / for
+//	Control-Flow Generator       — structured C emission with expression
+//	                                folding
+//
+// Three configurations reproduce the paper's ablation (Figure 7):
+// V1 (natural control flow only), Portable (adds explicit parallelism),
+// and Full (adds variable renaming).
+package splendid
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/cast"
+	"repro/internal/decomp"
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// Config selects SPLENDID features, mirroring the paper's variants.
+type Config struct {
+	// ExplicitParallelism runs the Parallel Region Detransformer and the
+	// Pragma Generator (Portable SPLENDID and Full).
+	ExplicitParallelism bool
+	// RestoreForLoops runs the Loop-Rotate Detransformer (all variants).
+	RestoreForLoops bool
+	// RenameVariables runs the Variable Generator (Full only).
+	RenameVariables bool
+	// FoldExpressions collapses single-use values into compound
+	// expressions (all variants; the C-backend substrate has it off).
+	FoldExpressions bool
+}
+
+// V1 is SPLENDID v1: natural control-flow construction only.
+func V1() Config {
+	return Config{RestoreForLoops: true, FoldExpressions: true}
+}
+
+// Portable is SPLENDID v2: control flow plus explicit parallelism; its
+// output recompiles with any OpenMP compiler.
+func Portable() Config {
+	return Config{RestoreForLoops: true, ExplicitParallelism: true, FoldExpressions: true}
+}
+
+// Full is the complete SPLENDID with variable renaming.
+func Full() Config {
+	return Config{RestoreForLoops: true, ExplicitParallelism: true,
+		RenameVariables: true, FoldExpressions: true}
+}
+
+// Stats aggregates decompilation statistics for the evaluation.
+type Stats struct {
+	ParallelRegions int
+	DerotatedLoops  int
+	PragmasEmitted  int
+	VarGen          VarGenStats
+	// DeclaredVars and SourceNamedVars feed Figure 8: the fraction of
+	// emitted C variables carrying reconstructed source names.
+	DeclaredVars    int
+	SourceNamedVars int
+}
+
+// Result is a completed decompilation.
+type Result struct {
+	File  *cast.File
+	C     string
+	Stats Stats
+}
+
+// Decompile translates parallel IR into OpenMP C source. The input
+// module is not modified (the pipeline runs on a private copy).
+func Decompile(m *ir.Module, cfg Config) (*Result, error) {
+	work, err := ir.Parse(m.Print())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	// Phase 1: explicit parallel translation.
+	pragmas := map[*ir.Block]*decomp.PragmaInfo{}
+	if cfg.ExplicitParallelism {
+		pragmas, err = DetransformParallelRegions(work)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.ParallelRegions = len(pragmas)
+	}
+
+	// Phase 2: natural control flow and natural address expressions.
+	// Mem2Reg first promotes reduction cells (and any other plain scalar
+	// slots the detransformation exposed) into SSA values so they print
+	// as ordinary variables.
+	if cfg.ExplicitParallelism {
+		for _, f := range work.Funcs {
+			if !f.IsDecl() {
+				passes.Mem2Reg(f)
+			}
+		}
+	}
+	if cfg.RestoreForLoops {
+		for _, f := range work.Funcs {
+			if f.IsDecl() {
+				continue
+			}
+			res.Stats.DerotatedLoops += DerotateLoops(f)
+		}
+	}
+	if cfg.FoldExpressions {
+		for _, f := range work.Funcs {
+			if f.IsDecl() {
+				continue
+			}
+			RematerializeAddresses(f)
+		}
+	}
+	passes.RunPipeline(work, passes.ConstFold, passes.DCE, passes.SimplifyCFG)
+	if err := work.Verify(); err != nil {
+		return nil, err
+	}
+	// Marker block names may have been renamed by CFG cleanup only via
+	// removal; refresh the pragma map from current names.
+	pragmas = refreshPragmas(work, pragmas)
+	res.Stats.PragmasEmitted = len(pragmas)
+
+	// Phase 3: variable generation + emission, per function.
+	file := &cast.File{}
+	for _, g := range work.Globals {
+		vd := &cast.VarDecl{T: decomp.CType(g.Elem), Name: g.Nam}
+		if g.Init != nil {
+			switch c := g.Init.(type) {
+			case *ir.ConstInt:
+				vd.Init = &cast.IntLit{V: c.V}
+			case *ir.ConstFloat:
+				vd.Init = &cast.FloatLit{V: c.V}
+			}
+		}
+		file.Vars = append(file.Vars, vd)
+	}
+	for _, f := range work.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if f.Outlined && cfg.ExplicitParallelism {
+			// Fully detransformed regions are gone; any survivor is kept
+			// (unsupported shape), as the paper's prototype does.
+			_ = f
+		}
+		var namer decomp.Namer
+		sourceNames := map[string]bool{}
+		if cfg.RenameVariables {
+			proposal, vstats := GenerateVariables(f)
+			res.Stats.VarGen.Proposed += vstats.Proposed
+			res.Stats.VarGen.Conflicts += vstats.Conflicts
+			res.Stats.VarGen.Named += vstats.Named
+			final := FinalNames(f, proposal)
+			for _, w := range proposal {
+				sourceNames[w] = true
+			}
+			namer = decomp.SourceNamer(valueStrings(final))
+		}
+		info := &decomp.EmitInfo{}
+		opts := decomp.Options{
+			Structured: true,
+			ForLoops:   cfg.RestoreForLoops,
+			Fold:       cfg.FoldExpressions,
+			Name:       namer,
+			PragmaFor:  pragmas,
+			Info:       info,
+		}
+		fd := decomp.TranslateFunction(f, opts)
+		fd.Name = publicName(f.Nam)
+		file.Funcs = append(file.Funcs, fd)
+
+		res.Stats.DeclaredVars += len(info.DeclaredVars)
+		for _, n := range info.DeclaredVars {
+			if sourceNames[n] {
+				res.Stats.SourceNamedVars++
+			}
+		}
+	}
+	res.File = file
+	res.C = cast.Print(file)
+	return res, nil
+}
+
+// valueStrings adapts a concrete name map to SourceNamer's input shape.
+func valueStrings(final map[ir.Value]string) map[ir.Value]string { return final }
+
+// publicName strips pipeline suffixes from function names in emitted C.
+func publicName(n string) string {
+	n = strings.ReplaceAll(n, ".", "_")
+	return n
+}
+
+// refreshPragmas rebuilds the marker→pragma map against the current
+// blocks (blocks may have been merged or renamed by cleanup passes).
+func refreshPragmas(m *ir.Module, old map[*ir.Block]*decomp.PragmaInfo) map[*ir.Block]*decomp.PragmaInfo {
+	// Index old pragma data by region sequence number (block names may
+	// have changed under later rewrites; the recorded Seq has not).
+	bySeq := map[int]*decomp.PragmaInfo{}
+	for _, pi := range old {
+		bySeq[pi.Seq] = pi
+	}
+	out := map[*ir.Block]*decomp.PragmaInfo{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			if seq, ok := markerSeq(b.Nam); ok {
+				if pi := bySeq[seq]; pi != nil {
+					out[b] = pi
+				} else {
+					out[b] = &decomp.PragmaInfo{Schedule: "static", NoWait: true}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func markerSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, markerPrefix) {
+		return 0, false
+	}
+	rest := name[len(markerPrefix):]
+	dot := strings.IndexByte(rest, '.')
+	if dot < 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest[:dot])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
