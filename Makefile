@@ -1,0 +1,12 @@
+.PHONY: verify test bench
+
+verify:
+	sh scripts/verify.sh
+
+test:
+	go test ./...
+
+# Full benchmark sweep; BenchmarkTelemetryStages leaves per-stage
+# timings in BENCH_telemetry.json for cross-PR comparison.
+bench:
+	go test -bench=. -benchtime=1x .

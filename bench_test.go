@@ -6,14 +6,20 @@ package repro_test
 // so `go test -bench=.` reproduces the entire evaluation.
 
 import (
+	"encoding/json"
 	"io"
 	"math"
+	"os"
 	"testing"
 
+	"repro/internal/cfront"
 	"repro/internal/experiments"
 	"repro/internal/ir"
+	"repro/internal/parallel"
+	"repro/internal/passes"
 	"repro/internal/polybench"
 	"repro/internal/splendid"
+	"repro/internal/telemetry"
 )
 
 var benchCfg = experiments.Config{Threads: 28, Reps: 1}
@@ -193,6 +199,60 @@ func BenchmarkDecompileSuite(b *testing.B) {
 				b.Fatalf("%s: %v", bench.Name, err)
 			}
 		}
+	}
+}
+
+// BenchmarkTelemetryStages drives the entire compile → optimize →
+// parallelize → decompile pipeline over the PolyBench suite with
+// telemetry enabled and dumps the aggregated per-stage and per-pass span
+// timings (plus counters) to BENCH_telemetry.json, giving future perf
+// PRs a per-stage baseline to diff against.
+func BenchmarkTelemetryStages(b *testing.B) {
+	var tc *telemetry.Ctx
+	for i := 0; i < b.N; i++ {
+		tc = telemetry.New()
+		for _, bench := range polybench.All() {
+			m, err := cfront.CompileSourceCtx(bench.Seq, bench.Name, tc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			passes.OptimizeCtx(m, tc)
+			parallel.Parallelize(m, parallel.Options{Telemetry: tc})
+			if _, err := splendid.DecompileCtx(m, splendid.Full(), tc); err != nil {
+				b.Fatalf("%s: %v", bench.Name, err)
+			}
+		}
+	}
+	b.StopTimer()
+	dump := struct {
+		Stages   []telemetry.Row  `json:"stages"`
+		Passes   []telemetry.Row  `json:"passes"`
+		Counters map[string]int64 `json:"counters"`
+	}{tc.Summary(telemetry.CatStage), tc.Summary(telemetry.CatPass), tc.Counters()}
+	j, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_telemetry.json", j, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range dump.Stages {
+		b.ReportMetric(float64(r.TotalNS)/1e6, "ms-"+metricName(r.Name))
+	}
+}
+
+// BenchmarkTelemetryDisabled measures the telemetry API on the disabled
+// (nil-Ctx) path — the cost every pass invocation pays when no -time-*
+// flag is given. Guarded by ReportAllocs: it must stay at 0 allocs/op
+// (see TestDisabledPathAllocs in internal/telemetry for the hard assert).
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	var tc *telemetry.Ctx
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tc.StartPass("licm", "kernel")
+		tc.Count("licm.hoisted", 3)
+		tc.Remarkf("licm", "kernel", "loop", 3, "hoisted %d", 3)
+		sp.EndPass(-3, true)
 	}
 }
 

@@ -4,6 +4,14 @@
 // Usage:
 //
 //	ccomp [-O2] [-polly] [-o out.ll] input.c
+//	ccomp -O2 -time-passes -remarks=r.json -trace=t.json input.c
+//
+// The observability flags mirror LLVM: -time-passes prints per-pass and
+// per-stage timing tables plus statistics counters to stderr, -remarks
+// writes structured optimization remarks (which pass did what to which
+// function) as JSON, -trace writes a Chrome trace_event file loadable in
+// about:tracing, and -print-changed dumps each function's IR after every
+// pass that changed it.
 package main
 
 import (
@@ -14,12 +22,15 @@ import (
 	"repro/internal/cfront"
 	"repro/internal/parallel"
 	"repro/internal/passes"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	o2 := flag.Bool("O2", false, "run the optimization pipeline (mem2reg, LICM, loop rotation, ...)")
 	polly := flag.Bool("polly", false, "auto-parallelize DOALL loops (implies -O2)")
 	out := flag.String("o", "", "output file (default stdout)")
+	var tflags telemetry.Flags
+	tflags.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccomp [-O2] [-polly] [-o out.ll] input.c")
@@ -29,15 +40,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	m, err := cfront.CompileSource(string(src), flag.Arg(0))
+	tc := tflags.NewCtx()
+	m, err := cfront.CompileSourceCtx(string(src), flag.Arg(0), tc)
 	if err != nil {
 		fatal(err)
 	}
 	if *o2 || *polly {
-		passes.Optimize(m)
+		passes.OptimizeCtx(m, tc)
 	}
 	if *polly {
-		res := parallel.Parallelize(m, parallel.Options{})
+		res := parallel.Parallelize(m, parallel.Options{Telemetry: tc})
 		total := 0
 		for _, n := range res.Parallelized {
 			total += n
@@ -46,6 +58,9 @@ func main() {
 			total, res.Versioned, res.Rejected)
 	}
 	if err := m.Verify(); err != nil {
+		fatal(err)
+	}
+	if err := tflags.Finish(tc, os.Stderr); err != nil {
 		fatal(err)
 	}
 	text := m.Print()

@@ -6,6 +6,11 @@
 //	experiments -run fig7        # one experiment
 //	experiments -list            # show available experiments
 //	experiments -threads 8 -reps 5
+//	experiments -run fig6 -time-passes -trace=t.json
+//
+// The telemetry flags (-time-passes, -remarks, -trace, -print-changed)
+// observe the compile/decompile pipelines the experiments drive: each
+// experiment appears as a stage span wrapping the pipeline's own spans.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -21,9 +27,12 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	threads := flag.Int("threads", 0, "OpenMP team size (default GOMAXPROCS)")
 	reps := flag.Int("reps", 0, "timing repetitions (default 3)")
+	var tflags telemetry.Flags
+	tflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	cfg := experiments.Config{Threads: *threads, Reps: *reps}
+	tc := tflags.NewCtx()
+	cfg := experiments.Config{Threads: *threads, Reps: *reps, Telemetry: tc}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -31,24 +40,30 @@ func main() {
 		}
 		return
 	}
+	runOne := func(e *experiments.Experiment) {
+		fmt.Printf("\n=== %s ===\n", e.Title)
+		sp := tc.StartSpan(telemetry.CatStage, "experiment", e.Name)
+		err := e.Run(os.Stdout, cfg)
+		sp.End()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
 	if *run != "" {
 		e := experiments.ByName(*run)
 		if e == nil {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s ===\n", e.Title)
-		if err := e.Run(os.Stdout, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+		runOne(e)
+	} else {
+		for i := range experiments.All() {
+			runOne(&experiments.All()[i])
 		}
-		return
 	}
-	for _, e := range experiments.All() {
-		fmt.Printf("\n=== %s ===\n", e.Title)
-		if err := e.Run(os.Stdout, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
+	if err := tflags.Finish(tc, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
 	}
 }

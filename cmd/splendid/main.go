@@ -5,9 +5,17 @@
 //
 //	splendid [-variant full|portable|v1|cbackend|rellic|ghidra] [-o out.c] input.ll
 //	splendid -stats input.ll
+//	splendid -time-passes -remarks=r.json -trace=t.json input.ll
+//
+// The observability flags mirror LLVM: -time-passes prints per-pass and
+// per-stage timing tables plus statistics counters to stderr, -remarks
+// writes structured optimization remarks as JSON, -trace writes a Chrome
+// trace_event file loadable in about:tracing, and -print-changed dumps
+// each function's IR after every pass that changed it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,12 +26,15 @@ import (
 	"repro/internal/decomp/rellic"
 	"repro/internal/ir"
 	"repro/internal/splendid"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	variant := flag.String("variant", "full", "full|portable|v1|cbackend|rellic|ghidra")
 	out := flag.String("o", "", "output file (default stdout)")
-	stats := flag.Bool("stats", false, "print decompilation statistics to stderr")
+	stats := flag.Bool("stats", false, "print decompilation statistics as JSON to stderr")
+	var tflags telemetry.Flags
+	tflags.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: splendid [-variant V] [-o out.c] input.ll")
@@ -37,6 +48,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	tc := tflags.NewCtx()
 	var text string
 	switch *variant {
 	case "cbackend":
@@ -52,16 +64,23 @@ func main() {
 		} else if *variant == "v1" {
 			cfg = splendid.V1()
 		}
-		res, err := splendid.Decompile(m, cfg)
+		res, err := splendid.DecompileCtx(m, cfg, tc)
 		if err != nil {
 			fatal(err)
 		}
 		text = res.C
 		if *stats {
-			fmt.Fprintf(os.Stderr, "%+v\n", res.Stats)
+			j, err := statsJSON(res.Stats)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, string(j))
 		}
 	default:
 		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+	if err := tflags.Finish(tc, os.Stderr); err != nil {
+		fatal(err)
 	}
 	if *out == "" {
 		fmt.Print(text)
@@ -70,6 +89,12 @@ func main() {
 	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// statsJSON renders decompilation statistics as stable, machine-readable
+// JSON (field names are the Stats struct's, so output round-trips).
+func statsJSON(s splendid.Stats) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
 }
 
 func fatal(err error) {

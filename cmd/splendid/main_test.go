@@ -1,0 +1,33 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/splendid"
+)
+
+// TestStatsJSONRoundTrip pins the -stats output to stable JSON: every
+// field survives a marshal/unmarshal cycle unchanged (the old %+v struct
+// dump was neither parseable nor stable).
+func TestStatsJSONRoundTrip(t *testing.T) {
+	in := splendid.Stats{
+		ParallelRegions: 3,
+		DerotatedLoops:  7,
+		PragmasEmitted:  2,
+		VarGen:          splendid.VarGenStats{Proposed: 11, Conflicts: 4, Named: 9},
+		DeclaredVars:    20,
+		SourceNamedVars: 13,
+	}
+	j, err := statsJSON(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out splendid.Stats
+	if err := json.Unmarshal(j, &out); err != nil {
+		t.Fatalf("stats output is not valid JSON: %v\n%s", err, j)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v\njson: %s", in, out, j)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cast"
 	"repro/internal/ir"
 	"repro/internal/omp"
+	"repro/internal/telemetry"
 )
 
 // Compile lowers a parsed C file to an IR module. Every scalar local and
@@ -34,11 +35,22 @@ func Compile(file *cast.File, name string) (*ir.Module, error) {
 
 // CompileSource parses and compiles C source text in one step.
 func CompileSource(src, name string) (*ir.Module, error) {
+	return CompileSourceCtx(src, name, nil)
+}
+
+// CompileSourceCtx is CompileSource with telemetry: the lex/parse and
+// IR-generation stages are recorded as spans on tc (nil disables).
+func CompileSourceCtx(src, name string, tc *telemetry.Ctx) (*ir.Module, error) {
+	sp := tc.StartSpan(telemetry.CatStage, "cfront-parse", name)
 	f, err := ParseC(src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return Compile(f, name)
+	sp = tc.StartSpan(telemetry.CatStage, "cfront-codegen", name)
+	m, err := Compile(f, name)
+	sp.End()
+	return m, err
 }
 
 type varInfo struct {

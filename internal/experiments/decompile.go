@@ -11,6 +11,7 @@ import (
 	"repro/internal/passes"
 	"repro/internal/polybench"
 	"repro/internal/splendid"
+	"repro/internal/telemetry"
 )
 
 // decompiled holds every decompiler's output for one benchmark, plus the
@@ -124,12 +125,13 @@ func max0(n int) int {
 }
 
 // recompile turns decompiled C back into an optimized module (the
-// "recompiled with another host compiler" step of Figure 6).
-func recompile(src, name string) (*ir.Module, error) {
-	m, err := cfront.CompileSource(src, name)
+// "recompiled with another host compiler" step of Figure 6), reporting
+// its frontend and pass work to tc when telemetry is enabled.
+func recompile(src, name string, tc *telemetry.Ctx) (*ir.Module, error) {
+	m, err := cfront.CompileSourceCtx(src, name, tc)
 	if err != nil {
 		return nil, fmt.Errorf("recompile %s: %w", name, err)
 	}
-	passes.Optimize(m)
+	passes.OptimizeCtx(m, tc)
 	return m, nil
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/polybench"
+	"repro/internal/telemetry"
 )
 
 // Config controls experiment execution.
@@ -31,6 +32,9 @@ type Config struct {
 	// Reps is the number of timing repetitions; the fastest is kept
 	// (the paper runs 5 on an idle machine). Zero defaults to 3.
 	Reps int
+	// Telemetry, when non-nil, collects stage spans, counters, and
+	// remarks from the compile/decompile pipelines the experiments run.
+	Telemetry *telemetry.Ctx
 }
 
 func (c Config) threads() int {

@@ -51,7 +51,7 @@ func Fig6(cfg Config) ([]Fig6Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rec, err := recompile(d.FullC, b.Name+".splendid")
+		rec, err := recompile(d.FullC, b.Name+".splendid", cfg.Telemetry)
 		if err != nil {
 			return nil, err
 		}
@@ -240,7 +240,7 @@ func Fig9(cfg Config) ([]Fig9Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		rec, err := recompile(d.FullC, b.Name+".splendid")
+		rec, err := recompile(d.FullC, b.Name+".splendid", cfg.Telemetry)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/omp"
 	"repro/internal/passes"
+	"repro/internal/telemetry"
 )
 
 // Options configures the parallelizer.
@@ -14,6 +15,9 @@ type Options struct {
 	// MaxLoops bounds how many loops are parallelized per function
 	// (0 = unlimited).
 	MaxLoops int
+	// Telemetry, when non-nil, receives per-function stage spans,
+	// parallel.* counters, and a remark per parallelized loop.
+	Telemetry *telemetry.Ctx
 }
 
 // Result reports what the parallelizer did.
@@ -38,6 +42,10 @@ var pureCallees = map[string]bool{
 // are preferred; a parallelized loop's children are left sequential
 // inside the microtask.
 func Parallelize(m *ir.Module, opts Options) *Result {
+	tc := opts.Telemetry
+	total := tc.StartStage("parallelize")
+	defer total.End()
+
 	res := &Result{Parallelized: map[string]int{}}
 	omp.DeclareRuntime(m)
 	var fns []*ir.Function
@@ -47,6 +55,7 @@ func Parallelize(m *ir.Module, opts Options) *Result {
 		}
 	}
 	for _, f := range fns {
+		sp := tc.StartSpan(telemetry.CatStage, "parallelize-fn", f.Nam)
 		count := 0
 		attempted := map[*ir.Block]bool{}
 		for {
@@ -58,13 +67,20 @@ func Parallelize(m *ir.Module, opts Options) *Result {
 			if target == nil {
 				break
 			}
+			header := target.cl.Loop.Header.Nam
 			parallelizeLoop(m, f, target, res, attempted)
 			count++
 			res.Parallelized[f.Nam]++
+			tc.Count("parallel.doall", 1)
+			tc.Remarkf("parallel", f.Nam, header, 1,
+				"outlined DOALL loop at %s into a microtask invoked through __kmpc_fork_call", header)
 			passes.DCE(f)
 			passes.SimplifyCFG(f)
 		}
+		sp.End()
 	}
+	tc.Count("parallel.versioned", res.Versioned)
+	tc.Count("parallel.rejected", res.Rejected)
 	return res
 }
 

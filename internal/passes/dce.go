@@ -2,6 +2,7 @@ package passes
 
 import (
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // hasSideEffects reports whether in must be preserved regardless of uses.
@@ -17,8 +18,11 @@ func hasSideEffects(in *ir.Instr) bool {
 // effects, iterating to a fixed point. Debug intrinsics do not count as
 // uses; a dbg.value whose described value dies is deleted with it, the
 // same way LLVM drops debug info for optimized-out values.
-func DCE(f *ir.Function) bool {
+func DCE(f *ir.Function) bool { return dce(f, nil) }
+
+func dce(f *ir.Function, tc *telemetry.Ctx) bool {
 	changed := false
+	removed := 0
 	for {
 		// Count uses excluding dbg.value.
 		used := map[ir.Value]bool{}
@@ -45,6 +49,7 @@ func DCE(f *ir.Function) bool {
 				// Delete the instruction and any dbg.value describing it.
 				b.Remove(i)
 				removeDbgUsers(f, in)
+				removed++
 				removedAny = true
 			}
 		}
@@ -53,16 +58,17 @@ func DCE(f *ir.Function) bool {
 		}
 		changed = true
 	}
-	if removeDeadAllocaStores(f) {
+	tc.Count("dce.removed", removed)
+	if removeDeadAllocaStores(f, tc) {
 		changed = true
-		DCE(f) // stored values may now be dead
+		dce(f, tc) // stored values may now be dead
 	}
 	return changed
 }
 
 // removeDeadAllocaStores deletes allocas that are only ever stored to
 // (never loaded, never escaping), along with those stores.
-func removeDeadAllocaStores(f *ir.Function) bool {
+func removeDeadAllocaStores(f *ir.Function, tc *telemetry.Ctx) bool {
 	changed := false
 	for _, b := range f.Blocks {
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
@@ -91,27 +97,36 @@ func removeDeadAllocaStores(f *ir.Function) bool {
 				st.Parent.RemoveInstr(st)
 			}
 			b.Remove(i)
+			tc.Count("dce.dead-allocas", 1)
 			changed = true
 		}
 	}
 	return changed
 }
 
-func removeDbgUsers(f *ir.Function, v ir.Value) {
+// removeDbgUsers deletes dbg.value intrinsics describing v, returning how
+// many were dropped (debug-info loss the decompiler later observes).
+func removeDbgUsers(f *ir.Function, v ir.Value) int {
+	n := 0
 	for _, b := range f.Blocks {
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
 			in := b.Instrs[i]
 			if in.Op == ir.OpDbgValue && in.Args[0] == v {
 				b.Remove(i)
+				n++
 			}
 		}
 	}
+	return n
 }
 
 // ConstFold evaluates instructions with all-constant operands and replaces
 // their uses with the folded constant.
-func ConstFold(f *ir.Function) bool {
+func ConstFold(f *ir.Function) bool { return constFold(f, nil) }
+
+func constFold(f *ir.Function, tc *telemetry.Ctx) bool {
 	changed := false
+	nfolded := 0
 	for {
 		folded := false
 		for _, b := range f.Blocks {
@@ -125,6 +140,7 @@ func ConstFold(f *ir.Function) bool {
 				b.Remove(i)
 				removeDbgUsers(f, in)
 				i--
+				nfolded++
 				folded = true
 			}
 		}
@@ -133,6 +149,7 @@ func ConstFold(f *ir.Function) bool {
 		}
 		changed = true
 	}
+	tc.Count("constfold.folded", nfolded)
 	return changed
 }
 

@@ -3,6 +3,7 @@ package passes
 import (
 	"repro/internal/analysis"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // LICM hoists loop-invariant pure computations to the loop preheader.
@@ -14,14 +15,16 @@ import (
 // intrinsics that described them inside the loop, so their values can no
 // longer be related to source variables. LICM therefore drops dbg.value
 // intrinsics attached to moved instructions, as LLVM does.
-func LICM(f *ir.Function) bool {
+func LICM(f *ir.Function) bool { return licm(f, nil) }
+
+func licm(f *ir.Function, tc *telemetry.Ctx) bool {
 	dom := analysis.NewDomTree(f)
 	li := analysis.FindLoops(f, dom)
 	changed := false
 	// Innermost-first gives invariants a chance to bubble outward across
 	// several applications of the pipeline.
 	for i := len(li.All) - 1; i >= 0; i-- {
-		if hoistLoop(f, li.All[i]) {
+		if hoistLoop(f, li.All[i], tc) {
 			changed = true
 		}
 	}
@@ -39,7 +42,7 @@ func pureOp(in *ir.Instr) bool {
 	return false
 }
 
-func hoistLoop(f *ir.Function, l *analysis.Loop) bool {
+func hoistLoop(f *ir.Function, l *analysis.Loop, tc *telemetry.Ctx) bool {
 	pre := l.Preheader()
 	if pre == nil {
 		return false
@@ -49,6 +52,7 @@ func hoistLoop(f *ir.Function, l *analysis.Loop) bool {
 		return false
 	}
 	changed := false
+	hoisted, dbgDropped := 0, 0
 	for {
 		moved := false
 		for _, b := range l.BlockList() {
@@ -78,7 +82,8 @@ func hoistLoop(f *ir.Function, l *analysis.Loop) bool {
 				i--
 				pre.InsertAt(pre.IndexOf(pre.Terminator()), in)
 				// Debug info does not survive the move (see doc comment).
-				removeDbgUsers(f, in)
+				dbgDropped += removeDbgUsers(f, in)
+				hoisted++
 				moved = true
 			}
 		}
@@ -86,6 +91,13 @@ func hoistLoop(f *ir.Function, l *analysis.Loop) bool {
 			break
 		}
 		changed = true
+	}
+	if changed {
+		tc.Count("licm.hoisted", hoisted)
+		tc.Count("licm.dbg-dropped", dbgDropped)
+		tc.Remarkf("licm", f.Nam, l.Header.Nam, hoisted,
+			"hoisted %d loop-invariant instruction(s) from loop at %s to preheader %s; %d dbg.value intrinsic(s) dropped, detaching the value(s) from source variables (§5.3.2)",
+			hoisted, l.Header.Nam, pre.Nam, dbgDropped)
 	}
 	return changed
 }

@@ -3,6 +3,7 @@ package passes
 import (
 	"repro/internal/analysis"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // Mem2Reg promotes allocas whose only uses are scalar loads and stores
@@ -16,7 +17,9 @@ import (
 // pass one source variable is typically described by several SSA values
 // with potentially overlapping lifetimes — exactly the conflict situation
 // of paper §4.3.2.
-func Mem2Reg(f *ir.Function) bool {
+func Mem2Reg(f *ir.Function) bool { return mem2reg(f, nil) }
+
+func mem2reg(f *ir.Function, tc *telemetry.Ctx) bool {
 	dom := analysis.NewDomTree(f)
 	df := dom.Frontiers()
 
@@ -66,6 +69,7 @@ func Mem2Reg(f *ir.Function) bool {
 
 	// Phase 1: place phis at iterated dominance frontiers of def blocks.
 	phiOwner := map[*ir.Instr]*allocaInfo{}
+	phiCount := map[*allocaInfo]int{}
 	for _, ai := range promotable {
 		defBlocks := map[*ir.Block]bool{}
 		for _, st := range ai.stores {
@@ -91,6 +95,7 @@ func Mem2Reg(f *ir.Function) bool {
 				}
 				fb.InsertAt(0, phi)
 				phiOwner[phi] = ai
+				phiCount[ai]++
 				if !defBlocks[fb] {
 					defBlocks[fb] = true
 					work = append(work, fb)
@@ -205,6 +210,22 @@ func Mem2Reg(f *ir.Function) bool {
 				f.ReplaceAllUses(phi, ir.Undef(phi.Type()))
 				b.RemoveInstr(phi)
 			}
+		}
+	}
+
+	// Telemetry: one remark per promoted slot — this is the §2.3 variable
+	// split the decompiler's vargen later has to undo.
+	tc.Count("mem2reg.promoted", len(promotable))
+	if tc.Enabled() {
+		for _, ai := range promotable {
+			vn := ai.varName
+			if vn == "" {
+				vn = "<no debug info>"
+			}
+			tc.Count("mem2reg.phis-inserted", phiCount[ai])
+			tc.Remarkf("mem2reg", f.Nam, ai.alloca.Nam, 1+phiCount[ai],
+				"promoted alloca %%%s (source variable %q) to SSA: %d store(s), %d load(s), %d phi(s) — one source variable now spans several values (§2.3)",
+				ai.alloca.Nam, vn, len(ai.stores), len(ai.loads), phiCount[ai])
 		}
 	}
 	return true

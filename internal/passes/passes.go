@@ -8,26 +8,103 @@
 // registers (§2.3 of the paper), LICM creates values with no debug
 // metadata (§5.3.2), and loop rotation converts for-loops into the
 // do-while shape that defeats naive decompilers (§2.2).
+//
+// Every pass is a named Pass and reports what it did through an optional
+// *telemetry.Ctx: per-pass × per-function spans with instruction-count
+// deltas, Statistic-style counters (licm.hoisted, mem2reg.promoted, ...),
+// and structured optimization remarks tying transformations back to the
+// paper's phenomena. A nil context disables all of it at zero cost.
 package passes
 
 import (
+	"fmt"
+
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
-// FuncPass transforms one function and reports whether it changed it.
+// Pass is a named function transformation: Run transforms one function,
+// reports whether it changed it, and may record counters and remarks on
+// tc (which is nil when telemetry is disabled).
+type Pass interface {
+	Name() string
+	Run(f *ir.Function, tc *telemetry.Ctx) bool
+}
+
+// FuncPass is the legacy anonymous pass shape. It implements Pass (with
+// the name "anonymous"), so closures still drop into pipelines; prefer
+// Named for anything that should be visible in traces.
 type FuncPass func(f *ir.Function) bool
 
-// RunPipeline applies each pass to every defined function in m, in order.
-// It returns whether any pass changed anything.
-func RunPipeline(m *ir.Module, pipeline ...FuncPass) bool {
+// Name implements Pass.
+func (p FuncPass) Name() string { return "anonymous" }
+
+// Run implements Pass, discarding the telemetry context.
+func (p FuncPass) Run(f *ir.Function, _ *telemetry.Ctx) bool { return p(f) }
+
+// namedPass is the standard Pass implementation.
+type namedPass struct {
+	name string
+	run  func(*ir.Function, *telemetry.Ctx) bool
+}
+
+func (p namedPass) Name() string                               { return p.name }
+func (p namedPass) Run(f *ir.Function, tc *telemetry.Ctx) bool { return p.run(f, tc) }
+
+// Named wraps run as a Pass visible under name in traces and timing
+// tables.
+func Named(name string, run func(*ir.Function, *telemetry.Ctx) bool) Pass {
+	return namedPass{name: name, run: run}
+}
+
+// The standard passes, as named Pass values for pipeline construction.
+var (
+	Mem2RegPass     = Named("mem2reg", mem2reg)
+	SimplifyCFGPass = Named("simplifycfg", simplifyCFG)
+	ConstFoldPass   = Named("constfold", constFold)
+	DCEPass         = Named("dce", dce)
+	LICMPass        = Named("licm", licm)
+	LoopRotatePass  = Named("rotate", loopRotate)
+)
+
+// RunPipeline applies each pass to every defined function in m, in order,
+// without telemetry. It returns whether any pass changed anything.
+func RunPipeline(m *ir.Module, pipeline ...Pass) bool {
+	return RunPipelineCtx(m, nil, pipeline...)
+}
+
+// RunPipelineCtx is RunPipeline with observation: each pass × function
+// execution is recorded as a telemetry span carrying the function's
+// instruction-count delta, and changed functions are dumped to the
+// context's -print-changed sink. The defined-function set is computed
+// once, and iteration follows m.Funcs order, so successive runs over the
+// same module produce identical traces.
+func RunPipelineCtx(m *ir.Module, tc *telemetry.Ctx, pipeline ...Pass) bool {
+	// Hoist the declaration filter out of the pass loop; m.Funcs is a
+	// slice, so this order is deterministic run-to-run.
+	fns := make([]*ir.Function, 0, len(m.Funcs))
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			fns = append(fns, f)
+		}
+	}
 	changed := false
 	for _, p := range pipeline {
-		for _, f := range m.Funcs {
-			if f.IsDecl() {
-				continue
+		for _, f := range fns {
+			before := 0
+			if tc.Enabled() {
+				before = f.NumInstrs()
 			}
-			if p(f) {
+			sp := tc.StartPass(p.Name(), f.Nam)
+			c := p.Run(f, tc)
+			if tc.Enabled() {
+				sp.EndPass(f.NumInstrs()-before, c)
+			}
+			if c {
 				changed = true
+				if w := tc.PrintChangedWriter(); w != nil {
+					fmt.Fprintf(w, "*** IR after %s on @%s ***\n%s\n", p.Name(), f.Nam, f.String())
+				}
 			}
 		}
 	}
@@ -37,26 +114,36 @@ func RunPipeline(m *ir.Module, pipeline ...FuncPass) bool {
 // O2 returns the standard optimization pipeline applied to benchmark IR
 // before parallelization, ending with the loop rotation that parallelizing
 // compilers rely on for canonicalization.
-func O2() []FuncPass {
-	return []FuncPass{
-		Mem2Reg,
-		SimplifyCFG,
-		ConstFold,
-		DCE,
-		LICM,
-		ConstFold,
-		DCE,
-		LoopRotate,
-		SimplifyCFG,
-		DCE,
+func O2() []Pass {
+	return []Pass{
+		Mem2RegPass,
+		SimplifyCFGPass,
+		ConstFoldPass,
+		DCEPass,
+		LICMPass,
+		ConstFoldPass,
+		DCEPass,
+		LoopRotatePass,
+		SimplifyCFGPass,
+		DCEPass,
 	}
 }
 
 // Optimize runs the O2 pipeline on m until it reaches a fixed point or
 // maxIter iterations.
-func Optimize(m *ir.Module) {
+func Optimize(m *ir.Module) { OptimizeCtx(m, nil) }
+
+// OptimizeCtx is Optimize with telemetry: the whole run and each
+// fixed-point iteration appear as stage spans wrapping the per-pass
+// spans RunPipelineCtx records.
+func OptimizeCtx(m *ir.Module, tc *telemetry.Ctx) {
+	sp := tc.StartStage("optimize")
+	defer sp.End()
 	for i := 0; i < 3; i++ {
-		if !RunPipeline(m, O2()...) {
+		it := tc.StartSpan(telemetry.CatStage, "O2-iteration", fmt.Sprintf("%d", i))
+		c := RunPipelineCtx(m, tc, O2()...)
+		it.End()
+		if !c {
 			break
 		}
 	}

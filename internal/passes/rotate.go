@@ -3,6 +3,7 @@ package passes
 import (
 	"repro/internal/analysis"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // LoopRotate converts loops whose exit test sits in the header
@@ -24,14 +25,16 @@ import (
 // the exit test on next-iteration values, branching back to B or to E;
 // values that were live out through header phis reach E through fresh
 // phis merging the zero-trip and loop-exit paths.
-func LoopRotate(f *ir.Function) bool {
+func LoopRotate(f *ir.Function) bool { return loopRotate(f, nil) }
+
+func loopRotate(f *ir.Function, tc *telemetry.Ctx) bool {
 	changed := false
 	for i := 0; i < 64; i++ { // bound: each iteration rotates one loop
 		dom := analysis.NewDomTree(f)
 		li := analysis.FindLoops(f, dom)
 		rotated := false
 		for _, l := range li.All {
-			if rotateOne(f, l) {
+			if rotateOne(f, l, tc) {
 				rotated = true
 				break // CFG changed; recompute analyses
 			}
@@ -44,7 +47,7 @@ func LoopRotate(f *ir.Function) bool {
 	return changed
 }
 
-func rotateOne(f *ir.Function, l *analysis.Loop) bool {
+func rotateOne(f *ir.Function, l *analysis.Loop, tc *telemetry.Ctx) bool {
 	H := l.Header
 	P := l.Preheader()
 	L := l.Latch()
@@ -240,6 +243,18 @@ func rotateOne(f *ir.Function, l *analysis.Loop) bool {
 		}
 	}
 	// The old header disappears entirely.
+	dbgDropped := 0
+	for _, in := range H.Instrs {
+		if in.Op == ir.OpDbgValue && !isPhi[in.Args[0]] {
+			dbgDropped++
+		}
+	}
 	f.RemoveBlock(H)
+
+	tc.Count("rotate.rotated", 1)
+	tc.Count("rotate.dbg-dropped", dbgDropped)
+	tc.Remarkf("rotate", f.Nam, H.Nam, 1,
+		"rotated loop at %s into do-while shape: exit test duplicated as zero-trip guard in %s and as latch test in %s; %d dbg.value intrinsic(s) on header computations dropped (§2.2)",
+		H.Nam, P.Nam, L.Nam, dbgDropped)
 	return true
 }

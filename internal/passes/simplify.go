@@ -2,6 +2,7 @@ package passes
 
 import (
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // SimplifyCFG performs conservative CFG cleanups:
@@ -11,7 +12,10 @@ import (
 //     has it as unique successor;
 //   - removes empty forwarding blocks (a lone unconditional branch) when
 //     doing so cannot confuse phi nodes.
-func SimplifyCFG(f *ir.Function) bool {
+func SimplifyCFG(f *ir.Function) bool { return simplifyCFG(f, nil) }
+
+func simplifyCFG(f *ir.Function, tc *telemetry.Ctx) bool {
+	blocksBefore := len(f.Blocks)
 	changed := false
 	for {
 		c := foldConstBranches(f) || removeUnreachable(f)
@@ -23,6 +27,7 @@ func SimplifyCFG(f *ir.Function) bool {
 		}
 		changed = true
 	}
+	tc.Count("simplifycfg.blocks-removed", blocksBefore-len(f.Blocks))
 	return changed
 }
 

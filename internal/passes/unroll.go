@@ -3,6 +3,7 @@ package passes
 import (
 	"repro/internal/analysis"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // UnrollLoop unrolls a counted, non-rotated loop by the given factor,
@@ -147,12 +148,28 @@ func UnrollLoop(f *ir.Function, l *analysis.Loop, factor int) bool {
 
 // UnrollInnermost unrolls every eligible innermost loop of f by factor.
 func UnrollInnermost(f *ir.Function, factor int) bool {
+	return unrollInnermost(f, factor, nil)
+}
+
+func unrollInnermost(f *ir.Function, factor int, tc *telemetry.Ctx) bool {
 	li := analysis.FindLoops(f, analysis.NewDomTree(f))
 	changed := false
 	for _, l := range li.Innermost() {
+		header := l.Header.Nam
 		if UnrollLoop(f, l, factor) {
 			changed = true
+			tc.Count("unroll.loops", 1)
+			tc.Remarkf("unroll", f.Nam, header, factor,
+				"unrolled counted loop at %s by factor %d, replicating the body and multiplying the step (Figure 3)",
+				header, factor)
 		}
 	}
 	return changed
+}
+
+// UnrollPass returns the named unroll pass for the given factor.
+func UnrollPass(factor int) Pass {
+	return Named("unroll", func(f *ir.Function, tc *telemetry.Ctx) bool {
+		return unrollInnermost(f, factor, tc)
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/ir"
 	"repro/internal/passes"
+	"repro/internal/telemetry"
 )
 
 // DerotateLoops is the Loop-Rotate Detransformer (paper §4.2): it
@@ -13,13 +14,18 @@ import (
 // the guard check when it is provably equivalent to the initial exit
 // test of the constructed for loop. Returns the number of loops
 // de-rotated.
-func DerotateLoops(f *ir.Function) int {
+func DerotateLoops(f *ir.Function) int { return DerotateLoopsCtx(f, nil) }
+
+// DerotateLoopsCtx is DerotateLoops with telemetry: each de-rotation and
+// each guard proved redundant (the derotate.guards-proved counter) is
+// recorded on tc.
+func DerotateLoopsCtx(f *ir.Function, tc *telemetry.Ctx) int {
 	n := 0
 	for i := 0; i < 64; i++ {
 		li := analysis.FindLoops(f, analysis.NewDomTree(f))
 		done := true
 		for _, l := range li.All {
-			if derotateOne(f, l) {
+			if derotateOne(f, l, tc) {
 				n++
 				done = false
 				break // analyses invalidated
@@ -53,6 +59,10 @@ func DerotateLoops(f *ir.Function) int {
 				continue
 			}
 			if eliminateHoistedGuard(f, cl, pre, l.Header, exits[0]) {
+				tc.Count("derotate.guards-proved", 1)
+				tc.Remarkf("derotate", f.Nam, l.Header.Nam, 1,
+					"proved hoisted zero-trip guard above loop at %s redundant with the for-loop entry test; guard removed (§4.2)",
+					l.Header.Nam)
 				passes.DCE(f)
 				passes.SimplifyCFG(f)
 				changed = true
@@ -67,7 +77,7 @@ func DerotateLoops(f *ir.Function) int {
 }
 
 // derotateOne inverts loop rotation on a single loop.
-func derotateOne(f *ir.Function, l *analysis.Loop) bool {
+func derotateOne(f *ir.Function, l *analysis.Loop, tc *telemetry.Ctx) bool {
 	cl := analysis.AnalyzeCountedLoop(l)
 	if cl == nil || !cl.Rotated || !cl.CmpOnNext {
 		return false
@@ -188,8 +198,17 @@ func derotateOne(f *ir.Function, l *analysis.Loop) bool {
 			for _, phi := range exit.Phis() {
 				phi.RemovePhiIncoming(pre)
 			}
+			tc.Count("derotate.guards-proved", 1)
+			tc.Remarkf("derotate", f.Nam, newH.Nam, 1,
+				"proved zero-trip guard equivalent to reconstructed for-loop entry test at %s; guard removed (§4.2)",
+				newH.Nam)
 		}
 	}
+
+	tc.Count("derotate.loops", 1)
+	tc.Remarkf("derotate", f.Nam, newH.Nam, 1,
+		"de-rotated do-while loop (body %s) into canonical for-loop with fresh header %s (§4.2)",
+		B.Nam, newH.Nam)
 
 	// The marker naming must survive: if B carried a splendid marker,
 	// transfer it to the new header so pragma placement follows the loop.

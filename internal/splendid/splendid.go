@@ -29,6 +29,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/ir"
 	"repro/internal/passes"
+	"repro/internal/telemetry"
 )
 
 // Config selects SPLENDID features, mirroring the paper's variants.
@@ -84,20 +85,38 @@ type Result struct {
 // Decompile translates parallel IR into OpenMP C source. The input
 // module is not modified (the pipeline runs on a private copy).
 func Decompile(m *ir.Module, cfg Config) (*Result, error) {
+	return DecompileCtx(m, cfg, nil)
+}
+
+// DecompileCtx is Decompile with observation: every stage of the paper's
+// Figure 4 pipeline (semantic analyzer, detransformers, variable
+// generator, pragma generator, control-flow generator) is recorded as a
+// telemetry stage span, and the detransformers emit counters and remarks
+// through tc. A nil tc disables collection at no cost.
+func DecompileCtx(m *ir.Module, cfg Config, tc *telemetry.Ctx) (*Result, error) {
+	total := tc.StartStage("decompile")
+	defer total.End()
+
+	sp := tc.StartStage("clone-input")
 	work, err := ir.Parse(m.Print())
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{}
 
-	// Phase 1: explicit parallel translation.
+	// Phase 1: explicit parallel translation (the Parallel Semantic
+	// Analyzer and the Parallel Region Detransformer).
 	pragmas := map[*ir.Block]*decomp.PragmaInfo{}
 	if cfg.ExplicitParallelism {
+		sp = tc.StartStage("parallel-detransform")
 		pragmas, err = DetransformParallelRegions(work)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		res.Stats.ParallelRegions = len(pragmas)
+		tc.Count("splendid.parallel-regions", len(pragmas))
 	}
 
 	// Phase 2: natural control flow and natural address expressions.
@@ -105,36 +124,55 @@ func Decompile(m *ir.Module, cfg Config) (*Result, error) {
 	// slots the detransformation exposed) into SSA values so they print
 	// as ordinary variables.
 	if cfg.ExplicitParallelism {
+		sp = tc.StartStage("mem2reg-promote")
 		for _, f := range work.Funcs {
 			if !f.IsDecl() {
-				passes.Mem2Reg(f)
+				before := 0
+				if tc.Enabled() {
+					before = f.NumInstrs()
+				}
+				ps := tc.StartPass("mem2reg", f.Nam)
+				c := passes.Mem2RegPass.Run(f, tc)
+				if tc.Enabled() {
+					ps.EndPass(f.NumInstrs()-before, c)
+				}
 			}
 		}
+		sp.End()
 	}
 	if cfg.RestoreForLoops {
+		sp = tc.StartStage("derotate")
 		for _, f := range work.Funcs {
 			if f.IsDecl() {
 				continue
 			}
-			res.Stats.DerotatedLoops += DerotateLoops(f)
+			res.Stats.DerotatedLoops += DerotateLoopsCtx(f, tc)
 		}
+		sp.End()
 	}
 	if cfg.FoldExpressions {
+		sp = tc.StartStage("rematerialize")
 		for _, f := range work.Funcs {
 			if f.IsDecl() {
 				continue
 			}
 			RematerializeAddresses(f)
 		}
+		sp.End()
 	}
-	passes.RunPipeline(work, passes.ConstFold, passes.DCE, passes.SimplifyCFG)
+	sp = tc.StartStage("cleanup")
+	passes.RunPipelineCtx(work, tc, passes.ConstFoldPass, passes.DCEPass, passes.SimplifyCFGPass)
+	sp.End()
 	if err := work.Verify(); err != nil {
 		return nil, err
 	}
 	// Marker block names may have been renamed by CFG cleanup only via
 	// removal; refresh the pragma map from current names.
+	sp = tc.StartStage("pragma-gen")
 	pragmas = refreshPragmas(work, pragmas)
 	res.Stats.PragmasEmitted = len(pragmas)
+	tc.Count("splendid.pragmas", len(pragmas))
+	sp.End()
 
 	// Phase 3: variable generation + emission, per function.
 	file := &cast.File{}
@@ -162,15 +200,17 @@ func Decompile(m *ir.Module, cfg Config) (*Result, error) {
 		var namer decomp.Namer
 		sourceNames := map[string]bool{}
 		if cfg.RenameVariables {
-			proposal, vstats := GenerateVariables(f)
+			vs := tc.StartSpan(telemetry.CatStage, "vargen", f.Nam)
+			proposal, vstats := GenerateVariablesCtx(f, tc)
 			res.Stats.VarGen.Proposed += vstats.Proposed
 			res.Stats.VarGen.Conflicts += vstats.Conflicts
 			res.Stats.VarGen.Named += vstats.Named
-			final := FinalNames(f, proposal)
+			final := FinalNamesCtx(f, proposal, tc)
 			for _, w := range proposal {
 				sourceNames[w] = true
 			}
 			namer = decomp.SourceNamer(valueStrings(final))
+			vs.End()
 		}
 		info := &decomp.EmitInfo{}
 		opts := decomp.Options{
@@ -181,7 +221,9 @@ func Decompile(m *ir.Module, cfg Config) (*Result, error) {
 			PragmaFor:  pragmas,
 			Info:       info,
 		}
+		cg := tc.StartSpan(telemetry.CatStage, "cfg-gen", f.Nam)
 		fd := decomp.TranslateFunction(f, opts)
+		cg.End()
 		fd.Name = publicName(f.Nam)
 		file.Funcs = append(file.Funcs, fd)
 

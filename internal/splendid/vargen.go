@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // VarGenStats reports how the Variable Generator named things, feeding
@@ -23,6 +24,13 @@ type VarGenStats struct {
 // (Algorithm 2) over f, returning a validated value→source-variable map
 // (paper §4.3).
 func GenerateVariables(f *ir.Function) (map[ir.Value]string, *VarGenStats) {
+	return GenerateVariablesCtx(f, nil)
+}
+
+// GenerateVariablesCtx is GenerateVariables with telemetry: proposals,
+// conflict removals (Algorithm 2), and final naming counts are recorded
+// as counters, and each conflict removal emits a remark.
+func GenerateVariablesCtx(f *ir.Function, tc *telemetry.Ctx) (map[ir.Value]string, *VarGenStats) {
 	stats := &VarGenStats{}
 
 	// --- Variable Proposer / Metadata Interpreter (§4.3.1) ---
@@ -72,12 +80,18 @@ func GenerateVariables(f *ir.Function) (map[ir.Value]string, *VarGenStats) {
 			break
 		}
 		for _, v := range conflicts {
+			tc.Remarkf("vargen", f.Nam, v.Ident(), -1,
+				"conflicting definition: dropped proposal %q for %s — another value is the most recent definition at some use (Algorithm 2, §4.3.2)",
+				proposal[v], v.Ident())
 			delete(proposal, v)
 			stats.Conflicts++
 		}
 	}
 
 	stats.Named = len(proposal)
+	tc.Count("vargen.proposed", stats.Proposed)
+	tc.Count("vargen.conflicts", stats.Conflicts)
+	tc.Count("vargen.named", stats.Named)
 	return proposal, stats
 }
 
@@ -236,6 +250,14 @@ func findConflicts(f *ir.Function, proposal map[ir.Value]string) []ir.Value {
 // validated source proposals first, IR-derived fallbacks for the rest,
 // with collisions against source names suffixed away.
 func FinalNames(f *ir.Function, proposal map[ir.Value]string) map[ir.Value]string {
+	return FinalNamesCtx(f, proposal, nil)
+}
+
+// FinalNamesCtx is FinalNames with telemetry. A value that falls back to
+// a synthetic (IR-derived) name does so because no debug metadata
+// survived optimization for it — the loss the paper's Figure 8 accounts —
+// so the fallback is reported as a remark instead of dropped silently.
+func FinalNamesCtx(f *ir.Function, proposal map[ir.Value]string, tc *telemetry.Ctx) map[ir.Value]string {
 	names := map[ir.Value]string{}
 	reserved := map[string]bool{}
 	for _, w := range proposal {
@@ -256,6 +278,14 @@ func FinalNames(f *ir.Function, proposal map[ir.Value]string) map[ir.Value]strin
 			}
 		}
 		names[v] = n
+		if tc.Enabled() {
+			if _, isInstr := v.(*ir.Instr); isInstr {
+				tc.Count("vargen.synthetic-names", 1)
+				tc.Remarkf("vargen", f.Nam, v.Ident(), 1,
+					"no surviving debug metadata relates %s to a source variable; emitting synthetic name %q (Figure 8 accounting)",
+					v.Ident(), n)
+			}
+		}
 	}
 	for _, p := range f.Params {
 		fallback(p, p.Nam)

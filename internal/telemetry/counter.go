@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Count adds n to the named counter. Names follow LLVM's Statistic
+// convention "pass.what": licm.hoisted, mem2reg.promoted,
+// derotate.guards-proved. Safe for concurrent use; a no-op (and
+// allocation-free) on a nil Ctx or when n is zero.
+func (c *Ctx) Count(name string, n int) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.counters[name] += int64(n)
+	c.mu.Unlock()
+}
+
+// Counter returns the named counter's current value.
+func (c *Ctx) Counter(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// Counters returns a snapshot of all non-zero counters.
+func (c *Ctx) Counters() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteCounters writes the counter registry sorted by name (LLVM -stats
+// format: value, name).
+func (c *Ctx) WriteCounters(w io.Writer) {
+	if c == nil {
+		return
+	}
+	snap := c.Counters()
+	if len(snap) == 0 {
+		return
+	}
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "===----------------------------------------------------------===")
+	fmt.Fprintln(w, "                      Statistics counters")
+	fmt.Fprintln(w, "===----------------------------------------------------------===")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %8d  %s\n", snap[n], n)
+	}
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Flags bundles the standard observability CLI surface shared by the
+// compiler and decompiler binaries: -time-passes, -remarks, -trace, and
+// -print-changed, mirroring their LLVM namesakes.
+type Flags struct {
+	TimePasses   bool
+	RemarksPath  string
+	TracePath    string
+	PrintChanged bool
+}
+
+// Register installs the telemetry flags on fs.
+func (fl *Flags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&fl.TimePasses, "time-passes", false,
+		"print per-pass and per-stage timing tables and statistics counters to stderr")
+	fs.StringVar(&fl.RemarksPath, "remarks", "",
+		"write structured optimization remarks as JSON to this file")
+	fs.StringVar(&fl.TracePath, "trace", "",
+		"write a Chrome trace_event JSON (load in about:tracing) to this file")
+	fs.BoolVar(&fl.PrintChanged, "print-changed", false,
+		"print each function's IR after every pass that changed it (stderr)")
+}
+
+// Enabled reports whether any telemetry output was requested.
+func (fl *Flags) Enabled() bool {
+	return fl.TimePasses || fl.RemarksPath != "" || fl.TracePath != "" || fl.PrintChanged
+}
+
+// NewCtx returns a collection context when any output was requested, or
+// nil (collection fully disabled) otherwise. -print-changed is wired to
+// stderr.
+func (fl *Flags) NewCtx() *Ctx {
+	if !fl.Enabled() {
+		return nil
+	}
+	c := New()
+	if fl.PrintChanged {
+		c.SetPrintChanged(os.Stderr)
+	}
+	return c
+}
+
+// Finish writes every requested output: timing tables and counters to
+// stderr for -time-passes, remark JSON to -remarks, and the Chrome trace
+// to -trace. Safe to call with a nil context (writes nothing).
+func (fl *Flags) Finish(c *Ctx, stderr io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	if fl.TimePasses {
+		c.WriteText(stderr)
+	}
+	if fl.RemarksPath != "" {
+		f, err := os.Create(fl.RemarksPath)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		err = c.WriteRemarks(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("telemetry: write remarks: %w", err)
+		}
+	}
+	if fl.TracePath != "" {
+		f, err := os.Create(fl.TracePath)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		err = c.WriteTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("telemetry: write trace: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Remark is one structured optimization remark: which pass did what to
+// which function, optionally anchored to a loop/block, with an entity
+// delta (instructions hoisted, allocas promoted, guards proved, ...).
+// This mirrors LLVM's -fsave-optimization-record YAML records.
+type Remark struct {
+	Pass     string `json:"pass"`
+	Function string `json:"function"`
+	Loc      string `json:"loc,omitempty"` // block or loop anchor
+	Message  string `json:"message"`
+	Delta    int    `json:"delta,omitempty"`
+}
+
+// Remark records r. No-op on a nil Ctx.
+func (c *Ctx) Remark(r Remark) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.remarks = append(c.remarks, r)
+	c.mu.Unlock()
+}
+
+// Remarkf records a remark with a formatted message. The nil check runs
+// before formatting, so disabled-path calls neither format nor allocate.
+func (c *Ctx) Remarkf(pass, function, loc string, delta int, format string, args ...any) {
+	if c == nil {
+		return
+	}
+	c.Remark(Remark{
+		Pass: pass, Function: function, Loc: loc, Delta: delta,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Remarks returns a snapshot of recorded remarks in emission order.
+func (c *Ctx) Remarks() []Remark {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Remark, len(c.remarks))
+	copy(out, c.remarks)
+	return out
+}
+
+// WriteRemarks writes all remarks as a JSON array.
+func (c *Ctx) WriteRemarks(w io.Writer) error {
+	rs := c.Remarks()
+	if rs == nil {
+		rs = []Remark{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}

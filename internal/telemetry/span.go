@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Span categories. Pass spans carry per-function instruction deltas and
+// feed the -time-passes table; stage spans mark coarse pipeline phases
+// (semantic analyzer, detransformers, variable generation, ...).
+const (
+	CatPass  = "pass"
+	CatStage = "stage"
+)
+
+// Event is one completed span. Start/Dur are offsets of the context's
+// monotonic clock, so events from one Ctx share a timeline.
+type Event struct {
+	Name   string        // pass or stage name
+	Cat    string        // CatPass or CatStage
+	Detail string        // pass spans: the function; stages: free-form
+	Start  time.Duration // clock reading at StartSpan
+	Dur    time.Duration
+	Depth  int // nesting depth at start (0 = top level)
+
+	// Pass-span payload: instruction-count delta and whether the pass
+	// reported a change.
+	Delta   int
+	Changed bool
+}
+
+// Span is an open span handle. The zero Span (from a nil Ctx) is inert:
+// End and EndPass on it are no-ops. Spans are values, not pointers, so
+// opening one allocates nothing.
+type Span struct {
+	c      *Ctx
+	name   string
+	cat    string
+	detail string
+	start  time.Duration
+	depth  int
+}
+
+// StartSpan opens a span; close it with End (or EndPass for pass spans).
+// Spans from one Ctx may nest but must end LIFO within a goroutine; the
+// recorded Depth reflects open-span count at start time.
+func (c *Ctx) StartSpan(cat, name, detail string) Span {
+	if c == nil {
+		return Span{}
+	}
+	c.mu.Lock()
+	d := c.depth
+	c.depth++
+	c.mu.Unlock()
+	return Span{c: c, name: name, cat: cat, detail: detail, start: c.now(), depth: d}
+}
+
+// StartStage opens a coarse pipeline-stage span.
+func (c *Ctx) StartStage(name string) Span { return c.StartSpan(CatStage, name, "") }
+
+// StartPass opens a per-pass × per-function span.
+func (c *Ctx) StartPass(pass, function string) Span {
+	return c.StartSpan(CatPass, pass, function)
+}
+
+// End closes the span.
+func (s Span) End() { s.finish(0, false) }
+
+// EndPass closes a pass span, recording the function's instruction-count
+// delta and whether the pass reported a change.
+func (s Span) EndPass(delta int, changed bool) { s.finish(delta, changed) }
+
+func (s Span) finish(delta int, changed bool) {
+	if s.c == nil {
+		return
+	}
+	end := s.c.now()
+	s.c.mu.Lock()
+	s.c.depth--
+	s.c.events = append(s.c.events, Event{
+		Name: s.name, Cat: s.cat, Detail: s.detail,
+		Start: s.start, Dur: end - s.start, Depth: s.depth,
+		Delta: delta, Changed: changed,
+	})
+	s.c.mu.Unlock()
+}
+
+// Events returns a snapshot of completed spans in completion order.
+func (c *Ctx) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// passRow is one aggregated line of the -time-passes table.
+type passRow struct {
+	name    string
+	total   time.Duration
+	runs    int
+	changed int
+	delta   int
+}
+
+func (c *Ctx) aggregate(cat string) []passRow {
+	byName := map[string]*passRow{}
+	var order []string
+	for _, e := range c.Events() {
+		if e.Cat != cat {
+			continue
+		}
+		r := byName[e.Name]
+		if r == nil {
+			r = &passRow{name: e.Name}
+			byName[e.Name] = r
+			order = append(order, e.Name)
+		}
+		r.total += e.Dur
+		r.runs++
+		if e.Changed {
+			r.changed++
+		}
+		r.delta += e.Delta
+	}
+	rows := make([]passRow, 0, len(order))
+	for _, n := range order {
+		rows = append(rows, *byName[n])
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	return rows
+}
+
+// Row is one aggregated summary line (all spans of one name within a
+// category), JSON-ready for machine-readable timing dumps.
+type Row struct {
+	Name    string `json:"name"`
+	TotalNS int64  `json:"total_ns"`
+	Runs    int    `json:"runs"`
+	Changed int    `json:"changed,omitempty"`
+	Delta   int    `json:"delta,omitempty"`
+}
+
+// Summary aggregates completed spans of the given category (CatPass or
+// CatStage) by name, sorted by total time descending.
+func (c *Ctx) Summary(cat string) []Row {
+	if c == nil {
+		return nil
+	}
+	rows := c.aggregate(cat)
+	out := make([]Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Row{
+			Name: r.name, TotalNS: r.total.Nanoseconds(),
+			Runs: r.runs, Changed: r.changed, Delta: r.delta,
+		})
+	}
+	return out
+}
+
+// WriteTimingTable writes the per-pass execution timing report (the
+// -time-passes table): total time, run count, how many runs changed the
+// function, and the net instruction-count delta, sorted by total time.
+func (c *Ctx) WriteTimingTable(w io.Writer) {
+	if c == nil {
+		return
+	}
+	rows := c.aggregate(CatPass)
+	fmt.Fprintln(w, "===----------------------------------------------------------===")
+	fmt.Fprintln(w, "                 Pass execution timing report")
+	fmt.Fprintln(w, "===----------------------------------------------------------===")
+	fmt.Fprintf(w, "  %12s  %6s  %7s  %8s  %s\n", "Total", "Runs", "Changed", "dInstrs", "Pass")
+	var grand time.Duration
+	for _, r := range rows {
+		grand += r.total
+		fmt.Fprintf(w, "  %12s  %6d  %7d  %+8d  %s\n", r.total, r.runs, r.changed, r.delta, r.name)
+	}
+	fmt.Fprintf(w, "  %12s  total\n", grand)
+}
+
+// WriteStageTable writes the coarse pipeline-stage summary.
+func (c *Ctx) WriteStageTable(w io.Writer) {
+	if c == nil {
+		return
+	}
+	rows := c.aggregate(CatStage)
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "===----------------------------------------------------------===")
+	fmt.Fprintln(w, "                 Pipeline stage timing report")
+	fmt.Fprintln(w, "===----------------------------------------------------------===")
+	fmt.Fprintf(w, "  %12s  %6s  %s\n", "Total", "Runs", "Stage")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %12s  %6d  %s\n", r.total, r.runs, r.name)
+	}
+}
+
+// WriteText writes the full human-readable summary: stage table, pass
+// table, and counters.
+func (c *Ctx) WriteText(w io.Writer) {
+	if c == nil {
+		return
+	}
+	c.WriteStageTable(w)
+	c.WriteTimingTable(w)
+	c.WriteCounters(w)
+}

@@ -1,0 +1,80 @@
+// Package telemetry is the compiler's zero-dependency observability
+// layer: a span tracer (per-pass and per-stage timing, exportable as
+// Chrome trace_event JSON), an LLVM Statistic-style counter registry,
+// and structured optimization remarks.
+//
+// Every method on *Ctx is nil-safe: a nil *Ctx is the disabled
+// configuration, and calls on it return immediately without allocating,
+// so instrumented hot paths (the pass loop runs on every function of
+// every module compiled) cost nothing when telemetry is off. This is the
+// same contract as LLVM's TimePassesIsEnabled / Statistic machinery,
+// which compiles to no-ops unless -time-passes / -stats is given.
+//
+// Time is read through an injected monotonic clock (a func() -> elapsed
+// duration); the default clock derives from time.Since on a fixed base,
+// which the Go runtime serves from the monotonic reading, never the wall
+// clock. Tests inject fake clocks for deterministic golden output.
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Ctx is one telemetry collection context, threaded through a compile or
+// decompile pipeline. The zero value is not useful; use New or
+// NewWithClock. A nil *Ctx disables collection.
+type Ctx struct {
+	clock func() time.Duration
+
+	mu       sync.Mutex
+	events   []Event
+	depth    int
+	counters map[string]int64
+	remarks  []Remark
+
+	// printChanged, when non-nil, receives the IR of every function a
+	// pass reports as changed (LLVM's -print-changed).
+	printChanged io.Writer
+}
+
+// New returns a collection context using the process monotonic clock.
+func New() *Ctx {
+	base := time.Now()
+	return NewWithClock(func() time.Duration { return time.Since(base) })
+}
+
+// NewWithClock returns a collection context reading time from clock,
+// which must be monotonic non-decreasing. Tests use fake clocks.
+func NewWithClock(clock func() time.Duration) *Ctx {
+	return &Ctx{clock: clock, counters: map[string]int64{}}
+}
+
+// Enabled reports whether c collects anything (i.e. is non-nil). Callers
+// use it to skip measurement-only work such as instruction counting.
+func (c *Ctx) Enabled() bool { return c != nil }
+
+// SetPrintChanged directs per-pass changed-function IR dumps to w
+// (nil disables them).
+func (c *Ctx) SetPrintChanged(w io.Writer) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.printChanged = w
+	c.mu.Unlock()
+}
+
+// PrintChangedWriter returns the -print-changed sink, or nil.
+func (c *Ctx) PrintChangedWriter() io.Writer {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.printChanged
+}
+
+// now reads the injected clock. Callers hold no locks.
+func (c *Ctx) now() time.Duration { return c.clock() }

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic monotonic clock advancing by step on
+// every reading.
+func fakeClock(step time.Duration) func() time.Duration {
+	var t time.Duration
+	return func() time.Duration {
+		t += step
+		return t
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	c := NewWithClock(fakeClock(time.Millisecond))
+	outer := c.StartStage("decompile")
+	inner := c.StartPass("licm", "kernel")
+	inner.EndPass(-4, true)
+	outer.End()
+
+	evs := c.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// Completion order: inner first.
+	in, out := evs[0], evs[1]
+	if in.Name != "licm" || in.Cat != CatPass || in.Detail != "kernel" {
+		t.Errorf("inner event: %+v", in)
+	}
+	if in.Depth != 1 || out.Depth != 0 {
+		t.Errorf("depths: inner %d (want 1), outer %d (want 0)", in.Depth, out.Depth)
+	}
+	if in.Delta != -4 || !in.Changed {
+		t.Errorf("pass payload not recorded: %+v", in)
+	}
+	// Clock readings: outer start=1ms, inner start=2ms, inner end=3ms,
+	// outer end=4ms.
+	if in.Start != 2*time.Millisecond || in.Dur != time.Millisecond {
+		t.Errorf("inner timing: start %v dur %v", in.Start, in.Dur)
+	}
+	if out.Start != time.Millisecond || out.Dur != 3*time.Millisecond {
+		t.Errorf("outer timing: start %v dur %v", out.Start, out.Dur)
+	}
+	// The inner span nests strictly inside the outer one.
+	if in.Start < out.Start || in.Start+in.Dur > out.Start+out.Dur {
+		t.Errorf("inner span [%v,%v] escapes outer [%v,%v]",
+			in.Start, in.Start+in.Dur, out.Start, out.Start+out.Dur)
+	}
+}
+
+// TestCounterConcurrency hammers one Ctx from many goroutines; run with
+// -race to check the registry's synchronization.
+func TestCounterConcurrency(t *testing.T) {
+	c := New()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Count("licm.hoisted", 1)
+				c.Count("mem2reg.promoted", 2)
+				if i%100 == 0 {
+					c.Remarkf("licm", "f", "loop", 1, "worker %d", w)
+					sp := c.StartPass("licm", "f")
+					sp.EndPass(0, false)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Counter("licm.hoisted"); got != workers*perWorker {
+		t.Errorf("licm.hoisted = %d, want %d", got, workers*perWorker)
+	}
+	if got := c.Counter("mem2reg.promoted"); got != 2*workers*perWorker {
+		t.Errorf("mem2reg.promoted = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := len(c.Remarks()); got != workers*perWorker/100 {
+		t.Errorf("remarks = %d, want %d", got, workers*perWorker/100)
+	}
+}
+
+func TestNilCtxSafe(t *testing.T) {
+	var c *Ctx
+	sp := c.StartStage("x")
+	sp.End()
+	c.Count("n", 1)
+	c.Remarkf("p", "f", "", 0, "msg")
+	if c.Events() != nil || c.Counters() != nil || c.Remarks() != nil {
+		t.Error("nil ctx should return nil snapshots")
+	}
+	var buf bytes.Buffer
+	c.WriteText(&buf)
+	if buf.Len() != 0 {
+		t.Errorf("nil ctx wrote output: %q", buf.String())
+	}
+}
+
+// TestDisabledPathAllocs is the hard guarantee behind instrumenting the
+// pass hot loop: with telemetry disabled (nil Ctx) the API must not
+// allocate at all.
+func TestDisabledPathAllocs(t *testing.T) {
+	var c *Ctx
+	n := testing.AllocsPerRun(200, func() {
+		sp := c.StartPass("licm", "kernel")
+		c.Count("licm.hoisted", 3)
+		c.Remarkf("licm", "kernel", "for.cond", 3, "hoisted %d instruction(s)", 3)
+		sp.EndPass(-3, true)
+	})
+	if n != 0 {
+		t.Fatalf("disabled telemetry path allocates %v times per op, want 0", n)
+	}
+}
+
+func TestRemarksJSONRoundTrip(t *testing.T) {
+	c := New()
+	c.Remark(Remark{Pass: "licm", Function: "kernel", Loc: "for.cond",
+		Message: "hoisted 2 instructions", Delta: 2})
+	c.Remarkf("mem2reg", "kernel", "i.addr", 1, "promoted %q", "i")
+	var buf bytes.Buffer
+	if err := c.WriteRemarks(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []Remark
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("remarks are not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 2 || out[0].Pass != "licm" || out[1].Message != `promoted "i"` {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestTimingTablesAndCounters(t *testing.T) {
+	c := NewWithClock(fakeClock(time.Millisecond))
+	st := c.StartStage("optimize")
+	for i := 0; i < 3; i++ {
+		sp := c.StartPass("dce", "f")
+		sp.EndPass(-1, true)
+	}
+	sp := c.StartPass("licm", "f")
+	sp.EndPass(0, false)
+	st.End()
+	c.Count("dce.removed", 3)
+
+	var buf bytes.Buffer
+	c.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"optimize", "dce", "licm", "dce.removed", "Pass execution timing report"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	rows := c.Summary(CatPass)
+	if len(rows) != 2 {
+		t.Fatalf("pass summary rows = %d, want 2", len(rows))
+	}
+	// dce ran 3×1ms+..., licm once; dce sorts first by total time.
+	if rows[0].Name != "dce" || rows[0].Runs != 3 || rows[0].Changed != 3 || rows[0].Delta != -3 {
+		t.Errorf("dce row: %+v", rows[0])
+	}
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export (the format chrome://tracing and Perfetto
+// load). Each completed span becomes one "X" (complete) event with
+// microsecond timestamps relative to the context's clock origin.
+
+// TraceEvent is one trace_event record. Exported so tests can decode
+// trace files against the schema Chrome expects.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the top-level JSON object Chrome's about:tracing loads.
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Trace builds the trace_event representation of all completed spans,
+// sorted by start time so output is stable for a deterministic clock.
+func (c *Ctx) Trace() TraceFile {
+	tf := TraceFile{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+	evs := c.Events()
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		return evs[i].Depth < evs[j].Depth
+	})
+	for _, e := range evs {
+		te := TraceEvent{
+			Name: e.Name, Cat: e.Cat, Ph: "X",
+			Ts:  float64(e.Start.Nanoseconds()) / 1e3,
+			Dur: float64(e.Dur.Nanoseconds()) / 1e3,
+			Pid: 1, Tid: 1,
+		}
+		if e.Cat == CatPass {
+			te.Args = map[string]any{
+				"function": e.Detail,
+				"delta":    e.Delta,
+				"changed":  e.Changed,
+			}
+		} else if e.Detail != "" {
+			te.Args = map[string]any{"detail": e.Detail}
+		}
+		tf.TraceEvents = append(tf.TraceEvents, te)
+	}
+	return tf
+}
+
+// WriteTrace writes the Chrome trace_event JSON for all completed spans.
+// The output loads in chrome://tracing ("about:tracing") and Perfetto.
+func (c *Ctx) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(c.Trace())
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// traceFixture builds a small deterministic trace: a decompile stage
+// wrapping one mem2reg pass span, on a 1ms-step fake clock.
+func traceFixture() *Ctx {
+	c := NewWithClock(fakeClock(time.Millisecond))
+	outer := c.StartStage("decompile")
+	p := c.StartPass("mem2reg", "kernel")
+	p.EndPass(-6, true)
+	outer.End()
+	return c
+}
+
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := traceFixture().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output drifted from golden file (run `go test -run TestTraceGolden -update ./internal/telemetry` after reviewing)\ngot:\n%swant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceSchema checks the invariants chrome://tracing relies on:
+// complete ("X") events, microsecond timestamps sorted ascending, and
+// the per-pass args payload.
+func TestTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := traceFixture().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", tf.DisplayTimeUnit)
+	}
+	if len(tf.TraceEvents) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(tf.TraceEvents))
+	}
+	prev := -1.0
+	for _, e := range tf.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %q: ph = %q, want X", e.Name, e.Ph)
+		}
+		if e.Pid != 1 || e.Tid != 1 {
+			t.Errorf("event %q: pid/tid = %d/%d, want 1/1", e.Name, e.Pid, e.Tid)
+		}
+		if e.Ts < prev {
+			t.Errorf("event %q: ts %v out of order (prev %v)", e.Name, e.Ts, prev)
+		}
+		prev = e.Ts
+	}
+	// Stage event sorts first (earlier start), pass event nests inside.
+	stage, pass := tf.TraceEvents[0], tf.TraceEvents[1]
+	if stage.Name != "decompile" || stage.Cat != CatStage {
+		t.Errorf("first event should be the stage span: %+v", stage)
+	}
+	if pass.Name != "mem2reg" || pass.Cat != CatPass {
+		t.Fatalf("second event should be the pass span: %+v", pass)
+	}
+	if pass.Args["function"] != "kernel" {
+		t.Errorf("pass args function = %v, want kernel", pass.Args["function"])
+	}
+	if pass.Args["delta"] != float64(-6) || pass.Args["changed"] != true {
+		t.Errorf("pass args delta/changed = %v/%v, want -6/true",
+			pass.Args["delta"], pass.Args["changed"])
+	}
+	if pass.Ts < stage.Ts || pass.Ts+pass.Dur > stage.Ts+stage.Dur {
+		t.Errorf("pass event [%v,%v] escapes stage [%v,%v]",
+			pass.Ts, pass.Ts+pass.Dur, stage.Ts, stage.Ts+stage.Dur)
+	}
+}
