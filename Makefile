@@ -7,6 +7,9 @@ test:
 	go test ./...
 
 # Full benchmark sweep; BenchmarkTelemetryStages leaves per-stage
-# timings in BENCH_telemetry.json for cross-PR comparison.
+# timings in BENCH_telemetry.json and BenchmarkDriverPipeline leaves the
+# serial-cold / parallel-cold / warm-session comparison in
+# BENCH_driver.json for cross-PR comparison.
 bench:
 	go test -bench=. -benchtime=1x .
+	go test -bench=Driver -benchtime=1x ./internal/driver/

@@ -12,11 +12,9 @@ import (
 	"os"
 	"testing"
 
-	"repro/internal/cfront"
+	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/ir"
-	"repro/internal/parallel"
-	"repro/internal/passes"
 	"repro/internal/polybench"
 	"repro/internal/splendid"
 	"repro/internal/telemetry"
@@ -44,7 +42,7 @@ func BenchmarkTable3Collaboration(b *testing.B) {
 	var rows []experiments.Table3Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Table3()
+		rows, err = experiments.Table3(benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +60,7 @@ func BenchmarkTable4LoC(b *testing.B) {
 	var rows []experiments.Table4Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Table4()
+		rows, err = experiments.Table4(benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +95,7 @@ func BenchmarkFig7BLEU(b *testing.B) {
 	var rows []experiments.Fig7Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig7()
+		rows, err = experiments.Fig7(benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +116,7 @@ func BenchmarkFig8VarNames(b *testing.B) {
 	var rows []experiments.Fig8Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig8()
+		rows, err = experiments.Fig8(benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +157,7 @@ func BenchmarkAblation(b *testing.B) {
 	var rows []experiments.AblationRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Ablation()
+		rows, err = experiments.Ablation(benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,23 +203,24 @@ func BenchmarkDecompileSuite(b *testing.B) {
 // BenchmarkTelemetryStages drives the entire compile → optimize →
 // parallelize → decompile pipeline over the PolyBench suite with
 // telemetry enabled and dumps the aggregated per-stage and per-pass span
-// timings (plus counters) to BENCH_telemetry.json, giving future perf
-// PRs a per-stage baseline to diff against.
+// timings (plus counters, including the session's analysis-cache
+// statistics) to BENCH_telemetry.json, giving future perf PRs a
+// per-stage baseline to diff against.
 func BenchmarkTelemetryStages(b *testing.B) {
 	var tc *telemetry.Ctx
 	for i := 0; i < b.N; i++ {
 		tc = telemetry.New()
+		s := driver.New(driver.Options{Telemetry: tc})
 		for _, bench := range polybench.All() {
-			m, err := cfront.CompileSourceCtx(bench.Seq, bench.Name, tc)
+			m, _, err := s.ParallelIR(bench.Name, bench.Seq)
 			if err != nil {
 				b.Fatal(err)
 			}
-			passes.OptimizeCtx(m, tc)
-			parallel.Parallelize(m, parallel.Options{Telemetry: tc})
-			if _, err := splendid.DecompileCtx(m, splendid.Full(), tc); err != nil {
+			if _, err := s.Decompile(m, splendid.Full()); err != nil {
 				b.Fatalf("%s: %v", bench.Name, err)
 			}
 		}
+		s.FlushCounters()
 	}
 	b.StopTimer()
 	dump := struct {

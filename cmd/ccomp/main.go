@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ccomp [-O2] [-polly] [-o out.ll] input.c
+//	ccomp [-O2] [-polly] [-j N] [-verify-each] [-o out.ll] input.c
 //	ccomp -O2 -time-passes -remarks=r.json -trace=t.json input.c
 //
 // The observability flags mirror LLVM: -time-passes prints per-pass and
@@ -12,6 +12,11 @@
 // function) as JSON, -trace writes a Chrome trace_event file loadable in
 // about:tracing, and -print-changed dumps each function's IR after every
 // pass that changed it.
+//
+// Compilation runs through a driver session: -j sets the function-level
+// worker count (default GOMAXPROCS; output is byte-identical at any
+// value), and -verify-each re-verifies the IR between stages and after
+// every pass, naming the offending pass on failure.
 package main
 
 import (
@@ -19,9 +24,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/cfront"
-	"repro/internal/parallel"
-	"repro/internal/passes"
+	"repro/internal/driver"
 	"repro/internal/telemetry"
 )
 
@@ -29,11 +32,13 @@ func main() {
 	o2 := flag.Bool("O2", false, "run the optimization pipeline (mem2reg, LICM, loop rotation, ...)")
 	polly := flag.Bool("polly", false, "auto-parallelize DOALL loops (implies -O2)")
 	out := flag.String("o", "", "output file (default stdout)")
+	jobs := flag.Int("j", 0, "function-level parallelism (0 = GOMAXPROCS, 1 = serial)")
+	verifyEach := flag.Bool("verify-each", false, "verify IR between stages and after every pass")
 	var tflags telemetry.Flags
 	tflags.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ccomp [-O2] [-polly] [-o out.ll] input.c")
+		fmt.Fprintln(os.Stderr, "usage: ccomp [-O2] [-polly] [-j N] [-verify-each] [-o out.ll] input.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -41,15 +46,21 @@ func main() {
 		fatal(err)
 	}
 	tc := tflags.NewCtx()
-	m, err := cfront.CompileSourceCtx(string(src), flag.Arg(0), tc)
+	s := driver.New(driver.Options{Jobs: *jobs, VerifyEach: *verifyEach, Telemetry: tc})
+	m, err := s.Frontend(string(src), flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
 	if *o2 || *polly {
-		passes.OptimizeCtx(m, tc)
+		if err := s.Optimize(m); err != nil {
+			fatal(err)
+		}
 	}
 	if *polly {
-		res := parallel.Parallelize(m, parallel.Options{Telemetry: tc})
+		res, err := s.Parallelize(m)
+		if err != nil {
+			fatal(err)
+		}
 		total := 0
 		for _, n := range res.Parallelized {
 			total += n
@@ -60,6 +71,7 @@ func main() {
 	if err := m.Verify(); err != nil {
 		fatal(err)
 	}
+	s.FlushCounters()
 	if err := tflags.Finish(tc, os.Stderr); err != nil {
 		fatal(err)
 	}

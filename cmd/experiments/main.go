@@ -7,10 +7,18 @@
 //	experiments -list            # show available experiments
 //	experiments -threads 8 -reps 5
 //	experiments -run fig6 -time-passes -trace=t.json
+//	experiments -j 1 -verify-each
 //
 // The telemetry flags (-time-passes, -remarks, -trace, -print-changed)
 // observe the compile/decompile pipelines the experiments drive: each
 // experiment appears as a stage span wrapping the pipeline's own spans.
+//
+// All experiments compile through one shared driver session, so the
+// O2+parallelize prefix of each benchmark is compiled once per run no
+// matter how many tables and figures consume it. -j sets the session's
+// function-level worker count (results are byte-identical at any value)
+// and -verify-each re-verifies the IR between stages and after every
+// pass.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/driver"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
@@ -27,12 +36,17 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	threads := flag.Int("threads", 0, "OpenMP team size (default GOMAXPROCS)")
 	reps := flag.Int("reps", 0, "timing repetitions (default 3)")
+	jobs := flag.Int("j", 0, "function-level compile parallelism (0 = GOMAXPROCS, 1 = serial)")
+	verifyEach := flag.Bool("verify-each", false, "verify IR between stages and after every pass")
 	var tflags telemetry.Flags
 	tflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	tc := tflags.NewCtx()
-	cfg := experiments.Config{Threads: *threads, Reps: *reps, Telemetry: tc}
+	// One session for the whole run: every experiment forks from the same
+	// memoized O2+parallelize prefixes instead of recompiling them.
+	session := driver.New(driver.Options{Jobs: *jobs, VerifyEach: *verifyEach, Telemetry: tc})
+	cfg := experiments.Config{Threads: *threads, Reps: *reps, Telemetry: tc, Driver: session}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -62,6 +76,7 @@ func main() {
 			runOne(&experiments.All()[i])
 		}
 	}
+	session.FlushCounters()
 	if err := tflags.Finish(tc, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

@@ -5,6 +5,7 @@
 //
 //	splendid [-variant full|portable|v1|cbackend|rellic|ghidra] [-o out.c] input.ll
 //	splendid -stats input.ll
+//	splendid -j 1 -verify-each input.ll
 //	splendid -time-passes -remarks=r.json -trace=t.json input.ll
 //
 // The observability flags mirror LLVM: -time-passes prints per-pass and
@@ -12,6 +13,11 @@
 // writes structured optimization remarks as JSON, -trace writes a Chrome
 // trace_event file loadable in about:tracing, and -print-changed dumps
 // each function's IR after every pass that changed it.
+//
+// Decompilation runs through a driver session: -j sets the per-function
+// worker count (default GOMAXPROCS; output is byte-identical at any
+// value), and -verify-each re-verifies the IR between decompiler stages
+// and after every de-transformation pass.
 package main
 
 import (
@@ -20,10 +26,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/cast"
-	"repro/internal/cbackend"
-	"repro/internal/decomp/ghidra"
-	"repro/internal/decomp/rellic"
+	"repro/internal/driver"
 	"repro/internal/ir"
 	"repro/internal/splendid"
 	"repro/internal/telemetry"
@@ -33,11 +36,13 @@ func main() {
 	variant := flag.String("variant", "full", "full|portable|v1|cbackend|rellic|ghidra")
 	out := flag.String("o", "", "output file (default stdout)")
 	stats := flag.Bool("stats", false, "print decompilation statistics as JSON to stderr")
+	jobs := flag.Int("j", 0, "function-level parallelism (0 = GOMAXPROCS, 1 = serial)")
+	verifyEach := flag.Bool("verify-each", false, "verify IR between stages and after every pass")
 	var tflags telemetry.Flags
 	tflags.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: splendid [-variant V] [-o out.c] input.ll")
+		fmt.Fprintln(os.Stderr, "usage: splendid [-variant V] [-j N] [-verify-each] [-o out.c] input.ll")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -49,36 +54,19 @@ func main() {
 		fatal(err)
 	}
 	tc := tflags.NewCtx()
-	var text string
-	switch *variant {
-	case "cbackend":
-		text = cast.Print(cbackend.Decompile(m))
-	case "rellic":
-		text = cast.Print(rellic.Decompile(m))
-	case "ghidra":
-		text = cast.Print(ghidra.Decompile(m))
-	case "full", "portable", "v1":
-		cfg := splendid.Full()
-		if *variant == "portable" {
-			cfg = splendid.Portable()
-		} else if *variant == "v1" {
-			cfg = splendid.V1()
-		}
-		res, err := splendid.DecompileCtx(m, cfg, tc)
+	s := driver.New(driver.Options{Jobs: *jobs, VerifyEach: *verifyEach, Telemetry: tc})
+	text, st, err := s.DecompileVariant(m, *variant)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats && st != nil {
+		j, err := statsJSON(*st)
 		if err != nil {
 			fatal(err)
 		}
-		text = res.C
-		if *stats {
-			j, err := statsJSON(res.Stats)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Fprintln(os.Stderr, string(j))
-		}
-	default:
-		fatal(fmt.Errorf("unknown variant %q", *variant))
+		fmt.Fprintln(os.Stderr, string(j))
 	}
+	s.FlushCounters()
 	if err := tflags.Finish(tc, os.Stderr); err != nil {
 		fatal(err)
 	}

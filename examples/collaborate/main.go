@@ -9,10 +9,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cfront"
+	"repro/internal/driver"
 	"repro/internal/interp"
-	"repro/internal/parallel"
-	"repro/internal/passes"
 	"repro/internal/splendid"
 )
 
@@ -70,16 +68,15 @@ void runDistinct() {
 `
 
 func main() {
-	m, err := cfront.CompileSource(original, "mayalias")
+	s := driver.New(driver.Options{})
+	m, res, err := s.ParallelIR("mayalias", original)
 	if err != nil {
 		log.Fatal(err)
 	}
-	passes.Optimize(m)
-	res := parallel.Parallelize(m, parallel.Options{})
 	fmt.Printf("=== 1. Parallelizer: %d loops parallelized, %d behind runtime alias checks ===\n\n",
 		count(res.Parallelized), res.Versioned)
 
-	dec, err := splendid.Decompile(m, splendid.Full())
+	dec, err := s.Decompile(m, splendid.Full())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,11 +85,10 @@ func main() {
 
 	// Compare: the compiler's checked version vs the programmer's
 	// specialized version.
-	spec, err := cfront.CompileSource(specialized, "noalias")
+	spec, err := s.OptimizedIR("noalias", specialized)
 	if err != nil {
 		log.Fatal(err)
 	}
-	passes.Optimize(spec)
 
 	run := func(mod interface {
 		GlobalByName(string) interface{ Ident() string }

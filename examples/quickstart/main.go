@@ -10,11 +10,9 @@ import (
 	"log"
 
 	"repro/internal/cast"
-	"repro/internal/cfront"
 	"repro/internal/decomp/rellic"
+	"repro/internal/driver"
 	"repro/internal/interp"
-	"repro/internal/parallel"
-	"repro/internal/passes"
 	"repro/internal/splendid"
 )
 
@@ -40,15 +38,13 @@ func main() {
 	fmt.Println("=== 1. Original sequential source ===")
 	fmt.Print(source)
 
-	// Compile and optimize (-O2: mem2reg, LICM, loop rotation).
-	m, err := cfront.CompileSource(source, "jacobi")
+	// One driver session runs the whole pipeline: compile, -O2, the
+	// Polly stand-in auto-parallelizer, then the decompilers below.
+	s := driver.New(driver.Options{})
+	m, res, err := s.ParallelIR("jacobi", source)
 	if err != nil {
 		log.Fatal(err)
 	}
-	passes.Optimize(m)
-
-	// Automatic parallelization (the Polly stand-in).
-	res := parallel.Parallelize(m, parallel.Options{})
 	total := 0
 	for _, n := range res.Parallelized {
 		total += n
@@ -62,7 +58,7 @@ func main() {
 	fmt.Println(cast.ExcerptFunc(rellic.Decompile(m), mt))
 
 	// SPLENDID decompilation: portable OpenMP C.
-	full, err := splendid.Decompile(m, splendid.Full())
+	full, err := s.Decompile(m, splendid.Full())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,11 +66,10 @@ func main() {
 	fmt.Print(full.C)
 
 	// Recompile the SPLENDID output and run it in parallel.
-	rec, err := cfront.CompileSource(full.C, "recompiled")
+	rec, err := s.OptimizedIR("recompiled", full.C)
 	if err != nil {
 		log.Fatal(err)
 	}
-	passes.Optimize(rec)
 
 	seqMach := interp.NewMachine(m, interp.Options{NumThreads: 1})
 	mustRun(seqMach, "init", "kernel")

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"repro/internal/ir"
+)
+
+// CallGraph maps every defined function of m to the distinct defined
+// functions it calls directly, in first-call order. Declarations and
+// indirect calls are ignored — the scheduler only needs edges that a
+// bottom-up pass (an inliner seeing callees first) cares about.
+func CallGraph(m *ir.Module) map[*ir.Function][]*ir.Function {
+	g := make(map[*ir.Function][]*ir.Function)
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		seen := map[*ir.Function]bool{}
+		var callees []*ir.Function
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op != ir.OpCall {
+				return
+			}
+			callee, ok := in.Callee.(*ir.Function)
+			if !ok || callee.IsDecl() || seen[callee] {
+				return
+			}
+			seen[callee] = true
+			callees = append(callees, callee)
+		})
+		g[f] = callees
+	}
+	return g
+}
+
+// BottomUpSCCs returns the strongly connected components of m's call
+// graph in bottom-up (callees-before-callers) order, computed with
+// Tarjan's algorithm. Functions within one SCC keep module order. The
+// ordering is deterministic: it depends only on m.Funcs order and the
+// call edges, never on map iteration.
+//
+// Processing SCCs in this order means a function-local pipeline that
+// inlines sees every (acyclic) callee in final form before its callers
+// run — LLVM's CGSCC pass-manager ordering.
+func BottomUpSCCs(m *ir.Module) [][]*ir.Function {
+	g := CallGraph(m)
+
+	index := map[*ir.Function]int{}
+	low := map[*ir.Function]int{}
+	onStack := map[*ir.Function]bool{}
+	var stack []*ir.Function
+	var sccs [][]*ir.Function
+	next := 0
+
+	var strongconnect func(f *ir.Function)
+	strongconnect = func(f *ir.Function) {
+		index[f] = next
+		low[f] = next
+		next++
+		stack = append(stack, f)
+		onStack[f] = true
+		for _, c := range g[f] {
+			if _, seen := index[c]; !seen {
+				strongconnect(c)
+				if low[c] < low[f] {
+					low[f] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[f] {
+				low[f] = index[c]
+			}
+		}
+		if low[f] == index[f] {
+			var scc []*ir.Function
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				scc = append(scc, top)
+				if top == f {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	// Roots in module order keeps the result deterministic.
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if _, seen := index[f]; !seen {
+			strongconnect(f)
+		}
+	}
+	// Tarjan emits components in reverse topological order of the
+	// condensation — exactly callees-before-callers. Normalize intra-SCC
+	// order to module order for stable scheduling.
+	pos := map[*ir.Function]int{}
+	for i, f := range m.Funcs {
+		pos[f] = i
+	}
+	for _, scc := range sccs {
+		for i := 1; i < len(scc); i++ {
+			for j := i; j > 0 && pos[scc[j]] < pos[scc[j-1]]; j-- {
+				scc[j], scc[j-1] = scc[j-1], scc[j]
+			}
+		}
+	}
+	return sccs
+}

@@ -23,6 +23,10 @@ type DomTree struct {
 	idom map[*ir.Block]*ir.Block
 	// children is the dominator-tree child list.
 	children map[*ir.Block][]*ir.Block
+	// df memoizes Frontiers: a DomTree is immutable once built, so the
+	// frontier map is computed at most once per tree. Unsynchronized —
+	// the scheduler runs at most one worker per function.
+	df map[*ir.Block][]*ir.Block
 }
 
 // NewDomTree computes the dominator tree of f.
@@ -35,8 +39,11 @@ func NewDomTree(f *ir.Function) *DomTree {
 	}
 	d.computeRPO()
 	d.computeIdoms()
-	for b, p := range d.idom {
-		if b != p {
+	// Child lists in RPO order: map iteration here would make dominator-
+	// tree walks (and everything downstream, like mem2reg's rename pass)
+	// nondeterministic run to run.
+	for _, b := range d.RPO {
+		if p := d.idom[b]; p != b {
 			d.children[p] = append(d.children[p], b)
 		}
 	}
@@ -148,8 +155,12 @@ func (d *DomTree) Reachable(b *ir.Block) bool {
 }
 
 // Frontiers computes the dominance frontier of every reachable block,
-// using the standard two-pointer walk from each join point.
+// using the standard two-pointer walk from each join point. The result
+// is memoized on the tree; callers must not mutate it.
 func (d *DomTree) Frontiers() map[*ir.Block][]*ir.Block {
+	if d.df != nil {
+		return d.df
+	}
 	df := map[*ir.Block][]*ir.Block{}
 	inDF := map[*ir.Block]map[*ir.Block]bool{}
 	for _, b := range d.RPO {
@@ -178,5 +189,6 @@ func (d *DomTree) Frontiers() map[*ir.Block][]*ir.Block {
 			}
 		}
 	}
+	d.df = df
 	return df
 }

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// Manager is the pipeline's analysis cache: per-function dominator
+// trees, post-dominator trees, and natural-loop forests, keyed on the
+// function's content hash (ir.Function.ContentHash). It plays the role
+// of LLVM's FunctionAnalysisManager:
+//
+//   - a query (Dom, PostDom, Loops, Frontiers) revalidates the cache
+//     entry by rehashing the function — one linear scan, much cheaper
+//     than recomputing the analysis — and recomputes only on mismatch;
+//   - a pass that changed the function but preserved its CFG calls
+//     Rekey, which refreshes the stored hash while keeping the (still
+//     valid) CFG analyses, so the next query hits;
+//   - a pass that restructured the CFG calls Invalidate (or simply lets
+//     the hash mismatch evict everything on the next query).
+//
+// All methods are nil-safe: a nil *Manager computes every analysis
+// fresh, uncached — passes take a *Manager and work identically inside
+// and outside a driver session, mirroring the telemetry.Ctx contract.
+//
+// Concurrency: the entry map is mutex-guarded, so distinct functions may
+// be queried from concurrent scheduler workers. Entries themselves are
+// not locked — the driver's scheduler guarantees at most one worker per
+// function, which is also what makes in-place IR mutation safe at all.
+type Manager struct {
+	mu      sync.Mutex
+	entries map[*ir.Function]*amEntry
+
+	// stats are cumulative across the manager's lifetime.
+	hits, misses, rekeys int64
+}
+
+type amEntry struct {
+	hash  uint64
+	dom   *DomTree
+	pdom  *PostDomTree
+	loops *LoopInfo
+}
+
+// NewManager returns an empty analysis cache.
+func NewManager() *Manager {
+	return &Manager{entries: map[*ir.Function]*amEntry{}}
+}
+
+// lookup returns f's entry, revalidated against the current content
+// hash: on mismatch the stale analyses are dropped and the entry rekeyed.
+func (am *Manager) lookup(f *ir.Function) *amEntry {
+	h := f.ContentHash()
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	e := am.entries[f]
+	if e == nil {
+		e = &amEntry{hash: h}
+		am.entries[f] = e
+		return e
+	}
+	if e.hash != h {
+		e.hash = h
+		e.dom, e.pdom, e.loops = nil, nil, nil
+	}
+	return e
+}
+
+// Dom returns the dominator tree of f, cached while f's content is
+// unchanged. A nil manager computes it fresh.
+func (am *Manager) Dom(f *ir.Function) *DomTree {
+	if am == nil {
+		return NewDomTree(f)
+	}
+	e := am.lookup(f)
+	if e.dom != nil {
+		am.count(&am.hits)
+		return e.dom
+	}
+	am.count(&am.misses)
+	e.dom = NewDomTree(f)
+	return e.dom
+}
+
+// PostDom returns the post-dominator tree of f, cached while f's content
+// is unchanged. A nil manager computes it fresh.
+func (am *Manager) PostDom(f *ir.Function) *PostDomTree {
+	if am == nil {
+		return NewPostDomTree(f)
+	}
+	e := am.lookup(f)
+	if e.pdom != nil {
+		am.count(&am.hits)
+		return e.pdom
+	}
+	am.count(&am.misses)
+	e.pdom = NewPostDomTree(f)
+	return e.pdom
+}
+
+// Loops returns the natural-loop forest of f, cached while f's content
+// is unchanged. The forest is computed from (and cached with) the
+// dominator tree. A nil manager computes both fresh.
+func (am *Manager) Loops(f *ir.Function) *LoopInfo {
+	if am == nil {
+		return FindLoops(f, NewDomTree(f))
+	}
+	e := am.lookup(f)
+	if e.loops != nil {
+		am.count(&am.hits)
+		return e.loops
+	}
+	am.count(&am.misses)
+	if e.dom == nil {
+		e.dom = NewDomTree(f)
+	}
+	e.loops = FindLoops(f, e.dom)
+	return e.loops
+}
+
+// Rekey records that f was modified by a CFG-preserving pass: the stored
+// hash is refreshed so cached CFG analyses (dominators, post-dominators,
+// loops) stay live across the content change. Calling Rekey after a pass
+// that did restructure the CFG is a correctness bug — use Invalidate.
+func (am *Manager) Rekey(f *ir.Function) {
+	if am == nil {
+		return
+	}
+	h := f.ContentHash()
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	e := am.entries[f]
+	if e == nil {
+		return
+	}
+	e.hash = h
+	am.rekeys++
+}
+
+// Invalidate drops every cached analysis for f.
+func (am *Manager) Invalidate(f *ir.Function) {
+	if am == nil {
+		return
+	}
+	am.mu.Lock()
+	delete(am.entries, f)
+	am.mu.Unlock()
+}
+
+// InvalidateAll empties the cache (module-level stages that add or
+// remove functions call this rather than tracking what survived).
+func (am *Manager) InvalidateAll() {
+	if am == nil {
+		return
+	}
+	am.mu.Lock()
+	am.entries = map[*ir.Function]*amEntry{}
+	am.mu.Unlock()
+}
+
+func (am *Manager) count(c *int64) {
+	am.mu.Lock()
+	*c++
+	am.mu.Unlock()
+}
+
+// Stats reports cumulative cache behaviour: queries served from cache,
+// queries that recomputed, and CFG-preserving rekeys.
+func (am *Manager) Stats() (hits, misses, rekeys int64) {
+	if am == nil {
+		return 0, 0, 0
+	}
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	return am.hits, am.misses, am.rekeys
+}

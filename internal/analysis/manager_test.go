@@ -1,0 +1,260 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+const managerSrc = `
+define i64 @leaf(i64 %x) {
+entry:
+  %r = add i64 %x, 1
+  ret i64 %r
+}
+
+define i64 @mid(i64 %x) {
+entry:
+  %a = call i64 @leaf(i64 %x)
+  %b = call i64 @leaf(i64 %a)
+  ret i64 %b
+}
+
+define i64 @top(i64 %x) {
+entry:
+  br label %header
+
+header:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %cmp = icmp slt i64 %i, %x
+  br i1 %cmp, label %body, label %exit
+
+body:
+  %v = call i64 @mid(i64 %i)
+  %i.next = add i64 %i, 1
+  br label %header
+
+exit:
+  ret i64 %i
+}
+`
+
+func parseManagerModule(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(managerSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+func fn(t *testing.T, m *ir.Module, name string) *ir.Function {
+	t.Helper()
+	for _, f := range m.Funcs {
+		if f.Name() == name {
+			return f
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+func TestManagerCachesWhileUnchanged(t *testing.T) {
+	m := parseManagerModule(t)
+	f := fn(t, m, "top")
+	am := analysis.NewManager()
+
+	d1 := am.Dom(f)
+	d2 := am.Dom(f)
+	if d1 != d2 {
+		t.Fatal("second Dom query recomputed despite unchanged function")
+	}
+	l1 := am.Loops(f)
+	l2 := am.Loops(f)
+	if l1 != l2 {
+		t.Fatal("second Loops query recomputed despite unchanged function")
+	}
+	p1 := am.PostDom(f)
+	p2 := am.PostDom(f)
+	if p1 != p2 {
+		t.Fatal("second PostDom query recomputed despite unchanged function")
+	}
+	hits, misses, _ := am.Stats()
+	if hits != 3 || misses != 3 {
+		t.Fatalf("stats = %d hits / %d misses, want 3/3", hits, misses)
+	}
+}
+
+func TestManagerHashRevalidation(t *testing.T) {
+	m := parseManagerModule(t)
+	f := fn(t, m, "leaf")
+	am := analysis.NewManager()
+
+	d1 := am.Dom(f)
+	// Mutate the function content (no explicit Invalidate): the next
+	// query must notice via the content hash and recompute.
+	entry := f.Entry()
+	add := entry.Instrs[0]
+	add.Args[1] = &ir.ConstInt{Typ: ir.I64, V: 2}
+	d2 := am.Dom(f)
+	if d1 == d2 {
+		t.Fatal("Dom served stale tree after content change")
+	}
+	_, misses, _ := am.Stats()
+	if misses != 2 {
+		t.Fatalf("misses = %d, want 2", misses)
+	}
+}
+
+func TestManagerRekeyKeepsAnalyses(t *testing.T) {
+	m := parseManagerModule(t)
+	f := fn(t, m, "leaf")
+	am := analysis.NewManager()
+
+	d1 := am.Dom(f)
+	// A CFG-preserving change followed by Rekey keeps the cached tree.
+	entry := f.Entry()
+	add := entry.Instrs[0]
+	add.Args[1] = &ir.ConstInt{Typ: ir.I64, V: 3}
+	am.Rekey(f)
+	d2 := am.Dom(f)
+	if d1 != d2 {
+		t.Fatal("Rekey dropped a still-valid dominator tree")
+	}
+	hits, _, rekeys := am.Stats()
+	if hits != 1 || rekeys != 1 {
+		t.Fatalf("stats = %d hits / %d rekeys, want 1/1", hits, rekeys)
+	}
+}
+
+func TestManagerInvalidate(t *testing.T) {
+	m := parseManagerModule(t)
+	f := fn(t, m, "leaf")
+	am := analysis.NewManager()
+
+	d1 := am.Dom(f)
+	am.Invalidate(f)
+	if d2 := am.Dom(f); d1 == d2 {
+		t.Fatal("Invalidate left a cached tree behind")
+	}
+	am.Dom(f)
+	am.InvalidateAll()
+	if _, misses, _ := am.Stats(); misses != 2 {
+		t.Fatalf("misses before InvalidateAll = %d, want 2", misses)
+	}
+	am.Dom(f)
+	if _, misses, _ := am.Stats(); misses != 3 {
+		t.Fatal("InvalidateAll did not evict the entry")
+	}
+}
+
+func TestNilManagerComputesFresh(t *testing.T) {
+	m := parseManagerModule(t)
+	f := fn(t, m, "top")
+	var am *analysis.Manager
+
+	if am.Dom(f) == nil || am.PostDom(f) == nil || am.Loops(f) == nil {
+		t.Fatal("nil manager returned nil analysis")
+	}
+	if d1, d2 := am.Dom(f), am.Dom(f); d1 == d2 {
+		t.Fatal("nil manager unexpectedly cached")
+	}
+	am.Rekey(f)
+	am.Invalidate(f)
+	am.InvalidateAll()
+	if h, mi, r := am.Stats(); h != 0 || mi != 0 || r != 0 {
+		t.Fatal("nil manager reported nonzero stats")
+	}
+}
+
+func TestDomFrontiersMemoized(t *testing.T) {
+	m := parseManagerModule(t)
+	f := fn(t, m, "top")
+	d := analysis.NewDomTree(f)
+	df1 := d.Frontiers()
+	df2 := d.Frontiers()
+	if len(df1) == 0 {
+		t.Fatal("expected a non-empty dominance frontier for the loop header")
+	}
+	// Memoized: must be the identical map, not a recomputation.
+	if len(df2) != len(df1) {
+		t.Fatal("second Frontiers call returned a different frontier")
+	}
+	df1[nil] = nil // mark the returned map
+	if _, ok := d.Frontiers()[nil]; !ok {
+		t.Fatal("Frontiers recomputed instead of returning the memoized map")
+	}
+	delete(df1, nil)
+}
+
+func TestCallGraphAndBottomUpSCCs(t *testing.T) {
+	m := parseManagerModule(t)
+	leaf, mid, top := fn(t, m, "leaf"), fn(t, m, "mid"), fn(t, m, "top")
+
+	g := analysis.CallGraph(m)
+	if len(g[leaf]) != 0 {
+		t.Fatalf("leaf callees = %v, want none", g[leaf])
+	}
+	if len(g[mid]) != 1 || g[mid][0] != leaf {
+		t.Fatalf("mid callees wrong: %v", g[mid])
+	}
+	if len(g[top]) != 1 || g[top][0] != mid {
+		t.Fatalf("top callees wrong: %v", g[top])
+	}
+
+	sccs := analysis.BottomUpSCCs(m)
+	if len(sccs) != 3 {
+		t.Fatalf("got %d SCCs, want 3", len(sccs))
+	}
+	order := map[*ir.Function]int{}
+	for i, scc := range sccs {
+		if len(scc) != 1 {
+			t.Fatalf("SCC %d has %d members, want 1", i, len(scc))
+		}
+		order[scc[0]] = i
+	}
+	if !(order[leaf] < order[mid] && order[mid] < order[top]) {
+		t.Fatalf("not bottom-up: leaf=%d mid=%d top=%d", order[leaf], order[mid], order[top])
+	}
+}
+
+func TestBottomUpSCCsCycle(t *testing.T) {
+	src := `
+define i64 @even(i64 %n) {
+entry:
+  %r = call i64 @odd(i64 %n)
+  ret i64 %r
+}
+
+define i64 @odd(i64 %n) {
+entry:
+  %r = call i64 @even(i64 %n)
+  ret i64 %r
+}
+
+define i64 @main() {
+entry:
+  %r = call i64 @even(i64 10)
+  ret i64 %r
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sccs := analysis.BottomUpSCCs(m)
+	if len(sccs) != 2 {
+		t.Fatalf("got %d SCCs, want 2", len(sccs))
+	}
+	if len(sccs[0]) != 2 {
+		t.Fatalf("first SCC (the even/odd cycle) has %d members, want 2", len(sccs[0]))
+	}
+	// Intra-SCC order follows module order.
+	if sccs[0][0].Name() != "even" || sccs[0][1].Name() != "odd" {
+		t.Fatalf("cycle SCC order = %s,%s; want even,odd", sccs[0][0].Name(), sccs[0][1].Name())
+	}
+	if len(sccs[1]) != 1 || sccs[1][0].Name() != "main" {
+		t.Fatalf("second SCC should be main alone, got %v", sccs[1])
+	}
+}

@@ -1,0 +1,121 @@
+package driver_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/polybench"
+	"repro/internal/splendid"
+)
+
+// suiteOnce runs the full pipeline (frontend → O2 → parallelize →
+// decompile) over every PolyBench benchmark through one session. With
+// concurrent=true the benchmarks are submitted to the session from
+// separate goroutines, so module-level barrier stages of different
+// benchmarks overlap even when each module has only a handful of
+// functions.
+func suiteOnce(b *testing.B, s *driver.Session, concurrent bool) {
+	b.Helper()
+	run := func(bench *polybench.Benchmark) {
+		m, _, err := s.ParallelIR(bench.Name, bench.Seq)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		if _, err := s.Decompile(m, splendid.Full()); err != nil {
+			b.Error(err)
+		}
+	}
+	if !concurrent {
+		for _, bench := range polybench.All() {
+			run(bench)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, bench := range polybench.All() {
+		bench := bench
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run(bench)
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkDriverPipeline measures the driver across its three operating
+// points — serial cold (fresh session per run, Jobs=1), parallel cold
+// (fresh session, Jobs=NumCPU, benchmarks submitted concurrently), and
+// warm (session reused, so the O2+parallelize prefix comes from the
+// memo) — and writes the comparison to BENCH_driver.json at the repo
+// root. The timed b.N loop is the serial cold baseline; the other two
+// are measured alongside and attached as custom metrics.
+func BenchmarkDriverPipeline(b *testing.B) {
+	runs := func(mk func() *driver.Session, concurrent bool, reuse bool) time.Duration {
+		var s *driver.Session
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if s == nil || !reuse {
+				s = mk()
+			}
+			if reuse && i == 0 {
+				// Warm-up fill outside nothing: the first iteration pays
+				// the misses; with b.N==1 we fill then measure a hit pass.
+				suiteOnce(b, s, concurrent)
+				start = time.Now()
+			}
+			suiteOnce(b, s, concurrent)
+		}
+		return time.Since(start)
+	}
+
+	serial := func() *driver.Session { return driver.New(driver.Options{Jobs: 1}) }
+	parallel := func() *driver.Session { return driver.New(driver.Options{}) }
+
+	b.ResetTimer()
+	serialCold := runs(serial, false, false)
+	b.StopTimer()
+	parallelCold := runs(parallel, true, false)
+	warm := runs(serial, false, true)
+
+	n := int64(b.N)
+	report := struct {
+		Date           string  `json:"date"`
+		GoMaxProcs     int     `json:"gomaxprocs"`
+		Benchmarks     int     `json:"polybench_kernels"`
+		Iterations     int64   `json:"iterations"`
+		SerialColdNS   int64   `json:"serial_cold_ns_per_suite"`
+		ParallelColdNS int64   `json:"parallel_cold_ns_per_suite"`
+		WarmNS         int64   `json:"warm_ns_per_suite"`
+		ParallelSpeed  float64 `json:"parallel_speedup_vs_serial_cold"`
+		WarmSpeed      float64 `json:"warm_speedup_vs_serial_cold"`
+	}{
+		Date:           time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Benchmarks:     len(polybench.All()),
+		Iterations:     n,
+		SerialColdNS:   serialCold.Nanoseconds() / n,
+		ParallelColdNS: parallelCold.Nanoseconds() / n,
+		WarmNS:         warm.Nanoseconds() / n,
+	}
+	report.ParallelSpeed = float64(report.SerialColdNS) / float64(report.ParallelColdNS)
+	report.WarmSpeed = float64(report.SerialColdNS) / float64(report.WarmNS)
+
+	b.ReportMetric(float64(report.SerialColdNS)/1e6, "ms-serial-cold")
+	b.ReportMetric(float64(report.ParallelColdNS)/1e6, "ms-parallel-cold")
+	b.ReportMetric(float64(report.WarmNS)/1e6, "ms-warm")
+
+	j, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_driver.json", append(j, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+// Package driver is the unified compilation driver: a Session owns the
+// whole source→IR→optimize→parallelize→decompile→emit pipeline and is
+// the single entry point the CLIs (ccomp, splendid, experiments) and the
+// experiments harness construct pipelines through.
+//
+// A Session carries three pieces of shared state across stage calls:
+//
+//   - an analysis manager (internal/analysis.Manager) caching dominator
+//     trees, post-dominator trees, and loop forests per function, keyed
+//     on content hashes, so passes stop recomputing them;
+//   - a worker pool configuration (Jobs) driving the function scheduler:
+//     function-local stages run in bottom-up call-graph SCC order across
+//     workers, with module stages as barriers, and results byte-identical
+//     to serial execution at any worker count;
+//   - a memo of compiled pipeline prefixes: OptimizedIR and ParallelIR
+//     cache the frontend+O2(+parallelize) result per (name, source) pair
+//     as printed IR text, so the experiments harness forks only the
+//     SPLENDID config tail instead of recompiling the shared prefix for
+//     every ablation variant.
+//
+// Sessions are safe for concurrent use: independent modules may flow
+// through the stages from multiple goroutines (the analysis cache and
+// memo are internally locked, and the scheduler guarantees at most one
+// worker per function).
+package driver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/cast"
+	"repro/internal/cbackend"
+	"repro/internal/cfront"
+	"repro/internal/decomp/ghidra"
+	"repro/internal/decomp/rellic"
+	"repro/internal/ir"
+	"repro/internal/parallel"
+	"repro/internal/passes"
+	"repro/internal/splendid"
+	"repro/internal/telemetry"
+)
+
+// Options configures a Session.
+type Options struct {
+	// Jobs is the function-level parallelism degree: 0 means GOMAXPROCS,
+	// 1 means fully serial, N>1 runs function-local stages on N workers.
+	Jobs int
+	// VerifyEach runs ir.Verify between driver stages and after every
+	// pass, failing with the offending pass or stage name.
+	VerifyEach bool
+	// Telemetry receives stage/pass spans, counters, and remarks from
+	// every stage this session runs (nil disables collection).
+	Telemetry *telemetry.Ctx
+}
+
+// Session is one compilation pipeline instance. The zero value is not
+// useful; use New.
+type Session struct {
+	opts Options
+	jobs int
+	am   *analysis.Manager
+
+	mu   sync.Mutex
+	memo map[uint64]*memoEntry
+	// flushed* track what FlushCounters already reported, so repeated
+	// flushes emit deltas rather than double-counting.
+	flushedHits, flushedMisses, flushedRekeys int64
+}
+
+// memoEntry caches one compiled pipeline prefix as printed IR text.
+// Text, not modules: callers receive a private reparse, so mutating a
+// returned module can never corrupt the cache (the same isolation idiom
+// as the decompiler's clone-by-reparse).
+type memoEntry struct {
+	optimized string           // IR text after frontend + O2
+	parallel  string           // IR text after frontend + O2 + parallelize
+	parRes    *parallel.Result // result snapshot for the parallel prefix
+}
+
+// New returns a Session with its own analysis cache and prefix memo.
+func New(opts Options) *Session {
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Session{
+		opts: opts,
+		jobs: jobs,
+		am:   analysis.NewManager(),
+		memo: map[uint64]*memoEntry{},
+	}
+}
+
+// Jobs reports the resolved worker count.
+func (s *Session) Jobs() int { return s.jobs }
+
+// Telemetry returns the session's telemetry context (possibly nil).
+func (s *Session) Telemetry() *telemetry.Ctx { return s.opts.Telemetry }
+
+// AnalysisStats reports the session's analysis-cache behaviour.
+func (s *Session) AnalysisStats() (hits, misses, rekeys int64) {
+	return s.am.Stats()
+}
+
+// FlushCounters records the session's cache statistics as telemetry
+// counters (analysis.cache.hits/misses/rekeys), so -time-passes style
+// reports include the caching win. Safe to call multiple times: counters
+// record the delta since the previous flush.
+func (s *Session) FlushCounters() {
+	tc := s.opts.Telemetry
+	if !tc.Enabled() {
+		return
+	}
+	hits, misses, rekeys := s.am.Stats()
+	s.mu.Lock()
+	dh, dm, dr := hits-s.flushedHits, misses-s.flushedMisses, rekeys-s.flushedRekeys
+	s.flushedHits, s.flushedMisses, s.flushedRekeys = hits, misses, rekeys
+	s.mu.Unlock()
+	tc.Count("analysis.cache.hits", int(dh))
+	tc.Count("analysis.cache.misses", int(dm))
+	tc.Count("analysis.cache.rekeys", int(dr))
+}
+
+// verify applies the between-stage check when the session asks for it.
+func (s *Session) verify(m *ir.Module, stage string) error {
+	if !s.opts.VerifyEach {
+		return nil
+	}
+	if err := m.Verify(); err != nil {
+		return fmt.Errorf("verify-each: stage %q broke the module: %w", stage, err)
+	}
+	return nil
+}
+
+// Frontend compiles C source into unoptimized IR.
+func (s *Session) Frontend(src, name string) (*ir.Module, error) {
+	m, err := cfront.CompileSourceCtx(src, name, s.opts.Telemetry)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.verify(m, "frontend"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Optimize runs the O2 fixed point on m in place, with cached analyses
+// and the session's worker pool.
+func (s *Session) Optimize(m *ir.Module) error {
+	if err := passes.OptimizeConfig(m, s.runConfig()); err != nil {
+		return err
+	}
+	return s.verify(m, "optimize")
+}
+
+// RunPasses runs an ad-hoc pass pipeline on m under the session's
+// execution policy (cached analyses, worker pool, verify-each).
+func (s *Session) RunPasses(m *ir.Module, pipeline ...passes.Pass) (bool, error) {
+	return passes.RunPipelineConfig(m, s.runConfig(), pipeline...)
+}
+
+func (s *Session) runConfig() passes.RunConfig {
+	return passes.RunConfig{
+		Analyses:   s.am,
+		Telemetry:  s.opts.Telemetry,
+		VerifyEach: s.opts.VerifyEach,
+		Workers:    s.jobs,
+	}
+}
+
+// Parallelize converts DOALL loops of m into outlined microtasks in
+// place. It is a module-level barrier stage: it adds outlined functions
+// and rewrites callers, so the analysis cache is invalidated wholesale.
+func (s *Session) Parallelize(m *ir.Module) (*parallel.Result, error) {
+	res := parallel.Parallelize(m, parallel.Options{
+		Telemetry: s.opts.Telemetry,
+		Analyses:  s.am,
+	})
+	s.am.InvalidateAll()
+	if err := s.verify(m, "parallelize"); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Decompile translates parallel IR into OpenMP C under cfg, fanning the
+// per-function detransformer and emission stages across the session's
+// workers. The input module is not modified. The decompiler works on a
+// clone with its own short-lived analysis cache, so concurrent Decompile
+// calls on one session never contend on entries.
+func (s *Session) Decompile(m *ir.Module, cfg splendid.Config) (*splendid.Result, error) {
+	return splendid.DecompileOpts(m, cfg, splendid.Opts{
+		Telemetry:  s.opts.Telemetry,
+		Analyses:   analysis.NewManager(),
+		Workers:    s.jobs,
+		VerifyEach: s.opts.VerifyEach,
+	})
+}
+
+// DecompileVariant decompiles m under a named variant: the SPLENDID
+// configurations ("full", "portable", "v1") or the baseline decompilers
+// ("cbackend", "rellic", "ghidra"). The C text is returned for every
+// variant; Stats only for SPLENDID ones (nil otherwise).
+func (s *Session) DecompileVariant(m *ir.Module, variant string) (string, *splendid.Stats, error) {
+	switch variant {
+	case "cbackend":
+		return cast.Print(cbackend.Decompile(m)), nil, nil
+	case "rellic":
+		return cast.Print(rellic.Decompile(m)), nil, nil
+	case "ghidra":
+		return cast.Print(ghidra.Decompile(m)), nil, nil
+	}
+	var cfg splendid.Config
+	switch variant {
+	case "full":
+		cfg = splendid.Full()
+	case "portable":
+		cfg = splendid.Portable()
+	case "v1":
+		cfg = splendid.V1()
+	default:
+		return "", nil, fmt.Errorf("unknown variant %q", variant)
+	}
+	res, err := s.Decompile(m, cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	stats := res.Stats
+	return res.C, &stats, nil
+}
+
+// memoKey derives the prefix-memo key for a (name, source) pair.
+func memoKey(name, src string) uint64 {
+	return ir.HashBytes(name + "\x00" + src)
+}
+
+// OptimizedIR returns the frontend+O2 compilation of src, memoized per
+// (name, src): the first call compiles, later calls reparse the cached IR
+// text. The returned module is private to the caller.
+func (s *Session) OptimizedIR(name, src string) (*ir.Module, error) {
+	key := memoKey(name, src)
+	s.mu.Lock()
+	e := s.memo[key]
+	if e != nil && e.optimized != "" {
+		text := e.optimized
+		s.mu.Unlock()
+		s.count("driver.memo.hits", 1)
+		return ir.Parse(text)
+	}
+	s.mu.Unlock()
+	s.count("driver.memo.misses", 1)
+
+	m, err := s.Frontend(src, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Optimize(m); err != nil {
+		return nil, err
+	}
+	text := m.Print()
+	s.mu.Lock()
+	if s.memo[key] == nil {
+		s.memo[key] = &memoEntry{}
+	}
+	s.memo[key].optimized = text
+	s.mu.Unlock()
+	return m, nil
+}
+
+// ParallelIR returns the frontend+O2+parallelize compilation of src,
+// memoized per (name, src). This is the shared prefix of every ablation
+// variant in the experiments harness: variants fork only the decompile
+// tail. The returned module and Result are private to the caller.
+func (s *Session) ParallelIR(name, src string) (*ir.Module, *parallel.Result, error) {
+	key := memoKey(name, src)
+	s.mu.Lock()
+	e := s.memo[key]
+	if e != nil && e.parallel != "" {
+		text, pres := e.parallel, copyResult(e.parRes)
+		s.mu.Unlock()
+		s.count("driver.memo.hits", 1)
+		m, err := ir.Parse(text)
+		return m, pres, err
+	}
+	s.mu.Unlock()
+	s.count("driver.memo.misses", 1)
+
+	// Reuse the optimized prefix if it is already cached.
+	m, err := s.OptimizedIR(name, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	pres, err := s.Parallelize(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	text := m.Print()
+	s.mu.Lock()
+	if s.memo[key] == nil {
+		s.memo[key] = &memoEntry{}
+	}
+	s.memo[key].parallel = text
+	s.memo[key].parRes = copyResult(pres)
+	s.mu.Unlock()
+	return m, copyResult(pres), nil
+}
+
+// copyResult snapshots a parallelizer result so cached and returned
+// copies cannot alias.
+func copyResult(r *parallel.Result) *parallel.Result {
+	if r == nil {
+		return nil
+	}
+	out := &parallel.Result{
+		Parallelized: make(map[string]int, len(r.Parallelized)),
+		Versioned:    r.Versioned,
+		Rejected:     r.Rejected,
+	}
+	for k, v := range r.Parallelized {
+		out.Parallelized[k] = v
+	}
+	return out
+}
+
+func (s *Session) count(name string, n int) {
+	s.opts.Telemetry.Count(name, n)
+}

@@ -1,0 +1,195 @@
+// External test package: driver tests drive the real PolyBench suite,
+// which itself imports the driver, so the tests must sit outside the
+// package to avoid a cycle.
+package driver_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/polybench"
+	"repro/internal/splendid"
+	"repro/internal/telemetry"
+)
+
+// TestDeterminismGolden is the worker-count determinism golden test: every
+// PolyBench kernel decompiled with -j1 and -jN must produce byte-identical
+// C output and identical Stats.
+func TestDeterminismGolden(t *testing.T) {
+	serial := driver.New(driver.Options{Jobs: 1})
+	parallel := driver.New(driver.Options{Jobs: 8})
+	for _, b := range polybench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			m1, _, err := serial.ParallelIR(b.Name, b.Seq)
+			if err != nil {
+				t.Fatalf("serial pipeline: %v", err)
+			}
+			m2, _, err := parallel.ParallelIR(b.Name, b.Seq)
+			if err != nil {
+				t.Fatalf("parallel pipeline: %v", err)
+			}
+			if ir1, ir2 := m1.Print(), m2.Print(); ir1 != ir2 {
+				t.Fatalf("-j1 and -j8 produced different parallel IR:\n--- j1 ---\n%s\n--- j8 ---\n%s", ir1, ir2)
+			}
+			r1, err := serial.Decompile(m1, splendid.Full())
+			if err != nil {
+				t.Fatalf("serial decompile: %v", err)
+			}
+			r2, err := parallel.Decompile(m2, splendid.Full())
+			if err != nil {
+				t.Fatalf("parallel decompile: %v", err)
+			}
+			if r1.C != r2.C {
+				t.Fatalf("-j1 and -j8 produced different C:\n--- j1 ---\n%s\n--- j8 ---\n%s", r1.C, r2.C)
+			}
+			if !reflect.DeepEqual(r1.Stats, r2.Stats) {
+				t.Fatalf("-j1 and -j8 produced different stats:\nj1: %+v\nj8: %+v", r1.Stats, r2.Stats)
+			}
+		})
+	}
+}
+
+// TestVerifyEachPolyBench runs the whole pipeline over the suite with
+// verification between stages and after every pass; the standard stages
+// must never produce invalid IR.
+func TestVerifyEachPolyBench(t *testing.T) {
+	s := driver.New(driver.Options{VerifyEach: true})
+	for _, b := range polybench.All() {
+		m, _, err := s.ParallelIR(b.Name, b.Seq)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if _, err := s.Decompile(m, splendid.Full()); err != nil {
+			t.Fatalf("%s: decompile: %v", b.Name, err)
+		}
+	}
+}
+
+// TestMemoizedPrefix checks the recompile path: a second ParallelIR call
+// for the same (name, source) must come from the memo, produce identical
+// IR, and hand out a module isolated from the cache.
+func TestMemoizedPrefix(t *testing.T) {
+	tc := telemetry.New()
+	s := driver.New(driver.Options{Jobs: 1, Telemetry: tc})
+	b := polybench.All()[0]
+
+	m1, p1, err := s.ParallelIR(b.Name, b.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, p2, err := s.ParallelIR(b.Name, b.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Print() != m2.Print() {
+		t.Fatal("memoized recompile produced different IR")
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("memoized recompile produced different results: %+v vs %+v", p1, p2)
+	}
+	if tc.Counter("driver.memo.hits") == 0 {
+		t.Fatal("second ParallelIR call did not hit the memo")
+	}
+
+	// Mutating a returned module must not poison later memo hits.
+	m2.Funcs = nil
+	m3, _, err := s.ParallelIR(b.Name, b.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Print() != m1.Print() {
+		t.Fatal("cache was corrupted by mutating a returned module")
+	}
+
+	// OptimizedIR of the same source shares the memo entry but caches the
+	// pre-parallelize prefix separately.
+	o1, err := s.OptimizedIR(b.Name, b.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := s.OptimizedIR(b.Name, b.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Print() != o2.Print() {
+		t.Fatal("memoized OptimizedIR produced different IR")
+	}
+}
+
+// TestConcurrentSessionUse submits every benchmark to one session from
+// concurrent goroutines — the driver's documented concurrency contract —
+// and checks each result matches a serial reference session.
+func TestConcurrentSessionUse(t *testing.T) {
+	ref := driver.New(driver.Options{Jobs: 1})
+	s := driver.New(driver.Options{})
+	var wg sync.WaitGroup
+	errs := make(chan error, len(polybench.All()))
+	for _, b := range polybench.All() {
+		b := b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, _, err := s.ParallelIR(b.Name, b.Seq)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want, _, err := ref.ParallelIR(b.Name, b.Seq)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if m.Print() != want.Print() {
+				t.Errorf("%s: concurrent session result differs from serial reference", b.Name)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestDecompileVariant covers the variant dispatch the splendid CLI uses.
+func TestDecompileVariant(t *testing.T) {
+	s := driver.New(driver.Options{Jobs: 1})
+	b := polybench.All()[0]
+	m, _, err := s.ParallelIR(b.Name, b.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"full", "portable", "v1", "cbackend", "rellic", "ghidra"} {
+		text, stats, err := s.DecompileVariant(m, v)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if text == "" {
+			t.Fatalf("%s: empty output", v)
+		}
+		splendidVariant := v == "full" || v == "portable" || v == "v1"
+		if splendidVariant != (stats != nil) {
+			t.Fatalf("%s: stats presence wrong (got %v)", v, stats)
+		}
+	}
+	if _, _, err := s.DecompileVariant(m, "nope"); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+// TestAnalysisCacheWin checks the session's analysis manager actually
+// serves cached analyses during an O2+parallelize pipeline.
+func TestAnalysisCacheWin(t *testing.T) {
+	s := driver.New(driver.Options{Jobs: 1})
+	b := polybench.All()[0]
+	if _, _, err := s.ParallelIR(b.Name, b.Seq); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := s.AnalysisStats()
+	if hits == 0 {
+		t.Fatalf("analysis cache never hit (misses=%d)", misses)
+	}
+}

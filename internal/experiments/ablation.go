@@ -24,8 +24,10 @@ type AblationRow struct {
 // disable one technique, quantifying the design choices DESIGN.md calls
 // out: expression folding (natural compound expressions), for-loop
 // construction (vs do-while), explicit parallelism (pragma generation),
-// and variable renaming.
-func Ablation() ([]AblationRow, error) {
+// and variable renaming. All five variants fork from the session's
+// memoized O2+parallelize prefix, so the 5×16 loop compiles each
+// benchmark once and pays only for the decompile tails.
+func Ablation(cfg Config) ([]AblationRow, error) {
 	variants := []struct {
 		name string
 		cfg  splendid.Config
@@ -45,16 +47,17 @@ func Ablation() ([]AblationRow, error) {
 		}},
 		{"-variable renaming", splendid.Portable()},
 	}
+	s := cfg.session()
 	var rows []AblationRow
 	for _, v := range variants {
 		total := 0.0
 		count := 0
 		for _, b := range polybench.All() {
-			parIR, _, err := b.CompileParallelIR()
+			parIR, _, err := b.CompileParallelIRWith(s)
 			if err != nil {
 				return nil, err
 			}
-			res, err := splendid.Decompile(parIR, v.cfg)
+			res, err := s.Decompile(parIR, v.cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", b.Name, v.name, err)
 			}
@@ -66,8 +69,8 @@ func Ablation() ([]AblationRow, error) {
 	return rows, nil
 }
 
-func runAblation(w io.Writer, _ Config) error {
-	rows, err := Ablation()
+func runAblation(w io.Writer, cfg Config) error {
+	rows, err := Ablation(cfg)
 	if err != nil {
 		return err
 	}

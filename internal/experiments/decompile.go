@@ -2,16 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
-	"repro/internal/cast"
-	"repro/internal/cfront"
-	"repro/internal/decomp/ghidra"
-	"repro/internal/decomp/rellic"
+	"repro/internal/driver"
 	"repro/internal/ir"
-	"repro/internal/passes"
 	"repro/internal/polybench"
 	"repro/internal/splendid"
-	"repro/internal/telemetry"
 )
 
 // decompiled holds every decompiler's output for one benchmark, plus the
@@ -36,67 +32,82 @@ type decompiled struct {
 	FullStats splendid.Stats
 }
 
-func decompileAll(b *polybench.Benchmark) (*decompiled, error) {
-	parIR, _, err := b.CompileParallelIR()
+// decompileAll runs every decompiler variant over one benchmark through
+// the session: the parallel and sequential input IR both come from the
+// session's prefix memo, so the expensive compilations happen once no
+// matter how many tables and figures consume the result.
+func decompileAll(s *driver.Session, b *polybench.Benchmark) (*decompiled, error) {
+	parIR, _, err := b.CompileParallelIRWith(s)
 	if err != nil {
 		return nil, err
 	}
-	seqIR, err := cfront.CompileSource(b.Seq, b.Name+".seq")
+	seqIR, err := s.OptimizedIR(b.Name+".seq", b.Seq)
 	if err != nil {
 		return nil, err
 	}
-	passes.Optimize(seqIR)
 
 	d := &decompiled{bench: b, RefC: b.Ref}
-	d.GhidraC = cast.Print(ghidra.Decompile(parIR))
-	d.RellicC = cast.Print(rellic.Decompile(parIR))
-	d.GhidraSeqC = cast.Print(ghidra.Decompile(seqIR))
-	d.RellicSeqC = cast.Print(rellic.Decompile(seqIR))
-
 	for _, v := range []struct {
-		cfg splendid.Config
-		dst *string
+		m       *ir.Module
+		variant string
+		dst     *string
+		stats   *splendid.Stats
 	}{
-		{splendid.V1(), &d.V1C},
-		{splendid.Portable(), &d.PortableC},
-		{splendid.Full(), &d.FullC},
+		{parIR, "ghidra", &d.GhidraC, nil},
+		{parIR, "rellic", &d.RellicC, nil},
+		{seqIR, "ghidra", &d.GhidraSeqC, nil},
+		{seqIR, "rellic", &d.RellicSeqC, nil},
+		{parIR, "v1", &d.V1C, nil},
+		{parIR, "portable", &d.PortableC, nil},
+		{parIR, "full", &d.FullC, &d.FullStats},
+		{seqIR, "full", &d.FullSeqC, nil},
 	} {
-		res, err := splendid.Decompile(parIR, v.cfg)
+		text, stats, err := s.DecompileVariant(v.m, v.variant)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
+			return nil, fmt.Errorf("%s/%s: %w", b.Name, v.variant, err)
 		}
-		*v.dst = res.C
-		if v.dst == &d.FullC {
-			d.FullStats = res.Stats
+		*v.dst = text
+		if v.stats != nil && stats != nil {
+			*v.stats = *stats
 		}
 	}
-	fullSeq, err := splendid.Decompile(seqIR, splendid.Full())
-	if err != nil {
-		return nil, err
-	}
-	d.FullSeqC = fullSeq.C
 	return d, nil
 }
 
-var decompileCache = map[string]*decompiled{}
+// decompileCache memoizes decompileAll per (session, benchmark); the
+// mutex makes decompiledFor safe from concurrent experiment runners
+// sharing a session.
+var (
+	decompileCacheMu sync.Mutex
+	decompileCache   = map[*driver.Session]map[string]*decompiled{}
+)
 
-func decompiledFor(b *polybench.Benchmark) (*decompiled, error) {
-	if d, ok := decompileCache[b.Name]; ok {
+func decompiledFor(s *driver.Session, b *polybench.Benchmark) (*decompiled, error) {
+	decompileCacheMu.Lock()
+	if d := decompileCache[s][b.Name]; d != nil {
+		decompileCacheMu.Unlock()
 		return d, nil
 	}
-	d, err := decompileAll(b)
+	decompileCacheMu.Unlock()
+	d, err := decompileAll(s, b)
 	if err != nil {
 		return nil, err
 	}
-	decompileCache[b.Name] = d
+	decompileCacheMu.Lock()
+	if decompileCache[s] == nil {
+		decompileCache[s] = map[string]*decompiled{}
+	}
+	decompileCache[s][b.Name] = d
+	decompileCacheMu.Unlock()
 	return d, nil
 }
 
 // Table4 computes the LoC rows from the decompilations.
-func Table4() ([]Table4Row, error) {
+func Table4(cfg Config) ([]Table4Row, error) {
+	s := cfg.session()
 	var rows []Table4Row
 	for _, b := range polybench.All() {
-		d, err := decompiledFor(b)
+		d, err := decompiledFor(s, b)
 		if err != nil {
 			return nil, err
 		}
@@ -125,13 +136,13 @@ func max0(n int) int {
 }
 
 // recompile turns decompiled C back into an optimized module (the
-// "recompiled with another host compiler" step of Figure 6), reporting
-// its frontend and pass work to tc when telemetry is enabled.
-func recompile(src, name string, tc *telemetry.Ctx) (*ir.Module, error) {
-	m, err := cfront.CompileSourceCtx(src, name, tc)
+// "recompiled with another host compiler" step of Figure 6). It goes
+// through the session's memoized OptimizedIR, so Figures 6 and 9
+// recompiling the same decompiled text pay for it once.
+func recompile(s *driver.Session, src, name string) (*ir.Module, error) {
+	m, err := s.OptimizedIR(name, src)
 	if err != nil {
 		return nil, fmt.Errorf("recompile %s: %w", name, err)
 	}
-	passes.OptimizeCtx(m, tc)
 	return m, nil
 }

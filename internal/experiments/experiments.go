@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/polybench"
@@ -35,6 +36,25 @@ type Config struct {
 	// Telemetry, when non-nil, collects stage spans, counters, and
 	// remarks from the compile/decompile pipelines the experiments run.
 	Telemetry *telemetry.Ctx
+	// Driver is the compilation session every experiment constructs its
+	// pipelines through. Its memo makes the shared O2+parallelize prefix
+	// of the 16 benchmarks a one-time cost across all tables and figures.
+	// Nil uses a process-wide default session.
+	Driver *driver.Session
+}
+
+// defaultDriver serves experiments run without an explicit session (the
+// package tests, the root benchmarks). Sharing one memo across
+// invocations is the point, so this is a package singleton rather than a
+// per-call session.
+var defaultDriver = driver.New(driver.Options{})
+
+// session resolves the driver session experiments compile through.
+func (c Config) session() *driver.Session {
+	if c.Driver != nil {
+		return c.Driver
+	}
+	return defaultDriver
 }
 
 func (c Config) threads() int {

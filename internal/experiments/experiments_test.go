@@ -12,7 +12,7 @@ import (
 var testCfg = Config{Threads: 28, Reps: 1}
 
 func TestFig7Shape(t *testing.T) {
-	rows, err := Fig7()
+	rows, err := Fig7(testCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
-	rows, err := Table4()
+	rows, err := Table4(testCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	rows, err := Fig8()
+	rows, err := Fig8(testCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestAblationShape(t *testing.T) {
-	rows, err := Ablation()
+	rows, err := Ablation(testCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

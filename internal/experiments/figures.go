@@ -29,9 +29,10 @@ type Fig6Row struct {
 // libomp-style scheduling ("Clang") and with libgomp-style balanced
 // scheduling ("GCC").
 func Fig6(cfg Config) ([]Fig6Row, error) {
+	s := cfg.session()
 	var rows []Fig6Row
 	for _, b := range polybench.All() {
-		seqM, err := polybench.CompileVariant(b.Seq, b.Name)
+		seqM, err := polybench.CompileVariantWith(s, b.Seq, b.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -39,7 +40,7 @@ func Fig6(cfg Config) ([]Fig6Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		parIR, _, err := b.CompileParallelIR()
+		parIR, _, err := b.CompileParallelIRWith(s)
 		if err != nil {
 			return nil, err
 		}
@@ -47,11 +48,11 @@ func Fig6(cfg Config) ([]Fig6Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		d, err := decompiledFor(b)
+		d, err := decompiledFor(s, b)
 		if err != nil {
 			return nil, err
 		}
-		rec, err := recompile(d.FullC, b.Name+".splendid", cfg.Telemetry)
+		rec, err := recompile(s, d.FullC, b.Name+".splendid")
 		if err != nil {
 			return nil, err
 		}
@@ -103,10 +104,11 @@ type Fig7Row struct {
 }
 
 // Fig7 scores every decompiler's output against the reference code.
-func Fig7() ([]Fig7Row, error) {
+func Fig7(cfg Config) ([]Fig7Row, error) {
+	s := cfg.session()
 	var rows []Fig7Row
 	for _, b := range polybench.All() {
-		d, err := decompiledFor(b)
+		d, err := decompiledFor(s, b)
 		if err != nil {
 			return nil, err
 		}
@@ -122,8 +124,8 @@ func Fig7() ([]Fig7Row, error) {
 	return rows, nil
 }
 
-func runFig7(w io.Writer, _ Config) error {
-	rows, err := Fig7()
+func runFig7(w io.Writer, cfg Config) error {
+	rows, err := Fig7(cfg)
 	if err != nil {
 		return err
 	}
@@ -165,10 +167,11 @@ type Fig8Row struct {
 
 // Fig8 reports the fraction of emitted C variables that carry
 // reconstructed source names.
-func Fig8() ([]Fig8Row, error) {
+func Fig8(cfg Config) ([]Fig8Row, error) {
+	s := cfg.session()
 	var rows []Fig8Row
 	for _, b := range polybench.All() {
-		d, err := decompiledFor(b)
+		d, err := decompiledFor(s, b)
 		if err != nil {
 			return nil, err
 		}
@@ -185,8 +188,8 @@ func Fig8() ([]Fig8Row, error) {
 	return rows, nil
 }
 
-func runFig8(w io.Writer, _ Config) error {
-	rows, err := Fig8()
+func runFig8(w io.Writer, cfg Config) error {
+	rows, err := Fig8(cfg)
 	if err != nil {
 		return err
 	}
@@ -215,12 +218,13 @@ type Fig9Row struct {
 // parallelizer output, recompiled), and the collaborative version (the
 // programmer's few lines on top of the SPLENDID output).
 func Fig9(cfg Config) ([]Fig9Row, error) {
+	s := cfg.session()
 	var rows []Fig9Row
 	for _, b := range polybench.All() {
 		if b.Collab == "" {
 			continue
 		}
-		seqM, err := polybench.CompileVariant(b.Seq, b.Name)
+		seqM, err := polybench.CompileVariantWith(s, b.Seq, b.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -228,7 +232,7 @@ func Fig9(cfg Config) ([]Fig9Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		manualM, err := polybench.CompileVariant(b.Manual, b.Name+".manual")
+		manualM, err := polybench.CompileVariantWith(s, b.Manual, b.Name+".manual")
 		if err != nil {
 			return nil, err
 		}
@@ -236,11 +240,11 @@ func Fig9(cfg Config) ([]Fig9Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		d, err := decompiledFor(b)
+		d, err := decompiledFor(s, b)
 		if err != nil {
 			return nil, err
 		}
-		rec, err := recompile(d.FullC, b.Name+".splendid", cfg.Telemetry)
+		rec, err := recompile(s, d.FullC, b.Name+".splendid")
 		if err != nil {
 			return nil, err
 		}
@@ -248,7 +252,7 @@ func Fig9(cfg Config) ([]Fig9Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		collabM, err := polybench.CompileVariant(b.Collab, b.Name+".collab")
+		collabM, err := polybench.CompileVariantWith(s, b.Collab, b.Name+".collab")
 		if err != nil {
 			return nil, err
 		}

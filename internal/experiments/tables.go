@@ -99,10 +99,11 @@ type Table3Row struct {
 }
 
 // Table3 computes the measured rows.
-func Table3() ([]Table3Row, error) {
+func Table3(cfg Config) ([]Table3Row, error) {
+	s := cfg.session()
 	var rows []Table3Row
 	for _, b := range polybench.All() {
-		_, res, err := b.CompileParallelIR()
+		_, res, err := b.CompileParallelIRWith(s)
 		if err != nil {
 			return nil, err
 		}
@@ -132,8 +133,8 @@ func Table3() ([]Table3Row, error) {
 	return rows, nil
 }
 
-func runTable3(w io.Writer, _ Config) error {
-	rows, err := Table3()
+func runTable3(w io.Writer, cfg Config) error {
+	rows, err := Table3(cfg)
 	if err != nil {
 		return err
 	}
@@ -178,7 +179,7 @@ func loc(src string) int {
 }
 
 func runTable4(w io.Writer, cfg Config) error {
-	rows, err := Table4()
+	rows, err := Table4(cfg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,122 @@
+package ir
+
+import "math"
+
+// Content hashing gives the analysis manager a cheap validity key: a
+// cached dominator tree (or loop forest) computed for a function is
+// reusable exactly while the function's content hash is unchanged. The
+// hash walks the in-memory structure directly — no printing, no
+// allocation — so validating a cache entry costs one linear scan, far
+// below recomputing the analysis itself.
+//
+// The hash covers everything the textual printer emits (block order and
+// labels, opcodes, result names, operand identities, types, predicates,
+// callee names, phi incoming blocks) so two functions with equal hashes
+// print identically for all practical purposes. It deliberately ignores
+// SrcLine, which no analysis reads.
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hasher is an incremental FNV-1a accumulator.
+type hasher struct{ h uint64 }
+
+func newHasher() hasher { return hasher{h: fnvOffset64} }
+
+func (s *hasher) byte(b byte) {
+	s.h ^= uint64(b)
+	s.h *= fnvPrime64
+}
+
+func (s *hasher) uint(v uint64) {
+	for i := 0; i < 8; i++ {
+		s.byte(byte(v))
+		v >>= 8
+	}
+}
+
+func (s *hasher) str(v string) {
+	for i := 0; i < len(v); i++ {
+		s.byte(v[i])
+	}
+	s.byte(0) // terminator: "ab"+"c" differs from "a"+"bc"
+}
+
+// value hashes an operand by identity: constants by kind and payload,
+// everything named (instructions, params, globals, functions) by name.
+// Within one function SSA names are unique, so name identity is operand
+// identity.
+func (s *hasher) value(v Value) {
+	switch c := v.(type) {
+	case *ConstInt:
+		s.byte(1)
+		s.uint(uint64(c.V))
+		s.str(c.Typ.String())
+	case *ConstFloat:
+		s.byte(2)
+		s.uint(math.Float64bits(c.V))
+		s.str(c.Typ.String())
+	case *ConstUndef:
+		s.byte(3)
+		s.str(c.Type().String())
+	case *ConstNull:
+		s.byte(5)
+		s.str(c.Typ.String())
+	default:
+		s.byte(4)
+		s.str(v.Ident())
+	}
+}
+
+// ContentHash returns a 64-bit FNV-1a hash of the function's printable
+// content. Equal content implies equal hashes; the analysis manager
+// treats hash equality as content equality (a deliberate, vanishingly
+// unlikely-to-collide trade, the same one build caches make).
+func (f *Function) ContentHash() uint64 {
+	s := newHasher()
+	s.str(f.Nam)
+	s.str(f.Sig.String())
+	for _, p := range f.Params {
+		s.str(p.Nam)
+	}
+	if f.Outlined {
+		s.byte(1)
+	}
+	for _, b := range f.Blocks {
+		s.byte(0xB0)
+		s.str(b.Nam)
+		for _, in := range b.Instrs {
+			s.byte(0x10)
+			s.uint(uint64(in.Op))
+			s.str(in.Nam)
+			if in.Typ != nil {
+				s.str(in.Typ.String())
+			}
+			if in.AllocaElem != nil {
+				s.str(in.AllocaElem.String())
+			}
+			s.uint(uint64(in.Pred))
+			s.str(in.VarName)
+			if in.Callee != nil {
+				s.str(in.Callee.Ident())
+			}
+			for _, a := range in.Args {
+				s.value(a)
+			}
+			for _, t := range in.Blocks {
+				s.str(t.Nam)
+			}
+		}
+	}
+	return s.h
+}
+
+// HashBytes returns the FNV-1a hash of raw bytes — the key the driver
+// uses to memoize whole-pipeline results per source text.
+func HashBytes(data string) uint64 {
+	s := newHasher()
+	s.str(data)
+	return s.h
+}

@@ -296,72 +296,78 @@ func (in *Instr) ReplaceBlock(ob, nb *Block) {
 // String renders the instruction in the textual IR syntax.
 func (in *Instr) String() string {
 	var b strings.Builder
+	in.printTo(&b)
+	return b.String()
+}
+
+// printTo renders the instruction into an existing builder (the module
+// printer's shared buffer — see Module.Print).
+func (in *Instr) printTo(b *strings.Builder) {
 	if in.HasResult() {
-		fmt.Fprintf(&b, "%%%s = ", in.Nam)
+		fmt.Fprintf(b, "%%%s = ", in.Nam)
 	}
 	switch in.Op {
 	case OpAlloca:
-		fmt.Fprintf(&b, "alloca %s", in.AllocaElem)
+		fmt.Fprintf(b, "alloca %s", in.AllocaElem)
 	case OpLoad:
-		fmt.Fprintf(&b, "load %s, %s %s", in.Typ, in.Args[0].Type(), in.Args[0].Ident())
+		fmt.Fprintf(b, "load %s, %s %s", in.Typ, in.Args[0].Type(), in.Args[0].Ident())
 	case OpStore:
-		fmt.Fprintf(&b, "store %s %s, %s %s",
+		fmt.Fprintf(b, "store %s %s, %s %s",
 			in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Type(), in.Args[1].Ident())
 	case OpGEP:
 		base := in.Args[0]
-		fmt.Fprintf(&b, "getelementptr %s, %s %s", ElemOf(base.Type()), base.Type(), base.Ident())
+		fmt.Fprintf(b, "getelementptr %s, %s %s", ElemOf(base.Type()), base.Type(), base.Ident())
 		for _, idx := range in.Args[1:] {
-			fmt.Fprintf(&b, ", %s %s", idx.Type(), idx.Ident())
+			fmt.Fprintf(b, ", %s %s", idx.Type(), idx.Ident())
 		}
 	case OpICmp:
-		fmt.Fprintf(&b, "icmp %s %s %s, %s", in.Pred, in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident())
+		fmt.Fprintf(b, "icmp %s %s %s, %s", in.Pred, in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident())
 	case OpFCmp:
-		fmt.Fprintf(&b, "fcmp %s %s %s, %s", in.Pred.FloatString(), in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident())
+		fmt.Fprintf(b, "fcmp %s %s %s, %s", in.Pred.FloatString(), in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident())
 	case OpPhi:
-		fmt.Fprintf(&b, "phi %s ", in.Typ)
+		fmt.Fprintf(b, "phi %s ", in.Typ)
 		for i := range in.Args {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "[ %s, %%%s ]", in.Args[i].Ident(), in.Blocks[i].Nam)
+			fmt.Fprintf(b, "[ %s, %%%s ]", in.Args[i].Ident(), in.Blocks[i].Nam)
 		}
 	case OpSelect:
-		fmt.Fprintf(&b, "select i1 %s, %s %s, %s %s",
+		fmt.Fprintf(b, "select i1 %s, %s %s, %s %s",
 			in.Args[0].Ident(), in.Args[1].Type(), in.Args[1].Ident(), in.Args[2].Type(), in.Args[2].Ident())
 	case OpCall:
-		fmt.Fprintf(&b, "call %s %s(", in.Type(), in.Callee.Ident())
+		fmt.Fprintf(b, "call %s %s(", in.Type(), in.Callee.Ident())
 		for i, a := range in.Args {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "%s %s", a.Type(), a.Ident())
+			fmt.Fprintf(b, "%s %s", a.Type(), a.Ident())
 		}
 		b.WriteString(")")
 	case OpBr:
-		fmt.Fprintf(&b, "br label %%%s", in.Blocks[0].Nam)
+		fmt.Fprintf(b, "br label %%%s", in.Blocks[0].Nam)
 	case OpCondBr:
-		fmt.Fprintf(&b, "br i1 %s, label %%%s, label %%%s", in.Args[0].Ident(), in.Blocks[0].Nam, in.Blocks[1].Nam)
+		fmt.Fprintf(b, "br i1 %s, label %%%s, label %%%s", in.Args[0].Ident(), in.Blocks[0].Nam, in.Blocks[1].Nam)
 	case OpRet:
 		if len(in.Args) == 0 {
 			b.WriteString("ret void")
 		} else {
-			fmt.Fprintf(&b, "ret %s %s", in.Args[0].Type(), in.Args[0].Ident())
+			fmt.Fprintf(b, "ret %s %s", in.Args[0].Type(), in.Args[0].Ident())
 		}
 	case OpDbgValue:
-		fmt.Fprintf(&b, "call void @llvm.dbg.value(metadata %s %s, metadata !%q)",
+		fmt.Fprintf(b, "call void @llvm.dbg.value(metadata %s %s, metadata !%q)",
 			in.Args[0].Type(), in.Args[0].Ident(), in.VarName)
 	case OpFNeg:
-		fmt.Fprintf(&b, "fneg %s %s", in.Args[0].Type(), in.Args[0].Ident())
+		fmt.Fprintf(b, "fneg %s %s", in.Args[0].Type(), in.Args[0].Ident())
 	default:
 		if in.Op.IsBinary() {
-			fmt.Fprintf(&b, "%s %s %s, %s", in.Op, in.Typ, in.Args[0].Ident(), in.Args[1].Ident())
+			fmt.Fprintf(b, "%s %s %s, %s", in.Op, in.Typ, in.Args[0].Ident(), in.Args[1].Ident())
 		} else if in.Op.IsCast() {
-			fmt.Fprintf(&b, "%s %s %s to %s", in.Op, in.Args[0].Type(), in.Args[0].Ident(), in.Typ)
+			fmt.Fprintf(b, "%s %s %s to %s", in.Op, in.Args[0].Type(), in.Args[0].Ident(), in.Typ)
 		} else {
-			fmt.Fprintf(&b, "<%s>", in.Op)
+			fmt.Fprintf(b, "<%s>", in.Op)
 		}
 	}
-	return b.String()
 }
 
 // GEPResultType computes the result type of a GEP on base with the given

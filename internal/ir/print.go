@@ -6,10 +6,16 @@ import (
 )
 
 // Print renders the module in the textual IR syntax accepted by Parse.
+// One strings.Builder is shared across globals, functions, and
+// instructions (each used to allocate its own), so printing a module is
+// a single growing buffer instead of a quadratic copy chain — this is
+// the emission hot path: the decompiler clones modules via Print+Parse,
+// and the driver's memoized pipeline keys cache entries on printed IR.
 func (m *Module) Print() string {
 	var b strings.Builder
+	b.Grow(m.printSizeHint())
 	for _, g := range m.Globals {
-		b.WriteString(g.Decl())
+		g.declTo(&b)
 		b.WriteByte('\n')
 	}
 	if len(m.Globals) > 0 {
@@ -19,13 +25,32 @@ func (m *Module) Print() string {
 		if i > 0 {
 			b.WriteByte('\n')
 		}
-		b.WriteString(f.Print())
+		f.printTo(&b)
 	}
 	return b.String()
 }
 
+// printSizeHint estimates the printed size (~40 bytes per instruction
+// line) so the shared builder grows once instead of doubling repeatedly.
+func (m *Module) printSizeHint() int {
+	n := 64 * len(m.Globals)
+	for _, f := range m.Funcs {
+		n += 64
+		for _, blk := range f.Blocks {
+			n += 16 + 40*len(blk.Instrs)
+		}
+	}
+	return n
+}
+
 // Decl renders the global's declaration line.
 func (g *Global) Decl() string {
+	var b strings.Builder
+	g.declTo(&b)
+	return b.String()
+}
+
+func (g *Global) declTo(b *strings.Builder) {
 	kw := "global"
 	if g.Constant {
 		kw = "constant"
@@ -34,22 +59,27 @@ func (g *Global) Decl() string {
 	if g.Init != nil {
 		init = g.Init.Ident()
 	}
-	return fmt.Sprintf("@%s = %s %s %s", g.Nam, kw, g.Elem, init)
+	fmt.Fprintf(b, "@%s = %s %s %s", g.Nam, kw, g.Elem, init)
 }
 
 // Print renders the function definition or declaration.
 func (f *Function) Print() string {
 	var b strings.Builder
+	f.printTo(&b)
+	return b.String()
+}
+
+func (f *Function) printTo(b *strings.Builder) {
 	kw := "define"
 	if f.IsDecl() {
 		kw = "declare"
 	}
-	fmt.Fprintf(&b, "%s %s @%s(", kw, f.Sig.Ret, f.Nam)
+	fmt.Fprintf(b, "%s %s @%s(", kw, f.Sig.Ret, f.Nam)
 	for i, p := range f.Params {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%s %%%s", p.Typ, p.Nam)
+		fmt.Fprintf(b, "%s %%%s", p.Typ, p.Nam)
 	}
 	if f.Sig.Variadic {
 		if len(f.Params) > 0 {
@@ -60,7 +90,7 @@ func (f *Function) Print() string {
 	b.WriteString(")")
 	if f.IsDecl() {
 		b.WriteString("\n")
-		return b.String()
+		return
 	}
 	if f.Outlined {
 		b.WriteString(" outlined")
@@ -70,11 +100,13 @@ func (f *Function) Print() string {
 		if i > 0 {
 			b.WriteByte('\n')
 		}
-		fmt.Fprintf(&b, "%s:\n", blk.Nam)
+		b.WriteString(blk.Nam)
+		b.WriteString(":\n")
 		for _, in := range blk.Instrs {
-			fmt.Fprintf(&b, "  %s\n", in)
+			b.WriteString("  ")
+			in.printTo(b)
+			b.WriteByte('\n')
 		}
 	}
 	b.WriteString("}\n")
-	return b.String()
 }

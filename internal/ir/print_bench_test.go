@@ -1,0 +1,52 @@
+package ir_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// benchModule builds a module with nFuncs functions of nBlocks blocks
+// each — large enough that Print's allocation behaviour dominates.
+func benchModule(nFuncs, nBlocks int) *ir.Module {
+	var src strings.Builder
+	src.WriteString("@A = global [64 x double] zeroinitializer\n\n")
+	for fi := 0; fi < nFuncs; fi++ {
+		fmt.Fprintf(&src, "define i64 @f%d(i64 %%n) {\nentry:\n  br label %%b0\n\n", fi)
+		for bi := 0; bi < nBlocks; bi++ {
+			fmt.Fprintf(&src, "b%d:\n", bi)
+			fmt.Fprintf(&src, "  %%x%d = add i64 %%n, %d\n", bi, bi)
+			fmt.Fprintf(&src, "  %%p%d = getelementptr double, double* @A, i64 %%x%d\n", bi, bi)
+			fmt.Fprintf(&src, "  %%v%d = load double, double* %%p%d\n", bi, bi)
+			fmt.Fprintf(&src, "  store double %%v%d, double* %%p%d\n", bi, bi)
+			if bi+1 < nBlocks {
+				fmt.Fprintf(&src, "  br label %%b%d\n\n", bi+1)
+			} else {
+				fmt.Fprintf(&src, "  ret i64 %%x%d\n", bi)
+			}
+		}
+		src.WriteString("}\n\n")
+	}
+	m, err := ir.Parse(src.String())
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// BenchmarkPrintModule measures the emission hot path. Print uses one
+// shared strings.Builder grown once up front, so allocs/op must stay
+// flat in module size (the builder, its single growth, and the fmt
+// scratch) rather than one builder + copy per function and instruction.
+func BenchmarkPrintModule(b *testing.B) {
+	m := benchModule(16, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = len(m.Print())
+	}
+	_ = sink
+}

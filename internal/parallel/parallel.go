@@ -18,6 +18,10 @@ type Options struct {
 	// Telemetry, when non-nil, receives per-function stage spans,
 	// parallel.* counters, and a remark per parallelized loop.
 	Telemetry *telemetry.Ctx
+	// Analyses, when non-nil, serves the per-candidate loop forests from
+	// the pipeline's shared cache (content hashing absorbs invalidation
+	// after each outlining rewrite). Nil computes them fresh.
+	Analyses *analysis.Manager
 }
 
 // Result reports what the parallelizer did.
@@ -62,7 +66,7 @@ func Parallelize(m *ir.Module, opts Options) *Result {
 			if opts.MaxLoops > 0 && count >= opts.MaxLoops {
 				break
 			}
-			li := analysis.FindLoops(f, analysis.NewDomTree(f))
+			li := opts.Analyses.Loops(f)
 			target := pickLoop(f, li, res, attempted)
 			if target == nil {
 				break

@@ -233,8 +233,8 @@ func DistributeLoop(f *ir.Function, l *analysis.Loop) bool {
 // DistributePass is the named loop-distribution pass: it attempts to
 // split every innermost loop into per-array loops (Figure 3's second
 // transformation).
-var DistributePass = Named("distribute", func(f *ir.Function, tc *telemetry.Ctx) bool {
-	li := analysis.FindLoops(f, analysis.NewDomTree(f))
+var DistributePass = NamedAM("distribute", false, func(f *ir.Function, am *analysis.Manager, tc *telemetry.Ctx) bool {
+	li := am.Loops(f)
 	changed := false
 	for _, l := range li.Innermost() {
 		header := l.Header.Nam

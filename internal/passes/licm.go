@@ -15,11 +15,10 @@ import (
 // intrinsics that described them inside the loop, so their values can no
 // longer be related to source variables. LICM therefore drops dbg.value
 // intrinsics attached to moved instructions, as LLVM does.
-func LICM(f *ir.Function) bool { return licm(f, nil) }
+func LICM(f *ir.Function) bool { return licm(f, nil, nil) }
 
-func licm(f *ir.Function, tc *telemetry.Ctx) bool {
-	dom := analysis.NewDomTree(f)
-	li := analysis.FindLoops(f, dom)
+func licm(f *ir.Function, am *analysis.Manager, tc *telemetry.Ctx) bool {
+	li := am.Loops(f)
 	changed := false
 	// Innermost-first gives invariants a chance to bubble outward across
 	// several applications of the pipeline.

@@ -17,10 +17,10 @@ import (
 // pass one source variable is typically described by several SSA values
 // with potentially overlapping lifetimes — exactly the conflict situation
 // of paper §4.3.2.
-func Mem2Reg(f *ir.Function) bool { return mem2reg(f, nil) }
+func Mem2Reg(f *ir.Function) bool { return mem2reg(f, nil, nil) }
 
-func mem2reg(f *ir.Function, tc *telemetry.Ctx) bool {
-	dom := analysis.NewDomTree(f)
+func mem2reg(f *ir.Function, am *analysis.Manager, tc *telemetry.Ctx) bool {
+	dom := am.Dom(f)
 	df := dom.Frontiers()
 
 	type allocaInfo struct {
@@ -71,15 +71,18 @@ func mem2reg(f *ir.Function, tc *telemetry.Ctx) bool {
 	phiOwner := map[*ir.Instr]*allocaInfo{}
 	phiCount := map[*allocaInfo]int{}
 	for _, ai := range promotable {
+		// Seed the worklist in store order (a slice), not by ranging over
+		// the def-block set: map order here would vary phi creation order
+		// — and thus FreshName suffixes — run to run.
 		defBlocks := map[*ir.Block]bool{}
+		work := make([]*ir.Block, 0, len(ai.stores))
 		for _, st := range ai.stores {
-			defBlocks[st.Parent] = true
+			if !defBlocks[st.Parent] {
+				defBlocks[st.Parent] = true
+				work = append(work, st.Parent)
+			}
 		}
 		placed := map[*ir.Block]bool{}
-		work := make([]*ir.Block, 0, len(defBlocks))
-		for b := range defBlocks {
-			work = append(work, b)
-		}
 		for len(work) > 0 {
 			b := work[len(work)-1]
 			work = work[:len(work)-1]

@@ -18,7 +18,9 @@ package passes
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/ir"
 	"repro/internal/telemetry"
 )
@@ -42,29 +44,76 @@ func (p FuncPass) Name() string { return "anonymous" }
 // Run implements Pass, discarding the telemetry context.
 func (p FuncPass) Run(f *ir.Function, _ *telemetry.Ctx) bool { return p(f) }
 
-// namedPass is the standard Pass implementation.
+// namedPass is the standard Pass implementation. Passes created with
+// NamedAM additionally consume a *analysis.Manager and declare whether
+// they preserve the CFG, which drives cache invalidation in
+// RunPipelineConfig.
 type namedPass struct {
-	name string
-	run  func(*ir.Function, *telemetry.Ctx) bool
+	name         string
+	run          func(*ir.Function, *telemetry.Ctx) bool
+	runAM        func(*ir.Function, *analysis.Manager, *telemetry.Ctx) bool
+	preservesCFG bool
 }
 
-func (p namedPass) Name() string                               { return p.name }
-func (p namedPass) Run(f *ir.Function, tc *telemetry.Ctx) bool { return p.run(f, tc) }
+func (p namedPass) Name() string { return p.name }
+func (p namedPass) Run(f *ir.Function, tc *telemetry.Ctx) bool {
+	if p.runAM != nil {
+		return p.runAM(f, nil, tc)
+	}
+	return p.run(f, tc)
+}
 
 // Named wraps run as a Pass visible under name in traces and timing
-// tables.
+// tables. A Named pass declares nothing about the CFG, so pipelines
+// conservatively invalidate all cached analyses when it reports a change.
 func Named(name string, run func(*ir.Function, *telemetry.Ctx) bool) Pass {
 	return namedPass{name: name, run: run}
 }
 
+// NamedAM wraps an analysis-aware pass: run receives the pipeline's
+// analysis manager (nil outside a managed pipeline) and queries cached
+// dominator trees and loop forests through it instead of recomputing.
+// preservesCFG declares the pass only adds, removes, or moves
+// instructions — never blocks or edges — so a managed pipeline keeps its
+// CFG analyses (rekeyed to the new content hash) when the pass changes
+// the function. Declaring preservesCFG for a pass that restructures the
+// CFG is a correctness bug.
+func NamedAM(name string, preservesCFG bool, run func(*ir.Function, *analysis.Manager, *telemetry.Ctx) bool) Pass {
+	return namedPass{name: name, runAM: run, preservesCFG: preservesCFG}
+}
+
+// runWith invokes p on f, handing analysis-aware passes the manager.
+func runWith(p Pass, f *ir.Function, am *analysis.Manager, tc *telemetry.Ctx) bool {
+	if np, ok := p.(namedPass); ok && np.runAM != nil {
+		return np.runAM(f, am, tc)
+	}
+	return p.Run(f, tc)
+}
+
+// preservesCFG reports p's declared CFG behaviour (false for passes that
+// declared nothing).
+func preservesCFG(p Pass) bool {
+	np, ok := p.(namedPass)
+	return ok && np.preservesCFG
+}
+
 // The standard passes, as named Pass values for pipeline construction.
+// mem2reg, constfold, dce, and licm only add, remove, or move
+// instructions; simplifycfg and rotate restructure the control-flow
+// graph.
 var (
-	Mem2RegPass     = Named("mem2reg", mem2reg)
-	SimplifyCFGPass = Named("simplifycfg", simplifyCFG)
-	ConstFoldPass   = Named("constfold", constFold)
-	DCEPass         = Named("dce", dce)
-	LICMPass        = Named("licm", licm)
-	LoopRotatePass  = Named("rotate", loopRotate)
+	Mem2RegPass     = NamedAM("mem2reg", true, mem2reg)
+	SimplifyCFGPass = NamedAM("simplifycfg", false, func(f *ir.Function, _ *analysis.Manager, tc *telemetry.Ctx) bool {
+		return simplifyCFG(f, tc)
+	})
+	ConstFoldPass = NamedAM("constfold", true, func(f *ir.Function, _ *analysis.Manager, tc *telemetry.Ctx) bool {
+		return constFold(f, tc)
+	})
+	DCEPass = NamedAM("dce", true, func(f *ir.Function, _ *analysis.Manager, tc *telemetry.Ctx) bool {
+		return dce(f, tc)
+	})
+	LICMPass       = NamedAM("licm", true, licm)
+	LoopRotatePass = NamedAM("rotate", false, loopRotate)
 )
 
 // RunPipeline applies each pass to every defined function in m, in order,
@@ -111,6 +160,90 @@ func RunPipelineCtx(m *ir.Module, tc *telemetry.Ctx, pipeline ...Pass) bool {
 	return changed
 }
 
+// RunConfig configures a managed pipeline execution.
+type RunConfig struct {
+	// Analyses is the pipeline's analysis cache. Nil disables caching:
+	// every pass computes its analyses fresh, as before.
+	Analyses *analysis.Manager
+	// Telemetry receives per-pass spans, counters, and remarks. Nil
+	// disables collection.
+	Telemetry *telemetry.Ctx
+	// VerifyEach runs ir.Verify on the function after every pass and
+	// aborts the pipeline with an error naming the offending pass.
+	VerifyEach bool
+	// Workers is the function-level parallelism degree: 0 or 1 runs
+	// serially in m.Funcs order; >1 schedules functions across a worker
+	// pool in bottom-up call-graph SCC order.
+	Workers int
+}
+
+// runOnePass executes p on f with span bookkeeping, -print-changed
+// dumping, analysis-cache invalidation, and optional verification. It is
+// the shared per-(pass, function) step of every pipeline entry point.
+func runOnePass(p Pass, f *ir.Function, cfg RunConfig) (bool, error) {
+	tc := cfg.Telemetry
+	before := 0
+	if tc.Enabled() {
+		before = f.NumInstrs()
+	}
+	sp := tc.StartPass(p.Name(), f.Nam)
+	c := runWith(p, f, cfg.Analyses, tc)
+	if tc.Enabled() {
+		sp.EndPass(f.NumInstrs()-before, c)
+	}
+	if c {
+		if preservesCFG(p) {
+			cfg.Analyses.Rekey(f)
+		} else {
+			cfg.Analyses.Invalidate(f)
+		}
+		if w := tc.PrintChangedWriter(); w != nil {
+			fmt.Fprintf(w, "*** IR after %s on @%s ***\n%s\n", p.Name(), f.Nam, f.String())
+		}
+	}
+	if cfg.VerifyEach {
+		if err := f.Verify(); err != nil {
+			return c, fmt.Errorf("verify-each: pass %q broke @%s: %w", p.Name(), f.Nam, err)
+		}
+	}
+	return c, nil
+}
+
+// RunPipelineFn runs the pipeline on a single function under cfg,
+// stopping at the first verify-each failure.
+func RunPipelineFn(f *ir.Function, cfg RunConfig, pipeline ...Pass) (bool, error) {
+	changed := false
+	for _, p := range pipeline {
+		c, err := runOnePass(p, f, cfg)
+		changed = changed || c
+		if err != nil {
+			return changed, err
+		}
+	}
+	return changed, nil
+}
+
+// RunPipelineConfig applies the pipeline to every defined function of m
+// under cfg: function-major (each function runs the whole pipeline, so a
+// worker owns a function end to end), optionally across a worker pool in
+// bottom-up SCC order. All passes are function-local, so function-major
+// execution — serial or parallel — yields IR byte-identical to the
+// pass-major RunPipelineCtx order.
+func RunPipelineConfig(m *ir.Module, cfg RunConfig, pipeline ...Pass) (bool, error) {
+	var mu sync.Mutex
+	changed := false
+	err := ScheduleFunctions(m, cfg.Workers, func(f *ir.Function) error {
+		c, err := RunPipelineFn(f, cfg, pipeline...)
+		if c {
+			mu.Lock()
+			changed = true
+			mu.Unlock()
+		}
+		return err
+	})
+	return changed, err
+}
+
 // O2 returns the standard optimization pipeline applied to benchmark IR
 // before parallelization, ending with the loop rotation that parallelizing
 // compilers rely on for canonicalization.
@@ -147,4 +280,28 @@ func OptimizeCtx(m *ir.Module, tc *telemetry.Ctx) {
 			break
 		}
 	}
+}
+
+// OptimizeConfig runs the O2 fixed point under cfg: the analysis cache
+// carries dominator trees and loop forests across passes and iterations,
+// verify-each catches the first pass that breaks the IR, and Workers>1
+// optimizes functions concurrently. Each fixed-point iteration is a
+// module-level round (identical in structure to OptimizeCtx), so the
+// result is byte-identical to the serial pipeline.
+func OptimizeConfig(m *ir.Module, cfg RunConfig) error {
+	tc := cfg.Telemetry
+	sp := tc.StartStage("optimize")
+	defer sp.End()
+	for i := 0; i < 3; i++ {
+		it := tc.StartSpan(telemetry.CatStage, "O2-iteration", fmt.Sprintf("%d", i))
+		c, err := RunPipelineConfig(m, cfg, O2()...)
+		it.End()
+		if err != nil {
+			return err
+		}
+		if !c {
+			break
+		}
+	}
+	return nil
 }

@@ -25,13 +25,15 @@ import (
 // the exit test on next-iteration values, branching back to B or to E;
 // values that were live out through header phis reach E through fresh
 // phis merging the zero-trip and loop-exit paths.
-func LoopRotate(f *ir.Function) bool { return loopRotate(f, nil) }
+func LoopRotate(f *ir.Function) bool { return loopRotate(f, nil, nil) }
 
-func loopRotate(f *ir.Function, tc *telemetry.Ctx) bool {
+func loopRotate(f *ir.Function, am *analysis.Manager, tc *telemetry.Ctx) bool {
 	changed := false
 	for i := 0; i < 64; i++ { // bound: each iteration rotates one loop
-		dom := analysis.NewDomTree(f)
-		li := analysis.FindLoops(f, dom)
+		// The manager's hash revalidation notices each rotation and
+		// recomputes; unrotated iterations (the common case once the
+		// function is canonical) hit the cache.
+		li := am.Loops(f)
 		rotated := false
 		for _, l := range li.All {
 			if rotateOne(f, l, tc) {

@@ -1,0 +1,112 @@
+package passes
+
+import (
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// ScheduleFunctions runs work once on every defined function of m.
+//
+// With workers <= 1 it is a plain loop in bottom-up call-graph SCC order
+// (callees before callers — the order an inliner wants). With workers > 1
+// the SCCs are dispatched across a worker pool with dependency counting:
+// an SCC becomes runnable only when every SCC it calls into has finished,
+// and the functions inside one SCC run on a single worker in module
+// order. At most one worker ever touches a function, which is what makes
+// in-place IR mutation and unsynchronized analysis reuse safe.
+//
+// Determinism: work mutates only its own function, every function is
+// processed exactly once, and callees are complete before callers start
+// in both modes — so the final module state is independent of worker
+// count and interleaving. Errors are collected per SCC and the first one
+// in SCC order is returned, regardless of which worker hit it first; all
+// scheduled work still runs to completion.
+func ScheduleFunctions(m *ir.Module, workers int, work func(*ir.Function) error) error {
+	sccs := analysis.BottomUpSCCs(m)
+	if workers > len(sccs) {
+		workers = len(sccs)
+	}
+	if workers <= 1 {
+		var firstErr error
+		for _, scc := range sccs {
+			for _, f := range scc {
+				if err := work(f); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return firstErr
+	}
+
+	idx := map[*ir.Function]int{}
+	for i, scc := range sccs {
+		for _, f := range scc {
+			idx[f] = i
+		}
+	}
+	g := analysis.CallGraph(m)
+	dependents := make([][]int, len(sccs)) // callee SCC -> caller SCCs waiting on it
+	waiting := make([]int, len(sccs))      // caller SCC -> unfinished callee SCCs
+	for i, scc := range sccs {
+		deps := map[int]bool{}
+		for _, f := range scc {
+			for _, callee := range g[f] {
+				if j := idx[callee]; j != i && !deps[j] {
+					deps[j] = true
+					dependents[j] = append(dependents[j], i)
+				}
+			}
+		}
+		waiting[i] = len(deps)
+	}
+
+	// ready is buffered to hold every SCC, so sends never block and the
+	// completion handler can run under the mutex.
+	ready := make(chan int, len(sccs))
+	var mu sync.Mutex
+	errs := make([]error, len(sccs))
+	remaining := len(sccs)
+	for i := range sccs {
+		if waiting[i] == 0 {
+			ready <- i
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				var err error
+				for _, f := range sccs[i] {
+					if e := work(f); e != nil && err == nil {
+						err = e
+					}
+				}
+				mu.Lock()
+				errs[i] = err
+				remaining--
+				for _, d := range dependents[i] {
+					waiting[d]--
+					if waiting[d] == 0 {
+						ready <- d
+					}
+				}
+				if remaining == 0 {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -148,11 +148,11 @@ func UnrollLoop(f *ir.Function, l *analysis.Loop, factor int) bool {
 
 // UnrollInnermost unrolls every eligible innermost loop of f by factor.
 func UnrollInnermost(f *ir.Function, factor int) bool {
-	return unrollInnermost(f, factor, nil)
+	return unrollInnermost(f, factor, nil, nil)
 }
 
-func unrollInnermost(f *ir.Function, factor int, tc *telemetry.Ctx) bool {
-	li := analysis.FindLoops(f, analysis.NewDomTree(f))
+func unrollInnermost(f *ir.Function, factor int, am *analysis.Manager, tc *telemetry.Ctx) bool {
+	li := am.Loops(f)
 	changed := false
 	for _, l := range li.Innermost() {
 		header := l.Header.Nam
@@ -169,7 +169,7 @@ func unrollInnermost(f *ir.Function, factor int, tc *telemetry.Ctx) bool {
 
 // UnrollPass returns the named unroll pass for the given factor.
 func UnrollPass(factor int) Pass {
-	return Named("unroll", func(f *ir.Function, tc *telemetry.Ctx) bool {
-		return unrollInnermost(f, factor, tc)
+	return NamedAM("unroll", false, func(f *ir.Function, am *analysis.Manager, tc *telemetry.Ctx) bool {
+		return unrollInnermost(f, factor, am, tc)
 	})
 }

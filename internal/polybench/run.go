@@ -4,23 +4,31 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/cfront"
+	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/parallel"
-	"repro/internal/passes"
 )
+
+// defaultSession is the process-wide driver session package-level helpers
+// compile through; its memo makes repeated variant compilation (tests,
+// the experiments harness) cheap.
+var defaultSession = driver.New(driver.Options{})
 
 // CompileVariant compiles one of the benchmark's source variants
 // (sequential, reference, manual, or collaborative) through the frontend
 // and the O2 pipeline. OpenMP pragmas in the source lower to runtime
 // calls, so the result runs in parallel on a multi-threaded machine.
 func CompileVariant(src, name string) (*ir.Module, error) {
-	m, err := cfront.CompileSource(src, name)
+	return CompileVariantWith(defaultSession, src, name)
+}
+
+// CompileVariantWith is CompileVariant through a caller-owned session.
+func CompileVariantWith(s *driver.Session, src, name string) (*ir.Module, error) {
+	m, err := s.OptimizedIR(name, src)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	passes.Optimize(m)
 	if err := m.Verify(); err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
@@ -31,12 +39,17 @@ func CompileVariant(src, name string) (*ir.Module, error) {
 // pipeline: sequential source, -O2, automatic parallelization. The
 // parallelizer's report is returned for Table 3.
 func (b *Benchmark) CompileParallelIR() (*ir.Module, *parallel.Result, error) {
-	m, err := cfront.CompileSource(b.Seq, b.Name)
+	return b.CompileParallelIRWith(defaultSession)
+}
+
+// CompileParallelIRWith is CompileParallelIR through a caller-owned
+// session — the session's memo makes the O2+parallelize prefix a cache
+// hit when several experiment variants fork from the same input.
+func (b *Benchmark) CompileParallelIRWith(s *driver.Session) (*ir.Module, *parallel.Result, error) {
+	m, res, err := s.ParallelIR(b.Name, b.Seq)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", b.Name, err)
 	}
-	passes.Optimize(m)
-	res := parallel.Parallelize(m, parallel.Options{})
 	if err := m.Verify(); err != nil {
 		return nil, nil, fmt.Errorf("%s after parallelize: %w", b.Name, err)
 	}

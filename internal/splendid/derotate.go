@@ -20,9 +20,17 @@ func DerotateLoops(f *ir.Function) int { return DerotateLoopsCtx(f, nil) }
 // each guard proved redundant (the derotate.guards-proved counter) is
 // recorded on tc.
 func DerotateLoopsCtx(f *ir.Function, tc *telemetry.Ctx) int {
+	return DerotateLoopsOpts(f, nil, tc)
+}
+
+// DerotateLoopsOpts is DerotateLoopsCtx with a shared analysis cache: the
+// loop forest is queried through am (nil computes fresh), whose content
+// hashing absorbs the invalidation bookkeeping of the rewrite loops —
+// settled iterations hit the cache instead of recomputing dominators.
+func DerotateLoopsOpts(f *ir.Function, am *analysis.Manager, tc *telemetry.Ctx) int {
 	n := 0
 	for i := 0; i < 64; i++ {
-		li := analysis.FindLoops(f, analysis.NewDomTree(f))
+		li := am.Loops(f)
 		done := true
 		for _, l := range li.All {
 			if derotateOne(f, l, tc) {
@@ -43,7 +51,7 @@ func DerotateLoopsCtx(f *ir.Function, tc *telemetry.Ctx) int {
 	// caller-side zero-trip checks around inlined parallel regions — are
 	// redundant copies of the loop entry test; eliminate them.
 	for i := 0; i < 16; i++ {
-		li := analysis.FindLoops(f, analysis.NewDomTree(f))
+		li := am.Loops(f)
 		changed := false
 		for _, l := range li.All {
 			cl := analysis.AnalyzeCountedLoop(l)

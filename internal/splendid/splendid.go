@@ -22,9 +22,12 @@
 package splendid
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/cast"
 	"repro/internal/decomp"
 	"repro/internal/ir"
@@ -88,12 +91,43 @@ func Decompile(m *ir.Module, cfg Config) (*Result, error) {
 	return DecompileCtx(m, cfg, nil)
 }
 
+// Opts configures how the decompilation pipeline executes, independent of
+// which features (Config) it runs. The zero value is serial, uncached,
+// unobserved execution — exactly the legacy DecompileCtx behaviour.
+type Opts struct {
+	// Telemetry receives stage spans, counters, and remarks (nil disables).
+	Telemetry *telemetry.Ctx
+	// Analyses is a shared analysis cache for the per-function rewrite
+	// stages (nil computes analyses fresh each time).
+	Analyses *analysis.Manager
+	// Workers is the function-level parallelism degree for the
+	// detransformer and emission stages: 0 or 1 is serial; >1 schedules
+	// functions across a worker pool. Output is byte-identical for every
+	// value — emission order follows the module, not the workers.
+	Workers int
+	// VerifyEach re-verifies the module after every pipeline stage and
+	// every cleanup pass, attributing failures to the stage that broke it.
+	VerifyEach bool
+}
+
 // DecompileCtx is Decompile with observation: every stage of the paper's
 // Figure 4 pipeline (semantic analyzer, detransformers, variable
 // generator, pragma generator, control-flow generator) is recorded as a
 // telemetry stage span, and the detransformers emit counters and remarks
 // through tc. A nil tc disables collection at no cost.
 func DecompileCtx(m *ir.Module, cfg Config, tc *telemetry.Ctx) (*Result, error) {
+	return DecompileOpts(m, cfg, Opts{Telemetry: tc})
+}
+
+// DecompileOpts is the full-control entry point: feature selection via
+// cfg, execution policy via opts. The per-function stages (mem2reg
+// promotion, loop de-rotation, address rematerialization, variable
+// generation, control-flow generation) run under the function scheduler;
+// module-level stages (region detransformation, pragma refresh) are
+// serial barriers between them.
+func DecompileOpts(m *ir.Module, cfg Config, opts Opts) (*Result, error) {
+	tc := opts.Telemetry
+	am := opts.Analyses
 	total := tc.StartStage("decompile")
 	defer total.End()
 
@@ -103,16 +137,36 @@ func DecompileCtx(m *ir.Module, cfg Config, tc *telemetry.Ctx) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
+	// The clone's functions are fresh objects; any cache contents keyed on
+	// other modules' functions stay untouched, but a stale entry for a
+	// recycled pointer cannot exist. (Hash revalidation would catch it
+	// regardless.)
 	res := &Result{}
+	var mu sync.Mutex // guards res.Stats from scheduler workers
+
+	verifyStage := func(stage string) error {
+		if !opts.VerifyEach {
+			return nil
+		}
+		if err := work.Verify(); err != nil {
+			return fmt.Errorf("verify-each: stage %q broke the module: %w", stage, err)
+		}
+		return nil
+	}
 
 	// Phase 1: explicit parallel translation (the Parallel Semantic
-	// Analyzer and the Parallel Region Detransformer).
+	// Analyzer and the Parallel Region Detransformer). Module-level: it
+	// deletes outlined functions and rewrites their callers.
 	pragmas := map[*ir.Block]*decomp.PragmaInfo{}
 	if cfg.ExplicitParallelism {
 		sp = tc.StartStage("parallel-detransform")
 		pragmas, err = DetransformParallelRegions(work)
 		sp.End()
 		if err != nil {
+			return nil, err
+		}
+		am.InvalidateAll()
+		if err := verifyStage("parallel-detransform"); err != nil {
 			return nil, err
 		}
 		res.Stats.ParallelRegions = len(pragmas)
@@ -122,47 +176,65 @@ func DecompileCtx(m *ir.Module, cfg Config, tc *telemetry.Ctx) (*Result, error) 
 	// Phase 2: natural control flow and natural address expressions.
 	// Mem2Reg first promotes reduction cells (and any other plain scalar
 	// slots the detransformation exposed) into SSA values so they print
-	// as ordinary variables.
+	// as ordinary variables. Each stage is function-local, so it fans out
+	// across the scheduler; stage boundaries remain barriers.
 	if cfg.ExplicitParallelism {
 		sp = tc.StartStage("mem2reg-promote")
-		for _, f := range work.Funcs {
-			if !f.IsDecl() {
-				before := 0
-				if tc.Enabled() {
-					before = f.NumInstrs()
-				}
-				ps := tc.StartPass("mem2reg", f.Nam)
-				c := passes.Mem2RegPass.Run(f, tc)
-				if tc.Enabled() {
-					ps.EndPass(f.NumInstrs()-before, c)
-				}
-			}
-		}
+		err = passes.ScheduleFunctions(work, opts.Workers, func(f *ir.Function) error {
+			_, err := runFnPass(passes.Mem2RegPass, f, am, tc)
+			return err
+		})
 		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyStage("mem2reg-promote"); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.RestoreForLoops {
 		sp = tc.StartStage("derotate")
-		for _, f := range work.Funcs {
-			if f.IsDecl() {
-				continue
+		err = passes.ScheduleFunctions(work, opts.Workers, func(f *ir.Function) error {
+			n := DerotateLoopsOpts(f, am, tc)
+			am.Invalidate(f)
+			if n > 0 {
+				mu.Lock()
+				res.Stats.DerotatedLoops += n
+				mu.Unlock()
 			}
-			res.Stats.DerotatedLoops += DerotateLoopsCtx(f, tc)
-		}
+			return nil
+		})
 		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyStage("derotate"); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.FoldExpressions {
 		sp = tc.StartStage("rematerialize")
-		for _, f := range work.Funcs {
-			if f.IsDecl() {
-				continue
-			}
+		err = passes.ScheduleFunctions(work, opts.Workers, func(f *ir.Function) error {
 			RematerializeAddresses(f)
-		}
+			am.Invalidate(f)
+			return nil
+		})
 		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyStage("rematerialize"); err != nil {
+			return nil, err
+		}
 	}
 	sp = tc.StartStage("cleanup")
-	passes.RunPipelineCtx(work, tc, passes.ConstFoldPass, passes.DCEPass, passes.SimplifyCFGPass)
+	_, err = passes.RunPipelineConfig(work, passes.RunConfig{
+		Analyses: am, Telemetry: tc, VerifyEach: opts.VerifyEach, Workers: opts.Workers,
+	}, passes.ConstFoldPass, passes.DCEPass, passes.SimplifyCFGPass)
 	sp.End()
+	if err != nil {
+		return nil, err
+	}
 	if err := work.Verify(); err != nil {
 		return nil, err
 	}
@@ -174,7 +246,9 @@ func DecompileCtx(m *ir.Module, cfg Config, tc *telemetry.Ctx) (*Result, error) 
 	tc.Count("splendid.pragmas", len(pragmas))
 	sp.End()
 
-	// Phase 3: variable generation + emission, per function.
+	// Phase 3: variable generation + emission. Per-function and
+	// independent, so it fans out too; results land in a module-ordered
+	// slice, keeping the emitted file byte-identical at any worker count.
 	file := &cast.File{}
 	for _, g := range work.Globals {
 		vd := &cast.VarDecl{T: decomp.CType(g.Elem), Name: g.Nam}
@@ -188,23 +262,21 @@ func DecompileCtx(m *ir.Module, cfg Config, tc *telemetry.Ctx) (*Result, error) 
 		}
 		file.Vars = append(file.Vars, vd)
 	}
+	slot := map[*ir.Function]int{}
 	for _, f := range work.Funcs {
-		if f.IsDecl() {
-			continue
+		if !f.IsDecl() {
+			slot[f] = len(slot)
 		}
-		if f.Outlined && cfg.ExplicitParallelism {
-			// Fully detransformed regions are gone; any survivor is kept
-			// (unsupported shape), as the paper's prototype does.
-			_ = f
-		}
+	}
+	fds := make([]*cast.FuncDecl, len(slot))
+	err = passes.ScheduleFunctions(work, opts.Workers, func(f *ir.Function) error {
 		var namer decomp.Namer
 		sourceNames := map[string]bool{}
+		var vg *VarGenStats
 		if cfg.RenameVariables {
 			vs := tc.StartSpan(telemetry.CatStage, "vargen", f.Nam)
 			proposal, vstats := GenerateVariablesCtx(f, tc)
-			res.Stats.VarGen.Proposed += vstats.Proposed
-			res.Stats.VarGen.Conflicts += vstats.Conflicts
-			res.Stats.VarGen.Named += vstats.Named
+			vg = vstats
 			final := FinalNamesCtx(f, proposal, tc)
 			for _, w := range proposal {
 				sourceNames[w] = true
@@ -213,7 +285,7 @@ func DecompileCtx(m *ir.Module, cfg Config, tc *telemetry.Ctx) (*Result, error) 
 			vs.End()
 		}
 		info := &decomp.EmitInfo{}
-		opts := decomp.Options{
+		eopts := decomp.Options{
 			Structured: true,
 			ForLoops:   cfg.RestoreForLoops,
 			Fold:       cfg.FoldExpressions,
@@ -222,21 +294,40 @@ func DecompileCtx(m *ir.Module, cfg Config, tc *telemetry.Ctx) (*Result, error) 
 			Info:       info,
 		}
 		cg := tc.StartSpan(telemetry.CatStage, "cfg-gen", f.Nam)
-		fd := decomp.TranslateFunction(f, opts)
+		fd := decomp.TranslateFunction(f, eopts)
 		cg.End()
 		fd.Name = publicName(f.Nam)
-		file.Funcs = append(file.Funcs, fd)
+		fds[slot[f]] = fd
 
+		mu.Lock()
+		if vg != nil {
+			res.Stats.VarGen.Proposed += vg.Proposed
+			res.Stats.VarGen.Conflicts += vg.Conflicts
+			res.Stats.VarGen.Named += vg.Named
+		}
 		res.Stats.DeclaredVars += len(info.DeclaredVars)
 		for _, n := range info.DeclaredVars {
 			if sourceNames[n] {
 				res.Stats.SourceNamedVars++
 			}
 		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	file.Funcs = append(file.Funcs, fds...)
 	res.File = file
 	res.C = cast.Print(file)
 	return res, nil
+}
+
+// runFnPass executes one named pass on one function with span
+// bookkeeping, mirroring the managed pipeline's per-pass step.
+func runFnPass(p passes.Pass, f *ir.Function, am *analysis.Manager, tc *telemetry.Ctx) (bool, error) {
+	cs, err := passes.RunPipelineFn(f, passes.RunConfig{Analyses: am, Telemetry: tc}, p)
+	return cs, err
 }
 
 // valueStrings adapts a concrete name map to SourceNamer's input shape.

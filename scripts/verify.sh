@@ -22,4 +22,10 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== driver: -j determinism + -verify-each over PolyBench"
+go test -race -count=1 -run 'TestDeterminismGolden|TestVerifyEachPolyBench' ./internal/driver/
+
+echo "== driver benchmarks (writes BENCH_driver.json)"
+go test -bench=Driver -benchtime=1x ./internal/driver/
+
 echo "verify: OK"
