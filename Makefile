@@ -1,4 +1,4 @@
-.PHONY: verify test bench
+.PHONY: verify test bench bench-runtime
 
 verify:
 	sh scripts/verify.sh
@@ -13,3 +13,10 @@ test:
 bench:
 	go test -bench=. -benchtime=1x .
 	go test -bench=Driver -benchtime=1x ./internal/driver/
+
+# Runtime observability sweep: runs the PolyBench suite under the
+# parallel-region profiler and the dynamic DOALL conflict checker,
+# leaving the per-kernel profile table in BENCH_runtime.json and a
+# Chrome trace of one profiled execution in BENCH_runtime_trace.json.
+bench-runtime:
+	go test -run '^$$' -bench=RuntimeProfile -benchtime=1x .

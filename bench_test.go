@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/experiments"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/polybench"
 	"repro/internal/splendid"
@@ -237,6 +238,83 @@ func BenchmarkTelemetryStages(b *testing.B) {
 	}
 	for _, r := range dump.Stages {
 		b.ReportMetric(float64(r.TotalNS)/1e6, "ms-"+metricName(r.Name))
+	}
+}
+
+// BenchmarkRuntimeProfile runs the PolyBench suite under the
+// interpreter's runtime observability — the parallel-region profiler and
+// the dynamic DOALL conflict checker — and writes two artifacts at the
+// repo root:
+//
+//   - BENCH_runtime.json: the per-kernel parallel profile table
+//     (threads × speedup × load balance, embedding each kernel's full
+//     per-region, per-thread profile under the
+//     splendid-runtime-profile/v1 schema);
+//   - BENCH_runtime_trace.json: a Chrome trace_event file of one
+//     profiled kernel execution on the compile timeline, one track per
+//     team thread (load it in chrome://tracing or Perfetto).
+//
+// Run via `make bench-runtime` (or -bench=RuntimeProfile -benchtime=1x).
+func BenchmarkRuntimeProfile(b *testing.B) {
+	cfg := experiments.Config{Threads: 4, Reps: 1}
+	var rows []experiments.RuntimeRow
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.RuntimeProfile(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	var speedups []float64
+	var conflicts int64
+	for _, r := range rows {
+		if r.Speedup > 0 {
+			speedups = append(speedups, r.Speedup)
+		}
+		conflicts += r.Conflicts
+	}
+	b.ReportMetric(geomean(speedups), "speedup-geomean")
+	b.ReportMetric(float64(conflicts), "conflicts")
+
+	report := struct {
+		Schema  string                   `json:"schema"`
+		Threads int                      `json:"threads"`
+		Kernels []experiments.RuntimeRow `json:"kernels"`
+	}{interp.ProfileSchema, cfg.Threads, rows}
+	j, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_runtime.json", append(j, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+
+	// Trace artifact: one kernel compiled and executed with a telemetry
+	// context, so compile stages and runtime thread tracks share the file.
+	tc := telemetry.New()
+	s := driver.New(driver.Options{Telemetry: tc})
+	bench := polybench.All()[0]
+	m, _, err := s.ParallelIR(bench.Name, bench.Seq)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach, err := bench.RunWith(m, interp.Options{
+		NumThreads: cfg.Threads, Profile: true, Telemetry: tc,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = mach
+	f, err := os.Create("BENCH_runtime_trace.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := tc.WriteTrace(f); err != nil {
+		b.Fatal(err)
 	}
 }
 

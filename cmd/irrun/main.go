@@ -1,9 +1,16 @@
 // Command irrun executes a function from a textual IR module on the
-// interpreter, with a goroutine-backed OpenMP runtime.
+// interpreter, with a goroutine-backed OpenMP runtime and optional
+// runtime observability: a parallel-region profiler, a Chrome trace
+// with one track per team thread, and a dynamic DOALL conflict
+// checker that validates the static parallelization verdicts.
 //
 // Usage:
 //
-//	irrun [-threads N] [-entry main] [-args "1 2.5"] input.ll
+//	irrun [-threads N] [-entry main] [-args "1 2.5"] [-steps]
+//	      [-prof] [-prof-out FILE] [-trace FILE] [-check-races] input.ll
+//
+// Exit codes: 0 success, 1 execution error, 2 usage error, 3 the
+// conflict checker found cross-thread races.
 package main
 
 import (
@@ -15,16 +22,25 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 func main() {
-	threads := flag.Int("threads", 1, "OpenMP team size for parallel regions")
+	threads := flag.Int("threads", 1, "OpenMP team size for parallel regions (must be >= 1)")
 	entry := flag.String("entry", "main", "function to execute")
 	argStr := flag.String("args", "", "space-separated scalar arguments (int or float)")
 	steps := flag.Bool("steps", false, "print executed instruction counts")
+	prof := flag.Bool("prof", false, "profile parallel regions; print the JSON profile to stdout")
+	profOut := flag.String("prof-out", "", "write the JSON profile to `file` instead of stdout (implies -prof)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event `file` (one track per team thread)")
+	checkRaces := flag.Bool("check-races", false, "record cross-thread memory conflicts; exit 3 if any region raced")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: irrun [-threads N] [-entry F] [-args \"...\"] input.ll")
+		fmt.Fprintln(os.Stderr, "usage: irrun [-threads N] [-entry F] [-args \"...\"] [-prof] [-prof-out FILE] [-trace FILE] [-check-races] input.ll")
+		os.Exit(2)
+	}
+	if *threads < 1 {
+		fmt.Fprintf(os.Stderr, "irrun: -threads %d: team size must be >= 1\n", *threads)
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -47,7 +63,16 @@ func main() {
 		}
 		args = append(args, interp.FloatV(f))
 	}
-	mach := interp.NewMachine(m, interp.Options{NumThreads: *threads})
+	var tc *telemetry.Ctx
+	if *traceOut != "" {
+		tc = telemetry.New()
+	}
+	mach := interp.NewMachine(m, interp.Options{
+		NumThreads: *threads,
+		Profile:    *prof || *profOut != "",
+		CheckRaces: *checkRaces,
+		Telemetry:  tc,
+	})
 	ret, err := mach.Run(*entry, args...)
 	if err != nil {
 		fatal(err)
@@ -59,6 +84,69 @@ func main() {
 	if *steps {
 		fmt.Printf("work: %d instructions, span: %d\n", mach.Steps(), mach.SimSteps())
 	}
+	if p := mach.Profile(); p != nil {
+		if err := writeProfile(p, *profOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(tc, *traceOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *checkRaces {
+		os.Exit(reportRaces(mach.Races(), m))
+	}
+}
+
+// writeProfile dumps the run profile as JSON, to stdout or to path.
+func writeProfile(p *interp.RunProfile, path string) error {
+	if path == "" {
+		return p.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(tc *telemetry.Ctx, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tc.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// reportRaces prints the conflict checker's verdict and returns the
+// process exit code: 0 when every region ran clean, 3 otherwise.
+func reportRaces(r *interp.RaceReport, m *ir.Module) int {
+	if r.Clean() {
+		regions := int64(0)
+		if r != nil {
+			regions = r.RegionsChecked
+		}
+		fmt.Fprintf(os.Stderr, "irrun: race check clean: %d parallel region(s), 0 conflicts\n", regions)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "irrun: race check FAILED: %d conflict(s) in %d region(s)\n",
+		r.Total, r.RegionsChecked)
+	for _, c := range r.Conflicts {
+		fmt.Fprintln(os.Stderr, "  "+c.String())
+	}
+	for _, contradiction := range r.CrossCheck(m) {
+		fmt.Fprintln(os.Stderr, "  "+contradiction)
+	}
+	return 3
 }
 
 func fatal(err error) {

@@ -193,3 +193,108 @@ func TestAnalysisCacheWin(t *testing.T) {
 		t.Fatalf("analysis cache never hit (misses=%d)", misses)
 	}
 }
+
+// execSource is a minimal parallelizable kernel for Execute tests.
+const execSource = `
+double A[1000];
+
+void kernel() {
+  for (long i = 0; i < 1000; i++) {
+    A[i] = i * 2.0;
+  }
+}
+`
+
+// TestExecuteThreadsTelemetry runs a compiled kernel through
+// Session.Execute with full observability: compile spans and runtime
+// region/thread events must land in the same telemetry context, the
+// profile must describe the parallel region, and the statically accepted
+// DOALL must run without conflicts or contradictions.
+func TestExecuteThreadsTelemetry(t *testing.T) {
+	tc := telemetry.New()
+	s := driver.New(driver.Options{Jobs: 1, Telemetry: tc})
+	m, pres, err := s.ParallelIR("exec-kernel", execSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.Parallelized) == 0 {
+		t.Fatal("kernel did not parallelize; Execute test needs a parallel region")
+	}
+	res, err := s.Execute(m, driver.ExecOptions{
+		Entry: "kernel", NumThreads: 4, Profile: true, CheckRaces: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps <= 0 || res.SimSteps <= 0 || res.SimSteps >= res.Steps {
+		t.Errorf("steps/span = %d/%d, want span in (0, steps)", res.Steps, res.SimSteps)
+	}
+	if res.Profile == nil || len(res.Profile.Regions) == 0 {
+		t.Fatalf("profile = %+v, want at least one region", res.Profile)
+	}
+	r := res.Profile.Regions[0]
+	if r.Microtask != "kernel.parallel_region" {
+		t.Errorf("microtask = %q, want kernel.parallel_region", r.Microtask)
+	}
+	var iters int64
+	for _, th := range r.Threads {
+		iters += th.Iterations
+	}
+	if iters != 1000 {
+		t.Errorf("iterations = %d, want 1000", iters)
+	}
+	if !res.Races.Clean() {
+		t.Errorf("statically accepted DOALL raced: %+v", res.Races.Conflicts)
+	}
+	if len(res.Contradictions) != 0 {
+		t.Errorf("contradictions = %v, want none", res.Contradictions)
+	}
+
+	// Telemetry: the execute stage span plus runtime region/thread events
+	// share the compile timeline.
+	var haveExec, haveRegion, haveThread bool
+	for _, e := range tc.Events() {
+		switch {
+		case e.Cat == telemetry.CatStage && e.Name == "execute":
+			haveExec = true
+		case e.Cat == telemetry.CatRegion:
+			haveRegion = true
+		case e.Cat == telemetry.CatThread:
+			haveThread = true
+		}
+	}
+	if !haveExec || !haveRegion || !haveThread {
+		t.Errorf("telemetry missing spans: execute=%v region=%v thread=%v",
+			haveExec, haveRegion, haveThread)
+	}
+}
+
+// TestExecuteDefaults covers the zero-value path: default entry,
+// sequential, observability off.
+func TestExecuteDefaults(t *testing.T) {
+	s := driver.New(driver.Options{Jobs: 1})
+	m, err := s.Frontend(`
+long main() {
+  return 41 + 1;
+}
+`, "exec-main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Execute(m, driver.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret.I != 42 {
+		t.Errorf("main = %d, want 42", res.Ret.I)
+	}
+	if res.Profile != nil || res.Races != nil || len(res.Contradictions) != 0 {
+		t.Errorf("observability fields set without being requested: %+v", res)
+	}
+	if _, err := s.Execute(m, driver.ExecOptions{Entry: "nosuch"}); err == nil {
+		t.Error("unknown entry accepted")
+	}
+}

@@ -174,6 +174,42 @@ func TestAblationShape(t *testing.T) {
 	}
 }
 
+func TestRuntimeProfileShape(t *testing.T) {
+	rows, err := RuntimeProfile(Config{Threads: 4, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	var speedups []float64
+	for _, r := range rows {
+		if r.Threads != 4 {
+			t.Errorf("%s: threads = %d, want 4", r.Kernel, r.Threads)
+		}
+		if r.Conflicts != 0 {
+			t.Errorf("%s: %d dynamic conflicts in statically accepted DOALLs", r.Kernel, r.Conflicts)
+		}
+		if r.Regions == 0 || r.Forks == 0 {
+			t.Errorf("%s: no parallel regions profiled (regions=%d forks=%d)", r.Kernel, r.Regions, r.Forks)
+		}
+		if r.LoadBalance <= 0 || r.LoadBalance > 1 {
+			t.Errorf("%s: load balance %v outside (0,1]", r.Kernel, r.LoadBalance)
+		}
+		if r.Profile == nil || r.Profile.NumThreads != 4 {
+			t.Errorf("%s: embedded profile missing or wrong thread count", r.Kernel)
+		}
+		if r.Speedup > 0 {
+			speedups = append(speedups, r.Speedup)
+		}
+	}
+	// The suite's parallel regions must show real deterministic speedup at
+	// 4 threads (Fig 6's premise), even if small kernels stay near 1x.
+	if g := geomean(speedups); g < 1.5 {
+		t.Errorf("geomean speedup %.2f at 4 threads, want >= 1.5", g)
+	}
+}
+
 func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range All() {
 		if err := e.Run(io.Discard, testCfg); err != nil {
@@ -183,7 +219,7 @@ func TestAllExperimentsRun(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{"table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig11", "ablation"}
+	want := []string{"table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig11", "ablation", "runtime"}
 	for _, n := range want {
 		if ByName(n) == nil {
 			t.Errorf("experiment %q missing", n)

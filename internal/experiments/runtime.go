@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/interp"
+	"repro/internal/polybench"
+)
+
+func init() {
+	register("runtime", "Runtime profile: per-kernel parallel execution (threads x speedup x load balance x race check)", runRuntime)
+}
+
+// RuntimeRow is one kernel's runtime observability summary: the
+// deterministic speedup (work-span simulated clock), the profiler's
+// load-balance and barrier figures, and the dynamic conflict checker's
+// verdict over the statically parallelized regions.
+type RuntimeRow struct {
+	Kernel       string  `json:"kernel"`
+	Threads      int     `json:"threads"`
+	Speedup      float64 `json:"speedup"`
+	LoadBalance  float64 `json:"load_balance"`
+	Regions      int     `json:"regions"`
+	Forks        int64   `json:"forks"`
+	BarrierWaits int64   `json:"barrier_waits"`
+	Conflicts    int64   `json:"conflicts"`
+	// Profile is the full per-region, per-thread runtime profile of the
+	// parallel run (BENCH_runtime.json embeds it per kernel).
+	Profile *interp.RunProfile `json:"profile"`
+}
+
+// RuntimeProfile measures every PolyBench kernel under the
+// parallel-region profiler and the conflict checker: sequential vs
+// parallel span for the speedup, per-thread stats for load balance, and
+// a race-checked run validating the static DOALL verdicts dynamically.
+func RuntimeProfile(cfg Config) ([]RuntimeRow, error) {
+	s := cfg.session()
+	threads := cfg.threads()
+	var rows []RuntimeRow
+	for _, b := range polybench.All() {
+		m, _, err := b.CompileParallelIRWith(s)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := timeKernels(b, m, interp.Options{NumThreads: 1}, cfg.reps())
+		if err != nil {
+			return nil, err
+		}
+		par, err := timeKernels(b, m, interp.Options{NumThreads: threads}, cfg.reps())
+		if err != nil {
+			return nil, err
+		}
+		mach, err := b.RunWith(m, interp.Options{
+			NumThreads: threads, Profile: true, CheckRaces: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := mach.Profile()
+		races := mach.Races()
+		if cs := races.CrossCheck(m); len(cs) != 0 {
+			return nil, fmt.Errorf("%s: dynamic conflict contradicts static DOALL verdict: %v", b.Name, cs)
+		}
+		row := RuntimeRow{
+			Kernel:      b.Name,
+			Threads:     threads,
+			Speedup:     float64(seq.SimSteps) / float64(par.SimSteps),
+			LoadBalance: p.LoadBalance(),
+			Regions:     len(p.Regions),
+			Conflicts:   races.Total,
+			Profile:     p,
+		}
+		for _, r := range p.Regions {
+			row.Forks += r.Forks
+			for _, t := range r.Threads {
+				row.BarrierWaits += t.BarrierWaits
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runRuntime prints the per-kernel runtime profile table.
+func runRuntime(w io.Writer, cfg Config) error {
+	rows, err := RuntimeProfile(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %8s %6s %9s %9s\n",
+		"Kernel", "Threads", "Speedup", "LoadBal", "Regions", "Forks", "Barriers", "Races")
+	var speedups []float64
+	for _, r := range rows {
+		verdict := "clean"
+		if r.Conflicts > 0 {
+			verdict = fmt.Sprintf("%d!!", r.Conflicts)
+		}
+		fmt.Fprintf(w, "%-16s %8d %8.2f %8.2f %8d %6d %9d %9s\n",
+			r.Kernel, r.Threads, r.Speedup, r.LoadBalance, r.Regions, r.Forks,
+			r.BarrierWaits, verdict)
+		if r.Speedup > 0 {
+			speedups = append(speedups, r.Speedup)
+		}
+	}
+	fmt.Fprintf(w, "\ngeomean speedup: %.2fx over %d kernels (work-span simulated clock, deterministic)\n",
+		geomean(speedups), len(rows))
+	fmt.Fprintln(w, "races: dynamic conflict checker over all statically parallelized regions")
+	return nil
+}

@@ -16,6 +16,14 @@ type exec struct {
 	spanSteps  int64 // critical-path length (work-span simulated clock)
 	fuelLeft   int64
 	depth      int // call depth, bounded to turn runaway recursion into a trap
+
+	// Observability hooks (nil when disabled). tstat is this worker's
+	// goroutine-owned slot in the current fork's profiler scratch;
+	// racerec is its private shadow-access log; epoch counts barriers
+	// passed, separating accesses the barrier orders.
+	tstat   *threadStat
+	racerec *threadAccesses
+	epoch   int
 }
 
 // maxCallDepth bounds interpreted recursion (the host stack also grows
@@ -283,6 +291,9 @@ func (ex *exec) load(p Value, in *ir.Instr) Value {
 	if p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
 		ex.trap("load out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
 	}
+	if ex.racerec != nil {
+		ex.racerec.note(p.P.Obj, p.P.Off, ex.epoch, false)
+	}
 	return p.P.Obj.Cells[p.P.Off]
 }
 
@@ -292,6 +303,9 @@ func (ex *exec) store(p, v Value, in *ir.Instr) {
 	}
 	if p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
 		ex.trap("store out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
+	}
+	if ex.racerec != nil {
+		ex.racerec.note(p.P.Obj, p.P.Off, ex.epoch, true)
 	}
 	p.P.Obj.Cells[p.P.Off] = v
 }

@@ -299,10 +299,10 @@ func TestQuickStaticSchedulePartition(t *testing.T) {
 	}
 }
 
-func TestBarrierSynchronizesTeam(t *testing.T) {
-	// Phase 1: each thread writes its slot. Barrier. Phase 2: each thread
-	// reads its neighbor's slot. Without the barrier this races/misreads.
-	src := `
+// barrierKernel: phase 1 writes each thread's own slot, a barrier, then
+// phase 2 reads the neighbor's slot. Without the barrier this
+// races/misreads; with it, the epoch split makes it race-free.
+const barrierKernel = `
 @S = global [8 x i64] zeroinitializer
 @R = global [8 x i64] zeroinitializer
 
@@ -331,7 +331,9 @@ entry:
   ret void
 }
 `
-	_, mach := run(t, src, "main", Options{NumThreads: 8})
+
+func TestBarrierSynchronizesTeam(t *testing.T) {
+	_, mach := run(t, barrierKernel, "main", Options{NumThreads: 8})
 	r := mach.GlobalMem("R")
 	for tid := 0; tid < 8; tid++ {
 		want := int64((tid+1)%8) + 100

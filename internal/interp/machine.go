@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // Options configures a Machine.
@@ -23,6 +24,19 @@ type Options struct {
 	// ForkCost is the simulated instruction cost of one fork/join pair
 	// on the work-span clock; 0 uses the default (2000).
 	ForkCost int64
+
+	// Profile enables the parallel-region profiler: per-fork wall time,
+	// per-thread iteration/chunk/barrier stats, exported via
+	// Machine.Profile.
+	Profile bool
+	// CheckRaces enables the dynamic DOALL conflict checker: workers
+	// record shared-memory accesses and fork→join reports cross-thread
+	// conflicts via Machine.Races.
+	CheckRaces bool
+	// Telemetry, when non-nil, receives one region trace event per
+	// fork→join and one thread event per team worker, so runtime
+	// execution shows up as per-thread tracks in the Chrome trace.
+	Telemetry *telemetry.Ctx
 }
 
 // Machine executes one module. It owns global memory and the output
@@ -49,6 +63,12 @@ type Machine struct {
 
 	// atomicMu serializes the __kmpc_atomic_* reduction combiners.
 	atomicMu sync.Mutex
+
+	// Observability (all nil when disabled; every hook is nil-safe so the
+	// plain interpretation path pays only pointer checks).
+	prof  *profiler
+	races *raceChecker
+	tc    *telemetry.Ctx
 }
 
 // funcInfo caches per-function slot numbering for frame storage.
@@ -69,6 +89,13 @@ func NewMachine(m *ir.Module, opts Options) *Machine {
 		Opts:    opts,
 		globals: map[*ir.Global]*MemObject{},
 		funcs:   map[*ir.Function]*funcInfo{},
+		tc:      opts.Telemetry,
+	}
+	if opts.Profile {
+		mach.prof = newProfiler(opts.NumThreads)
+	}
+	if opts.CheckRaces {
+		mach.races = newRaceChecker()
 	}
 	for _, g := range m.Globals {
 		obj := NewMemObject(g.Nam, ir.SizeOfElems(g.Elem))
@@ -197,6 +224,18 @@ func (m *Machine) info(f *ir.Function) *funcInfo {
 	}
 	m.funcs[f] = fi
 	return fi
+}
+
+// Profile returns the accumulated runtime profile, or nil when
+// Options.Profile is off.
+func (m *Machine) Profile() *RunProfile {
+	return m.prof.snapshot()
+}
+
+// Races returns the accumulated conflict-checker report, or nil when
+// Options.CheckRaces is off.
+func (m *Machine) Races() *RaceReport {
+	return m.races.snapshot()
 }
 
 // Run executes the named function with the given arguments and returns

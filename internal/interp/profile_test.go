@@ -1,0 +1,322 @@
+package interp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/telemetry"
+)
+
+func TestProfileRecordsRegion(t *testing.T) {
+	_, mach := run(t, parallelSum, "main", Options{NumThreads: 4, Profile: true}, IntV(1000))
+	p := mach.Profile()
+	if p == nil {
+		t.Fatal("Profile() = nil with Options.Profile on")
+	}
+	if p.Schema != ProfileSchema {
+		t.Errorf("schema = %q, want %q", p.Schema, ProfileSchema)
+	}
+	if p.NumThreads != 4 {
+		t.Errorf("threads = %d, want 4", p.NumThreads)
+	}
+	if len(p.Regions) != 1 {
+		t.Fatalf("got %d regions, want 1", len(p.Regions))
+	}
+	r := p.Regions[0]
+	if r.Microtask != "body.omp" {
+		t.Errorf("microtask = %q, want body.omp", r.Microtask)
+	}
+	if r.Forks != 1 || p.TotalForks != 1 {
+		t.Errorf("forks = %d/%d, want 1/1", r.Forks, p.TotalForks)
+	}
+	if r.WallNS <= 0 {
+		t.Errorf("wall = %d ns, want > 0", r.WallNS)
+	}
+	if len(r.Threads) != 4 {
+		t.Fatalf("got %d thread rows, want 4", len(r.Threads))
+	}
+	var iters, chunks, steps int64
+	for i, th := range r.Threads {
+		if th.TID != i {
+			t.Errorf("thread row %d has tid %d", i, th.TID)
+		}
+		if th.Steps <= 0 {
+			t.Errorf("thread %d ran %d steps, want > 0", i, th.Steps)
+		}
+		iters += th.Iterations
+		chunks += th.Chunks
+		steps += th.Steps
+	}
+	// static_init hands each of the 4 workers exactly one chunk; together
+	// they cover the 1000-iteration space exactly.
+	if iters != 1000 {
+		t.Errorf("iterations sum to %d, want 1000", iters)
+	}
+	if chunks != 4 {
+		t.Errorf("chunks sum to %d, want 4", chunks)
+	}
+	if r.WorkSteps != steps {
+		t.Errorf("WorkSteps = %d, thread steps sum to %d", r.WorkSteps, steps)
+	}
+	if r.SpanSteps <= 0 || r.SpanSteps > r.WorkSteps {
+		t.Errorf("SpanSteps = %d outside (0, WorkSteps=%d]", r.SpanSteps, r.WorkSteps)
+	}
+	if r.LoadBalance <= 0 || r.LoadBalance > 1 {
+		t.Errorf("load balance = %v outside (0,1]", r.LoadBalance)
+	}
+	// An even 250-iteration split should be close to balanced.
+	if r.LoadBalance < 0.9 {
+		t.Errorf("load balance = %v for an even split, want >= 0.9", r.LoadBalance)
+	}
+	if lb := p.LoadBalance(); lb != r.LoadBalance {
+		t.Errorf("run load balance = %v, want region's %v", lb, r.LoadBalance)
+	}
+}
+
+func TestProfileBarrierWaits(t *testing.T) {
+	_, mach := run(t, barrierKernel, "main", Options{NumThreads: 8, Profile: true})
+	p := mach.Profile()
+	if p == nil || len(p.Regions) != 1 {
+		t.Fatalf("profile = %+v, want 1 region", p)
+	}
+	for _, th := range p.Regions[0].Threads {
+		if th.BarrierWaits != 1 {
+			t.Errorf("thread %d barrier waits = %d, want 1", th.TID, th.BarrierWaits)
+		}
+	}
+	if p.BarrierWaitNS() < 0 {
+		t.Errorf("total barrier wait = %d ns, want >= 0", p.BarrierWaitNS())
+	}
+}
+
+// dynamicKernel exercises __kmpc_dispatch_init/next: 100 iterations in
+// chunks of 7, pulled dynamically, each writing A[i] = i.
+const dynamicKernel = `
+@A = global [100 x i64] zeroinitializer
+
+declare void @__kmpc_fork_call(i32, ...)
+declare void @__kmpc_dispatch_init_8(i32, i32, i64, i64, i64, i64)
+declare i32 @__kmpc_dispatch_next_8(i32, i32*, i64*, i64*, i64*)
+
+define void @dyn.omp(i32* %gtid.ptr, i32* %btid.ptr) outlined {
+entry:
+  %gtid = load i32, i32* %gtid.ptr
+  %last = alloca i32
+  %lo.addr = alloca i64
+  %hi.addr = alloca i64
+  %st.addr = alloca i64
+  call void @__kmpc_dispatch_init_8(i32 %gtid, i32 35, i64 0, i64 99, i64 1, i64 7)
+  br label %pull
+pull:
+  %more = call i32 @__kmpc_dispatch_next_8(i32 %gtid, i32* %last, i64* %lo.addr, i64* %hi.addr, i64* %st.addr)
+  %c = icmp ne i32 %more, 0
+  br i1 %c, label %chunk, label %done
+chunk:
+  %lo = load i64, i64* %lo.addr
+  %hi = load i64, i64* %hi.addr
+  br label %loop
+loop:
+  %i = phi i64 [ %lo, %chunk ], [ %i.next, %loop ]
+  %g = getelementptr [100 x i64], [100 x i64]* @A, i64 0, i64 %i
+  store i64 %i, i64* %g
+  %i.next = add i64 %i, 1
+  %cc = icmp sle i64 %i.next, %hi
+  br i1 %cc, label %loop, label %pull
+done:
+  ret void
+}
+define void @main() {
+entry:
+  call void @__kmpc_fork_call(i32 0, void (i32*, i32*) @dyn.omp)
+  ret void
+}
+`
+
+func TestProfileDynamicChunks(t *testing.T) {
+	_, mach := run(t, dynamicKernel, "main", Options{NumThreads: 3, Profile: true})
+	a := mach.GlobalMem("A")
+	for i := 0; i < 100; i++ {
+		if a.Cells[i].I != int64(i) {
+			t.Fatalf("A[%d] = %v", i, a.Cells[i])
+		}
+	}
+	p := mach.Profile()
+	if len(p.Regions) != 1 {
+		t.Fatalf("got %d regions", len(p.Regions))
+	}
+	var iters, chunks int64
+	for _, th := range p.Regions[0].Threads {
+		iters += th.Iterations
+		chunks += th.Chunks
+	}
+	if iters != 100 {
+		t.Errorf("dynamic iterations sum to %d, want 100", iters)
+	}
+	// ceil(100/7) = 15 chunks regardless of which worker pulled each.
+	if chunks != 15 {
+		t.Errorf("dynamic chunks sum to %d, want 15", chunks)
+	}
+}
+
+func TestProfileAggregatesRepeatedForks(t *testing.T) {
+	m := ir.MustParse(parallelSum)
+	mach := NewMachine(m, Options{NumThreads: 2, Profile: true})
+	for i := 0; i < 3; i++ {
+		if _, err := mach.Run("main", IntV(1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := mach.Profile()
+	if len(p.Regions) != 1 {
+		t.Fatalf("got %d regions, want 1 aggregated", len(p.Regions))
+	}
+	if p.Regions[0].Forks != 3 || p.TotalForks != 3 {
+		t.Errorf("forks = %d/%d, want 3/3", p.Regions[0].Forks, p.TotalForks)
+	}
+	var iters int64
+	for _, th := range p.Regions[0].Threads {
+		iters += th.Iterations
+	}
+	if iters != 3000 {
+		t.Errorf("iterations = %d, want 3000", iters)
+	}
+}
+
+func TestProfileDisabled(t *testing.T) {
+	_, mach := run(t, parallelSum, "main", Options{NumThreads: 4}, IntV(1000))
+	if p := mach.Profile(); p != nil {
+		t.Errorf("Profile() = %+v without Options.Profile, want nil", p)
+	}
+	if r := mach.Races(); r != nil {
+		t.Errorf("Races() = %+v without Options.CheckRaces, want nil", r)
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	_, mach := run(t, parallelSum, "main", Options{NumThreads: 4, Profile: true}, IntV(1000))
+	var buf bytes.Buffer
+	if err := mach.Profile().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back RunProfile
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("profile JSON does not parse: %v", err)
+	}
+	if back.Schema != ProfileSchema || back.NumThreads != 4 || len(back.Regions) != 1 {
+		t.Errorf("round-tripped profile = %+v", back)
+	}
+	if back.Regions[0].Microtask != "body.omp" {
+		t.Errorf("microtask = %q", back.Regions[0].Microtask)
+	}
+}
+
+// TestProfileTraceEvents: with a telemetry context attached, a fork emits
+// one region event plus one thread event per worker, on distinct tracks.
+func TestProfileTraceEvents(t *testing.T) {
+	m := ir.MustParse(parallelSum)
+	tc := telemetry.New()
+	mach := NewMachine(m, Options{NumThreads: 4, Telemetry: tc})
+	if _, err := mach.Run("main", IntV(1000)); err != nil {
+		t.Fatal(err)
+	}
+	var regions, threads int
+	tids := map[int]bool{}
+	for _, e := range tc.Events() {
+		switch e.Cat {
+		case telemetry.CatRegion:
+			regions++
+			if e.Name != "body.omp" {
+				t.Errorf("region event name = %q", e.Name)
+			}
+		case telemetry.CatThread:
+			threads++
+			tids[e.TID] = true
+		}
+	}
+	if regions != 1 || threads != 4 {
+		t.Fatalf("got %d region / %d thread events, want 1/4", regions, threads)
+	}
+	for tid := 2; tid <= 5; tid++ {
+		if !tids[tid] {
+			t.Errorf("no thread event on track %d", tid)
+		}
+	}
+	// And the trace serializes with those tracks present.
+	var buf bytes.Buffer
+	if err := tc.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf telemetry.TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("runtime trace does not parse: %v", err)
+	}
+	if len(tf.TraceEvents) != 5 {
+		t.Errorf("trace has %d events, want 5", len(tf.TraceEvents))
+	}
+}
+
+// TestDisabledObservabilityZeroAlloc pins the contract that every
+// observability hook is free when disabled: nil receivers must not
+// allocate (the interpreter calls these on its hot paths).
+func TestDisabledObservabilityZeroAlloc(t *testing.T) {
+	var ts *threadStat
+	var ta *threadAccesses
+	var pr *profiler
+	var rc *raceChecker
+	obj := NewMemObject("x", 1)
+	n := testing.AllocsPerRun(200, func() {
+		ts.noteChunk(10)
+		ts.noteBarrier(time.Millisecond)
+		ta.note(obj, 0, 0, true)
+		pr.merge("mt", time.Millisecond, 1, nil)
+		rc.analyze("mt", nil)
+	})
+	if n != 0 {
+		t.Fatalf("disabled observability hooks allocate %v times per op, want 0", n)
+	}
+	if pr.snapshot() != nil || rc.snapshot() != nil {
+		t.Error("nil profiler/checker snapshot not nil")
+	}
+}
+
+// BenchmarkInterpDisabledObservability measures the interpreter's plain
+// path with all observability off — the per-step overhead must stay at
+// the pointer-check level (compare BenchmarkInterpProfiled).
+func BenchmarkInterpDisabledObservability(b *testing.B) {
+	m := ir.MustParse(parallelSum)
+	mach := NewMachine(m, Options{NumThreads: 4})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mach.Run("main", IntV(1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpProfiled(b *testing.B) {
+	m := ir.MustParse(parallelSum)
+	mach := NewMachine(m, Options{NumThreads: 4, Profile: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mach.Run("main", IntV(1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpRaceChecked(b *testing.B) {
+	m := ir.MustParse(parallelSum)
+	mach := NewMachine(m, Options{NumThreads: 4, CheckRaces: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mach.Run("main", IntV(1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// The dynamic DOALL conflict checker: a shadow-memory access recorder
+// that turns the interpreter into a runtime race oracle for the
+// decompiler's central correctness claim. The parallelizer's static
+// dependence test proves loops DOALL before outlining them; with
+// Options.CheckRaces every worker records its loads and stores to
+// shared memory, and at fork→join the recorder reports any cell touched
+// by two threads where at least one access is a write.
+//
+// Synchronization model (matches the interpreter's runtime):
+//
+//   - fork and join order everything: accesses from different forks are
+//     never compared;
+//   - __kmpc_barrier is a team-wide total order: each worker's accesses
+//     carry a barrier epoch, and only same-epoch accesses can race
+//     (phase1-write / barrier / phase2-read is the classic clean shape);
+//   - the __kmpc_atomic_* reduction combiners are serialized by the
+//     runtime and exempt (they bypass the interpreter's load/store
+//     path by construction).
+//
+// Thread-private memory (worker allocas, gtid cells) lives in
+// per-worker MemObjects, so it never collides in the shadow map and
+// needs no special casing.
+
+// Conflict is one shared cell accessed unsafely inside a parallel
+// region.
+type Conflict struct {
+	Microtask string `json:"microtask"`
+	Object    string `json:"object"`
+	Off       int    `json:"offset"`
+	Epoch     int    `json:"epoch"`
+	Kind      string `json:"kind"` // "write-write" or "read-write"
+	// Tids are the two thread ids whose accesses collide (write first
+	// for read-write conflicts).
+	Tids [2]int `json:"tids"`
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s: %s %s+%d (epoch %d, threads %d and %d)",
+		c.Microtask, c.Kind, c.Object, c.Off, c.Epoch, c.Tids[0], c.Tids[1])
+}
+
+// RaceReport is the machine's accumulated conflict-checker verdict.
+type RaceReport struct {
+	Schema string `json:"schema"`
+	// RegionsChecked counts fork→join executions analyzed.
+	RegionsChecked int64 `json:"regions_checked"`
+	// Total counts every conflicting cell; Conflicts holds the first
+	// maxConflicts of them (sorted) for reporting.
+	Total       int64            `json:"total_conflicts"`
+	Conflicts   []Conflict       `json:"conflicts"`
+	ByMicrotask map[string]int64 `json:"by_microtask,omitempty"`
+}
+
+// RaceReportSchema identifies the race-report JSON layout.
+const RaceReportSchema = "splendid-runtime-races/v1"
+
+// Clean reports whether no conflicts were observed.
+func (r *RaceReport) Clean() bool { return r == nil || r.Total == 0 }
+
+// CrossCheck compares the dynamic verdict against the static one: a
+// conflict inside a compiler-outlined microtask (ir.Function.Outlined —
+// i.e. a loop the static dependence test accepted as DOALL) contradicts
+// the parallelizer and is returned as a diagnostic. Conflicts in
+// hand-written parallel code are races, but not contradictions. Returns
+// nil when dynamic and static verdicts agree.
+func (r *RaceReport) CrossCheck(m *ir.Module) []string {
+	if r == nil || m == nil {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Conflicts {
+		if seen[c.Microtask] {
+			continue
+		}
+		f := m.FuncByName(c.Microtask)
+		if f != nil && f.Outlined {
+			seen[c.Microtask] = true
+			out = append(out, fmt.Sprintf(
+				"static DOALL verdict contradicted: @%s was accepted by the dependence test but raced at runtime (%s)",
+				c.Microtask, c))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// maxConflicts bounds the stored conflict list (Total keeps counting).
+const maxConflicts = 100
+
+// accKey addresses one shadow cell: an object's cell in one barrier
+// epoch of one fork.
+type accKey struct {
+	obj   *MemObject
+	off   int
+	epoch int
+}
+
+type accInfo struct {
+	read, write bool
+}
+
+// threadAccesses is one worker's private shadow log for one fork. The
+// worker goroutine owns it exclusively; the parent merges after join.
+type threadAccesses struct {
+	acc map[accKey]accInfo
+}
+
+func newThreadAccesses() *threadAccesses {
+	return &threadAccesses{acc: map[accKey]accInfo{}}
+}
+
+// note records one access. Nil-safe: the disabled path is one pointer
+// check in the interpreter's load/store hot path.
+func (a *threadAccesses) note(obj *MemObject, off, epoch int, write bool) {
+	if a == nil {
+		return
+	}
+	k := accKey{obj: obj, off: off, epoch: epoch}
+	in := a.acc[k]
+	if write {
+		in.write = true
+	} else {
+		in.read = true
+	}
+	a.acc[k] = in
+}
+
+// raceChecker accumulates conflicts across forks.
+type raceChecker struct {
+	mu          sync.Mutex
+	checked     int64
+	total       int64
+	conflicts   []Conflict
+	byMicrotask map[string]int64
+}
+
+func newRaceChecker() *raceChecker {
+	return &raceChecker{byMicrotask: map[string]int64{}}
+}
+
+// analyze merges the team's shadow logs for one completed fork and
+// records every cross-thread conflict. Called by the forking thread
+// after join, so it sees a quiescent team.
+func (rc *raceChecker) analyze(microtask string, recs []*threadAccesses) {
+	if rc == nil {
+		return
+	}
+	// Combine per-thread logs: cell → which tids read, which wrote.
+	type cellState struct {
+		readTids, writeTids []int
+	}
+	cells := map[accKey]*cellState{}
+	for tid, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		for k, in := range rec.acc {
+			st := cells[k]
+			if st == nil {
+				st = &cellState{}
+				cells[k] = st
+			}
+			if in.write {
+				st.writeTids = append(st.writeTids, tid)
+			}
+			if in.read {
+				st.readTids = append(st.readTids, tid)
+			}
+		}
+	}
+	var found []Conflict
+	for k, st := range cells {
+		if len(st.writeTids) == 0 {
+			continue
+		}
+		sort.Ints(st.writeTids)
+		sort.Ints(st.readTids)
+		w := st.writeTids[0]
+		if len(st.writeTids) > 1 {
+			found = append(found, Conflict{
+				Microtask: microtask, Object: k.obj.Name, Off: k.off, Epoch: k.epoch,
+				Kind: "write-write", Tids: [2]int{w, st.writeTids[1]},
+			})
+			continue
+		}
+		for _, r := range st.readTids {
+			if r != w {
+				found = append(found, Conflict{
+					Microtask: microtask, Object: k.obj.Name, Off: k.off, Epoch: k.epoch,
+					Kind: "read-write", Tids: [2]int{w, r},
+				})
+				break
+			}
+		}
+	}
+	// Shadow maps iterate in random order: sort for a deterministic
+	// report before truncating to the storage cap.
+	sort.Slice(found, func(i, j int) bool {
+		a, b := found[i], found[j]
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.Off != b.Off {
+			return a.Off < b.Off
+		}
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		return a.Kind < b.Kind
+	})
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.checked++
+	rc.total += int64(len(found))
+	rc.byMicrotask[microtask] += int64(len(found))
+	if room := maxConflicts - len(rc.conflicts); room > 0 {
+		if len(found) > room {
+			found = found[:room]
+		}
+		rc.conflicts = append(rc.conflicts, found...)
+	}
+}
+
+// snapshot builds the exported report (nil when checking is disabled).
+func (rc *raceChecker) snapshot() *RaceReport {
+	if rc == nil {
+		return nil
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := &RaceReport{
+		Schema:         RaceReportSchema,
+		RegionsChecked: rc.checked,
+		Total:          rc.total,
+		Conflicts:      append([]Conflict(nil), rc.conflicts...),
+	}
+	if len(rc.byMicrotask) > 0 {
+		out.ByMicrotask = map[string]int64{}
+		for k, v := range rc.byMicrotask {
+			if v > 0 {
+				out.ByMicrotask[k] = v
+			}
+		}
+	}
+	return out
+}

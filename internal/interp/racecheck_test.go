@@ -1,0 +1,276 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// racyKernel is the checker's positive control: every worker writes the
+// same cell of @X with no synchronization — the shape the static
+// dependence test exists to reject. The function is marked outlined, so
+// a conflict here contradicts a (pretend) static DOALL verdict.
+const racyKernel = `
+@X = global [4 x i64] zeroinitializer
+
+declare void @__kmpc_fork_call(i32, ...)
+
+define void @racy.omp(i32* %gtid.ptr, i32* %btid.ptr) outlined {
+entry:
+  %gtid = load i32, i32* %gtid.ptr
+  %tid64 = sext i32 %gtid to i64
+  %g = getelementptr [4 x i64], [4 x i64]* @X, i64 0, i64 0
+  store i64 %tid64, i64* %g
+  ret void
+}
+define void @main() {
+entry:
+  call void @__kmpc_fork_call(i32 0, void (i32*, i32*) @racy.omp)
+  ret void
+}
+`
+
+func TestRaceCheckerFlagsWriteWrite(t *testing.T) {
+	_, mach := run(t, racyKernel, "main", Options{NumThreads: 4, CheckRaces: true})
+	r := mach.Races()
+	if r == nil {
+		t.Fatal("Races() = nil with Options.CheckRaces on")
+	}
+	if r.Clean() {
+		t.Fatal("racy kernel reported clean")
+	}
+	if r.Schema != RaceReportSchema {
+		t.Errorf("schema = %q, want %q", r.Schema, RaceReportSchema)
+	}
+	if r.RegionsChecked != 1 {
+		t.Errorf("regions checked = %d, want 1", r.RegionsChecked)
+	}
+	if r.Total != 1 || len(r.Conflicts) != 1 {
+		t.Fatalf("total/stored conflicts = %d/%d, want 1/1 (one cell)", r.Total, len(r.Conflicts))
+	}
+	c := r.Conflicts[0]
+	if c.Kind != "write-write" || c.Object != "X" || c.Off != 0 || c.Microtask != "racy.omp" {
+		t.Errorf("conflict = %+v, want write-write on X+0 in racy.omp", c)
+	}
+	if c.Tids[0] >= c.Tids[1] {
+		t.Errorf("conflict tids %v not ordered", c.Tids)
+	}
+	if !strings.Contains(c.String(), "write-write X+0") {
+		t.Errorf("conflict string = %q", c.String())
+	}
+	if r.ByMicrotask["racy.omp"] != 1 {
+		t.Errorf("by-microtask = %v", r.ByMicrotask)
+	}
+}
+
+func TestRaceCheckerFlagsReadWrite(t *testing.T) {
+	// Thread 0 writes @X[0]; every thread reads it in the same epoch.
+	src := `
+@X = global [4 x i64] zeroinitializer
+@Out = global [8 x i64] zeroinitializer
+
+declare void @__kmpc_fork_call(i32, ...)
+
+define void @rw.omp(i32* %gtid.ptr, i32* %btid.ptr) outlined {
+entry:
+  %gtid = load i32, i32* %gtid.ptr
+  %tid64 = sext i32 %gtid to i64
+  %g = getelementptr [4 x i64], [4 x i64]* @X, i64 0, i64 0
+  %is0 = icmp eq i64 %tid64, 0
+  br i1 %is0, label %wr, label %rd
+wr:
+  store i64 7, i64* %g
+  br label %rd
+rd:
+  %v = load i64, i64* %g
+  %o = getelementptr [8 x i64], [8 x i64]* @Out, i64 0, i64 %tid64
+  store i64 %v, i64* %o
+  ret void
+}
+define void @main() {
+entry:
+  call void @__kmpc_fork_call(i32 0, void (i32*, i32*) @rw.omp)
+  ret void
+}
+`
+	_, mach := run(t, src, "main", Options{NumThreads: 4, CheckRaces: true})
+	r := mach.Races()
+	if r.Clean() {
+		t.Fatal("read-write race reported clean")
+	}
+	c := r.Conflicts[0]
+	if c.Kind != "read-write" || c.Object != "X" {
+		t.Errorf("conflict = %+v, want read-write on X", c)
+	}
+	if c.Tids[0] != 0 {
+		t.Errorf("writer tid = %d, want 0 first", c.Tids[0])
+	}
+}
+
+func TestRaceCheckerCleanOnDOALL(t *testing.T) {
+	_, mach := run(t, parallelSum, "main", Options{NumThreads: 4, CheckRaces: true}, IntV(1000))
+	r := mach.Races()
+	if r == nil || !r.Clean() {
+		t.Fatalf("disjoint static DOALL flagged: %+v", r)
+	}
+	if r.RegionsChecked != 1 {
+		t.Errorf("regions checked = %d, want 1", r.RegionsChecked)
+	}
+}
+
+func TestRaceCheckerCleanOnDynamicSchedule(t *testing.T) {
+	_, mach := run(t, dynamicKernel, "main", Options{NumThreads: 3, CheckRaces: true})
+	if r := mach.Races(); !r.Clean() {
+		t.Errorf("dynamic-schedule DOALL flagged: %+v", r.Conflicts)
+	}
+}
+
+// TestRaceCheckerBarrierSeparates: the write-then-barrier-then-read
+// kernel is race-free exactly because of the barrier; the epoch model
+// must not flag the cross-thread read of the earlier write.
+func TestRaceCheckerBarrierSeparates(t *testing.T) {
+	_, mach := run(t, barrierKernel, "main", Options{NumThreads: 8, CheckRaces: true})
+	if r := mach.Races(); !r.Clean() {
+		t.Errorf("barrier-ordered accesses flagged: %+v", r.Conflicts)
+	}
+}
+
+// TestRaceCheckerAtomicExempt: an atomic reduction hammers one cell from
+// every thread, but the runtime serializes the combiners — the checker
+// must stay quiet.
+func TestRaceCheckerAtomicExempt(t *testing.T) {
+	src := `
+@Sum = global double 0.0
+
+declare void @__kmpc_fork_call(i32, ...)
+declare void @__kmpc_for_static_init_8(i32, i32, i64*, i64*, i64*, i64*, i64, i64)
+declare void @__kmpc_for_static_fini(i32)
+declare void @__kmpc_atomic_float8_add(double*, double)
+
+define void @red.omp(i32* %gtid.ptr, i32* %btid.ptr) outlined {
+entry:
+  %gtid = load i32, i32* %gtid.ptr
+  %lb.addr = alloca i64
+  %ub.addr = alloca i64
+  %st.addr = alloca i64
+  %last.addr = alloca i64
+  store i64 0, i64* %lb.addr
+  store i64 99, i64* %ub.addr
+  call void @__kmpc_for_static_init_8(i32 %gtid, i32 34, i64* %last.addr, i64* %lb.addr, i64* %ub.addr, i64* %st.addr, i64 1, i64 1)
+  %lb = load i64, i64* %lb.addr
+  %ub = load i64, i64* %ub.addr
+  %pre = icmp sle i64 %lb, %ub
+  br i1 %pre, label %loop, label %fini
+loop:
+  %i = phi i64 [ %lb, %entry ], [ %i.next, %loop ]
+  %acc = phi double [ 0.0, %entry ], [ %acc.next, %loop ]
+  %fi = sitofp i64 %i to double
+  %acc.next = fadd double %acc, %fi
+  %i.next = add i64 %i, 1
+  %c = icmp sle i64 %i.next, %ub
+  br i1 %c, label %loop, label %combine
+combine:
+  call void @__kmpc_atomic_float8_add(double* @Sum, double %acc.next)
+  br label %fini
+fini:
+  call void @__kmpc_for_static_fini(i32 %gtid)
+  ret void
+}
+define void @main() {
+entry:
+  call void @__kmpc_fork_call(i32 0, void (i32*, i32*) @red.omp)
+  ret void
+}
+`
+	_, mach := run(t, src, "main", Options{NumThreads: 4, CheckRaces: true})
+	if r := mach.Races(); !r.Clean() {
+		t.Errorf("atomic reduction flagged: %+v", r.Conflicts)
+	}
+	if got := mach.GlobalMem("Sum").Cells[0].F; got != 4950 {
+		t.Errorf("Sum = %v, want 4950", got)
+	}
+}
+
+// TestRaceCheckerCrossCheck: a conflict inside an outlined microtask
+// contradicts the static DOALL verdict; the same race in a hand-written
+// (non-outlined) region is reported but not a contradiction.
+func TestRaceCheckerCrossCheck(t *testing.T) {
+	m := ir.MustParse(racyKernel)
+	mach := NewMachine(m, Options{NumThreads: 4, CheckRaces: true})
+	if _, err := mach.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	contradictions := mach.Races().CrossCheck(m)
+	if len(contradictions) != 1 {
+		t.Fatalf("got %d contradictions, want 1: %v", len(contradictions), contradictions)
+	}
+	if !strings.Contains(contradictions[0], "racy.omp") ||
+		!strings.Contains(contradictions[0], "contradicted") {
+		t.Errorf("contradiction = %q", contradictions[0])
+	}
+
+	// Same kernel, outlined marker stripped: a race, not a contradiction.
+	plain := strings.Replace(racyKernel, ") outlined {", ") {", 1)
+	m2 := ir.MustParse(plain)
+	mach2 := NewMachine(m2, Options{NumThreads: 4, CheckRaces: true})
+	if _, err := mach2.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	r2 := mach2.Races()
+	if r2.Clean() {
+		t.Fatal("race not detected in non-outlined region")
+	}
+	if cs := r2.CrossCheck(m2); len(cs) != 0 {
+		t.Errorf("non-outlined race cross-checks as contradiction: %v", cs)
+	}
+
+	// Nil-safety of the report API.
+	var nilRep *RaceReport
+	if !nilRep.Clean() || nilRep.CrossCheck(m) != nil {
+		t.Error("nil report not clean/inert")
+	}
+}
+
+// TestRaceCheckerConflictCap: the stored list is bounded but Total keeps
+// counting every conflicting cell.
+func TestRaceCheckerConflictCap(t *testing.T) {
+	src := `
+@X = global [200 x i64] zeroinitializer
+
+declare void @__kmpc_fork_call(i32, ...)
+
+define void @wide.omp(i32* %gtid.ptr, i32* %btid.ptr) outlined {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %g = getelementptr [200 x i64], [200 x i64]* @X, i64 0, i64 %i
+  store i64 %i, i64* %g
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, 200
+  br i1 %c, label %loop, label %done
+done:
+  ret void
+}
+define void @main() {
+entry:
+  call void @__kmpc_fork_call(i32 0, void (i32*, i32*) @wide.omp)
+  ret void
+}
+`
+	_, mach := run(t, src, "main", Options{NumThreads: 2, CheckRaces: true})
+	r := mach.Races()
+	if r.Total != 200 {
+		t.Errorf("total = %d, want 200 (every cell written by both threads)", r.Total)
+	}
+	if len(r.Conflicts) != maxConflicts {
+		t.Errorf("stored %d conflicts, want cap %d", len(r.Conflicts), maxConflicts)
+	}
+	// Deterministic ordering: ascending offsets.
+	for i := 1; i < len(r.Conflicts); i++ {
+		if r.Conflicts[i].Off <= r.Conflicts[i-1].Off {
+			t.Fatalf("conflicts not sorted at %d: %+v", i, r.Conflicts[i])
+		}
+	}
+}

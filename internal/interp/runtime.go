@@ -1,17 +1,30 @@
 package interp
 
 import (
+	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/ir"
 	"repro/internal/omp"
+	"repro/internal/telemetry"
 )
 
 // team is one OpenMP parallel-region team: a set of workers with a
 // cyclic barrier.
 type team struct {
 	size int
+
+	// serial turns on token-serialized execution: each worker holds runMu
+	// for its whole run, releasing it only while blocked at a barrier.
+	// The conflict checker uses this so that logically racy programs can
+	// be executed and logged without exhibiting physical data races —
+	// conflicts are found in the shadow logs, not in the interleaving, so
+	// serialization loses no detection power and makes reports
+	// deterministic.
+	serial bool
+	runMu  sync.Mutex
 
 	barMu   sync.Mutex
 	barCond *sync.Cond
@@ -37,8 +50,14 @@ func newTeam(size int) *team {
 	return t
 }
 
-// barrier blocks until all team members arrive.
+// barrier blocks until all team members arrive. In serialized mode the
+// caller's run token is released while waiting so teammates can reach
+// the barrier too.
 func (t *team) barrier() {
+	if t.serial {
+		t.runMu.Unlock()
+		defer t.runMu.Lock()
+	}
 	t.barMu.Lock()
 	phase := t.phase
 	t.waiting++
@@ -68,7 +87,16 @@ func (ex *exec) callExternal(f *ir.Function, args []Value) Value {
 		return Value{K: KUndef}
 	case omp.Barrier:
 		if ex.team != nil {
-			ex.team.barrier()
+			if ex.tstat != nil {
+				t0 := time.Now()
+				ex.team.barrier()
+				ex.tstat.noteBarrier(time.Since(t0))
+			} else {
+				ex.team.barrier()
+			}
+			// The barrier orders everything before it against everything
+			// after it, team-wide: advance this worker's race epoch.
+			ex.epoch++
 		}
 		return Value{K: KUndef}
 	case omp.GlobalThread:
@@ -165,6 +193,29 @@ func (ex *exec) forkCall(args []Value) {
 	shared := args[2:]
 	n := ex.m.Opts.NumThreads
 	tm := newTeam(n)
+	mtName := mt.Fn.Nam
+	prof, races, tc := ex.m.prof, ex.m.races, ex.m.tc
+
+	// Per-fork observability scratch. Each worker goroutine owns exactly
+	// its slot (no locking inside the region); the forking thread merges
+	// everything after the join.
+	var stats []threadStat
+	if prof != nil {
+		stats = make([]threadStat, n)
+	}
+	var recs []*threadAccesses
+	if races != nil {
+		recs = make([]*threadAccesses, n)
+		for i := range recs {
+			recs[i] = newThreadAccesses()
+		}
+		tm.serial = true
+	}
+	var wallStart time.Time
+	if prof != nil {
+		wallStart = time.Now()
+	}
+	regionStart := tc.Now()
 
 	var wg sync.WaitGroup
 	errs := make([]error, n)
@@ -174,7 +225,18 @@ func (ex *exec) forkCall(args []Value) {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
+			if tm.serial {
+				tm.runMu.Lock()
+				defer tm.runMu.Unlock()
+			}
 			w := &exec{m: ex.m, gtid: tid, team: tm}
+			if stats != nil {
+				w.tstat = &stats[tid]
+			}
+			if recs != nil {
+				w.racerec = recs[tid]
+			}
+			threadStart := tc.Now()
 			errs[tid] = w.protect(func() {
 				gtidObj := NewMemObject("gtid", 1)
 				gtidObj.Cells[0] = IntV(int64(tid))
@@ -187,6 +249,18 @@ func (ex *exec) forkCall(args []Value) {
 			})
 			steps[tid] = w.localSteps
 			spans[tid] = w.spanSteps
+			if w.tstat != nil {
+				w.tstat.Steps = w.localSteps
+			}
+			if tc != nil {
+				// Track tid+2: track 1 is the compile pipeline / region row.
+				tc.AddEvent(telemetry.Event{
+					Name: mtName, Cat: telemetry.CatThread,
+					Detail: fmt.Sprintf("tid %d", tid),
+					Start:  threadStart, Dur: tc.Now() - threadStart,
+					TID: tid + 2,
+				})
+			}
 		}(tid)
 	}
 	wg.Wait()
@@ -201,6 +275,18 @@ func (ex *exec) forkCall(args []Value) {
 	// advances by the slowest worker's path. This is what makes parallel
 	// speedup measurable deterministically, independent of host cores.
 	ex.spanSteps += maxSpan + ex.m.forkCost()
+	if prof != nil {
+		prof.merge(mtName, time.Since(wallStart), maxSpan, stats)
+	}
+	races.analyze(mtName, recs)
+	if tc != nil {
+		tc.AddEvent(telemetry.Event{
+			Name: mtName, Cat: telemetry.CatRegion,
+			Detail: fmt.Sprintf("%d threads", n),
+			Start:  regionStart, Dur: tc.Now() - regionStart,
+			TID: 1,
+		})
+	}
 	for _, err := range errs {
 		if err != nil {
 			panic(err.(*Trap))
@@ -287,6 +373,11 @@ func (ex *exec) staticInit(args []Value) {
 	ex.storeTo(pupper, IntV(myHi))
 	ex.storeTo(pstride, IntV((myHi-myLo)/incr+1))
 	ex.storeTo(plast, IntV(last))
+	if ex.tstat != nil {
+		if iters := (myHi-myLo)/incr + 1; iters > 0 {
+			ex.tstat.noteChunk(iters)
+		}
+	}
 }
 
 // dispatchInit implements __kmpc_dispatch_init_8(gtid, sched, lb, ub,
@@ -359,6 +450,7 @@ func (ex *exec) dispatchNext(args []Value) Value {
 	ex.storeTo(args[2], IntV(lo))
 	ex.storeTo(args[3], IntV(hi))
 	ex.storeTo(args[4], IntV(incr))
+	ex.tstat.noteChunk((hi-lo)/incr + 1)
 	return IntV(1)
 }
 

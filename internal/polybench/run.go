@@ -59,7 +59,15 @@ func (b *Benchmark) CompileParallelIRWith(s *driver.Session) (*ir.Module, *paral
 // Run executes the benchmark's functions on a fresh machine and returns
 // it for inspection.
 func (b *Benchmark) Run(m *ir.Module, threads int) (*interp.Machine, error) {
-	mach := interp.NewMachine(m, interp.Options{NumThreads: threads})
+	return b.RunWith(m, interp.Options{NumThreads: threads})
+}
+
+// RunWith is Run with full control over the machine options — the
+// observability harnesses use it to attach the parallel-region profiler
+// (Profile), the dynamic DOALL conflict checker (CheckRaces), or a
+// telemetry context to a kernel execution.
+func (b *Benchmark) RunWith(m *ir.Module, opts interp.Options) (*interp.Machine, error) {
+	mach := interp.NewMachine(m, opts)
 	for _, fn := range b.RunFuncs {
 		if _, err := mach.Run(fn); err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", b.Name, fn, err)

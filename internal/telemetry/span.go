@@ -9,10 +9,16 @@ import (
 
 // Span categories. Pass spans carry per-function instruction deltas and
 // feed the -time-passes table; stage spans mark coarse pipeline phases
-// (semantic analyzer, detransformers, variable generation, ...).
+// (semantic analyzer, detransformers, variable generation, ...); region
+// and thread spans come from the interpreter's OpenMP runtime — one
+// region event per fork→join and one thread event per team worker,
+// recorded via AddEvent because they start and end on different
+// goroutines.
 const (
-	CatPass  = "pass"
-	CatStage = "stage"
+	CatPass   = "pass"
+	CatStage  = "stage"
+	CatRegion = "region"
+	CatThread = "thread"
 )
 
 // Event is one completed span. Start/Dur are offsets of the context's
@@ -24,6 +30,11 @@ type Event struct {
 	Start  time.Duration // clock reading at StartSpan
 	Dur    time.Duration
 	Depth  int // nesting depth at start (0 = top level)
+
+	// TID selects the trace track: 0 (spans opened with StartSpan) maps
+	// to the main track, runtime events set it explicitly so each team
+	// thread gets its own row in chrome://tracing.
+	TID int
 
 	// Pass-span payload: instruction-count delta and whether the pass
 	// reported a change.
@@ -85,6 +96,29 @@ func (s Span) finish(delta int, changed bool) {
 		Delta: delta, Changed: changed,
 	})
 	s.c.mu.Unlock()
+}
+
+// Now returns the context's clock reading (zero on a disabled context).
+// Callers measuring spans that cross goroutines pair it with AddEvent.
+func (c *Ctx) Now() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.now()
+}
+
+// AddEvent records an externally measured completed span. The OpenMP
+// runtime profiler uses it for fork/join region and per-thread events,
+// which begin and end on different goroutines and carry explicit track
+// ids — the StartSpan depth accounting cannot describe them. Nil-safe
+// and allocation-free when disabled.
+func (c *Ctx) AddEvent(e Event) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
 }
 
 // Events returns a snapshot of completed spans in completion order.

@@ -29,23 +29,47 @@ type TraceFile struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
-// Trace builds the trace_event representation of all completed spans,
-// sorted by start time so output is stable for a deterministic clock.
+// Trace builds the trace_event representation of all completed spans.
+// Event ordering is fully deterministic: the sort key is a total order
+// over (start, track, depth, category, name, detail, duration), so two
+// contexts holding the same spans — regardless of the completion order
+// concurrent workers recorded them in — serialize to identical JSON and
+// runtime traces diff cleanly in CI.
 func (c *Ctx) Trace() TraceFile {
 	tf := TraceFile{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
 	evs := c.Events()
-	sort.SliceStable(evs, func(i, j int) bool {
-		if evs[i].Start != evs[j].Start {
-			return evs[i].Start < evs[j].Start
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
 		}
-		return evs[i].Depth < evs[j].Depth
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.Depth != b.Depth {
+			return a.Depth < b.Depth
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Detail != b.Detail {
+			return a.Detail < b.Detail
+		}
+		return a.Dur < b.Dur
 	})
 	for _, e := range evs {
+		tid := e.TID
+		if tid == 0 {
+			tid = 1 // compile-pipeline spans share the main track
+		}
 		te := TraceEvent{
 			Name: e.Name, Cat: e.Cat, Ph: "X",
 			Ts:  float64(e.Start.Nanoseconds()) / 1e3,
 			Dur: float64(e.Dur.Nanoseconds()) / 1e3,
-			Pid: 1, Tid: 1,
+			Pid: 1, Tid: tid,
 		}
 		if e.Cat == CatPass {
 			te.Args = map[string]any{

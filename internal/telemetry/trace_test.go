@@ -43,6 +43,102 @@ func TestTraceGolden(t *testing.T) {
 	}
 }
 
+// TestTraceRoundTrip encodes a trace and decodes it back through the
+// exported schema: the decoded TraceFile must reproduce the original
+// event list exactly, so the JSON on disk is a faithful serialization.
+func TestTraceRoundTrip(t *testing.T) {
+	c := traceFixture()
+	c.AddEvent(Event{Name: "kernel.parallel_region", Cat: CatThread,
+		Detail: "tid 1", Start: 5 * time.Millisecond, Dur: 2 * time.Millisecond, TID: 3})
+	orig := c.Trace()
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace does not parse back: %v", err)
+	}
+	if decoded.DisplayTimeUnit != orig.DisplayTimeUnit {
+		t.Errorf("displayTimeUnit %q != %q", decoded.DisplayTimeUnit, orig.DisplayTimeUnit)
+	}
+	if len(decoded.TraceEvents) != len(orig.TraceEvents) {
+		t.Fatalf("decoded %d events, want %d", len(decoded.TraceEvents), len(orig.TraceEvents))
+	}
+	for i, want := range orig.TraceEvents {
+		got := decoded.TraceEvents[i]
+		if got.Name != want.Name || got.Cat != want.Cat || got.Ph != want.Ph ||
+			got.Ts != want.Ts || got.Dur != want.Dur || got.Pid != want.Pid || got.Tid != want.Tid {
+			t.Errorf("event %d round-trips as %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestTraceDeterministicOrder feeds the same events into two contexts in
+// different completion orders (as concurrent workers would) and requires
+// byte-identical serialized traces.
+func TestTraceDeterministicOrder(t *testing.T) {
+	evs := []Event{
+		{Name: "region", Cat: CatRegion, Start: time.Millisecond, Dur: 8 * time.Millisecond, TID: 0},
+		{Name: "mt", Cat: CatThread, Detail: "tid 0", Start: time.Millisecond, Dur: 4 * time.Millisecond, TID: 2},
+		{Name: "mt", Cat: CatThread, Detail: "tid 1", Start: time.Millisecond, Dur: 5 * time.Millisecond, TID: 3},
+		{Name: "mt", Cat: CatThread, Detail: "tid 2", Start: time.Millisecond, Dur: 3 * time.Millisecond, TID: 4},
+	}
+	serialize := func(order []int) string {
+		c := NewWithClock(fakeClock(time.Millisecond))
+		for _, i := range order {
+			c.AddEvent(evs[i])
+		}
+		var buf bytes.Buffer
+		if err := c.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := serialize([]int{0, 1, 2, 3})
+	for _, order := range [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}} {
+		if got := serialize(order); got != want {
+			t.Errorf("insertion order %v changes trace output:\n%s\nvs\n%s", order, got, want)
+		}
+	}
+}
+
+// TestTraceThreadTracks checks that runtime events with explicit track
+// ids land on their own Tid rows while StartSpan events keep track 1.
+func TestTraceThreadTracks(t *testing.T) {
+	c := traceFixture()
+	c.AddEvent(Event{Name: "mt", Cat: CatThread, Detail: "tid 0",
+		Start: 10 * time.Millisecond, Dur: time.Millisecond, TID: 2})
+	c.AddEvent(Event{Name: "mt", Cat: CatThread, Detail: "tid 1",
+		Start: 10 * time.Millisecond, Dur: time.Millisecond, TID: 3})
+	tf := c.Trace()
+	tids := map[int]int{}
+	for _, e := range tf.TraceEvents {
+		tids[e.Tid]++
+	}
+	if tids[1] != 2 || tids[2] != 1 || tids[3] != 1 {
+		t.Errorf("track distribution = %v, want 2 on tid 1 and 1 each on tids 2,3", tids)
+	}
+}
+
+// TestNowAndAddEventDisabled: the runtime-event API must be inert and
+// allocation-free on a nil context (the interpreter's disabled path).
+func TestNowAndAddEventDisabled(t *testing.T) {
+	var c *Ctx
+	n := testing.AllocsPerRun(200, func() {
+		if c.Now() != 0 {
+			t.Fatal("nil ctx Now != 0")
+		}
+		c.AddEvent(Event{Name: "x"})
+	})
+	if n != 0 {
+		t.Fatalf("disabled AddEvent/Now path allocates %v times per op, want 0", n)
+	}
+	if len(c.Events()) != 0 {
+		t.Fatal("nil ctx recorded events")
+	}
+}
+
 // TestTraceSchema checks the invariants chrome://tracing relies on:
 // complete ("X") events, microsecond timestamps sorted ascending, and
 // the per-pass args payload.

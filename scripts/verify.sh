@@ -28,4 +28,16 @@ go test -race -count=1 -run 'TestDeterminismGolden|TestVerifyEachPolyBench' ./in
 echo "== driver benchmarks (writes BENCH_driver.json)"
 go test -bench=Driver -benchtime=1x ./internal/driver/
 
+echo "== interp: observability + goroutine runtime under the race detector"
+go test -race -count=1 ./internal/interp/
+
+echo "== runtime observability smoke (writes BENCH_runtime.json + BENCH_runtime_trace.json)"
+go test -run '^$' -bench=RuntimeProfile -benchtime=1x .
+grep -q '"schema": "splendid-runtime-profile/v1"' BENCH_runtime.json
+grep -q '"traceEvents"' BENCH_runtime_trace.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool BENCH_runtime.json >/dev/null
+    python3 -m json.tool BENCH_runtime_trace.json >/dev/null
+fi
+
 echo "verify: OK"
