@@ -1,10 +1,23 @@
-.PHONY: verify test bench bench-runtime
+.PHONY: verify test bench bench-runtime difftest fuzz
 
 verify:
 	sh scripts/verify.sh
 
 test:
 	go test ./...
+
+# Round-trip differential sweep over generated programs; exit 1 on any
+# divergence. Override SEEDS/START for longer or shifted sweeps.
+START ?= 1
+SEEDS ?= 500
+difftest:
+	go run ./cmd/difftest -seed $(START) -n $(SEEDS)
+
+# Short native-fuzzing smoke of both harnesses (the IR text round trip
+# and the full differential round trip).
+fuzz:
+	go test -run '^$$' -fuzz='^FuzzIRParseRoundTrip$$' -fuzztime=10s ./internal/ir/
+	go test -run '^$$' -fuzz='^FuzzRoundTripExec$$' -fuzztime=10s ./internal/difftest/
 
 # Full benchmark sweep; BenchmarkTelemetryStages leaves per-stage
 # timings in BENCH_telemetry.json and BenchmarkDriverPipeline leaves the

@@ -1,6 +1,7 @@
 package cast
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -201,5 +202,21 @@ func TestParenAndPrivateClause(t *testing.T) {
 		Body: &Block{Stmts: []Stmt{p}}}}}
 	if got := Print(f); !strings.Contains(got, "#pragma omp parallel private(x, y)") {
 		t.Errorf("private clause missing:\n%s", got)
+	}
+}
+
+// -9223372036854775808 is not a valid C constant: it parses as unary
+// minus applied to a literal that overflows long. The printer must
+// spell INT64_MIN the way limits.h does so emitted sources recompile.
+func TestIntLitMinInt64(t *testing.T) {
+	got := ExprString(&IntLit{V: math.MinInt64})
+	if got != "(-9223372036854775807 - 1)" {
+		t.Errorf("INT64_MIN printed as %q", got)
+	}
+	if s := ExprString(&Bin{Op: "&", L: &Ident{Name: "x"}, R: &IntLit{V: math.MinInt64}}); !strings.Contains(s, "(-9223372036854775807 - 1)") {
+		t.Errorf("INT64_MIN inside expression printed as %q", s)
+	}
+	if got := ExprString(&IntLit{V: math.MaxInt64}); got != "9223372036854775807" {
+		t.Errorf("INT64_MAX printed as %q", got)
 	}
 }

@@ -2,6 +2,7 @@ package cast
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -267,6 +268,11 @@ func exprPrec(e Expr, parent int) string {
 	case *Ident:
 		return x.Name
 	case *IntLit:
+		if x.V == math.MinInt64 {
+			// -9223372036854775808 is unary minus on a literal that
+			// overflows long; spell it the way limits.h does.
+			return "(-9223372036854775807 - 1)"
+		}
 		return strconv.FormatInt(x.V, 10)
 	case *FloatLit:
 		s := strconv.FormatFloat(x.V, 'g', -1, 64)

@@ -446,7 +446,8 @@ func (c *compiler) genStmt(s cast.Stmt) error {
 	case *cast.OmpParallelFor:
 		inner := &cast.OmpFor{
 			Schedule: st.Schedule, Chunk: st.Chunk, Private: st.Private,
-			Loop: st.Loop,
+			Reductions: st.Reductions,
+			Loop:       st.Loop,
 		}
 		return c.genOmpParallel(&cast.Block{Stmts: []cast.Stmt{inner}}, nil)
 

@@ -1,0 +1,399 @@
+// Package cgen generates random C programs inside the cfront subset for
+// differential testing. Programs are deterministic functions of a seed
+// and are built to make the round-trip oracle's comparisons exact:
+//
+//   - Float values are small dyadic rationals (multiples of 0.5 with
+//     bounded magnitude) combined only with +, -, and multiplication by
+//     small constants, so every partial sum in a parallel reduction is
+//     exact and the result is bitwise order-independent.
+//   - Divisors and modulus operands are nonzero by construction
+//     (constants, or `expr | 1`); shift counts come from a safe set.
+//   - At most one deliberately trapping statement (over-shift, division
+//     by zero, constant out-of-bounds index) per program, placed in
+//     straight-line sequential code so every pipeline stage traps with
+//     the same kind in the same entry.
+//   - Array subscripts are in bounds by construction: plain `[i]`,
+//     offset subscripts inside a margin-narrowed loop, or masked with
+//     `& (N-1)` (N is always a power of two).
+//
+// Each program defines three zero-argument entries run in order by the
+// oracle: init_data (fills globals), kernel (the code under test, where
+// pragmas and edge cases live), and check (sequential checksums printed
+// via print_i64/print_f64).
+package cgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config controls generation. The zero value of the booleans means
+// "enabled"; use Default() unless a test needs a restricted grammar.
+type Config struct {
+	Seed uint64
+	// NoPragmas suppresses `#pragma omp parallel for` annotations.
+	NoPragmas bool
+	// NoTraps suppresses the rare deliberately trapping statements.
+	NoTraps bool
+	// MaxKernelStmts bounds the kernel body (<=0 means 4).
+	MaxKernelStmts int
+}
+
+// Default returns the shipped generator configuration for a seed.
+func Default(seed uint64) Config { return Config{Seed: seed} }
+
+// Program is one generated test case.
+type Program struct {
+	Seed    uint64
+	Source  string
+	Entries []string
+	// Trapping records whether a deliberately trapping statement was
+	// emitted (the oracle then expects every stage to trap alike).
+	Trapping bool
+}
+
+// prng is splitmix64: deterministic, platform-independent.
+type prng struct{ s uint64 }
+
+func (r *prng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *prng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *prng) chance(pct int) bool { return r.intn(100) < pct }
+
+func (r *prng) pick(ss []string) string { return ss[r.intn(len(ss))] }
+
+// generator state for one program.
+type gen struct {
+	r        *prng
+	cfg      Config
+	n        int // array length; always a power of two
+	b        strings.Builder
+	trapUsed bool
+	tmpSeq   int // uniquifies kernel-local accumulator names
+
+	intArrs   []string
+	floatArrs []string
+	scalars   []string // long
+}
+
+// Generate produces the program for cfg, deterministically.
+func Generate(cfg Config) *Program {
+	g := &gen{
+		r:         &prng{s: cfg.Seed*0x2545f4914f6cdd1d + 0x1234567},
+		cfg:       cfg,
+		intArrs:   []string{"I0", "I1", "I2"},
+		floatArrs: []string{"F0", "F1"},
+		scalars:   []string{"s0", "s1", "s2"},
+	}
+	g.n = []int{32, 64}[g.r.intn(2)]
+	g.globals()
+	g.initData()
+	g.kernel()
+	g.check()
+	return &Program{
+		Seed:     cfg.Seed,
+		Source:   g.b.String(),
+		Entries:  []string{"init_data", "kernel", "check"},
+		Trapping: g.trapUsed,
+	}
+}
+
+func (g *gen) pf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+// edgeConsts are the integer constants the paper-scale arithmetic should
+// be exercised against. INT64_MIN must be spelled as an expression (the
+// bare literal does not fit a positive int64 during lexing).
+var edgeConsts = []string{
+	"0", "1", "-1", "2", "7", "63", "1023", "-42",
+	"9223372036854775807", "(-9223372036854775807 - 1)",
+}
+
+// safeShiftCounts never trap.
+var safeShiftCounts = []string{"1", "3", "7", "31", "63"}
+
+func (g *gen) globals() {
+	g.pf("#define N %d\n\n", g.n)
+	for _, a := range g.intArrs {
+		g.pf("long %s[N];\n", a)
+	}
+	for _, a := range g.floatArrs {
+		g.pf("double %s[N];\n", a)
+	}
+	// Global initializers must be plain literals in the cfront subset;
+	// negative and INT64_MIN edge values enter via kernel expressions.
+	literals := []string{"0", "1", "2", "7", "63", "1023", "9223372036854775807"}
+	for _, s := range g.scalars {
+		g.pf("long %s = %s;\n", s, g.r.pick(literals))
+	}
+	g.pf("double fs0 = 0.0;\n\n")
+}
+
+// initData fills every array with a modular pattern so each seed starts
+// from distinct, bounded data. Float cells are multiples of 0.5 below 8.
+func (g *gen) initData() {
+	g.pf("void init_data() {\n")
+	g.pf("  for (long i = 0; i < N; i++) {\n")
+	for _, a := range g.intArrs {
+		g.pf("    %s[i] = (i * %d + %d) %% %d - %d;\n",
+			a, 3+g.r.intn(9), g.r.intn(7), 11+g.r.intn(12), g.r.intn(5))
+	}
+	for _, a := range g.floatArrs {
+		g.pf("    %s[i] = ((i * %d + %d) %% 16 - %d) * 0.5;\n",
+			a, 3+g.r.intn(7), g.r.intn(5), g.r.intn(8))
+	}
+	g.pf("  }\n}\n\n")
+}
+
+func (g *gen) kernel() {
+	g.pf("void kernel() {\n")
+	max := g.cfg.MaxKernelStmts
+	if max <= 0 {
+		max = 4
+	}
+	nstmt := 2 + g.r.intn(max-1)
+	// At most one trapping statement per program, at a random position,
+	// so the trap kind and entry are unambiguous at every stage.
+	trapAt := -1
+	if !g.cfg.NoTraps && g.r.chance(12) {
+		trapAt = g.r.intn(nstmt)
+	}
+	for i := 0; i < nstmt; i++ {
+		if i == trapAt {
+			g.trapStmt()
+			g.trapUsed = true
+			continue
+		}
+		switch g.r.intn(7) {
+		case 0:
+			g.intLoop()
+		case 1:
+			g.floatLoop()
+		case 2:
+			g.reductionLoop()
+		case 3:
+			g.nestedLoop()
+		case 4:
+			g.recurrenceLoop()
+		default:
+			g.scalarStmts()
+		}
+	}
+	g.pf("}\n\n")
+}
+
+// pragma emits a parallel-for annotation with a random schedule, or
+// nothing when pragmas are disabled or the coin says sequential.
+func (g *gen) pragma(extra string) {
+	if g.cfg.NoPragmas || !g.r.chance(60) {
+		return
+	}
+	sched := ""
+	switch g.r.intn(3) {
+	case 0:
+		sched = " schedule(static)"
+	case 1:
+		sched = fmt.Sprintf(" schedule(static, %d)", 1+g.r.intn(7))
+	case 2:
+		sched = fmt.Sprintf(" schedule(dynamic, %d)", 1+g.r.intn(7))
+	}
+	g.pf("  #pragma omp parallel for%s%s\n", sched, extra)
+}
+
+// intLoop emits an elementwise loop writing one int array. Reads of the
+// destination use subscript [i] only; other arrays may be offset (the
+// loop bounds leave the margin) — the access pattern is DOALL by
+// construction, so a pragma is always sound.
+func (g *gen) intLoop() {
+	dst := g.r.pick(g.intArrs)
+	s1, s2 := g.r.pick(g.intArrs), g.r.pick(g.intArrs)
+	o1, o2 := g.r.intn(5)-2, g.r.intn(5)-2
+	if s1 == dst {
+		o1 = 0
+	}
+	if s2 == dst {
+		o2 = 0
+	}
+	lo, hi := 2, "N - 2"
+	op := g.r.pick([]string{"+", "-", "*", "&", "|", "^"})
+	rhs := fmt.Sprintf("%s[i%s] %s %s[i%s]", s1, off(o1), op, s2, off(o2))
+	switch g.r.intn(4) {
+	case 0:
+		rhs = fmt.Sprintf("(%s) * %d + i", rhs, 1+g.r.intn(5))
+	case 1:
+		rhs = fmt.Sprintf("(%s) >> %s", rhs, g.r.pick(safeShiftCounts[:3]))
+	case 2:
+		rhs = fmt.Sprintf("(%s) %% %d", rhs, 5+g.r.intn(9))
+	}
+	g.pragma("")
+	g.pf("  for (long i = %d; i < %s; i++) {\n", lo, hi)
+	if g.r.chance(25) {
+		alt := fmt.Sprintf("%s[i] - %d", s1, 1+g.r.intn(4))
+		g.pf("    if (%s[i] > %d) {\n      %s[i] = %s;\n    } else {\n      %s[i] = %s;\n    }\n",
+			s2, g.r.intn(6), dst, rhs, dst, alt)
+	} else {
+		g.pf("    %s[i] = %s;\n", dst, rhs)
+	}
+	g.pf("  }\n")
+}
+
+// floatLoop keeps float arithmetic exact: +, -, and multiplication by
+// small dyadic constants only, so parallel execution is bitwise equal.
+func (g *gen) floatLoop() {
+	dst := g.r.pick(g.floatArrs)
+	s1, s2 := g.r.pick(g.floatArrs), g.r.pick(g.floatArrs)
+	o1, o2 := g.r.intn(5)-2, g.r.intn(5)-2
+	if s1 == dst {
+		o1 = 0
+	}
+	if s2 == dst {
+		o2 = 0
+	}
+	op := g.r.pick([]string{"+", "-"})
+	c := g.r.pick([]string{"0.5", "1.5", "2.0", "3.0", "-0.5"})
+	g.pragma("")
+	g.pf("  for (long i = 2; i < N - 2; i++) {\n")
+	g.pf("    %s[i] = %s[i%s] %s %s[i%s] * %s;\n", dst, s1, off(o1), op, s2, off(o2), c)
+	g.pf("  }\n")
+}
+
+// reductionLoop sums into a local accumulator under a reduction clause
+// (or sequentially), then publishes to a global scalar.
+func (g *gen) reductionLoop() {
+	g.tmpSeq++
+	if g.r.chance(35) {
+		// Float sum: exact because every element is a bounded multiple
+		// of 0.5 (atomic combination order cannot change the bits).
+		a := g.r.pick(g.floatArrs)
+		acc := fmt.Sprintf("facc%d", g.tmpSeq)
+		g.pf("  double %s = 0.0;\n", acc)
+		g.pragma(fmt.Sprintf(" reduction(+: %s)", acc))
+		g.pf("  for (long i = 0; i < N; i++) {\n    %s = %s + %s[i];\n  }\n", acc, acc, a)
+		g.pf("  fs0 = %s + fs0;\n", acc)
+		return
+	}
+	a := g.r.pick(g.intArrs)
+	dst := g.r.pick(g.scalars)
+	acc := fmt.Sprintf("acc%d", g.tmpSeq)
+	op, combine := "+", fmt.Sprintf("%s = %s + %%s[i] * %%d;\n", acc, acc)
+	if g.r.chance(20) {
+		op, combine = "*", fmt.Sprintf("%s = %s * (%%s[i] | %%d);\n", acc, acc)
+	}
+	init := "0"
+	if op == "*" {
+		init = "1"
+	}
+	g.pf("  long %s = %s;\n", acc, init)
+	g.pragma(fmt.Sprintf(" reduction(%s: %s)", op, acc))
+	g.pf("  for (long i = 0; i < N; i++) {\n    "+combine+"  }\n", a, 1+g.r.intn(5))
+	g.pf("  %s = %s;\n", dst, acc)
+}
+
+// nestedLoop is a 2-deep nest whose inner subscript is masked into
+// bounds (N is a power of two).
+func (g *gen) nestedLoop() {
+	di := g.r.intn(len(g.intArrs))
+	dst := g.intArrs[di]
+	src := g.intArrs[(di+1+g.r.intn(len(g.intArrs)-1))%len(g.intArrs)]
+	g.pragma("")
+	g.pf("  for (long i = 0; i < N; i++) {\n")
+	g.pf("    for (long j = 0; j < %d; j++) {\n", 2+g.r.intn(7))
+	g.pf("      %s[i] = %s[i] + %s[(i + j) & (N - 1)] * %d;\n", dst, dst, src, 1+g.r.intn(4))
+	g.pf("    }\n  }\n")
+}
+
+// recurrenceLoop is deliberately loop-carried and never annotated: the
+// auto-parallelizer must refuse it, and the dynamic race checker
+// cross-checks that verdict.
+func (g *gen) recurrenceLoop() {
+	dst := g.r.pick(g.intArrs)
+	src := g.r.pick(g.intArrs)
+	g.pf("  for (long i = 1; i < N; i++) {\n")
+	g.pf("    %s[i] = %s[i - 1] + %s[i] * %d;\n", dst, dst, src, 1+g.r.intn(4))
+	g.pf("  }\n")
+}
+
+// scalarStmts emits 1-3 straight-line scalar assignments over the global
+// longs, exercising edge constants with trap-free operand shapes.
+func (g *gen) scalarStmts() {
+	for k := 0; k <= g.r.intn(3); k++ {
+		dst := g.r.pick(g.scalars)
+		a, b := g.r.pick(g.scalars), g.r.pick(g.scalars)
+		switch g.r.intn(6) {
+		case 0:
+			g.pf("  %s = (%s %s %s) %s %s;\n", dst, a,
+				g.r.pick([]string{"+", "-", "*"}), b,
+				g.r.pick([]string{"+", "^", "&", "|"}),
+				edgeConsts[g.r.intn(len(edgeConsts))])
+		case 1:
+			g.pf("  %s = %s << %s;\n", dst, a, g.r.pick(safeShiftCounts))
+		case 2:
+			g.pf("  %s = %s >> (%s & 63);\n", dst, a, b)
+		case 3:
+			g.pf("  %s = %s / (%s | 1);\n", dst, a, b)
+		case 4:
+			g.pf("  %s = %s %% (%s | 1);\n", dst, a, b)
+		case 5:
+			g.pf("  %s = (%s > %s) ? %s : %s + 1;\n", dst, a, b, a, b)
+		}
+	}
+}
+
+// trapStmt emits one statement that must trap identically at every
+// pipeline stage (the satellite interpreter fixes made these precise).
+func (g *gen) trapStmt() {
+	dst := g.r.pick(g.scalars)
+	a := g.r.pick(g.scalars)
+	switch g.r.intn(5) {
+	case 0:
+		g.pf("  %s = %s << 64;\n", dst, a) // shift-out-of-bounds
+	case 1:
+		g.pf("  %s = %s >> (0 - 1);\n", dst, a) // negative count
+	case 2:
+		g.pf("  %s = %s / (%s - %s);\n", dst, a, a, a) // div-by-zero
+	case 3:
+		g.pf("  %s = %s %% (%s - %s);\n", dst, a, a, a) // rem-by-zero
+	case 4:
+		g.pf("  %s = %s[N + %d];\n", dst, g.r.pick(g.intArrs), 1+g.r.intn(8)) // mem-out-of-bounds
+	}
+}
+
+// check prints every scalar and a sequential checksum of every array.
+// The `h*31 + x` recurrence is not a recognized reduction, so check
+// stays sequential even under auto-parallelization.
+func (g *gen) check() {
+	g.pf("void check() {\n")
+	for _, s := range g.scalars {
+		g.pf("  print_i64(%s);\n", s)
+	}
+	g.pf("  print_f64(fs0);\n")
+	for _, a := range g.intArrs {
+		g.pf("  long h_%s = 0;\n", a)
+		g.pf("  for (long i = 0; i < N; i++) {\n    h_%s = h_%s * 31 + %s[i];\n  }\n", a, a, a)
+		g.pf("  print_i64(h_%s);\n", a)
+	}
+	for _, a := range g.floatArrs {
+		g.pf("  double fh_%s = 0.0;\n", a)
+		g.pf("  for (long i = 0; i < N; i++) {\n    fh_%s = fh_%s + %s[i];\n  }\n", a, a, a)
+		g.pf("  print_f64(fh_%s);\n", a)
+	}
+	g.pf("}\n")
+}
+
+func off(k int) string {
+	switch {
+	case k > 0:
+		return fmt.Sprintf(" + %d", k)
+	case k < 0:
+		return fmt.Sprintf(" - %d", -k)
+	}
+	return ""
+}

@@ -1,0 +1,303 @@
+package difftest
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Reduce shrinks a failing IR module, bugpoint style. failing receives
+// a parsed and verified candidate and reports whether the original
+// failure still reproduces; the reducer greedily keeps any smaller
+// candidate that does. Strategies run coarse to fine — drop whole
+// functions, stub bodies to a bare return, fold conditional branches,
+// delete unreachable blocks, delete individual instructions (uses
+// replaced with undef) — and repeat until a full sweep makes no
+// progress. Every candidate is validated by print → reparse → Verify
+// before it is offered to the predicate, so structural damage (dangling
+// symbols, missing terminators) is rejected rather than reported as a
+// "still failing" mutant.
+func Reduce(irText string, failing func(*ir.Module) bool, maxRounds int) (*ReduceResult, error) {
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	m, err := parseValid(irText)
+	if err != nil {
+		return nil, fmt.Errorf("reduce: input does not parse: %w", err)
+	}
+	if !failing(m) {
+		return nil, fmt.Errorf("reduce: input does not fail the predicate")
+	}
+	r := &reducer{cur: m.Print(), failing: failing}
+	res := &ReduceResult{InputInstrs: countInstrs(m)}
+	for round := 0; round < maxRounds; round++ {
+		res.Rounds = round + 1
+		progress := false
+		for _, pass := range []func() bool{
+			r.dropFuncs, r.stubFuncs, r.foldBranches, r.dropBlocks, r.dropInstrs,
+		} {
+			if pass() {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	final, _ := parseValid(r.cur)
+	res.IR = r.cur
+	res.Instrs = countInstrs(final)
+	res.Tries = r.tries
+	return res, nil
+}
+
+// ReduceResult is the reducer's summary.
+type ReduceResult struct {
+	IR          string // the reduced module, printed
+	InputInstrs int    // instruction count before reduction
+	Instrs      int    // instruction count after
+	Rounds      int    // sweeps performed
+	Tries       int    // candidate modules tested
+}
+
+func parseValid(text string) (*ir.Module, error) {
+	m, err := ir.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func countInstrs(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+type reducer struct {
+	cur     string
+	failing func(*ir.Module) bool
+	tries   int
+}
+
+// attempt applies mutate to a fresh parse of the current module and
+// keeps the result when it is a different, valid, still-failing module.
+func (r *reducer) attempt(mutate func(*ir.Module) bool) bool {
+	m, err := ir.Parse(r.cur)
+	if err != nil {
+		return false
+	}
+	if !mutate(m) {
+		return false
+	}
+	text := m.Print()
+	if text == r.cur {
+		return false
+	}
+	cand, err := parseValid(text)
+	if err != nil {
+		return false
+	}
+	r.tries++
+	if !r.failing(cand) {
+		return false
+	}
+	r.cur = text
+	return true
+}
+
+// sweep walks a positional candidate space: count sizes it on the
+// current module, mutate applies candidate i. After a successful
+// shrink the index is NOT advanced (the space shifted underneath it).
+func (r *reducer) sweep(count func(*ir.Module) int, mutate func(*ir.Module, int) bool) bool {
+	any := false
+	for i := 0; ; {
+		m, err := ir.Parse(r.cur)
+		if err != nil || i >= count(m) {
+			return any
+		}
+		if r.attempt(func(m *ir.Module) bool { return mutate(m, i) }) {
+			any = true
+			continue
+		}
+		i++
+	}
+}
+
+func definedFuncs(m *ir.Module) []*ir.Function {
+	var fs []*ir.Function
+	for _, f := range m.Funcs {
+		if !f.IsDecl() {
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+func (r *reducer) dropFuncs() bool {
+	return r.sweep(
+		func(m *ir.Module) int { return len(definedFuncs(m)) },
+		func(m *ir.Module, i int) bool {
+			m.RemoveFunc(definedFuncs(m)[i])
+			return true
+		})
+}
+
+// stubFuncs replaces a function body with a single zero return; calls
+// to it still resolve, so callers survive even when the callee's logic
+// is irrelevant to the failure.
+func (r *reducer) stubFuncs() bool {
+	return r.sweep(
+		func(m *ir.Module) int { return len(definedFuncs(m)) },
+		func(m *ir.Module, i int) bool {
+			f := definedFuncs(m)[i]
+			if len(f.Blocks) == 1 && len(f.Entry().Instrs) == 1 {
+				return false // already a stub
+			}
+			f.Blocks = nil
+			b := f.NewBlock("entry")
+			ret := &ir.Instr{Op: ir.OpRet, Typ: ir.Void}
+			if z := zeroValue(f.Sig.Ret); z != nil {
+				ret.Args = []ir.Value{z}
+			}
+			b.Append(ret)
+			return true
+		})
+}
+
+func zeroValue(t ir.Type) ir.Value {
+	switch tt := t.(type) {
+	case *ir.PtrType:
+		return &ir.ConstNull{Typ: tt}
+	case *ir.BasicType:
+		switch {
+		case ir.IsVoid(tt):
+			return nil
+		case ir.IsFloatType(tt):
+			return &ir.ConstFloat{Typ: tt, V: 0}
+		}
+		return &ir.ConstInt{Typ: tt, V: 0}
+	}
+	// Aggregate returns can't be stubbed; the bare ret this produces is
+	// rejected by the verifier, so the mutation is simply skipped.
+	return nil
+}
+
+// condBrs flattens every conditional branch as (block, chosen-arm).
+func condBrs(m *ir.Module) []*ir.Block {
+	var bs []*ir.Block
+	for _, f := range definedFuncs(m) {
+		for _, b := range f.Blocks {
+			if t := b.Terminator(); t != nil && t.Op == ir.OpCondBr {
+				bs = append(bs, b)
+			}
+		}
+	}
+	return bs
+}
+
+// foldBranches rewrites a conditional branch into an unconditional one
+// (both arms are tried). Blocks this strands are cleaned by dropBlocks.
+func (r *reducer) foldBranches() bool {
+	return r.sweep(
+		func(m *ir.Module) int { return 2 * len(condBrs(m)) },
+		func(m *ir.Module, i int) bool {
+			b := condBrs(m)[i/2]
+			t := b.Terminator()
+			keep, drop := t.Blocks[i%2], t.Blocks[1-i%2]
+			b.RemoveInstr(t)
+			b.Append(&ir.Instr{Op: ir.OpBr, Typ: ir.Void, Blocks: []*ir.Block{keep}})
+			if drop != keep {
+				for _, phi := range drop.Phis() {
+					phi.RemovePhiIncoming(b)
+				}
+			}
+			return true
+		})
+}
+
+// orphanBlocks lists non-entry blocks with no predecessors.
+func orphanBlocks(m *ir.Module) []*ir.Block {
+	var bs []*ir.Block
+	for _, f := range definedFuncs(m) {
+		for _, b := range f.Blocks[1:] {
+			if len(b.Preds()) == 0 {
+				bs = append(bs, b)
+			}
+		}
+	}
+	return bs
+}
+
+func (r *reducer) dropBlocks() bool {
+	return r.sweep(
+		func(m *ir.Module) int { return len(orphanBlocks(m)) },
+		func(m *ir.Module, i int) bool {
+			b := orphanBlocks(m)[i]
+			f := b.Parent
+			for _, s := range b.Succs() {
+				for _, phi := range s.Phis() {
+					phi.RemovePhiIncoming(b)
+				}
+			}
+			for _, in := range b.Instrs {
+				if in.HasResult() {
+					f.ReplaceAllUses(in, ir.Undef(in.Typ))
+				}
+			}
+			f.RemoveBlock(b)
+			return true
+		})
+}
+
+// instrAt flattens every deletable (non-terminator) instruction.
+func instrAt(m *ir.Module, i int) (*ir.Block, *ir.Instr) {
+	for _, f := range definedFuncs(m) {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.IsTerminator() {
+					continue
+				}
+				if i == 0 {
+					return b, in
+				}
+				i--
+			}
+		}
+	}
+	return nil, nil
+}
+
+func countDeletable(m *ir.Module) int {
+	n := 0
+	for _, f := range definedFuncs(m) {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.IsTerminator() {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func (r *reducer) dropInstrs() bool {
+	return r.sweep(countDeletable,
+		func(m *ir.Module, i int) bool {
+			b, in := instrAt(m, i)
+			if in == nil {
+				return false
+			}
+			if in.HasResult() {
+				b.Parent.ReplaceAllUses(in, ir.Undef(in.Typ))
+			}
+			b.RemoveInstr(in)
+			return true
+		})
+}

@@ -50,6 +50,12 @@ func (ex *exec) trap(format string, args ...any) {
 	panic(&Trap{Msg: fmt.Sprintf(format, args...)})
 }
 
+// trapk raises a trap carrying a category, for sites whose failures the
+// differential oracle compares across modules.
+func (ex *exec) trapk(kind TrapKind, format string, args ...any) {
+	panic(&Trap{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
 // frame holds the SSA values of one activation.
 type frame struct {
 	fn    *ir.Function
@@ -93,7 +99,7 @@ func (ex *exec) callFunction(f *ir.Function, args []Value) Value {
 	}
 	ex.depth++
 	if ex.depth > maxCallDepth {
-		ex.trap("call depth exceeded (%d): runaway recursion in @%s", maxCallDepth, f.Nam)
+		ex.trapk(TrapCallDepth, "call depth exceeded (%d): runaway recursion in @%s", maxCallDepth, f.Nam)
 	}
 	defer func() { ex.depth-- }()
 	fi := ex.m.info(f)
@@ -161,7 +167,7 @@ func (ex *exec) step() {
 	if ex.m.Opts.Fuel > 0 {
 		ex.fuelLeft--
 		if ex.fuelLeft <= 0 {
-			ex.trap("fuel exhausted")
+			ex.trapk(TrapFuel, "fuel exhausted")
 		}
 	}
 }
@@ -286,10 +292,10 @@ func (ex *exec) execInstr(fr *frame, in *ir.Instr) {
 
 func (ex *exec) load(p Value, in *ir.Instr) Value {
 	if p.K != KPtr || p.P.Nil() {
-		ex.trap("load through null/non-pointer at %%%s", in.Nam)
+		ex.trapk(TrapNullDeref, "load through null/non-pointer at %%%s", in.Nam)
 	}
 	if p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
-		ex.trap("load out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
+		ex.trapk(TrapMemOOB, "load out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
 	}
 	if ex.racerec != nil {
 		ex.racerec.note(p.P.Obj, p.P.Off, ex.epoch, false)
@@ -299,10 +305,10 @@ func (ex *exec) load(p Value, in *ir.Instr) Value {
 
 func (ex *exec) store(p, v Value, in *ir.Instr) {
 	if p.K != KPtr || p.P.Nil() {
-		ex.trap("store through null/non-pointer")
+		ex.trapk(TrapNullDeref, "store through null/non-pointer")
 	}
 	if p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
-		ex.trap("store out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
+		ex.trapk(TrapMemOOB, "store out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
 	}
 	if ex.racerec != nil {
 		ex.racerec.note(p.P.Obj, p.P.Off, ex.epoch, true)
@@ -323,12 +329,12 @@ func (ex *exec) binop(in *ir.Instr, a, b Value) Value {
 		return IntV(a.I * b.I)
 	case ir.OpSDiv:
 		if b.I == 0 {
-			ex.trap("integer division by zero")
+			ex.trapk(TrapDivByZero, "integer division by zero")
 		}
 		return IntV(a.I / b.I)
 	case ir.OpSRem:
 		if b.I == 0 {
-			ex.trap("integer remainder by zero")
+			ex.trapk(TrapRemByZero, "integer remainder by zero")
 		}
 		return IntV(a.I % b.I)
 	case ir.OpAnd:
@@ -338,8 +344,17 @@ func (ex *exec) binop(in *ir.Instr, a, b Value) Value {
 	case ir.OpXor:
 		return IntV(a.I ^ b.I)
 	case ir.OpShl:
+		// LLVM makes an over-shift poison; a negative count would wrap
+		// through uint into a huge one. Trap on both rather than let the
+		// Go shift semantics (count >= 64 yields 0) leak through.
+		if b.I < 0 || b.I >= 64 {
+			ex.trapk(TrapShiftOOB, "shift count %d out of range [0,63]", b.I)
+		}
 		return IntV(a.I << uint(b.I))
 	case ir.OpAShr:
+		if b.I < 0 || b.I >= 64 {
+			ex.trapk(TrapShiftOOB, "shift count %d out of range [0,63]", b.I)
+		}
 		return IntV(a.I >> uint(b.I))
 	case ir.OpFAdd:
 		return FloatV(a.F + b.F)

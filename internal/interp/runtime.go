@@ -289,9 +289,21 @@ func (ex *exec) forkCall(args []Value) {
 	}
 	for _, err := range errs {
 		if err != nil {
-			panic(err.(*Trap))
+			rethrowWorkerErr(err)
 		}
 	}
+}
+
+// rethrowWorkerErr re-raises a worker's error on the forking thread.
+// Workers normally die by *Trap (protect converts the panic), which is
+// rethrown as-is so the trap's kind and message survive the join; any
+// other error is wrapped in a worker-kind Trap rather than lost to an
+// unchecked type assertion.
+func rethrowWorkerErr(err error) {
+	if t, ok := err.(*Trap); ok {
+		panic(t)
+	}
+	panic(&Trap{Kind: TrapWorker, Msg: fmt.Sprintf("worker error: %v", err)})
 }
 
 // staticInit implements __kmpc_for_static_init_8(gtid, sched, plast,

@@ -1,0 +1,171 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/omp"
+)
+
+// shiftMod builds a module computing `x <op> c` for a constant count.
+func shiftMod(t *testing.T, op string, count int64) *ir.Module {
+	t.Helper()
+	src := fmt.Sprintf(`
+define i64 @f(i64 %%x) {
+entry:
+  %%r = %s i64 %%x, %d
+  ret i64 %%r
+}
+`, op, count)
+	return ir.MustParse(src)
+}
+
+func TestShiftInRangeStillWorks(t *testing.T) {
+	// Count 63 is the largest legal i64 shift; it must not trap.
+	m := shiftMod(t, "shl", 63)
+	mach := NewMachine(m, Options{})
+	ret, err := mach.Run("f", IntV(1))
+	if err != nil {
+		t.Fatalf("shl by 63: %v", err)
+	}
+	var one int64 = 1
+	if want := one << 63; ret.I != want {
+		t.Errorf("1 shl 63 = %d, want %d", ret.I, want)
+	}
+	m = shiftMod(t, "ashr", 63)
+	mach = NewMachine(m, Options{})
+	ret, err = mach.Run("f", IntV(-1))
+	if err != nil {
+		t.Fatalf("ashr by 63: %v", err)
+	}
+	if ret.I != -1 {
+		t.Errorf("-1 ashr 63 = %d, want -1", ret.I)
+	}
+}
+
+func TestShiftOutOfRangeTraps(t *testing.T) {
+	for _, tc := range []struct {
+		op    string
+		count int64
+	}{
+		{"shl", 64}, {"shl", -1}, {"shl", 1000},
+		{"ashr", 64}, {"ashr", -1},
+	} {
+		m := shiftMod(t, tc.op, tc.count)
+		mach := NewMachine(m, Options{})
+		_, err := mach.Run("f", IntV(1))
+		if err == nil {
+			t.Errorf("%s by %d: no trap (Go wrap semantics leaked through)", tc.op, tc.count)
+			continue
+		}
+		if kind, ok := TrapKindOf(err); !ok || kind != TrapShiftOOB {
+			t.Errorf("%s by %d: trap kind = %v (ok=%v), want shift-out-of-bounds; err=%v",
+				tc.op, tc.count, kind, ok, err)
+		}
+	}
+}
+
+// The oracle compares traps by kind because messages name registers that
+// differ across a decompile/recompile round trip; TrapKindOf must see
+// through fmt.Errorf %w wrapping (driver.Execute wraps this way).
+func TestTrapKindOfWrapped(t *testing.T) {
+	base := &Trap{Kind: TrapDivByZero, Msg: "integer division by zero"}
+	wrapped := fmt.Errorf("execute @main: %w", base)
+	kind, ok := TrapKindOf(wrapped)
+	if !ok || kind != TrapDivByZero {
+		t.Errorf("TrapKindOf(wrapped) = %v, %v; want div-by-zero, true", kind, ok)
+	}
+	if kind, ok := TrapKindOf(errors.New("plain")); ok || kind != TrapGeneric {
+		t.Errorf("TrapKindOf(plain) = %v, %v; want generic, false", kind, ok)
+	}
+	if kind, ok := TrapKindOf(nil); ok || kind != TrapGeneric {
+		t.Errorf("TrapKindOf(nil) = %v, %v; want generic, false", kind, ok)
+	}
+}
+
+func TestTrapKindStrings(t *testing.T) {
+	kinds := []TrapKind{
+		TrapGeneric, TrapDivByZero, TrapRemByZero, TrapShiftOOB, TrapMemOOB,
+		TrapNullDeref, TrapFuel, TrapCallDepth, TrapWorker,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("TrapKind(%d).String() = %q (empty or duplicate)", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+// rethrowWorkerErr must preserve a worker's *Trap identity and must not
+// die on a bare type assertion when handed a non-Trap error.
+func TestRethrowWorkerErr(t *testing.T) {
+	orig := &Trap{Kind: TrapMemOOB, Msg: "store out of bounds"}
+	func() {
+		defer func() {
+			r := recover()
+			tr, ok := r.(*Trap)
+			if !ok || tr != orig {
+				t.Errorf("rethrow of *Trap: recovered %v, want original trap", r)
+			}
+		}()
+		rethrowWorkerErr(orig)
+	}()
+
+	func() {
+		defer func() {
+			r := recover()
+			tr, ok := r.(*Trap)
+			if !ok {
+				t.Fatalf("rethrow of non-Trap: recovered %T, want *Trap", r)
+			}
+			if tr.Kind != TrapWorker || !strings.Contains(tr.Msg, "goroutine exploded") {
+				t.Errorf("wrapped trap = kind %v msg %q, want worker-error carrying the original message", tr.Kind, tr.Msg)
+			}
+		}()
+		rethrowWorkerErr(errors.New("goroutine exploded"))
+	}()
+}
+
+// A trap inside a parallel worker must surface from Machine.Run with its
+// kind intact (the fork join rethrows the worker's trap on the forking
+// thread, protect converts it back to an error).
+func TestWorkerTrapPropagatesKind(t *testing.T) {
+	src := `
+declare void @__kmpc_fork_call(i32, ...)
+
+define void @body(i64* %gtid, i64* %btid, i64* %p) {
+entry:
+  %v = load i64, i64* %p
+  %r = shl i64 1, %v
+  store i64 %r, i64* %p
+  ret void
+}
+
+define i64 @main() {
+entry:
+  %p = alloca i64
+  store i64 99, i64* %p
+  call void @__kmpc_fork_call(i64 3, void (i64*, i64*, i64*)* @body, i64* %p)
+  %out = load i64, i64* %p
+  ret i64 %out
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	omp.DeclareRuntime(m)
+	mach := NewMachine(m, Options{NumThreads: 4})
+	_, err = mach.Run("main")
+	if err == nil {
+		t.Fatal("shift by 99 in worker: no trap")
+	}
+	if kind, ok := TrapKindOf(err); !ok || kind != TrapShiftOOB {
+		t.Errorf("worker trap kind = %v (ok=%v), want shift-out-of-bounds; err=%v", kind, ok, err)
+	}
+}

@@ -12,6 +12,7 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -109,8 +110,9 @@ func (v Value) String() string {
 // Trap is a runtime error raised by the interpreted program (out of
 // bounds, null dereference, division by zero, fuel exhaustion).
 type Trap struct {
-	Msg string
-	Fn  string
+	Kind TrapKind
+	Msg  string
+	Fn   string
 }
 
 func (t *Trap) Error() string {
@@ -118,4 +120,56 @@ func (t *Trap) Error() string {
 		return fmt.Sprintf("trap in @%s: %s", t.Fn, t.Msg)
 	}
 	return "trap: " + t.Msg
+}
+
+// TrapKind classifies a trap by cause. Differential testing compares two
+// executions of the "same" program whose trap *messages* legitimately
+// differ (register and object names change across a decompile/recompile
+// round trip), so equivalence is judged on the kind alone.
+type TrapKind uint8
+
+// Trap categories.
+const (
+	TrapGeneric   TrapKind = iota // uncategorized runtime error
+	TrapDivByZero                 // sdiv by zero
+	TrapRemByZero                 // srem by zero
+	TrapShiftOOB                  // shl/ashr count negative or >= bit width
+	TrapMemOOB                    // load/store outside an object
+	TrapNullDeref                 // load/store through null or non-pointer
+	TrapFuel                      // fuel budget exhausted
+	TrapCallDepth                 // interpreted recursion limit
+	TrapWorker                    // parallel worker died with a non-Trap error
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapDivByZero:
+		return "div-by-zero"
+	case TrapRemByZero:
+		return "rem-by-zero"
+	case TrapShiftOOB:
+		return "shift-out-of-bounds"
+	case TrapMemOOB:
+		return "mem-out-of-bounds"
+	case TrapNullDeref:
+		return "null-deref"
+	case TrapFuel:
+		return "fuel-exhausted"
+	case TrapCallDepth:
+		return "call-depth"
+	case TrapWorker:
+		return "worker-error"
+	}
+	return "generic"
+}
+
+// TrapKindOf extracts the trap category from an error chain (the driver
+// wraps execution errors with %w). The bool is false when err does not
+// wrap a *Trap at all.
+func TrapKindOf(err error) (TrapKind, bool) {
+	var t *Trap
+	if errors.As(err, &t) {
+		return t.Kind, true
+	}
+	return TrapGeneric, false
 }

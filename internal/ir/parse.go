@@ -93,6 +93,11 @@ scan:
 		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
 			l.pos++
 		}
+		if l.pos == start+1 {
+			// A bare sigil names nothing; let expects fail on it.
+			l.tok = token{kind: tPunct, text: string(c), line: l.line}
+			return
+		}
 		kind := tLocal
 		if c == '@' {
 			kind = tGlobal
@@ -283,7 +288,10 @@ func (p *parser) parseType() (Type, error) {
 		if _, err := p.expect(tPunct, "]"); err != nil {
 			return nil, err
 		}
-		ln, _ := strconv.Atoi(n.text)
+		ln, err := strconv.Atoi(n.text)
+		if err != nil || ln < 0 {
+			return nil, p.errf("bad array length %q", n.text)
+		}
 		base = Array(ln, elem)
 	default:
 		return nil, p.errf("expected type, got %q", t.text)
@@ -399,6 +407,9 @@ func (p *parser) parseOperand(typ Type, in *Instr, argIdx int) (Value, error) {
 	case tLocal:
 		p.advance()
 		if v, ok := p.vals[t.text]; ok {
+			if typ != nil && v.Type() != nil && !v.Type().Equal(typ) {
+				return nil, p.errf("%%%s has type %s, used as %s", t.text, v.Type(), typ)
+			}
 			return v, nil
 		}
 		p.fixups = append(p.fixups, fixup{instr: in, idx: argIdx, name: t.text, typ: typ, line: t.line})
@@ -459,6 +470,11 @@ func (p *parser) parseFunction(isDecl bool) error {
 		pn := ""
 		if p.tok().kind == tLocal {
 			pn = p.advance().text
+			for _, prev := range paramNames {
+				if prev == pn {
+					return p.errf("duplicate parameter name %%%s", pn)
+				}
+			}
 		}
 		paramNames = append(paramNames, pn)
 	}
@@ -518,6 +534,9 @@ func (p *parser) parseFunction(isDecl bool) error {
 		}
 		cur.Append(in)
 		if in.HasResult() {
+			if _, dup := p.vals[in.Nam]; dup {
+				return p.errf("redefinition of %%%s", in.Nam)
+			}
 			p.vals[in.Nam] = in
 		}
 	}
@@ -540,6 +559,9 @@ func (p *parser) parseFunction(isDecl bool) error {
 		}
 		if v == nil {
 			return fmt.Errorf("ir parse: line %d: undefined value %%%s", fx.line, fx.name)
+		}
+		if !strings.HasPrefix(fx.name, "@") && fx.typ != nil && v.Type() != nil && !v.Type().Equal(fx.typ) {
+			return fmt.Errorf("ir parse: line %d: %%%s has type %s, used as %s", fx.line, fx.name, v.Type(), fx.typ)
 		}
 		if fx.idx == -1 {
 			fx.instr.Callee = v

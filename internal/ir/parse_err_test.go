@@ -1,0 +1,44 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// An array length too large for int used to pass through a discarded
+// strconv.Atoi error and silently become length 0 — a malformed module
+// parsed "successfully" with every access out of bounds. It must be a
+// positioned parse error instead.
+func TestParseBadArrayLength(t *testing.T) {
+	for _, src := range []string{
+		"@A = global [99999999999999999999 x i64] zeroinitializer\n",
+		"define void @f([99999999999999999999 x i64]* %p) {\nentry:\n  ret void\n}\n",
+	} {
+		m, err := Parse(src)
+		if err == nil {
+			t.Errorf("parse accepted overflowing array length:\n%s", m.Print())
+			continue
+		}
+		if !strings.Contains(err.Error(), "array length") {
+			t.Errorf("err = %v, want an array-length message", err)
+		}
+		if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("err = %v, want position line 1", err)
+		}
+	}
+}
+
+func TestParseValidArrayLengthStillWorks(t *testing.T) {
+	m, err := Parse("@A = global [16 x i64] zeroinitializer\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := m.GlobalByName("A")
+	if g == nil {
+		t.Fatal("no global @A")
+	}
+	at, ok := g.Elem.(*ArrayType)
+	if !ok || at.Len != 16 {
+		t.Fatalf("global elem = %v, want [16 x i64]", g.Elem)
+	}
+}

@@ -92,6 +92,27 @@ func FuzzIRParseRoundTrip(f *testing.F) {
 	})
 }
 
+// TestParseRejectsDegenerateIR pins inputs the fuzzer proved break the
+// print/parse fixpoint unless rejected: bare name sigils, redefined
+// locals, and operands used at a type other than their definition's.
+// The original finding (corpus entry 7c1d7ed325e291fa) combined all
+// three — two instructions both named "%", mutually referencing, with
+// the fcmp's operand re-typing itself on each reparse.
+func TestParseRejectsDegenerateIR(t *testing.T) {
+	bad := []string{
+		"define double@(double ,i64 ){A:fcmp olt double%,0%=fneg double%}",
+		"define void @f(i64 %x, i64 %x) {\nentry:\n  ret void\n}\n",
+		"define i64 @f() {\nentry:\n  %a = add i64 1, 2\n  %a = add i64 3, 4\n  ret i64 %a\n}\n",
+		"define i1 @f(i64 %x) {\nentry:\n  %c = fcmp olt double %x, 0.0\n  ret i1 %c\n}\n",
+		"define i1 @f() {\nentry:\n  %c = fcmp olt double %d, 0.0\n  %d = icmp eq i64 1, 1\n  ret i1 %c\n}\n",
+	}
+	for i, src := range bad {
+		if _, err := ir.Parse(src); err == nil {
+			t.Errorf("input %d parsed; want rejection:\n%s", i, src)
+		}
+	}
+}
+
 // TestRoundTripSeeds pins the seed corpus as an ordinary example-based
 // test so `go test` exercises it without the fuzz engine.
 func TestRoundTripSeeds(t *testing.T) {

@@ -200,8 +200,17 @@ func foldInstr(in *ir.Instr) ir.Value {
 		case ir.OpXor:
 			r = a ^ b
 		case ir.OpShl:
+			// An out-of-range count traps at runtime (LLVM: poison);
+			// folding it with Go's wrap semantics would silently turn a
+			// trapping program into a well-defined one.
+			if b < 0 || b >= 64 {
+				return nil
+			}
 			r = a << uint(b)
 		case ir.OpAShr:
+			if b < 0 || b >= 64 {
+				return nil
+			}
 			r = a >> uint(b)
 		default:
 			return nil

@@ -71,9 +71,15 @@ func hoistLoop(f *ir.Function, l *analysis.Loop, tc *telemetry.Ctx) bool {
 					continue
 				}
 				// Division by a possibly-zero value must not be
-				// speculated ahead of the loop guard.
+				// speculated ahead of the loop guard, and neither may a
+				// shift whose count could trap as out of range.
 				if in.Op == ir.OpSDiv || in.Op == ir.OpSRem {
 					if c, ok := in.Args[1].(*ir.ConstInt); !ok || c.V == 0 {
+						continue
+					}
+				}
+				if in.Op == ir.OpShl || in.Op == ir.OpAShr {
+					if c, ok := in.Args[1].(*ir.ConstInt); !ok || c.V < 0 || c.V >= 64 {
 						continue
 					}
 				}

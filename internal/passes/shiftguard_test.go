@@ -1,0 +1,102 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// The interpreter traps on shift counts outside [0,63]; the folder must
+// not evaluate those with Go's wrap semantics (count >= 64 yields 0) or
+// a trapping program constant-folds into a well-defined one and the
+// differential oracle sees a phantom divergence.
+func TestConstFoldShiftGuard(t *testing.T) {
+	for _, tc := range []struct {
+		src      string
+		wantFold bool
+		want     string
+	}{
+		{"%r = shl i64 1, 3", true, "ret i64 8"},
+		{"%r = ashr i64 -16, 2", true, "ret i64 -4"},
+		{"%r = shl i64 1, 64", false, ""},
+		{"%r = shl i64 1, -1", false, ""},
+		{"%r = ashr i64 1, 64", false, ""},
+		{"%r = ashr i64 1, -1", false, ""},
+	} {
+		m := ir.MustParse(`
+define i64 @f() {
+entry:
+  ` + tc.src + `
+  ret i64 %r
+}
+`)
+		f := m.FuncByName("f")
+		changed := ConstFold(f)
+		out := m.Print()
+		if tc.wantFold {
+			if !changed || !strings.Contains(out, tc.want) {
+				t.Errorf("%s: not folded to %q:\n%s", tc.src, tc.want, out)
+			}
+		} else if changed {
+			t.Errorf("%s: folded an out-of-range shift (must stay to trap at runtime):\n%s", tc.src, out)
+		}
+	}
+}
+
+// licmShiftSrc is a counted loop whose body computes a loop-invariant
+// shift; the count expression is spliced in per test case.
+func licmShiftSrc(shift string) string {
+	return `
+define i64 @f(i64 %n, i64 %k) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %inc, %body ]
+  %acc = phi i64 [ 0, %entry ], [ %sum, %body ]
+  %cmp = icmp slt i64 %i, %n
+  br i1 %cmp, label %body, label %exit
+body:
+  ` + shift + `
+  %sum = add i64 %acc, %s
+  %inc = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %acc
+}
+`
+}
+
+// A loop that runs zero times never executes its body; LICM speculating
+// a possibly-trapping shift into the preheader would introduce a trap
+// the original program does not have.
+func TestLICMShiftGuard(t *testing.T) {
+	for _, tc := range []struct {
+		shift     string
+		wantHoist bool
+	}{
+		{"%s = shl i64 %n, 3", true},
+		{"%s = ashr i64 %n, 63", true},
+		{"%s = shl i64 %n, %k", false},
+		{"%s = shl i64 %n, 64", false},
+		{"%s = ashr i64 %n, -1", false},
+	} {
+		m := ir.MustParse(licmShiftSrc(tc.shift))
+		f := m.FuncByName("f")
+		changed := LICM(f)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("%s: verify after licm: %v", tc.shift, err)
+		}
+		// Hoisted iff the shift now sits in entry (the preheader).
+		inEntry := false
+		for _, in := range f.Entry().Instrs {
+			if in.Nam == "s" {
+				inEntry = true
+			}
+		}
+		if inEntry != tc.wantHoist {
+			t.Errorf("%s: hoisted=%v changed=%v, want hoisted=%v:\n%s",
+				tc.shift, inEntry, changed, tc.wantHoist, m.Print())
+		}
+	}
+}

@@ -310,10 +310,51 @@ func collapseDispatchLoop(mt *ir.Function, ri *regionInfo) error {
 	// Back edges into the head come from inside the pull loop; redirect
 	// them to the end so the head runs once.
 	dom := analysis.NewDomTree(mt)
+	var moved []*ir.Block
 	for _, p := range head.Preds() {
 		if dom.Dominates(head, p) {
-			p.Terminator().ReplaceBlock(head, endSide)
+			moved = append(moved, p)
 		}
+	}
+	if len(endSide.Phis()) > 0 {
+		return fmt.Errorf("dispatch exit of %s carries phis", mt.Nam)
+	}
+	// The head's phis (reduction accumulators circulating through the
+	// pull loop) feed the code after it. Once the back edges land on the
+	// exit directly, the value that used to flow around into the head
+	// must reach that code instead — otherwise every use after the loop
+	// degenerates to the phi's initial value and the accumulation is
+	// silently dropped.
+	for _, phi := range head.Phis() {
+		if len(moved) == 0 {
+			break
+		}
+		var exit ir.Value
+		if len(moved) == 1 {
+			exit = phi.PhiIncoming(moved[0])
+		} else {
+			nphi := &ir.Instr{Op: ir.OpPhi, Typ: phi.Typ, Nam: mt.FreshName(phi.Nam + ".exit")}
+			for _, p := range moved {
+				nphi.Args = append(nphi.Args, phi.PhiIncoming(p))
+				nphi.Blocks = append(nphi.Blocks, p)
+			}
+			endSide.InsertAt(0, nphi)
+			exit = nphi
+		}
+		for _, use := range mt.Uses(phi) {
+			if use == exit {
+				continue
+			}
+			if use.Parent == endSide || dom.Dominates(endSide, use.Parent) {
+				use.ReplaceUses(phi, exit)
+			}
+		}
+		for _, p := range moved {
+			phi.RemovePhiIncoming(p)
+		}
+	}
+	for _, p := range moved {
+		p.Terminator().ReplaceBlock(head, endSide)
 	}
 	term.Op = ir.OpBr
 	term.Args = nil

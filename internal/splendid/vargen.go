@@ -277,6 +277,10 @@ func FinalNamesCtx(f *ir.Function, proposal map[ir.Value]string, tc *telemetry.C
 				n += "_"
 			}
 		}
+		// Reserve the chosen name too: a later fallback may propose it as
+		// its own base (e.g. params %i and %i_r when "i" is taken — both
+		// would otherwise land on "i_r").
+		reserved[n] = true
 		names[v] = n
 		if tc.Enabled() {
 			if _, isInstr := v.(*ir.Instr); isInstr {

@@ -31,6 +31,13 @@ go test -bench=Driver -benchtime=1x ./internal/driver/
 echo "== interp: observability + goroutine runtime under the race detector"
 go test -race -count=1 ./internal/interp/
 
+echo "== differential oracle sweep (25 generated programs)"
+go run ./cmd/difftest -seed 1 -n 25
+
+echo "== fuzz smoke: IR text round trip + differential round trip"
+go test -run '^$' -fuzz='^FuzzIRParseRoundTrip$' -fuzztime=10s ./internal/ir/
+go test -run '^$' -fuzz='^FuzzRoundTripExec$' -fuzztime=10s ./internal/difftest/
+
 echo "== runtime observability smoke (writes BENCH_runtime.json + BENCH_runtime_trace.json)"
 go test -run '^$' -bench=RuntimeProfile -benchtime=1x .
 grep -q '"schema": "splendid-runtime-profile/v1"' BENCH_runtime.json
