@@ -7,9 +7,15 @@
 // with -reduce, each failing seed's optimized module is shrunk to a
 // minimal reproducer with the bugpoint-style reducer.
 //
+// Long sweeps print a progress line to stderr every couple of seconds
+// (seeds done, rate, divergence count, ETA), and -metrics-addr serves
+// the same figures live as Prometheus metrics alongside the session
+// flight recorder (/debug/jobs) and pprof.
+//
 // Usage:
 //
 //	difftest [-seed S] [-n COUNT] [-threads N] [-reduce] [-v]
+//	         [-metrics-addr HOST:PORT] [-linger DUR]
 //
 // Exit codes: 0 all seeds clean, 1 divergences found, 2 usage or
 // infrastructure error.
@@ -19,11 +25,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/debugserv"
 	"repro/internal/difftest"
 	"repro/internal/driver"
 	"repro/internal/ir"
+	"repro/internal/metrics"
 )
+
+// progressEvery is how often the sweep progress line refreshes.
+const progressEvery = 2 * time.Second
 
 func main() {
 	seed := flag.Uint64("seed", 0, "first generator seed")
@@ -31,20 +43,47 @@ func main() {
 	threads := flag.Int("threads", 8, "team size for the parallel runs")
 	reduce := flag.Bool("reduce", false, "shrink each failing module to a minimal reproducer")
 	verbose := flag.Bool("v", false, "print per-seed progress")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/jobs, /debug/pprof on `host:port` (empty disables)")
+	linger := flag.Duration("linger", 0, "keep the debug server up this long after the sweep finishes")
 	flag.Parse()
 	if flag.NArg() != 0 || *n < 1 || *threads < 1 {
-		fmt.Fprintln(os.Stderr, "usage: difftest [-seed S] [-n COUNT] [-threads N] [-reduce] [-v]")
+		fmt.Fprintln(os.Stderr, "usage: difftest [-seed S] [-n COUNT] [-threads N] [-reduce] [-v] [-metrics-addr ADDR] [-linger DUR]")
 		os.Exit(2)
 	}
 
-	s := driver.New(driver.Options{})
-	failures, skipped, parallelized, trapping := 0, 0, 0, 0
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.Default()
+	}
+	s := driver.New(driver.Options{Metrics: reg})
+	var srv *debugserv.Server
+	if *metricsAddr != "" {
+		var err error
+		srv, err = debugserv.Start(*metricsAddr, debugserv.Options{Registry: reg, Jobs: s.Recorder()})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "difftest: debug endpoints on %s\n", srv.URL())
+	}
+	sweep := difftest.NewSweepMetrics(reg)
+
+	start := time.Now()
+	lastProgress := start
+	failures, divergences, skipped, parallelized, trapping := 0, 0, 0, 0, 0
 	for i := 0; i < *n; i++ {
 		cur := *seed + uint64(i)
 		rep, err := difftest.CheckSeed(s, cur, driver.RoundTripOptions{Threads: *threads})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
 			os.Exit(2)
+		}
+		sweep.Note(rep)
+		done := i + 1
+		if !*verbose && time.Since(lastProgress) >= progressEvery && done < *n {
+			lastProgress = time.Now()
+			progressLine(done, *n, divergences, skipped, time.Since(start))
 		}
 		if rep.Skipped() {
 			skipped++
@@ -66,6 +105,7 @@ func main() {
 			continue
 		}
 		failures++
+		divergences += len(rep.Divergences)
 		fmt.Printf("seed %d: %d divergence(s)\n", cur, len(rep.Divergences))
 		for _, d := range rep.Divergences {
 			fmt.Printf("  %s\n", d)
@@ -76,9 +116,26 @@ func main() {
 	}
 	fmt.Printf("difftest: %d seeds, %d failed, %d skipped, %d parallelized, %d trapping\n",
 		*n, failures, skipped, parallelized, trapping)
+	if srv != nil && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "difftest: lingering %s for scrapes\n", *linger)
+		time.Sleep(*linger)
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// progressLine prints one sweep status line: completed seeds, rate,
+// findings so far, and the remaining-time estimate at the current rate.
+func progressLine(done, total, divergences, skipped int, elapsed time.Duration) {
+	rate := float64(done) / elapsed.Seconds()
+	eta := "?"
+	if rate > 0 {
+		left := time.Duration(float64(total-done) / rate * float64(time.Second))
+		eta = left.Round(time.Second).String()
+	}
+	fmt.Fprintf(os.Stderr, "difftest: %d/%d seeds (%.1f seeds/s), %d divergence(s), %d skipped, ETA %s\n",
+		done, total, rate, divergences, skipped, eta)
 }
 
 // reduceFailure shrinks the failing seed's optimized module. The

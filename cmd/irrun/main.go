@@ -1,13 +1,16 @@
 // Command irrun executes a function from a textual IR module on the
 // interpreter, with a goroutine-backed OpenMP runtime and optional
 // runtime observability: a parallel-region profiler, a Chrome trace
-// with one track per team thread, and a dynamic DOALL conflict
-// checker that validates the static parallelization verdicts.
+// with one track per team thread, a dynamic DOALL conflict checker
+// that validates the static parallelization verdicts, and an embedded
+// debug server exposing live metrics, pprof, and the session flight
+// recorder.
 //
 // Usage:
 //
 //	irrun [-threads N] [-entry main] [-args "1 2.5"] [-steps]
-//	      [-prof] [-prof-out FILE] [-trace FILE] [-check-races] input.ll
+//	      [-prof] [-prof-out FILE] [-trace FILE] [-check-races]
+//	      [-metrics-addr HOST:PORT] [-linger DUR] input.ll
 //
 // Exit codes: 0 success, 1 execution error, 2 usage error, 3 the
 // conflict checker found cross-thread races.
@@ -19,9 +22,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/debugserv"
+	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/metrics"
 	"repro/internal/telemetry"
 )
 
@@ -34,9 +41,11 @@ func main() {
 	profOut := flag.String("prof-out", "", "write the JSON profile to `file` instead of stdout (implies -prof)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event `file` (one track per team thread)")
 	checkRaces := flag.Bool("check-races", false, "record cross-thread memory conflicts; exit 3 if any region raced")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/jobs, /debug/pprof on `host:port` (empty disables)")
+	linger := flag.Duration("linger", 0, "keep the debug server up this long after the run finishes")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: irrun [-threads N] [-entry F] [-args \"...\"] [-prof] [-prof-out FILE] [-trace FILE] [-check-races] input.ll")
+		fmt.Fprintln(os.Stderr, "usage: irrun [-threads N] [-entry F] [-args \"...\"] [-prof] [-prof-out FILE] [-trace FILE] [-check-races] [-metrics-addr ADDR] [-linger DUR] input.ll")
 		os.Exit(2)
 	}
 	if *threads < 1 {
@@ -67,25 +76,41 @@ func main() {
 	if *traceOut != "" {
 		tc = telemetry.New()
 	}
-	mach := interp.NewMachine(m, interp.Options{
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.Default()
+	}
+	s := driver.New(driver.Options{Jobs: 1, Telemetry: tc, Metrics: reg})
+	var srv *debugserv.Server
+	if *metricsAddr != "" {
+		srv, err = debugserv.Start(*metricsAddr, debugserv.Options{Registry: reg, Jobs: s.Recorder()})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		// Announce the resolved address (":0" callers need the port).
+		fmt.Fprintf(os.Stderr, "irrun: debug endpoints on %s\n", srv.URL())
+	}
+
+	res, err := s.Execute(m, driver.ExecOptions{
+		Entry:      *entry,
+		Args:       args,
 		NumThreads: *threads,
 		Profile:    *prof || *profOut != "",
 		CheckRaces: *checkRaces,
-		Telemetry:  tc,
 	})
-	ret, err := mach.Run(*entry, args...)
 	if err != nil {
 		fatal(err)
 	}
-	if out := mach.Output(); out != "" {
-		fmt.Print(out)
+	if res.Output != "" {
+		fmt.Print(res.Output)
 	}
-	fmt.Printf("%s returned %s\n", *entry, ret)
+	fmt.Printf("%s returned %s\n", *entry, res.Ret)
 	if *steps {
-		fmt.Printf("work: %d instructions, span: %d\n", mach.Steps(), mach.SimSteps())
+		fmt.Printf("work: %d instructions, span: %d\n", res.Steps, res.SimSteps)
 	}
-	if p := mach.Profile(); p != nil {
-		if err := writeProfile(p, *profOut); err != nil {
+	if res.Profile != nil {
+		if err := writeProfile(res.Profile, *profOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -94,8 +119,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	if srv != nil && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "irrun: lingering %s for scrapes\n", *linger)
+		time.Sleep(*linger)
+	}
 	if *checkRaces {
-		os.Exit(reportRaces(mach.Races(), m))
+		os.Exit(reportRaces(res))
 	}
 }
 
@@ -129,7 +158,8 @@ func writeTrace(tc *telemetry.Ctx, path string) error {
 
 // reportRaces prints the conflict checker's verdict and returns the
 // process exit code: 0 when every region ran clean, 3 otherwise.
-func reportRaces(r *interp.RaceReport, m *ir.Module) int {
+func reportRaces(res *driver.ExecResult) int {
+	r := res.Races
 	if r.Clean() {
 		regions := int64(0)
 		if r != nil {
@@ -143,7 +173,7 @@ func reportRaces(r *interp.RaceReport, m *ir.Module) int {
 	for _, c := range r.Conflicts {
 		fmt.Fprintln(os.Stderr, "  "+c.String())
 	}
-	for _, contradiction := range r.CrossCheck(m) {
+	for _, contradiction := range res.Contradictions {
 		fmt.Fprintln(os.Stderr, "  "+contradiction)
 	}
 	return 3

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/ir"
+	"repro/internal/metrics"
 )
 
 // Manager is the pipeline's analysis cache: per-function dominator
@@ -33,7 +34,21 @@ type Manager struct {
 	entries map[*ir.Function]*amEntry
 
 	// stats are cumulative across the manager's lifetime.
-	hits, misses, rekeys int64
+	stats Stats
+
+	// Live metric handles (nil unless SetMetrics attached a registry);
+	// each is bumped alongside its stats field so a scrape and a Stats()
+	// snapshot always tell the same story.
+	mHits, mMisses, mRekeys, mInvalidations *metrics.Counter
+}
+
+// Stats is a snapshot of the manager's cumulative cache behaviour:
+// queries served from cache, queries that recomputed, CFG-preserving
+// rekeys, and entries dropped by explicit invalidation (Invalidate /
+// InvalidateAll; hash-mismatch evictions discovered during lookup count
+// as misses, not invalidations).
+type Stats struct {
+	Hits, Misses, Rekeys, Invalidations int64
 }
 
 type amEntry struct {
@@ -75,10 +90,10 @@ func (am *Manager) Dom(f *ir.Function) *DomTree {
 	}
 	e := am.lookup(f)
 	if e.dom != nil {
-		am.count(&am.hits)
+		am.hit()
 		return e.dom
 	}
-	am.count(&am.misses)
+	am.miss()
 	e.dom = NewDomTree(f)
 	return e.dom
 }
@@ -91,10 +106,10 @@ func (am *Manager) PostDom(f *ir.Function) *PostDomTree {
 	}
 	e := am.lookup(f)
 	if e.pdom != nil {
-		am.count(&am.hits)
+		am.hit()
 		return e.pdom
 	}
-	am.count(&am.misses)
+	am.miss()
 	e.pdom = NewPostDomTree(f)
 	return e.pdom
 }
@@ -108,10 +123,10 @@ func (am *Manager) Loops(f *ir.Function) *LoopInfo {
 	}
 	e := am.lookup(f)
 	if e.loops != nil {
-		am.count(&am.hits)
+		am.hit()
 		return e.loops
 	}
-	am.count(&am.misses)
+	am.miss()
 	if e.dom == nil {
 		e.dom = NewDomTree(f)
 	}
@@ -135,7 +150,8 @@ func (am *Manager) Rekey(f *ir.Function) {
 		return
 	}
 	e.hash = h
-	am.rekeys++
+	am.stats.Rekeys++
+	am.mRekeys.Inc() // lock-free atomic; fine to bump under am.mu
 }
 
 // Invalidate drops every cached analysis for f.
@@ -144,34 +160,72 @@ func (am *Manager) Invalidate(f *ir.Function) {
 		return
 	}
 	am.mu.Lock()
-	delete(am.entries, f)
+	if _, ok := am.entries[f]; ok {
+		delete(am.entries, f)
+		am.stats.Invalidations++
+		am.mInvalidations.Inc()
+	}
 	am.mu.Unlock()
 }
 
 // InvalidateAll empties the cache (module-level stages that add or
-// remove functions call this rather than tracking what survived).
+// remove functions call this rather than tracking what survived). Each
+// dropped entry counts as one invalidation.
 func (am *Manager) InvalidateAll() {
 	if am == nil {
 		return
 	}
 	am.mu.Lock()
+	if n := int64(len(am.entries)); n > 0 {
+		am.stats.Invalidations += n
+		am.mInvalidations.Add(n)
+	}
 	am.entries = map[*ir.Function]*amEntry{}
 	am.mu.Unlock()
 }
 
-func (am *Manager) count(c *int64) {
+func (am *Manager) hit() {
 	am.mu.Lock()
-	*c++
+	am.stats.Hits++
+	c := am.mHits
 	am.mu.Unlock()
+	c.Inc()
 }
 
-// Stats reports cumulative cache behaviour: queries served from cache,
-// queries that recomputed, and CFG-preserving rekeys.
-func (am *Manager) Stats() (hits, misses, rekeys int64) {
+func (am *Manager) miss() {
+	am.mu.Lock()
+	am.stats.Misses++
+	c := am.mMisses
+	am.mu.Unlock()
+	c.Inc()
+}
+
+// Stats snapshots cumulative cache behaviour. Nil-safe (zero snapshot).
+func (am *Manager) Stats() Stats {
 	if am == nil {
-		return 0, 0, 0
+		return Stats{}
 	}
 	am.mu.Lock()
 	defer am.mu.Unlock()
-	return am.hits, am.misses, am.rekeys
+	return am.stats
+}
+
+// SetMetrics attaches live metric counters for the cache's behaviour
+// (splendid_analysis_cache_{hits,misses,rekeys,invalidations}_total) to
+// r. Nil-safe in both arguments; call before the manager is shared with
+// scheduler workers (the driver session attaches at construction).
+func (am *Manager) SetMetrics(r *metrics.Registry) {
+	if am == nil || r == nil {
+		return
+	}
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	am.mHits = r.Counter("splendid_analysis_cache_hits_total",
+		"analysis queries served from the cache")
+	am.mMisses = r.Counter("splendid_analysis_cache_misses_total",
+		"analysis queries that recomputed")
+	am.mRekeys = r.Counter("splendid_analysis_cache_rekeys_total",
+		"CFG-preserving rekeys that kept cached analyses live")
+	am.mInvalidations = r.Counter("splendid_analysis_cache_invalidations_total",
+		"cache entries dropped by explicit invalidation")
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/ir"
+	"repro/internal/metrics"
 )
 
 const managerSrc = `
@@ -80,9 +81,9 @@ func TestManagerCachesWhileUnchanged(t *testing.T) {
 	if p1 != p2 {
 		t.Fatal("second PostDom query recomputed despite unchanged function")
 	}
-	hits, misses, _ := am.Stats()
-	if hits != 3 || misses != 3 {
-		t.Fatalf("stats = %d hits / %d misses, want 3/3", hits, misses)
+	st := am.Stats()
+	if st.Hits != 3 || st.Misses != 3 {
+		t.Fatalf("stats = %d hits / %d misses, want 3/3", st.Hits, st.Misses)
 	}
 }
 
@@ -101,9 +102,8 @@ func TestManagerHashRevalidation(t *testing.T) {
 	if d1 == d2 {
 		t.Fatal("Dom served stale tree after content change")
 	}
-	_, misses, _ := am.Stats()
-	if misses != 2 {
-		t.Fatalf("misses = %d, want 2", misses)
+	if st := am.Stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", st.Misses)
 	}
 }
 
@@ -122,9 +122,9 @@ func TestManagerRekeyKeepsAnalyses(t *testing.T) {
 	if d1 != d2 {
 		t.Fatal("Rekey dropped a still-valid dominator tree")
 	}
-	hits, _, rekeys := am.Stats()
-	if hits != 1 || rekeys != 1 {
-		t.Fatalf("stats = %d hits / %d rekeys, want 1/1", hits, rekeys)
+	st := am.Stats()
+	if st.Hits != 1 || st.Rekeys != 1 {
+		t.Fatalf("stats = %d hits / %d rekeys, want 1/1", st.Hits, st.Rekeys)
 	}
 }
 
@@ -140,12 +140,17 @@ func TestManagerInvalidate(t *testing.T) {
 	}
 	am.Dom(f)
 	am.InvalidateAll()
-	if _, misses, _ := am.Stats(); misses != 2 {
-		t.Fatalf("misses before InvalidateAll = %d, want 2", misses)
+	if st := am.Stats(); st.Misses != 2 {
+		t.Fatalf("misses before InvalidateAll = %d, want 2", st.Misses)
 	}
 	am.Dom(f)
-	if _, misses, _ := am.Stats(); misses != 3 {
+	st := am.Stats()
+	if st.Misses != 3 {
 		t.Fatal("InvalidateAll did not evict the entry")
+	}
+	// Invalidate(f) dropped one entry; InvalidateAll dropped one more.
+	if st.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", st.Invalidations)
 	}
 }
 
@@ -163,7 +168,7 @@ func TestNilManagerComputesFresh(t *testing.T) {
 	am.Rekey(f)
 	am.Invalidate(f)
 	am.InvalidateAll()
-	if h, mi, r := am.Stats(); h != 0 || mi != 0 || r != 0 {
+	if am.Stats() != (analysis.Stats{}) {
 		t.Fatal("nil manager reported nonzero stats")
 	}
 }
@@ -256,5 +261,39 @@ entry:
 	}
 	if len(sccs[1]) != 1 || sccs[1][0].Name() != "main" {
 		t.Fatalf("second SCC should be main alone, got %v", sccs[1])
+	}
+}
+
+// TestManagerMetricsRegistry: SetMetrics must mirror every Stats field
+// onto the splendid_analysis_cache_* counters, live as queries run.
+func TestManagerMetricsRegistry(t *testing.T) {
+	m := parseManagerModule(t)
+	f := fn(t, m, "leaf")
+	reg := metrics.NewRegistry()
+	am := analysis.NewManager()
+	am.SetMetrics(reg)
+
+	am.Dom(f)   // miss
+	am.Dom(f)   // hit
+	am.Rekey(f) // rekey
+	am.Dom(f)   // hit (rekey kept the tree)
+	am.Invalidate(f)
+	am.Dom(f) // miss
+	am.InvalidateAll()
+
+	st := am.Stats()
+	want := analysis.Stats{Hits: 2, Misses: 2, Rekeys: 1, Invalidations: 2}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+	for name, wantV := range map[string]int64{
+		"splendid_analysis_cache_hits_total":          st.Hits,
+		"splendid_analysis_cache_misses_total":        st.Misses,
+		"splendid_analysis_cache_rekeys_total":        st.Rekeys,
+		"splendid_analysis_cache_invalidations_total": st.Invalidations,
+	} {
+		if got := reg.Counter(name, "").Value(); got != wantV {
+			t.Errorf("%s = %d, want %d", name, got, wantV)
+		}
 	}
 }

@@ -1,0 +1,170 @@
+// Package debugserv is the embeddable debug/introspection HTTP server
+// the CLIs (and, later, the splendidd daemon) expose behind a
+// -metrics-addr flag. It serves:
+//
+//	/            endpoint index (plain text)
+//	/healthz     liveness: process vitals as JSON
+//	/metrics     the metrics registry, Prometheus text exposition
+//	/metrics.json  the same registry as a JSON snapshot
+//	/debug/jobs  the driver session's flight recorder (last N jobs)
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// The server binds a listener synchronously (so ":0" callers can read
+// the resolved port) and serves on a background goroutine; Close shuts
+// it down. It holds no locks of its own beyond the listener — all state
+// it reports is owned by the registry and the jobs source, both of which
+// are safe for concurrent use.
+package debugserv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// JobsSource supplies /debug/jobs: a JSON document describing recent
+// pipeline jobs. driver.(*FlightRecorder) implements it. Implementations
+// must tolerate nil receivers — a typed-nil recorder in the interface is
+// the "session records nothing" configuration, not an error.
+type JobsSource interface {
+	JobsJSON() ([]byte, error)
+}
+
+// Options configures the endpoint set.
+type Options struct {
+	// Registry backs /metrics and /metrics.json; nil uses the process
+	// default registry.
+	Registry *metrics.Registry
+	// Jobs backs /debug/jobs; nil serves an empty document.
+	Jobs JobsSource
+}
+
+// HealthSchema identifies the /healthz JSON layout.
+const HealthSchema = "splendid-health/v1"
+
+// Health is the /healthz response body.
+type Health struct {
+	Schema        string  `json:"schema"`
+	Status        string  `json:"status"`
+	PID           int     `json:"pid"`
+	GoVersion     string  `json:"go_version"`
+	Goroutines    int     `json:"goroutines"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Handler builds the debug mux. Exposed separately from Start so tests
+// (and future daemon muxes) can mount it without a real listener.
+func Handler(opts Options) http.Handler {
+	reg := opts.Registry
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "splendid debug endpoints:\n"+
+			"  /healthz        liveness + process vitals (JSON)\n"+
+			"  /metrics        metrics registry (Prometheus text)\n"+
+			"  /metrics.json   metrics registry (JSON snapshot)\n"+
+			"  /debug/jobs     flight recorder: recent pipeline jobs (JSON)\n"+
+			"  /debug/pprof/   Go profiling endpoints\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, Health{
+			Schema:        HealthSchema,
+			Status:        "ok",
+			PID:           os.Getpid(),
+			GoVersion:     runtime.Version(),
+			Goroutines:    runtime.NumGoroutine(),
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			UptimeSeconds: time.Since(start).Seconds(),
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// The content-type version tag is what Prometheus scrapers sniff.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if opts.Jobs == nil {
+			fmt.Fprint(w, `{"schema":"splendid-flight-record/v1","capacity":0,"recorded":0,"jobs":[]}`+"\n")
+			return
+		}
+		body, err := opts.Jobs.JobsJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Server is one running debug endpoint set.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start binds addr (e.g. ":9090", "127.0.0.1:0") and serves the debug
+// endpoints on a background goroutine. The listener is bound before
+// Start returns, so Addr reports the resolved port immediately.
+func Start(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugserv: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(opts)}}
+	go s.srv.Serve(ln) // Serve returns ErrServerClosed on Close; nothing to report
+	return s, nil
+}
+
+// Addr returns the bound address (host:port, port resolved).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,132 @@
+package debugserv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+type fakeJobs struct{ body string }
+
+func (f *fakeJobs) JobsJSON() ([]byte, error) { return []byte(f.body), nil }
+
+func get(t *testing.T, h http.Handler, path string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr.Code, rr.Body.String(), rr.Result().Header
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("test_jobs_total", "jobs", metrics.L("kind", "compile")).Add(3)
+	h := Handler(Options{Registry: reg})
+
+	code, body, hdr := get(t, h, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if !strings.Contains(hdr.Get("Content-Type"), "version=0.0.4") {
+		t.Errorf("content type: %q", hdr.Get("Content-Type"))
+	}
+	for _, want := range []string{"# TYPE test_jobs_total counter", `test_jobs_total{kind="compile"} 3`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, _ = get(t, h, "/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json: %d", code)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+	if snap.Schema != metrics.SnapshotSchema {
+		t.Errorf("schema = %q", snap.Schema)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	code, body, _ := get(t, Handler(Options{Registry: metrics.NewRegistry()}), "/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz: %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz invalid JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.Schema != HealthSchema || h.PID == 0 || h.Goroutines < 1 {
+		t.Errorf("healthz: %+v", h)
+	}
+}
+
+func TestJobsEndpoint(t *testing.T) {
+	// With a source.
+	src := &fakeJobs{body: `{"schema":"splendid-flight-record/v1","jobs":[{"seq":1}]}`}
+	code, body, hdr := get(t, Handler(Options{Registry: metrics.NewRegistry(), Jobs: src}), "/debug/jobs")
+	if code != 200 || !strings.Contains(body, `"seq":1`) {
+		t.Errorf("/debug/jobs: %d %q", code, body)
+	}
+	if hdr.Get("Content-Type") != "application/json" {
+		t.Errorf("content type: %q", hdr.Get("Content-Type"))
+	}
+	// Without one: an empty, schema-bearing document — not an error.
+	code, body, _ = get(t, Handler(Options{Registry: metrics.NewRegistry()}), "/debug/jobs")
+	if code != 200 || !strings.Contains(body, "splendid-flight-record/v1") {
+		t.Errorf("/debug/jobs without source: %d %q", code, body)
+	}
+}
+
+func TestPprofAndIndex(t *testing.T) {
+	h := Handler(Options{Registry: metrics.NewRegistry()})
+	code, body, _ := get(t, h, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+	code, body, _ = get(t, h, "/")
+	if code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: %d %q", code, body)
+	}
+	code, _, _ = get(t, h, "/nope")
+	if code != 404 {
+		t.Errorf("unknown path: %d, want 404", code)
+	}
+}
+
+// TestStartServes exercises the real listener path: bind :0, scrape over
+// TCP, close.
+func TestStartServes(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("live_total", "").Inc()
+	srv, err := Start("127.0.0.1:0", Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(srv.URL(), "http://127.0.0.1:") {
+		t.Fatalf("URL: %q", srv.URL())
+	}
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), "live_total 1") {
+		t.Errorf("scrape: %s", b)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := http.Get(srv.URL() + "/metrics"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}

@@ -1,0 +1,59 @@
+package difftest
+
+import (
+	"repro/internal/metrics"
+)
+
+// DivergenceClasses is the closed set of oracle finding classes
+// (driver.Divergence.Class values plus this package's "interp" golden
+// cross-check), pre-registered so a scrape shows every class at zero
+// before the first finding.
+var DivergenceClasses = []string{
+	"opt", "parallel", "roundtrip", "recompile", "decompile", "races", "interp",
+}
+
+// SweepMetrics counts a differential sweep's progress for live scraping:
+// seeds checked, seeds skipped on the fuel backstop, and divergences by
+// class. Nil-disabled like every observability hook in this codebase.
+type SweepMetrics struct {
+	seeds       *metrics.Counter
+	skipped     *metrics.Counter
+	divergences map[string]*metrics.Counter
+}
+
+// NewSweepMetrics acquires the sweep counters (splendid_difftest_*)
+// from r. Nil-safe: a nil registry yields nil metrics.
+func NewSweepMetrics(r *metrics.Registry) *SweepMetrics {
+	if r == nil {
+		return nil
+	}
+	sm := &SweepMetrics{
+		seeds: r.Counter("splendid_difftest_seeds_total",
+			"generator seeds driven through the differential oracle"),
+		skipped: r.Counter("splendid_difftest_skipped_total",
+			"seeds abandoned on the fuel backstop"),
+		divergences: map[string]*metrics.Counter{},
+	}
+	for _, class := range DivergenceClasses {
+		sm.divergences[class] = r.Counter("splendid_difftest_divergences_total",
+			"oracle findings by divergence class", metrics.L("class", class))
+	}
+	return sm
+}
+
+// Note folds one report into the counters. Nil-safe in both arguments.
+func (sm *SweepMetrics) Note(rep *Report) {
+	if sm == nil || rep == nil {
+		return
+	}
+	sm.seeds.Inc()
+	if rep.Skipped() {
+		sm.skipped.Inc()
+		return
+	}
+	for _, d := range rep.Divergences {
+		// A class outside the registered set is a programming error
+		// upstream; dropping it beats panicking mid-sweep.
+		sm.divergences[d.Class].Inc()
+	}
+}

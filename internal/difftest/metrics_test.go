@@ -1,0 +1,94 @@
+package difftest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/metrics"
+)
+
+// TestSweepMetricsNote folds fabricated reports into the counters and
+// checks the per-class split, the skip path, and nil-safety.
+func TestSweepMetricsNote(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sm := NewSweepMetrics(reg)
+
+	sm.Note(&Report{Result: &driver.RoundTripResult{}}) // clean seed
+	sm.Note(&Report{Result: &driver.RoundTripResult{FuelExhausted: true}})
+	sm.Note(&Report{
+		Result: &driver.RoundTripResult{},
+		Divergences: []driver.Divergence{
+			{Class: "opt"}, {Class: "roundtrip"}, {Class: "roundtrip"},
+		},
+	})
+	sm.Note(nil) // must not crash or count
+
+	if got := reg.Counter("splendid_difftest_seeds_total", "").Value(); got != 3 {
+		t.Errorf("seeds = %d, want 3", got)
+	}
+	if got := reg.Counter("splendid_difftest_skipped_total", "").Value(); got != 1 {
+		t.Errorf("skipped = %d, want 1", got)
+	}
+	for class, want := range map[string]int64{
+		"opt": 1, "roundtrip": 2, "parallel": 0, "recompile": 0,
+		"decompile": 0, "races": 0, "interp": 0,
+	} {
+		got := reg.Counter("splendid_difftest_divergences_total", "",
+			metrics.L("class", class)).Value()
+		if got != want {
+			t.Errorf("divergences{class=%s} = %d, want %d", class, got, want)
+		}
+	}
+
+	// Nil-disabled: a nil SweepMetrics swallows everything.
+	var off *SweepMetrics
+	off.Note(&Report{Result: &driver.RoundTripResult{}})
+}
+
+// TestOneScrapeAllLayers is the acceptance check for the process-wide
+// registry: one differential seed driven through an instrumented
+// session must leave driver, analysis-cache, scheduler, interpreter,
+// and sweep metrics all visible in a single Prometheus scrape.
+func TestOneScrapeAllLayers(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := driver.New(driver.Options{Jobs: 1, Metrics: reg})
+	sweep := NewSweepMetrics(reg)
+
+	rep, err := CheckSeed(s, 1, driver.RoundTripOptions{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep.Note(rep)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape := buf.String()
+	for _, want := range []string{
+		// driver session
+		`splendid_driver_jobs_completed_total{kind="roundtrip"} 1`,
+		`splendid_driver_stage_seconds_count{stage="optimize"}`,
+		// analysis cache
+		"splendid_analysis_cache_hits_total",
+		"splendid_analysis_cache_misses_total",
+		// pass scheduler
+		"splendid_sched_functions_total",
+		"splendid_sched_worker_utilization_count",
+		// interpreter
+		"splendid_interp_runs_total",
+		"splendid_interp_regions_total",
+		// differential sweep
+		"splendid_difftest_seeds_total 1",
+		`splendid_difftest_divergences_total{class="opt"}`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape is missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", scrape)
+	}
+}

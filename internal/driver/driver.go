@@ -36,6 +36,7 @@ import (
 	"repro/internal/decomp/ghidra"
 	"repro/internal/decomp/rellic"
 	"repro/internal/ir"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/passes"
 	"repro/internal/splendid"
@@ -53,7 +54,20 @@ type Options struct {
 	// Telemetry receives stage/pass spans, counters, and remarks from
 	// every stage this session runs (nil disables collection).
 	Telemetry *telemetry.Ctx
+	// Metrics receives live counters and histograms from every layer the
+	// session touches — driver jobs and stage latencies, analysis-cache
+	// behaviour, scheduler utilization, interpreter activity — for
+	// scraping via the debug server. Nil disables collection.
+	Metrics *metrics.Registry
+	// JobHistory is the flight recorder's capacity: how many recent
+	// pipeline jobs /debug/jobs retains. 0 means the default (64);
+	// negative disables recording entirely.
+	JobHistory int
 }
+
+// defaultJobHistory is the flight-recorder capacity when Options leaves
+// JobHistory at zero.
+const defaultJobHistory = 64
 
 // Session is one compilation pipeline instance. The zero value is not
 // useful; use New.
@@ -62,11 +76,14 @@ type Session struct {
 	jobs int
 	am   *analysis.Manager
 
+	met sessionMetrics
+	rec *FlightRecorder
+
 	mu   sync.Mutex
 	memo map[uint64]*memoEntry
-	// flushed* track what FlushCounters already reported, so repeated
+	// flushed tracks what FlushCounters already reported, so repeated
 	// flushes emit deltas rather than double-counting.
-	flushedHits, flushedMisses, flushedRekeys int64
+	flushed analysis.Stats
 }
 
 // memoEntry caches one compiled pipeline prefix as printed IR text.
@@ -85,13 +102,32 @@ func New(opts Options) *Session {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
+	history := opts.JobHistory
+	if history == 0 {
+		history = defaultJobHistory
+	}
+	am := analysis.NewManager()
+	am.SetMetrics(opts.Metrics)
 	return &Session{
 		opts: opts,
 		jobs: jobs,
-		am:   analysis.NewManager(),
+		am:   am,
+		met:  newSessionMetrics(opts.Metrics),
+		rec:  newFlightRecorder(history),
 		memo: map[uint64]*memoEntry{},
 	}
 }
+
+// Recorder exposes the session's flight recorder for mounting on a
+// debug server (nil when recording is disabled; debugserv handles a
+// typed-nil source).
+func (s *Session) Recorder() *FlightRecorder { return s.rec }
+
+// RecentJobs snapshots the flight recorder (empty when disabled).
+func (s *Session) RecentJobs() JobsSnapshot { return s.rec.Snapshot() }
+
+// Metrics returns the session's metrics registry (possibly nil).
+func (s *Session) Metrics() *metrics.Registry { return s.opts.Metrics }
 
 // Jobs reports the resolved worker count.
 func (s *Session) Jobs() int { return s.jobs }
@@ -100,7 +136,7 @@ func (s *Session) Jobs() int { return s.jobs }
 func (s *Session) Telemetry() *telemetry.Ctx { return s.opts.Telemetry }
 
 // AnalysisStats reports the session's analysis-cache behaviour.
-func (s *Session) AnalysisStats() (hits, misses, rekeys int64) {
+func (s *Session) AnalysisStats() analysis.Stats {
 	return s.am.Stats()
 }
 
@@ -113,14 +149,20 @@ func (s *Session) FlushCounters() {
 	if !tc.Enabled() {
 		return
 	}
-	hits, misses, rekeys := s.am.Stats()
+	st := s.am.Stats()
 	s.mu.Lock()
-	dh, dm, dr := hits-s.flushedHits, misses-s.flushedMisses, rekeys-s.flushedRekeys
-	s.flushedHits, s.flushedMisses, s.flushedRekeys = hits, misses, rekeys
+	d := analysis.Stats{
+		Hits:          st.Hits - s.flushed.Hits,
+		Misses:        st.Misses - s.flushed.Misses,
+		Rekeys:        st.Rekeys - s.flushed.Rekeys,
+		Invalidations: st.Invalidations - s.flushed.Invalidations,
+	}
+	s.flushed = st
 	s.mu.Unlock()
-	tc.Count("analysis.cache.hits", int(dh))
-	tc.Count("analysis.cache.misses", int(dm))
-	tc.Count("analysis.cache.rekeys", int(dr))
+	tc.Count("analysis.cache.hits", int(d.Hits))
+	tc.Count("analysis.cache.misses", int(d.Misses))
+	tc.Count("analysis.cache.rekeys", int(d.Rekeys))
+	tc.Count("analysis.cache.invalidations", int(d.Invalidations))
 }
 
 // verify applies the between-stage check when the session asks for it.
@@ -136,6 +178,12 @@ func (s *Session) verify(m *ir.Module, stage string) error {
 
 // Frontend compiles C source into unoptimized IR.
 func (s *Session) Frontend(src, name string) (*ir.Module, error) {
+	return s.frontend(src, name, nil)
+}
+
+func (s *Session) frontend(src, name string, jb *jobBuilder) (*ir.Module, error) {
+	sp := s.startStage(jb, "frontend")
+	defer sp.end()
 	m, err := cfront.CompileSourceCtx(src, name, s.opts.Telemetry)
 	if err != nil {
 		return nil, err
@@ -149,6 +197,12 @@ func (s *Session) Frontend(src, name string) (*ir.Module, error) {
 // Optimize runs the O2 fixed point on m in place, with cached analyses
 // and the session's worker pool.
 func (s *Session) Optimize(m *ir.Module) error {
+	return s.optimize(m, nil)
+}
+
+func (s *Session) optimize(m *ir.Module, jb *jobBuilder) error {
+	sp := s.startStage(jb, "optimize")
+	defer sp.end()
 	if err := passes.OptimizeConfig(m, s.runConfig()); err != nil {
 		return err
 	}
@@ -167,6 +221,7 @@ func (s *Session) runConfig() passes.RunConfig {
 		Telemetry:  s.opts.Telemetry,
 		VerifyEach: s.opts.VerifyEach,
 		Workers:    s.jobs,
+		Metrics:    s.opts.Metrics,
 	}
 }
 
@@ -174,6 +229,12 @@ func (s *Session) runConfig() passes.RunConfig {
 // place. It is a module-level barrier stage: it adds outlined functions
 // and rewrites callers, so the analysis cache is invalidated wholesale.
 func (s *Session) Parallelize(m *ir.Module) (*parallel.Result, error) {
+	return s.parallelize(m, nil)
+}
+
+func (s *Session) parallelize(m *ir.Module, jb *jobBuilder) (*parallel.Result, error) {
+	sp := s.startStage(jb, "parallelize")
+	defer sp.end()
 	res := parallel.Parallelize(m, parallel.Options{
 		Telemetry: s.opts.Telemetry,
 		Analyses:  s.am,
@@ -191,11 +252,21 @@ func (s *Session) Parallelize(m *ir.Module) (*parallel.Result, error) {
 // clone with its own short-lived analysis cache, so concurrent Decompile
 // calls on one session never contend on entries.
 func (s *Session) Decompile(m *ir.Module, cfg splendid.Config) (*splendid.Result, error) {
+	jb := s.startJob("decompile", m.Name)
+	res, err := s.decompile(m, cfg, jb)
+	jb.finish(err)
+	return res, err
+}
+
+func (s *Session) decompile(m *ir.Module, cfg splendid.Config, jb *jobBuilder) (*splendid.Result, error) {
+	sp := s.startStage(jb, "decompile")
+	defer sp.end()
 	return splendid.DecompileOpts(m, cfg, splendid.Opts{
 		Telemetry:  s.opts.Telemetry,
 		Analyses:   analysis.NewManager(),
 		Workers:    s.jobs,
 		VerifyEach: s.opts.VerifyEach,
+		Metrics:    s.opts.Metrics,
 	})
 }
 
@@ -240,23 +311,31 @@ func memoKey(name, src string) uint64 {
 // (name, src): the first call compiles, later calls reparse the cached IR
 // text. The returned module is private to the caller.
 func (s *Session) OptimizedIR(name, src string) (*ir.Module, error) {
+	jb := s.startJob("compile", name)
+	jb.source(src)
+	m, err := s.optimizedIR(name, src, jb)
+	jb.finish(err)
+	return m, err
+}
+
+func (s *Session) optimizedIR(name, src string, jb *jobBuilder) (*ir.Module, error) {
 	key := memoKey(name, src)
 	s.mu.Lock()
 	e := s.memo[key]
 	if e != nil && e.optimized != "" {
 		text := e.optimized
 		s.mu.Unlock()
-		s.count("driver.memo.hits", 1)
+		s.memoLookup(jb, "optimized", true)
 		return ir.Parse(text)
 	}
 	s.mu.Unlock()
-	s.count("driver.memo.misses", 1)
+	s.memoLookup(jb, "optimized", false)
 
-	m, err := s.Frontend(src, name)
+	m, err := s.frontend(src, name, jb)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Optimize(m); err != nil {
+	if err := s.optimize(m, jb); err != nil {
 		return nil, err
 	}
 	text := m.Print()
@@ -274,25 +353,33 @@ func (s *Session) OptimizedIR(name, src string) (*ir.Module, error) {
 // variant in the experiments harness: variants fork only the decompile
 // tail. The returned module and Result are private to the caller.
 func (s *Session) ParallelIR(name, src string) (*ir.Module, *parallel.Result, error) {
+	jb := s.startJob("compile", name)
+	jb.source(src)
+	m, pres, err := s.parallelIR(name, src, jb)
+	jb.finish(err)
+	return m, pres, err
+}
+
+func (s *Session) parallelIR(name, src string, jb *jobBuilder) (*ir.Module, *parallel.Result, error) {
 	key := memoKey(name, src)
 	s.mu.Lock()
 	e := s.memo[key]
 	if e != nil && e.parallel != "" {
 		text, pres := e.parallel, copyResult(e.parRes)
 		s.mu.Unlock()
-		s.count("driver.memo.hits", 1)
+		s.memoLookup(jb, "parallel", true)
 		m, err := ir.Parse(text)
 		return m, pres, err
 	}
 	s.mu.Unlock()
-	s.count("driver.memo.misses", 1)
+	s.memoLookup(jb, "parallel", false)
 
 	// Reuse the optimized prefix if it is already cached.
-	m, err := s.OptimizedIR(name, src)
+	m, err := s.optimizedIR(name, src, jb)
 	if err != nil {
 		return nil, nil, err
 	}
-	pres, err := s.Parallelize(m)
+	pres, err := s.parallelize(m, jb)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -326,4 +413,17 @@ func copyResult(r *parallel.Result) *parallel.Result {
 
 func (s *Session) count(name string, n int) {
 	s.opts.Telemetry.Count(name, n)
+}
+
+// memoLookup records one prefix-memo probe on the telemetry counters,
+// the metrics registry, and the job's flight record.
+func (s *Session) memoLookup(jb *jobBuilder, prefix string, hit bool) {
+	if hit {
+		s.count("driver.memo.hits", 1)
+		s.met.memoHits.Inc()
+	} else {
+		s.count("driver.memo.misses", 1)
+		s.met.memoMisses.Inc()
+	}
+	jb.cacheLookup(prefix, hit)
 }

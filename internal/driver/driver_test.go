@@ -188,9 +188,9 @@ func TestAnalysisCacheWin(t *testing.T) {
 	if _, _, err := s.ParallelIR(b.Name, b.Seq); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses, _ := s.AnalysisStats()
-	if hits == 0 {
-		t.Fatalf("analysis cache never hit (misses=%d)", misses)
+	st := s.AnalysisStats()
+	if st.Hits == 0 {
+		t.Fatalf("analysis cache never hit (misses=%d)", st.Misses)
 	}
 }
 

@@ -57,6 +57,13 @@ func (s *Session) Execute(m *ir.Module, opts ExecOptions) (*ExecResult, error) {
 	if entry == "" {
 		entry = "main"
 	}
+	jb := s.startJob("execute", entry)
+	res, err := s.execute(m, entry, opts, jb)
+	jb.finish(err)
+	return res, err
+}
+
+func (s *Session) execute(m *ir.Module, entry string, opts ExecOptions, jb *jobBuilder) (*ExecResult, error) {
 	sp := s.opts.Telemetry.StartStage("execute")
 	defer sp.End()
 
@@ -66,6 +73,7 @@ func (s *Session) Execute(m *ir.Module, opts ExecOptions) (*ExecResult, error) {
 		Profile:    opts.Profile,
 		CheckRaces: opts.CheckRaces,
 		Telemetry:  s.opts.Telemetry,
+		Metrics:    s.opts.Metrics,
 	})
 	ret, err := mach.Run(entry, opts.Args...)
 	if err != nil {
@@ -80,6 +88,8 @@ func (s *Session) Execute(m *ir.Module, opts ExecOptions) (*ExecResult, error) {
 		Races:    mach.Races(),
 	}
 	res.Contradictions = res.Races.CrossCheck(m)
+	jb.profile(res.Profile)
+	jb.raceVerdict(res.Races)
 	s.count("driver.executions", 1)
 	return res, nil
 }

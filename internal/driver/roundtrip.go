@@ -96,6 +96,13 @@ func clip(s string) string {
 // the result. globals names the objects to digest (typically the
 // reference module's globals, so every stage digests the same set).
 func RunForOutcome(m *ir.Module, entries, globals []string, mopts interp.Options) (*Outcome, *interp.RaceReport) {
+	out, mach := runForOutcome(m, entries, globals, mopts)
+	return out, mach.Races()
+}
+
+// runForOutcome is RunForOutcome returning the machine itself, so
+// callers can also read its profile.
+func runForOutcome(m *ir.Module, entries, globals []string, mopts interp.Options) (*Outcome, *interp.Machine) {
 	mach := interp.NewMachine(m, mopts)
 	out := &Outcome{Globals: map[string]uint64{}}
 	for _, e := range entries {
@@ -116,7 +123,7 @@ func RunForOutcome(m *ir.Module, entries, globals []string, mopts interp.Options
 			}
 		}
 	}
-	return out, mach.Races()
+	return out, mach
 }
 
 // DigestCells hashes a memory object's cells by bit pattern, so two
@@ -195,6 +202,18 @@ func (r *RoundTripResult) Failed() bool { return len(r.Divergences) > 0 }
 // prefix memo: a fuzzing loop feeds thousands of distinct sources, and
 // memoizing each would grow the cache without any reuse.
 func (s *Session) RoundTrip(name, src string, opts RoundTripOptions) (*RoundTripResult, error) {
+	jb := s.startJob("roundtrip", name)
+	jb.source(src)
+	res, err := s.roundTrip(name, src, opts, jb)
+	if res != nil {
+		jb.parallelLoops(res.ParallelizedLoops)
+		jb.divergences(res.Divergences)
+	}
+	jb.finish(err)
+	return res, err
+}
+
+func (s *Session) roundTrip(name, src string, opts RoundTripOptions, jb *jobBuilder) (*RoundTripResult, error) {
 	entries := opts.Entries
 	if len(entries) == 0 {
 		entries = []string{"main"}
@@ -208,7 +227,7 @@ func (s *Session) RoundTrip(name, src string, opts RoundTripOptions) (*RoundTrip
 		fuel = 16_000_000
 	}
 
-	ref, err := s.Frontend(src, name)
+	ref, err := s.frontend(src, name, jb)
 	if err != nil {
 		return nil, fmt.Errorf("roundtrip frontend: %w", err)
 	}
@@ -230,10 +249,10 @@ func (s *Session) RoundTrip(name, src string, opts RoundTripOptions) (*RoundTrip
 	if err != nil {
 		return nil, fmt.Errorf("roundtrip reparse: %w", err)
 	}
-	if err := s.Optimize(opt); err != nil {
+	if err := s.optimize(opt, jb); err != nil {
 		return nil, fmt.Errorf("roundtrip optimize: %w", err)
 	}
-	pres, err := s.Parallelize(opt)
+	pres, err := s.parallelize(opt, jb)
 	if err != nil {
 		return nil, fmt.Errorf("roundtrip parallelize: %w", err)
 	}
@@ -243,11 +262,19 @@ func (s *Session) RoundTrip(name, src string, opts RoundTripOptions) (*RoundTrip
 	res.OptIR = opt.Print()
 
 	res.Opt1, _ = RunForOutcome(opt, entries, globals, interp.Options{NumThreads: 1, Fuel: fuel})
-	var races *interp.RaceReport
-	res.OptN, races = RunForOutcome(opt, entries, globals,
-		interp.Options{NumThreads: threads, Fuel: fuel, CheckRaces: true})
+	// The N-thread run also collects a parallel-region profile when the
+	// job is being flight-recorded, so /debug/jobs shows each round
+	// trip's runtime shape alongside its verdicts.
+	outN, machN := runForOutcome(opt, entries, globals, interp.Options{
+		NumThreads: threads, Fuel: fuel, CheckRaces: true,
+		Profile: jb.active(), Metrics: s.opts.Metrics,
+	})
+	races := machN.Races()
+	res.OptN = outN
 	res.RacesClean = races.Clean()
 	res.Contradictions = races.CrossCheck(opt)
+	jb.profile(machN.Profile())
+	jb.raceVerdict(races)
 
 	diverge := func(class string, diffs []string) {
 		for _, d := range diffs {
@@ -263,20 +290,20 @@ func (s *Session) RoundTrip(name, src string, opts RoundTripOptions) (*RoundTrip
 		diverge("races", []string{c})
 	}
 
-	dec, err := s.Decompile(opt, splendid.Full())
+	dec, err := s.decompile(opt, splendid.Full(), jb)
 	if err != nil {
 		diverge("decompile", []string{err.Error()})
 		return res, nil
 	}
 	res.C = dec.C
-	rec, err := s.Frontend(dec.C, name+".rec")
+	rec, err := s.frontend(dec.C, name+".rec", jb)
 	if err != nil {
 		// The paper's recompilability claim: emitted C the frontend
 		// rejects is a finding, not an infrastructure error.
 		diverge("recompile", []string{err.Error()})
 		return res, nil
 	}
-	if err := s.Optimize(rec); err != nil {
+	if err := s.optimize(rec, jb); err != nil {
 		diverge("recompile", []string{fmt.Sprintf("optimizing recompiled module: %v", err)})
 		return res, nil
 	}

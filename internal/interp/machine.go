@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/ir"
+	"repro/internal/metrics"
 	"repro/internal/telemetry"
 )
 
@@ -37,6 +38,10 @@ type Options struct {
 	// fork→join and one thread event per team worker, so runtime
 	// execution shows up as per-thread tracks in the Chrome trace.
 	Telemetry *telemetry.Ctx
+	// Metrics, when non-nil, receives live interpreter counters
+	// (splendid_interp_*: runs, parallel regions, barrier wait time,
+	// detected conflicts) for scraping while the machine runs.
+	Metrics *metrics.Registry
 }
 
 // Machine executes one module. It owns global memory and the output
@@ -69,6 +74,7 @@ type Machine struct {
 	prof  *profiler
 	races *raceChecker
 	tc    *telemetry.Ctx
+	met   *machMetrics
 }
 
 // funcInfo caches per-function slot numbering for frame storage.
@@ -90,6 +96,7 @@ func NewMachine(m *ir.Module, opts Options) *Machine {
 		globals: map[*ir.Global]*MemObject{},
 		funcs:   map[*ir.Function]*funcInfo{},
 		tc:      opts.Telemetry,
+		met:     newMachMetrics(opts.Metrics),
 	}
 	if opts.Profile {
 		mach.prof = newProfiler(opts.NumThreads)
@@ -246,6 +253,7 @@ func (m *Machine) Run(name string, args ...Value) (Value, error) {
 	if f == nil {
 		return Value{}, fmt.Errorf("interp: no function @%s", name)
 	}
+	m.met.noteRun()
 	ex := &exec{m: m, gtid: 0}
 	var ret Value
 	err := ex.protect(func() {

@@ -1,0 +1,50 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestMachineMetrics checks the interpreter feeds the registry: one run,
+// one parallel region, and (for the racy kernel) the checker's conflict
+// count, all visible on the splendid_interp_* counters.
+func TestMachineMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	run(t, racyKernel, "main", Options{NumThreads: 4, CheckRaces: true, Metrics: reg})
+
+	counter := func(name string) int64 {
+		t.Helper()
+		return reg.Counter(name, "").Value()
+	}
+	if got := counter("splendid_interp_runs_total"); got != 1 {
+		t.Errorf("runs = %d, want 1", got)
+	}
+	if got := counter("splendid_interp_regions_total"); got != 1 {
+		t.Errorf("regions = %d, want 1", got)
+	}
+	if got := counter("splendid_interp_conflicts_total"); got != 1 {
+		t.Errorf("conflicts = %d, want 1 (write-write on one cell)", got)
+	}
+}
+
+// TestMachineMetricsBarrierWait checks barrier wait time lands on the
+// counter even when the profiler is off — the metric path has its own
+// clock condition.
+func TestMachineMetricsBarrierWait(t *testing.T) {
+	reg := metrics.NewRegistry()
+	run(t, barrierKernel, "main", Options{NumThreads: 8, Metrics: reg})
+	if got := reg.Counter("splendid_interp_barrier_wait_ns_total", "").Value(); got <= 0 {
+		t.Errorf("barrier wait = %d ns, want > 0 (8 threads synchronized once)", got)
+	}
+	if got := reg.Counter("splendid_interp_conflicts_total", "").Value(); got != 0 {
+		t.Errorf("conflicts = %d, want 0 (checker off)", got)
+	}
+}
+
+// TestMachineMetricsDisabled: no registry, no counters, no crash — the
+// nil-disabled contract the rest of the interpreter's observability
+// already obeys.
+func TestMachineMetricsDisabled(t *testing.T) {
+	run(t, racyKernel, "main", Options{NumThreads: 4, CheckRaces: true})
+}

@@ -150,11 +150,12 @@ func newRaceChecker() *raceChecker {
 }
 
 // analyze merges the team's shadow logs for one completed fork and
-// records every cross-thread conflict. Called by the forking thread
-// after join, so it sees a quiescent team.
-func (rc *raceChecker) analyze(microtask string, recs []*threadAccesses) {
+// records every cross-thread conflict, returning how many it found
+// (0 when checking is disabled). Called by the forking thread after
+// join, so it sees a quiescent team.
+func (rc *raceChecker) analyze(microtask string, recs []*threadAccesses) int {
 	if rc == nil {
-		return
+		return 0
 	}
 	// Combine per-thread logs: cell → which tids read, which wrote.
 	type cellState struct {
@@ -224,12 +225,14 @@ func (rc *raceChecker) analyze(microtask string, recs []*threadAccesses) {
 	rc.checked++
 	rc.total += int64(len(found))
 	rc.byMicrotask[microtask] += int64(len(found))
+	n := len(found)
 	if room := maxConflicts - len(rc.conflicts); room > 0 {
 		if len(found) > room {
 			found = found[:room]
 		}
 		rc.conflicts = append(rc.conflicts, found...)
 	}
+	return n
 }
 
 // snapshot builds the exported report (nil when checking is disabled).

@@ -87,10 +87,12 @@ func (ex *exec) callExternal(f *ir.Function, args []Value) Value {
 		return Value{K: KUndef}
 	case omp.Barrier:
 		if ex.team != nil {
-			if ex.tstat != nil {
+			if ex.tstat != nil || ex.m.met != nil {
 				t0 := time.Now()
 				ex.team.barrier()
-				ex.tstat.noteBarrier(time.Since(t0))
+				wait := time.Since(t0)
+				ex.tstat.noteBarrier(wait)
+				ex.m.met.noteBarrierWait(wait)
 			} else {
 				ex.team.barrier()
 			}
@@ -278,7 +280,8 @@ func (ex *exec) forkCall(args []Value) {
 	if prof != nil {
 		prof.merge(mtName, time.Since(wallStart), maxSpan, stats)
 	}
-	races.analyze(mtName, recs)
+	ex.m.met.noteRegion()
+	ex.m.met.noteConflicts(races.analyze(mtName, recs))
 	if tc != nil {
 		tc.AddEvent(telemetry.Event{
 			Name: mtName, Cat: telemetry.CatRegion,

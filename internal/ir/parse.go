@@ -983,5 +983,13 @@ func (p *parser) parseInstr() (*Instr, error) {
 		}
 		return nil, p.errf("unknown instruction %q", op)
 	}
+	// Value-producing instructions must bind a result name: an unnamed
+	// one would print as "% = ..." and fail to reparse.
+	if in.HasResult() && in.Nam == "" {
+		return nil, p.errf("%s produces a value and needs a %%name = binding", opTok.text)
+	}
+	if !in.HasResult() && in.Nam != "" {
+		return nil, p.errf("%s produces no value; remove the %%%s = binding", opTok.text, in.Nam)
+	}
 	return in, nil
 }

@@ -1,0 +1,51 @@
+package metrics
+
+import "testing"
+
+// BenchmarkDisabledMetrics measures (and asserts, via AllocsPerRun) the
+// disabled path: nil handles from a nil registry. This is the cost every
+// instrumented hot path pays when no registry is attached — it must be a
+// few pointer checks and zero allocations.
+func BenchmarkDisabledMetrics(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("y_depth", "")
+	h := r.Histogram("z_seconds", "", DurationBuckets)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.001)
+	}); n != 0 {
+		b.Fatalf("disabled metrics path allocates %v times per op, want 0", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.001)
+	}
+}
+
+// BenchmarkEnabledMetrics is the attached-registry counterpart: pure
+// atomics, still allocation-free.
+func BenchmarkEnabledMetrics(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "")
+	g := r.Gauge("y_depth", "")
+	h := r.Histogram("z_seconds", "", DurationBuckets)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.001)
+	}); n != 0 {
+		b.Fatalf("enabled metrics hot path allocates %v times per op, want 0", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.001)
+	}
+}

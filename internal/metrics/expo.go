@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// SnapshotSchema identifies the JSON snapshot layout.
+const SnapshotSchema = "splendid-metrics/v1"
+
+// Snapshot is a point-in-time copy of every series in a registry,
+// deterministic (families and series sorted) so golden tests and diffing
+// scrapers can rely on the order.
+type Snapshot struct {
+	Schema  string           `json:"schema"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one family: all series sharing a name.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one (name, labels) cell's current state.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter or gauge reading (absent for histograms).
+	Value *float64 `json:"value,omitempty"`
+	// Histogram state: cumulative bucket counts, observation count, sum.
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	Count   int64            `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket; LE is +Inf for the
+// overflow bucket (rendered as the JSON string "+Inf").
+type BucketSnapshot struct {
+	LE    jsonFloat `json:"le"`
+	Count int64     `json:"count"`
+}
+
+// jsonFloat marshals +Inf as a quoted string (JSON has no infinity).
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(f), 1) {
+		return []byte(`"+Inf"`), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == `"+Inf"` {
+		*f = jsonFloat(math.Inf(1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// Snapshot copies the registry's current state. Nil-safe: a nil registry
+// snapshots as empty.
+func (r *Registry) Snapshot() *Snapshot {
+	out := &Snapshot{Schema: SnapshotSchema}
+	for _, fam := range r.sortedFamilies() {
+		ms := MetricSnapshot{Name: fam.name, Type: fam.kind.String(), Help: fam.help}
+		for _, s := range fam.sortedSeries() {
+			ss := SeriesSnapshot{}
+			if len(s.labels) > 0 {
+				ss.Labels = map[string]string{}
+				for _, l := range s.labels {
+					ss.Labels[l.Key] = l.Value
+				}
+			}
+			switch fam.kind {
+			case kindCounter:
+				v := float64(s.val.Load())
+				ss.Value = &v
+			case kindGauge:
+				v := math.Float64frombits(s.fbits.Load())
+				ss.Value = &v
+			case kindHistogram:
+				cum := int64(0)
+				for i := range s.bcounts {
+					cum += s.bcounts[i].Load()
+					le := jsonFloat(math.Inf(1))
+					if i < len(fam.buckets) {
+						le = jsonFloat(fam.buckets[i])
+					}
+					ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: le, Count: cum})
+				}
+				ss.Count = s.count.Load()
+				ss.Sum = math.Float64frombits(s.sumBits.Load())
+			}
+			ms.Series = append(ms.Series, ss)
+		}
+		out.Metrics = append(out.Metrics, ms)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one line per sample,
+// histograms as cumulative _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.sortedFamilies() {
+		if fam.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, fam.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind); err != nil {
+			return err
+		}
+		for _, s := range fam.sortedSeries() {
+			var err error
+			switch fam.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", fam.name, s.sig, s.val.Load())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", fam.name, s.sig,
+					formatFloat(math.Float64frombits(s.fbits.Load())))
+			case kindHistogram:
+				err = writePromHistogram(w, fam, s)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, fam *family, s *series) error {
+	cum := int64(0)
+	for i := range s.bcounts {
+		cum += s.bcounts[i].Load()
+		le := "+Inf"
+		if i < len(fam.buckets) {
+			le = formatFloat(fam.buckets[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			fam.name, withLabel(s, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, s.sig,
+		formatFloat(math.Float64frombits(s.sumBits.Load()))); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, s.sig, s.count.Load())
+	return err
+}
+
+// withLabel renders the series signature with one extra label appended
+// (the histogram "le" bound).
+func withLabel(s *series, key, value string) string {
+	extra := key + `="` + escapeLabel(value) + `"`
+	if s.sig == "" {
+		return "{" + extra + "}"
+	}
+	return s.sig[:len(s.sig)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedFamilies snapshots the family list in name order (nil-safe).
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries snapshots one family's series in signature order.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	ss := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		ss = append(ss, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool { return ss[i].sig < ss[j].sig })
+	return ss
+}

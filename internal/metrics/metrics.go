@@ -1,0 +1,376 @@
+// Package metrics is the process-wide live-metrics registry: labelled
+// counters, gauges, and histograms with fixed bucket layouts, exposable
+// as a Prometheus text scrape or a JSON snapshot. Where
+// internal/telemetry records *one pipeline run* for post-mortem reports
+// (-time-passes tables, Chrome traces), metrics accumulate across the
+// whole process lifetime — the substrate a resident service (splendidd)
+// and the CLIs' -metrics-addr debug endpoints scrape live.
+//
+// The contract mirrors internal/telemetry's nil-disabled discipline:
+//
+//   - handles (*Counter, *Gauge, *Histogram) are acquired once, at
+//     component construction, from a *Registry;
+//   - a nil *Registry hands out nil handles, and every handle method is
+//     nil-receiver-safe and allocation-free — instrumented hot paths
+//     (the interpreter's fork loop, the scheduler's dispatch loop) cost
+//     one pointer check when metrics are off (asserted by
+//     TestDisabledMetricsAllocs / BenchmarkDisabledMetrics);
+//   - enabled updates are single atomic operations: registries are safe
+//     for unsynchronized use from any number of goroutines.
+//
+// Acquisition is get-or-create keyed on (name, sorted label set):
+// acquiring the same series twice returns handles over the same cell, so
+// independent components may feed one process-wide registry (Default)
+// without coordination. Redefining a name with a different metric type
+// or bucket layout panics — that is a programming error, not a runtime
+// condition.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key="value" dimension of a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind discriminates the three metric types.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Fixed bucket layouts. Sharing layouts across components keeps the
+// exposition compact and cross-metric comparisons meaningful.
+var (
+	// DurationBuckets covers compile/decompile stage latencies: 10µs up
+	// to 10s, roughly log-spaced.
+	DurationBuckets = []float64{
+		10e-6, 50e-6, 100e-6, 500e-6,
+		1e-3, 5e-3, 10e-3, 50e-3, 100e-3, 500e-3,
+		1, 5, 10,
+	}
+	// RatioBuckets covers [0,1] quantities such as worker utilization
+	// and load balance.
+	RatioBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	// SizeBuckets covers counts of things (instructions, functions,
+	// queue lengths) in powers of four.
+	SizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+)
+
+// Registry holds metric families. The zero value is not useful; use
+// NewRegistry or the process-wide Default. A nil *Registry is the
+// disabled configuration: it hands out nil handles.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	buckets []float64 // histogram upper bounds (sorted, +Inf implicit)
+
+	mu     sync.Mutex
+	series map[string]*series // keyed by rendered label signature
+}
+
+// series is one (name, label set) time series. Values are atomics so the
+// update path never takes a lock.
+type series struct {
+	labels []Label // sorted by key
+	sig    string  // rendered {k="v",...} signature ("" for no labels)
+
+	val   atomic.Int64  // counter value
+	fbits atomic.Uint64 // gauge value (float64 bits)
+
+	// Histogram state: per-bucket counts (non-cumulative; the +Inf
+	// bucket is bcounts[len(bounds)]), observation count and sum. bounds
+	// aliases the family's immutable layout so the hot path never touches
+	// the family lock.
+	bounds  []float64
+	bcounts []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the CLIs expose via
+// -metrics-addr. Components should take a *Registry rather than reaching
+// for Default, so tests can isolate; Default is the conventional instance
+// main functions wire through.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter series, creating it on first use.
+// A nil registry returns a nil (disabled, still usable) handle.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{s: r.getSeries(name, help, kindCounter, nil, labels)}
+}
+
+// Gauge returns the named gauge series, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{s: r.getSeries(name, help, kindGauge, nil, labels)}
+}
+
+// Histogram returns the named histogram series with the given bucket
+// upper bounds, creating it on first use. Every acquisition of one name
+// must use the same layout (use the package's fixed layouts).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		panic("metrics: histogram " + name + " needs a bucket layout")
+	}
+	return &Histogram{s: r.getSeries(name, help, kindHistogram, buckets, labels)}
+}
+
+// getSeries resolves (name, labels) to its cell, creating family and
+// series as needed and enforcing type/layout consistency.
+func (r *Registry) getSeries(name, help string, k kind, buckets []float64, labels []Label) *series {
+	checkName(name)
+	for _, l := range labels {
+		checkName(l.Key)
+	}
+	r.mu.Lock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: k, series: map[string]*series{}}
+		if k == kindHistogram {
+			fam.buckets = append([]float64(nil), buckets...)
+			sort.Float64s(fam.buckets)
+		}
+		r.families[name] = fam
+	}
+	r.mu.Unlock()
+	if fam.kind != k {
+		panic(fmt.Sprintf("metrics: %s acquired as %s but registered as %s", name, k, fam.kind))
+	}
+	if k == kindHistogram && !sameBuckets(fam.buckets, buckets) {
+		panic(fmt.Sprintf("metrics: %s acquired with a different bucket layout", name))
+	}
+
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	sig := renderLabels(ls)
+	fam.mu.Lock()
+	defer fam.mu.Unlock()
+	s := fam.series[sig]
+	if s == nil {
+		s = &series{labels: ls, sig: sig}
+		if k == kindHistogram {
+			s.bounds = fam.buckets
+			s.bcounts = make([]atomic.Int64, len(fam.buckets)+1)
+		}
+		fam.series[sig] = s
+	}
+	return s
+}
+
+func sameBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sorted := append([]float64(nil), b...)
+	sort.Float64s(sorted)
+	for i := range a {
+		if a[i] != sorted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkName enforces the Prometheus identifier grammar on metric and
+// label names, loudly: a bad name is a programming error.
+func checkName(name string) {
+	if name == "" {
+		panic("metrics: empty name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("metrics: invalid name %q", name))
+		}
+	}
+}
+
+// renderLabels builds the canonical series signature: {k1="v1",k2="v2"}
+// with values escaped, empty string for no labels. Labels must be sorted.
+func renderLabels(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing int64. All methods are safe on a
+// nil receiver (the disabled path) and allocation-free.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || c.s == nil || n <= 0 {
+		return
+	}
+	c.s.val.Add(n)
+}
+
+// Value returns the current count (0 on the disabled path).
+func (c *Counter) Value() int64 {
+	if c == nil || c.s == nil {
+		return 0
+	}
+	return c.s.val.Load()
+}
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.fbits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by d (negative to decrement).
+func (g *Gauge) Add(d float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	for {
+		old := g.s.fbits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.s.fbits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value (0 on the disabled path).
+func (g *Gauge) Value() float64 {
+	if g == nil || g.s == nil {
+		return 0
+	}
+	return math.Float64frombits(g.s.fbits.Load())
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct{ s *series }
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.s == nil {
+		return
+	}
+	s := h.s
+	// Buckets are few (≤16): a linear scan beats binary search here and
+	// stays allocation-free. bounds is immutable after creation, so
+	// reading it unlocked is safe.
+	i := 0
+	for i < len(s.bounds) && v > s.bounds[i] {
+		i++
+	}
+	s.bcounts[i].Add(1)
+	s.count.Add(1)
+	for {
+		old := s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil || h.s == nil {
+		return 0
+	}
+	return h.s.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil || h.s == nil {
+		return 0
+	}
+	return math.Float64frombits(h.s.sumBits.Load())
+}

@@ -1,0 +1,258 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs", L("kind", "compile"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Re-acquiring the same (name, labels) returns the same cell.
+	c2 := r.Counter("jobs_total", "jobs", L("kind", "compile"))
+	c2.Inc()
+	if got := c.Value(); got != 6 {
+		t.Errorf("shared cell: counter = %d, want 6", got)
+	}
+	// A different label value is a different cell.
+	other := r.Counter("jobs_total", "jobs", L("kind", "execute"))
+	if got := other.Value(); got != 0 {
+		t.Errorf("distinct cell polluted: %d", got)
+	}
+
+	g := r.Gauge("queue_depth", "depth")
+	g.Set(3)
+	g.Add(2)
+	g.Add(-4)
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %v, want 1", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", L("b", "2"), L("a", "1"))
+	b := r.Counter("x_total", "", L("a", "1"), L("b", "2"))
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 2 {
+		t.Errorf("label order should not split series: %d, want 2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Errorf("count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 5.555 {
+		t.Errorf("sum = %v, want 5.555", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		`lat_seconds_sum 5.555`,
+		`lat_seconds_count 4`,
+		`# TYPE lat_seconds histogram`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "bees", L("kind", "busy")).Add(7)
+	r.Gauge("a_depth", "depth").Set(2.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_depth depth
+# TYPE a_depth gauge
+a_depth 2.5
+# HELP b_total bees
+# TYPE b_total counter
+b_total{kind="busy"} 7
+`
+	if buf.String() != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", L("path", "a\"b\\c\nd")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := `esc_total{path="a\"b\\c\nd"} 1`; !strings.Contains(buf.String(), want) {
+		t.Errorf("escaping wrong:\n%s\nwant line %s", buf.String(), want)
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "jobs", L("kind", "compile")).Add(3)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if snap.Schema != SnapshotSchema {
+		t.Errorf("schema = %q, want %q", snap.Schema, SnapshotSchema)
+	}
+	if len(snap.Metrics) != 2 || snap.Metrics[0].Name != "jobs_total" {
+		t.Fatalf("metrics: %+v", snap.Metrics)
+	}
+	ctr := snap.Metrics[0].Series[0]
+	if ctr.Labels["kind"] != "compile" || ctr.Value == nil || *ctr.Value != 3 {
+		t.Errorf("counter series: %+v", ctr)
+	}
+	hist := snap.Metrics[1].Series[0]
+	if hist.Count != 2 || hist.Sum != 2.25 || len(hist.Buckets) != 3 {
+		t.Errorf("histogram series: %+v", hist)
+	}
+	// The "+Inf" bucket marshals as a string and is cumulative.
+	if !strings.Contains(buf.String(), `"+Inf"`) {
+		t.Errorf("missing +Inf bucket:\n%s", buf.String())
+	}
+	if hist.Buckets[2].Count != 2 || hist.Buckets[0].Count != 1 {
+		t.Errorf("cumulative buckets wrong: %+v", hist.Buckets)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("redefining a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestBadNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name should panic")
+		}
+	}()
+	r.Counter("bad name!", "")
+}
+
+// TestDisabledMetricsAllocs is the hard guarantee behind instrumenting
+// interpreter and scheduler hot paths: with metrics disabled (nil
+// registry, hence nil handles) no call may allocate.
+func TestDisabledMetricsAllocs(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("y_depth", "")
+	h := r.Histogram("z_seconds", "", DurationBuckets)
+	n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(5)
+		g.Set(1)
+		g.Add(-1)
+		h.Observe(0.5)
+	})
+	if n != 0 {
+		t.Fatalf("disabled metrics path allocates %v times per op, want 0", n)
+	}
+}
+
+// TestEnabledHotPathAllocs: the enabled update path must not allocate
+// either — it is atomics only.
+func TestEnabledHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "")
+	g := r.Gauge("y_depth", "")
+	h := r.Histogram("z_seconds", "", DurationBuckets)
+	n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.002)
+	})
+	if n != 0 {
+		t.Fatalf("enabled metrics hot path allocates %v times per op, want 0", n)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// concurrent acquisition of the same and distinct series plus updates —
+// and checks totals. Run under -race (verify.sh and CI do).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hammer_total", "", L("shared", "yes"))
+			g := r.Gauge("hammer_depth", "")
+			h := r.Histogram("hammer_seconds", "", DurationBuckets)
+			for i := 0; i < perWorker; i++ {
+				c.Add(2)
+				g.Add(1)
+				h.Observe(0.001)
+				if i%100 == 0 {
+					// Concurrent re-acquisition and exposition.
+					r.Counter("hammer_total", "", L("shared", "yes")).Inc()
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := r.Counter("hammer_total", "", L("shared", "yes"))
+	want := int64(workers * (2*perWorker + perWorker/100))
+	if got := c.Value(); got != want {
+		t.Errorf("hammer_total = %d, want %d", got, want)
+	}
+	if got := r.Gauge("hammer_depth", "").Value(); got != workers*perWorker {
+		t.Errorf("hammer_depth = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("hammer_seconds", "", DurationBuckets).Count(); got != workers*perWorker {
+		t.Errorf("hammer_seconds count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestDefaultRegistryIsProcessWide(t *testing.T) {
+	if Default() == nil || Default() != Default() {
+		t.Fatal("Default must return one stable registry")
+	}
+}

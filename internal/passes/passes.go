@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/ir"
+	"repro/internal/metrics"
 	"repro/internal/telemetry"
 )
 
@@ -175,6 +176,9 @@ type RunConfig struct {
 	// serially in m.Funcs order; >1 schedules functions across a worker
 	// pool in bottom-up call-graph SCC order.
 	Workers int
+	// Metrics receives scheduler counters and histograms
+	// (splendid_sched_*) from every pipeline run. Nil disables them.
+	Metrics *metrics.Registry
 }
 
 // runOnePass executes p on f with span bookkeeping, -print-changed
@@ -232,7 +236,7 @@ func RunPipelineFn(f *ir.Function, cfg RunConfig, pipeline ...Pass) (bool, error
 func RunPipelineConfig(m *ir.Module, cfg RunConfig, pipeline ...Pass) (bool, error) {
 	var mu sync.Mutex
 	changed := false
-	err := ScheduleFunctions(m, cfg.Workers, func(f *ir.Function) error {
+	err := ScheduleFunctionsMetered(m, cfg.Workers, func(f *ir.Function) error {
 		c, err := RunPipelineFn(f, cfg, pipeline...)
 		if c {
 			mu.Lock()
@@ -240,7 +244,7 @@ func RunPipelineConfig(m *ir.Module, cfg RunConfig, pipeline ...Pass) (bool, err
 			mu.Unlock()
 		}
 		return err
-	})
+	}, NewSchedMetrics(cfg.Metrics))
 	return changed, err
 }
 

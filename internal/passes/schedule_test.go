@@ -137,8 +137,8 @@ func TestAnalysisCacheHits(t *testing.T) {
 	if err := passes.OptimizeConfig(m, passes.RunConfig{Analyses: am}); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses, _ := am.Stats()
-	if hits == 0 {
-		t.Fatalf("no cache hits across an O2 fixed point (misses=%d)", misses)
+	st := am.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no cache hits across an O2 fixed point (misses=%d)", st.Misses)
 	}
 }

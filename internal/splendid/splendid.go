@@ -31,6 +31,7 @@ import (
 	"repro/internal/cast"
 	"repro/internal/decomp"
 	"repro/internal/ir"
+	"repro/internal/metrics"
 	"repro/internal/passes"
 	"repro/internal/telemetry"
 )
@@ -108,6 +109,9 @@ type Opts struct {
 	// VerifyEach re-verifies the module after every pipeline stage and
 	// every cleanup pass, attributing failures to the stage that broke it.
 	VerifyEach bool
+	// Metrics receives function-scheduler counters (splendid_sched_*)
+	// from the fan-out stages. Nil disables them.
+	Metrics *metrics.Registry
 }
 
 // DecompileCtx is Decompile with observation: every stage of the paper's
@@ -128,6 +132,7 @@ func DecompileCtx(m *ir.Module, cfg Config, tc *telemetry.Ctx) (*Result, error) 
 func DecompileOpts(m *ir.Module, cfg Config, opts Opts) (*Result, error) {
 	tc := opts.Telemetry
 	am := opts.Analyses
+	sm := passes.NewSchedMetrics(opts.Metrics)
 	total := tc.StartStage("decompile")
 	defer total.End()
 
@@ -180,10 +185,10 @@ func DecompileOpts(m *ir.Module, cfg Config, opts Opts) (*Result, error) {
 	// across the scheduler; stage boundaries remain barriers.
 	if cfg.ExplicitParallelism {
 		sp = tc.StartStage("mem2reg-promote")
-		err = passes.ScheduleFunctions(work, opts.Workers, func(f *ir.Function) error {
+		err = passes.ScheduleFunctionsMetered(work, opts.Workers, func(f *ir.Function) error {
 			_, err := runFnPass(passes.Mem2RegPass, f, am, tc)
 			return err
-		})
+		}, sm)
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -194,7 +199,7 @@ func DecompileOpts(m *ir.Module, cfg Config, opts Opts) (*Result, error) {
 	}
 	if cfg.RestoreForLoops {
 		sp = tc.StartStage("derotate")
-		err = passes.ScheduleFunctions(work, opts.Workers, func(f *ir.Function) error {
+		err = passes.ScheduleFunctionsMetered(work, opts.Workers, func(f *ir.Function) error {
 			n := DerotateLoopsOpts(f, am, tc)
 			am.Invalidate(f)
 			if n > 0 {
@@ -203,7 +208,7 @@ func DecompileOpts(m *ir.Module, cfg Config, opts Opts) (*Result, error) {
 				mu.Unlock()
 			}
 			return nil
-		})
+		}, sm)
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -214,11 +219,11 @@ func DecompileOpts(m *ir.Module, cfg Config, opts Opts) (*Result, error) {
 	}
 	if cfg.FoldExpressions {
 		sp = tc.StartStage("rematerialize")
-		err = passes.ScheduleFunctions(work, opts.Workers, func(f *ir.Function) error {
+		err = passes.ScheduleFunctionsMetered(work, opts.Workers, func(f *ir.Function) error {
 			RematerializeAddresses(f)
 			am.Invalidate(f)
 			return nil
-		})
+		}, sm)
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -229,7 +234,8 @@ func DecompileOpts(m *ir.Module, cfg Config, opts Opts) (*Result, error) {
 	}
 	sp = tc.StartStage("cleanup")
 	_, err = passes.RunPipelineConfig(work, passes.RunConfig{
-		Analyses: am, Telemetry: tc, VerifyEach: opts.VerifyEach, Workers: opts.Workers,
+		Analyses: am, Telemetry: tc, VerifyEach: opts.VerifyEach,
+		Workers: opts.Workers, Metrics: opts.Metrics,
 	}, passes.ConstFoldPass, passes.DCEPass, passes.SimplifyCFGPass)
 	sp.End()
 	if err != nil {
@@ -269,7 +275,7 @@ func DecompileOpts(m *ir.Module, cfg Config, opts Opts) (*Result, error) {
 		}
 	}
 	fds := make([]*cast.FuncDecl, len(slot))
-	err = passes.ScheduleFunctions(work, opts.Workers, func(f *ir.Function) error {
+	err = passes.ScheduleFunctionsMetered(work, opts.Workers, func(f *ir.Function) error {
 		var namer decomp.Namer
 		sourceNames := map[string]bool{}
 		var vg *VarGenStats
@@ -313,7 +319,7 @@ func DecompileOpts(m *ir.Module, cfg Config, opts Opts) (*Result, error) {
 		}
 		mu.Unlock()
 		return nil
-	})
+	}, sm)
 	if err != nil {
 		return nil, err
 	}

@@ -47,4 +47,51 @@ if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool BENCH_runtime_trace.json >/dev/null
 fi
 
+echo "== live metrics smoke (irrun -metrics-addr: /metrics, /healthz, /debug/jobs, /debug/pprof)"
+if command -v curl >/dev/null 2>&1; then
+    smokedir=$(mktemp -d)
+    cat > "$smokedir/smoke.c" <<'EOF'
+double A[512];
+
+void kernel() {
+  for (long i = 0; i < 512; i++) {
+    A[i] = i * 2.0;
+  }
+}
+EOF
+    go run ./cmd/ccomp -polly -o "$smokedir/smoke.ll" "$smokedir/smoke.c"
+    go build -o "$smokedir/irrun" ./cmd/irrun
+    "$smokedir/irrun" -entry kernel -threads 4 -check-races \
+        -metrics-addr 127.0.0.1:0 -linger 30s \
+        "$smokedir/smoke.ll" >/dev/null 2> "$smokedir/irrun.log" &
+    irrun_pid=$!
+    # The server binds :0; poll stderr for the resolved address.
+    base=""
+    for _ in $(seq 1 50); do
+        base=$(sed -n 's/^irrun: debug endpoints on //p' "$smokedir/irrun.log")
+        [ -n "$base" ] && break
+        sleep 0.1
+    done
+    if [ -z "$base" ]; then
+        echo "irrun never announced its debug address:" >&2
+        cat "$smokedir/irrun.log" >&2
+        kill "$irrun_pid" 2>/dev/null || true
+        exit 1
+    fi
+    curl -fsS "$base/metrics" > "$smokedir/metrics.txt"
+    grep -q 'splendid_driver_jobs_completed_total{kind="execute"} 1' "$smokedir/metrics.txt"
+    grep -q 'splendid_interp_runs_total 1' "$smokedir/metrics.txt"
+    grep -q 'splendid_interp_regions_total 1' "$smokedir/metrics.txt"
+    curl -fsS "$base/healthz" | grep -q '"splendid-health/v1"'
+    curl -fsS "$base/debug/jobs" > "$smokedir/jobs.json"
+    grep -q '"splendid-flight-record/v1"' "$smokedir/jobs.json"
+    grep -q '"kind": "execute"' "$smokedir/jobs.json"
+    curl -fsS "$base/debug/pprof/cmdline" >/dev/null
+    kill "$irrun_pid" 2>/dev/null || true
+    wait "$irrun_pid" 2>/dev/null || true
+    rm -rf "$smokedir"
+else
+    echo "curl not found; skipping the endpoint smoke" >&2
+fi
+
 echo "verify: OK"
