@@ -29,7 +29,10 @@ bench:
 
 # Runtime observability sweep: runs the PolyBench suite under the
 # parallel-region profiler and the dynamic DOALL conflict checker,
-# leaving the per-kernel profile table in BENCH_runtime.json and a
-# Chrome trace of one profiled execution in BENCH_runtime_trace.json.
+# leaving the per-kernel profile table (including the tree-vs-bytecode
+# engine speedups) in BENCH_runtime.json and a Chrome trace of one
+# profiled execution in BENCH_runtime_trace.json. SIZE scales the
+# problem dimensions; std makes the engine comparison meaningful.
+SIZE ?= std
 bench-runtime:
-	go test -run '^$$' -bench=RuntimeProfile -benchtime=1x .
+	POLYBENCH_SIZE=$(SIZE) go test -run '^$$' -bench=RuntimeProfile -benchtime=1x -timeout 60m .

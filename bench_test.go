@@ -255,8 +255,15 @@ func BenchmarkTelemetryStages(b *testing.B) {
 //     team thread (load it in chrome://tracing or Perfetto).
 //
 // Run via `make bench-runtime` (or -bench=RuntimeProfile -benchtime=1x).
+// POLYBENCH_SIZE=mini|std|large scales the timed problem dimensions
+// (make bench-runtime uses std, where the tree-vs-bytecode wall
+// comparison is meaningful; the default stays mini for CI latency).
 func BenchmarkRuntimeProfile(b *testing.B) {
-	cfg := experiments.Config{Threads: 4, Reps: 1}
+	size, err0 := polybench.ParseSize(os.Getenv("POLYBENCH_SIZE"))
+	if err0 != nil {
+		b.Fatal(err0)
+	}
+	cfg := experiments.Config{Threads: 4, Reps: 1, Size: size}
 	var rows []experiments.RuntimeRow
 	var err error
 	b.ResetTimer()
@@ -268,22 +275,28 @@ func BenchmarkRuntimeProfile(b *testing.B) {
 	}
 	b.StopTimer()
 
-	var speedups []float64
+	var speedups, vmGains []float64
 	var conflicts int64
 	for _, r := range rows {
 		if r.Speedup > 0 {
 			speedups = append(speedups, r.Speedup)
 		}
+		if r.EngineSpeedup > 0 {
+			vmGains = append(vmGains, r.EngineSpeedup)
+		}
 		conflicts += r.Conflicts
 	}
 	b.ReportMetric(geomean(speedups), "speedup-geomean")
+	b.ReportMetric(geomean(vmGains), "bytecode-vs-tree-geomean")
 	b.ReportMetric(float64(conflicts), "conflicts")
 
 	report := struct {
-		Schema  string                   `json:"schema"`
-		Threads int                      `json:"threads"`
-		Kernels []experiments.RuntimeRow `json:"kernels"`
-	}{interp.ProfileSchema, cfg.Threads, rows}
+		Schema        string                   `json:"schema"`
+		Threads       int                      `json:"threads"`
+		Size          string                   `json:"size"`
+		EngineSpeedup float64                  `json:"bytecode_vs_tree_geomean"`
+		Kernels       []experiments.RuntimeRow `json:"kernels"`
+	}{interp.ProfileSchema, cfg.Threads, string(size), geomean(vmGains), rows}
 	j, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		b.Fatal(err)

@@ -8,9 +8,10 @@
 //
 // Usage:
 //
-//	irrun [-threads N] [-entry main] [-args "1 2.5"] [-steps]
-//	      [-prof] [-prof-out FILE] [-trace FILE] [-check-races]
-//	      [-metrics-addr HOST:PORT] [-linger DUR] input.ll
+//	irrun [-engine tree|bytecode] [-threads N] [-entry main]
+//	      [-args "1 2.5"] [-steps] [-prof] [-prof-out FILE]
+//	      [-trace FILE] [-check-races] [-metrics-addr HOST:PORT]
+//	      [-linger DUR] input.ll
 //
 // Exit codes: 0 success, 1 execution error, 2 usage error, 3 the
 // conflict checker found cross-thread races.
@@ -33,6 +34,7 @@ import (
 )
 
 func main() {
+	engine := flag.String("engine", "tree", "body engine: tree (reference walker) or bytecode (lowered register VM)")
 	threads := flag.Int("threads", 1, "OpenMP team size for parallel regions (must be >= 1)")
 	entry := flag.String("entry", "main", "function to execute")
 	argStr := flag.String("args", "", "space-separated scalar arguments (int or float)")
@@ -45,11 +47,15 @@ func main() {
 	linger := flag.Duration("linger", 0, "keep the debug server up this long after the run finishes")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: irrun [-threads N] [-entry F] [-args \"...\"] [-prof] [-prof-out FILE] [-trace FILE] [-check-races] [-metrics-addr ADDR] [-linger DUR] input.ll")
+		fmt.Fprintln(os.Stderr, "usage: irrun [-engine tree|bytecode] [-threads N] [-entry F] [-args \"...\"] [-prof] [-prof-out FILE] [-trace FILE] [-check-races] [-metrics-addr ADDR] [-linger DUR] input.ll")
 		os.Exit(2)
 	}
 	if *threads < 1 {
 		fmt.Fprintf(os.Stderr, "irrun: -threads %d: team size must be >= 1\n", *threads)
+		os.Exit(2)
+	}
+	if _, err := driver.EngineFor(*engine); err != nil {
+		fmt.Fprintf(os.Stderr, "irrun: -engine %s: %v\n", *engine, err)
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -98,6 +104,7 @@ func main() {
 		NumThreads: *threads,
 		Profile:    *prof || *profOut != "",
 		CheckRaces: *checkRaces,
+		Engine:     *engine,
 	})
 	if err != nil {
 		fatal(err)

@@ -73,8 +73,9 @@ func Check(s *driver.Session, name, src string, opts driver.RoundTripOptions) (*
 }
 
 // ModuleDiverges reports whether m is self-inconsistent: the golden
-// evaluator disagrees with the production interpreter at 1 thread, or
-// the module's N-thread run departs from its own 1-thread run. This is
+// evaluator disagrees with the production interpreter at 1 thread, the
+// bytecode VM departs from the tree-walker on the same module, or the
+// module's N-thread run departs from its own 1-thread run. This is
 // the reducer's predicate of choice — comparing a mutated candidate
 // against the *original* program's reference outcome would flag every
 // behaviour-changing shrink as "failing", whereas self-consistency only
@@ -92,6 +93,12 @@ func ModuleDiverges(m *ir.Module, entries []string, threads int) bool {
 	}
 	golden := GoldenRun(m, entries, globals, fuel)
 	if len(golden.Diff(prod1)) > 0 {
+		return true
+	}
+	byt, _ := driver.EngineFor("bytecode")
+	byt1, _ := driver.RunForOutcome(m, entries, globals,
+		interp.Options{NumThreads: 1, Fuel: fuel, Body: byt})
+	if len(prod1.Diff(byt1)) > 0 {
 		return true
 	}
 	if threads > 1 {

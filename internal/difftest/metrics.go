@@ -9,7 +9,7 @@ import (
 // cross-check), pre-registered so a scrape shows every class at zero
 // before the first finding.
 var DivergenceClasses = []string{
-	"opt", "parallel", "roundtrip", "recompile", "decompile", "races", "interp",
+	"opt", "parallel", "bytecode", "roundtrip", "recompile", "decompile", "races", "interp",
 }
 
 // SweepMetrics counts a differential sweep's progress for live scraping:

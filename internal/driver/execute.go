@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/vm"
 )
 
 // ExecOptions configures one interpreter run launched through the
@@ -25,6 +26,23 @@ type ExecOptions struct {
 	// CheckRaces enables the dynamic DOALL conflict checker and the
 	// static-verdict cross-check.
 	CheckRaces bool
+	// Engine selects the body engine: "" or "tree" for the reference
+	// tree-walker, "bytecode" for the lowered register VM. Both produce
+	// bitwise-identical observable behaviour; bytecode is faster.
+	Engine string
+}
+
+// EngineFor maps an engine name to a body engine for interp.Options.
+// "" and "tree" return nil (the machine's default tree-walker);
+// "bytecode" returns a fresh register-VM engine.
+func EngineFor(name string) (interp.BodyEngine, error) {
+	switch name {
+	case "", "tree":
+		return nil, nil
+	case "bytecode":
+		return vm.New(), nil
+	}
+	return nil, fmt.Errorf("unknown engine %q (want tree or bytecode)", name)
 }
 
 // ExecResult is the outcome of one Execute call.
@@ -67,6 +85,10 @@ func (s *Session) execute(m *ir.Module, entry string, opts ExecOptions, jb *jobB
 	sp := s.opts.Telemetry.StartStage("execute")
 	defer sp.End()
 
+	body, err := EngineFor(opts.Engine)
+	if err != nil {
+		return nil, err
+	}
 	mach := interp.NewMachine(m, interp.Options{
 		NumThreads: opts.NumThreads,
 		Fuel:       opts.Fuel,
@@ -74,7 +96,9 @@ func (s *Session) execute(m *ir.Module, entry string, opts ExecOptions, jb *jobB
 		CheckRaces: opts.CheckRaces,
 		Telemetry:  s.opts.Telemetry,
 		Metrics:    s.opts.Metrics,
+		Body:       body,
 	})
+	jb.engine(mach.EngineName())
 	ret, err := mach.Run(entry, opts.Args...)
 	if err != nil {
 		return nil, fmt.Errorf("execute @%s: %w", entry, err)

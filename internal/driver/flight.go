@@ -73,11 +73,14 @@ type JobRecord struct {
 	Name string `json:"name"`
 	// SourceHash fingerprints the input source ("%016x" of ir.HashBytes)
 	// so repeated jobs over the same program correlate across restarts.
-	SourceHash  string        `json:"source_hash,omitempty"`
-	StartUnixNS int64         `json:"start_unix_ns"`
-	WallNS      int64         `json:"wall_ns"`
-	Stages      []StageTiming `json:"stages,omitempty"`
-	Cache       []CacheLookup `json:"cache,omitempty"`
+	SourceHash  string `json:"source_hash,omitempty"`
+	StartUnixNS int64  `json:"start_unix_ns"`
+	WallNS      int64  `json:"wall_ns"`
+	// Engine names the body engine ("tree" or "bytecode") of the job's
+	// interpreter run; "" for jobs that never execute (pure compiles).
+	Engine string        `json:"engine,omitempty"`
+	Stages []StageTiming `json:"stages,omitempty"`
+	Cache  []CacheLookup `json:"cache,omitempty"`
 	// Profile is the parallel-region digest of the job's N-thread run
 	// (round trips and profiled executions only).
 	Profile *ProfileDigest `json:"profile,omitempty"`
@@ -191,6 +194,13 @@ func (jb *jobBuilder) source(src string) {
 		return
 	}
 	jb.rec.SourceHash = fmt.Sprintf("%016x", ir.HashBytes(src))
+}
+
+func (jb *jobBuilder) engine(name string) {
+	if jb == nil {
+		return
+	}
+	jb.rec.Engine = name
 }
 
 func (jb *jobBuilder) stage(name string, d time.Duration) {

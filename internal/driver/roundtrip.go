@@ -150,10 +150,12 @@ func DigestCells(cells []interp.Value) uint64 {
 type Divergence struct {
 	// Class names the invariant that broke: "opt" (optimized module at 1
 	// thread vs reference), "parallel" (optimized module at N threads),
-	// "roundtrip" (recompiled decompilation, 1 or N threads), "recompile"
-	// (the emitted C failed the frontend), "decompile" (the decompiler
-	// itself failed), "races" (the dynamic checker found conflicts or
-	// contradicted a static DOALL verdict).
+	// "bytecode" (optimized module on the register VM, 1 or N threads —
+	// the lowering itself under test), "roundtrip" (recompiled
+	// decompilation, 1 or N threads), "recompile" (the emitted C failed
+	// the frontend), "decompile" (the decompiler itself failed), "races"
+	// (the dynamic checker found conflicts or contradicted a static
+	// DOALL verdict).
 	Class  string
 	Detail string
 }
@@ -173,6 +175,8 @@ type RoundTripResult struct {
 	Ref  *Outcome // reference: unoptimized IR, 1 thread
 	Opt1 *Outcome // optimized+parallelized IR, 1 thread
 	OptN *Outcome // optimized+parallelized IR, N threads
+	Byt1 *Outcome // optimized IR on the bytecode VM, 1 thread
+	BytN *Outcome // optimized IR on the bytecode VM, N threads
 	Rec1 *Outcome // recompiled decompiled C, 1 thread (nil if recompile failed)
 	RecN *Outcome // recompiled decompiled C, N threads
 
@@ -283,6 +287,18 @@ func (s *Session) roundTrip(name, src string, opts RoundTripOptions, jb *jobBuil
 	}
 	diverge("opt", res.Ref.Diff(res.Opt1))
 	diverge("parallel", res.Ref.Diff(res.OptN))
+
+	// The bytecode VM executes the same optimized module as an extra
+	// trust boundary: its lowering (register allocation, phi moves,
+	// superinstruction fusion) must be observationally invisible.
+	byt, err := EngineFor("bytecode")
+	if err != nil {
+		return nil, err
+	}
+	res.Byt1, _ = RunForOutcome(opt, entries, globals, interp.Options{NumThreads: 1, Fuel: fuel, Body: byt})
+	res.BytN, _ = RunForOutcome(opt, entries, globals, interp.Options{NumThreads: threads, Fuel: fuel, Body: byt})
+	diverge("bytecode", res.Ref.Diff(res.Byt1))
+	diverge("bytecode", res.Ref.Diff(res.BytN))
 	if !res.RacesClean {
 		diverge("races", []string{fmt.Sprintf("dynamic checker found conflicts at %d threads", threads)})
 	}

@@ -33,6 +33,11 @@ type Config struct {
 	// Reps is the number of timing repetitions; the fastest is kept
 	// (the paper runs 5 on an idle machine). Zero defaults to 3.
 	Reps int
+	// Size is the PolyBench problem size for the runtime experiments
+	// (mini, std, large). Zero value is mini, the CI-fast dimensions;
+	// engine throughput comparisons want std or large so per-call
+	// overheads stop dominating.
+	Size polybench.Size
 	// Telemetry, when non-nil, collects stage spans, counters, and
 	// remarks from the compile/decompile pipelines the experiments run.
 	Telemetry *telemetry.Ctx
@@ -69,6 +74,13 @@ func (c Config) reps() int {
 		return c.Reps
 	}
 	return 3
+}
+
+func (c Config) size() polybench.Size {
+	if c.Size == "" {
+		return polybench.SizeMini
+	}
+	return c.Size
 }
 
 // Experiment is a runnable table/figure generator.

@@ -4,27 +4,36 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/driver"
 	"repro/internal/interp"
 	"repro/internal/polybench"
 )
 
 func init() {
-	register("runtime", "Runtime profile: per-kernel parallel execution (threads x speedup x load balance x race check)", runRuntime)
+	register("runtime", "Runtime profile: per-kernel parallel execution (threads x speedup x load balance x race check x engine)", runRuntime)
 }
 
 // RuntimeRow is one kernel's runtime observability summary: the
 // deterministic speedup (work-span simulated clock), the profiler's
-// load-balance and barrier figures, and the dynamic conflict checker's
-// verdict over the statically parallelized regions.
+// load-balance and barrier figures, the dynamic conflict checker's
+// verdict over the statically parallelized regions, and the bytecode
+// engine's wall-clock advantage over the tree-walker.
 type RuntimeRow struct {
 	Kernel       string  `json:"kernel"`
 	Threads      int     `json:"threads"`
+	Size         string  `json:"size"`
 	Speedup      float64 `json:"speedup"`
 	LoadBalance  float64 `json:"load_balance"`
 	Regions      int     `json:"regions"`
 	Forks        int64   `json:"forks"`
 	BarrierWaits int64   `json:"barrier_waits"`
 	Conflicts    int64   `json:"conflicts"`
+	// TreeWallNS and BytecodeWallNS are the fastest single-threaded
+	// kernel wall times per engine; EngineSpeedup is their ratio (how
+	// much faster the register VM runs the same module).
+	TreeWallNS     int64   `json:"tree_wall_ns"`
+	BytecodeWallNS int64   `json:"bytecode_wall_ns"`
+	EngineSpeedup  float64 `json:"engine_speedup"`
 	// Profile is the full per-region, per-thread runtime profile of the
 	// parallel run (BENCH_runtime.json embeds it per kernel).
 	Profile *interp.RunProfile `json:"profile"`
@@ -32,14 +41,23 @@ type RuntimeRow struct {
 
 // RuntimeProfile measures every PolyBench kernel under the
 // parallel-region profiler and the conflict checker: sequential vs
-// parallel span for the speedup, per-thread stats for load balance, and
-// a race-checked run validating the static DOALL verdicts dynamically.
+// parallel span for the speedup, per-thread stats for load balance,
+// tree-walker vs bytecode-VM wall time at 1 thread for the engine
+// comparison, and a race-checked run validating the static DOALL
+// verdicts dynamically. Timed runs use cfg.Size; the race-checked
+// profiled run is always pinned to mini — the shadow log's cost scales
+// with every access, and the verdict is size-independent.
 func RuntimeProfile(cfg Config) ([]RuntimeRow, error) {
 	s := cfg.session()
 	threads := cfg.threads()
+	size := cfg.size()
+	byt, err := driver.EngineFor("bytecode")
+	if err != nil {
+		return nil, err
+	}
 	var rows []RuntimeRow
 	for _, b := range polybench.All() {
-		m, _, err := b.CompileParallelIRWith(s)
+		m, _, err := b.CompileParallelIRSized(s, size)
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +69,21 @@ func RuntimeProfile(cfg Config) ([]RuntimeRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		mach, err := b.RunWith(m, interp.Options{
+		bcode, err := timeKernels(b, m, interp.Options{NumThreads: 1, Body: byt}, cfg.reps())
+		if err != nil {
+			return nil, err
+		}
+		if seq.SimSteps != bcode.SimSteps {
+			return nil, fmt.Errorf("%s: engines disagree on span: tree %d vs bytecode %d",
+				b.Name, seq.SimSteps, bcode.SimSteps)
+		}
+		mMini := m
+		if size.Factor() > 1 {
+			if mMini, _, err = b.CompileParallelIRWith(s); err != nil {
+				return nil, err
+			}
+		}
+		mach, err := b.RunWith(mMini, interp.Options{
 			NumThreads: threads, Profile: true, CheckRaces: true,
 		})
 		if err != nil {
@@ -59,17 +91,23 @@ func RuntimeProfile(cfg Config) ([]RuntimeRow, error) {
 		}
 		p := mach.Profile()
 		races := mach.Races()
-		if cs := races.CrossCheck(m); len(cs) != 0 {
+		if cs := races.CrossCheck(mMini); len(cs) != 0 {
 			return nil, fmt.Errorf("%s: dynamic conflict contradicts static DOALL verdict: %v", b.Name, cs)
 		}
 		row := RuntimeRow{
-			Kernel:      b.Name,
-			Threads:     threads,
-			Speedup:     float64(seq.SimSteps) / float64(par.SimSteps),
-			LoadBalance: p.LoadBalance(),
-			Regions:     len(p.Regions),
-			Conflicts:   races.Total,
-			Profile:     p,
+			Kernel:         b.Name,
+			Threads:        threads,
+			Size:           string(size),
+			Speedup:        float64(seq.SimSteps) / float64(par.SimSteps),
+			LoadBalance:    p.LoadBalance(),
+			Regions:        len(p.Regions),
+			Conflicts:      races.Total,
+			TreeWallNS:     seq.Wall.Nanoseconds(),
+			BytecodeWallNS: bcode.Wall.Nanoseconds(),
+			Profile:        p,
+		}
+		if bcode.Wall > 0 {
+			row.EngineSpeedup = float64(seq.Wall) / float64(bcode.Wall)
 		}
 		for _, r := range p.Regions {
 			row.Forks += r.Forks
@@ -88,23 +126,28 @@ func runRuntime(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-16s %8s %8s %8s %8s %6s %9s %9s\n",
-		"Kernel", "Threads", "Speedup", "LoadBal", "Regions", "Forks", "Barriers", "Races")
-	var speedups []float64
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %8s %6s %9s %9s %8s\n",
+		"Kernel", "Threads", "Speedup", "LoadBal", "Regions", "Forks", "Barriers", "Races", "VMgain")
+	var speedups, vmGains []float64
 	for _, r := range rows {
 		verdict := "clean"
 		if r.Conflicts > 0 {
 			verdict = fmt.Sprintf("%d!!", r.Conflicts)
 		}
-		fmt.Fprintf(w, "%-16s %8d %8.2f %8.2f %8d %6d %9d %9s\n",
+		fmt.Fprintf(w, "%-16s %8d %8.2f %8.2f %8d %6d %9d %9s %7.2fx\n",
 			r.Kernel, r.Threads, r.Speedup, r.LoadBalance, r.Regions, r.Forks,
-			r.BarrierWaits, verdict)
+			r.BarrierWaits, verdict, r.EngineSpeedup)
 		if r.Speedup > 0 {
 			speedups = append(speedups, r.Speedup)
+		}
+		if r.EngineSpeedup > 0 {
+			vmGains = append(vmGains, r.EngineSpeedup)
 		}
 	}
 	fmt.Fprintf(w, "\ngeomean speedup: %.2fx over %d kernels (work-span simulated clock, deterministic)\n",
 		geomean(speedups), len(rows))
+	fmt.Fprintf(w, "geomean bytecode-vs-tree: %.2fx wall at 1 thread, %s size (bitwise-identical outputs)\n",
+		geomean(vmGains), cfg.size())
 	fmt.Fprintln(w, "races: dynamic conflict checker over all statically parallelized regions")
 	return nil
 }

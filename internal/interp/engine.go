@@ -1,0 +1,191 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// The engine seam. A Machine executes IR through a pluggable BodyEngine:
+// the tree-walker in this package (the reference implementation) or the
+// bytecode register VM in internal/vm. Everything around the engine —
+// the __kmpc_* team runtime, the parallel-region profiler, the dynamic
+// DOALL conflict checker, fuel, and the work-span simulated clock — is
+// engine-neutral: it lives on RT, the per-worker runtime context, so
+// both engines drive identical forks, barriers, schedules, shadow logs,
+// and metrics.
+
+// BodyEngine executes the bodies of defined IR functions. RunBody is
+// entered through RT.Call (which has already dispatched external
+// declarations and charged the call-depth guard); it evaluates f's
+// blocks against args and returns the function's result value. An
+// engine instance is bound to one Machine at a time and must be safe
+// for concurrent RunBody calls from team workers.
+type BodyEngine interface {
+	// Name labels the engine in metrics series and flight records.
+	Name() string
+	RunBody(rt *RT, f *ir.Function, args []Value) Value
+}
+
+// RT is one worker's engine-neutral runtime context: the OpenMP team
+// membership and scheduling state, the work/span/fuel clocks, and the
+// observability hooks (profiler slot, race shadow log, barrier epoch).
+// The initial thread of a Run owns one; every fork worker gets a fresh
+// one. Engines receive an RT in RunBody and report instruction costs
+// through Step, raise traps through Trapf/TrapKindf, and make calls —
+// including the __kmpc_* runtime and recursive IR calls — through Call.
+type RT struct {
+	m          *Machine
+	gtid       int
+	team       *team
+	localSteps int64 // instructions executed by this worker (work)
+	spanSteps  int64 // critical-path length (work-span simulated clock)
+	fuelLeft   int64
+	fuelOn     bool
+	depth      int // call depth, bounded to turn runaway recursion into a trap
+
+	// Observability hooks (nil when disabled). tstat is this worker's
+	// goroutine-owned slot in the current fork's profiler scratch;
+	// racerec is its private shadow-access log; epoch counts barriers
+	// passed, separating accesses the barrier orders.
+	tstat   *threadStat
+	racerec *threadAccesses
+	epoch   int
+}
+
+// maxCallDepth bounds interpreted recursion (the host stack also grows
+// per activation; trapping beats a Go runtime stack overflow).
+const maxCallDepth = 10000
+
+// Machine returns the machine this context executes under.
+func (rt *RT) Machine() *Machine { return rt.m }
+
+// protect converts traps raised via panic into errors.
+func (rt *RT) protect(fn func()) (err error) {
+	rt.fuelLeft = rt.m.Opts.Fuel
+	rt.fuelOn = rt.m.Opts.Fuel > 0
+	defer func() {
+		if r := recover(); r != nil {
+			if t, ok := r.(*Trap); ok {
+				err = t
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Trapf raises an uncategorized runtime trap.
+func (rt *RT) Trapf(format string, args ...any) {
+	panic(&Trap{Msg: fmt.Sprintf(format, args...)})
+}
+
+// TrapKindf raises a trap carrying a category, for sites whose failures
+// the differential oracle compares across modules.
+func (rt *RT) TrapKindf(kind TrapKind, format string, args ...any) {
+	panic(&Trap{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Step charges n executed instructions to this worker: work and span
+// advance together, and the fuel backstop traps once the budget is
+// consumed. Engines may batch (a superinstruction charges the count of
+// the IR instructions it fused; a block may be charged at its branch),
+// as long as the total charged for a full execution matches the
+// tree-walker's per-instruction count — that keeps fuel verdicts,
+// speedup figures, and profiler steps engine-independent.
+func (rt *RT) Step(n int64) {
+	rt.localSteps += n
+	rt.spanSteps += n
+	if rt.fuelOn {
+		rt.fuelLeft -= n
+		if rt.fuelLeft <= 0 {
+			rt.TrapKindf(TrapFuel, "fuel exhausted")
+		}
+	}
+}
+
+// NoteAccess records one shared-memory access in the worker's race
+// shadow log. Nil-safe: without Options.CheckRaces this is a pointer
+// check. Engines call it on every load (write=false) and store
+// (write=true) with the same object/offset the access touched.
+func (rt *RT) NoteAccess(obj *MemObject, off int, write bool) {
+	if rt.racerec != nil {
+		rt.racerec.note(obj, off, rt.epoch, write)
+	}
+}
+
+// Call invokes f with args: external declarations dispatch to the
+// runtime (the __kmpc_* team protocol, libm, malloc, printing), defined
+// functions run through the machine's body engine under the call-depth
+// guard. This is the single call edge both engines share, so a fork
+// reached from bytecode spawns workers that re-enter bytecode, and a
+// tree-walked program's externals behave identically.
+func (rt *RT) Call(f *ir.Function, args []Value) Value {
+	if f.IsDecl() {
+		return rt.callExternal(f, args)
+	}
+	if len(args) != len(f.Params) {
+		rt.Trapf("call to @%s with %d args, want %d", f.Nam, len(args), len(f.Params))
+	}
+	rt.depth++
+	if rt.depth > maxCallDepth {
+		rt.TrapKindf(TrapCallDepth, "call depth exceeded (%d): runaway recursion in @%s", maxCallDepth, f.Nam)
+	}
+	ret := rt.m.body.RunBody(rt, f, args)
+	rt.depth--
+	return ret
+}
+
+// CmpInt evaluates a (signed) integer comparison predicate. Exported so
+// every engine shares one comparison semantics.
+func CmpInt(p ir.CmpPred, a, b int64) bool {
+	switch p {
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	case ir.CmpSLT:
+		return a < b
+	case ir.CmpSLE:
+		return a <= b
+	case ir.CmpSGT:
+		return a > b
+	case ir.CmpSGE:
+		return a >= b
+	}
+	return false
+}
+
+// CmpFloat evaluates an ordered floating-point comparison predicate.
+func CmpFloat(p ir.CmpPred, a, b float64) bool {
+	switch p {
+	case ir.CmpEQ:
+		return a == b
+	case ir.CmpNE:
+		return a != b
+	case ir.CmpSLT:
+		return a < b
+	case ir.CmpSLE:
+		return a <= b
+	case ir.CmpSGT:
+		return a > b
+	case ir.CmpSGE:
+		return a >= b
+	}
+	return false
+}
+
+// PtrOrdinal maps a pointer (or integer) value onto a synthetic linear
+// address so that cross-object pointer comparisons — the parallelizer's
+// runtime alias checks — behave like flat-memory comparisons.
+func PtrOrdinal(v Value) int64 {
+	if v.K != KPtr {
+		return v.I
+	}
+	if v.P.Nil() {
+		return 0
+	}
+	return v.P.Obj.Base + int64(v.P.Off)
+}

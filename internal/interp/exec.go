@@ -1,60 +1,19 @@
 package interp
 
 import (
-	"fmt"
-
 	"repro/internal/ir"
 )
 
-// exec is one execution context: the sequential interpreter state of one
-// OpenMP worker (or of the initial thread).
-type exec struct {
-	m          *Machine
-	gtid       int
-	team       *team
-	localSteps int64 // instructions executed by this worker (work)
-	spanSteps  int64 // critical-path length (work-span simulated clock)
-	fuelLeft   int64
-	depth      int // call depth, bounded to turn runaway recursion into a trap
+// treeEngine is the reference BodyEngine: a direct tree-walk over the
+// SSA form, evaluating operands by slot lookup and dispatching on the
+// instruction opcode. It trades speed for obviousness — the bytecode VM
+// in internal/vm is differentially tested against it.
+type treeEngine struct{}
 
-	// Observability hooks (nil when disabled). tstat is this worker's
-	// goroutine-owned slot in the current fork's profiler scratch;
-	// racerec is its private shadow-access log; epoch counts barriers
-	// passed, separating accesses the barrier orders.
-	tstat   *threadStat
-	racerec *threadAccesses
-	epoch   int
-}
+// NewTreeEngine returns the tree-walking reference engine.
+func NewTreeEngine() BodyEngine { return treeEngine{} }
 
-// maxCallDepth bounds interpreted recursion (the host stack also grows
-// per activation; trapping beats a Go runtime stack overflow).
-const maxCallDepth = 10000
-
-// protect converts traps raised via panic into errors.
-func (ex *exec) protect(fn func()) (err error) {
-	ex.fuelLeft = ex.m.Opts.Fuel
-	defer func() {
-		if r := recover(); r != nil {
-			if t, ok := r.(*Trap); ok {
-				err = t
-				return
-			}
-			panic(r)
-		}
-	}()
-	fn()
-	return nil
-}
-
-func (ex *exec) trap(format string, args ...any) {
-	panic(&Trap{Msg: fmt.Sprintf(format, args...)})
-}
-
-// trapk raises a trap carrying a category, for sites whose failures the
-// differential oracle compares across modules.
-func (ex *exec) trapk(kind TrapKind, format string, args ...any) {
-	panic(&Trap{Kind: kind, Msg: fmt.Sprintf(format, args...)})
-}
+func (treeEngine) Name() string { return "tree" }
 
 // frame holds the SSA values of one activation.
 type frame struct {
@@ -68,7 +27,7 @@ func (fr *frame) set(v ir.Value, val Value) {
 }
 
 // eval resolves an operand in the current frame.
-func (ex *exec) eval(fr *frame, v ir.Value) Value {
+func (rt *RT) eval(fr *frame, v ir.Value) Value {
 	switch x := v.(type) {
 	case *ir.ConstInt:
 		return IntV(x.V)
@@ -79,30 +38,19 @@ func (ex *exec) eval(fr *frame, v ir.Value) Value {
 	case *ir.ConstUndef:
 		return Value{K: KUndef}
 	case *ir.Global:
-		return PtrV(Pointer{Obj: ex.m.globals[x]})
+		return PtrV(Pointer{Obj: rt.m.globals[x]})
 	case *ir.Function:
 		return FuncV(x)
 	case *ir.Param, *ir.Instr:
 		return fr.slots[fr.info.slots[v]]
 	}
-	ex.trap("unknown operand %v", v)
+	rt.Trapf("unknown operand %v", v)
 	return Value{}
 }
 
-// callFunction interprets f with the given argument values.
-func (ex *exec) callFunction(f *ir.Function, args []Value) Value {
-	if f.IsDecl() {
-		return ex.callExternal(f, args)
-	}
-	if len(args) != len(f.Params) {
-		ex.trap("call to @%s with %d args, want %d", f.Nam, len(args), len(f.Params))
-	}
-	ex.depth++
-	if ex.depth > maxCallDepth {
-		ex.trapk(TrapCallDepth, "call depth exceeded (%d): runaway recursion in @%s", maxCallDepth, f.Nam)
-	}
-	defer func() { ex.depth-- }()
-	fi := ex.m.info(f)
+// RunBody interprets f's blocks with the given argument values.
+func (treeEngine) RunBody(rt *RT, f *ir.Function, args []Value) Value {
+	fi := rt.m.info(f)
 	fr := &frame{fn: f, info: fi, slots: make([]Value, fi.numSlots)}
 	for i, p := range f.Params {
 		fr.set(p, args[i])
@@ -125,9 +73,9 @@ func (ex *exec) callFunction(f *ir.Function, args []Value) Value {
 				phi := block.Instrs[i]
 				inc := phi.PhiIncoming(prev)
 				if inc == nil {
-					ex.trap("phi %%%s has no incoming from %%%s", phi.Nam, prev.Nam)
+					rt.Trapf("phi %%%s has no incoming from %%%s", phi.Nam, prev.Nam)
 				}
-				tmp[i] = ex.eval(fr, inc)
+				tmp[i] = rt.eval(fr, inc)
 			}
 			for i := 0; i < nPhi; i++ {
 				fr.set(block.Instrs[i], tmp[i])
@@ -136,12 +84,12 @@ func (ex *exec) callFunction(f *ir.Function, args []Value) Value {
 
 		// Phase 2: straight-line execution.
 		for _, in := range block.Instrs[nPhi:] {
-			ex.step()
+			rt.Step(1)
 			switch in.Op {
 			case ir.OpBr:
 				prev, block = block, in.Blocks[0]
 			case ir.OpCondBr:
-				c := ex.eval(fr, in.Args[0])
+				c := rt.eval(fr, in.Args[0])
 				if c.I != 0 {
 					prev, block = block, in.Blocks[0]
 				} else {
@@ -149,11 +97,11 @@ func (ex *exec) callFunction(f *ir.Function, args []Value) Value {
 				}
 			case ir.OpRet:
 				if len(in.Args) == 1 {
-					return ex.eval(fr, in.Args[0])
+					return rt.eval(fr, in.Args[0])
 				}
 				return Value{K: KUndef}
 			default:
-				ex.execInstr(fr, in)
+				rt.execInstr(fr, in)
 				continue
 			}
 			break // took a branch
@@ -161,80 +109,63 @@ func (ex *exec) callFunction(f *ir.Function, args []Value) Value {
 	}
 }
 
-func (ex *exec) step() {
-	ex.localSteps++
-	ex.spanSteps++
-	if ex.m.Opts.Fuel > 0 {
-		ex.fuelLeft--
-		if ex.fuelLeft <= 0 {
-			ex.trapk(TrapFuel, "fuel exhausted")
-		}
-	}
-}
-
-func (ex *exec) execInstr(fr *frame, in *ir.Instr) {
+func (rt *RT) execInstr(fr *frame, in *ir.Instr) {
 	switch in.Op {
 	case ir.OpAlloca:
-		n := ir.SizeOfElems(in.AllocaElem)
-		obj := NewMemObject(in.Nam, n)
-		z := zeroOf(scalarBase(in.AllocaElem))
-		for i := range obj.Cells {
-			obj.Cells[i] = z
-		}
-		fr.set(in, PtrV(Pointer{Obj: obj}))
+		fr.set(in, PtrV(Pointer{Obj: NewZeroedObject(in.Nam, in.AllocaElem)}))
 
 	case ir.OpLoad:
-		p := ex.eval(fr, in.Args[0])
-		fr.set(in, ex.load(p, in))
+		p := rt.eval(fr, in.Args[0])
+		fr.set(in, rt.load(p, in))
 
 	case ir.OpStore:
-		v := ex.eval(fr, in.Args[0])
-		p := ex.eval(fr, in.Args[1])
-		ex.store(p, v, in)
+		v := rt.eval(fr, in.Args[0])
+		p := rt.eval(fr, in.Args[1])
+		rt.store(p, v, in)
 
 	case ir.OpGEP:
-		base := ex.eval(fr, in.Args[0])
+		base := rt.eval(fr, in.Args[0])
 		if base.K != KPtr || base.P.Nil() {
-			ex.trap("gep on non-pointer/null in %%%s", in.Nam)
+			rt.Trapf("gep on non-pointer/null in %%%s", in.Nam)
 		}
 		off := base.P.Off
 		t := ir.ElemOf(in.Args[0].Type())
-		idx0 := ex.eval(fr, in.Args[1])
+		idx0 := rt.eval(fr, in.Args[1])
 		off += int(idx0.I) * ir.SizeOfElems(t)
 		for _, iv := range in.Args[2:] {
 			arr, ok := t.(*ir.ArrayType)
 			if !ok {
-				ex.trap("gep descends into non-array")
+				rt.Trapf("gep descends into non-array")
 			}
 			t = arr.Elem
-			idx := ex.eval(fr, iv)
+			idx := rt.eval(fr, iv)
 			off += int(idx.I) * ir.SizeOfElems(t)
 		}
 		fr.set(in, PtrV(Pointer{Obj: base.P.Obj, Off: off}))
 
 	case ir.OpICmp:
-		a, b := ex.eval(fr, in.Args[0]), ex.eval(fr, in.Args[1])
+		a, b := rt.eval(fr, in.Args[0]), rt.eval(fr, in.Args[1])
 		var ai, bi int64
 		if a.K == KPtr || b.K == KPtr {
 			// Pointer comparison: same-object offsets, or object identity
 			// via a synthetic linear address for cross-object compares
 			// (the parallelizer's alias checks compare related pointers).
-			ai, bi = ptrOrdinal(a), ptrOrdinal(b)
+			ai, bi = PtrOrdinal(a), PtrOrdinal(b)
 		} else {
 			ai, bi = a.I, b.I
 		}
-		fr.set(in, Bool(cmpInt(in.Pred, ai, bi)))
+		fr.set(in, Bool(CmpInt(in.Pred, ai, bi)))
 
 	case ir.OpFCmp:
-		a, b := ex.eval(fr, in.Args[0]), ex.eval(fr, in.Args[1])
-		fr.set(in, Bool(cmpFloat(in.Pred, a.F, b.F)))
+		a, b := rt.eval(fr, in.Args[0]), rt.eval(fr, in.Args[1])
+		fr.set(in, Bool(CmpFloat(in.Pred, a.F, b.F)))
 
 	case ir.OpSelect:
-		c := ex.eval(fr, in.Args[0])
+		c := rt.eval(fr, in.Args[0])
 		if c.I != 0 {
-			fr.set(in, ex.eval(fr, in.Args[1]))
+			fr.set(in, rt.eval(fr, in.Args[1]))
 		} else {
-			fr.set(in, ex.eval(fr, in.Args[2]))
+			fr.set(in, rt.eval(fr, in.Args[2]))
 		}
 
 	case ir.OpCall:
@@ -244,17 +175,17 @@ func (ex *exec) execInstr(fr *frame, in *ir.Instr) {
 		case *ir.Function:
 			fn = c
 		default:
-			cv := ex.eval(fr, callee)
+			cv := rt.eval(fr, callee)
 			if cv.K != KFunc {
-				ex.trap("indirect call through non-function")
+				rt.Trapf("indirect call through non-function")
 			}
 			fn = cv.Fn
 		}
 		args := make([]Value, len(in.Args))
 		for i, a := range in.Args {
-			args[i] = ex.eval(fr, a)
+			args[i] = rt.eval(fr, a)
 		}
-		ret := ex.callFunction(fn, args)
+		ret := rt.Call(fn, args)
 		if in.HasResult() {
 			fr.set(in, ret)
 		}
@@ -263,60 +194,56 @@ func (ex *exec) execInstr(fr *frame, in *ir.Instr) {
 		// No runtime effect.
 
 	case ir.OpFNeg:
-		a := ex.eval(fr, in.Args[0])
+		a := rt.eval(fr, in.Args[0])
 		fr.set(in, FloatV(-a.F))
 
 	case ir.OpSExt, ir.OpZExt, ir.OpTrunc, ir.OpBitcast, ir.OpPtrToInt, ir.OpIntToPtr:
-		fr.set(in, ex.eval(fr, in.Args[0]))
+		fr.set(in, rt.eval(fr, in.Args[0]))
 
 	case ir.OpSIToFP:
-		a := ex.eval(fr, in.Args[0])
+		a := rt.eval(fr, in.Args[0])
 		fr.set(in, FloatV(float64(a.I)))
 
 	case ir.OpFPToSI:
-		a := ex.eval(fr, in.Args[0])
+		a := rt.eval(fr, in.Args[0])
 		fr.set(in, IntV(int64(a.F)))
 
 	case ir.OpFPExt, ir.OpFPTrunc:
-		fr.set(in, ex.eval(fr, in.Args[0]))
+		fr.set(in, rt.eval(fr, in.Args[0]))
 
 	default:
 		if in.Op.IsBinary() {
-			a, b := ex.eval(fr, in.Args[0]), ex.eval(fr, in.Args[1])
-			fr.set(in, ex.binop(in, a, b))
+			a, b := rt.eval(fr, in.Args[0]), rt.eval(fr, in.Args[1])
+			fr.set(in, rt.binop(in, a, b))
 			return
 		}
-		ex.trap("unimplemented op %s", in.Op)
+		rt.Trapf("unimplemented op %s", in.Op)
 	}
 }
 
-func (ex *exec) load(p Value, in *ir.Instr) Value {
+func (rt *RT) load(p Value, in *ir.Instr) Value {
 	if p.K != KPtr || p.P.Nil() {
-		ex.trapk(TrapNullDeref, "load through null/non-pointer at %%%s", in.Nam)
+		rt.TrapKindf(TrapNullDeref, "load through null/non-pointer at %%%s", in.Nam)
 	}
 	if p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
-		ex.trapk(TrapMemOOB, "load out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
+		rt.TrapKindf(TrapMemOOB, "load out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
 	}
-	if ex.racerec != nil {
-		ex.racerec.note(p.P.Obj, p.P.Off, ex.epoch, false)
-	}
+	rt.NoteAccess(p.P.Obj, p.P.Off, false)
 	return p.P.Obj.Cells[p.P.Off]
 }
 
-func (ex *exec) store(p, v Value, in *ir.Instr) {
+func (rt *RT) store(p, v Value, in *ir.Instr) {
 	if p.K != KPtr || p.P.Nil() {
-		ex.trapk(TrapNullDeref, "store through null/non-pointer")
+		rt.TrapKindf(TrapNullDeref, "store through null/non-pointer")
 	}
 	if p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
-		ex.trapk(TrapMemOOB, "store out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
+		rt.TrapKindf(TrapMemOOB, "store out of bounds: %s+%d (size %d)", p.P.Obj.Name, p.P.Off, len(p.P.Obj.Cells))
 	}
-	if ex.racerec != nil {
-		ex.racerec.note(p.P.Obj, p.P.Off, ex.epoch, true)
-	}
+	rt.NoteAccess(p.P.Obj, p.P.Off, true)
 	p.P.Obj.Cells[p.P.Off] = v
 }
 
-func (ex *exec) binop(in *ir.Instr, a, b Value) Value {
+func (rt *RT) binop(in *ir.Instr, a, b Value) Value {
 	switch in.Op {
 	case ir.OpAdd:
 		if a.K == KPtr { // pointer displacement via add (rare; gep preferred)
@@ -329,12 +256,12 @@ func (ex *exec) binop(in *ir.Instr, a, b Value) Value {
 		return IntV(a.I * b.I)
 	case ir.OpSDiv:
 		if b.I == 0 {
-			ex.trapk(TrapDivByZero, "integer division by zero")
+			rt.TrapKindf(TrapDivByZero, "integer division by zero")
 		}
 		return IntV(a.I / b.I)
 	case ir.OpSRem:
 		if b.I == 0 {
-			ex.trapk(TrapRemByZero, "integer remainder by zero")
+			rt.TrapKindf(TrapRemByZero, "integer remainder by zero")
 		}
 		return IntV(a.I % b.I)
 	case ir.OpAnd:
@@ -348,12 +275,12 @@ func (ex *exec) binop(in *ir.Instr, a, b Value) Value {
 		// through uint into a huge one. Trap on both rather than let the
 		// Go shift semantics (count >= 64 yields 0) leak through.
 		if b.I < 0 || b.I >= 64 {
-			ex.trapk(TrapShiftOOB, "shift count %d out of range [0,63]", b.I)
+			rt.TrapKindf(TrapShiftOOB, "shift count %d out of range [0,63]", b.I)
 		}
 		return IntV(a.I << uint(b.I))
 	case ir.OpAShr:
 		if b.I < 0 || b.I >= 64 {
-			ex.trapk(TrapShiftOOB, "shift count %d out of range [0,63]", b.I)
+			rt.TrapKindf(TrapShiftOOB, "shift count %d out of range [0,63]", b.I)
 		}
 		return IntV(a.I >> uint(b.I))
 	case ir.OpFAdd:
@@ -365,55 +292,6 @@ func (ex *exec) binop(in *ir.Instr, a, b Value) Value {
 	case ir.OpFDiv:
 		return FloatV(a.F / b.F)
 	}
-	ex.trap("bad binop %s", in.Op)
+	rt.Trapf("bad binop %s", in.Op)
 	return Value{}
-}
-
-// ptrOrdinal maps a pointer (or integer) value onto a synthetic linear
-// address so that cross-object pointer comparisons — the parallelizer's
-// runtime alias checks — behave like flat-memory comparisons.
-func ptrOrdinal(v Value) int64 {
-	if v.K != KPtr {
-		return v.I
-	}
-	if v.P.Nil() {
-		return 0
-	}
-	return v.P.Obj.Base + int64(v.P.Off)
-}
-
-func cmpInt(p ir.CmpPred, a, b int64) bool {
-	switch p {
-	case ir.CmpEQ:
-		return a == b
-	case ir.CmpNE:
-		return a != b
-	case ir.CmpSLT:
-		return a < b
-	case ir.CmpSLE:
-		return a <= b
-	case ir.CmpSGT:
-		return a > b
-	case ir.CmpSGE:
-		return a >= b
-	}
-	return false
-}
-
-func cmpFloat(p ir.CmpPred, a, b float64) bool {
-	switch p {
-	case ir.CmpEQ:
-		return a == b
-	case ir.CmpNE:
-		return a != b
-	case ir.CmpSLT:
-		return a < b
-	case ir.CmpSLE:
-		return a <= b
-	case ir.CmpSGT:
-		return a > b
-	case ir.CmpSGE:
-		return a >= b
-	}
-	return false
 }

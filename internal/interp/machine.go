@@ -40,8 +40,16 @@ type Options struct {
 	Telemetry *telemetry.Ctx
 	// Metrics, when non-nil, receives live interpreter counters
 	// (splendid_interp_*: runs, parallel regions, barrier wait time,
-	// detected conflicts) for scraping while the machine runs.
+	// detected conflicts) for scraping while the machine runs. Series
+	// carry an engine="tree|bytecode" label so the two engines' traffic
+	// stays distinguishable on one registry.
 	Metrics *metrics.Registry
+
+	// Body selects the function-body engine: nil means the tree-walking
+	// reference interpreter; internal/vm supplies the bytecode register
+	// VM. Everything outside the body — the __kmpc_* runtime, profiler,
+	// race checker, fuel, work-span clock — is shared between engines.
+	Body BodyEngine
 }
 
 // Machine executes one module. It owns global memory and the output
@@ -69,6 +77,10 @@ type Machine struct {
 	// atomicMu serializes the __kmpc_atomic_* reduction combiners.
 	atomicMu sync.Mutex
 
+	// body executes defined function bodies (never nil; defaults to the
+	// tree-walker).
+	body BodyEngine
+
 	// Observability (all nil when disabled; every hook is nil-safe so the
 	// plain interpretation path pays only pointer checks).
 	prof  *profiler
@@ -90,13 +102,18 @@ func NewMachine(m *ir.Module, opts Options) *Machine {
 	if opts.NumThreads <= 0 {
 		opts.NumThreads = 1
 	}
+	body := opts.Body
+	if body == nil {
+		body = treeEngine{}
+	}
 	mach := &Machine{
 		Mod:     m,
 		Opts:    opts,
 		globals: map[*ir.Global]*MemObject{},
 		funcs:   map[*ir.Function]*funcInfo{},
+		body:    body,
 		tc:      opts.Telemetry,
-		met:     newMachMetrics(opts.Metrics),
+		met:     newMachMetrics(opts.Metrics, body.Name()),
 	}
 	if opts.Profile {
 		mach.prof = newProfiler(opts.NumThreads)
@@ -105,18 +122,26 @@ func NewMachine(m *ir.Module, opts Options) *Machine {
 		mach.races = newRaceChecker()
 	}
 	for _, g := range m.Globals {
-		obj := NewMemObject(g.Nam, ir.SizeOfElems(g.Elem))
+		obj := NewZeroedObject(g.Nam, g.Elem)
 		if g.Init != nil {
 			obj.Cells[0] = constValue(g.Init)
-		} else {
-			zero := zeroOf(scalarBase(g.Elem))
-			for i := range obj.Cells {
-				obj.Cells[i] = zero
-			}
 		}
 		mach.globals[g] = obj
 	}
 	return mach
+}
+
+// NewZeroedObject allocates a memory object sized for elem with every
+// cell holding elem's scalar zero — the shape alloca and global
+// initialization share, exported so alternate engines allocate
+// identically to the tree-walker.
+func NewZeroedObject(name string, elem ir.Type) *MemObject {
+	obj := NewMemObject(name, ir.SizeOfElems(elem))
+	z := zeroOf(scalarBase(elem))
+	for i := range obj.Cells {
+		obj.Cells[i] = z
+	}
+	return obj
 }
 
 func scalarBase(t ir.Type) ir.Type {
@@ -151,6 +176,26 @@ func constValue(v ir.Value) Value {
 		return Value{K: KUndef}
 	}
 	return Value{K: KUndef}
+}
+
+// StaticOperand resolves an operand whose value is machine-independent:
+// constants and function references. Globals are per-machine (resolve
+// them through Machine.GlobalObj); SSA values are per-frame. Engines use
+// this to preresolve operands at lower time.
+func StaticOperand(v ir.Value) (Value, bool) {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return IntV(x.V), true
+	case *ir.ConstFloat:
+		return FloatV(x.V), true
+	case *ir.ConstNull:
+		return PtrV(Pointer{}), true
+	case *ir.ConstUndef:
+		return Value{K: KUndef}, true
+	case *ir.Function:
+		return FuncV(x), true
+	}
+	return Value{}, false
 }
 
 // Output returns everything the program printed so far.
@@ -210,6 +255,19 @@ func (m *Machine) GlobalMem(name string) *MemObject {
 	return m.globals[g]
 }
 
+// GlobalObj resolves a global declaration to this machine's memory
+// object for it. Engines use it to preresolve global operands at lower
+// time.
+func (m *Machine) GlobalObj(g *ir.Global) *MemObject {
+	return m.globals[g]
+}
+
+// EngineName reports which body engine this machine executes with
+// ("tree" unless Options.Body overrides it).
+func (m *Machine) EngineName() string {
+	return m.body.Name()
+}
+
 func (m *Machine) info(f *ir.Function) *funcInfo {
 	m.funcsMu.Lock()
 	defer m.funcsMu.Unlock()
@@ -254,12 +312,12 @@ func (m *Machine) Run(name string, args ...Value) (Value, error) {
 		return Value{}, fmt.Errorf("interp: no function @%s", name)
 	}
 	m.met.noteRun()
-	ex := &exec{m: m, gtid: 0}
+	rt := &RT{m: m, gtid: 0}
 	var ret Value
-	err := ex.protect(func() {
-		ret = ex.callFunction(f, args)
+	err := rt.protect(func() {
+		ret = rt.Call(f, args)
 	})
-	m.addSteps(ex.localSteps)
-	m.addSpan(ex.spanSteps)
+	m.addSteps(rt.localSteps)
+	m.addSpan(rt.spanSteps)
 	return ret, err
 }

@@ -18,19 +18,22 @@ type machMetrics struct {
 	barrierWaitNS *metrics.Counter
 }
 
-// newMachMetrics acquires the interpreter's counters from r. Nil-safe:
-// a nil registry yields nil metrics.
-func newMachMetrics(r *metrics.Registry) *machMetrics {
+// newMachMetrics acquires the interpreter's counters from r, labelled
+// with the body engine executing them so tree and bytecode traffic stay
+// separate series on a shared registry. Nil-safe: a nil registry yields
+// nil metrics.
+func newMachMetrics(r *metrics.Registry, engine string) *machMetrics {
 	if r == nil {
 		return nil
 	}
+	eng := metrics.L("engine", engine)
 	return &machMetrics{
-		runs:    r.Counter("splendid_interp_runs_total", "top-level Machine.Run invocations"),
-		regions: r.Counter("splendid_interp_regions_total", "parallel regions executed (fork/join pairs)"),
+		runs:    r.Counter("splendid_interp_runs_total", "top-level Machine.Run invocations", eng),
+		regions: r.Counter("splendid_interp_regions_total", "parallel regions executed (fork/join pairs)", eng),
 		conflicts: r.Counter("splendid_interp_conflicts_total",
-			"cross-thread conflicts found by the dynamic DOALL checker"),
+			"cross-thread conflicts found by the dynamic DOALL checker", eng),
 		barrierWaitNS: r.Counter("splendid_interp_barrier_wait_ns_total",
-			"nanoseconds workers spent blocked at team barriers"),
+			"nanoseconds workers spent blocked at team barriers", eng),
 	}
 }
 

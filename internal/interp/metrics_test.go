@@ -15,7 +15,7 @@ func TestMachineMetrics(t *testing.T) {
 
 	counter := func(name string) int64 {
 		t.Helper()
-		return reg.Counter(name, "").Value()
+		return reg.Counter(name, "", metrics.L("engine", "tree")).Value()
 	}
 	if got := counter("splendid_interp_runs_total"); got != 1 {
 		t.Errorf("runs = %d, want 1", got)
@@ -34,10 +34,11 @@ func TestMachineMetrics(t *testing.T) {
 func TestMachineMetricsBarrierWait(t *testing.T) {
 	reg := metrics.NewRegistry()
 	run(t, barrierKernel, "main", Options{NumThreads: 8, Metrics: reg})
-	if got := reg.Counter("splendid_interp_barrier_wait_ns_total", "").Value(); got <= 0 {
+	eng := metrics.L("engine", "tree")
+	if got := reg.Counter("splendid_interp_barrier_wait_ns_total", "", eng).Value(); got <= 0 {
 		t.Errorf("barrier wait = %d ns, want > 0 (8 threads synchronized once)", got)
 	}
-	if got := reg.Counter("splendid_interp_conflicts_total", "").Value(); got != 0 {
+	if got := reg.Counter("splendid_interp_conflicts_total", "", eng).Value(); got != 0 {
 		t.Errorf("conflicts = %d, want 0 (checker off)", got)
 	}
 }

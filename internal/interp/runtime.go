@@ -74,66 +74,67 @@ func (t *team) barrier() {
 }
 
 // callExternal dispatches calls to declared (bodyless) functions: the
-// OpenMP runtime and a small libm/libc surface.
-func (ex *exec) callExternal(f *ir.Function, args []Value) Value {
+// OpenMP runtime and a small libm/libc surface. It is engine-neutral —
+// both the tree-walker and the bytecode VM reach it through RT.Call.
+func (rt *RT) callExternal(f *ir.Function, args []Value) Value {
 	switch f.Nam {
 	case omp.ForkCall:
-		ex.forkCall(args)
+		rt.forkCall(args)
 		return Value{K: KUndef}
 	case omp.ForStaticInit:
-		ex.staticInit(args)
+		rt.staticInit(args)
 		return Value{K: KUndef}
 	case omp.ForStaticFini:
 		return Value{K: KUndef}
 	case omp.Barrier:
-		if ex.team != nil {
-			if ex.tstat != nil || ex.m.met != nil {
+		if rt.team != nil {
+			if rt.tstat != nil || rt.m.met != nil {
 				t0 := time.Now()
-				ex.team.barrier()
+				rt.team.barrier()
 				wait := time.Since(t0)
-				ex.tstat.noteBarrier(wait)
-				ex.m.met.noteBarrierWait(wait)
+				rt.tstat.noteBarrier(wait)
+				rt.m.met.noteBarrierWait(wait)
 			} else {
-				ex.team.barrier()
+				rt.team.barrier()
 			}
 			// The barrier orders everything before it against everything
 			// after it, team-wide: advance this worker's race epoch.
-			ex.epoch++
+			rt.epoch++
 		}
 		return Value{K: KUndef}
 	case omp.GlobalThread:
-		return IntV(int64(ex.gtid))
+		return IntV(int64(rt.gtid))
 	case omp.PushNumThreads:
 		// Recorded but the modeled fork always uses the machine team size.
 		return Value{K: KUndef}
 	case omp.DispatchInit:
-		ex.dispatchInit(args)
+		rt.dispatchInit(args)
 		return Value{K: KUndef}
 	case omp.DispatchNext:
-		return ex.dispatchNext(args)
+		return rt.dispatchNext(args)
 	case omp.AtomicAddF64:
-		ex.m.atomicMu.Lock()
-		cur := ex.deref(args[0])
-		ex.storeTo(args[0], FloatV(cur.F+args[1].F))
-		ex.m.atomicMu.Unlock()
+		rt.m.atomicMu.Lock()
+		cur := rt.deref(args[0])
+		rt.storeTo(args[0], FloatV(cur.F+args[1].F))
+		rt.m.atomicMu.Unlock()
 		return Value{K: KUndef}
 	case omp.AtomicMulF64:
-		ex.m.atomicMu.Lock()
-		cur := ex.deref(args[0])
-		ex.storeTo(args[0], FloatV(cur.F*args[1].F))
-		ex.m.atomicMu.Unlock()
+		rt.m.atomicMu.Lock()
+		cur := rt.deref(args[0])
+		rt.storeTo(args[0], FloatV(cur.F*args[1].F))
+		rt.m.atomicMu.Unlock()
 		return Value{K: KUndef}
 	case omp.AtomicAddI64:
-		ex.m.atomicMu.Lock()
-		cur := ex.deref(args[0])
-		ex.storeTo(args[0], IntV(cur.I+args[1].I))
-		ex.m.atomicMu.Unlock()
+		rt.m.atomicMu.Lock()
+		cur := rt.deref(args[0])
+		rt.storeTo(args[0], IntV(cur.I+args[1].I))
+		rt.m.atomicMu.Unlock()
 		return Value{K: KUndef}
 	case omp.AtomicMulI64:
-		ex.m.atomicMu.Lock()
-		cur := ex.deref(args[0])
-		ex.storeTo(args[0], IntV(cur.I*args[1].I))
-		ex.m.atomicMu.Unlock()
+		rt.m.atomicMu.Lock()
+		cur := rt.deref(args[0])
+		rt.storeTo(args[0], IntV(cur.I*args[1].I))
+		rt.m.atomicMu.Unlock()
 		return Value{K: KUndef}
 
 	case "exp":
@@ -160,43 +161,45 @@ func (ex *exec) callExternal(f *ir.Function, args []Value) Value {
 		// to malloc(n) cells.
 		n := int(args[0].I)
 		if n < 0 {
-			ex.trap("malloc with negative size %d", n)
+			rt.Trapf("malloc with negative size %d", n)
 		}
 		return PtrV(Pointer{Obj: NewMemObject("heap", n)})
 	case "free":
 		return Value{K: KUndef}
 
 	case "print_i64":
-		ex.m.printf("%d\n", args[0].I)
+		rt.m.printf("%d\n", args[0].I)
 		return Value{K: KUndef}
 	case "print_f64":
-		ex.m.printf("%.6f\n", args[0].F)
+		rt.m.printf("%.6f\n", args[0].F)
 		return Value{K: KUndef}
 
 	case "timer_start", "timer_stop":
 		return Value{K: KUndef}
 	}
-	ex.trap("call to unknown external @%s", f.Nam)
+	rt.Trapf("call to unknown external @%s", f.Nam)
 	return Value{}
 }
 
 // forkCall implements __kmpc_fork_call(argc, microtask, shared...):
 // NumThreads workers execute the microtask concurrently, each on its own
 // goroutine, receiving pointers to its global and team-local thread ids
-// followed by the shared arguments.
-func (ex *exec) forkCall(args []Value) {
+// followed by the shared arguments. Workers re-enter the machine's body
+// engine through RT.Call, so a bytecode-engined machine forks bytecode
+// workers and a tree-engined one forks tree workers.
+func (rt *RT) forkCall(args []Value) {
 	if len(args) < 2 {
-		ex.trap("fork call needs (argc, microtask, ...)")
+		rt.Trapf("fork call needs (argc, microtask, ...)")
 	}
 	mt := args[1]
 	if mt.K != KFunc {
-		ex.trap("fork call with non-function microtask")
+		rt.Trapf("fork call with non-function microtask")
 	}
 	shared := args[2:]
-	n := ex.m.Opts.NumThreads
+	n := rt.m.Opts.NumThreads
 	tm := newTeam(n)
 	mtName := mt.Fn.Nam
-	prof, races, tc := ex.m.prof, ex.m.races, ex.m.tc
+	prof, races, tc := rt.m.prof, rt.m.races, rt.m.tc
 
 	// Per-fork observability scratch. Each worker goroutine owns exactly
 	// its slot (no locking inside the region); the forking thread merges
@@ -231,7 +234,7 @@ func (ex *exec) forkCall(args []Value) {
 				tm.runMu.Lock()
 				defer tm.runMu.Unlock()
 			}
-			w := &exec{m: ex.m, gtid: tid, team: tm}
+			w := &RT{m: rt.m, gtid: tid, team: tm}
 			if stats != nil {
 				w.tstat = &stats[tid]
 			}
@@ -247,7 +250,7 @@ func (ex *exec) forkCall(args []Value) {
 				wargs := make([]Value, 0, 2+len(shared))
 				wargs = append(wargs, PtrV(Pointer{Obj: gtidObj}), PtrV(Pointer{Obj: btidObj}))
 				wargs = append(wargs, shared...)
-				w.callFunction(mt.Fn, wargs)
+				w.Call(mt.Fn, wargs)
 			})
 			steps[tid] = w.localSteps
 			spans[tid] = w.spanSteps
@@ -268,7 +271,7 @@ func (ex *exec) forkCall(args []Value) {
 	wg.Wait()
 	var maxSpan int64
 	for tid := 0; tid < n; tid++ {
-		ex.m.addSteps(steps[tid])
+		rt.m.addSteps(steps[tid])
 		if spans[tid] > maxSpan {
 			maxSpan = spans[tid]
 		}
@@ -276,12 +279,12 @@ func (ex *exec) forkCall(args []Value) {
 	// Work-span simulated clock: the fork costs a fixed setup and then
 	// advances by the slowest worker's path. This is what makes parallel
 	// speedup measurable deterministically, independent of host cores.
-	ex.spanSteps += maxSpan + ex.m.forkCost()
+	rt.spanSteps += maxSpan + rt.m.forkCost()
 	if prof != nil {
 		prof.merge(mtName, time.Since(wallStart), maxSpan, stats)
 	}
-	ex.m.met.noteRegion()
-	ex.m.met.noteConflicts(races.analyze(mtName, recs))
+	rt.m.met.noteRegion()
+	rt.m.met.noteConflicts(races.analyze(mtName, recs))
 	if tc != nil {
 		tc.AddEvent(telemetry.Event{
 			Name: mtName, Cat: telemetry.CatRegion,
@@ -313,35 +316,35 @@ func rethrowWorkerErr(err error) {
 // plower, pupper, pstride, incr, chunk): it narrows [*plower, *pupper]
 // (inclusive bounds) to this worker's contiguous static chunk, libomp
 // style. With no iterations for this worker, lower is set above upper.
-func (ex *exec) staticInit(args []Value) {
+func (rt *RT) staticInit(args []Value) {
 	if len(args) != 8 {
-		ex.trap("static_init_8 expects 8 args, got %d", len(args))
+		rt.Trapf("static_init_8 expects 8 args, got %d", len(args))
 	}
 	plast, plower, pupper := args[2], args[3], args[4]
 	pstride := args[5]
 	incr := args[6].I
 	if incr == 0 {
-		ex.trap("static_init_8 with zero increment")
+		rt.Trapf("static_init_8 with zero increment")
 	}
-	lb := ex.deref(plower).I
-	ub := ex.deref(pupper).I
+	lb := rt.deref(plower).I
+	ub := rt.deref(pupper).I
 
 	n := 1
-	if ex.team != nil {
-		n = ex.team.size
+	if rt.team != nil {
+		n = rt.team.size
 	}
-	tid := ex.gtid
+	tid := rt.gtid
 
 	trip := (ub-lb)/incr + 1
 	if trip <= 0 {
 		// Zero-trip loop: make this worker's range empty.
-		ex.storeTo(plower, IntV(lb))
-		ex.storeTo(pupper, IntV(lb-incr))
-		ex.storeTo(plast, IntV(0))
+		rt.storeTo(plower, IntV(lb))
+		rt.storeTo(pupper, IntV(lb-incr))
+		rt.storeTo(plast, IntV(0))
 		return
 	}
 	var myLo, myHi int64
-	if ex.m.Opts.BalancedChunks {
+	if rt.m.Opts.BalancedChunks {
 		// libgomp-style: floor(trip/n) per worker, remainder spread over
 		// the first trip%n workers.
 		q, r := trip/int64(n), trip%int64(n)
@@ -384,27 +387,27 @@ func (ex *exec) staticInit(args []Value) {
 			last = 0
 		}
 	}
-	ex.storeTo(plower, IntV(myLo))
-	ex.storeTo(pupper, IntV(myHi))
-	ex.storeTo(pstride, IntV((myHi-myLo)/incr+1))
-	ex.storeTo(plast, IntV(last))
-	if ex.tstat != nil {
+	rt.storeTo(plower, IntV(myLo))
+	rt.storeTo(pupper, IntV(myHi))
+	rt.storeTo(pstride, IntV((myHi-myLo)/incr+1))
+	rt.storeTo(plast, IntV(last))
+	if rt.tstat != nil {
 		if iters := (myHi-myLo)/incr + 1; iters > 0 {
-			ex.tstat.noteChunk(iters)
+			rt.tstat.noteChunk(iters)
 		}
 	}
 }
 
 // dispatchInit implements __kmpc_dispatch_init_8(gtid, sched, lb, ub,
 // incr, chunk): the first arriving worker publishes the iteration space.
-func (ex *exec) dispatchInit(args []Value) {
+func (rt *RT) dispatchInit(args []Value) {
 	if len(args) != 6 {
-		ex.trap("dispatch_init_8 expects 6 args, got %d", len(args))
+		rt.Trapf("dispatch_init_8 expects 6 args, got %d", len(args))
 	}
-	t := ex.team
+	t := rt.team
 	if t == nil {
 		t = newTeam(1)
-		ex.team = t
+		rt.team = t
 	}
 	t.dispMu.Lock()
 	if t.dispInits == 0 {
@@ -414,7 +417,7 @@ func (ex *exec) dispatchInit(args []Value) {
 		t.dispChunk = args[5].I
 		if t.dispIncr == 0 {
 			t.dispMu.Unlock()
-			ex.trap("dispatch_init_8 with zero increment")
+			rt.Trapf("dispatch_init_8 with zero increment")
 		}
 		if t.dispChunk <= 0 {
 			t.dispChunk = 1
@@ -426,13 +429,13 @@ func (ex *exec) dispatchInit(args []Value) {
 
 // dispatchNext implements __kmpc_dispatch_next_8: it hands the caller the
 // next chunk of the shared iteration space, or returns 0 when drained.
-func (ex *exec) dispatchNext(args []Value) Value {
+func (rt *RT) dispatchNext(args []Value) Value {
 	if len(args) != 5 {
-		ex.trap("dispatch_next_8 expects 5 args, got %d", len(args))
+		rt.Trapf("dispatch_next_8 expects 5 args, got %d", len(args))
 	}
-	t := ex.team
+	t := rt.team
 	if t == nil {
-		ex.trap("dispatch_next_8 outside a team")
+		rt.Trapf("dispatch_next_8 outside a team")
 	}
 	t.dispMu.Lock()
 	defer t.dispMu.Unlock()
@@ -461,24 +464,24 @@ func (ex *exec) dispatchNext(args []Value) Value {
 		hi = t.dispUB
 	}
 	t.dispCursor = hi + incr
-	ex.storeTo(args[1], IntV(0))
-	ex.storeTo(args[2], IntV(lo))
-	ex.storeTo(args[3], IntV(hi))
-	ex.storeTo(args[4], IntV(incr))
-	ex.tstat.noteChunk((hi-lo)/incr + 1)
+	rt.storeTo(args[1], IntV(0))
+	rt.storeTo(args[2], IntV(lo))
+	rt.storeTo(args[3], IntV(hi))
+	rt.storeTo(args[4], IntV(incr))
+	rt.tstat.noteChunk((hi-lo)/incr + 1)
 	return IntV(1)
 }
 
-func (ex *exec) deref(p Value) Value {
+func (rt *RT) deref(p Value) Value {
 	if p.K != KPtr || p.P.Nil() || p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
-		ex.trap("bad pointer in runtime call")
+		rt.Trapf("bad pointer in runtime call")
 	}
 	return p.P.Obj.Cells[p.P.Off]
 }
 
-func (ex *exec) storeTo(p Value, v Value) {
+func (rt *RT) storeTo(p Value, v Value) {
 	if p.K != KPtr || p.P.Nil() || p.P.Off < 0 || p.P.Off >= len(p.P.Obj.Cells) {
-		ex.trap("bad pointer in runtime call")
+		rt.Trapf("bad pointer in runtime call")
 	}
 	p.P.Obj.Cells[p.P.Off] = v
 }

@@ -1,0 +1,328 @@
+package vm
+
+import (
+	"repro/internal/interp"
+)
+
+// runProg executes one lowered function activation. The frame is a flat
+// register slice: params first, then SSA slots and phi staging, then the
+// constant pool copied into the tail.
+//
+// Step accounting batches: each instruction's cost accumulates in
+// pending and is flushed through rt.Step at branches, calls, and
+// returns, so the interpreter's fuel/work/span totals are identical to
+// the tree-walker's without paying the clock on every instruction.
+// Fuel-trap ordering is preserved because every trapping path flushes
+// pending before raising its own trap: rt.Step charges the steps the
+// tree-walker would have charged up to and including this instruction
+// and raises the fuel trap first when the budget is exhausted — exactly
+// the walker's charge-before-execute order. Loops flush at every branch,
+// so a fuel-bounded run can't spin unboundedly between flushes.
+func runProg(rt *interp.RT, p *prog, args []interp.Value) interp.Value {
+	r := make([]interp.Value, p.nRegs)
+	copy(r, args)
+	copy(r[p.constBase:], p.consts)
+	code := p.code
+
+	var pending int64
+	pc := int32(0)
+	for {
+		in := &code[pc]
+		pending += int64(in.cost)
+		switch in.op {
+		case opMov:
+			r[in.dst] = r[in.a]
+			pc++
+
+		case opBr:
+			if pending > 0 {
+				rt.Step(pending)
+				pending = 0
+			}
+			pc = in.a
+
+		case opCondBr:
+			if pending > 0 {
+				rt.Step(pending)
+				pending = 0
+			}
+			if r[in.a].I != 0 {
+				pc = in.b
+			} else {
+				pc = in.c
+			}
+
+		case opICmpBr:
+			if pending > 0 {
+				rt.Step(pending)
+				pending = 0
+			}
+			av, bv := r[in.a], r[in.b]
+			var x, y int64
+			if av.K == interp.KPtr || bv.K == interp.KPtr {
+				x, y = interp.PtrOrdinal(av), interp.PtrOrdinal(bv)
+			} else {
+				x, y = av.I, bv.I
+			}
+			if interp.CmpInt(in.pred, x, y) {
+				pc = in.dst
+			} else {
+				pc = in.c
+			}
+
+		case opFCmpBr:
+			if pending > 0 {
+				rt.Step(pending)
+				pending = 0
+			}
+			if interp.CmpFloat(in.pred, r[in.a].F, r[in.b].F) {
+				pc = in.dst
+			} else {
+				pc = in.c
+			}
+
+		case opRet:
+			rt.Step(pending)
+			if in.a >= 0 {
+				return r[in.a]
+			}
+			return interp.Value{K: interp.KUndef}
+
+		case opTrap:
+			rt.Step(pending)
+			rt.TrapKindf(in.ext.kind, "%s", in.ext.msg)
+
+		case opAlloca:
+			r[in.dst] = interp.PtrV(interp.Pointer{Obj: interp.NewZeroedObject(in.ext.name, in.ext.elem)})
+			pc++
+
+		case opLoadP:
+			pv := r[in.a]
+			if pv.K != interp.KPtr || pv.P.Nil() {
+				rt.Step(pending)
+				rt.TrapKindf(interp.TrapNullDeref, "load through null/non-pointer")
+			}
+			obj, off := pv.P.Obj, pv.P.Off
+			if off < 0 || off >= len(obj.Cells) {
+				rt.Step(pending)
+				rt.TrapKindf(interp.TrapMemOOB, "load out of bounds: %s+%d (size %d)", obj.Name, off, len(obj.Cells))
+			}
+			rt.NoteAccess(obj, off, false)
+			r[in.dst] = obj.Cells[off]
+			pc++
+
+		case opStoreP:
+			pv := r[in.a]
+			if pv.K != interp.KPtr || pv.P.Nil() {
+				rt.Step(pending)
+				rt.TrapKindf(interp.TrapNullDeref, "store through null/non-pointer")
+			}
+			obj, off := pv.P.Obj, pv.P.Off
+			if off < 0 || off >= len(obj.Cells) {
+				rt.Step(pending)
+				rt.TrapKindf(interp.TrapMemOOB, "store out of bounds: %s+%d (size %d)", obj.Name, off, len(obj.Cells))
+			}
+			rt.NoteAccess(obj, off, true)
+			obj.Cells[off] = r[in.dst]
+			pc++
+
+		case opGEPC, opGEP1, opGEP2, opGEPN:
+			bv := r[in.a]
+			if bv.K != interp.KPtr || bv.P.Nil() {
+				rt.Step(pending)
+				rt.Trapf("gep on non-pointer/null")
+			}
+			off := int64(bv.P.Off) + in.off
+			switch in.op {
+			case opGEP1:
+				off += r[in.b].I * in.s1
+			case opGEP2:
+				off += r[in.b].I*in.s1 + r[in.c].I*in.s2
+			case opGEPN:
+				for k, reg := range in.ext.args {
+					off += r[reg].I * in.ext.strides[k]
+				}
+			}
+			r[in.dst] = interp.PtrV(interp.Pointer{Obj: bv.P.Obj, Off: int(off)})
+			pc++
+
+		case opLoadC, opLoad1, opLoad2:
+			bv := r[in.a]
+			if bv.K != interp.KPtr || bv.P.Nil() {
+				rt.Step(pending)
+				rt.Trapf("gep on non-pointer/null")
+			}
+			off := int64(bv.P.Off) + in.off
+			if in.op != opLoadC {
+				off += r[in.b].I * in.s1
+				if in.op == opLoad2 {
+					off += r[in.c].I * in.s2
+				}
+			}
+			obj := bv.P.Obj
+			if off < 0 || off >= int64(len(obj.Cells)) {
+				rt.Step(pending)
+				rt.TrapKindf(interp.TrapMemOOB, "load out of bounds: %s+%d (size %d)", obj.Name, off, len(obj.Cells))
+			}
+			rt.NoteAccess(obj, int(off), false)
+			r[in.dst] = obj.Cells[off]
+			pc++
+
+		case opStoreC, opStore1, opStore2:
+			bv := r[in.a]
+			if bv.K != interp.KPtr || bv.P.Nil() {
+				rt.Step(pending)
+				rt.Trapf("gep on non-pointer/null")
+			}
+			off := int64(bv.P.Off) + in.off
+			if in.op != opStoreC {
+				off += r[in.b].I * in.s1
+				if in.op == opStore2 {
+					off += r[in.c].I * in.s2
+				}
+			}
+			obj := bv.P.Obj
+			if off < 0 || off >= int64(len(obj.Cells)) {
+				rt.Step(pending)
+				rt.TrapKindf(interp.TrapMemOOB, "store out of bounds: %s+%d (size %d)", obj.Name, off, len(obj.Cells))
+			}
+			rt.NoteAccess(obj, int(off), true)
+			obj.Cells[off] = r[in.dst]
+			pc++
+
+		case opAdd:
+			av := r[in.a]
+			if av.K == interp.KPtr { // pointer displacement via add
+				r[in.dst] = interp.PtrV(interp.Pointer{Obj: av.P.Obj, Off: av.P.Off + int(r[in.b].I)})
+			} else {
+				r[in.dst] = interp.IntV(av.I + r[in.b].I)
+			}
+			pc++
+		case opSub:
+			r[in.dst] = interp.IntV(r[in.a].I - r[in.b].I)
+			pc++
+		case opMul:
+			r[in.dst] = interp.IntV(r[in.a].I * r[in.b].I)
+			pc++
+		case opSDiv:
+			d := r[in.b].I
+			if d == 0 {
+				rt.Step(pending)
+				rt.TrapKindf(interp.TrapDivByZero, "integer division by zero")
+			}
+			r[in.dst] = interp.IntV(r[in.a].I / d)
+			pc++
+		case opSRem:
+			d := r[in.b].I
+			if d == 0 {
+				rt.Step(pending)
+				rt.TrapKindf(interp.TrapRemByZero, "integer remainder by zero")
+			}
+			r[in.dst] = interp.IntV(r[in.a].I % d)
+			pc++
+		case opAnd:
+			r[in.dst] = interp.IntV(r[in.a].I & r[in.b].I)
+			pc++
+		case opOr:
+			r[in.dst] = interp.IntV(r[in.a].I | r[in.b].I)
+			pc++
+		case opXor:
+			r[in.dst] = interp.IntV(r[in.a].I ^ r[in.b].I)
+			pc++
+		case opShl:
+			s := r[in.b].I
+			if s < 0 || s >= 64 {
+				rt.Step(pending)
+				rt.TrapKindf(interp.TrapShiftOOB, "shift count %d out of range [0,63]", s)
+			}
+			r[in.dst] = interp.IntV(r[in.a].I << uint(s))
+			pc++
+		case opAShr:
+			s := r[in.b].I
+			if s < 0 || s >= 64 {
+				rt.Step(pending)
+				rt.TrapKindf(interp.TrapShiftOOB, "shift count %d out of range [0,63]", s)
+			}
+			r[in.dst] = interp.IntV(r[in.a].I >> uint(s))
+			pc++
+
+		case opFAdd:
+			r[in.dst] = interp.FloatV(r[in.a].F + r[in.b].F)
+			pc++
+		case opFSub:
+			r[in.dst] = interp.FloatV(r[in.a].F - r[in.b].F)
+			pc++
+		case opFMul:
+			r[in.dst] = interp.FloatV(r[in.a].F * r[in.b].F)
+			pc++
+		case opFDiv:
+			r[in.dst] = interp.FloatV(r[in.a].F / r[in.b].F)
+			pc++
+		case opFNeg:
+			r[in.dst] = interp.FloatV(-r[in.a].F)
+			pc++
+		case opFMAdd:
+			// The explicit float64 conversion rounds the product before
+			// the add: Go may otherwise emit a hardware FMA, whose
+			// un-rounded intermediate would break bitwise parity with
+			// the tree-walker's two separate operations.
+			r[in.dst] = interp.FloatV(float64(r[in.a].F*r[in.b].F) + r[in.c].F)
+			pc++
+		case opFMAddR:
+			r[in.dst] = interp.FloatV(r[in.c].F + float64(r[in.a].F*r[in.b].F))
+			pc++
+
+		case opICmp:
+			av, bv := r[in.a], r[in.b]
+			var x, y int64
+			if av.K == interp.KPtr || bv.K == interp.KPtr {
+				x, y = interp.PtrOrdinal(av), interp.PtrOrdinal(bv)
+			} else {
+				x, y = av.I, bv.I
+			}
+			r[in.dst] = interp.Bool(interp.CmpInt(in.pred, x, y))
+			pc++
+		case opFCmp:
+			r[in.dst] = interp.Bool(interp.CmpFloat(in.pred, r[in.a].F, r[in.b].F))
+			pc++
+
+		case opSelect:
+			if r[in.a].I != 0 {
+				r[in.dst] = r[in.b]
+			} else {
+				r[in.dst] = r[in.c]
+			}
+			pc++
+		case opSIToFP:
+			r[in.dst] = interp.FloatV(float64(r[in.a].I))
+			pc++
+		case opFPToSI:
+			r[in.dst] = interp.IntV(int64(r[in.a].F))
+			pc++
+
+		case opCall:
+			rt.Step(pending)
+			pending = 0
+			fn := in.ext.fn
+			if fn == nil {
+				cv := r[in.a]
+				if cv.K != interp.KFunc {
+					rt.Trapf("indirect call through non-function")
+				}
+				fn = cv.Fn
+			}
+			cargs := make([]interp.Value, len(in.ext.args))
+			for k, reg := range in.ext.args {
+				cargs[k] = r[reg]
+			}
+			ret := rt.Call(fn, cargs)
+			if in.dst >= 0 {
+				r[in.dst] = ret
+			}
+			pc++
+
+		default: // opNop
+			pc++
+		}
+	}
+}

@@ -47,6 +47,25 @@ if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool BENCH_runtime_trace.json >/dev/null
 fi
 
+echo "== engine parity smoke (irrun -engine bytecode vs tree)"
+engdir=$(mktemp -d)
+cat > "$engdir/eng.c" <<'EOF'
+double A[256];
+
+void kernel() {
+  for (long i = 0; i < 256; i++) {
+    A[i] = i * 1.5 + 2.0;
+  }
+}
+EOF
+go run ./cmd/ccomp -polly -o "$engdir/eng.ll" "$engdir/eng.c"
+go build -o "$engdir/irrun" ./cmd/irrun
+"$engdir/irrun" -entry kernel -threads 4 -steps "$engdir/eng.ll" > "$engdir/tree.out"
+"$engdir/irrun" -entry kernel -threads 4 -steps -engine bytecode "$engdir/eng.ll" > "$engdir/bytecode.out"
+# Same return, same printed output, same work/span totals.
+cmp "$engdir/tree.out" "$engdir/bytecode.out"
+rm -rf "$engdir"
+
 echo "== live metrics smoke (irrun -metrics-addr: /metrics, /healthz, /debug/jobs, /debug/pprof)"
 if command -v curl >/dev/null 2>&1; then
     smokedir=$(mktemp -d)
@@ -80,8 +99,8 @@ EOF
     fi
     curl -fsS "$base/metrics" > "$smokedir/metrics.txt"
     grep -q 'splendid_driver_jobs_completed_total{kind="execute"} 1' "$smokedir/metrics.txt"
-    grep -q 'splendid_interp_runs_total 1' "$smokedir/metrics.txt"
-    grep -q 'splendid_interp_regions_total 1' "$smokedir/metrics.txt"
+    grep -q 'splendid_interp_runs_total{engine="tree"} 1' "$smokedir/metrics.txt"
+    grep -q 'splendid_interp_regions_total{engine="tree"} 1' "$smokedir/metrics.txt"
     curl -fsS "$base/healthz" | grep -q '"splendid-health/v1"'
     curl -fsS "$base/debug/jobs" > "$smokedir/jobs.json"
     grep -q '"splendid-flight-record/v1"' "$smokedir/jobs.json"
