@@ -3,9 +3,22 @@
 // subset, is driven through the full pipeline (frontend → O2 →
 // parallelize → decompile → re-frontend), executed at every trust
 // boundary at 1 and N threads, and cross-checked against the
-// independent golden evaluator. Divergences are reported per seed;
-// with -reduce, each failing seed's optimized module is shrunk to a
-// minimal reproducer with the bugpoint-style reducer.
+// independent golden evaluator.
+//
+// Sweeps are sharded: the seed range is partitioned into fixed-size
+// shards, and with -shards N the shards are dispatched to N re-exec'd
+// `difftest -worker` child processes over a stdin/stdout JSON-lines
+// protocol (in-process otherwise). Progress is journaled: with
+// -journal the coordinator appends fsync'd shard-claim and shard-done
+// records, and -resume restarts a killed sweep from the first
+// unfinished shard, never re-running — or re-reporting — a finished
+// seed. Every finding is shrunk to a minimal reproducer on the worker,
+// fingerprinted, and deduplicated before reporting; -corpus lands each
+// unique finding as a self-contained repro dir, and -summary writes
+// the versioned splendid-difftest-summary/v1 artifact (divergence
+// class × count × rate × first seed × repro), which is bitwise
+// identical between an interrupted-and-resumed sweep and an
+// uninterrupted one.
 //
 // Long sweeps print a progress line to stderr every couple of seconds
 // (seeds done, rate, divergence count, ETA), and -metrics-addr serves
@@ -15,6 +28,8 @@
 // Usage:
 //
 //	difftest [-seed S] [-n COUNT] [-threads N] [-reduce] [-v]
+//	         [-shards N] [-shard-size N] [-journal PATH] [-resume]
+//	         [-corpus DIR] [-summary PATH]
 //	         [-metrics-addr HOST:PORT] [-linger DUR]
 //
 // Exit codes: 0 all seeds clean, 1 divergences found, 2 usage or
@@ -24,13 +39,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/exec"
+	"strconv"
 	"time"
 
 	"repro/internal/debugserv"
 	"repro/internal/difftest"
 	"repro/internal/driver"
-	"repro/internal/ir"
 	"repro/internal/metrics"
 )
 
@@ -41,131 +58,201 @@ func main() {
 	seed := flag.Uint64("seed", 0, "first generator seed")
 	n := flag.Int("n", 1, "number of consecutive seeds to test")
 	threads := flag.Int("threads", 8, "team size for the parallel runs")
-	reduce := flag.Bool("reduce", false, "shrink each failing module to a minimal reproducer")
-	verbose := flag.Bool("v", false, "print per-seed progress")
+	reduce := flag.Bool("reduce", false, "print each finding's reduced reproducer IR")
+	verbose := flag.Bool("v", false, "print per-seed progress (in-process sweeps only)")
+	shards := flag.Int("shards", 0, "worker processes to shard the sweep across (0 runs in-process)")
+	shardSize := flag.Int("shard-size", difftest.DefaultShardSize, "seeds per shard (the unit of dispatch and resume)")
+	journalPath := flag.String("journal", "", "append-only progress journal `path` (enables resume)")
+	resume := flag.Bool("resume", false, "resume the sweep from -journal, skipping finished shards")
+	corpusDir := flag.String("corpus", "", "write each unique finding as a repro `dir` under this directory")
+	summaryPath := flag.String("summary", "", "write the splendid-difftest-summary/v1 artifact to `path`")
+	worker := flag.Bool("worker", false, "run as a fleet worker: read shards from stdin, write results to stdout")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/jobs, /debug/pprof on `host:port` (empty disables)")
 	linger := flag.Duration("linger", 0, "keep the debug server up this long after the sweep finishes")
 	flag.Parse()
-	if flag.NArg() != 0 || *n < 1 || *threads < 1 {
-		fmt.Fprintln(os.Stderr, "usage: difftest [-seed S] [-n COUNT] [-threads N] [-reduce] [-v] [-metrics-addr ADDR] [-linger DUR]")
+
+	usage := func(msg string) {
+		if msg != "" {
+			fmt.Fprintf(os.Stderr, "difftest: %s\n", msg)
+		}
+		fmt.Fprintln(os.Stderr, "usage: difftest [-seed S] [-n COUNT] [-threads N] [-reduce] [-v]\n"+
+			"                [-shards N] [-shard-size N] [-journal PATH] [-resume]\n"+
+			"                [-corpus DIR] [-summary PATH] [-metrics-addr ADDR] [-linger DUR]")
 		os.Exit(2)
+	}
+	if flag.NArg() != 0 {
+		usage("")
+	}
+	if *threads < 1 {
+		usage("-threads must be >= 1")
+	}
+
+	if *worker {
+		// Worker mode: everything but -threads comes over the protocol.
+		if err := difftest.ServeWorker(os.Stdin, os.Stdout, difftest.ShardOptions{Threads: *threads}); err != nil {
+			fmt.Fprintf(os.Stderr, "difftest worker: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *n < 1 {
+		usage(fmt.Sprintf("-n %d: seed count must be >= 1", *n))
+	}
+	if *seed > math.MaxUint64-uint64(*n)+1 {
+		usage(fmt.Sprintf("-seed %d -n %d: final seed overflows the uint64 seed range", *seed, *n))
+	}
+	if *resume && *journalPath == "" {
+		usage("-resume requires -journal")
 	}
 
 	var reg *metrics.Registry
 	if *metricsAddr != "" {
 		reg = metrics.Default()
 	}
+	// The coordinator session exists for the debug endpoints (and runs
+	// the shards itself in-process when -shards is 0).
 	s := driver.New(driver.Options{Metrics: reg})
-	var srv *debugserv.Server
 	if *metricsAddr != "" {
-		var err error
-		srv, err = debugserv.Start(*metricsAddr, debugserv.Options{Registry: reg, Jobs: s.Recorder()})
+		srv, err := debugserv.Start(*metricsAddr, debugserv.Options{Registry: reg, Jobs: s.Recorder()})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
 			os.Exit(2)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "difftest: debug endpoints on %s\n", srv.URL())
+		if *linger > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "difftest: lingering %s for scrapes\n", *linger)
+				time.Sleep(*linger)
+			}()
+		}
 	}
-	sweep := difftest.NewSweepMetrics(reg)
 
-	start := time.Now()
-	lastProgress := start
-	failures, divergences, skipped, parallelized, trapping := 0, 0, 0, 0, 0
-	for i := 0; i < *n; i++ {
-		cur := *seed + uint64(i)
-		rep, err := difftest.CheckSeed(s, cur, driver.RoundTripOptions{Threads: *threads})
+	params := difftest.JournalParams{Seed: *seed, N: *n, ShardSize: *shardSize, Threads: *threads}
+	var journal *difftest.Journal
+	if *journalPath != "" {
+		var err error
+		journal, err = difftest.OpenJournal(*journalPath, params, *resume)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
 			os.Exit(2)
 		}
-		sweep.Note(rep)
-		done := i + 1
-		if !*verbose && time.Since(lastProgress) >= progressEvery && done < *n {
-			lastProgress = time.Now()
-			progressLine(done, *n, divergences, skipped, time.Since(start))
-		}
-		if rep.Skipped() {
-			skipped++
-			if *verbose {
-				fmt.Printf("seed %d: skipped (fuel backstop)\n", cur)
-			}
-			continue
-		}
-		if rep.Result.ParallelizedLoops > 0 {
-			parallelized++
-		}
-		if rep.Result.Ref.Trapped {
-			trapping++
-		}
-		if !rep.Failed() {
-			if *verbose {
-				fmt.Printf("seed %d: ok (%d parallel loops)\n", cur, rep.Result.ParallelizedLoops)
-			}
-			continue
-		}
-		failures++
-		divergences += len(rep.Divergences)
-		fmt.Printf("seed %d: %d divergence(s)\n", cur, len(rep.Divergences))
-		for _, d := range rep.Divergences {
-			fmt.Printf("  %s\n", d)
-		}
-		if *reduce {
-			reduceFailure(rep, *threads)
+		defer journal.Close()
+	}
+
+	cfg := difftest.FleetConfig{
+		Params:        params,
+		Workers:       *shards,
+		Journal:       journal,
+		CorpusDir:     *corpusDir,
+		Metrics:       difftest.NewSweepMetrics(reg),
+		Progress:      os.Stderr,
+		ProgressEvery: progressEvery,
+		Report:        os.Stdout,
+	}
+	spawn := inlineSpawner(s, *threads, *verbose)
+	if *shards >= 1 {
+		spawn = processSpawner(*threads)
+	}
+	sum, err := difftest.RunFleet(cfg, spawn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
+		os.Exit(2)
+	}
+	if *reduce {
+		printReduced(sum, *corpusDir)
+	}
+	if *summaryPath != "" {
+		if err := sum.WriteFile(*summaryPath); err != nil {
+			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
+			os.Exit(2)
 		}
 	}
-	fmt.Printf("difftest: %d seeds, %d failed, %d skipped, %d parallelized, %d trapping\n",
-		*n, failures, skipped, parallelized, trapping)
-	if srv != nil && *linger > 0 {
-		fmt.Fprintf(os.Stderr, "difftest: lingering %s for scrapes\n", *linger)
-		time.Sleep(*linger)
-	}
-	if failures > 0 {
+	fmt.Printf("difftest: %d seeds, %d failed (%d unique), %d skipped, %d parallelized, %d trapping\n",
+		sum.Seeds, sum.FindingSeeds, sum.UniqueFindings, sum.Skipped, sum.Parallelized, sum.Trapping)
+	if sum.FindingSeeds > 0 {
 		os.Exit(1)
 	}
 }
 
-// progressLine prints one sweep status line: completed seeds, rate,
-// findings so far, and the remaining-time estimate at the current rate.
-func progressLine(done, total, divergences, skipped int, elapsed time.Duration) {
-	rate := float64(done) / elapsed.Seconds()
-	eta := "?"
-	if rate > 0 {
-		left := time.Duration(float64(total-done) / rate * float64(time.Second))
-		eta = left.Round(time.Second).String()
+// inlineSpawner runs shards in the coordinator process on its session.
+// Each call returns a handle on the same session: the driver session is
+// already safe for concurrent use, so -shards 0 with a future inline
+// pool would still be correct.
+func inlineSpawner(s *driver.Session, threads int, verbose bool) func() (difftest.Worker, error) {
+	opts := difftest.ShardOptions{Threads: threads}
+	if verbose {
+		opts.PerSeed = func(seed uint64, rep *difftest.Report) {
+			switch {
+			case rep.Skipped():
+				fmt.Printf("seed %d: skipped (fuel backstop)\n", seed)
+			case rep.Failed():
+				fmt.Printf("seed %d: %d divergence(s)\n", seed, len(rep.Divergences))
+			default:
+				fmt.Printf("seed %d: ok (%d parallel loops)\n", seed, rep.Result.ParallelizedLoops)
+			}
+		}
 	}
-	fmt.Fprintf(os.Stderr, "difftest: %d/%d seeds (%.1f seeds/s), %d divergence(s), %d skipped, ETA %s\n",
-		done, total, rate, divergences, skipped, eta)
+	return func() (difftest.Worker, error) { return difftest.NewInlineWorker(s, opts), nil }
 }
 
-// reduceFailure shrinks the failing seed's optimized module. The
-// predicate is self-consistency of the candidate — golden evaluation
-// vs the production interpreter at 1 thread, and 1 thread vs N — which
-// reproduces "opt", "parallel", and "interp" class divergences without
-// pinning the candidate to the original program's exact behaviour.
-// Divergences only observable through decompile/recompile keep the
-// full module as the reproducer (Reduce reports the input as passing).
-func reduceFailure(rep *difftest.Report, threads int) {
-	entries := rep.Program.Entries
-	failing := func(m *ir.Module) bool {
-		return difftest.ModuleDiverges(m, entries, threads)
+// processSpawner re-execs this binary as `difftest -worker` children
+// and speaks the JSON-lines protocol over their stdin/stdout.
+func processSpawner(threads int) func() (difftest.Worker, error) {
+	return func() (difftest.Worker, error) {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("difftest: resolving own binary: %w", err)
+		}
+		cmd := exec.Command(exe, "-worker", "-threads", strconv.Itoa(threads))
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("difftest: starting worker: %w", err)
+		}
+		return difftest.NewPipeWorker(stdin, stdout, func() error {
+			stdin.Close() // EOF tells the worker to exit
+			return cmd.Wait()
+		}), nil
 	}
-	res, err := difftest.Reduce(rep.Result.OptIR, failing, 0)
-	if err != nil {
-		fmt.Printf("  reduce: %v\n", err)
+}
+
+// printReduced dumps each unique finding's reduced reproducer (from
+// the corpus when one was written; summaries alone don't carry IR).
+func printReduced(sum *difftest.Summary, corpusDir string) {
+	if corpusDir == "" {
+		if len(sum.Findings) > 0 {
+			fmt.Println("difftest: -reduce: pass -corpus to keep reduced reproducers on disk")
+		}
 		return
 	}
-	fmt.Printf("  reduced %d -> %d instructions (%d rounds, %d candidates):\n",
-		res.InputInstrs, res.Instrs, res.Rounds, res.Tries)
-	fmt.Println(indent(res.IR, "    "))
-}
-
-func indent(s, pre string) string {
-	out := ""
-	for _, line := range splitLines(s) {
-		out += pre + line + "\n"
+	repros, err := difftest.LoadCorpus(corpusDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
+		return
 	}
-	return out
+	byFP := map[string]*difftest.Repro{}
+	for _, r := range repros {
+		byFP[r.Meta.Fingerprint] = r
+	}
+	for _, f := range sum.Findings {
+		r := byFP[f.Fingerprint]
+		if r == nil {
+			continue
+		}
+		fmt.Printf("finding %s (seed %d, %d seeds, classes %v):\n", f.Fingerprint, f.FirstSeed, f.Seeds, f.Classes)
+		for _, line := range splitLines(r.IR) {
+			fmt.Printf("    %s\n", line)
+		}
+	}
 }
 
 func splitLines(s string) []string {

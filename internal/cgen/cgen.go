@@ -24,6 +24,7 @@ package cgen
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -50,6 +51,41 @@ type Program struct {
 	// Trapping records whether a deliberately trapping statement was
 	// emitted (the oracle then expects every stage to trap alike).
 	Trapping bool
+	// Features lists the generator feature classes this program
+	// exercises (sorted, unique; see FeatureClasses). Coverage tests
+	// aggregate these across seeds so a generator change that silently
+	// stops emitting a construct fails loudly.
+	Features []string
+}
+
+// Uses reports whether the program exercises feature class f.
+func (p *Program) Uses(f string) bool {
+	for _, got := range p.Features {
+		if got == f {
+			return true
+		}
+	}
+	return false
+}
+
+// FeatureClasses is the closed set of feature classes the generator
+// can emit. Every class must be reachable — the distribution test
+// sweeps seeds until each is seen — so dead entries here are bugs.
+var FeatureClasses = []string{
+	"pragma-static",       // schedule(static)
+	"pragma-static-chunk", // schedule(static, c)
+	"pragma-dynamic",      // schedule(dynamic, c)
+	"reduction-int-add",   // reduction(+: acc) over longs
+	"reduction-int-mul",   // reduction(*: acc) over longs
+	"reduction-float",     // reduction(+: facc) over doubles
+	"trap",                // a deliberately trapping statement
+	"call",                // a call to the generated helper function
+	"nested-loop",         // 2-deep loop nest
+	"recurrence",          // loop-carried dependence (must stay serial)
+	"branch",              // if/else inside a loop body
+	"int-loop",            // elementwise integer loop
+	"float-loop",          // elementwise float loop
+	"scalar",              // straight-line scalar statements
 }
 
 // prng is splitmix64: deterministic, platform-independent.
@@ -77,32 +113,61 @@ type gen struct {
 	b        strings.Builder
 	trapUsed bool
 	tmpSeq   int // uniquifies kernel-local accumulator names
+	feats    map[string]bool
+	// callPlanned gates the helper function: decided up front so the
+	// definition can be emitted before the kernel that calls it.
+	callPlanned bool
 
 	intArrs   []string
 	floatArrs []string
 	scalars   []string // long
 }
 
+// feat records that the program exercises one feature class.
+func (g *gen) feat(name string) { g.feats[name] = true }
+
 // Generate produces the program for cfg, deterministically.
 func Generate(cfg Config) *Program {
 	g := &gen{
 		r:         &prng{s: cfg.Seed*0x2545f4914f6cdd1d + 0x1234567},
 		cfg:       cfg,
+		feats:     map[string]bool{},
 		intArrs:   []string{"I0", "I1", "I2"},
 		floatArrs: []string{"F0", "F1"},
 		scalars:   []string{"s0", "s1", "s2"},
 	}
 	g.n = []int{32, 64}[g.r.intn(2)]
+	g.callPlanned = g.r.chance(30)
 	g.globals()
+	if g.callPlanned {
+		g.helper()
+	}
 	g.initData()
 	g.kernel()
 	g.check()
+	var feats []string
+	for f := range g.feats {
+		feats = append(feats, f)
+	}
+	sort.Strings(feats)
 	return &Program{
 		Seed:     cfg.Seed,
 		Source:   g.b.String(),
 		Entries:  []string{"init_data", "kernel", "check"},
 		Trapping: g.trapUsed,
+		Features: feats,
 	}
+}
+
+// helper emits a small pure two-argument function for the "call"
+// feature: trap-free arithmetic only (safe shifts, no division), so a
+// call site is semantically boring but exercises argument passing,
+// call lowering, and decompilation of multi-function modules.
+func (g *gen) helper() {
+	op := g.r.pick([]string{"+", "-", "*", "^", "&", "|"})
+	g.pf("long mix(long a, long b) {\n")
+	g.pf("  return (a %s b) * %d + (a >> %s);\n", op, 1+g.r.intn(5), g.r.pick(safeShiftCounts))
+	g.pf("}\n\n")
 }
 
 func (g *gen) pf(format string, args ...any) {
@@ -200,10 +265,13 @@ func (g *gen) pragma(extra string) {
 	switch g.r.intn(3) {
 	case 0:
 		sched = " schedule(static)"
+		g.feat("pragma-static")
 	case 1:
 		sched = fmt.Sprintf(" schedule(static, %d)", 1+g.r.intn(7))
+		g.feat("pragma-static-chunk")
 	case 2:
 		sched = fmt.Sprintf(" schedule(dynamic, %d)", 1+g.r.intn(7))
+		g.feat("pragma-dynamic")
 	}
 	g.pf("  #pragma omp parallel for%s%s\n", sched, extra)
 }
@@ -213,6 +281,7 @@ func (g *gen) pragma(extra string) {
 // loop bounds leave the margin) — the access pattern is DOALL by
 // construction, so a pragma is always sound.
 func (g *gen) intLoop() {
+	g.feat("int-loop")
 	dst := g.r.pick(g.intArrs)
 	s1, s2 := g.r.pick(g.intArrs), g.r.pick(g.intArrs)
 	o1, o2 := g.r.intn(5)-2, g.r.intn(5)-2
@@ -236,6 +305,7 @@ func (g *gen) intLoop() {
 	g.pragma("")
 	g.pf("  for (long i = %d; i < %s; i++) {\n", lo, hi)
 	if g.r.chance(25) {
+		g.feat("branch")
 		alt := fmt.Sprintf("%s[i] - %d", s1, 1+g.r.intn(4))
 		g.pf("    if (%s[i] > %d) {\n      %s[i] = %s;\n    } else {\n      %s[i] = %s;\n    }\n",
 			s2, g.r.intn(6), dst, rhs, dst, alt)
@@ -248,6 +318,7 @@ func (g *gen) intLoop() {
 // floatLoop keeps float arithmetic exact: +, -, and multiplication by
 // small dyadic constants only, so parallel execution is bitwise equal.
 func (g *gen) floatLoop() {
+	g.feat("float-loop")
 	dst := g.r.pick(g.floatArrs)
 	s1, s2 := g.r.pick(g.floatArrs), g.r.pick(g.floatArrs)
 	o1, o2 := g.r.intn(5)-2, g.r.intn(5)-2
@@ -272,6 +343,7 @@ func (g *gen) reductionLoop() {
 	if g.r.chance(35) {
 		// Float sum: exact because every element is a bounded multiple
 		// of 0.5 (atomic combination order cannot change the bits).
+		g.feat("reduction-float")
 		a := g.r.pick(g.floatArrs)
 		acc := fmt.Sprintf("facc%d", g.tmpSeq)
 		g.pf("  double %s = 0.0;\n", acc)
@@ -287,6 +359,11 @@ func (g *gen) reductionLoop() {
 	if g.r.chance(20) {
 		op, combine = "*", fmt.Sprintf("%s = %s * (%%s[i] | %%d);\n", acc, acc)
 	}
+	if op == "*" {
+		g.feat("reduction-int-mul")
+	} else {
+		g.feat("reduction-int-add")
+	}
 	init := "0"
 	if op == "*" {
 		init = "1"
@@ -300,6 +377,7 @@ func (g *gen) reductionLoop() {
 // nestedLoop is a 2-deep nest whose inner subscript is masked into
 // bounds (N is a power of two).
 func (g *gen) nestedLoop() {
+	g.feat("nested-loop")
 	di := g.r.intn(len(g.intArrs))
 	dst := g.intArrs[di]
 	src := g.intArrs[(di+1+g.r.intn(len(g.intArrs)-1))%len(g.intArrs)]
@@ -314,6 +392,7 @@ func (g *gen) nestedLoop() {
 // auto-parallelizer must refuse it, and the dynamic race checker
 // cross-checks that verdict.
 func (g *gen) recurrenceLoop() {
+	g.feat("recurrence")
 	dst := g.r.pick(g.intArrs)
 	src := g.r.pick(g.intArrs)
 	g.pf("  for (long i = 1; i < N; i++) {\n")
@@ -324,9 +403,15 @@ func (g *gen) recurrenceLoop() {
 // scalarStmts emits 1-3 straight-line scalar assignments over the global
 // longs, exercising edge constants with trap-free operand shapes.
 func (g *gen) scalarStmts() {
+	g.feat("scalar")
 	for k := 0; k <= g.r.intn(3); k++ {
 		dst := g.r.pick(g.scalars)
 		a, b := g.r.pick(g.scalars), g.r.pick(g.scalars)
+		if g.callPlanned && g.r.chance(35) {
+			g.feat("call")
+			g.pf("  %s = mix(%s, %s);\n", dst, a, b)
+			continue
+		}
 		switch g.r.intn(6) {
 		case 0:
 			g.pf("  %s = (%s %s %s) %s %s;\n", dst, a,
@@ -350,6 +435,7 @@ func (g *gen) scalarStmts() {
 // trapStmt emits one statement that must trap identically at every
 // pipeline stage (the satellite interpreter fixes made these precise).
 func (g *gen) trapStmt() {
+	g.feat("trap")
 	dst := g.r.pick(g.scalars)
 	a := g.r.pick(g.scalars)
 	switch g.r.intn(5) {

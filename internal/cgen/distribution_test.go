@@ -1,0 +1,63 @@
+package cgen
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFeatureDistribution sweeps 2,000 seeds and asserts every feature
+// class the generator claims to produce actually shows up — static and
+// dynamic schedules, int/float reductions, traps, helper calls, nested
+// loops, and the rest of FeatureClasses. A generator feature that
+// silently stops firing shrinks differential coverage without failing
+// any test; this pins the distribution itself.
+func TestFeatureDistribution(t *testing.T) {
+	const seeds = 2000
+	hits := map[string]int{}
+	for seed := uint64(0); seed < seeds; seed++ {
+		p := Generate(Default(seed))
+		seen := map[string]bool{}
+		for _, f := range p.Features {
+			if seen[f] {
+				t.Fatalf("seed %d: feature %q listed twice", seed, f)
+			}
+			seen[f] = true
+			hits[f]++
+			if !p.Uses(f) {
+				t.Fatalf("seed %d: Features lists %q but Uses denies it", seed, f)
+			}
+		}
+	}
+	known := map[string]bool{}
+	for _, f := range FeatureClasses {
+		known[f] = true
+		if hits[f] == 0 {
+			t.Errorf("feature class %q never produced in %d seeds", f, seeds)
+		}
+	}
+	for f, n := range hits {
+		if !known[f] {
+			t.Errorf("generator emitted unknown feature %q (%d times); add it to FeatureClasses", f, n)
+		}
+	}
+	if t.Failed() || testing.Verbose() {
+		for _, f := range FeatureClasses {
+			t.Logf("%-22s %5d/%d (%.1f%%)", f, hits[f], seeds, 100*float64(hits[f])/seeds)
+		}
+	}
+}
+
+// TestFeaturesDeterministic: the feature list is part of the program's
+// identity — same seed, same features, every time.
+func TestFeaturesDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a := Generate(Default(seed))
+		b := Generate(Default(seed))
+		if fmt.Sprint(a.Features) != fmt.Sprint(b.Features) {
+			t.Fatalf("seed %d: features differ across runs: %v vs %v", seed, a.Features, b.Features)
+		}
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: source differs across runs", seed)
+		}
+	}
+}

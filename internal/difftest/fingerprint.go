@@ -1,0 +1,76 @@
+package difftest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Findings are deduplicated by the fingerprint of their *reduced*
+// reproducer, not their seed: many seeds hit the same bug, but after
+// reduction they converge on near-identical minimal modules. The
+// fingerprint is FNV-64a over the normalized reduced IR plus the sorted
+// divergence-class set, so two findings collide exactly when they are
+// the same minimal program failing the same invariants.
+
+// Fingerprint returns the 16-hex-digit dedup key for a reduced
+// reproducer and its divergence classes. The IR is normalized first
+// (canonical reprint with positional local names) so spelling
+// differences between otherwise identical reproducers — whitespace,
+// SSA register numbering, block label choice — cannot split a bug into
+// several "unique" findings.
+func Fingerprint(reducedIR string, classes []string) string {
+	cs := append([]string(nil), classes...)
+	sort.Strings(cs)
+	cs = dedupSorted(cs)
+	h := fnv.New64a()
+	h.Write([]byte(NormalizeIR(reducedIR)))
+	for _, c := range cs {
+		h.Write([]byte{0})
+		h.Write([]byte(c))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func dedupSorted(ss []string) []string {
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NormalizeIR canonicalizes a module's text for fingerprinting: parse,
+// rename every local value, parameter, and block positionally (in
+// program order), and reprint. Global and function names are kept —
+// they carry meaning (entries, runtime calls) the comparison must see.
+// Text that does not parse is returned with whitespace collapsed, so
+// even unparseable reproducers fingerprint stably.
+func NormalizeIR(text string) string {
+	m, err := ir.Parse(text)
+	if err != nil {
+		return strings.Join(strings.Fields(text), " ")
+	}
+	for _, f := range m.Funcs {
+		n := 0
+		for _, p := range f.Params {
+			p.Nam = fmt.Sprintf("a%d", n)
+			n++
+		}
+		for bi, b := range f.Blocks {
+			b.Nam = fmt.Sprintf("b%d", bi)
+			for _, in := range b.Instrs {
+				if in.Nam != "" {
+					in.Nam = fmt.Sprintf("v%d", n)
+					n++
+				}
+			}
+		}
+	}
+	return m.Print()
+}

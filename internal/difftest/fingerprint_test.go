@@ -1,0 +1,98 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+)
+
+const fpModuleA = `define i64 @f(i64 %n) {
+entry:
+  %t = add i64 %n, 1
+  br label %loop
+loop:
+  %v = mul i64 %t, 2
+  ret i64 %v
+}
+`
+
+// Same module with every local name, block label, and whitespace run
+// changed. Normalization must erase the difference.
+const fpModuleARenamed = `define i64 @f(i64   %count) {
+start:
+	%tmp9 = add i64 %count, 1
+	br label %body
+body:
+	%out = mul i64 %tmp9, 2
+	ret i64 %out
+}
+`
+
+// Same shape but a different operation: genuinely distinct.
+const fpModuleB = `define i64 @f(i64 %n) {
+entry:
+  %t = sub i64 %n, 1
+  br label %loop
+loop:
+  %v = mul i64 %t, 2
+  ret i64 %v
+}
+`
+
+func TestFingerprintInsensitiveToNames(t *testing.T) {
+	a := Fingerprint(fpModuleA, []string{"opt"})
+	b := Fingerprint(fpModuleARenamed, []string{"opt"})
+	if a != b {
+		t.Errorf("renamed module fingerprints differ: %s vs %s", a, b)
+	}
+	if c := Fingerprint(fpModuleB, []string{"opt"}); c == a {
+		t.Error("structurally different modules share a fingerprint")
+	}
+}
+
+func TestFingerprintClassSet(t *testing.T) {
+	a := Fingerprint(fpModuleA, []string{"parallel", "opt"})
+	b := Fingerprint(fpModuleA, []string{"opt", "parallel"})
+	if a != b {
+		t.Error("class order changed the fingerprint")
+	}
+	if c := Fingerprint(fpModuleA, []string{"opt", "parallel", "opt"}); c != a {
+		t.Error("duplicate class changed the fingerprint")
+	}
+	if d := Fingerprint(fpModuleA, []string{"bytecode"}); d == a {
+		t.Error("different divergence class shares a fingerprint")
+	}
+}
+
+func TestFingerprintFormat(t *testing.T) {
+	fp := Fingerprint(fpModuleA, []string{"opt"})
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q is not 16 hex chars", fp)
+	}
+	if strings.Trim(fp, "0123456789abcdef") != "" {
+		t.Fatalf("fingerprint %q is not lowercase hex", fp)
+	}
+}
+
+// Unparseable reproducers (e.g. decompile-stage failures where only
+// raw text exists) still fingerprint stably on whitespace-normalized
+// text rather than erroring out.
+func TestFingerprintUnparseableFallback(t *testing.T) {
+	a := Fingerprint("not an llvm   module\n  at all", []string{"decompile"})
+	b := Fingerprint("not  an llvm module at\tall", []string{"decompile"})
+	if a != b {
+		t.Error("whitespace variants of unparseable text fingerprint differently")
+	}
+	if c := Fingerprint("different garbage", []string{"decompile"}); c == a {
+		t.Error("distinct unparseable texts share a fingerprint")
+	}
+}
+
+func TestNormalizeIRPreservesGlobals(t *testing.T) {
+	norm := NormalizeIR(fpModuleA)
+	if !strings.Contains(norm, "@f") {
+		t.Errorf("normalization renamed the function symbol:\n%s", norm)
+	}
+	if strings.Contains(norm, "%n") || strings.Contains(norm, "%t") {
+		t.Errorf("normalization kept original local names:\n%s", norm)
+	}
+}

@@ -1,0 +1,318 @@
+package difftest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/driver"
+)
+
+// The fleet turns the one-process sweep into a coordinator/worker
+// system. The coordinator owns the shard queue, the journal, finding
+// dedup, and the summary; workers own driver sessions and burn through
+// shards. The worker protocol is JSON lines over stdin/stdout — the
+// coordinator writes one workRequest per line, the worker answers with
+// one workResponse per line, and stdin EOF tells the worker to exit —
+// so a worker is just `difftest -worker` re-exec'd, with no shared
+// memory and nothing to clean up after a SIGKILL.
+
+// workRequest is one coordinator → worker line.
+type workRequest struct {
+	Shard Shard `json:"shard"`
+}
+
+// workResponse is one worker → coordinator line. Err reports a worker-
+// side infrastructure failure (oracle errors are findings, not Errs).
+type workResponse struct {
+	Result *ShardResult `json:"result,omitempty"`
+	Err    string       `json:"err,omitempty"`
+}
+
+// ServeWorker runs the worker side of the protocol until in closes:
+// read a shard, sweep it, write the result. Each worker owns one
+// session whose flight recorder tags every shard as a "shard" job.
+func ServeWorker(in io.Reader, out io.Writer, opts ShardOptions) error {
+	s := driver.New(driver.Options{})
+	enc := json.NewEncoder(out)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		var req workRequest
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			return fmt.Errorf("difftest worker: bad request: %w", err)
+		}
+		res, err := runShardJob(s, req.Shard, opts)
+		resp := workResponse{Result: res}
+		if err != nil {
+			resp = workResponse{Err: err.Error()}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return fmt.Errorf("difftest worker: %w", err)
+		}
+	}
+	return sc.Err()
+}
+
+// runShardJob is RunShard wrapped in a flight-recorder shard job, so
+// /debug/jobs on a worker (or an embedding daemon) shows each shard
+// with its divergence classes alongside the round trips it contains.
+func runShardJob(s *driver.Session, sh Shard, opts ShardOptions) (*ShardResult, error) {
+	job := s.StartShardJob(fmt.Sprintf("shard%d[%d+%d)", sh.Index, sh.Seed, sh.Count))
+	res, err := RunShard(s, sh, opts)
+	if res != nil {
+		var classes []string
+		for _, f := range res.Findings {
+			classes = append(classes, f.Classes...)
+		}
+		job.Divergences(classes)
+	}
+	job.Finish(err)
+	return res, err
+}
+
+// Worker is the coordinator's handle on one shard executor. Run must
+// be safe to call repeatedly from a single goroutine.
+type Worker interface {
+	Run(Shard) (*ShardResult, error)
+	Close() error
+}
+
+// inlineWorker runs shards in-process on its own session — the
+// single-process mode, and the test double for the fleet.
+type inlineWorker struct {
+	s    *driver.Session
+	opts ShardOptions
+}
+
+// NewInlineWorker returns a Worker running shards in-process on s.
+func NewInlineWorker(s *driver.Session, opts ShardOptions) Worker {
+	return &inlineWorker{s: s, opts: opts}
+}
+
+func (w *inlineWorker) Run(sh Shard) (*ShardResult, error) { return runShardJob(w.s, sh, w.opts) }
+func (w *inlineWorker) Close() error                       { return nil }
+
+// pipeWorker speaks the JSON-lines protocol over a request writer and
+// a response reader — the coordinator side of a worker process (or of
+// an in-process pipe pair in tests).
+type pipeWorker struct {
+	enc   *json.Encoder
+	sc    *bufio.Scanner
+	close func() error
+}
+
+// NewPipeWorker wraps protocol endpoints as a Worker. closeFn (may be
+// nil) releases the underlying transport — kills the process, closes
+// the pipes.
+func NewPipeWorker(requests io.Writer, responses io.Reader, closeFn func() error) Worker {
+	sc := bufio.NewScanner(responses)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	return &pipeWorker{enc: json.NewEncoder(requests), sc: sc, close: closeFn}
+}
+
+func (w *pipeWorker) Run(sh Shard) (*ShardResult, error) {
+	if err := w.enc.Encode(&workRequest{Shard: sh}); err != nil {
+		return nil, fmt.Errorf("difftest fleet: sending shard %d: %w", sh.Index, err)
+	}
+	if !w.sc.Scan() {
+		if err := w.sc.Err(); err != nil {
+			return nil, fmt.Errorf("difftest fleet: shard %d: %w", sh.Index, err)
+		}
+		return nil, fmt.Errorf("difftest fleet: worker exited before answering shard %d", sh.Index)
+	}
+	var resp workResponse
+	if err := json.Unmarshal(w.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("difftest fleet: shard %d: bad response: %w", sh.Index, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("difftest fleet: shard %d: worker: %s", sh.Index, resp.Err)
+	}
+	if resp.Result == nil {
+		return nil, fmt.Errorf("difftest fleet: shard %d: empty response", sh.Index)
+	}
+	return resp.Result, nil
+}
+
+func (w *pipeWorker) Close() error {
+	if w.close == nil {
+		return nil
+	}
+	return w.close()
+}
+
+// FleetConfig configures one coordinated sweep.
+type FleetConfig struct {
+	Params  JournalParams
+	Workers int // concurrent workers (<=0 means 1)
+	// Journal, when non-nil, receives claim/done records and supplies
+	// already-completed shards (resume).
+	Journal *Journal
+	// CorpusDir, when not empty, receives one repro dir per unique
+	// finding.
+	CorpusDir string
+	// Metrics (optional) observes seeds, shards, and findings live.
+	Metrics *SweepMetrics
+	// Progress (optional) receives a status line every ProgressEvery.
+	Progress      io.Writer
+	ProgressEvery time.Duration
+	// Report (optional) receives per-finding reports as shards finish.
+	Report io.Writer
+}
+
+// RunFleet sweeps cfg.Params across workers spawned by spawn,
+// journaling progress, deduplicating findings, writing corpus repros,
+// and returning the summary. Shards already completed in the journal
+// are folded in without being re-run. err is infrastructure failure;
+// findings are reported in the summary, not as errors.
+func RunFleet(cfg FleetConfig, spawn func() (Worker, error)) (*Summary, error) {
+	shards, err := Partition(cfg.Params.Seed, cfg.Params.N, cfg.Params.ShardSize)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	results := make([]*ShardResult, len(shards))
+	var todo []Shard
+	for _, sh := range shards {
+		if r := cfg.Journal.Completed()[sh.Index]; r != nil && r.Shard == sh {
+			results[sh.Index] = r
+			cfg.Metrics.NoteShard(r, true)
+			continue
+		}
+		todo = append(todo, sh)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+
+	var (
+		mu        sync.Mutex
+		doneSeeds int
+		divs      int
+		skipped   int
+		firstErr  error
+		lastLine  time.Time
+	)
+	for _, r := range results {
+		if r != nil {
+			doneSeeds += r.Seeds
+		}
+	}
+	every := cfg.ProgressEvery
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	prog := Progress{Total: cfg.Params.N, Start: time.Now()}
+	queue := make(chan Shard)
+	stop := make(chan struct{})
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			close(stop)
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, err := spawn()
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer w.Close()
+			for sh := range queue {
+				if err := cfg.Journal.Claim(sh.Index); err != nil {
+					fail(err)
+					return
+				}
+				res, err := w.Run(sh)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := cfg.Journal.Done(res); err != nil {
+					fail(err)
+					return
+				}
+				cfg.Metrics.NoteShard(res, false)
+				mu.Lock()
+				results[sh.Index] = res
+				doneSeeds += res.Seeds
+				skipped += res.Skipped
+				for _, f := range res.Findings {
+					divs += len(f.Divergences)
+					if cfg.Report != nil {
+						fmt.Fprintf(cfg.Report, "seed %d: %d divergence(s) [%s]\n", f.Seed, len(f.Divergences), f.Fingerprint)
+						for _, d := range f.Divergences {
+							fmt.Fprintf(cfg.Report, "  %s\n", d)
+						}
+						fmt.Fprintf(cfg.Report, "  reduced %d -> %d instructions\n", f.InputInstrs, f.ReducedInstrs)
+					}
+				}
+				if cfg.Progress != nil && time.Since(lastLine) >= every && doneSeeds < cfg.Params.N {
+					lastLine = time.Now()
+					fmt.Fprintln(cfg.Progress, prog.Line(lastLine, doneSeeds, divs, skipped))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, sh := range todo {
+		select {
+		case queue <- sh:
+		case <-stop:
+			break feed
+		}
+	}
+	close(queue)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	sum, err := BuildSummary(cfg.Params, results, cfg.CorpusDir)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeCorpus(cfg.CorpusDir, results, cfg.Params.Threads, cfg.Metrics); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// writeCorpus materializes every unique finding (first occurrence in
+// shard order) as a repro dir, counting unique/duplicate findings into
+// the metrics as it goes. An empty dir counts but writes nothing.
+func writeCorpus(dir string, results []*ShardResult, threads int, sm *SweepMetrics) error {
+	seen := map[string]bool{}
+	for _, r := range results {
+		for i := range r.Findings {
+			f := &r.Findings[i]
+			if seen[f.Fingerprint] {
+				sm.NoteFinding(false)
+				continue
+			}
+			seen[f.Fingerprint] = true
+			sm.NoteFinding(true)
+			if dir == "" {
+				continue
+			}
+			if _, err := WriteRepro(dir, f, threads); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/driver"
+)
+
+// tinyModule is a valid module that does NOT diverge, so the reducer's
+// self-consistency predicate rejects it and newFinding falls back to
+// fingerprinting the full "optimized" IR — exactly the
+// decompile/recompile-only finding path.
+const tinyModule = "define i64 @main() {\nentry:\n  ret i64 0\n}\n"
+
+// fakeOracle replaces the checkSeed seam: seeds listed in failures
+// yield a synthetic finding with that divergence class, everything else
+// passes. It records every seed it is asked about, so tests can assert
+// which seeds actually ran (and, on resume, which did not re-run).
+type fakeOracle struct {
+	mu       sync.Mutex
+	seen     map[uint64]int
+	failures map[uint64]string // seed -> divergence class
+}
+
+func newFakeOracle(failures map[uint64]string) *fakeOracle {
+	return &fakeOracle{seen: map[uint64]int{}, failures: failures}
+}
+
+func (o *fakeOracle) check(_ *driver.Session, seed uint64, _ driver.RoundTripOptions) (*Report, error) {
+	o.mu.Lock()
+	o.seen[seed]++
+	o.mu.Unlock()
+	rep := &Report{Result: &driver.RoundTripResult{
+		Source:            fmt.Sprintf("/* seed %d */\n", seed),
+		OptIR:             tinyModule,
+		ParallelizedLoops: 1,
+	}}
+	if class, ok := o.failures[seed]; ok {
+		d := driver.Divergence{Class: class, Detail: "synthetic"}
+		rep.Divergences = []driver.Divergence{d}
+		rep.Result.Divergences = []driver.Divergence{d}
+	}
+	return rep, nil
+}
+
+func (o *fakeOracle) ranTwice() []uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var dup []uint64
+	for s, n := range o.seen {
+		if n > 1 {
+			dup = append(dup, s)
+		}
+	}
+	return dup
+}
+
+func (o *fakeOracle) ran(seed uint64) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.seen[seed] > 0
+}
+
+// withOracle swaps the package-level checkSeed seam for the test.
+func withOracle(t *testing.T, o *fakeOracle) {
+	t.Helper()
+	checkSeed = o.check
+	t.Cleanup(func() { checkSeed = CheckSeed })
+}
+
+func inlineSpawn() (Worker, error) {
+	return NewInlineWorker(driver.New(driver.Options{}), ShardOptions{Threads: 2}), nil
+}
+
+// TestRunFleetDedup: three seeds fail with the same root cause (same
+// reduced IR, same class) plus one with a different class. The fleet
+// must report 4 finding seeds but only 2 unique findings, and the
+// corpus gets exactly one repro dir per unique fingerprint.
+func TestRunFleetDedup(t *testing.T) {
+	o := newFakeOracle(map[uint64]string{7: "opt", 13: "opt", 23: "opt", 28: "parallel"})
+	withOracle(t, o)
+	corpus := t.TempDir()
+	params := JournalParams{Seed: 0, N: 30, ShardSize: 10, Threads: 2}
+	sum, err := RunFleet(FleetConfig{Params: params, Workers: 3, CorpusDir: corpus}, inlineSpawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Seeds != 30 || sum.Shards != 3 {
+		t.Errorf("seeds=%d shards=%d, want 30/3", sum.Seeds, sum.Shards)
+	}
+	if sum.FindingSeeds != 4 || sum.UniqueFindings != 2 {
+		t.Errorf("finding seeds=%d unique=%d, want 4/2", sum.FindingSeeds, sum.UniqueFindings)
+	}
+	if dup := o.ranTwice(); len(dup) != 0 {
+		t.Errorf("seeds ran more than once: %v", dup)
+	}
+
+	repros, err := LoadCorpus(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repros) != 2 {
+		t.Fatalf("corpus has %d repro dirs, want 2 (one per unique finding)", len(repros))
+	}
+	byFP := map[string]*Repro{}
+	for _, r := range repros {
+		byFP[r.Meta.Fingerprint] = r
+	}
+	for _, f := range sum.Findings {
+		r, ok := byFP[f.Fingerprint]
+		if !ok {
+			t.Errorf("summary finding %s has no corpus dir", f.Fingerprint)
+			continue
+		}
+		if f.Repro != r.Name {
+			t.Errorf("summary points at repro %q, corpus dir is %q", f.Repro, r.Name)
+		}
+		if r.IR == "" || r.Source == "" {
+			t.Errorf("repro %s is not self-contained: ir=%d bytes source=%d bytes",
+				r.Name, len(r.IR), len(r.Source))
+		}
+	}
+	// The two "opt" seeds share one fingerprint; its finding must record
+	// the lowest seed as first-seen.
+	for _, f := range sum.Findings {
+		if f.Classes[0] == "opt" && f.FirstSeed != 7 {
+			t.Errorf("opt finding first seed = %d, want 7", f.FirstSeed)
+		}
+	}
+}
+
+// TestRunFleetResume: a journal holding some finished shards resumes
+// without re-running any of their seeds, and the final summary is
+// byte-identical to the uninterrupted run's.
+func TestRunFleetResume(t *testing.T) {
+	failures := map[uint64]string{3: "opt", 17: "parallel", 41: "opt"}
+	params := JournalParams{Seed: 0, N: 50, ShardSize: 10, Threads: 2}
+
+	// Uninterrupted run: the golden summary bytes.
+	o1 := newFakeOracle(failures)
+	withOracle(t, o1)
+	full, err := RunFleet(FleetConfig{Params: params, Workers: 2}, inlineSpawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: shards 0 and 1 finish and hit the journal, then
+	// the coordinator "dies" (we just stop).
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path, params, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := driver.New(driver.Options{})
+	for idx := 0; idx < 2; idx++ {
+		sh := Shard{Index: idx, Seed: uint64(idx * 10), Count: 10}
+		j.Claim(sh.Index)
+		res, err := RunShard(s, sh, ShardOptions{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Done(res)
+	}
+	j.Claim(2) // claimed but never finished: must be re-dispatched
+	j.Close()
+
+	// Resume with a fresh oracle so we can see exactly what re-runs.
+	o2 := newFakeOracle(failures)
+	checkSeed = o2.check
+	rj, err := OpenJournal(path, params, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rj.Close()
+	resumed, err := RunFleet(FleetConfig{Params: params, Workers: 2, Journal: rj}, inlineSpawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		if o2.ran(seed) {
+			t.Errorf("seed %d belongs to a journaled shard but ran again", seed)
+		}
+	}
+	if !o2.ran(20) || !o2.ran(49) {
+		t.Error("unfinished shards did not run on resume")
+	}
+	got, err := resumed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed summary differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
+
+// TestRunFleetPipeWorker drives the coordinator and a worker over
+// in-process pipes — the exact JSON-lines protocol `difftest -worker`
+// speaks — and checks the result matches an inline run.
+func TestRunFleetPipeWorker(t *testing.T) {
+	o := newFakeOracle(map[uint64]string{5: "bytecode"})
+	withOracle(t, o)
+	params := JournalParams{Seed: 0, N: 20, ShardSize: 10, Threads: 2}
+
+	spawn := func() (Worker, error) {
+		reqR, reqW := io.Pipe()
+		respR, respW := io.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- ServeWorker(reqR, respW, ShardOptions{Threads: 2}) }()
+		return NewPipeWorker(reqW, respR, func() error {
+			reqW.Close() // stdin EOF: worker exits
+			err := <-done
+			respW.Close()
+			return err
+		}), nil
+	}
+	sum, err := RunFleet(FleetConfig{Params: params, Workers: 2}, spawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Seeds != 20 || sum.FindingSeeds != 1 || sum.UniqueFindings != 1 {
+		t.Errorf("pipe fleet summary: seeds=%d findings=%d unique=%d, want 20/1/1",
+			sum.Seeds, sum.FindingSeeds, sum.UniqueFindings)
+	}
+	if len(sum.Findings) == 1 && sum.Findings[0].FirstSeed != 5 {
+		t.Errorf("finding seed = %d, want 5", sum.Findings[0].FirstSeed)
+	}
+}
+
+// TestRunFleetWorkerError: an infrastructure failure in any worker
+// aborts the fleet with that error instead of a partial summary.
+func TestRunFleetWorkerError(t *testing.T) {
+	withOracle(t, newFakeOracle(nil))
+	params := JournalParams{Seed: 0, N: 20, ShardSize: 5, Threads: 2}
+	spawn := func() (Worker, error) { return failingWorker{}, nil }
+	if _, err := RunFleet(FleetConfig{Params: params, Workers: 2}, spawn); err == nil {
+		t.Fatal("fleet swallowed a worker infrastructure failure")
+	}
+}
+
+type failingWorker struct{}
+
+func (failingWorker) Run(sh Shard) (*ShardResult, error) {
+	return nil, fmt.Errorf("synthetic infrastructure failure on shard %d", sh.Index)
+}
+func (failingWorker) Close() error { return nil }

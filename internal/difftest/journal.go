@@ -1,0 +1,197 @@
+package difftest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// The fleet's progress journal is an append-only JSON-lines file,
+// Odin-style: the coordinator writes a claim record when it dispatches
+// a shard and a done record (carrying the full ShardResult) when the
+// shard's worker reports back, fsyncing each line. A killed run is
+// resumed by replaying the journal: shards with done records are never
+// re-run — their results are folded straight into the summary — and
+// shards that were claimed but never finished are simply dispatched
+// again. Because results are only ever reported from done records, a
+// finished seed can never be re-reported, and an interrupted-and-
+// resumed sweep produces a summary bitwise identical to an
+// uninterrupted one.
+
+// JournalSchema identifies the journal file layout.
+const JournalSchema = "splendid-difftest-journal/v1"
+
+// JournalParams pins the sweep a journal belongs to. A resume whose
+// parameters differ from the journal's header is rejected: reusing a
+// journal across different sweeps would silently skip seeds.
+type JournalParams struct {
+	Seed      uint64 `json:"seed"`
+	N         int    `json:"n"`
+	ShardSize int    `json:"shard_size"`
+	Threads   int    `json:"threads"`
+}
+
+// journalRecord is one journal line. Type is "header" (first line,
+// schema + params), "claim" (shard dispatched), or "done" (shard
+// finished, result attached).
+type journalRecord struct {
+	Type   string         `json:"type"`
+	Schema string         `json:"schema,omitempty"`
+	Params *JournalParams `json:"params,omitempty"`
+	Shard  int            `json:"shard"`
+	Result *ShardResult   `json:"result,omitempty"`
+}
+
+// Journal is the open progress journal. All methods are nil-safe: a
+// nil journal (persistence disabled) claims and records nothing.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[int]*ShardResult
+}
+
+// OpenJournal creates (or, with resume, reopens) the journal at path.
+// A fresh journal is truncated and stamped with a fsync'd header. A
+// resumed journal is replayed first: the header must carry the same
+// schema and params, and every well-formed done record marks its shard
+// finished. A torn final line — the crash happened mid-write — is
+// tolerated and ignored; anything else malformed is an error.
+func OpenJournal(path string, params JournalParams, resume bool) (*Journal, error) {
+	j := &Journal{done: map[int]*ShardResult{}}
+	if resume {
+		if err := j.replay(path, params); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("difftest journal: %w", err)
+	}
+	j.f = f
+	if !resume {
+		if err := j.append(journalRecord{Type: "header", Schema: JournalSchema, Params: &params}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// replay loads an existing journal's records into j.done.
+func (j *Journal) replay(path string, params JournalParams) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("difftest journal: resume: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	sawHeader := false
+	var torn error
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		if torn != nil {
+			return torn // a malformed line mid-file is corruption, not a torn tail
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			torn = fmt.Errorf("difftest journal: line %d: %w", lineNo, err)
+			continue
+		}
+		switch rec.Type {
+		case "header":
+			if rec.Schema != JournalSchema {
+				return fmt.Errorf("difftest journal: schema %q, want %q", rec.Schema, JournalSchema)
+			}
+			if rec.Params == nil || *rec.Params != params {
+				return fmt.Errorf("difftest journal: belongs to a different sweep (journal %+v, resume %+v)", rec.Params, &params)
+			}
+			sawHeader = true
+		case "claim":
+			// A claim without a matching done is a shard the crash
+			// interrupted; it will simply be dispatched again.
+		case "done":
+			if rec.Result == nil {
+				torn = fmt.Errorf("difftest journal: line %d: done record without result", lineNo)
+				continue
+			}
+			j.done[rec.Result.Shard.Index] = rec.Result
+		default:
+			torn = fmt.Errorf("difftest journal: line %d: unknown record type %q", lineNo, rec.Type)
+			continue
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("difftest journal: resume: %w", err)
+	}
+	if !sawHeader {
+		return fmt.Errorf("difftest journal: %s has no header record", path)
+	}
+	return nil
+}
+
+// append marshals rec as one line, writes, and fsyncs. Durability per
+// record is the whole point: a done record that survived is a shard
+// that never re-runs.
+func (j *Journal) append(rec journalRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("difftest journal: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("difftest journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("difftest journal: %w", err)
+	}
+	return nil
+}
+
+// Completed returns the shards the journal has durable results for.
+// The map is the journal's own; callers must not mutate it.
+func (j *Journal) Completed() map[int]*ShardResult {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
+}
+
+// Claim durably records that a shard is being dispatched.
+func (j *Journal) Claim(shard int) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.append(journalRecord{Type: "claim", Shard: shard})
+}
+
+// Done durably records a finished shard with its full result.
+func (j *Journal) Done(res *ShardResult) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.append(journalRecord{Type: "done", Shard: res.Shard.Index, Result: res}); err != nil {
+		return err
+	}
+	j.done[res.Shard.Index] = res
+	return nil
+}
+
+// Close closes the journal file. Nil-safe.
+func (j *Journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,210 @@
+package difftest
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testShardResult(index int, seed uint64, count int) *ShardResult {
+	return &ShardResult{
+		Shard:        Shard{Index: index, Seed: seed, Count: count},
+		Seeds:        count,
+		Parallelized: count - 1,
+		Trapping:     1,
+	}
+}
+
+// TestJournalSchemaGolden pins the splendid-difftest-journal/v1 layout:
+// a fsync'd JSON-lines file whose first line is a header carrying the
+// schema tag and the sweep parameters, followed by claim records (shard
+// index only) and done records (full ShardResult attached). The same
+// style of check as the flight-record schema golden.
+func TestJournalSchemaGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	params := JournalParams{Seed: 5, N: 100, ShardSize: 25, Threads: 4}
+	j, err := OpenJournal(path, params, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Claim(0); err != nil {
+		t.Fatal(err)
+	}
+	res := testShardResult(0, 5, 25)
+	res.Findings = []Finding{{
+		Seed: 7, Classes: []string{"opt"}, ReducedIR: "define void @main() {\nentry:\n  ret void\n}\n",
+		Fingerprint: "00000000deadbeef",
+	}}
+	if err := j.Done(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want 3 (header, claim, done):\n%s", len(lines), raw)
+	}
+
+	var header journalRecord
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("header line is not JSON: %v", err)
+	}
+	if header.Type != "header" || header.Schema != JournalSchema {
+		t.Errorf("header = type %q schema %q, want header/%s", header.Type, header.Schema, JournalSchema)
+	}
+	if header.Params == nil || *header.Params != params {
+		t.Errorf("header params = %+v, want %+v", header.Params, params)
+	}
+
+	var claim journalRecord
+	if err := json.Unmarshal([]byte(lines[1]), &claim); err != nil {
+		t.Fatal(err)
+	}
+	if claim.Type != "claim" || claim.Shard != 0 || claim.Result != nil {
+		t.Errorf("claim = %+v, want bare claim of shard 0", claim)
+	}
+
+	var done journalRecord
+	if err := json.Unmarshal([]byte(lines[2]), &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Type != "done" || done.Result == nil {
+		t.Fatalf("done = %+v, want done with result", done)
+	}
+	if done.Result.Shard != res.Shard || done.Result.Seeds != 25 {
+		t.Errorf("done result = %+v, want %+v", done.Result, res)
+	}
+	if len(done.Result.Findings) != 1 || done.Result.Findings[0].Fingerprint != "00000000deadbeef" {
+		t.Errorf("done findings = %+v; the journal must carry findings verbatim", done.Result.Findings)
+	}
+}
+
+// TestJournalResume: done shards are reloaded, claim-without-done
+// shards are not, and the reopened journal keeps appending.
+func TestJournalResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	params := JournalParams{Seed: 0, N: 75, ShardSize: 25, Threads: 8}
+	j, err := OpenJournal(path, params, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Claim(0)
+	j.Done(testShardResult(0, 0, 25))
+	j.Claim(1) // interrupted: claimed, never finished
+	j.Close()
+
+	r, err := OpenJournal(path, params, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := r.Completed()
+	if len(done) != 1 || done[0] == nil {
+		t.Fatalf("resumed journal completed = %v, want exactly shard 0", done)
+	}
+	if done[1] != nil {
+		t.Error("claimed-but-unfinished shard 1 must not count as completed")
+	}
+	if err := r.Done(testShardResult(1, 25, 25)); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// A second resume sees both shards.
+	r2, err := OpenJournal(path, params, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := len(r2.Completed()); got != 2 {
+		t.Errorf("after appending, resumed journal has %d done shards, want 2", got)
+	}
+}
+
+// TestJournalResumeRejectsMismatch: a journal from a different sweep
+// (any differing parameter) must be refused, not silently reused.
+func TestJournalResumeRejectsMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	params := JournalParams{Seed: 0, N: 100, ShardSize: 25, Threads: 8}
+	j, err := OpenJournal(path, params, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	for _, bad := range []JournalParams{
+		{Seed: 1, N: 100, ShardSize: 25, Threads: 8},
+		{Seed: 0, N: 200, ShardSize: 25, Threads: 8},
+		{Seed: 0, N: 100, ShardSize: 50, Threads: 8},
+		{Seed: 0, N: 100, ShardSize: 25, Threads: 4},
+	} {
+		if _, err := OpenJournal(path, bad, true); err == nil {
+			t.Errorf("resume with params %+v accepted a journal for %+v", bad, params)
+		}
+	}
+}
+
+// TestJournalTornTail: a crash mid-write leaves a torn final line; the
+// journal must resume past it. The same damage mid-file is corruption
+// and must refuse to resume.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	params := JournalParams{Seed: 0, N: 50, ShardSize: 25, Threads: 8}
+	j, err := OpenJournal(path, params, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Done(testShardResult(0, 0, 25))
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"type":"done","shard":1,"resu`) // torn mid-record
+	f.Close()
+
+	r, err := OpenJournal(path, params, true)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	if got := len(r.Completed()); got != 1 {
+		t.Errorf("torn tail resume: %d done shards, want 1 (torn record dropped)", got)
+	}
+	r.Close()
+
+	// Now the torn line is mid-file (valid records follow): corruption.
+	f, err = os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("\n" + `{"type":"claim","shard":2}` + "\n")
+	f.Close()
+	if _, err := OpenJournal(path, params, true); err == nil {
+		t.Error("malformed record mid-file must refuse to resume")
+	}
+}
+
+// TestJournalNilSafe: a nil journal (persistence disabled) must accept
+// every call and report nothing completed.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if err := j.Claim(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done(testShardResult(3, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if j.Completed() != nil {
+		t.Error("nil journal reported completed shards")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

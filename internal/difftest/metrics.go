@@ -19,7 +19,18 @@ type SweepMetrics struct {
 	seeds       *metrics.Counter
 	skipped     *metrics.Counter
 	divergences map[string]*metrics.Counter
+
+	// Fleet counters: shards by how they completed ("done" live in this
+	// run, "resumed" folded in from the journal), and findings by dedup
+	// verdict ("unique" first-of-fingerprint, "duplicate" collapsed).
+	shards   map[string]*metrics.Counter
+	findings map[string]*metrics.Counter
 }
+
+// shardStates and dedupStates are the fixed label sets pre-registered
+// for the fleet counters.
+var shardStates = []string{"done", "resumed"}
+var dedupStates = []string{"unique", "duplicate"}
 
 // NewSweepMetrics acquires the sweep counters (splendid_difftest_*)
 // from r. Nil-safe: a nil registry yields nil metrics.
@@ -37,6 +48,18 @@ func NewSweepMetrics(r *metrics.Registry) *SweepMetrics {
 	for _, class := range DivergenceClasses {
 		sm.divergences[class] = r.Counter("splendid_difftest_divergences_total",
 			"oracle findings by divergence class", metrics.L("class", class))
+	}
+	sm.shards = map[string]*metrics.Counter{}
+	for _, st := range shardStates {
+		sm.shards[st] = r.Counter("splendid_difftest_shards_total",
+			"fleet shards completed, by whether they ran live or were resumed from the journal",
+			metrics.L("state", st))
+	}
+	sm.findings = map[string]*metrics.Counter{}
+	for _, st := range dedupStates {
+		sm.findings[st] = r.Counter("splendid_difftest_findings_total",
+			"fleet findings after reduced-reproducer fingerprint dedup",
+			metrics.L("dedup", st))
 	}
 	return sm
 }
@@ -56,4 +79,37 @@ func (sm *SweepMetrics) Note(rep *Report) {
 		// upstream; dropping it beats panicking mid-sweep.
 		sm.divergences[d.Class].Inc()
 	}
+}
+
+// NoteShard folds one completed shard's result into the counters.
+// resumed marks results replayed from the journal rather than run.
+// Nil-safe in both arguments.
+func (sm *SweepMetrics) NoteShard(res *ShardResult, resumed bool) {
+	if sm == nil || res == nil {
+		return
+	}
+	state := "done"
+	if resumed {
+		state = "resumed"
+	}
+	sm.shards[state].Inc()
+	sm.seeds.Add(int64(res.Seeds))
+	sm.skipped.Add(int64(res.Skipped))
+	for _, f := range res.Findings {
+		for _, d := range f.Divergences {
+			sm.divergences[d.Class].Inc()
+		}
+	}
+}
+
+// NoteFinding counts one finding's dedup verdict. Nil-safe.
+func (sm *SweepMetrics) NoteFinding(unique bool) {
+	if sm == nil {
+		return
+	}
+	state := "duplicate"
+	if unique {
+		state = "unique"
+	}
+	sm.findings[state].Inc()
 }

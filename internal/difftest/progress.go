@@ -1,0 +1,35 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Progress formats sweep status lines. It exists as a type (rather
+// than a fmt call at the report site) so the rate and ETA arithmetic
+// is testable: the naive done/elapsed division blows up into "+Inf
+// seeds/s" during the first reporting interval when the clock has not
+// advanced yet, and an ETA from a zero rate divides by zero.
+type Progress struct {
+	Total int
+	Start time.Time
+}
+
+// Line renders one status line for done completed seeds at time now.
+// Rates are reported only once they are finite and positive; before
+// that the rate prints as "?" and the ETA follows suit.
+func (p Progress) Line(now time.Time, done, divergences, skipped int) string {
+	rate, eta := "?", "?"
+	elapsed := now.Sub(p.Start).Seconds()
+	if elapsed > 0 && done > 0 {
+		r := float64(done) / elapsed
+		if !math.IsInf(r, 0) && !math.IsNaN(r) && r > 0 {
+			rate = fmt.Sprintf("%.1f", r)
+			left := time.Duration(float64(p.Total-done) / r * float64(time.Second))
+			eta = left.Round(time.Second).String()
+		}
+	}
+	return fmt.Sprintf("difftest: %d/%d seeds (%s seeds/s), %d divergence(s), %d skipped, ETA %s",
+		done, p.Total, rate, divergences, skipped, eta)
+}

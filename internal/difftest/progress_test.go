@@ -1,0 +1,96 @@
+package difftest
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The satellite fix: the first progress tick used to divide by a zero
+// elapsed time and print "+Inf seeds/s" with a NaN ETA. Rates must
+// print as "?" until they are finite and positive.
+func TestProgressLineZeroElapsed(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := Progress{Total: 100, Start: start}
+	line := p.Line(start, 10, 0, 0)
+	if !strings.Contains(line, "(? seeds/s)") || !strings.Contains(line, "ETA ?") {
+		t.Errorf("zero-elapsed line must print ? for rate and ETA, got %q", line)
+	}
+	for _, bad := range []string{"Inf", "NaN", "inf", "nan"} {
+		if strings.Contains(line, bad) {
+			t.Errorf("line leaks %s: %q", bad, line)
+		}
+	}
+}
+
+func TestProgressLineNoSeedsYet(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := Progress{Total: 100, Start: start}
+	line := p.Line(start.Add(5*time.Second), 0, 0, 0)
+	if !strings.Contains(line, "(? seeds/s)") {
+		t.Errorf("zero-done line must print ? rate, got %q", line)
+	}
+}
+
+func TestProgressLineSteadyState(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := Progress{Total: 100, Start: start}
+	line := p.Line(start.Add(10*time.Second), 50, 3, 2)
+	want := "difftest: 50/100 seeds (5.0 seeds/s), 3 divergence(s), 2 skipped, ETA 10s"
+	if line != want {
+		t.Errorf("line = %q, want %q", line, want)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	shards, err := Partition(100, 125, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Shard{
+		{Index: 0, Seed: 100, Count: 50},
+		{Index: 1, Seed: 150, Count: 50},
+		{Index: 2, Seed: 200, Count: 25}, // short tail shard
+	}
+	if len(shards) != len(want) {
+		t.Fatalf("got %d shards, want %d: %+v", len(shards), len(want), shards)
+	}
+	for i := range want {
+		if shards[i] != want[i] {
+			t.Errorf("shard %d = %+v, want %+v", i, shards[i], want[i])
+		}
+	}
+
+	// <=0 means DefaultShardSize.
+	def, err := Partition(0, DefaultShardSize*2+1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != 3 || def[0].Count != DefaultShardSize {
+		t.Errorf("default shard size not applied: %+v", def)
+	}
+}
+
+// The satellite fix: -seed near the top of the uint64 range with a
+// large -n used to wrap around and silently re-test low seeds.
+func TestPartitionOverflow(t *testing.T) {
+	if _, err := Partition(math.MaxUint64, 2, 50); err == nil {
+		t.Error("seed range wrapping past MaxUint64 accepted")
+	}
+	if _, err := Partition(math.MaxUint64-9, 11, 50); err == nil {
+		t.Error("off-by-one overflow accepted")
+	}
+	// The exact fit is legal: [MaxUint64-9, MaxUint64] is 10 seeds.
+	shards, err := Partition(math.MaxUint64-9, 10, 4)
+	if err != nil {
+		t.Fatalf("exact-fit range rejected: %v", err)
+	}
+	last := shards[len(shards)-1]
+	if last.Seed+uint64(last.Count)-1 != math.MaxUint64 {
+		t.Errorf("last shard %+v does not end at MaxUint64", last)
+	}
+	if _, err := Partition(0, 0, 50); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

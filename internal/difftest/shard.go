@@ -1,0 +1,186 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/driver"
+	"repro/internal/ir"
+)
+
+// A corpus-scale sweep is partitioned into shards: contiguous seed
+// ranges small enough to be the unit of dispatch, journaling, and
+// resume. A shard either completes and its result is durably recorded,
+// or it is re-run from its first seed — seeds inside a shard are never
+// individually checkpointed, so the shard size bounds the work a crash
+// can lose.
+
+// Shard is one contiguous seed range of a sweep. Index is the shard's
+// position in the sweep's canonical partition (0-based); results are
+// folded in index order so summaries are independent of completion
+// order.
+type Shard struct {
+	Index int    `json:"index"`
+	Seed  uint64 `json:"seed"`
+	Count int    `json:"count"`
+}
+
+// DefaultShardSize is the seeds-per-shard default: small enough that a
+// killed run loses little progress, large enough that per-shard
+// dispatch and journal fsyncs are noise.
+const DefaultShardSize = 50
+
+// Partition splits the sweep [seed, seed+n) into shards of at most
+// shardSize seeds (<=0 means DefaultShardSize). It rejects parameters
+// whose final seed would overflow the uint64 seed range, so a sweep
+// can never silently wrap around and re-test seed 0.
+func Partition(seed uint64, n int, shardSize int) ([]Shard, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("difftest: seed count %d, want >= 1", n)
+	}
+	if seed > math.MaxUint64-uint64(n)+1 {
+		return nil, fmt.Errorf("difftest: seed range [%d, %d+%d) overflows the uint64 seed space", seed, seed, n)
+	}
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	var shards []Shard
+	for off := 0; off < n; off += shardSize {
+		c := shardSize
+		if n-off < c {
+			c = n - off
+		}
+		shards = append(shards, Shard{Index: len(shards), Seed: seed + uint64(off), Count: c})
+	}
+	return shards, nil
+}
+
+// Finding is one deduplicable oracle finding: a seed whose round trip
+// diverged, carried with everything needed to reproduce it standalone —
+// the generated source, the reduced reproducer, and the fingerprint
+// that identifies the underlying bug across seeds.
+type Finding struct {
+	Seed    uint64   `json:"seed"`
+	Classes []string `json:"classes"` // sorted unique divergence classes
+	// Divergences are the oracle's findings verbatim (class + detail).
+	Divergences []driver.Divergence `json:"divergences"`
+	Source      string              `json:"source"`
+	Entries     []string            `json:"entries"`
+	// ReducedIR is the minimal reproducer: the optimized module shrunk by
+	// the reducer until the divergence barely survives. When the failure
+	// is only observable through decompile/recompile (the reducer's
+	// self-consistency predicate cannot see it), the full optimized
+	// module stands in as the reproducer.
+	ReducedIR     string `json:"reduced_ir"`
+	ReducedInstrs int    `json:"reduced_instrs"`
+	InputInstrs   int    `json:"input_instrs"`
+	// Fingerprint identifies the finding for dedup: FNV-64a over the
+	// normalized reduced IR plus the class set (see Fingerprint).
+	Fingerprint string `json:"fingerprint"`
+}
+
+// ShardResult is one shard's aggregate outcome. It is the worker →
+// coordinator protocol payload and the journal's shard-done record, so
+// a resumed run rebuilds summaries from results alone, without ever
+// re-running a finished seed.
+type ShardResult struct {
+	Shard        Shard     `json:"shard"`
+	Seeds        int       `json:"seeds"`
+	Skipped      int       `json:"skipped"`
+	Parallelized int       `json:"parallelized"`
+	Trapping     int       `json:"trapping"`
+	Findings     []Finding `json:"findings,omitempty"`
+}
+
+// ShardOptions configures RunShard.
+type ShardOptions struct {
+	// Threads is the team size for the parallel runs (<=0 means 8).
+	Threads int
+	// PerSeed, when set, observes every seed's report as it completes
+	// (the -v per-seed progress hook). Fleet workers leave it nil.
+	PerSeed func(seed uint64, rep *Report)
+}
+
+// checkSeed is the per-seed oracle entry, indirect so fleet tests can
+// inject synthetic findings without waiting for a real compiler bug.
+var checkSeed = CheckSeed
+
+// RunShard sweeps one shard's seed range through the oracle. Every
+// finding is reduced to a minimal reproducer and fingerprinted before
+// it is returned — reduction happens on the worker, next to the
+// failure, so the coordinator dedups and reports already-minimal
+// findings. err is reserved for infrastructure failures.
+func RunShard(s *driver.Session, sh Shard, opts ShardOptions) (*ShardResult, error) {
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = 8
+	}
+	res := &ShardResult{Shard: sh}
+	for i := 0; i < sh.Count; i++ {
+		seed := sh.Seed + uint64(i)
+		rep, err := checkSeed(s, seed, driver.RoundTripOptions{Threads: threads})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", sh.Index, err)
+		}
+		res.Seeds++
+		if opts.PerSeed != nil {
+			opts.PerSeed(seed, rep)
+		}
+		if rep.Skipped() {
+			res.Skipped++
+			continue
+		}
+		if rep.Result.ParallelizedLoops > 0 {
+			res.Parallelized++
+		}
+		if rep.Result.Ref != nil && rep.Result.Ref.Trapped {
+			res.Trapping++
+		}
+		if rep.Failed() {
+			res.Findings = append(res.Findings, newFinding(seed, rep, threads))
+		}
+	}
+	return res, nil
+}
+
+// newFinding reduces and fingerprints one failing seed's report.
+func newFinding(seed uint64, rep *Report, threads int) Finding {
+	f := Finding{
+		Seed:        seed,
+		Divergences: rep.Divergences,
+		Source:      rep.Result.Source,
+		ReducedIR:   rep.Result.OptIR,
+	}
+	classes := map[string]bool{}
+	for _, d := range rep.Divergences {
+		classes[d.Class] = true
+	}
+	for c := range classes {
+		f.Classes = append(f.Classes, c)
+	}
+	sort.Strings(f.Classes)
+	if rep.Program != nil {
+		f.Entries = rep.Program.Entries
+	}
+	if len(f.Entries) == 0 {
+		f.Entries = []string{"main"}
+	}
+	failing := func(m *ir.Module) bool { return ModuleDiverges(m, f.Entries, threads) }
+	if rr, err := Reduce(rep.Result.OptIR, failing, 0); err == nil {
+		f.ReducedIR = rr.IR
+		f.ReducedInstrs = rr.Instrs
+		f.InputInstrs = rr.InputInstrs
+	} else {
+		// Decompile/recompile-only divergences don't fail the module
+		// self-consistency predicate; the full optimized module is the
+		// reproducer and its instruction count stands for both figures.
+		m, perr := ir.Parse(rep.Result.OptIR)
+		if perr == nil {
+			f.ReducedInstrs = countInstrs(m)
+			f.InputInstrs = f.ReducedInstrs
+		}
+	}
+	f.Fingerprint = Fingerprint(f.ReducedIR, f.Classes)
+	return f
+}

@@ -1,0 +1,181 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The sweep summary is the fleet's durable verdict, written alongside
+// the BENCH_*.json artifacts. It is built exclusively from ShardResults
+// folded in shard-index order, and it deliberately carries no
+// timestamps or durations: a sweep that was killed and resumed must
+// produce a summary bitwise identical to an uninterrupted run of the
+// same parameters, so the artifact can be diffed across runs and CI
+// can assert resume correctness with cmp(1).
+
+// SummarySchema identifies the summary JSON layout.
+const SummarySchema = "splendid-difftest-summary/v1"
+
+// ClassSummary aggregates one divergence class across the sweep.
+type ClassSummary struct {
+	Class string `json:"class"`
+	// Findings counts deduplicated findings carrying this class.
+	Findings int `json:"findings"`
+	// Seeds counts the seeds (pre-dedup) that hit this class.
+	Seeds int `json:"seeds"`
+	// Rate is Seeds over the seeds actually compared (total - skipped).
+	Rate float64 `json:"rate"`
+	// FirstSeed is the lowest seed that hit this class.
+	FirstSeed uint64 `json:"first_seed"`
+	// Repro is the corpus-relative path of the class's first unique
+	// finding's repro dir ("" when no corpus dir was configured).
+	Repro string `json:"repro,omitempty"`
+}
+
+// SummaryFinding is one deduplicated finding as recorded in the
+// summary: the fingerprint, where its repro landed, and how many seeds
+// collapsed into it.
+type SummaryFinding struct {
+	Fingerprint string   `json:"fingerprint"`
+	Classes     []string `json:"classes"`
+	FirstSeed   uint64   `json:"first_seed"`
+	Seeds       int      `json:"seeds"` // seeds deduplicated into this finding
+	Instrs      int      `json:"instrs"`
+	Repro       string   `json:"repro,omitempty"`
+}
+
+// Summary is the versioned sweep artifact.
+type Summary struct {
+	Schema string        `json:"schema"`
+	Params JournalParams `json:"params"`
+	Shards int           `json:"shards"`
+
+	Seeds        int `json:"seeds"`
+	Skipped      int `json:"skipped"`
+	Parallelized int `json:"parallelized"`
+	Trapping     int `json:"trapping"`
+
+	// FindingSeeds counts seeds that diverged; UniqueFindings counts
+	// what survives reduced-reproducer dedup.
+	FindingSeeds   int `json:"finding_seeds"`
+	UniqueFindings int `json:"unique_findings"`
+
+	Classes  []ClassSummary   `json:"classes"`
+	Findings []SummaryFinding `json:"findings,omitempty"`
+}
+
+// BuildSummary folds per-shard results into the sweep artifact.
+// results must hold every shard, indexed by Shard.Index; order of
+// construction (live vs journal-resumed) cannot matter because folding
+// is by index. Findings are deduplicated by fingerprint; the first
+// (lowest-seed) occurrence represents the group. corpusDir, when not
+// empty, names where repro dirs land; summaries reference repro dirs
+// relative to it.
+func BuildSummary(params JournalParams, results []*ShardResult, corpusDir string) (*Summary, error) {
+	sum := &Summary{Schema: SummarySchema, Params: params, Shards: len(results), Classes: []ClassSummary{}}
+	type classAgg struct {
+		findings  int
+		seeds     int
+		firstSeed uint64
+		repro     string
+	}
+	classes := map[string]*classAgg{}
+	unique := map[string]*SummaryFinding{}
+	var order []string // fingerprints in first-seen order
+	for i, r := range results {
+		if r == nil {
+			return nil, fmt.Errorf("difftest summary: shard %d has no result", i)
+		}
+		if r.Shard.Index != i {
+			return nil, fmt.Errorf("difftest summary: result %d carries shard index %d", i, r.Shard.Index)
+		}
+		sum.Seeds += r.Seeds
+		sum.Skipped += r.Skipped
+		sum.Parallelized += r.Parallelized
+		sum.Trapping += r.Trapping
+		for _, f := range r.Findings {
+			sum.FindingSeeds++
+			seen := map[string]bool{}
+			for _, c := range f.Classes {
+				seen[c] = true
+			}
+			for c := range seen {
+				agg := classes[c]
+				if agg == nil {
+					agg = &classAgg{firstSeed: f.Seed}
+					classes[c] = agg
+				}
+				agg.seeds++
+				if f.Seed < agg.firstSeed {
+					agg.firstSeed = f.Seed
+				}
+			}
+			uf := unique[f.Fingerprint]
+			if uf == nil {
+				uf = &SummaryFinding{
+					Fingerprint: f.Fingerprint,
+					Classes:     f.Classes,
+					FirstSeed:   f.Seed,
+					Instrs:      f.ReducedInstrs,
+				}
+				if corpusDir != "" {
+					uf.Repro = f.Fingerprint
+				}
+				unique[f.Fingerprint] = uf
+				order = append(order, f.Fingerprint)
+				for _, c := range f.Classes {
+					if classes[c].findings++; classes[c].repro == "" {
+						classes[c].repro = uf.Repro
+					}
+				}
+			}
+			uf.Seeds++
+		}
+	}
+	sum.UniqueFindings = len(unique)
+	for _, fp := range order {
+		sum.Findings = append(sum.Findings, *unique[fp])
+	}
+	compared := sum.Seeds - sum.Skipped
+	names := make([]string, 0, len(classes))
+	for c := range classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	for _, c := range names {
+		agg := classes[c]
+		cs := ClassSummary{
+			Class: c, Findings: agg.findings, Seeds: agg.seeds,
+			FirstSeed: agg.firstSeed, Repro: agg.repro,
+		}
+		if compared > 0 {
+			cs.Rate = float64(agg.seeds) / float64(compared)
+		}
+		sum.Classes = append(sum.Classes, cs)
+	}
+	return sum, nil
+}
+
+// JSON renders the summary deterministically (indented, sorted by
+// construction, trailing newline).
+func (s *Summary) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the summary artifact to path.
+func (s *Summary) WriteFile(path string) error {
+	b, err := s.JSON()
+	if err != nil {
+		return fmt.Errorf("difftest summary: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("difftest summary: %w", err)
+	}
+	return nil
+}

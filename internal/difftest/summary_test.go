@@ -1,0 +1,152 @@
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func summaryFixture() (JournalParams, []*ShardResult) {
+	params := JournalParams{Seed: 10, N: 60, ShardSize: 20, Threads: 4}
+	r0 := &ShardResult{Shard: Shard{Index: 0, Seed: 10, Count: 20}, Seeds: 20, Parallelized: 18, Trapping: 2}
+	r0.Findings = []Finding{{
+		Seed: 12, Classes: []string{"parallel", "opt"},
+		ReducedIR: "A", ReducedInstrs: 3, InputInstrs: 40, Fingerprint: "fp-a",
+	}}
+	r1 := &ShardResult{Shard: Shard{Index: 1, Seed: 30, Count: 20}, Seeds: 20, Skipped: 1, Parallelized: 15}
+	r1.Findings = []Finding{
+		// Same fingerprint as shard 0's finding: must dedup, keeping
+		// shard 0's lower seed as the canonical first-seed.
+		{Seed: 31, Classes: []string{"opt", "parallel"}, ReducedIR: "A", ReducedInstrs: 3, InputInstrs: 55, Fingerprint: "fp-a"},
+		{Seed: 44, Classes: []string{"bytecode"}, ReducedIR: "B", ReducedInstrs: 7, InputInstrs: 60, Fingerprint: "fp-b"},
+	}
+	r2 := &ShardResult{Shard: Shard{Index: 2, Seed: 50, Count: 20}, Seeds: 20, Parallelized: 17}
+	return params, []*ShardResult{r0, r1, r2}
+}
+
+// TestSummarySchemaGolden pins the splendid-difftest-summary/v1 shape:
+// schema tag, sweep params, aggregate counters, per-class rollups with
+// rates and first-seed minimal-repro pointers, and the deduplicated
+// finding list. Same style as the flight-record schema golden.
+func TestSummarySchemaGolden(t *testing.T) {
+	params, results := summaryFixture()
+	sum, err := BuildSummary(params, results, "corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Schema != SummarySchema {
+		t.Errorf("schema = %q, want %q", sum.Schema, SummarySchema)
+	}
+	if sum.Params != params {
+		t.Errorf("params = %+v, want %+v", sum.Params, params)
+	}
+	if sum.Shards != 3 || sum.Seeds != 60 || sum.Skipped != 1 ||
+		sum.Parallelized != 50 || sum.Trapping != 2 {
+		t.Errorf("aggregates wrong: %+v", sum)
+	}
+	if sum.FindingSeeds != 3 || sum.UniqueFindings != 2 {
+		t.Errorf("findings: seeds=%d unique=%d, want 3/2", sum.FindingSeeds, sum.UniqueFindings)
+	}
+
+	if len(sum.Findings) != 2 {
+		t.Fatalf("deduped findings = %d, want 2", len(sum.Findings))
+	}
+	fa := sum.Findings[0]
+	if fa.Fingerprint != "fp-a" || fa.FirstSeed != 12 || fa.Seeds != 2 {
+		t.Errorf("finding A = %+v, want fp-a first seen at seed 12 with 2 seeds", fa)
+	}
+	if fa.Repro != "fp-a" {
+		t.Errorf("finding A repro = %q, want corpus dir name (the fingerprint)", fa.Repro)
+	}
+
+	// Per-class rollups: classes sorted, rate over non-skipped seeds.
+	if len(sum.Classes) != 3 {
+		t.Fatalf("classes = %+v, want bytecode/opt/parallel", sum.Classes)
+	}
+	for i, want := range []string{"bytecode", "opt", "parallel"} {
+		if sum.Classes[i].Class != want {
+			t.Fatalf("classes out of order: %+v", sum.Classes)
+		}
+	}
+	opt := sum.Classes[1]
+	if opt.Seeds != 2 || opt.FirstSeed != 12 || opt.Repro != "fp-a" {
+		t.Errorf("opt class = %+v, want 2 seeds, first 12, repro fp-a", opt)
+	}
+	wantRate := 2.0 / 59.0 // 60 seeds - 1 skipped
+	if opt.Rate < wantRate-1e-12 || opt.Rate > wantRate+1e-12 {
+		t.Errorf("opt rate = %v, want %v", opt.Rate, wantRate)
+	}
+
+	// The JSON encoding round-trips with no field loss.
+	raw, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("summary JSON does not round-trip: %v", err)
+	}
+	if back.Schema != SummarySchema || back.UniqueFindings != 2 {
+		t.Errorf("round-tripped summary lost fields: %+v", back)
+	}
+}
+
+// TestSummaryDeterministic: the summary must be a pure function of the
+// shard results — byte-identical across builds and independent of the
+// order results arrive in. This is what makes the kill/resume CI check
+// a plain cmp.
+func TestSummaryDeterministic(t *testing.T) {
+	params, results := summaryFixture()
+	a, err := BuildSummary(params, results, "corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSummary(params, results, "corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := a.JSON()
+	jb, _ := b.JSON()
+	if !bytes.Equal(ja, jb) {
+		t.Error("two builds over the same results differ byte-wise")
+	}
+	if bytes.Contains(ja, []byte("time")) || bytes.Contains(ja, []byte("duration")) {
+		t.Error("summary contains wall-clock fields; it must stay timestamp-free for resume identity")
+	}
+	if ja[len(ja)-1] != '\n' {
+		t.Error("summary JSON must end with a newline")
+	}
+}
+
+// TestSummaryRejectsGaps: a missing or misplaced shard result is a
+// coordinator bug, not something to paper over.
+func TestSummaryRejectsGaps(t *testing.T) {
+	params, results := summaryFixture()
+	if _, err := BuildSummary(params, []*ShardResult{results[0], nil, results[2]}, ""); err == nil {
+		t.Error("nil shard result accepted")
+	}
+	swapped := []*ShardResult{results[1], results[0], results[2]}
+	if _, err := BuildSummary(params, swapped, ""); err == nil {
+		t.Error("out-of-order shard results accepted")
+	}
+}
+
+// TestSummaryNoCorpusDir: without a corpus directory there is no repro
+// pointer to name.
+func TestSummaryNoCorpusDir(t *testing.T) {
+	params, results := summaryFixture()
+	sum, err := BuildSummary(params, results, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sum.Findings {
+		if f.Repro != "" {
+			t.Errorf("finding %s has repro %q with no corpus dir", f.Fingerprint, f.Repro)
+		}
+	}
+	for _, c := range sum.Classes {
+		if c.Repro != "" {
+			t.Errorf("class %s has repro %q with no corpus dir", c.Class, c.Repro)
+		}
+	}
+}

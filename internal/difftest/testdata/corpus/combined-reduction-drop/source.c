@@ -1,0 +1,20 @@
+#define N 64
+long A[N];
+long total = 0;
+
+void init_data() {
+  for (long i = 0; i < N; i++) {
+    A[i] = i * 3 + 1;
+  }
+}
+void kernel() {
+  long acc = 0;
+  #pragma omp parallel for schedule(static) reduction(+: acc)
+  for (long i = 0; i < N; i++) {
+    acc = acc + A[i];
+  }
+  total = acc;
+}
+void check() {
+  print_i64(total);
+}

@@ -1,0 +1,20 @@
+#define N 48
+long A[N];
+long total = 0;
+
+void init_data() {
+  for (long i = 0; i < N; i++) {
+    A[i] = i * 5 + 2;
+  }
+}
+void kernel() {
+  long acc = 0;
+  #pragma omp parallel for schedule(dynamic, 4) reduction(+: acc)
+  for (long i = 0; i < N; i++) {
+    acc = acc + A[i];
+  }
+  total = acc;
+}
+void check() {
+  print_i64(total);
+}

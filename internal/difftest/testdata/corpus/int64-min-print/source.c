@@ -1,0 +1,14 @@
+long s0 = 7;
+long s1 = 1023;
+
+void init_data() {
+  s0 = (-9223372036854775807 - 1);
+}
+void kernel() {
+  s1 = (s1 ^ s0) | (-9223372036854775807 - 1);
+  s0 = s0 >> 1;
+}
+void check() {
+  print_i64(s0);
+  print_i64(s1);
+}

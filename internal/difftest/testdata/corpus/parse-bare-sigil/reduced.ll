@@ -1,0 +1,1 @@
+define double@(double ,i64 ){A:fcmp olt double%,0%=fneg double%}

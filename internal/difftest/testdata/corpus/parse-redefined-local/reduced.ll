@@ -1,0 +1,6 @@
+define i64 @f() {
+entry:
+  %x = add i64 1, 2
+  %x = add i64 3, 4
+  ret i64 %x
+}

@@ -1,0 +1,5 @@
+define i64 @f() {
+entry:
+  add i64 1, 2
+  ret i64 0
+}

@@ -267,6 +267,40 @@ func (jb *jobBuilder) finish(err error) {
 	jb.s.rec.record(jb.rec)
 }
 
+// ShardJob is the public handle on an in-flight fleet-shard job: the
+// differential fleet (internal/difftest) wraps each shard sweep in one
+// so /debug/jobs and the splendid_driver_jobs_* metrics show shards as
+// first-class work items, with the divergence classes their findings
+// carried. Nil-safe like the jobBuilder underneath it.
+type ShardJob struct {
+	jb *jobBuilder
+}
+
+// StartShardJob opens a "shard"-kind flight-recorder job. The round
+// trips the shard runs still record as their own jobs; the shard job
+// is the enclosing unit the fleet coordinator reasons about.
+func (s *Session) StartShardJob(name string) *ShardJob {
+	return &ShardJob{jb: s.startJob("shard", name)}
+}
+
+// Divergences attaches the divergence classes of the shard's findings.
+func (j *ShardJob) Divergences(classes []string) {
+	if j == nil || j.jb == nil {
+		return
+	}
+	for _, c := range classes {
+		j.jb.rec.Divergences = append(j.jb.rec.Divergences, c)
+	}
+}
+
+// Finish closes the shard job's record.
+func (j *ShardJob) Finish(err error) {
+	if j == nil {
+		return
+	}
+	j.jb.finish(err)
+}
+
 // sessionMetrics holds the session's metric handles. The maps are nil
 // when no registry is attached; a nil-map lookup yields a nil handle
 // whose methods are no-ops, so instrumentation sites never branch.
@@ -278,7 +312,9 @@ type sessionMetrics struct {
 
 // jobKinds and stageNames are the fixed label sets the session
 // pre-registers, so scrapes show every series from the first request.
-var jobKinds = []string{"compile", "decompile", "execute", "roundtrip"}
+// "shard" is the differential fleet's unit of work: one journaled seed
+// range swept by a worker, enclosing its round trips.
+var jobKinds = []string{"compile", "decompile", "execute", "roundtrip", "shard"}
 var stageNames = []string{"frontend", "optimize", "parallelize", "decompile"}
 
 func newSessionMetrics(r *metrics.Registry) sessionMetrics {

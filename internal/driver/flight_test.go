@@ -5,6 +5,7 @@ package driver
 
 import (
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -208,6 +209,55 @@ func TestFlightRecorderDisabled(t *testing.T) {
 	if s.Recorder() != nil {
 		t.Error("disabled session handed out a non-nil recorder")
 	}
+}
+
+// TestShardJobRecord: the differential fleet's "shard" job kind is a
+// first-class flight-recorder citizen — it lands in /debug/jobs with
+// its divergence classes, feeds the pre-registered jobs_* counters, and
+// the whole handle is nil-safe when recording is disabled.
+func TestShardJobRecord(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Options{Jobs: 1, Metrics: reg})
+	errInfra := errors.New("worker lost")
+
+	ok := s.StartShardJob("shard0[0+50)")
+	ok.Divergences([]string{"opt", "parallel"})
+	ok.Finish(nil)
+	bad := s.StartShardJob("shard1[50+50)")
+	bad.Finish(errInfra)
+
+	snap := s.RecentJobs()
+	if len(snap.Jobs) != 2 {
+		t.Fatalf("retained %d jobs, want 2", len(snap.Jobs))
+	}
+	first, second := snap.Jobs[0], snap.Jobs[1]
+	if first.Kind != "shard" || first.Name != "shard0[0+50)" {
+		t.Errorf("job 1 = %s/%s, want shard/shard0[0+50)", first.Kind, first.Name)
+	}
+	if strings.Join(first.Divergences, ",") != "opt,parallel" {
+		t.Errorf("job 1 divergences = %v, want [opt parallel]", first.Divergences)
+	}
+	if first.Err != "" {
+		t.Errorf("job 1 err = %q, want clean", first.Err)
+	}
+	if second.Err != errInfra.Error() {
+		t.Errorf("job 2 err = %q, want %q", second.Err, errInfra)
+	}
+	if got := reg.Counter("splendid_driver_jobs_completed_total", "", metrics.L("kind", "shard")).Value(); got != 1 {
+		t.Errorf("jobs_completed{kind=shard} = %d, want 1", got)
+	}
+	if got := reg.Counter("splendid_driver_jobs_failed_total", "", metrics.L("kind", "shard")).Value(); got != 1 {
+		t.Errorf("jobs_failed{kind=shard} = %d, want 1", got)
+	}
+
+	// Nil safety: disabled recording and a nil handle both no-op.
+	off := New(Options{Jobs: 1, JobHistory: -1})
+	j := off.StartShardJob("shard2[100+50)")
+	j.Divergences([]string{"opt"})
+	j.Finish(nil)
+	var nilJob *ShardJob
+	nilJob.Divergences([]string{"opt"})
+	nilJob.Finish(nil)
 }
 
 // racyIR forks a region where every thread stores to the same cell, so

@@ -34,6 +34,9 @@ go test -race -count=1 ./internal/interp/
 echo "== differential oracle sweep (25 generated programs)"
 go run ./cmd/difftest -seed 1 -n 25
 
+echo "== differential fleet: sharded sweep, SIGKILL, resume (journal + summary)"
+sh scripts/fleet_smoke.sh 1 200 4
+
 echo "== fuzz smoke: IR text round trip + differential round trip"
 go test -run '^$' -fuzz='^FuzzIRParseRoundTrip$' -fuzztime=10s ./internal/ir/
 go test -run '^$' -fuzz='^FuzzRoundTripExec$' -fuzztime=10s ./internal/difftest/
