@@ -1,4 +1,4 @@
-.PHONY: verify test bench bench-runtime difftest fuzz
+.PHONY: verify test bench bench-runtime bench-gate difftest fuzz
 
 verify:
 	sh scripts/verify.sh
@@ -36,3 +36,10 @@ bench:
 SIZE ?= std
 bench-runtime:
 	POLYBENCH_SIZE=$(SIZE) go test -run '^$$' -bench=RuntimeProfile -benchtime=1x -timeout 60m .
+
+# Perf-regression gate: re-measure the runtime profile at the
+# baseline's size and fail if the engine geomean or any kernel's
+# parallel speedup regressed beyond tolerance vs the checked-in
+# BENCH_runtime.json (see scripts/bench_gate.sh for the knobs).
+bench-gate:
+	sh scripts/bench_gate.sh

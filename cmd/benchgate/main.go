@@ -1,0 +1,54 @@
+// Command benchgate compares a freshly measured runtime benchmark
+// profile against the checked-in baseline and exits nonzero when the
+// bytecode-vs-tree engine geomean or any kernel's parallel speedup
+// regressed beyond tolerance. `make bench-gate` wraps it: re-run the
+// benchmark, then gate the result.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_runtime.json -candidate new.json
+//	          [-tol-geomean 0.4] [-tol-speedup 0.1]
+//
+// Exit codes: 0 within tolerance, 1 regression, 2 usage or bad input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchgate"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_runtime.json", "baseline profile `path`")
+	candidate := flag.String("candidate", "", "freshly measured profile `path`")
+	tolGeomean := flag.Float64("tol-geomean", 0.4, "allowed fractional regression of the engine geomean (wall-clock, noisy)")
+	tolSpeedup := flag.Float64("tol-speedup", 0.1, "allowed fractional regression of per-kernel parallel speedups (simulated, stable)")
+	flag.Parse()
+	if *candidate == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline PATH -candidate PATH [-tol-geomean F] [-tol-speedup F]")
+		os.Exit(2)
+	}
+	base, err := benchgate.Load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := benchgate.Load(*candidate)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := benchgate.Compare(base, cand, benchgate.Tolerances{Geomean: *tolGeomean, Speedup: *tolSpeedup})
+	if err != nil {
+		fatal(err)
+	}
+	rep.Write(os.Stdout)
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}

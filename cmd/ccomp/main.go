@@ -24,7 +24,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/debugserv"
 	"repro/internal/driver"
+	"repro/internal/metrics"
 	"repro/internal/telemetry"
 )
 
@@ -34,6 +36,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	jobs := flag.Int("j", 0, "function-level parallelism (0 = GOMAXPROCS, 1 = serial)")
 	verifyEach := flag.Bool("verify-each", false, "verify IR between stages and after every pass")
+	obs := debugserv.RegisterFlags(flag.CommandLine, "ccomp", "compile")
 	var tflags telemetry.Flags
 	tflags.Register(flag.CommandLine)
 	flag.Parse()
@@ -46,7 +49,16 @@ func main() {
 		fatal(err)
 	}
 	tc := tflags.NewCtx()
-	s := driver.New(driver.Options{Jobs: *jobs, VerifyEach: *verifyEach, Telemetry: tc})
+	var reg *metrics.Registry
+	if obs.Enabled() {
+		reg = metrics.Default()
+	}
+	s := driver.New(driver.Options{Jobs: *jobs, VerifyEach: *verifyEach, Telemetry: tc, Metrics: reg})
+	srv, err := obs.Serve(debugserv.Options{Registry: reg, Jobs: s.Recorder()})
+	if err != nil {
+		fatal(err)
+	}
+	defer obs.LingerAndClose(srv)
 	m, err := s.Frontend(string(src), flag.Arg(0))
 	if err != nil {
 		fatal(err)

@@ -23,13 +23,20 @@
 // Long sweeps print a progress line to stderr every couple of seconds
 // (seeds done, rate, divergence count, ETA), and -metrics-addr serves
 // the same figures live as Prometheus metrics alongside the session
-// flight recorder (/debug/jobs) and pprof.
+// flight recorder (/debug/jobs), the structured event log
+// (/debug/events), and pprof. Worker telemetry travels home in the
+// protocol replies: the coordinator's /metrics folds every worker's
+// counters (one process label per worker), /debug/jobs shows
+// worker-tagged shard jobs, -trace-out writes one stitched Chrome
+// trace with a process group per worker, and -metrics-out snapshots
+// the merged registry as JSON.
 //
 // Usage:
 //
 //	difftest [-seed S] [-n COUNT] [-threads N] [-reduce] [-v]
 //	         [-shards N] [-shard-size N] [-journal PATH] [-resume]
 //	         [-corpus DIR] [-summary PATH]
+//	         [-trace-out PATH] [-metrics-out PATH]
 //	         [-metrics-addr HOST:PORT] [-linger DUR]
 //
 // Exit codes: 0 all seeds clean, 1 divergences found, 2 usage or
@@ -42,13 +49,16 @@ import (
 	"math"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"time"
 
 	"repro/internal/debugserv"
 	"repro/internal/difftest"
 	"repro/internal/driver"
+	"repro/internal/evlog"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // progressEvery is how often the sweep progress line refreshes.
@@ -67,8 +77,9 @@ func main() {
 	corpusDir := flag.String("corpus", "", "write each unique finding as a repro `dir` under this directory")
 	summaryPath := flag.String("summary", "", "write the splendid-difftest-summary/v1 artifact to `path`")
 	worker := flag.Bool("worker", false, "run as a fleet worker: read shards from stdin, write results to stdout")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/jobs, /debug/pprof on `host:port` (empty disables)")
-	linger := flag.Duration("linger", 0, "keep the debug server up this long after the sweep finishes")
+	traceOut := flag.String("trace-out", "", "write the stitched fleet Chrome trace to `path`")
+	metricsOut := flag.String("metrics-out", "", "write the merged registry's JSON snapshot to `path` after the sweep")
+	obs := debugserv.RegisterFlags(flag.CommandLine, "difftest", "sweep")
 	flag.Parse()
 
 	usage := func(msg string) {
@@ -77,7 +88,8 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "usage: difftest [-seed S] [-n COUNT] [-threads N] [-reduce] [-v]\n"+
 			"                [-shards N] [-shard-size N] [-journal PATH] [-resume]\n"+
-			"                [-corpus DIR] [-summary PATH] [-metrics-addr ADDR] [-linger DUR]")
+			"                [-corpus DIR] [-summary PATH] [-trace-out PATH] [-metrics-out PATH]\n"+
+			"                [-metrics-addr ADDR] [-linger DUR]")
 		os.Exit(2)
 	}
 	if flag.NArg() != 0 {
@@ -89,7 +101,9 @@ func main() {
 
 	if *worker {
 		// Worker mode: everything but -threads comes over the protocol.
-		if err := difftest.ServeWorker(os.Stdin, os.Stdout, difftest.ShardOptions{Threads: *threads}); err != nil {
+		// Accounting is on — each worker runs one shard at a time, so the
+		// process-wide figures are exactly the shard's.
+		if err := difftest.ServeWorker(os.Stdin, os.Stdout, difftest.ShardOptions{Threads: *threads, Accounting: true}); err != nil {
 			fmt.Fprintf(os.Stderr, "difftest worker: %v\n", err)
 			os.Exit(2)
 		}
@@ -107,27 +121,26 @@ func main() {
 	}
 
 	var reg *metrics.Registry
-	if *metricsAddr != "" {
+	if obs.Enabled() || *metricsOut != "" {
 		reg = metrics.Default()
 	}
+	var tel *telemetry.Ctx
+	if *traceOut != "" {
+		tel = telemetry.New()
+	}
+	// The event log is always on: it is a bounded ring, costs nothing
+	// measurable at sweep granularity, and is the flight data a crash
+	// report needs.
+	events := evlog.New(evlog.DefaultCapacity)
 	// The coordinator session exists for the debug endpoints (and runs
 	// the shards itself in-process when -shards is 0).
-	s := driver.New(driver.Options{Metrics: reg})
-	if *metricsAddr != "" {
-		srv, err := debugserv.Start(*metricsAddr, debugserv.Options{Registry: reg, Jobs: s.Recorder()})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
-			os.Exit(2)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "difftest: debug endpoints on %s\n", srv.URL())
-		if *linger > 0 {
-			defer func() {
-				fmt.Fprintf(os.Stderr, "difftest: lingering %s for scrapes\n", *linger)
-				time.Sleep(*linger)
-			}()
-		}
+	s := driver.New(driver.Options{Metrics: reg, Events: events})
+	srv, err := obs.Serve(debugserv.Options{Registry: reg, Jobs: s.Recorder(), Events: events})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
+		os.Exit(2)
 	}
+	defer obs.LingerAndClose(srv)
 
 	params := difftest.JournalParams{Seed: *seed, N: *n, ShardSize: *shardSize, Threads: *threads}
 	var journal *difftest.Journal
@@ -144,9 +157,14 @@ func main() {
 	cfg := difftest.FleetConfig{
 		Params:        params,
 		Workers:       *shards,
+		SweepID:       fmt.Sprintf("difftest-%s-p%d", time.Now().UTC().Format("20060102T150405Z"), os.Getpid()),
 		Journal:       journal,
 		CorpusDir:     *corpusDir,
 		Metrics:       difftest.NewSweepMetrics(reg),
+		Trace:         tel,
+		Events:        events,
+		Registry:      reg,
+		Jobs:          s.Recorder(),
 		Progress:      os.Stderr,
 		ProgressEvery: progressEvery,
 		Report:        os.Stdout,
@@ -157,8 +175,27 @@ func main() {
 	}
 	sum, err := difftest.RunFleet(cfg, spawn)
 	if err != nil {
+		// Dump the event ring next to the corpus before dying: the last
+		// thing the fleet did is exactly what a crash report needs.
+		if *corpusDir != "" {
+			if derr := dumpEvents(events, filepath.Join(*corpusDir, "events.json")); derr == nil {
+				fmt.Fprintf(os.Stderr, "difftest: event log dumped to %s\n", filepath.Join(*corpusDir, "events.json"))
+			}
+		}
 		fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
 		os.Exit(2)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(tel, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "difftest: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if *reduce {
 		printReduced(sum, *corpusDir)
@@ -174,6 +211,48 @@ func main() {
 	if sum.FindingSeeds > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTrace writes the stitched Chrome trace artifact.
+func writeTrace(tel *telemetry.Ctx, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tel.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics writes the merged registry as a JSON snapshot artifact.
+func writeMetrics(reg *metrics.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dumpEvents writes the event ring as a splendid-evlog/v1 artifact.
+func dumpEvents(events *evlog.Log, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := events.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // inlineSpawner runs shards in the coordinator process on its session.

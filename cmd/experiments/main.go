@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/debugserv"
 	"repro/internal/driver"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/telemetry"
 )
 
@@ -38,14 +40,25 @@ func main() {
 	reps := flag.Int("reps", 0, "timing repetitions (default 3)")
 	jobs := flag.Int("j", 0, "function-level compile parallelism (0 = GOMAXPROCS, 1 = serial)")
 	verifyEach := flag.Bool("verify-each", false, "verify IR between stages and after every pass")
+	obs := debugserv.RegisterFlags(flag.CommandLine, "experiments", "run")
 	var tflags telemetry.Flags
 	tflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	tc := tflags.NewCtx()
+	var reg *metrics.Registry
+	if obs.Enabled() {
+		reg = metrics.Default()
+	}
 	// One session for the whole run: every experiment forks from the same
 	// memoized O2+parallelize prefixes instead of recompiling them.
-	session := driver.New(driver.Options{Jobs: *jobs, VerifyEach: *verifyEach, Telemetry: tc})
+	session := driver.New(driver.Options{Jobs: *jobs, VerifyEach: *verifyEach, Telemetry: tc, Metrics: reg})
+	srv, err := obs.Serve(debugserv.Options{Registry: reg, Jobs: session.Recorder()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer obs.LingerAndClose(srv)
 	cfg := experiments.Config{Threads: *threads, Reps: *reps, Telemetry: tc, Driver: session}
 
 	if *list {

@@ -23,7 +23,6 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
 	"repro/internal/debugserv"
 	"repro/internal/driver"
@@ -43,8 +42,7 @@ func main() {
 	profOut := flag.String("prof-out", "", "write the JSON profile to `file` instead of stdout (implies -prof)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event `file` (one track per team thread)")
 	checkRaces := flag.Bool("check-races", false, "record cross-thread memory conflicts; exit 3 if any region raced")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/jobs, /debug/pprof on `host:port` (empty disables)")
-	linger := flag.Duration("linger", 0, "keep the debug server up this long after the run finishes")
+	obs := debugserv.RegisterFlags(flag.CommandLine, "irrun", "run")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: irrun [-engine tree|bytecode] [-threads N] [-entry F] [-args \"...\"] [-prof] [-prof-out FILE] [-trace FILE] [-check-races] [-metrics-addr ADDR] [-linger DUR] input.ll")
@@ -83,19 +81,13 @@ func main() {
 		tc = telemetry.New()
 	}
 	var reg *metrics.Registry
-	if *metricsAddr != "" {
+	if obs.Enabled() {
 		reg = metrics.Default()
 	}
 	s := driver.New(driver.Options{Jobs: 1, Telemetry: tc, Metrics: reg})
-	var srv *debugserv.Server
-	if *metricsAddr != "" {
-		srv, err = debugserv.Start(*metricsAddr, debugserv.Options{Registry: reg, Jobs: s.Recorder()})
-		if err != nil {
-			fatal(err)
-		}
-		defer srv.Close()
-		// Announce the resolved address (":0" callers need the port).
-		fmt.Fprintf(os.Stderr, "irrun: debug endpoints on %s\n", srv.URL())
+	srv, err := obs.Serve(debugserv.Options{Registry: reg, Jobs: s.Recorder()})
+	if err != nil {
+		fatal(err)
 	}
 
 	res, err := s.Execute(m, driver.ExecOptions{
@@ -126,10 +118,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if srv != nil && *linger > 0 {
-		fmt.Fprintf(os.Stderr, "irrun: lingering %s for scrapes\n", *linger)
-		time.Sleep(*linger)
-	}
+	obs.LingerAndClose(srv)
 	if *checkRaces {
 		os.Exit(reportRaces(res))
 	}

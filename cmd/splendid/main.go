@@ -25,7 +25,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/debugserv"
 	"repro/internal/driver"
@@ -41,8 +40,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print decompilation statistics as JSON to stderr")
 	jobs := flag.Int("j", 0, "function-level parallelism (0 = GOMAXPROCS, 1 = serial)")
 	verifyEach := flag.Bool("verify-each", false, "verify IR between stages and after every pass")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /debug/jobs, /debug/pprof on `host:port` (empty disables)")
-	linger := flag.Duration("linger", 0, "keep the debug server up this long after decompilation finishes")
+	obs := debugserv.RegisterFlags(flag.CommandLine, "splendid", "decompilation")
 	var tflags telemetry.Flags
 	tflags.Register(flag.CommandLine)
 	flag.Parse()
@@ -60,18 +58,13 @@ func main() {
 	}
 	tc := tflags.NewCtx()
 	var reg *metrics.Registry
-	if *metricsAddr != "" {
+	if obs.Enabled() {
 		reg = metrics.Default()
 	}
 	s := driver.New(driver.Options{Jobs: *jobs, VerifyEach: *verifyEach, Telemetry: tc, Metrics: reg})
-	var dsrv *debugserv.Server
-	if *metricsAddr != "" {
-		dsrv, err = debugserv.Start(*metricsAddr, debugserv.Options{Registry: reg, Jobs: s.Recorder()})
-		if err != nil {
-			fatal(err)
-		}
-		defer dsrv.Close()
-		fmt.Fprintf(os.Stderr, "splendid: debug endpoints on %s\n", dsrv.URL())
+	dsrv, err := obs.Serve(debugserv.Options{Registry: reg, Jobs: s.Recorder()})
+	if err != nil {
+		fatal(err)
 	}
 	text, st, err := s.DecompileVariant(m, *variant)
 	if err != nil {
@@ -93,10 +86,7 @@ func main() {
 	} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
 		fatal(err)
 	}
-	if dsrv != nil && *linger > 0 {
-		fmt.Fprintf(os.Stderr, "splendid: lingering %s for scrapes\n", *linger)
-		time.Sleep(*linger)
-	}
+	obs.LingerAndClose(dsrv)
 }
 
 // statsJSON renders decompilation statistics as stable, machine-readable

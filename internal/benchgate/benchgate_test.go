@@ -1,0 +1,152 @@
+package benchgate
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func profile() *Profile {
+	return &Profile{
+		Schema: ProfileSchema, Threads: 4, Size: "mini", Geomean: 16.7,
+		Kernels: []Kernel{
+			{Kernel: "gemm", Speedup: 3.98, EngineSpeedup: 15.9},
+			{Kernel: "jacobi-2d", Speedup: 3.5, EngineSpeedup: 18.1},
+		},
+	}
+}
+
+// TestGatePasses: an identical candidate clears the gate, as does one
+// inside tolerance.
+func TestGatePasses(t *testing.T) {
+	tol := Tolerances{Geomean: 0.4, Speedup: 0.1}
+	rep, err := Compare(profile(), profile(), tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.Checks) != 3 {
+		t.Fatalf("identical candidate failed: %+v", rep)
+	}
+
+	slower := profile()
+	slower.Geomean *= 0.7             // within the 40% allowance
+	slower.Kernels[0].Speedup *= 0.95 // within the 10% allowance
+	rep, err = Compare(profile(), slower, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("in-tolerance candidate failed: %+v", rep)
+	}
+}
+
+// TestGateFailsDoctored: a doctored candidate — geomean halved below
+// tolerance, one kernel's speedup gutted, another kernel missing — must
+// fail with one failed check per regression.
+func TestGateFailsDoctored(t *testing.T) {
+	tol := Tolerances{Geomean: 0.4, Speedup: 0.1}
+
+	doctored := profile()
+	doctored.Geomean *= 0.5 // below the 0.6x floor
+	rep, err := Compare(profile(), doctored, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Failed != 1 {
+		t.Errorf("halved geomean not caught: %+v", rep)
+	}
+
+	doctored = profile()
+	doctored.Kernels[0].Speedup = 1.0
+	rep, err = Compare(profile(), doctored, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Failed != 1 {
+		t.Errorf("gutted kernel speedup not caught: %+v", rep)
+	}
+
+	doctored = profile()
+	doctored.Kernels = doctored.Kernels[:1] // jacobi-2d vanished
+	rep, err = Compare(profile(), doctored, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Failed != 1 {
+		t.Errorf("missing kernel not caught: %+v", rep)
+	}
+	var buf bytes.Buffer
+	rep.Write(&buf)
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("report does not mark the regression:\n%s", buf.String())
+	}
+}
+
+// TestGateConfigMismatch: different size or thread count is an error,
+// not a verdict.
+func TestGateConfigMismatch(t *testing.T) {
+	std := profile()
+	std.Size = "std"
+	if _, err := Compare(profile(), std, Tolerances{}); err == nil {
+		t.Error("size mismatch not rejected")
+	}
+	wide := profile()
+	wide.Threads = 8
+	if _, err := Compare(profile(), wide, Tolerances{}); err == nil {
+		t.Error("thread-count mismatch not rejected")
+	}
+}
+
+// TestLoad: round-trips a profile file, and rejects wrong schemas and
+// empty kernel lists.
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	b, _ := json.Marshal(profile())
+	os.WriteFile(path, b, 0o644)
+	p, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Geomean != 16.7 || len(p.Kernels) != 2 {
+		t.Errorf("loaded profile: %+v", p)
+	}
+
+	bad := profile()
+	bad.Schema = "something/v9"
+	b, _ = json.Marshal(bad)
+	os.WriteFile(path, b, 0o644)
+	if _, err := Load(path); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	empty := profile()
+	empty.Kernels = nil
+	b, _ = json.Marshal(empty)
+	os.WriteFile(path, b, 0o644)
+	if _, err := Load(path); err == nil {
+		t.Error("kernel-less profile accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestLoadRealBaseline: the checked-in BENCH_runtime.json must always
+// satisfy the gate against itself — the invariant `make bench-gate`
+// relies on.
+func TestLoadRealBaseline(t *testing.T) {
+	p, err := Load("../../BENCH_runtime.json")
+	if err != nil {
+		t.Skipf("no checked-in baseline: %v", err)
+	}
+	rep, err := Compare(p, p, Tolerances{Geomean: 0.4, Speedup: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("baseline does not pass against itself: %+v", rep)
+	}
+}

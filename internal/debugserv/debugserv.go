@@ -7,6 +7,7 @@
 //	/metrics     the metrics registry, Prometheus text exposition
 //	/metrics.json  the same registry as a JSON snapshot
 //	/debug/jobs  the driver session's flight recorder (last N jobs)
+//	/debug/events  the structured event log (bounded ring, JSON)
 //	/debug/pprof/*  the standard Go profiling endpoints
 //
 // The server binds a listener synchronously (so ":0" callers can read
@@ -24,8 +25,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"repro/internal/driver"
+	"repro/internal/evlog"
 	"repro/internal/metrics"
 )
 
@@ -37,6 +41,13 @@ type JobsSource interface {
 	JobsJSON() ([]byte, error)
 }
 
+// EventsSource supplies /debug/events: the structured event log as a
+// splendid-evlog/v1 JSON document. evlog.(*Log) implements it. Like
+// JobsSource, a typed-nil log means "nothing collected", not an error.
+type EventsSource interface {
+	EventsJSON() ([]byte, error)
+}
+
 // Options configures the endpoint set.
 type Options struct {
 	// Registry backs /metrics and /metrics.json; nil uses the process
@@ -44,6 +55,8 @@ type Options struct {
 	Registry *metrics.Registry
 	// Jobs backs /debug/jobs; nil serves an empty document.
 	Jobs JobsSource
+	// Events backs /debug/events; nil serves an empty document.
+	Events EventsSource
 }
 
 // HealthSchema identifies the /healthz JSON layout.
@@ -67,6 +80,21 @@ func Handler(opts Options) http.Handler {
 	if reg == nil {
 		reg = metrics.Default()
 	}
+	// splendid_build_info follows the node_exporter build_info idiom: a
+	// constant-1 gauge whose labels carry the build and schema metadata,
+	// so any scrape identifies what produced the rest of the series. It
+	// lives here rather than in metrics.Default() registration because
+	// the metrics package cannot import the layers whose schemas it
+	// would report.
+	reg.Gauge("splendid_build_info",
+		"Constant 1; labels carry build and schema metadata.",
+		metrics.L("go_version", runtime.Version()),
+		metrics.L("engines", strings.Join(driver.EngineNames(), ",")),
+		metrics.L("schema_metrics", metrics.SnapshotSchema),
+		metrics.L("schema_flight", driver.FlightRecordSchema),
+		metrics.L("schema_evlog", evlog.Schema),
+		metrics.L("schema_health", HealthSchema),
+	).Set(1)
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -80,6 +108,7 @@ func Handler(opts Options) http.Handler {
 			"  /metrics        metrics registry (Prometheus text)\n"+
 			"  /metrics.json   metrics registry (JSON snapshot)\n"+
 			"  /debug/jobs     flight recorder: recent pipeline jobs (JSON)\n"+
+			"  /debug/events   structured event log (JSON)\n"+
 			"  /debug/pprof/   Go profiling endpoints\n")
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -113,6 +142,19 @@ func Handler(opts Options) http.Handler {
 			return
 		}
 		body, err := opts.Jobs.JobsJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(body)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if opts.Events == nil {
+			fmt.Fprint(w, `{"schema":"`+evlog.Schema+`","capacity":0,"recorded":0,"events":[]}`+"\n")
+			return
+		}
+		body, err := opts.Events.EventsJSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

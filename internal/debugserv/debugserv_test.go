@@ -2,12 +2,16 @@ package debugserv
 
 import (
 	"encoding/json"
+	"flag"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/evlog"
 	"repro/internal/metrics"
 )
 
@@ -82,6 +86,108 @@ func TestJobsEndpoint(t *testing.T) {
 	code, body, _ = get(t, Handler(Options{Registry: metrics.NewRegistry()}), "/debug/jobs")
 	if code != 200 || !strings.Contains(body, "splendid-flight-record/v1") {
 		t.Errorf("/debug/jobs without source: %d %q", code, body)
+	}
+}
+
+// TestEventsEndpoint: a real event log serves its records; no source
+// serves an empty, schema-bearing document.
+func TestEventsEndpoint(t *testing.T) {
+	lg := evlog.New(16)
+	lg.Scope("test").Info("thing.happened", evlog.F("why", "because"))
+	code, body, hdr := get(t, Handler(Options{Registry: metrics.NewRegistry(), Events: lg}), "/debug/events")
+	if code != 200 {
+		t.Fatalf("/debug/events: %d", code)
+	}
+	if hdr.Get("Content-Type") != "application/json" {
+		t.Errorf("content type: %q", hdr.Get("Content-Type"))
+	}
+	var snap evlog.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/events invalid JSON: %v\n%s", err, body)
+	}
+	if snap.Schema != evlog.Schema || len(snap.Events) != 1 ||
+		snap.Events[0].Event != "thing.happened" {
+		t.Errorf("/debug/events: %+v", snap)
+	}
+
+	code, body, _ = get(t, Handler(Options{Registry: metrics.NewRegistry()}), "/debug/events")
+	if code != 200 || !strings.Contains(body, evlog.Schema) {
+		t.Errorf("/debug/events without source: %d %q", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Errorf("/debug/events empty doc invalid JSON: %v\n%s", err, body)
+	}
+}
+
+// TestBuildInfoGauge: mounting the handler registers the build-metadata
+// gauge, so any single scrape identifies the binary and every schema
+// version it speaks.
+func TestBuildInfoGauge(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, body, _ := get(t, Handler(Options{Registry: reg}), "/metrics")
+	for _, want := range []string{
+		"# TYPE splendid_build_info gauge",
+		`engines="bytecode,tree"`,
+		`go_version="` + runtime.Version() + `"`,
+		`schema_evlog="` + evlog.Schema + `"`,
+		`schema_flight="splendid-flight-record/v1"`,
+		`schema_health="` + HealthSchema + `"`,
+		`schema_metrics="` + metrics.SnapshotSchema + `"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, "} 1\n") {
+		t.Errorf("build_info value not 1:\n%s", body)
+	}
+}
+
+// TestRegisterFlags: the shared flag pair parses, Serve respects the
+// disabled default, and an enabled run serves the full endpoint set.
+func TestRegisterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	obs := RegisterFlags(fs, "test", "run")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Enabled() {
+		t.Error("Enabled with no -metrics-addr")
+	}
+	if srv, err := obs.Serve(Options{Registry: metrics.NewRegistry()}); srv != nil || err != nil {
+		t.Errorf("disabled Serve = %v, %v; want nil, nil", srv, err)
+	}
+	obs.LingerAndClose(nil) // no-op
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	obs = RegisterFlags(fs, "test", "run")
+	if err := fs.Parse([]string{"-metrics-addr", "127.0.0.1:0", "-linger", "1ms"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := obs.Serve(Options{Registry: metrics.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv == nil {
+		t.Fatal("enabled Serve returned nil server")
+	}
+	resp, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/healthz over flags-started server: %d", resp.StatusCode)
+	}
+	done := make(chan struct{})
+	go func() { obs.LingerAndClose(srv); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("LingerAndClose did not return")
+	}
+	if _, err := http.Get(srv.URL() + "/healthz"); err == nil {
+		t.Error("server still serving after LingerAndClose")
 	}
 }
 

@@ -1,0 +1,72 @@
+package debugserv
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Flags is the standard -metrics-addr / -linger observability flag
+// pair every CLI exposes. Register it before flag.Parse; after
+// parsing, Serve starts the debug server when the user asked for one,
+// and LingerAndClose holds it up for late scrapes before shutdown:
+//
+//	obs := debugserv.RegisterFlags(flag.CommandLine, "irrun", "run")
+//	flag.Parse()
+//	srv, err := obs.Serve(debugserv.Options{...})
+//	...
+//	defer obs.LingerAndClose(srv)
+type Flags struct {
+	// Addr is the -metrics-addr value; "" disables the server.
+	Addr string
+	// Linger is the -linger value: how long Serve's server outlives the
+	// command's work so one-shot runs stay scrapeable.
+	Linger time.Duration
+
+	prog string
+}
+
+// RegisterFlags registers -metrics-addr and -linger on fs. prog names
+// the binary in status messages; noun names the unit of work the
+// -linger help text refers to ("run", "sweep", "decompilation").
+func RegisterFlags(fs *flag.FlagSet, prog, noun string) *Flags {
+	f := &Flags{prog: prog}
+	fs.StringVar(&f.Addr, "metrics-addr", "",
+		"serve /metrics, /healthz, /debug/jobs, /debug/events, /debug/pprof on `host:port` (empty disables)")
+	fs.DurationVar(&f.Linger, "linger", 0,
+		"keep the debug server up this long after the "+noun+" finishes")
+	return f
+}
+
+// Enabled reports whether the user asked for a debug server.
+func (f *Flags) Enabled() bool { return f != nil && f.Addr != "" }
+
+// Serve starts the debug server on the parsed address, announcing the
+// resolved URL on stderr. Returns (nil, nil) when -metrics-addr was
+// not given, so callers can unconditionally defer LingerAndClose.
+func (f *Flags) Serve(opts Options) (*Server, error) {
+	if !f.Enabled() {
+		return nil, nil
+	}
+	srv, err := Start(f.Addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "%s: serving debug endpoints at %s\n", f.prog, srv.URL())
+	return srv, nil
+}
+
+// LingerAndClose sleeps for the -linger duration (announcing it, so an
+// operator tailing stderr knows why the process is still alive) and
+// then shuts the server down. A nil server is a no-op.
+func (f *Flags) LingerAndClose(srv *Server) {
+	if srv == nil {
+		return
+	}
+	if f.Linger > 0 {
+		fmt.Fprintf(os.Stderr, "%s: lingering %s for scrapes\n", f.prog, f.Linger)
+		time.Sleep(f.Linger)
+	}
+	srv.Close()
+}

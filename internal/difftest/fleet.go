@@ -5,52 +5,107 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/driver"
+	"repro/internal/evlog"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // The fleet turns the one-process sweep into a coordinator/worker
 // system. The coordinator owns the shard queue, the journal, finding
 // dedup, and the summary; workers own driver sessions and burn through
 // shards. The worker protocol is JSON lines over stdin/stdout — the
-// coordinator writes one workRequest per line, the worker answers with
-// one workResponse per line, and stdin EOF tells the worker to exit —
+// coordinator writes one WorkOrder per line, the worker answers with
+// one WorkReply per line, and stdin EOF tells the worker to exit —
 // so a worker is just `difftest -worker` re-exec'd, with no shared
 // memory and nothing to clean up after a SIGKILL.
+//
+// Observability rides the same two lines. The order carries the trace
+// context (sweep id, worker ordinal); the reply carries the worker's
+// telemetry spans for the shard, a delta snapshot of its metrics
+// registry, and its flight-recorder job records since the previous
+// reply. The coordinator stitches spans into its own timeline (one
+// trace process group per worker), folds metric deltas into its
+// registry under a process label (so one /metrics scrape covers the
+// whole fleet live), and ingests job records into its recorder (so
+// /debug/jobs shows fleet-wide work).
 
-// workRequest is one coordinator → worker line.
-type workRequest struct {
-	Shard Shard `json:"shard"`
+// TraceRequest is the trace context a WorkOrder propagates to the
+// worker: which sweep the shard belongs to and which fleet slot the
+// worker occupies. Its presence also switches span collection on — an
+// untraced order costs the worker no telemetry work at all.
+type TraceRequest struct {
+	SweepID string `json:"sweep_id,omitempty"`
+	Ordinal int    `json:"ordinal"`
 }
 
-// workResponse is one worker → coordinator line. Err reports a worker-
+// WorkOrder is one coordinator → worker line.
+type WorkOrder struct {
+	Shard Shard         `json:"shard"`
+	Trace *TraceRequest `json:"trace,omitempty"`
+}
+
+// WorkReply is one worker → coordinator line. Err reports a worker-
 // side infrastructure failure (oracle errors are findings, not Errs).
-type workResponse struct {
-	Result *ShardResult `json:"result,omitempty"`
-	Err    string       `json:"err,omitempty"`
+// The telemetry payloads are deltas: Spans covers this shard only
+// (worker clock, origin at order receipt — the coordinator re-bases
+// them), Metrics is the registry delta since the previous reply, and
+// Jobs are the flight records newer than the previous reply's.
+type WorkReply struct {
+	Result  *ShardResult       `json:"result,omitempty"`
+	Err     string             `json:"err,omitempty"`
+	Pid     int                `json:"pid,omitempty"`
+	Spans   []telemetry.Event  `json:"spans,omitempty"`
+	Metrics *metrics.Snapshot  `json:"metrics,omitempty"`
+	Jobs    []driver.JobRecord `json:"jobs,omitempty"`
 }
 
 // ServeWorker runs the worker side of the protocol until in closes:
-// read a shard, sweep it, write the result. Each worker owns one
-// session whose flight recorder tags every shard as a "shard" job.
+// read an order, sweep its shard, write the reply. Each worker owns
+// one session wired to a private metrics registry and flight recorder;
+// their contents travel home incrementally in the replies rather than
+// through a port, so a fleet needs only the coordinator's debug server.
 func ServeWorker(in io.Reader, out io.Writer, opts ShardOptions) error {
-	s := driver.New(driver.Options{})
+	reg := metrics.NewRegistry()
+	s := driver.New(driver.Options{Metrics: reg})
+	var (
+		lastSnap   *metrics.Snapshot
+		lastJobSeq int64
+	)
 	enc := json.NewEncoder(out)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	for sc.Scan() {
-		var req workRequest
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+		var order WorkOrder
+		if err := json.Unmarshal(sc.Bytes(), &order); err != nil {
 			return fmt.Errorf("difftest worker: bad request: %w", err)
 		}
-		res, err := runShardJob(s, req.Shard, opts)
-		resp := workResponse{Result: res}
-		if err != nil {
-			resp = workResponse{Err: err.Error()}
+		ropts := opts
+		var tel *telemetry.Ctx
+		if order.Trace != nil {
+			// A fresh context per order: its clock origin is order receipt,
+			// which is what the coordinator's re-basing assumes.
+			tel = telemetry.New()
+			ropts.Telemetry = tel
 		}
-		if err := enc.Encode(&resp); err != nil {
+		res, err := runShardJob(s, order.Shard, ropts)
+		reply := WorkReply{Result: res, Pid: os.Getpid()}
+		if err != nil {
+			reply = WorkReply{Err: err.Error(), Pid: os.Getpid()}
+		}
+		reply.Spans = tel.Events()
+		snap := reg.Snapshot()
+		reply.Metrics = snap.Delta(lastSnap)
+		lastSnap = snap
+		if jobs := s.Recorder().Since(lastJobSeq); len(jobs) > 0 {
+			lastJobSeq = jobs[len(jobs)-1].Seq
+			reply.Jobs = jobs
+		}
+		if err := enc.Encode(&reply); err != nil {
 			return fmt.Errorf("difftest worker: %w", err)
 		}
 	}
@@ -77,12 +132,15 @@ func runShardJob(s *driver.Session, sh Shard, opts ShardOptions) (*ShardResult, 
 // Worker is the coordinator's handle on one shard executor. Run must
 // be safe to call repeatedly from a single goroutine.
 type Worker interface {
-	Run(Shard) (*ShardResult, error)
+	Run(WorkOrder) (*WorkReply, error)
 	Close() error
 }
 
 // inlineWorker runs shards in-process on its own session — the
-// single-process mode, and the test double for the fleet.
+// single-process mode, and the test double for the fleet. Its metrics
+// and flight records already live in whatever registry and recorder
+// the caller built the session on, so replies carry only the result
+// and (for traced orders) the spans.
 type inlineWorker struct {
 	s    *driver.Session
 	opts ShardOptions
@@ -93,8 +151,20 @@ func NewInlineWorker(s *driver.Session, opts ShardOptions) Worker {
 	return &inlineWorker{s: s, opts: opts}
 }
 
-func (w *inlineWorker) Run(sh Shard) (*ShardResult, error) { return runShardJob(w.s, sh, w.opts) }
-func (w *inlineWorker) Close() error                       { return nil }
+func (w *inlineWorker) Run(order WorkOrder) (*WorkReply, error) {
+	ropts := w.opts
+	var tel *telemetry.Ctx
+	if order.Trace != nil {
+		tel = telemetry.New()
+		ropts.Telemetry = tel
+	}
+	res, err := runShardJob(w.s, order.Shard, ropts)
+	if err != nil {
+		return nil, err
+	}
+	return &WorkReply{Result: res, Pid: os.Getpid(), Spans: tel.Events()}, nil
+}
+func (w *inlineWorker) Close() error { return nil }
 
 // pipeWorker speaks the JSON-lines protocol over a request writer and
 // a response reader — the coordinator side of a worker process (or of
@@ -114,27 +184,28 @@ func NewPipeWorker(requests io.Writer, responses io.Reader, closeFn func() error
 	return &pipeWorker{enc: json.NewEncoder(requests), sc: sc, close: closeFn}
 }
 
-func (w *pipeWorker) Run(sh Shard) (*ShardResult, error) {
-	if err := w.enc.Encode(&workRequest{Shard: sh}); err != nil {
-		return nil, fmt.Errorf("difftest fleet: sending shard %d: %w", sh.Index, err)
+func (w *pipeWorker) Run(order WorkOrder) (*WorkReply, error) {
+	idx := order.Shard.Index
+	if err := w.enc.Encode(&order); err != nil {
+		return nil, fmt.Errorf("difftest fleet: sending shard %d: %w", idx, err)
 	}
 	if !w.sc.Scan() {
 		if err := w.sc.Err(); err != nil {
-			return nil, fmt.Errorf("difftest fleet: shard %d: %w", sh.Index, err)
+			return nil, fmt.Errorf("difftest fleet: shard %d: %w", idx, err)
 		}
-		return nil, fmt.Errorf("difftest fleet: worker exited before answering shard %d", sh.Index)
+		return nil, fmt.Errorf("difftest fleet: worker exited before answering shard %d", idx)
 	}
-	var resp workResponse
-	if err := json.Unmarshal(w.sc.Bytes(), &resp); err != nil {
-		return nil, fmt.Errorf("difftest fleet: shard %d: bad response: %w", sh.Index, err)
+	var reply WorkReply
+	if err := json.Unmarshal(w.sc.Bytes(), &reply); err != nil {
+		return nil, fmt.Errorf("difftest fleet: shard %d: bad response: %w", idx, err)
 	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("difftest fleet: shard %d: worker: %s", sh.Index, resp.Err)
+	if reply.Err != "" {
+		return nil, fmt.Errorf("difftest fleet: shard %d: worker: %s", idx, reply.Err)
 	}
-	if resp.Result == nil {
-		return nil, fmt.Errorf("difftest fleet: shard %d: empty response", sh.Index)
+	if reply.Result == nil {
+		return nil, fmt.Errorf("difftest fleet: shard %d: empty response", idx)
 	}
-	return resp.Result, nil
+	return &reply, nil
 }
 
 func (w *pipeWorker) Close() error {
@@ -148,6 +219,9 @@ func (w *pipeWorker) Close() error {
 type FleetConfig struct {
 	Params  JournalParams
 	Workers int // concurrent workers (<=0 means 1)
+	// SweepID labels the sweep in trace requests and event records, so
+	// artifacts from different runs stay tellable apart.
+	SweepID string
 	// Journal, when non-nil, receives claim/done records and supplies
 	// already-completed shards (resume).
 	Journal *Journal
@@ -156,6 +230,22 @@ type FleetConfig struct {
 	CorpusDir string
 	// Metrics (optional) observes seeds, shards, and findings live.
 	Metrics *SweepMetrics
+	// Trace (optional) collects the fleet timeline: coordinator claim /
+	// dispatch / journal spans on the coordinator's process group, and
+	// every worker's shard spans re-based onto the coordinator clock,
+	// one trace process group per worker ordinal.
+	Trace *telemetry.Ctx
+	// Events (optional) receives structured lifecycle records under the
+	// "fleet" scope: claims, dispatches, resumes, dedup decisions,
+	// worker start/exit, and abort causes.
+	Events *evlog.Log
+	// Registry (optional) folds each reply's metrics delta under a
+	// process="worker<ordinal>" label, so scraping the coordinator shows
+	// the whole fleet's counters moving live.
+	Registry *metrics.Registry
+	// Jobs (optional) ingests worker flight records, tagged with their
+	// process, so /debug/jobs on the coordinator covers fleet-wide work.
+	Jobs *driver.FlightRecorder
 	// Progress (optional) receives a status line every ProgressEvery.
 	Progress      io.Writer
 	ProgressEvery time.Duration
@@ -177,15 +267,23 @@ func RunFleet(cfg FleetConfig, spawn func() (Worker, error)) (*Summary, error) {
 	if workers <= 0 {
 		workers = 1
 	}
+	ev := cfg.Events.Scope("fleet")
+	cfg.Trace.NameProcess(0, "coordinator")
 	results := make([]*ShardResult, len(shards))
 	var todo []Shard
 	for _, sh := range shards {
 		if r := cfg.Journal.Completed()[sh.Index]; r != nil && r.Shard == sh {
 			results[sh.Index] = r
 			cfg.Metrics.NoteShard(r, true)
+			ev.Info("shard.resume", evlog.Int("shard", int64(sh.Index)),
+				evlog.Int("seeds", int64(r.Seeds)))
 			continue
 		}
 		todo = append(todo, sh)
+	}
+	if resumed := len(shards) - len(todo); resumed > 0 {
+		ev.Info("journal.recovered", evlog.Int("shards", int64(resumed)),
+			evlog.Int("remaining", int64(len(todo))))
 	}
 	if workers > len(todo) {
 		workers = len(todo)
@@ -215,6 +313,7 @@ func RunFleet(cfg FleetConfig, spawn func() (Worker, error)) (*Summary, error) {
 		mu.Lock()
 		if firstErr == nil {
 			firstErr = err
+			ev.Error("sweep.abort", evlog.F("err", err.Error()))
 			close(stop)
 		}
 		mu.Unlock()
@@ -223,29 +322,76 @@ func RunFleet(cfg FleetConfig, spawn func() (Worker, error)) (*Summary, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(ordinal int) {
 			defer wg.Done()
+			proc := fmt.Sprintf("worker%d", ordinal)
 			w, err := spawn()
 			if err != nil {
 				fail(err)
 				return
 			}
-			defer w.Close()
+			ev.Info("worker.start", evlog.Int("worker", int64(ordinal)))
+			defer func() {
+				w.Close()
+				ev.Info("worker.exit", evlog.Int("worker", int64(ordinal)))
+			}()
+			// Worker spans land on their own trace process group; the
+			// coordinator's own claim/dispatch spans for this slot share one
+			// track per ordinal.
+			cfg.Trace.NameProcess(ordinal+2, proc)
 			for sh := range queue {
-				if err := cfg.Journal.Claim(sh.Index); err != nil {
-					fail(err)
-					return
-				}
-				res, err := w.Run(sh)
+				ev.Debug("shard.claim", evlog.Int("shard", int64(sh.Index)),
+					evlog.Int("worker", int64(ordinal)))
+				csp := cfg.Trace.StartSpan("fleet", "claim", fmt.Sprintf("shard%d", sh.Index))
+				err := cfg.Journal.Claim(sh.Index)
+				csp.End()
 				if err != nil {
 					fail(err)
 					return
 				}
-				if err := cfg.Journal.Done(res); err != nil {
+				order := WorkOrder{Shard: sh}
+				if cfg.Trace.Enabled() {
+					order.Trace = &TraceRequest{SweepID: cfg.SweepID, Ordinal: ordinal}
+				}
+				dispatchStart := cfg.Trace.Now()
+				dsp := cfg.Trace.StartSpan("fleet", "dispatch", fmt.Sprintf("shard%d", sh.Index))
+				reply, err := w.Run(order)
+				dsp.End()
+				if err != nil {
+					fail(err)
+					return
+				}
+				res := reply.Result
+				// Stitch: worker span clocks start at order receipt, so
+				// shifting by the dispatch time lines them up under the
+				// dispatch span on the coordinator timeline.
+				for _, e := range reply.Spans {
+					e.Start += dispatchStart
+					e.PID = ordinal + 2
+					cfg.Trace.AddEvent(e)
+				}
+				if cfg.Registry != nil && reply.Metrics != nil {
+					if err := cfg.Registry.Merge(reply.Metrics, metrics.L("process", proc)); err != nil {
+						fail(fmt.Errorf("difftest fleet: folding %s metrics: %w", proc, err))
+						return
+					}
+				}
+				for _, jr := range reply.Jobs {
+					jr.Process = proc
+					cfg.Jobs.Ingest(jr)
+				}
+				jsp := cfg.Trace.StartSpan("fleet", "journal.done", fmt.Sprintf("shard%d", sh.Index))
+				err = cfg.Journal.Done(res)
+				jsp.End()
+				if err != nil {
 					fail(err)
 					return
 				}
 				cfg.Metrics.NoteShard(res, false)
+				ev.Info("shard.done", evlog.Int("shard", int64(sh.Index)),
+					evlog.Int("worker", int64(ordinal)),
+					evlog.Int("seeds", int64(res.Seeds)),
+					evlog.Int("findings", int64(len(res.Findings))))
 				mu.Lock()
 				results[sh.Index] = res
 				doneSeeds += res.Seeds
@@ -266,7 +412,7 @@ func RunFleet(cfg FleetConfig, spawn func() (Worker, error)) (*Summary, error) {
 				}
 				mu.Unlock()
 			}
-		}()
+		}(i)
 	}
 feed:
 	for _, sh := range todo {
@@ -286,26 +432,33 @@ feed:
 	if err != nil {
 		return nil, err
 	}
-	if err := writeCorpus(cfg.CorpusDir, results, cfg.Params.Threads, cfg.Metrics); err != nil {
+	if err := writeCorpus(cfg.CorpusDir, results, cfg.Params.Threads, cfg.Metrics, ev); err != nil {
 		return nil, err
 	}
+	ev.Info("sweep.done", evlog.Int("seeds", int64(sum.Seeds)),
+		evlog.Int("finding_seeds", int64(sum.FindingSeeds)),
+		evlog.Int("unique_findings", int64(sum.UniqueFindings)))
 	return sum, nil
 }
 
 // writeCorpus materializes every unique finding (first occurrence in
 // shard order) as a repro dir, counting unique/duplicate findings into
 // the metrics as it goes. An empty dir counts but writes nothing.
-func writeCorpus(dir string, results []*ShardResult, threads int, sm *SweepMetrics) error {
+func writeCorpus(dir string, results []*ShardResult, threads int, sm *SweepMetrics, ev *evlog.Scope) error {
 	seen := map[string]bool{}
 	for _, r := range results {
 		for i := range r.Findings {
 			f := &r.Findings[i]
 			if seen[f.Fingerprint] {
 				sm.NoteFinding(false)
+				ev.Debug("finding.dedup", evlog.F("fingerprint", f.Fingerprint),
+					evlog.Uint("seed", f.Seed), evlog.Bool("unique", false))
 				continue
 			}
 			seen[f.Fingerprint] = true
 			sm.NoteFinding(true)
+			ev.Debug("finding.dedup", evlog.F("fingerprint", f.Fingerprint),
+				evlog.Uint("seed", f.Seed), evlog.Bool("unique", true))
 			if dir == "" {
 				continue
 			}

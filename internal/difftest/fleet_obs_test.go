@@ -1,0 +1,354 @@
+// Fleet observability tests: worker metrics folding into the
+// coordinator registry, span stitching into one multi-process trace,
+// structured event records, resource accounting, and the full
+// kill-and-resume path with all of it switched on.
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/evlog"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+// pipeSpawn builds Workers speaking the real JSON-lines protocol to an
+// in-process ServeWorker — the exact `difftest -worker` wire format,
+// without the exec.
+func pipeSpawn(opts ShardOptions) func() (Worker, error) {
+	return func() (Worker, error) {
+		reqR, reqW := io.Pipe()
+		respR, respW := io.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- ServeWorker(reqR, respW, opts) }()
+		return NewPipeWorker(reqW, respR, func() error {
+			reqW.Close() // stdin EOF: worker exits
+			err := <-done
+			respW.Close()
+			return err
+		}), nil
+	}
+}
+
+// barrierWorker holds every Run until all expected workers have one
+// shard in flight, so a multi-worker test deterministically spreads
+// shards across distinct workers instead of racing for the queue.
+type barrierWorker struct {
+	inner   Worker
+	entered chan struct{} // one send per Run entry
+	release chan struct{} // closed when all workers entered
+}
+
+func (w *barrierWorker) Run(order WorkOrder) (*WorkReply, error) {
+	w.entered <- struct{}{}
+	<-w.release
+	return w.inner.Run(order)
+}
+func (w *barrierWorker) Close() error { return w.inner.Close() }
+
+// TestFleetMergedMetrics: worker-side counters must surface in the
+// coordinator's registry under a process label — the "one scrape sees
+// the whole fleet" acceptance check.
+func TestFleetMergedMetrics(t *testing.T) {
+	withOracle(t, newFakeOracle(map[uint64]string{3: "opt"}))
+	reg := metrics.NewRegistry()
+	params := JournalParams{Seed: 0, N: 20, ShardSize: 10, Threads: 2}
+	sum, err := RunFleet(FleetConfig{
+		Params: params, Workers: 1, Registry: reg,
+	}, pipeSpawn(ShardOptions{Threads: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Seeds != 20 {
+		t.Fatalf("seeds = %d, want 20", sum.Seeds)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scrape := buf.String()
+	want := `splendid_driver_jobs_completed_total{kind="shard",process="worker0"} 2`
+	if !strings.Contains(scrape, want) {
+		t.Errorf("merged scrape missing %q:\n%s", want, scrape)
+	}
+}
+
+// TestFleetStitchedTrace: a two-worker sweep must produce one trace
+// with the coordinator's claim/dispatch spans on its own process group
+// and each worker's shard/seed spans on that worker's group.
+func TestFleetStitchedTrace(t *testing.T) {
+	withOracle(t, newFakeOracle(nil))
+	tel := telemetry.New()
+	params := JournalParams{Seed: 0, N: 20, ShardSize: 10, Threads: 2}
+
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	go func() {
+		for i := 0; i < 2; i++ {
+			<-entered
+		}
+		close(release)
+	}()
+	spawn := func() (Worker, error) {
+		return &barrierWorker{
+			inner:   NewInlineWorker(driver.New(driver.Options{}), ShardOptions{Threads: 2}),
+			entered: entered,
+			release: release,
+		}, nil
+	}
+	if _, err := RunFleet(FleetConfig{
+		Params: params, Workers: 2, SweepID: "test-sweep", Trace: tel,
+	}, spawn); err != nil {
+		t.Fatal(err)
+	}
+
+	tf := tel.Trace()
+	names := map[int]string{}
+	spansByPid := map[int][]telemetry.TraceEvent{}
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "M":
+			names[e.Pid] = e.Args["name"].(string)
+		case "X":
+			spansByPid[e.Pid] = append(spansByPid[e.Pid], e)
+		}
+	}
+	if names[1] != "coordinator" || names[2] != "worker0" || names[3] != "worker1" {
+		t.Fatalf("process names = %v, want coordinator/worker0/worker1 on pids 1/2/3", names)
+	}
+	// Both workers held a shard at the barrier, so both process groups
+	// must carry shard spans — distinct tracks in the stitched trace.
+	for _, pid := range []int{2, 3} {
+		var shards, seeds int
+		for _, e := range spansByPid[pid] {
+			switch e.Name {
+			case "shard":
+				shards++
+			case "seed":
+				seeds++
+			}
+		}
+		if shards < 1 || seeds < 10 {
+			t.Errorf("pid %d (%s): %d shard spans, %d seed spans; want >=1 and >=10",
+				pid, names[pid], shards, seeds)
+		}
+	}
+	var claims, dispatches int
+	for _, e := range spansByPid[1] {
+		switch e.Name {
+		case "claim":
+			claims++
+		case "dispatch":
+			dispatches++
+		}
+	}
+	if claims != 2 || dispatches != 2 {
+		t.Errorf("coordinator spans: %d claims, %d dispatches; want 2/2", claims, dispatches)
+	}
+	// The whole file must be decodable Chrome trace JSON.
+	var buf bytes.Buffer
+	if err := tel.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round telemetry.TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("trace does not round-trip: %v", err)
+	}
+}
+
+// TestFleetEvents: the sweep's lifecycle must land in the event log —
+// worker start/exit, claims, completions, dedup verdicts, and the
+// final sweep.done.
+func TestFleetEvents(t *testing.T) {
+	withOracle(t, newFakeOracle(map[uint64]string{3: "opt", 7: "opt"}))
+	lg := evlog.New(256)
+	params := JournalParams{Seed: 0, N: 10, ShardSize: 10, Threads: 2}
+	if _, err := RunFleet(FleetConfig{
+		Params: params, Workers: 1, Events: lg,
+	}, inlineSpawn); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range lg.Records() {
+		if r.Scope != "fleet" {
+			continue
+		}
+		counts[r.Event]++
+	}
+	for ev, want := range map[string]int{
+		"worker.start": 1, "worker.exit": 1,
+		"shard.claim": 1, "shard.done": 1,
+		"finding.dedup": 2, // seed 3 unique, seed 7 duplicate
+		"sweep.done":    1,
+	} {
+		if counts[ev] != want {
+			t.Errorf("event %q recorded %d times, want %d (all: %v)", ev, counts[ev], want, counts)
+		}
+	}
+}
+
+// TestShardAccounting: opted-in accounting fills Usage with plausible
+// figures and BuildSummary folds them into the versioned resources
+// section; without the opt-in both stay nil.
+func TestShardAccounting(t *testing.T) {
+	withOracle(t, newFakeOracle(nil))
+	s := driver.New(driver.Options{})
+	sh := Shard{Index: 0, Seed: 0, Count: 10}
+	res, err := RunShard(s, sh, ShardOptions{Threads: 2, Accounting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Usage == nil {
+		t.Fatal("Accounting set but Usage is nil")
+	}
+	if res.Usage.Mallocs == 0 || res.Usage.AllocBytes == 0 || res.Usage.HeapSysBytes == 0 {
+		t.Errorf("usage figures implausibly zero: %+v", res.Usage)
+	}
+	if res.Usage.CPUNS < 0 {
+		t.Errorf("negative CPU time: %d", res.Usage.CPUNS)
+	}
+
+	params := JournalParams{Seed: 0, N: 10, ShardSize: 10, Threads: 2}
+	sum, err := BuildSummary(params, []*ShardResult{res}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sum.Resources
+	if r == nil || r.Schema != ResourceSchema || r.ShardsReporting != 1 {
+		t.Fatalf("resources section = %+v, want schema %s with 1 shard", r, ResourceSchema)
+	}
+	if r.Mallocs != res.Usage.Mallocs || r.MaxHeapSysBytes != res.Usage.HeapSysBytes {
+		t.Errorf("resources fold mismatch: %+v vs %+v", r, res.Usage)
+	}
+
+	plain, err := RunShard(driver.New(driver.Options{}), sh, ShardOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Usage != nil {
+		t.Error("Usage measured without the Accounting opt-in")
+	}
+}
+
+// TestFleetKillResumeObservability is the end-to-end acceptance check:
+// a sweep dies mid-run (journal holds some shards), the resumed run
+// carries the full observability config, and afterwards the merged
+// metrics show worker-originated series, the stitched trace is
+// well-formed with worker spans, and the event log records the
+// recovery — while the summary stays byte-identical to an
+// uninterrupted run.
+func TestFleetKillResumeObservability(t *testing.T) {
+	failures := map[uint64]string{3: "opt", 17: "parallel"}
+	params := JournalParams{Seed: 0, N: 40, ShardSize: 10, Threads: 2}
+
+	o1 := newFakeOracle(failures)
+	withOracle(t, o1)
+	full, err := RunFleet(FleetConfig{Params: params, Workers: 2}, inlineSpawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Kill": two shards reach the journal, then the run stops.
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(path, params, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := driver.New(driver.Options{})
+	for idx := 0; idx < 2; idx++ {
+		sh := Shard{Index: idx, Seed: uint64(idx * 10), Count: 10}
+		j.Claim(sh.Index)
+		res, err := RunShard(s, sh, ShardOptions{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Done(res)
+	}
+	j.Close()
+
+	o2 := newFakeOracle(failures)
+	checkSeed = o2.check
+	rj, err := OpenJournal(path, params, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rj.Close()
+
+	reg := metrics.NewRegistry()
+	tel := telemetry.New()
+	lg := evlog.New(512)
+	resumed, err := RunFleet(FleetConfig{
+		Params: params, Workers: 1, Journal: rj, SweepID: "resume-sweep",
+		Registry: reg, Trace: tel, Events: lg,
+	}, pipeSpawn(ShardOptions{Threads: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed summary differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		if o2.ran(seed) {
+			t.Errorf("seed %d belongs to a journaled shard but ran again", seed)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `process="worker0"`) {
+		t.Errorf("merged metrics carry no worker series:\n%s", buf.String())
+	}
+
+	tf := tel.Trace()
+	var meta, workerSpans int
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" {
+			meta++
+		}
+		if e.Ph == "X" && e.Pid == 2 {
+			workerSpans++
+		}
+	}
+	if meta != 2 { // coordinator + worker0
+		t.Errorf("trace has %d process_name records, want 2", meta)
+	}
+	if workerSpans < 2 { // the two re-run shards at minimum
+		t.Errorf("trace has %d worker spans, want >= 2", workerSpans)
+	}
+	var tfr telemetry.TraceFile
+	buf.Reset()
+	if err := tel.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tfr); err != nil {
+		t.Fatalf("stitched trace is not valid trace JSON: %v", err)
+	}
+
+	events := map[string]int{}
+	for _, r := range lg.Records() {
+		events[fmt.Sprintf("%s/%s", r.Scope, r.Event)]++
+	}
+	if events["fleet/journal.recovered"] != 1 || events["fleet/shard.resume"] != 2 {
+		t.Errorf("recovery events = %v, want 1 journal.recovered and 2 shard.resume", events)
+	}
+	if events["fleet/shard.done"] != 2 || events["fleet/sweep.done"] != 1 {
+		t.Errorf("completion events = %v, want 2 shard.done and 1 sweep.done", events)
+	}
+}

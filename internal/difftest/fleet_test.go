@@ -248,7 +248,7 @@ func TestRunFleetWorkerError(t *testing.T) {
 
 type failingWorker struct{}
 
-func (failingWorker) Run(sh Shard) (*ShardResult, error) {
-	return nil, fmt.Errorf("synthetic infrastructure failure on shard %d", sh.Index)
+func (failingWorker) Run(order WorkOrder) (*WorkReply, error) {
+	return nil, fmt.Errorf("synthetic infrastructure failure on shard %d", order.Shard.Index)
 }
 func (failingWorker) Close() error { return nil }

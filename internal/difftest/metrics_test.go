@@ -1,10 +1,11 @@
 package difftest
 
 import (
-	"bytes"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"repro/internal/debugserv"
 	"repro/internal/driver"
 	"repro/internal/metrics"
 )
@@ -62,12 +63,20 @@ func TestOneScrapeAllLayers(t *testing.T) {
 	}
 	sweep.Note(rep)
 
-	var buf bytes.Buffer
-	if err := reg.WritePrometheus(&buf); err != nil {
-		t.Fatal(err)
+	// Scrape through the debug server's handler (not the registry
+	// directly) so the scrape also carries the build-metadata gauge the
+	// handler registers on mount.
+	rr := httptest.NewRecorder()
+	debugserv.Handler(debugserv.Options{Registry: reg}).
+		ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/metrics scrape: %d", rr.Code)
 	}
-	scrape := buf.String()
+	scrape := rr.Body.String()
 	for _, want := range []string{
+		// build metadata
+		`splendid_build_info{engines="bytecode,tree"`,
+		`schema_metrics="` + metrics.SnapshotSchema + `"`,
 		// driver session
 		`splendid_driver_jobs_completed_total{kind="roundtrip"} 1`,
 		`splendid_driver_stage_seconds_count{stage="optimize"}`,

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/driver"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // A corpus-scale sweep is partitioned into shards: contiguous seed
@@ -91,6 +92,22 @@ type ShardResult struct {
 	Parallelized int       `json:"parallelized"`
 	Trapping     int       `json:"trapping"`
 	Findings     []Finding `json:"findings,omitempty"`
+	// Usage is the shard's resource accounting, nil unless
+	// ShardOptions.Accounting asked for it (measurements are
+	// nondeterministic, so byte-compared artifacts leave it off).
+	Usage *ShardUsage `json:"usage,omitempty"`
+}
+
+// ShardUsage is one shard's measured resource consumption: process CPU
+// time (user+system, via getrusage where available) and Go heap
+// activity deltas across the shard's execution. HeapSysBytes is the
+// runtime's OS-claimed heap after the shard — a high-water figure, not
+// a delta, since the runtime rarely returns spans to the OS mid-run.
+type ShardUsage struct {
+	CPUNS        int64  `json:"cpu_ns"`
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	Mallocs      uint64 `json:"mallocs"`
+	HeapSysBytes uint64 `json:"heap_sys_bytes"`
 }
 
 // ShardOptions configures RunShard.
@@ -100,6 +117,15 @@ type ShardOptions struct {
 	// PerSeed, when set, observes every seed's report as it completes
 	// (the -v per-seed progress hook). Fleet workers leave it nil.
 	PerSeed func(seed uint64, rep *Report)
+	// Telemetry, when non-nil, records the shard's timeline: one span
+	// for the shard, one per seed, and one per finding reduction. Fleet
+	// workers get a fresh context per traced order and ship its spans
+	// home in the WorkReply.
+	Telemetry *telemetry.Ctx
+	// Accounting, when set, measures the shard's resource consumption
+	// into ShardResult.Usage. Off by default because the figures are
+	// nondeterministic and would break byte-compared summaries.
+	Accounting bool
 }
 
 // checkSeed is the per-seed oracle entry, indirect so fleet tests can
@@ -116,11 +142,21 @@ func RunShard(s *driver.Session, sh Shard, opts ShardOptions) (*ShardResult, err
 	if threads <= 0 {
 		threads = 8
 	}
+	shardSpan := opts.Telemetry.StartSpan("shard", "shard",
+		fmt.Sprintf("shard%d[%d+%d)", sh.Index, sh.Seed, sh.Count))
+	defer shardSpan.End()
+	var acct *usageMeter
 	res := &ShardResult{Shard: sh}
+	if opts.Accounting {
+		acct = startUsage()
+		defer func() { res.Usage = acct.stop() }()
+	}
 	for i := 0; i < sh.Count; i++ {
 		seed := sh.Seed + uint64(i)
+		seedSpan := opts.Telemetry.StartSpan("seed", "seed", fmt.Sprintf("%d", seed))
 		rep, err := checkSeed(s, seed, driver.RoundTripOptions{Threads: threads})
 		if err != nil {
+			seedSpan.End()
 			return nil, fmt.Errorf("shard %d: %w", sh.Index, err)
 		}
 		res.Seeds++
@@ -129,6 +165,7 @@ func RunShard(s *driver.Session, sh Shard, opts ShardOptions) (*ShardResult, err
 		}
 		if rep.Skipped() {
 			res.Skipped++
+			seedSpan.End()
 			continue
 		}
 		if rep.Result.ParallelizedLoops > 0 {
@@ -138,14 +175,15 @@ func RunShard(s *driver.Session, sh Shard, opts ShardOptions) (*ShardResult, err
 			res.Trapping++
 		}
 		if rep.Failed() {
-			res.Findings = append(res.Findings, newFinding(seed, rep, threads))
+			res.Findings = append(res.Findings, newFinding(seed, rep, threads, opts.Telemetry))
 		}
+		seedSpan.End()
 	}
 	return res, nil
 }
 
 // newFinding reduces and fingerprints one failing seed's report.
-func newFinding(seed uint64, rep *Report, threads int) Finding {
+func newFinding(seed uint64, rep *Report, threads int, tel *telemetry.Ctx) Finding {
 	f := Finding{
 		Seed:        seed,
 		Divergences: rep.Divergences,
@@ -167,6 +205,8 @@ func newFinding(seed uint64, rep *Report, threads int) Finding {
 		f.Entries = []string{"main"}
 	}
 	failing := func(m *ir.Module) bool { return ModuleDiverges(m, f.Entries, threads) }
+	reduceSpan := tel.StartSpan("reduce", "reduce", fmt.Sprintf("%d", seed))
+	defer reduceSpan.End()
 	if rr, err := Reduce(rep.Result.OptIR, failing, 0); err == nil {
 		f.ReducedIR = rr.IR
 		f.ReducedInstrs = rr.Instrs

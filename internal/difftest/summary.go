@@ -18,6 +18,25 @@ import (
 // SummarySchema identifies the summary JSON layout.
 const SummarySchema = "splendid-difftest-summary/v1"
 
+// ResourceSchema identifies the summary's resources section. It is
+// versioned separately from the summary because it is the one section
+// whose figures are measurements, not deterministic folds — tools that
+// byte-compare summaries strip it by this tag.
+const ResourceSchema = "splendid-difftest-resources/v1"
+
+// ResourceSummary aggregates worker-reported per-shard accounting
+// (ShardResult.Usage) across the sweep. MaxHeapSysBytes is the largest
+// single-shard OS-claimed heap seen on any worker — the fleet's memory
+// high-water mark per process, not a sum.
+type ResourceSummary struct {
+	Schema          string `json:"schema"`
+	ShardsReporting int    `json:"shards_reporting"`
+	CPUNS           int64  `json:"cpu_ns"`
+	AllocBytes      uint64 `json:"alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+	MaxHeapSysBytes uint64 `json:"max_heap_sys_bytes"`
+}
+
 // ClassSummary aggregates one divergence class across the sweep.
 type ClassSummary struct {
 	Class string `json:"class"`
@@ -64,6 +83,11 @@ type Summary struct {
 
 	Classes  []ClassSummary   `json:"classes"`
 	Findings []SummaryFinding `json:"findings,omitempty"`
+
+	// Resources aggregates per-shard accounting; nil when no shard
+	// carried a usage record (accounting off, or resumed from a journal
+	// written without it).
+	Resources *ResourceSummary `json:"resources,omitempty"`
 }
 
 // BuildSummary folds per-shard results into the sweep artifact.
@@ -95,6 +119,19 @@ func BuildSummary(params JournalParams, results []*ShardResult, corpusDir string
 		sum.Skipped += r.Skipped
 		sum.Parallelized += r.Parallelized
 		sum.Trapping += r.Trapping
+		if u := r.Usage; u != nil {
+			if sum.Resources == nil {
+				sum.Resources = &ResourceSummary{Schema: ResourceSchema}
+			}
+			res := sum.Resources
+			res.ShardsReporting++
+			res.CPUNS += u.CPUNS
+			res.AllocBytes += u.AllocBytes
+			res.Mallocs += u.Mallocs
+			if u.HeapSysBytes > res.MaxHeapSysBytes {
+				res.MaxHeapSysBytes = u.HeapSysBytes
+			}
+		}
 		for _, f := range r.Findings {
 			sum.FindingSeeds++
 			seen := map[string]bool{}

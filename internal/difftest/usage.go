@@ -1,0 +1,37 @@
+package difftest
+
+import "runtime"
+
+// Per-shard resource accounting. A usageMeter brackets one shard's
+// execution: CPU time comes from the OS (getrusage on unix, zero
+// elsewhere — see usage_unix.go / usage_other.go), heap activity from
+// runtime.MemStats deltas. The figures are process-wide, which is
+// exactly right for fleet workers (one shard in flight per process)
+// and an explicit approximation for inline multi-worker runs — the
+// reason accounting is opt-in rather than always-on.
+
+// usageMeter holds the measurement baseline taken at shard start.
+type usageMeter struct {
+	cpuNS   int64
+	alloc   uint64
+	mallocs uint64
+}
+
+// startUsage snapshots the baseline.
+func startUsage() *usageMeter {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &usageMeter{cpuNS: cpuTimeNS(), alloc: ms.TotalAlloc, mallocs: ms.Mallocs}
+}
+
+// stop measures again and returns the shard's consumption.
+func (u *usageMeter) stop() *ShardUsage {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &ShardUsage{
+		CPUNS:        cpuTimeNS() - u.cpuNS,
+		AllocBytes:   ms.TotalAlloc - u.alloc,
+		Mallocs:      ms.Mallocs - u.mallocs,
+		HeapSysBytes: ms.HeapSys,
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package difftest
+
+// cpuTimeNS has no portable source off unix; usage records there
+// report zero CPU and rely on the heap figures alone.
+func cpuTimeNS() int64 { return 0 }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package difftest
+
+import "syscall"
+
+// cpuTimeNS reads the process's cumulative CPU time (user + system)
+// in nanoseconds. Errors degrade to zero — accounting is best-effort
+// telemetry, never a reason to fail a shard.
+func cpuTimeNS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvNanos(ru.Utime) + tvNanos(ru.Stime)
+}
+
+func tvNanos(tv syscall.Timeval) int64 {
+	return int64(tv.Sec)*1e9 + int64(tv.Usec)*1e3
+}

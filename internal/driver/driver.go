@@ -35,6 +35,7 @@ import (
 	"repro/internal/cfront"
 	"repro/internal/decomp/ghidra"
 	"repro/internal/decomp/rellic"
+	"repro/internal/evlog"
 	"repro/internal/ir"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
@@ -59,14 +60,18 @@ type Options struct {
 	// behaviour, scheduler utilization, interpreter activity — for
 	// scraping via the debug server. Nil disables collection.
 	Metrics *metrics.Registry
-	// JobHistory is the flight recorder's capacity: how many recent
+	// JobHistoryLimit is the flight recorder's capacity: how many recent
 	// pipeline jobs /debug/jobs retains. 0 means the default (64);
 	// negative disables recording entirely.
-	JobHistory int
+	JobHistoryLimit int
+	// Events receives structured lifecycle records (job start/done/fail)
+	// from every job the session runs — the narrative counterpart of the
+	// metrics counters, served at /debug/events. Nil disables logging.
+	Events *evlog.Log
 }
 
 // defaultJobHistory is the flight-recorder capacity when Options leaves
-// JobHistory at zero.
+// JobHistoryLimit at zero.
 const defaultJobHistory = 64
 
 // Session is one compilation pipeline instance. The zero value is not
@@ -78,6 +83,7 @@ type Session struct {
 
 	met sessionMetrics
 	rec *FlightRecorder
+	ev  *evlog.Scope
 
 	mu   sync.Mutex
 	memo map[uint64]*memoEntry
@@ -102,7 +108,7 @@ func New(opts Options) *Session {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	history := opts.JobHistory
+	history := opts.JobHistoryLimit
 	if history == 0 {
 		history = defaultJobHistory
 	}
@@ -114,6 +120,7 @@ func New(opts Options) *Session {
 		am:   am,
 		met:  newSessionMetrics(opts.Metrics),
 		rec:  newFlightRecorder(history),
+		ev:   opts.Events.Scope("driver"),
 		memo: map[uint64]*memoEntry{},
 	}
 }

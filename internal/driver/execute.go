@@ -45,6 +45,10 @@ func EngineFor(name string) (interp.BodyEngine, error) {
 	return nil, fmt.Errorf("unknown engine %q (want tree or bytecode)", name)
 }
 
+// EngineNames lists the selectable body engines, sorted — the build
+// metadata scrapes and CLIs report this set.
+func EngineNames() []string { return []string{"bytecode", "tree"} }
+
 // ExecResult is the outcome of one Execute call.
 type ExecResult struct {
 	// Ret is the entry function's return value.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/evlog"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/metrics"
@@ -71,6 +72,10 @@ type JobRecord struct {
 	Seq  int64  `json:"seq"`
 	Kind string `json:"kind"` // compile | decompile | execute | roundtrip
 	Name string `json:"name"`
+	// Process is the record's provenance when it was ingested from
+	// another process's recorder (the fleet coordinator tags worker shard
+	// jobs "worker0", "worker1", ...); "" for jobs this session ran.
+	Process string `json:"process,omitempty"`
 	// SourceHash fingerprints the input source ("%016x" of ir.HashBytes)
 	// so repeated jobs over the same program correlate across restarts.
 	SourceHash  string `json:"source_hash,omitempty"`
@@ -140,6 +145,25 @@ func (fr *FlightRecorder) record(jr JobRecord) {
 	fr.mu.Unlock()
 }
 
+// Ingest folds a record from another process's recorder into this
+// ring. The record is re-sequenced locally (sequence numbers are
+// per-recorder); callers set JobRecord.Process so /debug/jobs readers
+// can tell whose work it was. Nil-safe.
+func (fr *FlightRecorder) Ingest(jr JobRecord) { fr.record(jr) }
+
+// Since returns the retained records with sequence numbers greater
+// than seq, oldest first. Fleet workers use it to ship only the job
+// records that are new since their previous response. Nil-safe.
+func (fr *FlightRecorder) Since(seq int64) []JobRecord {
+	var out []JobRecord
+	for _, jr := range fr.Snapshot().Jobs {
+		if jr.Seq > seq {
+			out = append(out, jr)
+		}
+	}
+	return out
+}
+
 // Snapshot copies the retained records, oldest first.
 func (fr *FlightRecorder) Snapshot() JobsSnapshot {
 	out := JobsSnapshot{Schema: FlightRecordSchema, Jobs: []JobRecord{}}
@@ -176,10 +200,11 @@ type jobBuilder struct {
 // startJob opens a job of the given kind, bumping the started counter.
 // Returns nil (recording nothing) when the session observes nothing.
 func (s *Session) startJob(kind, name string) *jobBuilder {
-	if s.rec == nil && s.opts.Metrics == nil {
+	if s.rec == nil && s.opts.Metrics == nil && s.ev == nil {
 		return nil
 	}
 	s.met.started[kind].Inc()
+	s.ev.Debug("job.start", evlog.F("kind", kind), evlog.F("name", name))
 	jb := &jobBuilder{s: s, start: time.Now()}
 	jb.rec = JobRecord{Kind: kind, Name: name, StartUnixNS: jb.start.UnixNano()}
 	return jb
@@ -261,8 +286,14 @@ func (jb *jobBuilder) finish(err error) {
 	if err != nil {
 		jb.rec.Err = err.Error()
 		jb.s.met.failed[jb.rec.Kind].Inc()
+		jb.s.ev.Error("job.fail",
+			evlog.F("kind", jb.rec.Kind), evlog.F("name", jb.rec.Name),
+			evlog.Int("wall_ns", jb.rec.WallNS), evlog.F("err", jb.rec.Err))
 	} else {
 		jb.s.met.completed[jb.rec.Kind].Inc()
+		jb.s.ev.Info("job.done",
+			evlog.F("kind", jb.rec.Kind), evlog.F("name", jb.rec.Name),
+			evlog.Int("wall_ns", jb.rec.WallNS))
 	}
 	jb.s.rec.record(jb.rec)
 }

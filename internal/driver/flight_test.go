@@ -38,6 +38,51 @@ func TestFlightRecorderRing(t *testing.T) {
 	}
 }
 
+// TestFlightRecorderIngestSince: Since returns only records past a
+// sequence watermark (the fleet worker's "new since last response"
+// delta), and Ingest re-sequences foreign records locally while
+// preserving their Process provenance tag.
+func TestFlightRecorderIngestSince(t *testing.T) {
+	fr := newFlightRecorder(8)
+	for i := 0; i < 4; i++ {
+		fr.record(JobRecord{Kind: "shard"})
+	}
+	since := fr.Since(2)
+	if len(since) != 2 || since[0].Seq != 3 || since[1].Seq != 4 {
+		t.Fatalf("Since(2) = %+v, want seqs [3 4]", since)
+	}
+	if got := fr.Since(99); len(got) != 0 {
+		t.Errorf("Since(99) = %+v, want empty", got)
+	}
+
+	coord := newFlightRecorder(8)
+	coord.record(JobRecord{Kind: "compile", Name: "local"})
+	for _, jr := range since {
+		jr.Process = "worker0"
+		coord.Ingest(jr)
+	}
+	snap := coord.Snapshot()
+	if len(snap.Jobs) != 3 {
+		t.Fatalf("coordinator retained %d jobs, want 3", len(snap.Jobs))
+	}
+	for i, jr := range snap.Jobs {
+		if jr.Seq != int64(i+1) {
+			t.Errorf("jobs[%d].Seq = %d, want %d (re-sequenced locally)", i, jr.Seq, i+1)
+		}
+	}
+	if snap.Jobs[0].Process != "" || snap.Jobs[1].Process != "worker0" || snap.Jobs[2].Process != "worker0" {
+		t.Errorf("process tags = %q/%q/%q, want \"\"/worker0/worker0",
+			snap.Jobs[0].Process, snap.Jobs[1].Process, snap.Jobs[2].Process)
+	}
+
+	// Nil safety.
+	var nilFR *FlightRecorder
+	nilFR.Ingest(JobRecord{Kind: "shard"})
+	if got := nilFR.Since(0); got != nil {
+		t.Errorf("nil Since = %+v, want nil", got)
+	}
+}
+
 // TestFlightRecorderNil: a nil recorder (recording disabled) must
 // swallow records and serve a valid empty document, not crash or error.
 func TestFlightRecorderNil(t *testing.T) {
@@ -190,11 +235,11 @@ func TestFlightRecordSchemaGolden(t *testing.T) {
 	}
 }
 
-// TestFlightRecorderDisabled: JobHistory < 0 disables recording while
+// TestFlightRecorderDisabled: JobHistoryLimit < 0 disables recording while
 // leaving jobs themselves working, and the session serves the empty
 // document.
 func TestFlightRecorderDisabled(t *testing.T) {
-	s := New(Options{Jobs: 1, JobHistory: -1})
+	s := New(Options{Jobs: 1, JobHistoryLimit: -1})
 	m, _, err := s.ParallelIR("flight", flightSource)
 	if err != nil {
 		t.Fatal(err)
@@ -251,7 +296,7 @@ func TestShardJobRecord(t *testing.T) {
 	}
 
 	// Nil safety: disabled recording and a nil handle both no-op.
-	off := New(Options{Jobs: 1, JobHistory: -1})
+	off := New(Options{Jobs: 1, JobHistoryLimit: -1})
 	j := off.StartShardJob("shard2[100+50)")
 	j.Divergences([]string{"opt"})
 	j.Finish(nil)

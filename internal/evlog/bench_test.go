@@ -1,0 +1,52 @@
+package evlog
+
+import "testing"
+
+// BenchmarkDisabledEvlog measures (and asserts, via AllocsPerRun) the
+// disabled path: a nil scope from a nil log. This is what every
+// instrumented control path pays when logging is off — a pointer check
+// and zero allocations, the same contract as internal/metrics.
+func BenchmarkDisabledEvlog(b *testing.B) {
+	var l *Log
+	sc := l.Scope("fleet")
+	if n := testing.AllocsPerRun(100, func() {
+		sc.Info("claim", Int("shard", 3), F("state", "live"))
+	}); n != 0 {
+		b.Fatalf("disabled evlog path allocates %v times per op, want 0", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Info("claim", Int("shard", 3), F("state", "live"))
+	}
+}
+
+// BenchmarkEnabledEvlog is the attached-log counterpart: one lock, one
+// ring slot, one copied field slice.
+func BenchmarkEnabledEvlog(b *testing.B) {
+	l := New(DefaultCapacity)
+	sc := l.Scope("fleet")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Info("claim", Int("shard", 3), F("state", "live"))
+	}
+}
+
+// BenchmarkBelowLevelEvlog: an enabled log dropping a below-minimum
+// record must not allocate either — the level check precedes the copy.
+func BenchmarkBelowLevelEvlog(b *testing.B) {
+	l := New(DefaultCapacity)
+	l.SetMinLevel(Error)
+	sc := l.Scope("fleet")
+	if n := testing.AllocsPerRun(100, func() {
+		sc.Debug("claim", Int("shard", 3))
+	}); n != 0 {
+		b.Fatalf("below-level evlog path allocates %v times per op, want 0", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Debug("claim", Int("shard", 3))
+	}
+}

@@ -1,0 +1,225 @@
+// Package evlog is the process's structured event log: leveled
+// key=value records in a bounded in-memory ring, exportable as a
+// deterministic versioned JSON document and servable live at
+// /debug/events. Where internal/metrics answers "how much, how fast"
+// as aggregates and the flight recorder keeps whole job records, evlog
+// keeps the narrative — claims, dispatches, resumes, dedup decisions,
+// worker lifecycle — cheap enough to leave on and small enough to dump
+// whole into a sweep's artifact directory when a run aborts.
+//
+// The contract mirrors internal/metrics' nil-disabled discipline:
+//
+//   - handles (*Scope) are acquired once, at component construction,
+//     from a *Log;
+//   - a nil *Log hands out nil scopes, and every method is
+//     nil-receiver-safe and allocation-free, so instrumented paths
+//     cost one pointer check when logging is off (asserted by
+//     TestDisabledEvlogAllocs / BenchmarkDisabledEvlog);
+//   - field values are small unions (string/int/uint/bool), formatted
+//     lazily at export time, so building a record never runs strconv
+//     on the hot path and a below-level emit does no work.
+//
+// Records are ordered by a per-log sequence number; the ring keeps the
+// most recent Capacity records and the export counts everything ever
+// recorded so readers can tell how much history was dropped.
+package evlog
+
+import (
+	"sync"
+	"time"
+)
+
+// Level classifies a record's severity.
+type Level int32
+
+// Levels, in increasing severity. The log drops records below its
+// minimum level (Debug by default, so everything is kept).
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+// String returns the level's lower-case name.
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// Field value kinds. Values are stored raw and formatted at export
+// time, keeping Emit free of strconv and interface boxing.
+const (
+	fieldStr = iota
+	fieldInt
+	fieldUint
+	fieldBool
+)
+
+// Field is one key=value dimension of a record. Construct with F, Int,
+// Uint, or Bool; the zero Field renders as key="".
+type Field struct {
+	Key  string
+	str  string
+	num  uint64
+	kind uint8
+}
+
+// F is a string-valued field.
+func F(key, value string) Field { return Field{Key: key, str: value} }
+
+// Int is an int64-valued field.
+func Int(key string, v int64) Field { return Field{Key: key, num: uint64(v), kind: fieldInt} }
+
+// Uint is a uint64-valued field.
+func Uint(key string, v uint64) Field { return Field{Key: key, num: v, kind: fieldUint} }
+
+// Bool is a bool-valued field.
+func Bool(key string, v bool) Field {
+	var n uint64
+	if v {
+		n = 1
+	}
+	return Field{Key: key, num: n, kind: fieldBool}
+}
+
+// Record is one completed log entry. T is the log's monotonic clock
+// reading at emit time (an offset, not wall time, so exports from a
+// fixed fake clock are byte-stable in golden tests).
+type Record struct {
+	Seq    int64
+	T      time.Duration
+	Level  Level
+	Scope  string
+	Event  string
+	Fields []Field
+}
+
+// DefaultCapacity is the ring size when New is given no capacity.
+const DefaultCapacity = 1024
+
+// Log is one bounded event log. The zero value is not useful; use New
+// or NewWithClock. A nil *Log is the disabled configuration: it hands
+// out nil scopes and records nothing.
+type Log struct {
+	clock func() time.Duration
+
+	mu   sync.Mutex
+	min  Level
+	ring []Record
+	next int
+	full bool
+	seq  int64
+}
+
+// New returns a log of the given capacity (<=0 means DefaultCapacity)
+// reading the process monotonic clock.
+func New(capacity int) *Log {
+	base := time.Now()
+	return NewWithClock(capacity, func() time.Duration { return time.Since(base) })
+}
+
+// NewWithClock returns a log reading time from clock, which must be
+// monotonic non-decreasing. Tests use fake clocks for golden output.
+func NewWithClock(capacity int, clock func() time.Duration) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{clock: clock, ring: make([]Record, capacity)}
+}
+
+// Enabled reports whether l records anything (i.e. is non-nil).
+func (l *Log) Enabled() bool { return l != nil }
+
+// SetMinLevel drops future records below lv. The default minimum is
+// Debug (keep everything).
+func (l *Log) SetMinLevel(lv Level) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.min = lv
+	l.mu.Unlock()
+}
+
+// Scope returns a named emit handle (by convention the component name:
+// "fleet", "driver", "journal"). A nil log returns a nil scope whose
+// methods are no-ops.
+func (l *Log) Scope(name string) *Scope {
+	if l == nil {
+		return nil
+	}
+	return &Scope{l: l, name: name}
+}
+
+// Scope is one component's handle on the log. All methods are nil-safe
+// and, on the disabled path, allocation-free.
+type Scope struct {
+	l    *Log
+	name string
+}
+
+// Emit records one event at the given level. Fields are copied, so the
+// caller's (usually stack-allocated, variadic) slice is not retained.
+func (s *Scope) Emit(lv Level, event string, fields ...Field) {
+	if s == nil || s.l == nil {
+		return
+	}
+	l := s.l
+	l.mu.Lock()
+	if lv < l.min {
+		l.mu.Unlock()
+		return
+	}
+	var fs []Field
+	if len(fields) > 0 {
+		fs = make([]Field, len(fields))
+		copy(fs, fields)
+	}
+	l.seq++
+	l.ring[l.next] = Record{
+		Seq: l.seq, T: l.clock(), Level: lv,
+		Scope: s.name, Event: event, Fields: fs,
+	}
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Debug emits at Debug level.
+func (s *Scope) Debug(event string, fields ...Field) { s.Emit(Debug, event, fields...) }
+
+// Info emits at Info level.
+func (s *Scope) Info(event string, fields ...Field) { s.Emit(Info, event, fields...) }
+
+// Warn emits at Warn level.
+func (s *Scope) Warn(event string, fields ...Field) { s.Emit(Warn, event, fields...) }
+
+// Error emits at Error level.
+func (s *Scope) Error(event string, fields ...Field) { s.Emit(Error, event, fields...) }
+
+// Records snapshots the retained records, oldest first. Nil-safe.
+func (l *Log) Records() []Record {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, 0, len(l.ring))
+	if l.full {
+		out = append(out, l.ring[l.next:]...)
+	}
+	out = append(out, l.ring[:l.next]...)
+	return out
+}

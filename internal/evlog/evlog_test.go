@@ -1,0 +1,187 @@
+package evlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock ticking 1ms per read, for byte-stable
+// golden exports.
+func fakeClock() func() time.Duration {
+	var t time.Duration
+	return func() time.Duration {
+		t += time.Millisecond
+		return t
+	}
+}
+
+// TestEvlogGoldenSchema pins the splendid-evlog/v1 export byte-for-byte:
+// field ordering, level names, nanosecond timestamps, ring bookkeeping.
+func TestEvlogGoldenSchema(t *testing.T) {
+	l := NewWithClock(4, fakeClock())
+	fleet := l.Scope("fleet")
+	journal := l.Scope("journal")
+	fleet.Info("claim", Int("shard", 3))
+	journal.Debug("fsync", Uint("seed", 18446744073709551615), Bool("resumed", false))
+	fleet.Error("abort", F("err", "worker exited"))
+
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "schema": "splendid-evlog/v1",
+  "capacity": 4,
+  "recorded": 3,
+  "events": [
+    {
+      "seq": 1,
+      "t_ns": 1000000,
+      "level": "info",
+      "scope": "fleet",
+      "event": "claim",
+      "fields": {
+        "shard": "3"
+      }
+    },
+    {
+      "seq": 2,
+      "t_ns": 2000000,
+      "level": "debug",
+      "scope": "journal",
+      "event": "fsync",
+      "fields": {
+        "resumed": "false",
+        "seed": "18446744073709551615"
+      }
+    },
+    {
+      "seq": 3,
+      "t_ns": 3000000,
+      "level": "error",
+      "scope": "fleet",
+      "event": "abort",
+      "fields": {
+        "err": "worker exited"
+      }
+    }
+  ]
+}
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestEvlogRingEviction: the ring keeps the newest Capacity records and
+// Recorded counts everything ever emitted.
+func TestEvlogRingEviction(t *testing.T) {
+	l := NewWithClock(3, fakeClock())
+	sc := l.Scope("x")
+	for i := int64(0); i < 7; i++ {
+		sc.Info("ev", Int("i", i))
+	}
+	snap := l.Snapshot()
+	if snap.Recorded != 7 || snap.Capacity != 3 {
+		t.Fatalf("recorded=%d capacity=%d, want 7/3", snap.Recorded, snap.Capacity)
+	}
+	if len(snap.Events) != 3 {
+		t.Fatalf("kept %d events, want 3", len(snap.Events))
+	}
+	for i, ev := range snap.Events {
+		if want := int64(5 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest-first)", i, ev.Seq, want)
+		}
+	}
+}
+
+// TestEvlogMinLevel: records below the minimum are dropped without a
+// sequence number.
+func TestEvlogMinLevel(t *testing.T) {
+	l := NewWithClock(8, fakeClock())
+	l.SetMinLevel(Warn)
+	sc := l.Scope("x")
+	sc.Debug("dropped")
+	sc.Info("dropped")
+	sc.Warn("kept")
+	sc.Error("kept")
+	snap := l.Snapshot()
+	if snap.Recorded != 2 || len(snap.Events) != 2 {
+		t.Fatalf("recorded=%d events=%d, want 2/2", snap.Recorded, len(snap.Events))
+	}
+	if snap.Events[0].Level != "warn" || snap.Events[1].Level != "error" {
+		t.Fatalf("kept levels %s/%s, want warn/error", snap.Events[0].Level, snap.Events[1].Level)
+	}
+}
+
+// TestEvlogNilSafety: every entry point tolerates the nil (disabled)
+// configuration and snapshots as an empty document.
+func TestEvlogNilSafety(t *testing.T) {
+	var l *Log
+	if l.Enabled() {
+		t.Fatal("nil log reports enabled")
+	}
+	sc := l.Scope("x")
+	if sc != nil {
+		t.Fatal("nil log handed out a non-nil scope")
+	}
+	sc.Info("ev", F("k", "v"))
+	sc.Error("ev")
+	l.SetMinLevel(Error)
+	if got := l.Records(); got != nil {
+		t.Fatalf("nil log has records: %v", got)
+	}
+	b, err := l.EventsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"schema": "splendid-evlog/v1"`) {
+		t.Fatalf("nil log export missing schema tag: %s", b)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvlogConcurrent hammers one log from many goroutines (meaningful
+// under -race) and checks sequence integrity afterwards.
+func TestEvlogConcurrent(t *testing.T) {
+	l := New(64)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			sc := l.Scope("g")
+			for i := 0; i < 200; i++ {
+				sc.Info("ev", Int("g", int64(g)), Int("i", int64(i)))
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	snap := l.Snapshot()
+	if snap.Recorded != 1600 {
+		t.Fatalf("recorded %d, want 1600", snap.Recorded)
+	}
+	for i := 1; i < len(snap.Events); i++ {
+		if snap.Events[i].Seq != snap.Events[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs %d -> %d", snap.Events[i-1].Seq, snap.Events[i].Seq)
+		}
+	}
+}
+
+// TestDisabledEvlogAllocs asserts the disabled contract outside the
+// benchmark, so `go test` alone enforces it.
+func TestDisabledEvlogAllocs(t *testing.T) {
+	var l *Log
+	sc := l.Scope("fleet")
+	if n := testing.AllocsPerRun(100, func() {
+		sc.Info("claim", Int("shard", 3), F("state", "live"))
+	}); n != 0 {
+		t.Fatalf("disabled evlog path allocates %v times per op, want 0", n)
+	}
+}

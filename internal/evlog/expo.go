@@ -1,0 +1,97 @@
+package evlog
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Schema identifies the JSON export layout.
+const Schema = "splendid-evlog/v1"
+
+// Snapshot is the versioned JSON document: the retained records oldest
+// first, plus enough bookkeeping to tell how much history the ring has
+// dropped. Deterministic: records are in sequence order and fields
+// marshal as a map (Go sorts map keys), so a fixed clock yields
+// byte-stable output for golden tests.
+type Snapshot struct {
+	Schema   string       `json:"schema"`
+	Capacity int          `json:"capacity"`
+	Recorded int64        `json:"recorded"`
+	Events   []RecordJSON `json:"events"`
+}
+
+// RecordJSON is one record's export form. TNS is the log clock reading
+// in nanoseconds; field values are rendered to strings here, once, at
+// export time.
+type RecordJSON struct {
+	Seq    int64             `json:"seq"`
+	TNS    int64             `json:"t_ns"`
+	Level  string            `json:"level"`
+	Scope  string            `json:"scope"`
+	Event  string            `json:"event"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// value renders a field's value as a string.
+func (f Field) value() string {
+	switch f.kind {
+	case fieldInt:
+		return strconv.FormatInt(int64(f.num), 10)
+	case fieldUint:
+		return strconv.FormatUint(f.num, 10)
+	case fieldBool:
+		if f.num != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return f.str
+	}
+}
+
+// Snapshot copies the log's current state. Nil-safe: a nil log
+// snapshots as an empty document with zero capacity.
+func (l *Log) Snapshot() *Snapshot {
+	out := &Snapshot{Schema: Schema, Events: []RecordJSON{}}
+	if l == nil {
+		return out
+	}
+	l.mu.Lock()
+	out.Capacity = len(l.ring)
+	out.Recorded = l.seq
+	recs := make([]Record, 0, len(l.ring))
+	if l.full {
+		recs = append(recs, l.ring[l.next:]...)
+	}
+	recs = append(recs, l.ring[:l.next]...)
+	l.mu.Unlock()
+	for _, r := range recs {
+		rj := RecordJSON{
+			Seq: r.Seq, TNS: r.T.Nanoseconds(),
+			Level: r.Level.String(), Scope: r.Scope, Event: r.Event,
+		}
+		if len(r.Fields) > 0 {
+			rj.Fields = make(map[string]string, len(r.Fields))
+			for _, f := range r.Fields {
+				rj.Fields[f.Key] = f.value()
+			}
+		}
+		out.Events = append(out.Events, rj)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing
+// newline.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l.Snapshot())
+}
+
+// EventsJSON renders the snapshot, implementing debugserv.EventsSource.
+// Nil-safe: a nil log serves an empty document, not an error.
+func (l *Log) EventsJSON() ([]byte, error) {
+	return json.MarshalIndent(l.Snapshot(), "", "  ")
+}

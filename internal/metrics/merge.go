@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Cross-process aggregation: the fleet coordinator folds worker
+// snapshots into its own registry so one /metrics scrape covers every
+// process. Workers ship *delta* snapshots (Snapshot.Delta against the
+// previous one they sent); the coordinator applies them with Merge,
+// tagging each series with a provenance label (process="worker0", ...).
+// Because counters and histogram buckets merge by addition and each
+// process owns its provenance-labelled series outright, folding is
+// commutative: the same set of snapshots applied in any order yields a
+// byte-identical exposition (asserted by TestMergeOrderIndependence).
+
+// Delta returns the change from prev to s: counter values, histogram
+// bucket counts, counts, and sums subtract; gauges keep s's current
+// reading (a gauge is a level, not a flow). Series or families absent
+// from prev pass through whole. A nil prev returns s unchanged. Neither
+// snapshot is mutated.
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	if s == nil || prev == nil {
+		return s
+	}
+	prevFams := make(map[string]*MetricSnapshot, len(prev.Metrics))
+	for i := range prev.Metrics {
+		prevFams[prev.Metrics[i].Name] = &prev.Metrics[i]
+	}
+	out := &Snapshot{Schema: s.Schema}
+	for _, fam := range s.Metrics {
+		nf := MetricSnapshot{Name: fam.Name, Type: fam.Type, Help: fam.Help}
+		pf := prevFams[fam.Name]
+		var prevSeries map[string]*SeriesSnapshot
+		if pf != nil && pf.Type == fam.Type {
+			prevSeries = make(map[string]*SeriesSnapshot, len(pf.Series))
+			for i := range pf.Series {
+				prevSeries[labelKey(pf.Series[i].Labels)] = &pf.Series[i]
+			}
+		}
+		for _, ss := range fam.Series {
+			ps := prevSeries[labelKey(ss.Labels)]
+			nf.Series = append(nf.Series, deltaSeries(fam.Type, ss, ps))
+		}
+		out.Metrics = append(out.Metrics, nf)
+	}
+	return out
+}
+
+// deltaSeries subtracts ps from ss according to the family type.
+func deltaSeries(typ string, ss SeriesSnapshot, ps *SeriesSnapshot) SeriesSnapshot {
+	ns := SeriesSnapshot{Labels: ss.Labels}
+	switch typ {
+	case "counter":
+		v := value(ss.Value)
+		if ps != nil {
+			v -= value(ps.Value)
+		}
+		ns.Value = &v
+	case "gauge":
+		v := value(ss.Value)
+		ns.Value = &v
+	case "histogram":
+		ns.Count = ss.Count
+		ns.Sum = ss.Sum
+		ns.Buckets = append([]BucketSnapshot(nil), ss.Buckets...)
+		if ps != nil && len(ps.Buckets) == len(ss.Buckets) {
+			ns.Count -= ps.Count
+			ns.Sum -= ps.Sum
+			for i := range ns.Buckets {
+				ns.Buckets[i].Count -= ps.Buckets[i].Count
+			}
+		}
+	}
+	return ns
+}
+
+func value(p *float64) float64 {
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
+// labelKey renders a snapshot label map as a canonical sorted key.
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + "\x00" + labels[k] + "\x00"
+	}
+	return out
+}
+
+// Merge folds snap into r, appending extra labels (typically a
+// process="..." provenance label) to every series: counters and
+// histogram buckets/counts/sums add, gauges take the snapshot's value
+// (last write wins). Families and series are created on demand;
+// histogram layouts are derived from the snapshot's bucket bounds.
+// Unlike handle acquisition — where a name conflict is a programming
+// error and panics — Merge validates remote data and returns an error
+// on malformed names, type conflicts, or bucket-layout mismatches,
+// because a snapshot arrives over a process boundary at runtime.
+// Nil-safe: merging into a nil registry or merging a nil snapshot is a
+// no-op.
+func (r *Registry) Merge(snap *Snapshot, extra ...Label) error {
+	if r == nil || snap == nil {
+		return nil
+	}
+	for _, fam := range snap.Metrics {
+		if err := validName(fam.Name); err != nil {
+			return fmt.Errorf("metrics merge: %w", err)
+		}
+		for _, ss := range fam.Series {
+			labels := make([]Label, 0, len(ss.Labels)+len(extra))
+			for k, v := range ss.Labels {
+				if err := validName(k); err != nil {
+					return fmt.Errorf("metrics merge: %s: %w", fam.Name, err)
+				}
+				labels = append(labels, Label{Key: k, Value: v})
+			}
+			labels = append(labels, extra...)
+			if err := r.mergeSeries(fam, ss, labels); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergeSeries applies one series of one family snapshot.
+func (r *Registry) mergeSeries(fam MetricSnapshot, ss SeriesSnapshot, labels []Label) error {
+	switch fam.Type {
+	case "counter":
+		if err := r.checkKind(fam, kindCounter); err != nil {
+			return err
+		}
+		r.Counter(fam.Name, fam.Help, labels...).Add(int64(math.Round(value(ss.Value))))
+	case "gauge":
+		if err := r.checkKind(fam, kindGauge); err != nil {
+			return err
+		}
+		r.Gauge(fam.Name, fam.Help, labels...).Set(value(ss.Value))
+	case "histogram":
+		if len(ss.Buckets) < 1 || !math.IsInf(float64(ss.Buckets[len(ss.Buckets)-1].LE), 1) {
+			return fmt.Errorf("metrics merge: %s: histogram snapshot without +Inf bucket", fam.Name)
+		}
+		bounds := make([]float64, 0, len(ss.Buckets)-1)
+		for _, b := range ss.Buckets[:len(ss.Buckets)-1] {
+			bounds = append(bounds, float64(b.LE))
+		}
+		if err := r.mergeHistogram(fam, ss, labels, bounds); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("metrics merge: %s: unknown type %q", fam.Name, fam.Type)
+	}
+	return nil
+}
+
+// kindUnregistered marks a name with no local family yet: Merge may
+// create it as whatever type the snapshot carries.
+const kindUnregistered kind = -1
+
+// lookupKind resolves a family's registered kind, registering nothing.
+func (r *Registry) lookupKind(name string) kind {
+	r.mu.Lock()
+	fam := r.families[name]
+	r.mu.Unlock()
+	if fam == nil {
+		return kindUnregistered
+	}
+	return fam.kind
+}
+
+// checkKind rejects a snapshot family whose type conflicts with an
+// already-registered local family (an unregistered name is fine — the
+// merge creates it).
+func (r *Registry) checkKind(fam MetricSnapshot, want kind) error {
+	k := r.lookupKind(fam.Name)
+	if k != kindUnregistered && k != want {
+		return fmt.Errorf("metrics merge: %s arrives as %s but is registered as %s", fam.Name, fam.Type, k)
+	}
+	return nil
+}
+
+// mergeHistogram folds one histogram series: bucket-wise count adds
+// (de-cumulated, since snapshots carry cumulative buckets), plus count
+// and sum.
+func (r *Registry) mergeHistogram(fam MetricSnapshot, ss SeriesSnapshot, labels []Label, bounds []float64) error {
+	if len(bounds) == 0 {
+		return fmt.Errorf("metrics merge: %s: histogram with no finite buckets", fam.Name)
+	}
+	if err := r.checkKind(fam, kindHistogram); err != nil {
+		return err
+	}
+	if r.lookupKind(fam.Name) == kindHistogram {
+		r.mu.Lock()
+		existing := r.families[fam.Name].buckets
+		r.mu.Unlock()
+		if !sameBuckets(existing, bounds) {
+			return fmt.Errorf("metrics merge: %s arrives with a different bucket layout", fam.Name)
+		}
+	}
+	h := r.Histogram(fam.Name, fam.Help, bounds, labels...)
+	s := h.s
+	prev := int64(0)
+	for i, b := range ss.Buckets {
+		d := b.Count - prev
+		prev = b.Count
+		if d != 0 {
+			s.bcounts[i].Add(d)
+		}
+	}
+	if ss.Count != 0 {
+		s.count.Add(ss.Count)
+	}
+	if ss.Sum != 0 {
+		for {
+			old := s.sumBits.Load()
+			next := math.Float64bits(math.Float64frombits(old) + ss.Sum)
+			if s.sumBits.CompareAndSwap(old, next) {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// validName is checkName's error-returning counterpart for data that
+// crosses a process boundary.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid name %q", name)
+		}
+	}
+	return nil
+}

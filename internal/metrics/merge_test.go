@@ -1,0 +1,329 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// workerSnapshot builds a snapshot the way a fleet worker would: its
+// own registry, bumped, snapshotted.
+func workerSnapshot(seeds int64, lat float64) *Snapshot {
+	r := NewRegistry()
+	r.Counter("splendid_difftest_seeds_total", "seeds swept").Add(seeds)
+	r.Gauge("splendid_worker_queue_depth", "shards in flight").Set(float64(seeds % 3))
+	h := r.Histogram("splendid_shard_seconds", "shard wall time", DurationBuckets)
+	h.Observe(lat)
+	h.Observe(lat * 10)
+	return r.Snapshot()
+}
+
+// TestMergeGoldenExposition pins the merged-metrics Prometheus
+// exposition byte-for-byte: provenance labels, summed counters,
+// last-write gauges, bucket-wise-added histograms.
+func TestMergeGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("splendid_difftest_seeds_total", "seeds swept").Add(5) // coordinator's own share
+	if err := r.Merge(workerSnapshot(100, 0.001), L("process", "worker0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Merge(workerSnapshot(200, 0.5), L("process", "worker1")); err != nil {
+		t.Fatal(err)
+	}
+	// worker0 reports twice: counters must add, the gauge must take the
+	// newer reading.
+	if err := r.Merge(workerSnapshot(40, 0.001), L("process", "worker0")); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP splendid_difftest_seeds_total seeds swept
+# TYPE splendid_difftest_seeds_total counter
+splendid_difftest_seeds_total 5
+splendid_difftest_seeds_total{process="worker0"} 140
+splendid_difftest_seeds_total{process="worker1"} 200
+# HELP splendid_shard_seconds shard wall time
+# TYPE splendid_shard_seconds histogram
+splendid_shard_seconds_bucket{process="worker0",le="1e-05"} 0
+splendid_shard_seconds_bucket{process="worker0",le="5e-05"} 0
+splendid_shard_seconds_bucket{process="worker0",le="0.0001"} 0
+splendid_shard_seconds_bucket{process="worker0",le="0.0005"} 0
+splendid_shard_seconds_bucket{process="worker0",le="0.001"} 2
+splendid_shard_seconds_bucket{process="worker0",le="0.005"} 2
+splendid_shard_seconds_bucket{process="worker0",le="0.01"} 4
+splendid_shard_seconds_bucket{process="worker0",le="0.05"} 4
+splendid_shard_seconds_bucket{process="worker0",le="0.1"} 4
+splendid_shard_seconds_bucket{process="worker0",le="0.5"} 4
+splendid_shard_seconds_bucket{process="worker0",le="1"} 4
+splendid_shard_seconds_bucket{process="worker0",le="5"} 4
+splendid_shard_seconds_bucket{process="worker0",le="10"} 4
+splendid_shard_seconds_bucket{process="worker0",le="+Inf"} 4
+splendid_shard_seconds_sum{process="worker0"} 0.022
+splendid_shard_seconds_count{process="worker0"} 4
+splendid_shard_seconds_bucket{process="worker1",le="1e-05"} 0
+splendid_shard_seconds_bucket{process="worker1",le="5e-05"} 0
+splendid_shard_seconds_bucket{process="worker1",le="0.0001"} 0
+splendid_shard_seconds_bucket{process="worker1",le="0.0005"} 0
+splendid_shard_seconds_bucket{process="worker1",le="0.001"} 0
+splendid_shard_seconds_bucket{process="worker1",le="0.005"} 0
+splendid_shard_seconds_bucket{process="worker1",le="0.01"} 0
+splendid_shard_seconds_bucket{process="worker1",le="0.05"} 0
+splendid_shard_seconds_bucket{process="worker1",le="0.1"} 0
+splendid_shard_seconds_bucket{process="worker1",le="0.5"} 1
+splendid_shard_seconds_bucket{process="worker1",le="1"} 1
+splendid_shard_seconds_bucket{process="worker1",le="5"} 2
+splendid_shard_seconds_bucket{process="worker1",le="10"} 2
+splendid_shard_seconds_bucket{process="worker1",le="+Inf"} 2
+splendid_shard_seconds_sum{process="worker1"} 5.5
+splendid_shard_seconds_count{process="worker1"} 2
+# HELP splendid_worker_queue_depth shards in flight
+# TYPE splendid_worker_queue_depth gauge
+splendid_worker_queue_depth{process="worker0"} 1
+splendid_worker_queue_depth{process="worker1"} 2
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestMergeOrderIndependence: the same snapshots folded in any order
+// produce byte-identical expositions — the fleet's determinism
+// guarantee (each process owns its provenance-labelled series, sums
+// commute).
+func TestMergeOrderIndependence(t *testing.T) {
+	snaps := []*Snapshot{
+		workerSnapshot(100, 0.001),
+		workerSnapshot(200, 0.5),
+		workerSnapshot(40, 0.02),
+	}
+	procs := []string{"worker0", "worker1", "worker2"}
+	render := func(order []int) string {
+		r := NewRegistry()
+		for _, i := range order {
+			if err := r.Merge(snaps[i], L("process", procs[i])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := render([]int{0, 1, 2})
+	for _, order := range [][]int{{0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}} {
+		if got := render(order); got != want {
+			t.Fatalf("order %v diverges:\n--- got ---\n%s\n--- want ---\n%s", order, got, want)
+		}
+	}
+}
+
+// TestMergeJSONRoundTrip: a snapshot that crossed a process boundary as
+// JSON (the fleet protocol) merges identically to the in-memory one.
+func TestMergeJSONRoundTrip(t *testing.T) {
+	snap := workerSnapshot(7, 0.003)
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire Snapshot
+	if err := json.Unmarshal(b, &wire); err != nil {
+		t.Fatal(err)
+	}
+	direct, viaWire := NewRegistry(), NewRegistry()
+	if err := direct.Merge(snap, L("process", "w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaWire.Merge(&wire, L("process", "w")); err != nil {
+		t.Fatal(err)
+	}
+	var a, bb bytes.Buffer
+	if err := direct.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaWire.WritePrometheus(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != bb.String() {
+		t.Fatalf("JSON round trip changed the merge:\n--- direct ---\n%s\n--- wire ---\n%s", a.String(), bb.String())
+	}
+}
+
+// TestSnapshotDelta: counters and histograms subtract, gauges carry the
+// current level, and a nil prev passes through.
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", DurationBuckets)
+	c.Add(10)
+	g.Set(3)
+	h.Observe(0.001)
+	first := r.Snapshot()
+	c.Add(5)
+	g.Set(7)
+	h.Observe(0.5)
+	second := r.Snapshot()
+
+	d := second.Delta(first)
+	byName := map[string]MetricSnapshot{}
+	for _, m := range d.Metrics {
+		byName[m.Name] = m
+	}
+	if v := *byName["c_total"].Series[0].Value; v != 5 {
+		t.Fatalf("counter delta %v, want 5", v)
+	}
+	if v := *byName["g"].Series[0].Value; v != 7 {
+		t.Fatalf("gauge delta carries %v, want current 7", v)
+	}
+	hs := byName["h_seconds"].Series[0]
+	if hs.Count != 1 || hs.Sum != 0.5 {
+		t.Fatalf("histogram delta count=%d sum=%v, want 1/0.5", hs.Count, hs.Sum)
+	}
+	// Cumulative bucket deltas: only the 0.5 observation remains.
+	for _, b := range hs.Buckets {
+		want := int64(0)
+		if float64(b.LE) >= 0.5 {
+			want = 1
+		}
+		if b.Count != want {
+			t.Fatalf("bucket le=%v delta %d, want %d", float64(b.LE), b.Count, want)
+		}
+	}
+	if got := second.Delta(nil); got != second {
+		t.Fatal("Delta(nil) must return the snapshot unchanged")
+	}
+
+	// Applying first + delta must equal applying second outright.
+	viaDelta, direct := NewRegistry(), NewRegistry()
+	if err := viaDelta.Merge(first, L("process", "w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaDelta.Merge(d, L("process", "w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Merge(second, L("process", "w")); err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := viaDelta.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("first+delta != second:\n--- got ---\n%s\n--- want ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestMergeRejectsBadData: type conflicts, layout conflicts, malformed
+// names, and truncated histograms error instead of panicking — remote
+// snapshots are runtime input, not programming errors.
+func TestMergeRejectsBadData(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	gaugeV := 1.0
+	cases := []struct {
+		name string
+		snap *Snapshot
+	}{
+		{"type conflict", &Snapshot{Metrics: []MetricSnapshot{{
+			Name: "x_total", Type: "gauge", Series: []SeriesSnapshot{{Value: &gaugeV}},
+		}}}},
+		{"bad family name", &Snapshot{Metrics: []MetricSnapshot{{
+			Name: "bad name", Type: "counter", Series: []SeriesSnapshot{{Value: &gaugeV}},
+		}}}},
+		{"bad label key", &Snapshot{Metrics: []MetricSnapshot{{
+			Name: "y_total", Type: "counter",
+			Series: []SeriesSnapshot{{Labels: map[string]string{"bad key": "v"}, Value: &gaugeV}},
+		}}}},
+		{"unknown type", &Snapshot{Metrics: []MetricSnapshot{{
+			Name: "y", Type: "summary", Series: []SeriesSnapshot{{}},
+		}}}},
+		{"histogram without +Inf", &Snapshot{Metrics: []MetricSnapshot{{
+			Name: "h_seconds", Type: "histogram",
+			Series: []SeriesSnapshot{{Buckets: []BucketSnapshot{{LE: 1, Count: 0}}}},
+		}}}},
+	}
+	for _, tc := range cases {
+		if err := r.Merge(tc.snap); err == nil {
+			t.Errorf("%s: merge accepted bad data", tc.name)
+		}
+	}
+	// Layout conflict against an existing local histogram.
+	r.Histogram("h2_seconds", "", DurationBuckets)
+	inf := jsonFloat(math.Inf(1))
+	bad := &Snapshot{Metrics: []MetricSnapshot{{
+		Name: "h2_seconds", Type: "histogram",
+		Series: []SeriesSnapshot{{Buckets: []BucketSnapshot{{LE: 42, Count: 1}, {LE: inf, Count: 1}}, Count: 1, Sum: 3}},
+	}}}
+	if err := r.Merge(bad); err == nil {
+		t.Error("merge accepted a conflicting bucket layout")
+	}
+	// Nil registry / nil snapshot are no-ops, not errors.
+	var nilReg *Registry
+	if err := nilReg.Merge(workerSnapshot(1, 0.001)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeConcurrencyHammer merges snapshots from many goroutines
+// while scrapes run — meaningful under -race — then checks the totals.
+func TestMergeConcurrencyHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := L("process", fmt.Sprintf("worker%d", w))
+			for i := 0; i < rounds; i++ {
+				if err := r.Merge(workerSnapshot(1, 0.001), lbl); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var scr sync.WaitGroup
+	scr.Add(1)
+	go func() {
+		defer scr.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scr.Wait()
+	for w := 0; w < workers; w++ {
+		c := r.Counter("splendid_difftest_seeds_total", "seeds swept",
+			L("process", fmt.Sprintf("worker%d", w)))
+		if c.Value() != rounds {
+			t.Fatalf("worker%d merged total %d, want %d", w, c.Value(), rounds)
+		}
+	}
+}

@@ -36,6 +36,12 @@ type Event struct {
 	// thread gets its own row in chrome://tracing.
 	TID int
 
+	// PID selects the trace process group: 0 maps to the context's own
+	// process (pid 1 in the export). The fleet coordinator sets it when
+	// stitching worker spans into its timeline, so every worker process
+	// renders as its own track group (see Ctx.NameProcess).
+	PID int
+
 	// Pass-span payload: instruction-count delta and whether the pass
 	// reported a change.
 	Delta   int

@@ -33,6 +33,10 @@ type Ctx struct {
 	depth    int
 	counters map[string]int64
 	remarks  []Remark
+	// procNames labels trace process groups (Event.PID → display name)
+	// in the Chrome export; the fleet coordinator names one group per
+	// worker process when stitching a sweep trace.
+	procNames map[int]string
 
 	// printChanged, when non-nil, receives the IR of every function a
 	// pass reports as changed (LLVM's -print-changed).
@@ -74,6 +78,38 @@ func (c *Ctx) PrintChangedWriter() io.Writer {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.printChanged
+}
+
+// NameProcess labels a trace process group: events carrying Event.PID
+// == pid (0 means the context's own process) render under name in the
+// Chrome export, via a process_name metadata record. Nil-safe.
+func (c *Ctx) NameProcess(pid int, name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.procNames == nil {
+		c.procNames = map[int]string{}
+	}
+	c.procNames[pid] = name
+	c.mu.Unlock()
+}
+
+// processNames snapshots the process-name table.
+func (c *Ctx) processNames() map[int]string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.procNames) == 0 {
+		return nil
+	}
+	out := make(map[int]string, len(c.procNames))
+	for k, v := range c.procNames {
+		out[k] = v
+	}
+	return out
 }
 
 // now reads the injected clock. Callers hold no locks.

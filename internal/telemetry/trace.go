@@ -31,15 +31,39 @@ type TraceFile struct {
 
 // Trace builds the trace_event representation of all completed spans.
 // Event ordering is fully deterministic: the sort key is a total order
-// over (start, track, depth, category, name, detail, duration), so two
-// contexts holding the same spans — regardless of the completion order
-// concurrent workers recorded them in — serialize to identical JSON and
-// runtime traces diff cleanly in CI.
+// over (process, start, track, depth, category, name, detail,
+// duration), so two contexts holding the same spans — regardless of the
+// completion order concurrent workers recorded them in — serialize to
+// identical JSON and runtime traces diff cleanly in CI.
+//
+// Events carrying a PID render in that process group (0 maps to pid 1,
+// the context's own process); groups named via NameProcess get a
+// leading process_name metadata record, which is how a stitched fleet
+// trace shows one labelled track per worker process.
 func (c *Ctx) Trace() TraceFile {
 	tf := TraceFile{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+	names := c.processNames()
+	pids := make([]int, 0, len(names))
+	for pid := range names {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		outPid := pid
+		if outPid == 0 {
+			outPid = 1
+		}
+		tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+			Name: "process_name", Cat: "__metadata", Ph: "M",
+			Pid: outPid, Tid: 1, Args: map[string]any{"name": names[pid]},
+		})
+	}
 	evs := c.Events()
 	sort.Slice(evs, func(i, j int) bool {
 		a, b := evs[i], evs[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
 		if a.Start != b.Start {
 			return a.Start < b.Start
 		}
@@ -65,11 +89,15 @@ func (c *Ctx) Trace() TraceFile {
 		if tid == 0 {
 			tid = 1 // compile-pipeline spans share the main track
 		}
+		pid := e.PID
+		if pid == 0 {
+			pid = 1 // the context's own process
+		}
 		te := TraceEvent{
 			Name: e.Name, Cat: e.Cat, Ph: "X",
 			Ts:  float64(e.Start.Nanoseconds()) / 1e3,
 			Dur: float64(e.Dur.Nanoseconds()) / 1e3,
-			Pid: 1, Tid: tid,
+			Pid: pid, Tid: tid,
 		}
 		if e.Cat == CatPass {
 			te.Args = map[string]any{

@@ -190,3 +190,71 @@ func TestTraceSchema(t *testing.T) {
 			pass.Ts, pass.Ts+pass.Dur, stage.Ts, stage.Ts+stage.Dur)
 	}
 }
+
+// TestTraceProcessTracks: events carrying a PID land in their own
+// process group, named groups emit leading process_name metadata, and
+// the output stays deterministic regardless of naming/insertion order —
+// the contract the fleet coordinator's stitched sweep trace relies on.
+func TestTraceProcessTracks(t *testing.T) {
+	build := func(reverse bool) string {
+		c := NewWithClock(fakeClock(time.Millisecond))
+		evs := []Event{
+			{Name: "dispatch", Cat: "fleet", Start: time.Millisecond, Dur: 9 * time.Millisecond},
+			{Name: "shard", Cat: "shard", Start: 2 * time.Millisecond, Dur: 3 * time.Millisecond, PID: 2},
+			{Name: "shard", Cat: "shard", Start: 2 * time.Millisecond, Dur: 4 * time.Millisecond, PID: 3},
+		}
+		if reverse {
+			for i := len(evs) - 1; i >= 0; i-- {
+				c.AddEvent(evs[i])
+			}
+			c.NameProcess(3, "worker1")
+			c.NameProcess(0, "coordinator")
+			c.NameProcess(2, "worker0")
+		} else {
+			for _, e := range evs {
+				c.AddEvent(e)
+			}
+			c.NameProcess(0, "coordinator")
+			c.NameProcess(2, "worker0")
+			c.NameProcess(3, "worker1")
+		}
+		var buf bytes.Buffer
+		if err := c.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := build(false)
+	if out != build(true) {
+		t.Fatal("process-track trace output depends on insertion order")
+	}
+
+	var tf TraceFile
+	if err := json.Unmarshal([]byte(out), &tf); err != nil {
+		t.Fatal(err)
+	}
+	var meta []TraceEvent
+	spansByPid := map[int]int{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" {
+			meta = append(meta, e)
+			continue
+		}
+		spansByPid[e.Pid]++
+	}
+	if len(meta) != 3 {
+		t.Fatalf("got %d metadata events, want 3", len(meta))
+	}
+	wantNames := map[int]string{1: "coordinator", 2: "worker0", 3: "worker1"}
+	for _, m := range meta {
+		if m.Name != "process_name" {
+			t.Errorf("metadata event name %q, want process_name", m.Name)
+		}
+		if m.Args["name"] != wantNames[m.Pid] {
+			t.Errorf("pid %d named %v, want %q", m.Pid, m.Args["name"], wantNames[m.Pid])
+		}
+	}
+	if spansByPid[1] != 1 || spansByPid[2] != 1 || spansByPid[3] != 1 {
+		t.Errorf("span distribution across pids = %v, want one per pid 1..3", spansByPid)
+	}
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Perf-regression gate: re-measure the runtime benchmark at the
+# baseline's size and compare the headline figures (bytecode-vs-tree
+# engine geomean, per-kernel parallel speedups) against the checked-in
+# BENCH_runtime.json. Exits nonzero when anything regressed beyond
+# tolerance. The checked-in artifact is restored afterwards — the gate
+# measures, it does not update the baseline.
+#
+# Usage: sh scripts/bench_gate.sh [SIZE] (default mini, matching the
+# checked-in baseline). Tolerances: BENCH_TOL_GEOMEAN (default 0.4),
+# BENCH_TOL_SPEEDUP (default 0.1).
+set -e
+cd "$(dirname "$0")/.."
+
+SIZE=${1:-mini}
+BASELINE=BENCH_runtime.json
+TOL_GEOMEAN=${BENCH_TOL_GEOMEAN:-0.4}
+TOL_SPEEDUP=${BENCH_TOL_SPEEDUP:-0.1}
+
+test -f "$BASELINE" || { echo "bench_gate: no checked-in $BASELINE" >&2; exit 2; }
+
+tmp=$(mktemp -d)
+cp "$BASELINE" "$tmp/baseline.json"
+# Whatever happens, put the checked-in baseline back; keep the fresh
+# candidate next to it for inspection.
+trap 'cp "$tmp/baseline.json" "$BASELINE"; rm -rf "$tmp"' EXIT
+
+echo "bench_gate: measuring candidate profile (SIZE=$SIZE)..."
+make bench-runtime SIZE="$SIZE" >/dev/null
+cp "$BASELINE" "$tmp/candidate.json"
+cp "$tmp/candidate.json" BENCH_runtime.candidate.json
+
+go run ./cmd/benchgate \
+	-baseline "$tmp/baseline.json" \
+	-candidate "$tmp/candidate.json" \
+	-tol-geomean "$TOL_GEOMEAN" \
+	-tol-speedup "$TOL_SPEEDUP"

@@ -10,6 +10,15 @@
 #      contain no duplicate shard-done record — i.e. no seed ever ran
 #      and reported twice.
 #
+# The control run also exercises the fleet observability artifacts:
+# -trace-out must yield a stitched Chrome trace with the coordinator
+# and worker process groups, and -metrics-out a merged registry
+# snapshot with per-worker process labels.
+#
+# The one summary section that is honestly nondeterministic — the
+# "resources" accounting (CPU time, allocations) — is stripped from
+# both summaries before the byte compare.
+#
 # Usage: fleet_smoke.sh [seed] [n] [workers]
 set -eu
 cd "$(dirname "$0")/.."
@@ -26,9 +35,17 @@ go build -o "$dir/difftest" ./cmd/difftest
 echo "== fleet smoke: control run ($n seeds, $workers workers, shard size $shard_size)"
 "$dir/difftest" -seed "$seed" -n "$n" -shards "$workers" -shard-size "$shard_size" \
     -journal "$dir/control.jsonl" -corpus "$dir/control-corpus" \
-    -summary "$dir/control.json" >/dev/null
+    -summary "$dir/control.json" \
+    -trace-out "$dir/control-trace.json" -metrics-out "$dir/control-metrics.json" >/dev/null
 grep -q '"splendid-difftest-summary/v1"' "$dir/control.json"
 grep -q '"splendid-difftest-journal/v1"' "$dir/control.jsonl"
+
+echo "== fleet smoke: stitched trace and merged metrics artifacts"
+grep -q '"coordinator"' "$dir/control-trace.json"
+grep -q '"worker0"' "$dir/control-trace.json"
+grep -q '"splendid-metrics/v1"' "$dir/control-metrics.json"
+grep -q '"process": "worker0"' "$dir/control-metrics.json"
+grep -q '"splendid-difftest-resources/v1"' "$dir/control.json"
 
 echo "== fleet smoke: kill mid-run"
 "$dir/difftest" -seed "$seed" -n "$n" -shards "$workers" -shard-size "$shard_size" \
@@ -74,6 +91,15 @@ if [ -n "$dups" ]; then
 fi
 
 echo "== fleet smoke: resumed summary is byte-identical to the control"
-cmp "$dir/control.json" "$dir/resume.json"
+# Per-shard resource accounting (CPU time, allocation counts) is the
+# one run-dependent summary section; drop the indented "resources"
+# object from both sides before comparing. Everything else must match
+# to the byte.
+strip_resources() {
+    sed '/^  "resources": {$/,/^  }$/d' "$1"
+}
+strip_resources "$dir/control.json" >"$dir/control.stripped.json"
+strip_resources "$dir/resume.json" >"$dir/resume.stripped.json"
+cmp "$dir/control.stripped.json" "$dir/resume.stripped.json"
 
 echo "fleet smoke: OK"

@@ -42,6 +42,8 @@ go test -run '^$' -fuzz='^FuzzIRParseRoundTrip$' -fuzztime=10s ./internal/ir/
 go test -run '^$' -fuzz='^FuzzRoundTripExec$' -fuzztime=10s ./internal/difftest/
 
 echo "== runtime observability smoke (writes BENCH_runtime.json + BENCH_runtime_trace.json)"
+basecopy=$(mktemp)
+cp BENCH_runtime.json "$basecopy"
 go test -run '^$' -bench=RuntimeProfile -benchtime=1x .
 grep -q '"schema": "splendid-runtime-profile/v1"' BENCH_runtime.json
 grep -q '"traceEvents"' BENCH_runtime_trace.json
@@ -49,6 +51,10 @@ if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool BENCH_runtime.json >/dev/null
     python3 -m json.tool BENCH_runtime_trace.json >/dev/null
 fi
+
+echo "== perf-regression gate (fresh profile vs checked-in baseline)"
+go run ./cmd/benchgate -baseline "$basecopy" -candidate BENCH_runtime.json
+rm -f "$basecopy"
 
 echo "== engine parity smoke (irrun -engine bytecode vs tree)"
 engdir=$(mktemp -d)
@@ -90,7 +96,7 @@ EOF
     # The server binds :0; poll stderr for the resolved address.
     base=""
     for _ in $(seq 1 50); do
-        base=$(sed -n 's/^irrun: debug endpoints on //p' "$smokedir/irrun.log")
+        base=$(sed -n 's/^irrun: serving debug endpoints at //p' "$smokedir/irrun.log")
         [ -n "$base" ] && break
         sleep 0.1
     done
@@ -104,10 +110,12 @@ EOF
     grep -q 'splendid_driver_jobs_completed_total{kind="execute"} 1' "$smokedir/metrics.txt"
     grep -q 'splendid_interp_runs_total{engine="tree"} 1' "$smokedir/metrics.txt"
     grep -q 'splendid_interp_regions_total{engine="tree"} 1' "$smokedir/metrics.txt"
+    grep -q 'splendid_build_info{' "$smokedir/metrics.txt"
     curl -fsS "$base/healthz" | grep -q '"splendid-health/v1"'
     curl -fsS "$base/debug/jobs" > "$smokedir/jobs.json"
     grep -q '"splendid-flight-record/v1"' "$smokedir/jobs.json"
     grep -q '"kind": "execute"' "$smokedir/jobs.json"
+    curl -fsS "$base/debug/events" | grep -q '"splendid-evlog/v1"'
     curl -fsS "$base/debug/pprof/cmdline" >/dev/null
     kill "$irrun_pid" 2>/dev/null || true
     wait "$irrun_pid" 2>/dev/null || true
