@@ -249,7 +249,10 @@ func BenchmarkTelemetryStages(b *testing.B) {
 //   - BENCH_runtime.json: the per-kernel parallel profile table
 //     (threads × speedup × load balance, embedding each kernel's full
 //     per-region, per-thread profile under the
-//     splendid-runtime-profile/v1 schema);
+//     splendid-runtime-profile/v1 schema), plus the schedules section —
+//     the triangular imbalanced kernel under every schedule kind, the
+//     evidence benchgate uses to pin guided's load-balance win over
+//     static;
 //   - BENCH_runtime_trace.json: a Chrome trace_event file of one
 //     profiled kernel execution on the compile timeline, one track per
 //     team thread (load it in chrome://tracing or Perfetto).
@@ -265,10 +268,15 @@ func BenchmarkRuntimeProfile(b *testing.B) {
 	}
 	cfg := experiments.Config{Threads: 4, Reps: 1, Size: size}
 	var rows []experiments.RuntimeRow
+	var srows []experiments.ScheduleRow
 	var err error
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err = experiments.RuntimeProfile(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srows, err = experiments.ScheduleBalance(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -291,12 +299,13 @@ func BenchmarkRuntimeProfile(b *testing.B) {
 	b.ReportMetric(float64(conflicts), "conflicts")
 
 	report := struct {
-		Schema        string                   `json:"schema"`
-		Threads       int                      `json:"threads"`
-		Size          string                   `json:"size"`
-		EngineSpeedup float64                  `json:"bytecode_vs_tree_geomean"`
-		Kernels       []experiments.RuntimeRow `json:"kernels"`
-	}{interp.ProfileSchema, cfg.Threads, string(size), geomean(vmGains), rows}
+		Schema        string                    `json:"schema"`
+		Threads       int                       `json:"threads"`
+		Size          string                    `json:"size"`
+		EngineSpeedup float64                   `json:"bytecode_vs_tree_geomean"`
+		Kernels       []experiments.RuntimeRow  `json:"kernels"`
+		Schedules     []experiments.ScheduleRow `json:"schedules"`
+	}{interp.ProfileSchema, cfg.Threads, string(size), geomean(vmGains), rows, srows}
 	j, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		b.Fatal(err)

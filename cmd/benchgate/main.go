@@ -7,7 +7,7 @@
 // Usage:
 //
 //	benchgate -baseline BENCH_runtime.json -candidate new.json
-//	          [-tol-geomean 0.4] [-tol-speedup 0.1]
+//	          [-tol-geomean 0.4] [-tol-speedup 0.1] [-tol-balance 0.25]
 //
 // Exit codes: 0 within tolerance, 1 regression, 2 usage or bad input.
 package main
@@ -25,9 +25,10 @@ func main() {
 	candidate := flag.String("candidate", "", "freshly measured profile `path`")
 	tolGeomean := flag.Float64("tol-geomean", 0.4, "allowed fractional regression of the engine geomean (wall-clock, noisy)")
 	tolSpeedup := flag.Float64("tol-speedup", 0.1, "allowed fractional regression of per-kernel parallel speedups (simulated, stable)")
+	tolBalance := flag.Float64("tol-balance", 0.25, "allowed fractional regression of schedule speedup/load-balance rows (chunk races, wander)")
 	flag.Parse()
 	if *candidate == "" || flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline PATH -candidate PATH [-tol-geomean F] [-tol-speedup F]")
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline PATH -candidate PATH [-tol-geomean F] [-tol-speedup F] [-tol-balance F]")
 		os.Exit(2)
 	}
 	base, err := benchgate.Load(*baseline)
@@ -38,7 +39,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := benchgate.Compare(base, cand, benchgate.Tolerances{Geomean: *tolGeomean, Speedup: *tolSpeedup})
+	rep, err := benchgate.Compare(base, cand, benchgate.Tolerances{
+		Geomean: *tolGeomean, Speedup: *tolSpeedup, Balance: *tolBalance,
+	})
 	if err != nil {
 		fatal(err)
 	}

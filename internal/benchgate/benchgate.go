@@ -8,6 +8,13 @@
 // candidate down to 60% of the baseline (wall-clock engine ratios are
 // noisy across machines), while the parallel speedups are simulated
 // work/span ratios and should barely move at all.
+//
+// When the baseline carries a schedules section (the imbalanced-kernel
+// comparison across static/dynamic/guided/auto), the gate also bounds
+// each schedule's speedup and load balance with the loose Balance
+// tolerance, and enforces the section's reason to exist: the
+// candidate's guided load balance must beat its static load balance by
+// a fixed margin.
 package benchgate
 
 import (
@@ -28,6 +35,28 @@ type Profile struct {
 	Size    string   `json:"size"`
 	Geomean float64  `json:"bytecode_vs_tree_geomean"`
 	Kernels []Kernel `json:"kernels"`
+	// Schedules holds the schedule-kind comparison on the triangular
+	// imbalanced kernel — the artifact's evidence that guided and auto
+	// actually rebalance skewed work instead of silently running as
+	// static. Older artifacts predate the section; the gate only
+	// enforces it when the baseline carries it.
+	Schedules []Schedule `json:"schedules,omitempty"`
+}
+
+// Schedule is one schedule kind's load-balance showing on the
+// imbalanced kernel.
+type Schedule struct {
+	Kernel   string `json:"kernel"`
+	Schedule string `json:"schedule"`
+	Threads  int    `json:"threads"`
+	// Speedup is the simulated parallel speedup over the sequential
+	// variant; LoadBalance is min/max thread work. Both depend on which
+	// worker wins each chunk race, so they gate with the loose Balance
+	// tolerance rather than the tight Speedup one.
+	Speedup     float64 `json:"speedup"`
+	LoadBalance float64 `json:"load_balance"`
+	Chunks      int64   `json:"chunks"`
+	Steals      int64   `json:"steals"`
 }
 
 // Kernel is one benchmark kernel's headline figures.
@@ -66,7 +95,20 @@ type Tolerances struct {
 	Geomean float64
 	// Speedup bounds each kernel's parallel speedup the same way.
 	Speedup float64
+	// Balance bounds the schedule rows' speedup and load balance. These
+	// figures hinge on which worker wins each dispatch chunk, so they
+	// wander far more than the DOALL speedups and need a loose bound.
+	Balance float64
 }
+
+// guidedBalanceMargin is how much better than static's load balance
+// guided must score on the imbalanced kernel. This is the tentpole
+// claim the schedules section exists to pin: guided's decaying chunks
+// rebalance the triangular workload that static's contiguous halves
+// cannot. Auto gets no such floor — its local-range-plus-stealing
+// split starts from static's halves, and on this kernel stealing only
+// recovers the tail, landing its balance near static's.
+const guidedBalanceMargin = 0.05
 
 // Check is one gated comparison.
 type Check struct {
@@ -118,6 +160,43 @@ func Compare(baseline, candidate *Profile, tol Tolerances) (*Report, error) {
 			continue
 		}
 		add("speedup/"+bk.Kernel, bk.Speedup, ck.Speedup, tol.Speedup)
+	}
+	// Schedule section: only enforced when the baseline carries one
+	// (artifacts predating the section still gate their kernels). A
+	// schedule kind that vanished from the candidate fails exactly like
+	// a vanished kernel.
+	schedByName := map[string]Schedule{}
+	for _, s := range candidate.Schedules {
+		schedByName[s.Schedule] = s
+	}
+	for _, bs := range baseline.Schedules {
+		cs, ok := schedByName[bs.Schedule]
+		if !ok {
+			rep.Failed += 2
+			rep.Checks = append(rep.Checks,
+				Check{Name: "sched_speedup/" + bs.Schedule, Baseline: bs.Speedup,
+					Floor: bs.Speedup * (1 - tol.Balance), OK: false},
+				Check{Name: "sched_balance/" + bs.Schedule, Baseline: bs.LoadBalance,
+					Floor: bs.LoadBalance * (1 - tol.Balance), OK: false})
+			continue
+		}
+		add("sched_speedup/"+bs.Schedule, bs.Speedup, cs.Speedup, tol.Balance)
+		add("sched_balance/"+bs.Schedule, bs.LoadBalance, cs.LoadBalance, tol.Balance)
+	}
+	// Candidate-internal invariant: on the freshly measured profile,
+	// guided must beat static's load balance by a clear margin. This is
+	// an absolute claim about the candidate, not a drift bound, so it
+	// ignores the tolerances.
+	if g, ok := schedByName["guided"]; ok {
+		if s, ok := schedByName["static"]; ok {
+			floor := s.LoadBalance + guidedBalanceMargin
+			c := Check{Name: "guided_rebalances_vs_static", Baseline: s.LoadBalance,
+				Candidate: g.LoadBalance, Floor: floor, OK: g.LoadBalance >= floor}
+			if !c.OK {
+				rep.Failed++
+			}
+			rep.Checks = append(rep.Checks, c)
+		}
 	}
 	return rep, nil
 }

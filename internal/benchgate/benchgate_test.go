@@ -16,24 +16,33 @@ func profile() *Profile {
 			{Kernel: "gemm", Speedup: 3.98, EngineSpeedup: 15.9},
 			{Kernel: "jacobi-2d", Speedup: 3.5, EngineSpeedup: 18.1},
 		},
+		Schedules: []Schedule{
+			{Kernel: "imbalanced", Schedule: "static", Threads: 4, Speedup: 2.26, LoadBalance: 0.57, Chunks: 4},
+			{Kernel: "imbalanced", Schedule: "dynamic", Threads: 4, Speedup: 3.66, LoadBalance: 0.94, Chunks: 48},
+			{Kernel: "imbalanced", Schedule: "guided", Threads: 4, Speedup: 2.77, LoadBalance: 0.71, Chunks: 21},
+			{Kernel: "imbalanced", Schedule: "auto", Threads: 4, Speedup: 2.27, LoadBalance: 0.58, Chunks: 24, Steals: 2},
+		},
 	}
 }
 
 // TestGatePasses: an identical candidate clears the gate, as does one
 // inside tolerance.
 func TestGatePasses(t *testing.T) {
-	tol := Tolerances{Geomean: 0.4, Speedup: 0.1}
+	tol := Tolerances{Geomean: 0.4, Speedup: 0.1, Balance: 0.25}
+	// 1 geomean + 2 kernels + 4 schedules x 2 figures + 1 guided-vs-static.
 	rep, err := Compare(profile(), profile(), tol)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !rep.OK() || len(rep.Checks) != 3 {
+	if !rep.OK() || len(rep.Checks) != 12 {
 		t.Fatalf("identical candidate failed: %+v", rep)
 	}
 
 	slower := profile()
-	slower.Geomean *= 0.7             // within the 40% allowance
-	slower.Kernels[0].Speedup *= 0.95 // within the 10% allowance
+	slower.Geomean *= 0.7                  // within the 40% allowance
+	slower.Kernels[0].Speedup *= 0.95      // within the 10% allowance
+	slower.Schedules[2].LoadBalance *= 0.9 // within the 25% allowance
+	slower.Schedules[3].Speedup *= 0.8     // ditto
 	rep, err = Compare(profile(), slower, tol)
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +56,7 @@ func TestGatePasses(t *testing.T) {
 // tolerance, one kernel's speedup gutted, another kernel missing — must
 // fail with one failed check per regression.
 func TestGateFailsDoctored(t *testing.T) {
-	tol := Tolerances{Geomean: 0.4, Speedup: 0.1}
+	tol := Tolerances{Geomean: 0.4, Speedup: 0.1, Balance: 0.25}
 
 	doctored := profile()
 	doctored.Geomean *= 0.5 // below the 0.6x floor
@@ -82,6 +91,69 @@ func TestGateFailsDoctored(t *testing.T) {
 	rep.Write(&buf)
 	if !strings.Contains(buf.String(), "REGRESSED") {
 		t.Errorf("report does not mark the regression:\n%s", buf.String())
+	}
+}
+
+// TestGateSchedules: the schedules section gates like the kernels —
+// rows drifting beyond the loose Balance tolerance or vanishing fail —
+// and the candidate-internal guided-vs-static invariant catches a
+// guided schedule that stopped rebalancing even when every row sits
+// within drift tolerance of the baseline.
+func TestGateSchedules(t *testing.T) {
+	tol := Tolerances{Geomean: 0.4, Speedup: 0.1, Balance: 0.25}
+
+	collapsed := profile()
+	collapsed.Schedules[1].LoadBalance = 0.3 // dynamic fell off a cliff
+	rep, err := Compare(profile(), collapsed, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Failed != 1 {
+		t.Errorf("collapsed dynamic balance not caught: %+v", rep)
+	}
+
+	gone := profile()
+	gone.Schedules = gone.Schedules[:3] // auto vanished
+	rep, err = Compare(profile(), gone, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Failed != 2 { // speedup and balance both missing
+		t.Errorf("missing auto row not caught twice: %+v", rep)
+	}
+
+	// Guided degraded to static's balance: every row is within the loose
+	// drift tolerance of the baseline, but the invariant still fails.
+	degraded := profile()
+	degraded.Schedules[2].LoadBalance = 0.58
+	rep, err = Compare(profile(), degraded, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Failed != 1 {
+		t.Errorf("guided-at-static-balance not caught by the invariant: %+v", rep)
+	}
+	found := false
+	for _, c := range rep.Checks {
+		if c.Name == "guided_rebalances_vs_static" && !c.OK {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no failed guided_rebalances_vs_static check: %+v", rep.Checks)
+	}
+
+	// A pre-schedules baseline gates only its kernels; the candidate's
+	// extra section is informational, but its internal invariant still
+	// holds the candidate to the guided claim.
+	old := profile()
+	old.Schedules = nil
+	rep, err = Compare(old, profile(), tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.Checks) != 4 { // geomean + 2 kernels + invariant
+		t.Errorf("pre-schedules baseline mis-gated: %+v", rep)
 	}
 }
 
@@ -142,7 +214,7 @@ func TestLoadRealBaseline(t *testing.T) {
 	if err != nil {
 		t.Skipf("no checked-in baseline: %v", err)
 	}
-	rep, err := Compare(p, p, Tolerances{Geomean: 0.4, Speedup: 0.1})
+	rep, err := Compare(p, p, Tolerances{Geomean: 0.4, Speedup: 0.1, Balance: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}

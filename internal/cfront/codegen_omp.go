@@ -249,7 +249,11 @@ func (c *compiler) genOmpFor(st *cast.OmpFor) error {
 	switch st.Schedule {
 	case "", "static":
 	case "dynamic":
-		return c.genOmpForDynamic(st)
+		return c.genOmpForDispatch(st, omp.SchedDynamic)
+	case "guided":
+		return c.genOmpForDispatch(st, omp.SchedGuided)
+	case "auto":
+		return c.genOmpForDispatch(st, omp.SchedAuto)
 	default:
 		return c.errf("omp for: unsupported schedule %q", st.Schedule)
 	}
@@ -500,15 +504,18 @@ func collectDecls(n any, out map[string]bool) {
 	}
 }
 
-// genOmpForDynamic lowers "#pragma omp for schedule(dynamic[,chunk])":
-// workers pull chunks from a shared cursor through
+// genOmpForDispatch lowers the dispatch-scheduled worksharing loops —
+// "#pragma omp for schedule(dynamic[,chunk])", schedule(guided[,chunk]),
+// and schedule(auto): workers pull chunks through
 // __kmpc_dispatch_init_8/__kmpc_dispatch_next_8 and iterate each chunk
-// with a private induction variable.
-func (c *compiler) genOmpForDynamic(st *cast.OmpFor) error {
+// with a private induction variable. The runtime picks the pull math
+// from the schedule kind constant: fixed chunks for dynamic, decaying
+// chunks for guided, local ranges with work stealing for auto.
+func (c *compiler) genOmpForDispatch(st *cast.OmpFor, sched int64) error {
 	if st.NoWait {
-		// The shared cursor is per-construct; without the closing barrier
+		// The dispatch state is per-construct; without the closing barrier
 		// a fast worker could reach the next construct early.
-		return c.errf("omp for: schedule(dynamic) nowait is not supported")
+		return c.errf("omp for: schedule(%s) nowait is not supported", st.Schedule)
 	}
 	sh, err := canonicalOmpLoop(st.Loop)
 	if err != nil {
@@ -536,12 +543,19 @@ func (c *compiler) genOmpForDynamic(st *cast.OmpFor) error {
 	case ">=":
 		ubV = boundV
 	}
+	// The parser rejects explicit nonpositive chunks; an absent chunk
+	// defaults to 1 (schedule(auto) carries none — the runtime ignores
+	// its chunk argument). A negative chunk reaching this point is a
+	// front-end bug, not a program to lower.
 	chunk := int64(st.Chunk)
-	if chunk <= 0 {
+	if chunk < 0 {
+		return c.errf("omp for: negative chunk %d survived clause parsing", st.Chunk)
+	}
+	if chunk == 0 {
 		chunk = 1
 	}
 	c.bd.Call(c.runtime(omp.DispatchInit), []ir.Value{
-		c.gtid, ir.I32Const(omp.SchedDynamic),
+		c.gtid, ir.I32Const(sched),
 		initV, ubV, ir.I64Const(sh.step), ir.I64Const(chunk),
 	}, "")
 

@@ -563,7 +563,11 @@ func (p *cparser) followingFor() (*cast.For, error) {
 }
 
 // clauses parses "schedule(static[,N]) nowait private(a, b)
-// reduction(+: s)".
+// reduction(+: s)". Malformed clauses are rejected here, at the source
+// boundary, with the offending clause text: unknown schedule kinds,
+// nonpositive chunks, a chunk on schedule(auto), and empty variable
+// lists all used to slip through to codegen (or the runtime) where the
+// diagnostic lost the source context.
 func (p *cparser) clauses(s string) (sched string, chunk int, nowait bool, private []string, reds []cast.Reduction, err error) {
 	s = strings.TrimSpace(s)
 	for s != "" {
@@ -574,12 +578,24 @@ func (p *cparser) clauses(s string) (sched string, chunk int, nowait bool, priva
 				return "", 0, false, nil, nil, fmt.Errorf("cfront: unterminated schedule clause")
 			}
 			body := s[len("schedule("):end]
+			clause := s[:end+1]
 			parts := strings.Split(body, ",")
 			sched = strings.TrimSpace(parts[0])
+			switch sched {
+			case "static", "dynamic", "guided", "auto":
+			default:
+				return "", 0, false, nil, nil, fmt.Errorf("cfront: unknown schedule kind in %q (want static, dynamic, guided, or auto)", clause)
+			}
 			if len(parts) > 1 {
+				if sched == "auto" {
+					return "", 0, false, nil, nil, fmt.Errorf("cfront: schedule(auto) takes no chunk in %q", clause)
+				}
 				c, cerr := strconv.Atoi(strings.TrimSpace(parts[1]))
 				if cerr != nil {
 					return "", 0, false, nil, nil, fmt.Errorf("cfront: bad chunk %q", parts[1])
+				}
+				if c <= 0 {
+					return "", 0, false, nil, nil, fmt.Errorf("cfront: chunk must be positive in %q", clause)
 				}
 				chunk = c
 			}
@@ -592,9 +608,12 @@ func (p *cparser) clauses(s string) (sched string, chunk int, nowait bool, priva
 			if end < 0 {
 				return "", 0, false, nil, nil, fmt.Errorf("cfront: unterminated private clause")
 			}
-			for _, n := range strings.Split(s[len("private("):end], ",") {
-				private = append(private, strings.TrimSpace(n))
+			clause := s[:end+1]
+			names, nerr := splitVarList(s[len("private("):end], clause)
+			if nerr != nil {
+				return "", 0, false, nil, nil, nerr
 			}
+			private = append(private, names...)
 			s = strings.TrimSpace(s[end+1:])
 		case strings.HasPrefix(s, "reduction("):
 			end := strings.Index(s, ")")
@@ -602,6 +621,7 @@ func (p *cparser) clauses(s string) (sched string, chunk int, nowait bool, priva
 				return "", 0, false, nil, nil, fmt.Errorf("cfront: unterminated reduction clause")
 			}
 			body := s[len("reduction("):end]
+			clause := s[:end+1]
 			colon := strings.Index(body, ":")
 			if colon < 0 {
 				return "", 0, false, nil, nil, fmt.Errorf("cfront: reduction clause needs op: var")
@@ -610,8 +630,12 @@ func (p *cparser) clauses(s string) (sched string, chunk int, nowait bool, priva
 			if op != "+" && op != "*" {
 				return "", 0, false, nil, nil, fmt.Errorf("cfront: unsupported reduction operator %q", op)
 			}
-			for _, n := range strings.Split(body[colon+1:], ",") {
-				reds = append(reds, cast.Reduction{Op: op, Var: strings.TrimSpace(n)})
+			names, nerr := splitVarList(body[colon+1:], clause)
+			if nerr != nil {
+				return "", 0, false, nil, nil, nerr
+			}
+			for _, n := range names {
+				reds = append(reds, cast.Reduction{Op: op, Var: n})
 			}
 			s = strings.TrimSpace(s[end+1:])
 		default:
@@ -619,4 +643,22 @@ func (p *cparser) clauses(s string) (sched string, chunk int, nowait bool, priva
 		}
 	}
 	return sched, chunk, nowait, private, reds, nil
+}
+
+// splitVarList splits a clause's comma-separated variable list,
+// rejecting empty lists and empty names ("private()", "reduction(+:)",
+// "private(a,,b)") with the offending clause text.
+func splitVarList(body, clause string) ([]string, error) {
+	if strings.TrimSpace(body) == "" {
+		return nil, fmt.Errorf("cfront: empty variable list in %q", clause)
+	}
+	var names []string
+	for _, n := range strings.Split(body, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, fmt.Errorf("cfront: empty variable name in %q", clause)
+		}
+		names = append(names, n)
+	}
+	return names, nil
 }

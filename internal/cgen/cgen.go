@@ -75,6 +75,8 @@ var FeatureClasses = []string{
 	"pragma-static",       // schedule(static)
 	"pragma-static-chunk", // schedule(static, c)
 	"pragma-dynamic",      // schedule(dynamic, c)
+	"pragma-guided",       // schedule(guided[, c])
+	"pragma-auto",         // schedule(auto)
 	"reduction-int-add",   // reduction(+: acc) over longs
 	"reduction-int-mul",   // reduction(*: acc) over longs
 	"reduction-float",     // reduction(+: facc) over doubles
@@ -262,7 +264,7 @@ func (g *gen) pragma(extra string) {
 		return
 	}
 	sched := ""
-	switch g.r.intn(3) {
+	switch g.r.intn(5) {
 	case 0:
 		sched = " schedule(static)"
 		g.feat("pragma-static")
@@ -272,6 +274,17 @@ func (g *gen) pragma(extra string) {
 	case 2:
 		sched = fmt.Sprintf(" schedule(dynamic, %d)", 1+g.r.intn(7))
 		g.feat("pragma-dynamic")
+	case 3:
+		// Half with an explicit chunk floor, half defaulted.
+		if g.r.chance(50) {
+			sched = fmt.Sprintf(" schedule(guided, %d)", 1+g.r.intn(7))
+		} else {
+			sched = " schedule(guided)"
+		}
+		g.feat("pragma-guided")
+	case 4:
+		sched = " schedule(auto)"
+		g.feat("pragma-auto")
 	}
 	g.pf("  #pragma omp parallel for%s%s\n", sched, extra)
 }

@@ -1,0 +1,43 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/cgen"
+)
+
+// TestSweepWindowCoversScheduleClasses guards the fleet's default smoke
+// window (seeds 1..400, the fleet_smoke.sh sweep): the generator must
+// surface every pragma schedule class inside it, so a sweep that
+// passes has genuinely exercised static, dynamic, guided, and auto
+// worksharing end to end. A generator distribution change that starves
+// a class out of the window fails here, not silently in the field.
+func TestSweepWindowCoversScheduleClasses(t *testing.T) {
+	const window = 400
+	want := []string{
+		"pragma-static", "pragma-static-chunk", "pragma-dynamic",
+		"pragma-guided", "pragma-auto",
+	}
+	seen := map[string]uint64{}
+	for seed := uint64(1); seed <= window; seed++ {
+		p := cgen.Generate(cgen.Default(seed))
+		for _, f := range p.Features {
+			if _, ok := seen[f]; !ok {
+				seen[f] = seed
+			}
+		}
+		if len(seen) >= len(cgen.FeatureClasses) {
+			break
+		}
+	}
+	for _, f := range want {
+		if _, ok := seen[f]; !ok {
+			t.Errorf("schedule class %s never generated in seeds 1..%d", f, window)
+		}
+	}
+	if !t.Failed() {
+		for _, f := range want {
+			t.Logf("%s first at seed %d", f, seen[f])
+		}
+	}
+}

@@ -42,12 +42,18 @@ type golden struct {
 	fuel    int64 // <=0: unbounded
 	depth   int
 
-	// Worksharing state for the team-of-one kmpc emulation.
+	// Worksharing state for the team-of-one kmpc emulation, held in
+	// index space [0, dispTrip) like the production runtime: the pull
+	// math must match the machine's bit-for-bit so chunk boundaries
+	// (and therefore per-chunk side effects) line up at 1 thread.
 	dispActive bool
-	dispCursor int64
+	dispSched  int64
+	dispLB     int64
 	dispUB     int64
 	dispIncr   int64
 	dispChunk  int64
+	dispTrip   int64
+	dispNext   int64
 }
 
 // newGolden allocates golden global memory with the machine's observable
@@ -458,29 +464,33 @@ func (g *golden) external(f *ir.Function, args []interp.Value) interp.Value {
 		// the published bounds must match the machine's chunk math
 		// bit-for-bit (upper lands on the last *reached* iteration, which
 		// is below ub when the span is not a multiple of incr; the
-		// zero-trip path publishes an empty range and no stride).
+		// zero-trip path publishes an empty range and no stride). The
+		// validation mirrors the machine exactly: dispatch-kind schedules
+		// and overflowing iteration spaces trap instead of degrading.
+		sched := args[1].I
+		if !omp.IsStaticSched(sched) {
+			g.trap(interp.TrapGeneric, "static_init_8: unsupported schedule kind %d", sched)
+		}
 		lb, ub := g.load(args[3]).I, g.load(args[4]).I
 		incr := args[6].I
 		if incr == 0 {
 			g.trap(interp.TrapGeneric, "static_init_8 with zero increment")
 		}
-		trip := (ub-lb)/incr + 1
-		if trip <= 0 {
-			g.store(args[3], interp.IntV(lb))
-			g.store(args[4], interp.IntV(lb-incr))
+		trip, ok := omp.TripCount(lb, ub, incr)
+		if !ok {
+			g.trap(interp.TrapGeneric, "static_init_8: iteration space [%d, %d] step %d overflows", lb, ub, incr)
+		}
+		if trip == 0 {
+			lo, hi := omp.EmptyRange(incr)
+			g.store(args[3], interp.IntV(lo))
+			g.store(args[4], interp.IntV(hi))
 			g.store(args[2], interp.IntV(0))
 			return undef
 		}
-		myLo, myHi := lb, lb+(trip-1)*incr
-		last := int64(0)
-		if (incr > 0 && myHi >= ub) || (incr < 0 && myHi <= ub) {
-			myHi = ub
-			last = 1
-		}
-		g.store(args[3], interp.IntV(myLo))
-		g.store(args[4], interp.IntV(myHi))
-		g.store(args[5], interp.IntV((myHi-myLo)/incr+1))
-		g.store(args[2], interp.IntV(last))
+		g.store(args[3], interp.IntV(lb))
+		g.store(args[4], interp.IntV(lb+(trip-1)*incr))
+		g.store(args[5], interp.IntV(trip))
+		g.store(args[2], interp.IntV(1))
 		return undef
 	case omp.ForStaticFini, omp.Barrier, omp.PushNumThreads:
 		return undef
@@ -490,15 +500,33 @@ func (g *golden) external(f *ir.Function, args []interp.Value) interp.Value {
 		if len(args) != 6 {
 			g.trap(interp.TrapGeneric, "dispatch_init_8 expects 6 args")
 		}
+		sched, lb, ub := args[1].I, args[2].I, args[3].I
+		incr, chunk := args[4].I, args[5].I
 		if !g.dispActive {
-			g.dispCursor, g.dispUB, g.dispIncr, g.dispChunk = args[2].I, args[3].I, args[4].I, args[5].I
-			if g.dispIncr == 0 {
+			if !omp.IsDispatchSched(sched) {
+				g.trap(interp.TrapGeneric, "dispatch_init_8: unsupported schedule kind %d", sched)
+			}
+			if incr == 0 {
 				g.trap(interp.TrapGeneric, "dispatch_init_8 with zero increment")
 			}
-			if g.dispChunk <= 0 {
-				g.dispChunk = 1
+			if sched != omp.SchedAuto && chunk <= 0 {
+				g.trap(interp.TrapGeneric, "dispatch_init_8: nonpositive chunk %d", chunk)
 			}
+			trip, ok := omp.TripCount(lb, ub, incr)
+			if !ok {
+				g.trap(interp.TrapGeneric, "dispatch_init_8: iteration space [%d, %d] step %d overflows", lb, ub, incr)
+			}
+			g.dispSched, g.dispLB, g.dispUB = sched, lb, ub
+			g.dispIncr, g.dispChunk = incr, chunk
+			g.dispTrip, g.dispNext = trip, 0
 			g.dispActive = true
+		} else if sched != g.dispSched || lb != g.dispLB || ub != g.dispUB ||
+			incr != g.dispIncr || chunk != g.dispChunk {
+			// A re-init while the construct is open must agree with what
+			// was published (the machine checks every late arrival).
+			g.trap(interp.TrapGeneric,
+				"dispatch_init_8: worker 0 published (sched %d, lb %d, ub %d, incr %d, chunk %d) mid-construct",
+				sched, lb, ub, incr, chunk)
 		}
 		return undef
 	case omp.DispatchNext:
@@ -506,22 +534,35 @@ func (g *golden) external(f *ir.Function, args []interp.Value) interp.Value {
 			g.trap(interp.TrapGeneric, "dispatch_next_8 expects 5 args")
 		}
 		if !g.dispActive {
-			g.trap(interp.TrapGeneric, "dispatch_next_8 without init")
+			g.trap(interp.TrapGeneric, "dispatch_next_8 without an active construct")
 		}
-		incr := g.dispIncr
-		if (incr > 0 && g.dispCursor > g.dispUB) || (incr < 0 && g.dispCursor < g.dispUB) {
+		rem := g.dispTrip - g.dispNext
+		if rem == 0 {
 			g.dispActive = false
 			return interp.IntV(0)
 		}
-		lo := g.dispCursor
-		hi := lo + (g.dispChunk-1)*incr
-		if (incr > 0 && hi > g.dispUB) || (incr < 0 && hi < g.dispUB) {
-			hi = g.dispUB
+		// Pull math per schedule kind, team of one: dynamic takes a fixed
+		// chunk, guided a decaying GuidedTake over 1 worker, and auto —
+		// whose single local range is the whole space — AutoTake halves.
+		// Identical sequences to the machine at 1 thread.
+		var take int64
+		switch g.dispSched {
+		case omp.SchedAuto:
+			take = omp.AutoTake(rem)
+		case omp.SchedGuided:
+			take = omp.GuidedTake(rem, g.dispChunk, 1)
+		default:
+			take = g.dispChunk
+			if take > rem {
+				take = rem
+			}
 		}
-		g.dispCursor = hi + incr
+		i0 := g.dispNext
+		g.dispNext += take
+		incr := g.dispIncr
 		g.store(args[1], interp.IntV(0))
-		g.store(args[2], interp.IntV(lo))
-		g.store(args[3], interp.IntV(hi))
+		g.store(args[2], interp.IntV(g.dispLB+i0*incr))
+		g.store(args[3], interp.IntV(g.dispLB+(i0+take-1)*incr))
 		g.store(args[4], interp.IntV(incr))
 		return interp.IntV(1)
 	case omp.AtomicAddF64:

@@ -120,6 +120,82 @@ func RuntimeProfile(cfg Config) ([]RuntimeRow, error) {
 	return rows, nil
 }
 
+// ScheduleRow is one schedule kind's showing on the triangular
+// imbalanced kernel: the deterministic-clock speedup over the
+// sequential variant, the profiler's load balance, and the dispatch
+// traffic (chunk pulls, auto's work-stealing transfers).
+type ScheduleRow struct {
+	Kernel      string  `json:"kernel"`
+	Schedule    string  `json:"schedule"`
+	Threads     int     `json:"threads"`
+	Speedup     float64 `json:"speedup"`
+	LoadBalance float64 `json:"load_balance"`
+	Chunks      int64   `json:"chunks"`
+	Steals      int64   `json:"steals"`
+}
+
+// ScheduleBalance runs the triangular imbalanced kernel under every
+// schedule kind and measures how each copes with the skewed iteration
+// cost: static's contiguous halves leave the low-tid workers with most
+// of the work, dynamic/guided rebalance at the shared cursor, auto
+// rebalances by stealing. Outputs are cross-checked bitwise against
+// the sequential variant — scheduling must never change the answer.
+// Speedup and load balance for guided/auto are timing-dependent at
+// >1 threads (chunk-to-worker assignment varies run to run), so gates
+// over these figures need loose tolerances.
+func ScheduleBalance(cfg Config) ([]ScheduleRow, error) {
+	s := cfg.session()
+	threads := cfg.threads()
+	seqB := polybench.ImbalancedKernel("")
+	seqM, err := polybench.CompileVariantWith(s, seqB.Seq, seqB.Name)
+	if err != nil {
+		return nil, err
+	}
+	seqCost, err := timeKernels(seqB, seqM, interp.Options{NumThreads: 1}, cfg.reps())
+	if err != nil {
+		return nil, err
+	}
+	ref, err := seqB.RunWith(seqM, interp.Options{NumThreads: 1})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ScheduleRow
+	for _, sched := range polybench.ImbalancedSchedules {
+		b := polybench.ImbalancedKernel(sched)
+		m, err := polybench.CompileVariantWith(s, b.Seq, b.Name)
+		if err != nil {
+			return nil, err
+		}
+		cost, err := timeKernels(b, m, interp.Options{NumThreads: threads}, cfg.reps())
+		if err != nil {
+			return nil, err
+		}
+		mach, err := b.RunWith(m, interp.Options{NumThreads: threads, Profile: true})
+		if err != nil {
+			return nil, err
+		}
+		if eq, diff := b.OutputsEqual(ref, mach); !eq {
+			return nil, fmt.Errorf("%s: schedule changed the answer: %s", b.Name, diff)
+		}
+		p := mach.Profile()
+		row := ScheduleRow{
+			Kernel:      "imbalanced",
+			Schedule:    sched,
+			Threads:     threads,
+			Speedup:     float64(seqCost.SimSteps) / float64(cost.SimSteps),
+			LoadBalance: p.LoadBalance(),
+		}
+		for _, r := range p.Regions {
+			for _, t := range r.Threads {
+				row.Chunks += t.Chunks
+				row.Steals += t.Steals
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // runRuntime prints the per-kernel runtime profile table.
 func runRuntime(w io.Writer, cfg Config) error {
 	rows, err := RuntimeProfile(cfg)
@@ -149,5 +225,17 @@ func runRuntime(w io.Writer, cfg Config) error {
 	fmt.Fprintf(w, "geomean bytecode-vs-tree: %.2fx wall at 1 thread, %s size (bitwise-identical outputs)\n",
 		geomean(vmGains), cfg.size())
 	fmt.Fprintln(w, "races: dynamic conflict checker over all statically parallelized regions")
+
+	srows, err := ScheduleBalance(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%-12s %-10s %8s %8s %8s %8s %8s\n",
+		"Kernel", "Schedule", "Threads", "Speedup", "LoadBal", "Chunks", "Steals")
+	for _, r := range srows {
+		fmt.Fprintf(w, "%-12s %-10s %8d %8.2f %8.2f %8d %8d\n",
+			r.Kernel, r.Schedule, r.Threads, r.Speedup, r.LoadBalance, r.Chunks, r.Steals)
+	}
+	fmt.Fprintln(w, "schedules: triangular workload; guided/auto rebalance what static cannot")
 	return nil
 }

@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -30,19 +31,38 @@ type team struct {
 	barCond *sync.Cond
 	waiting int
 	phase   int
+	// dead marks the team aborted: a worker trapped and will never reach
+	// another barrier. Survivors parked at (or arriving at) a barrier are
+	// woken and unwound with a sentinel trap instead of waiting forever
+	// for a teammate that is gone.
+	dead bool
 
-	// Dynamic-dispatch state: one shared chunk cursor per construct.
-	// Workers all call dispatch_init, then pull chunks with
-	// dispatch_next until it returns 0; when every worker has drained,
-	// the state resets for the next construct.
-	dispMu     sync.Mutex
-	dispInits  int
-	dispDone   int
-	dispCursor int64
-	dispUB     int64
-	dispIncr   int64
-	dispChunk  int64
+	// Dispatch worksharing state, held in index space [0, trip): workers
+	// all call dispatch_init, then pull chunks with dispatch_next until
+	// it returns 0; when every worker has drained, the state resets for
+	// the next construct. Index space keeps every intermediate value
+	// inside the already-validated iteration space — no bound
+	// materialization can wrap.
+	dispMu    sync.Mutex
+	dispInits int
+	dispDone  int
+	// Published space, recorded for cross-worker publish validation.
+	dispSched int64
+	dispLB    int64
+	dispUB    int64
+	dispIncr  int64
+	dispChunk int64
+	dispTrip  int64
+	// Shared cursor (dynamic/guided): next unserved iteration index.
+	dispNext int64
+	// Per-worker local ranges (auto): worker tid owns indices
+	// [dispOwn[tid].next, dispOwn[tid].end); a drained worker steals the
+	// tail half of the most-loaded teammate's range.
+	dispOwn []idxRange
 }
+
+// idxRange is a half-open index-space interval [next, end).
+type idxRange struct{ next, end int64 }
 
 func newTeam(size int) *team {
 	t := &team{size: size}
@@ -50,15 +70,26 @@ func newTeam(size int) *team {
 	return t
 }
 
+// errTeamKilled is the sentinel trap barrier waiters raise when a
+// teammate dies mid-region. forkCall filters it out of the join in
+// favor of the original trap, so it never reaches an outcome.
+var errTeamKilled = &Trap{Kind: TrapWorker, Msg: "parallel region aborted: a teammate trapped"}
+
 // barrier blocks until all team members arrive. In serialized mode the
 // caller's run token is released while waiting so teammates can reach
-// the barrier too.
+// the barrier too. If the team dies while (or before) this worker
+// waits, it unwinds with the errTeamKilled sentinel instead of parking
+// forever on a teammate that will never arrive.
 func (t *team) barrier() {
 	if t.serial {
 		t.runMu.Unlock()
 		defer t.runMu.Lock()
 	}
 	t.barMu.Lock()
+	if t.dead {
+		t.barMu.Unlock()
+		panic(errTeamKilled)
+	}
 	phase := t.phase
 	t.waiting++
 	if t.waiting == t.size {
@@ -66,10 +97,24 @@ func (t *team) barrier() {
 		t.phase++
 		t.barCond.Broadcast()
 	} else {
-		for t.phase == phase {
+		for t.phase == phase && !t.dead {
 			t.barCond.Wait()
 		}
+		if t.phase == phase { // woken by kill, not by the phase advancing
+			t.barMu.Unlock()
+			panic(errTeamKilled)
+		}
 	}
+	t.barMu.Unlock()
+}
+
+// kill marks the team dead and wakes barrier waiters. Called by a
+// worker goroutine after its own trap has been caught, so it holds no
+// team locks.
+func (t *team) kill() {
+	t.barMu.Lock()
+	t.dead = true
+	t.barCond.Broadcast()
 	t.barMu.Unlock()
 }
 
@@ -252,6 +297,11 @@ func (rt *RT) forkCall(args []Value) {
 				wargs = append(wargs, shared...)
 				w.Call(mt.Fn, wargs)
 			})
+			if errs[tid] != nil {
+				// Wake teammates parked at a barrier this worker will never
+				// reach; they unwind with the errTeamKilled sentinel.
+				tm.kill()
+			}
 			steps[tid] = w.localSteps
 			spans[tid] = w.spanSteps
 			if w.tstat != nil {
@@ -293,10 +343,24 @@ func (rt *RT) forkCall(args []Value) {
 			TID: 1,
 		})
 	}
+	// Rethrow the original trap, not the sentinel its death induced in
+	// teammates: the lowest-tid real error wins, which is deterministic
+	// whenever the set of genuinely trapping workers is.
+	var killed error
 	for _, err := range errs {
-		if err != nil {
-			rethrowWorkerErr(err)
+		if err == nil {
+			continue
 		}
+		if t, ok := err.(*Trap); ok && t == errTeamKilled {
+			if killed == nil {
+				killed = err
+			}
+			continue
+		}
+		rethrowWorkerErr(err)
+	}
+	if killed != nil {
+		rethrowWorkerErr(killed)
 	}
 }
 
@@ -315,10 +379,19 @@ func rethrowWorkerErr(err error) {
 // staticInit implements __kmpc_for_static_init_8(gtid, sched, plast,
 // plower, pupper, pstride, incr, chunk): it narrows [*plower, *pupper]
 // (inclusive bounds) to this worker's contiguous static chunk, libomp
-// style. With no iterations for this worker, lower is set above upper.
+// style. With no iterations for this worker, lower is set above upper
+// (below, for negative steps). Non-static schedule kinds trap — they
+// belong on the dispatch path, and silently serving them contiguously
+// would misreport the program's scheduling semantics. All arithmetic
+// runs in index space over an overflow-checked trip count, so extreme
+// bounds trap deterministically instead of wrapping.
 func (rt *RT) staticInit(args []Value) {
 	if len(args) != 8 {
 		rt.Trapf("static_init_8 expects 8 args, got %d", len(args))
+	}
+	sched := args[1].I
+	if !omp.IsStaticSched(sched) {
+		rt.Trapf("static_init_8: unsupported schedule kind %d", sched)
 	}
 	plast, plower, pupper := args[2], args[3], args[4]
 	pstride := args[5]
@@ -335,71 +408,48 @@ func (rt *RT) staticInit(args []Value) {
 	}
 	tid := rt.gtid
 
-	trip := (ub-lb)/incr + 1
-	if trip <= 0 {
+	trip, ok := omp.TripCount(lb, ub, incr)
+	if !ok {
+		rt.Trapf("static_init_8: iteration space [%d, %d] step %d overflows", lb, ub, incr)
+	}
+	if trip == 0 {
 		// Zero-trip loop: make this worker's range empty.
-		rt.storeTo(plower, IntV(lb))
-		rt.storeTo(pupper, IntV(lb-incr))
+		lo, hi := omp.EmptyRange(incr)
+		rt.storeTo(plower, IntV(lo))
+		rt.storeTo(pupper, IntV(hi))
 		rt.storeTo(plast, IntV(0))
 		return
 	}
-	var myLo, myHi int64
-	if rt.m.Opts.BalancedChunks {
-		// libgomp-style: floor(trip/n) per worker, remainder spread over
-		// the first trip%n workers.
-		q, r := trip/int64(n), trip%int64(n)
-		lo := int64(0)
-		size := q
-		if int64(tid) < r {
-			size = q + 1
-			lo = int64(tid) * size
-		} else {
-			lo = r*(q+1) + (int64(tid)-r)*q
-		}
-		myLo = lb + lo*incr
-		myHi = lb + (lo+size-1)*incr
-		if size == 0 {
-			myLo, myHi = lb, lb-incr
-		}
-	} else {
-		// libomp-style: ceiling chunks.
-		chunk := (trip + int64(n) - 1) / int64(n)
-		myLo = lb + int64(tid)*chunk*incr
-		myHi = lb + (int64(tid+1)*chunk-1)*incr
+	start, count := omp.StaticSpan(trip, n, tid, rt.m.Opts.BalancedChunks)
+	if count == 0 {
+		lo, hi := omp.EmptyRange(incr)
+		rt.storeTo(plower, IntV(lo))
+		rt.storeTo(pupper, IntV(hi))
+		rt.storeTo(pstride, IntV(0))
+		rt.storeTo(plast, IntV(0))
+		return
 	}
+	myLo := lb + start*incr
+	myHi := lb + (start+count-1)*incr
 	last := int64(0)
-	if incr > 0 {
-		if myHi >= ub {
-			myHi = ub
-			last = 1
-		}
-		if myLo > ub {
-			myLo, myHi = lb, lb-incr // empty
-			last = 0
-		}
-	} else {
-		if myHi <= ub {
-			myHi = ub
-			last = 1
-		}
-		if myLo < ub {
-			myLo, myHi = lb, lb-incr
-			last = 0
-		}
+	if start+count == trip {
+		last = 1
 	}
 	rt.storeTo(plower, IntV(myLo))
 	rt.storeTo(pupper, IntV(myHi))
-	rt.storeTo(pstride, IntV((myHi-myLo)/incr+1))
+	rt.storeTo(pstride, IntV(count))
 	rt.storeTo(plast, IntV(last))
-	if rt.tstat != nil {
-		if iters := (myHi-myLo)/incr + 1; iters > 0 {
-			rt.tstat.noteChunk(iters)
-		}
-	}
+	rt.tstat.noteChunk(count)
 }
 
 // dispatchInit implements __kmpc_dispatch_init_8(gtid, sched, lb, ub,
-// incr, chunk): the first arriving worker publishes the iteration space.
+// incr, chunk) for the dynamic, guided, and auto schedule kinds: the
+// first arriving worker publishes and validates the iteration space
+// (unknown kinds and nonpositive chunks trap; historically both were
+// silently patched over). Every later arrival's arguments are checked
+// against the published construct — the runtime used to drop them on
+// the floor, which let a worker disagreeing about the space proceed on
+// its teammate's bounds.
 func (rt *RT) dispatchInit(args []Value) {
 	if len(args) != 6 {
 		rt.Trapf("dispatch_init_8 expects 6 args, got %d", len(args))
@@ -409,26 +459,62 @@ func (rt *RT) dispatchInit(args []Value) {
 		t = newTeam(1)
 		rt.team = t
 	}
+	sched, lb, ub := args[1].I, args[2].I, args[3].I
+	incr, chunk := args[4].I, args[5].I
 	t.dispMu.Lock()
 	if t.dispInits == 0 {
-		t.dispCursor = args[2].I
-		t.dispUB = args[3].I
-		t.dispIncr = args[4].I
-		t.dispChunk = args[5].I
-		if t.dispIncr == 0 {
+		if !omp.IsDispatchSched(sched) {
+			t.dispMu.Unlock()
+			rt.Trapf("dispatch_init_8: unsupported schedule kind %d", sched)
+		}
+		if incr == 0 {
 			t.dispMu.Unlock()
 			rt.Trapf("dispatch_init_8 with zero increment")
 		}
-		if t.dispChunk <= 0 {
-			t.dispChunk = 1
+		// schedule(auto) carries no chunk parameter; the other kinds
+		// require a positive one.
+		if sched != omp.SchedAuto && chunk <= 0 {
+			t.dispMu.Unlock()
+			rt.Trapf("dispatch_init_8: nonpositive chunk %d", chunk)
 		}
+		trip, ok := omp.TripCount(lb, ub, incr)
+		if !ok {
+			t.dispMu.Unlock()
+			rt.Trapf("dispatch_init_8: iteration space [%d, %d] step %d overflows", lb, ub, incr)
+		}
+		t.dispSched, t.dispLB, t.dispUB = sched, lb, ub
+		t.dispIncr, t.dispChunk = incr, chunk
+		t.dispTrip, t.dispNext = trip, 0
+		if sched == omp.SchedAuto {
+			// Precompute every worker's local range now: under the race
+			// checker's token-serialized mode one worker can drain the
+			// whole construct (stealing teammate by teammate) before any
+			// other worker even arrives.
+			t.dispOwn = make([]idxRange, t.size)
+			for tid := range t.dispOwn {
+				s, c := omp.StaticSpan(trip, t.size, tid, true)
+				t.dispOwn[tid] = idxRange{next: s, end: s + c}
+			}
+		}
+	} else if sched != t.dispSched || lb != t.dispLB || ub != t.dispUB ||
+		incr != t.dispIncr || chunk != t.dispChunk {
+		got := fmt.Sprintf("(sched %d, lb %d, ub %d, incr %d, chunk %d)", sched, lb, ub, incr, chunk)
+		want := fmt.Sprintf("(sched %d, lb %d, ub %d, incr %d, chunk %d)",
+			t.dispSched, t.dispLB, t.dispUB, t.dispIncr, t.dispChunk)
+		t.dispMu.Unlock()
+		rt.Trapf("dispatch_init_8: worker %d published %s but the construct was opened with %s",
+			rt.gtid, got, want)
 	}
 	t.dispInits++
 	t.dispMu.Unlock()
 }
 
-// dispatchNext implements __kmpc_dispatch_next_8: it hands the caller the
-// next chunk of the shared iteration space, or returns 0 when drained.
+// dispatchNext implements __kmpc_dispatch_next_8: it hands the caller
+// the next chunk of the construct's iteration space, or returns 0 when
+// drained. Dynamic pulls a fixed chunk and guided an exponentially
+// decaying one off the shared cursor; auto pulls halves of the worker's
+// own precomputed range, stealing the tail half of the most-loaded
+// teammate's range when its own runs dry.
 func (rt *RT) dispatchNext(args []Value) Value {
 	if len(args) != 5 {
 		rt.Trapf("dispatch_next_8 expects 5 args, got %d", len(args))
@@ -437,39 +523,92 @@ func (rt *RT) dispatchNext(args []Value) Value {
 	if t == nil {
 		rt.Trapf("dispatch_next_8 outside a team")
 	}
+	// Yield before competing for the next chunk (libomp does the same in
+	// its dispatch loop): without this, a host with fewer cores than the
+	// team lets whichever worker the Go scheduler ran first drain the
+	// whole construct, and the dispatch schedules degenerate to serial.
+	// Serialized (race-checked) teams hold runMu across the yield, so
+	// their deterministic one-worker-at-a-time order is unaffected.
+	if !t.serial && t.size > 1 {
+		runtime.Gosched()
+	}
 	t.dispMu.Lock()
 	defer t.dispMu.Unlock()
-	incr := t.dispIncr
-	exhausted := incr > 0 && t.dispCursor > t.dispUB ||
-		incr < 0 && t.dispCursor < t.dispUB
-	if exhausted {
-		t.dispDone++
-		// Reset only when the whole team has drained. A worker can finish
-		// before its teammates have even called dispatch_init; resetting
-		// on inits==done would hand the late arrivals a fresh cursor and
-		// re-run the whole space. The construct's closing barrier orders
-		// the reset before any worker reaches the next construct.
-		if t.dispDone >= t.size {
-			t.dispInits = 0
-			t.dispDone = 0
+	if t.dispInits == 0 {
+		rt.Trapf("dispatch_next_8 without an active construct")
+	}
+
+	// Claim [i0, i0+take) in index space, per schedule kind.
+	var i0, take int64
+	switch t.dispSched {
+	case omp.SchedAuto:
+		own := &t.dispOwn[rt.gtid%len(t.dispOwn)]
+		if own.next >= own.end {
+			// Drained: steal the tail half of the most-loaded teammate's
+			// range (ties to the lowest tid). The victim keeps the head it
+			// is working near.
+			victim, best := -1, int64(0)
+			for tid := range t.dispOwn {
+				if rem := t.dispOwn[tid].end - t.dispOwn[tid].next; rem > best {
+					victim, best = tid, rem
+				}
+			}
+			if victim < 0 {
+				return t.dispExhausted()
+			}
+			v := &t.dispOwn[victim]
+			steal := best - best/2
+			own.next, own.end = v.end-steal, v.end
+			v.end -= steal
+			rt.tstat.noteSteal()
+			rt.m.met.noteSteal()
 		}
-		return IntV(0)
+		i0 = own.next
+		take = omp.AutoTake(own.end - own.next)
+		own.next += take
+	case omp.SchedGuided:
+		if t.dispNext >= t.dispTrip {
+			return t.dispExhausted()
+		}
+		i0 = t.dispNext
+		take = omp.GuidedTake(t.dispTrip-t.dispNext, t.dispChunk, t.size)
+		t.dispNext += take
+	default: // omp.SchedDynamic
+		if t.dispNext >= t.dispTrip {
+			return t.dispExhausted()
+		}
+		i0 = t.dispNext
+		take = t.dispChunk
+		if take > t.dispTrip-t.dispNext {
+			take = t.dispTrip - t.dispNext
+		}
+		t.dispNext += take
 	}
-	lo := t.dispCursor
-	hi := lo + (t.dispChunk-1)*incr
-	if incr > 0 && hi > t.dispUB {
-		hi = t.dispUB
-	}
-	if incr < 0 && hi < t.dispUB {
-		hi = t.dispUB
-	}
-	t.dispCursor = hi + incr
+
+	incr := t.dispIncr
 	rt.storeTo(args[1], IntV(0))
-	rt.storeTo(args[2], IntV(lo))
-	rt.storeTo(args[3], IntV(hi))
+	rt.storeTo(args[2], IntV(t.dispLB+i0*incr))
+	rt.storeTo(args[3], IntV(t.dispLB+(i0+take-1)*incr))
 	rt.storeTo(args[4], IntV(incr))
-	rt.tstat.noteChunk((hi-lo)/incr + 1)
+	rt.tstat.noteChunk(take)
 	return IntV(1)
+}
+
+// dispExhausted records one worker's drain of the current construct and
+// resets the dispatch state once the whole team is done. Callers hold
+// dispMu. Reset waits for the full team: a worker can finish before its
+// teammates have even called dispatch_init, and resetting early would
+// hand late arrivals a fresh cursor and re-run the space. The
+// construct's closing barrier orders the reset before any worker
+// reaches the next construct.
+func (t *team) dispExhausted() Value {
+	t.dispDone++
+	if t.dispDone >= t.size {
+		t.dispInits = 0
+		t.dispDone = 0
+		t.dispOwn = nil
+	}
+	return IntV(0)
 }
 
 func (rt *RT) deref(p Value) Value {

@@ -35,12 +35,162 @@ const (
 	DispatchNext = "__kmpc_dispatch_next_8"
 )
 
-// Schedule kinds (kmp_sched_t values used by __kmpc_for_static_init).
+// Schedule kinds (kmp_sched_t values used by __kmpc_for_static_init
+// and __kmpc_dispatch_init).
 const (
 	SchedStatic        int64 = 34 // kmp_sch_static: contiguous chunks
 	SchedStaticChunked int64 = 33 // kmp_sch_static_chunked
 	SchedDynamic       int64 = 35 // kmp_sch_dynamic_chunked
+	SchedGuided        int64 = 36 // kmp_sch_guided_chunked: decaying chunks
+	SchedAuto          int64 = 38 // kmp_sch_auto: runtime-chosen (work stealing)
 )
+
+// SchedName maps a schedule kind to its pragma spelling ("static",
+// "dynamic", "guided", "auto"); ok is false for unknown kinds.
+func SchedName(kind int64) (string, bool) {
+	switch kind {
+	case SchedStatic, SchedStaticChunked:
+		return "static", true
+	case SchedDynamic:
+		return "dynamic", true
+	case SchedGuided:
+		return "guided", true
+	case SchedAuto:
+		return "auto", true
+	}
+	return "", false
+}
+
+// IsStaticSched reports whether kind is served by __kmpc_for_static_init.
+func IsStaticSched(kind int64) bool {
+	return kind == SchedStatic || kind == SchedStaticChunked
+}
+
+// IsDispatchSched reports whether kind is served by the dispatch
+// (shared-cursor / work-stealing) runtime path.
+func IsDispatchSched(kind int64) bool {
+	return kind == SchedDynamic || kind == SchedGuided || kind == SchedAuto
+}
+
+// Schedule math shared by the team runtime and the golden evaluator.
+// Both sides must take identical chunk sequences for a given space, or
+// fuel verdicts and published bounds would diverge between the machine
+// at one thread and the independent golden run; keeping the arithmetic
+// here, pure and overflow-checked, is what makes that a non-event.
+
+const (
+	maxInt64 = int64(^uint64(0) >> 1)
+	minInt64 = -maxInt64 - 1
+)
+
+// TripCount computes the trip count of the inclusive iteration space
+// [lb, ub] walked by incr (nonzero). A space the increment walks away
+// from is empty (trip 0). ok is false when the count does not fit in
+// int64 — the caller must trap rather than let the wrapped value pick
+// different iterations on different engines.
+func TripCount(lb, ub, incr int64) (trip int64, ok bool) {
+	if incr > 0 && ub < lb || incr < 0 && ub > lb {
+		return 0, true
+	}
+	span := ub - lb
+	// Same-signed nonempty bounds cannot wrap; mixed signs can.
+	if (span > 0) != (ub > lb) && span != 0 {
+		return 0, false
+	}
+	if span == minInt64 && incr == -1 {
+		return 0, false // |span|/1 + 1 and even the division itself overflow
+	}
+	trip = span/incr + 1
+	if trip <= 0 { // span/incr == maxInt64 wrapped
+		return 0, false
+	}
+	return trip, true
+}
+
+// StaticSpan assigns worker tid of n its contiguous index-space range
+// [start, start+count) over trip iterations. balanced selects the
+// libgomp-style equal split (remainder spread over the first workers);
+// otherwise libomp-style ceiling chunks, where trailing workers may be
+// empty. Index-space results are in [0, trip], so materializing
+// lb + i*incr can never leave the (already validated) value space.
+func StaticSpan(trip int64, n, tid int, balanced bool) (start, count int64) {
+	if trip <= 0 || tid >= n {
+		return 0, 0
+	}
+	if balanced {
+		q, r := trip/int64(n), trip%int64(n)
+		if int64(tid) < r {
+			count = q + 1
+			start = int64(tid) * count
+		} else {
+			count = q
+			start = r*(q+1) + (int64(tid)-r)*q
+		}
+		return start, count
+	}
+	chunk := trip / int64(n)
+	if trip%int64(n) != 0 {
+		chunk++
+	}
+	if tid > 0 && chunk > maxInt64/int64(tid) {
+		return 0, 0 // tid*chunk would overflow, so it is certainly past trip
+	}
+	start = int64(tid) * chunk
+	if start >= trip {
+		return 0, 0
+	}
+	count = chunk
+	if count > trip-start { // overflow-safe: start < trip, both nonnegative
+		count = trip - start
+	}
+	return start, count
+}
+
+// GuidedTake is the next guided chunk: proportional to the remaining
+// iterations over twice the team size — an exponentially decaying
+// sequence — clamped below by the pragma's chunk parameter and above by
+// what remains. Deterministic in remaining: the chunk-size sequence of a
+// guided loop is a pure function of the space, only the assignment of
+// chunks to workers is timing-dependent.
+func GuidedTake(remaining, minChunk int64, nthreads int) int64 {
+	if remaining <= 0 {
+		return 0
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	den := 2 * int64(nthreads)
+	take := (remaining + den - 1) / den
+	if take < minChunk {
+		take = minChunk
+	}
+	if take > remaining {
+		take = remaining
+	}
+	return take
+}
+
+// AutoTake is the self-scheduling pull on a worker's local range under
+// schedule(auto): half of what remains, rounding up — large chunks while
+// a range is full, single iterations near the end, which keeps stealable
+// tails around without a tuning knob.
+func AutoTake(remaining int64) int64 {
+	if remaining <= 0 {
+		return 0
+	}
+	return (remaining + 1) / 2
+}
+
+// EmptyRange is the (lower, upper) pair published to a worker with no
+// iterations: a constant pair no loop direction enters. The historical
+// lb, lb-incr pair wrapped when lb sat at the int64 boundary, handing
+// the worker a full wrap of the value space instead of nothing.
+func EmptyRange(incr int64) (lo, hi int64) {
+	if incr > 0 {
+		return 1, 0
+	}
+	return 0, 1
+}
 
 // IsRuntimeCall reports whether name is one of the modeled entry points.
 func IsRuntimeCall(name string) bool {

@@ -133,3 +133,171 @@ func TestDispatchHelpers(t *testing.T) {
 		t.Error("runtime-call classification wrong")
 	}
 }
+
+func TestSchedName(t *testing.T) {
+	cases := []struct {
+		kind int64
+		want string
+		ok   bool
+	}{
+		{SchedStatic, "static", true},
+		{SchedStaticChunked, "static", true},
+		{SchedDynamic, "dynamic", true},
+		{SchedGuided, "guided", true},
+		{SchedAuto, "auto", true},
+		{0, "", false},
+		{99, "", false},
+	}
+	for _, c := range cases {
+		got, ok := SchedName(c.kind)
+		if got != c.want || ok != c.ok {
+			t.Errorf("SchedName(%d) = %q,%v, want %q,%v", c.kind, got, ok, c.want, c.ok)
+		}
+	}
+	if !IsStaticSched(SchedStatic) || IsStaticSched(SchedDynamic) {
+		t.Error("IsStaticSched wrong")
+	}
+	if !IsDispatchSched(SchedGuided) || !IsDispatchSched(SchedAuto) || IsDispatchSched(SchedStatic) {
+		t.Error("IsDispatchSched wrong")
+	}
+}
+
+func TestTripCount(t *testing.T) {
+	const maxI = int64(^uint64(0) >> 1)
+	const minI = -maxI - 1
+	cases := []struct {
+		lb, ub, incr int64
+		trip         int64
+		ok           bool
+	}{
+		{0, 9, 1, 10, true},
+		{0, 9, 3, 4, true},
+		{9, 0, -1, 10, true},
+		{5, 4, 1, 0, true},  // empty, positive step
+		{4, 5, -1, 0, true}, // empty, negative step
+		{7, 7, 1, 1, true},
+		{minI, minI + 3, 1, 4, true},
+		{maxI - 3, maxI, 1, 4, true},
+		{minI, maxI, 1, 0, false},    // 2^64 iterations
+		{minI, maxI, 7, 0, false},    // span itself wraps
+		{maxI, minI, -1, 0, false},   // negative-direction full span
+		{0, maxI, 1, 0, false},       // trip = maxI+1
+		{0, maxI - 1, 1, maxI, true}, // largest representable trip
+		{maxI - 1, 0, -1, maxI, true},
+	}
+	for _, c := range cases {
+		trip, ok := TripCount(c.lb, c.ub, c.incr)
+		if trip != c.trip || ok != c.ok {
+			t.Errorf("TripCount(%d,%d,%d) = %d,%v, want %d,%v",
+				c.lb, c.ub, c.incr, trip, ok, c.trip, c.ok)
+		}
+	}
+}
+
+func TestStaticSpan(t *testing.T) {
+	// Ceiling chunks: 10 iterations over 4 workers = 3,3,3,1.
+	wantCeil := [][2]int64{{0, 3}, {3, 3}, {6, 3}, {9, 1}}
+	for tid, w := range wantCeil {
+		s, n := StaticSpan(10, 4, tid, false)
+		if s != w[0] || n != w[1] {
+			t.Errorf("ceil tid %d: got (%d,%d), want (%d,%d)", tid, s, n, w[0], w[1])
+		}
+	}
+	// Balanced: 10 over 4 = 3,3,2,2.
+	wantBal := [][2]int64{{0, 3}, {3, 3}, {6, 2}, {8, 2}}
+	for tid, w := range wantBal {
+		s, n := StaticSpan(10, 4, tid, true)
+		if s != w[0] || n != w[1] {
+			t.Errorf("bal tid %d: got (%d,%d), want (%d,%d)", tid, s, n, w[0], w[1])
+		}
+	}
+	// Trailing workers past the space are empty.
+	if _, n := StaticSpan(2, 4, 3, false); n != 0 {
+		t.Error("worker past space not empty")
+	}
+	// A near-maximal space still partitions without wrapping: the last
+	// worker's count clamps to what remains (the naive start+chunk sum
+	// would overflow here).
+	const maxI = int64(^uint64(0) >> 1)
+	s, n := StaticSpan(maxI, 2, 1, false)
+	if s != maxI/2+1 || n != maxI-s {
+		t.Errorf("maxI split: got (%d,%d), want (%d,%d)", s, n, maxI/2+1, maxI-(maxI/2+1))
+	}
+	// Every partition covers the space exactly once.
+	for _, balanced := range []bool{false, true} {
+		covered := int64(0)
+		prevEnd := int64(0)
+		for tid := 0; tid < 7; tid++ {
+			s, n := StaticSpan(23, 7, tid, balanced)
+			if n == 0 {
+				continue
+			}
+			if s != prevEnd {
+				t.Errorf("balanced=%v tid %d: start %d, want %d", balanced, tid, s, prevEnd)
+			}
+			prevEnd = s + n
+			covered += n
+		}
+		if covered != 23 {
+			t.Errorf("balanced=%v: covered %d of 23", balanced, covered)
+		}
+	}
+}
+
+func TestGuidedTake(t *testing.T) {
+	// The sequence decays exponentially and drains exactly.
+	remaining := int64(1000)
+	var seq []int64
+	for remaining > 0 {
+		take := GuidedTake(remaining, 1, 4)
+		if take < 1 || take > remaining {
+			t.Fatalf("take %d out of range (remaining %d)", take, remaining)
+		}
+		seq = append(seq, take)
+		remaining -= take
+	}
+	if seq[0] != 125 { // ceil(1000/8)
+		t.Errorf("first guided chunk = %d, want 125", seq[0])
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] > seq[i-1] {
+			t.Errorf("guided chunks must not grow: %v", seq)
+			break
+		}
+	}
+	// The chunk parameter is a floor.
+	if take := GuidedTake(1000, 300, 4); take != 300 {
+		t.Errorf("min chunk not honored: %d", take)
+	}
+	if take := GuidedTake(5, 300, 4); take != 5 {
+		t.Errorf("take must clamp to remaining: %d", take)
+	}
+	if GuidedTake(0, 1, 4) != 0 {
+		t.Error("empty space must take 0")
+	}
+}
+
+func TestAutoTake(t *testing.T) {
+	if AutoTake(0) != 0 || AutoTake(1) != 1 || AutoTake(2) != 1 || AutoTake(7) != 4 {
+		t.Errorf("AutoTake sequence wrong: %d %d %d %d",
+			AutoTake(0), AutoTake(1), AutoTake(2), AutoTake(7))
+	}
+	// Halving drains any space in O(log n) pulls.
+	remaining, pulls := int64(1<<40), 0
+	for remaining > 0 {
+		remaining -= AutoTake(remaining)
+		pulls++
+	}
+	if pulls > 42 {
+		t.Errorf("halving took %d pulls", pulls)
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	if lo, hi := EmptyRange(1); lo <= hi {
+		t.Errorf("positive-step empty range runs: [%d,%d]", lo, hi)
+	}
+	if lo, hi := EmptyRange(-3); lo >= hi {
+		t.Errorf("negative-step empty range runs: [%d,%d]", lo, hi)
+	}
+}

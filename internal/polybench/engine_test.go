@@ -54,6 +54,62 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 }
 
+// TestEngineDeterminismSchedules extends the engine-parity gate to the
+// dispatch-scheduled worksharing kinds on the triangular imbalanced
+// kernel. The contract is weaker than the static gate on purpose:
+// outputs must be bitwise-identical across engines and thread counts
+// under every schedule (the loop is DOALL, so any chunk-to-worker
+// assignment computes the same cells), but work/span totals are only
+// compared at 1 thread — guided's cursor and auto's stealing make the
+// multi-thread chunk assignment timing-dependent, which legitimately
+// moves step counts between workers.
+func TestEngineDeterminismSchedules(t *testing.T) {
+	s := driver.New(driver.Options{})
+	byt, err := driver.EngineFor("bytecode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range ImbalancedSchedules {
+		b := ImbalancedKernel(sched)
+		t.Run(b.Name, func(t *testing.T) {
+			m, err := CompileVariantWith(s, b.Seq, b.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := b.RunWith(m, interp.Options{NumThreads: 1})
+			if err != nil {
+				t.Fatalf("tree 1 thread: %v", err)
+			}
+			for _, threads := range []int{1, 8} {
+				tree, err := b.RunWith(m, interp.Options{NumThreads: threads})
+				if err != nil {
+					t.Fatalf("tree %d threads: %v", threads, err)
+				}
+				bvm, err := b.RunWith(m, interp.Options{NumThreads: threads, Body: byt})
+				if err != nil {
+					t.Fatalf("bytecode %d threads: %v", threads, err)
+				}
+				if eq, diff := b.OutputsEqual(tree, bvm); !eq {
+					t.Errorf("%d threads: engines differ: %s", threads, diff)
+				}
+				if eq, diff := b.OutputsEqual(ref, tree); !eq {
+					t.Errorf("%d threads vs 1 thread: outputs differ: %s", threads, diff)
+				}
+				if threads == 1 {
+					if tree.Steps() != bvm.Steps() {
+						t.Errorf("1 thread: work differs: tree %d vs bytecode %d",
+							tree.Steps(), bvm.Steps())
+					}
+					if tree.SimSteps() != bvm.SimSteps() {
+						t.Errorf("1 thread: span differs: tree %d vs bytecode %d",
+							tree.SimSteps(), bvm.SimSteps())
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestScaleSource pins the size knob's rewrite: integer #define lines
 // scale by the factor, everything else (expressions, code) is left
 // alone, and mini is the identity.

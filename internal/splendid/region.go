@@ -37,6 +37,9 @@ type regionInfo struct {
 	ubLoads []*ir.Instr
 
 	schedule int64
+	// dispKind is the dispatch schedule constant (omp.SchedDynamic,
+	// SchedGuided, or SchedAuto) when schedule == schedDynamic.
+	dispKind int64
 	chunk    int64
 	step     int64
 
@@ -90,7 +93,15 @@ func analyzeRegion(fork *ir.Instr) *regionInfo {
 		if len(ri.dynInit.Args) != 6 || len(ri.dynNext.Args) != 5 {
 			return nil
 		}
+		// The schedule kind must be a known dispatch constant — the
+		// re-sugared pragma names it (dynamic, guided, or auto), so an
+		// unrecognized kind is an unsupported shape, not "dynamic".
+		kind, ok := ri.dynInit.Args[1].(*ir.ConstInt)
+		if !ok || !omp.IsDispatchSched(kind.V) {
+			return nil
+		}
 		ri.schedule = schedDynamic
+		ri.dispKind = kind.V
 		ri.initVal = ri.dynInit.Args[2]
 		ri.ubVal = ri.dynInit.Args[3]
 		if c, ok := ri.dynInit.Args[5].(*ir.ConstInt); ok {
@@ -278,10 +289,16 @@ func detransformRegion(m *ir.Module, f *ir.Function, ri *regionInfo, seq int) (*
 	pi := &decomp.PragmaInfo{Seq: seq, Schedule: "static", NoWait: ri.barrier == nil,
 		ReductionOps: reductionOps}
 	if ri2.schedule == schedDynamic {
-		pi.Schedule = "dynamic"
+		// Re-sugar the dispatch kind by name; analyzeRegion guaranteed it
+		// is a known one. schedule(auto) carries no chunk clause — its
+		// chunk argument is a placeholder the runtime ignores.
+		name, _ := omp.SchedName(ri2.dispKind)
+		pi.Schedule = name
 		pi.NoWait = false
-	}
-	if ri2.chunk > 1 {
+		if ri2.dispKind != omp.SchedAuto && ri2.chunk > 1 {
+			pi.Chunk = int(ri2.chunk)
+		}
+	} else if ri2.chunk > 1 {
 		pi.Chunk = int(ri2.chunk)
 	}
 	return pi, nil

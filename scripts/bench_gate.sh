@@ -8,7 +8,8 @@
 #
 # Usage: sh scripts/bench_gate.sh [SIZE] (default mini, matching the
 # checked-in baseline). Tolerances: BENCH_TOL_GEOMEAN (default 0.4),
-# BENCH_TOL_SPEEDUP (default 0.1).
+# BENCH_TOL_SPEEDUP (default 0.1), BENCH_TOL_BALANCE (default 0.25,
+# the schedule rows on the imbalanced kernel).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -16,6 +17,7 @@ SIZE=${1:-mini}
 BASELINE=BENCH_runtime.json
 TOL_GEOMEAN=${BENCH_TOL_GEOMEAN:-0.4}
 TOL_SPEEDUP=${BENCH_TOL_SPEEDUP:-0.1}
+TOL_BALANCE=${BENCH_TOL_BALANCE:-0.25}
 
 test -f "$BASELINE" || { echo "bench_gate: no checked-in $BASELINE" >&2; exit 2; }
 
@@ -34,4 +36,5 @@ go run ./cmd/benchgate \
 	-baseline "$tmp/baseline.json" \
 	-candidate "$tmp/candidate.json" \
 	-tol-geomean "$TOL_GEOMEAN" \
-	-tol-speedup "$TOL_SPEEDUP"
+	-tol-speedup "$TOL_SPEEDUP" \
+	-tol-balance "$TOL_BALANCE"

@@ -32,6 +32,12 @@ dir=$(mktemp -d)
 trap 'rm -rf "$dir"' EXIT
 go build -o "$dir/difftest" ./cmd/difftest
 
+echo "== fleet smoke: seed window covers every pragma schedule class"
+# The sweep below is only a real end-to-end schedule exercise if the
+# generator surfaces static, dynamic, guided, and auto inside the
+# window; the gate fails fast if a distribution change starves one out.
+go test ./internal/difftest/ -run TestSweepWindowCoversScheduleClasses >/dev/null
+
 echo "== fleet smoke: control run ($n seeds, $workers workers, shard size $shard_size)"
 "$dir/difftest" -seed "$seed" -n "$n" -shards "$workers" -shard-size "$shard_size" \
     -journal "$dir/control.jsonl" -corpus "$dir/control-corpus" \
